@@ -1,0 +1,73 @@
+//! Fig. 1 — HTTPS connection timeline to the YouTube web proxy server.
+//!
+//! Regenerates the phase timeline (3WHS, ClientHello … JSON, FIN) and the
+//! derived quantities η, ψ, π of §3.2, including the fast-path head start
+//! `π₂ − π₁ ≈ 10(θ−1)R₁` as a function of the RTT ratio θ.
+
+use msim_core::report::{figures_dir, Table};
+use msim_core::time::{SimDuration, SimTime};
+use msim_http::tls::TlsTimingModel;
+
+fn main() {
+    let model = TlsTimingModel::default();
+
+    // --- Phase timeline for the two testbed paths --------------------------
+    println!(
+        "Fig. 1 — HTTPS exchange phases (Δ1 = {}, Δ2 = {})\n",
+        model.delta1, model.delta2
+    );
+    let mut table = Table::new(&["phase", "WiFi (R=25 ms)", "LTE (R=65 ms)"]);
+    let wifi = model.timeline(SimTime::ZERO, SimDuration::from_millis(25));
+    let lte = model.timeline(SimTime::ZERO, SimDuration::from_millis(65));
+    for ((t_wifi, phase), (t_lte, _)) in wifi.iter().zip(lte.iter()) {
+        table.row(&[
+            &format!("{phase:?}"),
+            &format!("{:.1} ms", t_wifi.as_secs_f64() * 1e3),
+            &format!("{:.1} ms", t_lte.as_secs_f64() * 1e3),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // --- η, ψ, π ------------------------------------------------------------
+    let mut derived = Table::new(&["quantity", "formula", "WiFi", "LTE"]);
+    let r1 = SimDuration::from_millis(25);
+    let r2 = SimDuration::from_millis(65);
+    derived.row(&[
+        "eta (secure conn ready)",
+        "4R + D1 + D2",
+        &format!("{}", model.eta(r1)),
+        &format!("{}", model.eta(r2)),
+    ]);
+    derived.row(&[
+        "psi (JSON complete)",
+        "6R + D1 + D2",
+        &format!("{}", model.psi(r1)),
+        &format!("{}", model.psi(r2)),
+    ]);
+    derived.row(&[
+        "pi (first video packet)",
+        "psi + eta",
+        &format!("{}", model.pi(r1)),
+        &format!("{}", model.pi(r2)),
+    ]);
+    println!("{}", derived.render());
+
+    // --- Head start vs θ ----------------------------------------------------
+    println!("Fast-path head start pi2 - pi1 = 10(theta-1)R1   (R1 = 25 ms)\n");
+    let mut hs = Table::new(&["theta = R2/R1", "head start (model)", "10(theta-1)R1"]);
+    for theta10 in [10u64, 15, 20, 25, 30] {
+        let r2 = SimDuration::from_micros(r1.as_micros() * theta10 / 10);
+        let measured = model.head_start(r1, r2);
+        let formula = SimDuration::from_micros(r1.as_micros() * (theta10 - 10));
+        hs.row(&[
+            &format!("{:.1}", theta10 as f64 / 10.0),
+            &format!("{measured}"),
+            &format!("{formula}"),
+        ]);
+    }
+    println!("{}", hs.render());
+
+    let csv_path = figures_dir().join("fig1_handshake.csv");
+    table.write_csv(&csv_path).expect("write CSV");
+    println!("[csv] {}", csv_path.display());
+}

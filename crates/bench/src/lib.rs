@@ -1,0 +1,189 @@
+//! # msplayer-bench — experiment harness
+//!
+//! Shared workload generators and sweep runners behind the per-figure bench
+//! targets. Each bench binary (`benches/figN_*.rs`) calls into this crate,
+//! prints the paper-style table/series, and writes CSV under
+//! `target/figures/`.
+//!
+//! Run counts default to the paper's 20 repetitions; set `MSP_RUNS` to
+//! override (smoke tests use 5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use msim_core::stats::BoxStats;
+use msim_net::profile::PathProfile;
+use msim_youtube::dns::Network;
+use msplayer_core::config::{PlayerConfig, SchedulerKind};
+use msplayer_core::metrics::{SessionMetrics, TrafficPhase};
+use msplayer_core::sim::{run_session, Scenario, StopCondition};
+
+/// Number of seeded repetitions per configuration (paper: "repeat this 20
+/// times"). Override with `MSP_RUNS`.
+pub fn runs() -> u64 {
+    std::env::var("MSP_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20)
+}
+
+/// Base seed; combined with run index so each repetition is independent but
+/// reproducible.
+pub const BASE_SEED: u64 = 0x4d53_506c_6179_6572; // "MSPlayer"
+
+/// Which environment a sweep runs in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Env {
+    /// §5 emulated testbed (unpaced servers, testbed link profiles).
+    Testbed,
+    /// §6 production-YouTube profile (paced servers, heavier control plane,
+    /// copyrighted video → signature decipher step).
+    Youtube,
+}
+
+/// Which competitor streams.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Competitor {
+    /// Single path over WiFi with a commercial player profile.
+    WifiOnly,
+    /// Single path over LTE with a commercial player profile.
+    LteOnly,
+    /// MSPlayer over both paths.
+    MsPlayer,
+}
+
+impl Competitor {
+    /// Figure label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Competitor::WifiOnly => "WiFi",
+            Competitor::LteOnly => "LTE",
+            Competitor::MsPlayer => "MSPlayer",
+        }
+    }
+}
+
+fn profiles_for(env: Env) -> (PathProfile, PathProfile) {
+    match env {
+        Env::Testbed => (PathProfile::wifi_testbed(), PathProfile::lte_testbed()),
+        Env::Youtube => (PathProfile::wifi_youtube(), PathProfile::lte_youtube()),
+    }
+}
+
+/// Builds the scenario for one competitor in one environment.
+pub fn scenario_for(env: Env, who: Competitor, seed: u64, player: PlayerConfig) -> Scenario {
+    let (wifi, lte) = profiles_for(env);
+    match (env, who) {
+        (Env::Testbed, Competitor::MsPlayer) => Scenario::testbed_msplayer(seed, player),
+        (Env::Testbed, Competitor::WifiOnly) => {
+            Scenario::testbed_single_path(seed, wifi, Network::Wifi, player)
+        }
+        (Env::Testbed, Competitor::LteOnly) => {
+            Scenario::testbed_single_path(seed, lte, Network::Cellular, player)
+        }
+        (Env::Youtube, Competitor::MsPlayer) => Scenario::youtube_msplayer(seed, player),
+        (Env::Youtube, Competitor::WifiOnly) => {
+            Scenario::youtube_single_path(seed, wifi, Network::Wifi, player)
+        }
+        (Env::Youtube, Competitor::LteOnly) => {
+            Scenario::youtube_single_path(seed, lte, Network::Cellular, player)
+        }
+    }
+}
+
+/// Runs a pre-buffering experiment: download time (seconds) to accumulate
+/// `prebuffer_secs` of video, across `runs()` seeds.
+pub fn prebuffer_times(
+    env: Env,
+    who: Competitor,
+    player_base: PlayerConfig,
+    prebuffer_secs: f64,
+) -> Vec<f64> {
+    (0..runs())
+        .map(|run| {
+            let seed = BASE_SEED ^ (run.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let player = player_base.clone().with_prebuffer_secs(prebuffer_secs);
+            let mut scenario = scenario_for(env, who, seed, player);
+            scenario.stop = StopCondition::PrebufferDone;
+            let m = run_session(&scenario);
+            m.prebuffer_time()
+                .expect("prebuffer completes")
+                .as_secs_f64()
+        })
+        .collect()
+}
+
+/// Runs a re-buffering experiment: each completed refill cycle's duration
+/// (seconds), pooled across `runs()` seeds × `cycles` cycles.
+pub fn rebuffer_times(
+    env: Env,
+    who: Competitor,
+    player_base: PlayerConfig,
+    refill_secs: f64,
+    cycles: usize,
+) -> Vec<f64> {
+    let mut samples = Vec::new();
+    for run in 0..runs() {
+        let seed = BASE_SEED ^ 0xBEEF ^ (run.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let player = player_base
+            .clone()
+            .with_prebuffer_secs(40.0)
+            .with_rebuffer_secs(refill_secs);
+        let mut scenario = scenario_for(env, who, seed, player);
+        // Long enough for the requested cycles.
+        scenario.video_secs = 40.0 + (refill_secs + 60.0) * (cycles as f64 + 1.0);
+        scenario.stop = StopCondition::AfterRefills(cycles);
+        let m = run_session(&scenario);
+        samples.extend(m.refills.iter().map(|r| r.duration().as_secs_f64()));
+    }
+    samples
+}
+
+/// Runs the Table-1 experiment: WiFi traffic fraction (percent) per phase,
+/// one sample per seed.
+pub fn wifi_fractions(
+    prebuffer_secs: f64,
+    player_base: PlayerConfig,
+    cycles: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut pre = Vec::new();
+    let mut re = Vec::new();
+    for run in 0..runs() {
+        let seed = BASE_SEED ^ 0x7AB1 ^ (run.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let player = player_base.clone().with_prebuffer_secs(prebuffer_secs);
+        let mut scenario = scenario_for(Env::Youtube, Competitor::MsPlayer, seed, player);
+        scenario.video_secs = prebuffer_secs + 90.0 * (cycles as f64 + 1.0);
+        scenario.stop = StopCondition::AfterRefills(cycles);
+        let m = run_session(&scenario);
+        if let Some(f) = m.traffic_fraction(0, TrafficPhase::PreBuffering) {
+            pre.push(f * 100.0);
+        }
+        if let Some(f) = m.traffic_fraction(0, TrafficPhase::ReBuffering) {
+            re.push(f * 100.0);
+        }
+    }
+    (pre, re)
+}
+
+/// The commercial single-path baseline used in Figs. 2/4/5.
+pub fn commercial(chunk_kb: u64) -> PlayerConfig {
+    PlayerConfig::commercial_single_path(msim_core::units::ByteSize::kb(chunk_kb))
+}
+
+/// The MSPlayer config used in the sweeps, with scheduler and initial
+/// chunk size.
+pub fn msplayer(kind: SchedulerKind, chunk_kb: u64) -> PlayerConfig {
+    PlayerConfig::msplayer()
+        .with_scheduler(kind)
+        .with_initial_chunk(msim_core::units::ByteSize::kb(chunk_kb))
+}
+
+/// Convenience: boxplot stats of a sample.
+pub fn boxstats(samples: &[f64]) -> BoxStats {
+    BoxStats::from_sample(samples)
+}
+
+/// One session's metrics for ad-hoc inspection in benches/examples.
+pub fn one_session(env: Env, who: Competitor, seed: u64, player: PlayerConfig) -> SessionMetrics {
+    run_session(&scenario_for(env, who, seed, player))
+}

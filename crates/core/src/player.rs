@@ -1,0 +1,613 @@
+//! The MSPlayer state machine (sans-I/O).
+//!
+//! Following the event-driven style of embedded TCP stacks, the player is a
+//! pure state machine: drivers feed it [`PlayerEvent`]s with the current
+//! simulated (or wall-clock) time and execute the returned
+//! [`PlayerAction`]s. The same machine runs on the deterministic simulator
+//! (`sim`) and on real sockets (`msim-testbed`), which is how the §5
+//! "testbed" and §6 "service" experiments share one implementation.
+//!
+//! Responsibilities owned here (paper §2/§3.3):
+//! * chunk scheduling across both paths via the configured scheduler;
+//! * the ≤ `ooo_cap` out-of-order gating rule;
+//! * ON/OFF playout-buffer-driven downloading;
+//! * per-path failure counting and failover requests;
+//! * per-phase traffic accounting (Table 1) and QoE metrics.
+
+use crate::buffer::{BufferPhase, PlayoutBuffer};
+use crate::chunk::{ChunkAssignment, ChunkLedger, PathId};
+use crate::config::PlayerConfig;
+use crate::metrics::{ChunkRecord, SessionMetrics, TrafficPhase};
+use crate::scheduler::{build_scheduler, ChunkScheduler, NUM_PATHS};
+use msim_core::time::SimTime;
+
+/// Why a chunk transfer failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChunkFailReason {
+    /// Transport-level timeout (dead link / unreachable server).
+    Timeout,
+    /// HTTP 5xx from the server (failed/overloaded).
+    ServerError,
+    /// HTTP 403 (token or signature problem).
+    Forbidden,
+}
+
+/// Input events, stamped with the time they occurred.
+#[derive(Clone, Debug)]
+pub enum PlayerEvent {
+    /// A path finished its bootstrap (JSON decoded, video-server connection
+    /// established) and can carry range requests.
+    PathReady {
+        /// The path in question.
+        path: PathId,
+    },
+    /// A chunk completed on `path`.
+    ChunkComplete {
+        /// Path that carried the chunk.
+        path: PathId,
+        /// Ledger index of the chunk.
+        index: u64,
+        /// Bytes delivered.
+        bytes: u64,
+        /// When the range request was issued.
+        requested_at: SimTime,
+        /// When the first byte of this path's first chunk arrived (only
+        /// meaningful on the first completion; drivers pass it every time).
+        first_byte_at: SimTime,
+    },
+    /// A chunk failed on `path`.
+    ChunkFailed {
+        /// Path that carried the chunk.
+        path: PathId,
+        /// Failure class.
+        reason: ChunkFailReason,
+    },
+    /// The driver detected the path is unusable (e.g. WiFi outage).
+    PathDown {
+        /// The affected path.
+        path: PathId,
+    },
+    /// The path is usable again (reconnected, possibly to a new server).
+    PathRestored {
+        /// The affected path.
+        path: PathId,
+    },
+    /// Timer wakeup for playout-buffer transitions.
+    Tick,
+}
+
+/// Output actions for the driver to execute.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlayerAction {
+    /// Issue a range request for `assignment` on its path.
+    Fetch {
+        /// What to fetch and where.
+        assignment: ChunkAssignment,
+    },
+    /// Switch `path` to the next video server in its network and
+    /// re-establish the connection (robustness, §2). The driver must send
+    /// `PathRestored` when done.
+    Failover {
+        /// The path to re-home.
+        path: PathId,
+    },
+    /// Ask for a `Tick` at the given time (buffer self-transition).
+    ScheduleTick {
+        /// When to tick.
+        at: SimTime,
+    },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PathState {
+    /// Bootstrap not finished.
+    NotReady,
+    /// Ready, no chunk in flight.
+    Idle,
+    /// A chunk is in flight.
+    Fetching,
+    /// Down (outage or mid-failover).
+    Down,
+}
+
+/// The player.
+pub struct Player {
+    cfg: PlayerConfig,
+    scheduler: Box<dyn ChunkScheduler>,
+    ledger: ChunkLedger,
+    buffer: PlayoutBuffer,
+    rate_bytes_per_sec: f64,
+    paths: [PathState; NUM_PATHS],
+    consecutive_failures: [u32; NUM_PATHS],
+    /// Whether the path has completed its warm-up chunk. The first chunk of
+    /// a fresh connection downloads inside TCP slow start; its throughput
+    /// sample under-reads the path and would permanently anchor the
+    /// full-history harmonic estimator (Eq. 2 never forgets), driving the
+    /// Alg. 1 double/halve rule into a runaway spiral. Standard measurement
+    /// practice: the warm-up sample is excluded from estimation (but still
+    /// counted in traffic metrics).
+    warmed_up: [bool; NUM_PATHS],
+    metrics: SessionMetrics,
+    last_tick_scheduled: Option<SimTime>,
+}
+
+impl Player {
+    /// Creates a player for a stream of `total_bytes` at `bytes_per_sec`
+    /// (both derived from the video format chosen from the JSON info).
+    pub fn new(cfg: PlayerConfig, total_bytes: u64, bytes_per_sec: f64, started_at: SimTime) -> Player {
+        cfg.validate().expect("invalid player config");
+        let buffer = PlayoutBuffer::new(
+            total_bytes,
+            bytes_per_sec,
+            cfg.prebuffer_secs,
+            cfg.low_watermark_secs,
+            cfg.rebuffer_secs,
+            cfg.stall_resume_secs,
+        );
+        let scheduler = build_scheduler(&cfg);
+        Player {
+            cfg,
+            scheduler,
+            ledger: ChunkLedger::new(total_bytes),
+            buffer,
+            rate_bytes_per_sec: bytes_per_sec,
+            paths: [PathState::NotReady; NUM_PATHS],
+            consecutive_failures: [0; NUM_PATHS],
+            warmed_up: [false; NUM_PATHS],
+            metrics: SessionMetrics {
+                started_at,
+                ..SessionMetrics::default()
+            },
+            last_tick_scheduled: None,
+        }
+    }
+
+    /// The collected metrics so far.
+    pub fn metrics(&self) -> &SessionMetrics {
+        &self.metrics
+    }
+
+    /// Consumes the player, returning final metrics.
+    pub fn into_metrics(mut self, ended_at: SimTime) -> SessionMetrics {
+        self.buffer.advance_to(ended_at);
+        self.metrics.prebuffer_done_at = self.buffer.prebuffer_done_at();
+        self.metrics.refills = self.buffer.refills().to_vec();
+        self.metrics.stalls = self.buffer.stalls().to_vec();
+        self.metrics.ended_at = Some(ended_at);
+        self.metrics
+    }
+
+    /// Buffer phase (for drivers' stop conditions).
+    pub fn buffer_phase(&self) -> BufferPhase {
+        self.buffer.phase()
+    }
+
+    /// Number of completed refill cycles so far.
+    pub fn refill_count(&self) -> usize {
+        self.buffer.refills().len()
+    }
+
+    /// Whether the pre-buffer target has been reached.
+    pub fn prebuffer_done(&self) -> bool {
+        self.buffer.prebuffer_done_at().is_some()
+    }
+
+    /// True when every byte of the stream has been fetched.
+    pub fn download_complete(&self) -> bool {
+        self.ledger.is_complete()
+    }
+
+    /// Current playout buffer level in seconds.
+    pub fn buffer_level_secs(&self) -> f64 {
+        self.buffer.level_secs()
+    }
+
+    /// Feeds one event; returns the actions to execute.
+    pub fn handle(&mut self, now: SimTime, event: PlayerEvent) -> Vec<PlayerAction> {
+        let mut actions = Vec::new();
+        match event {
+            PlayerEvent::PathReady { path } => {
+                debug_assert!(path < NUM_PATHS);
+                if self.paths[path] == PathState::NotReady {
+                    self.paths[path] = PathState::Idle;
+                }
+            }
+            PlayerEvent::ChunkComplete {
+                path,
+                index,
+                bytes,
+                requested_at,
+                first_byte_at,
+            } => {
+                let contiguous = self.ledger.complete(index);
+                self.paths[path] = PathState::Idle;
+                self.consecutive_failures[path] = 0;
+                if self.metrics.first_byte_at[path].is_none() {
+                    self.metrics.first_byte_at[path] = Some(first_byte_at);
+                }
+                // Throughput sample w = S / T where T is "the time required
+                // to download chunk S" (§3.3) — first byte to last byte.
+                // Using request-to-completion instead would deflate samples
+                // for small chunks (the request RTT is overhead, not
+                // download), anchoring the estimate low and trapping the
+                // Alg. 1 halving rule at the 16 KB floor.
+                let duration = now.saturating_since(first_byte_at).as_secs_f64();
+                if duration > 0.0 && bytes > 0 {
+                    let sample_bps = bytes as f64 * 8.0 / duration;
+                    if self.warmed_up[path] {
+                        self.scheduler.on_sample(path, sample_bps);
+                    } else {
+                        self.warmed_up[path] = true;
+                    }
+                    let phase = if self.buffer.prebuffer_done_at().is_some() {
+                        TrafficPhase::ReBuffering
+                    } else {
+                        TrafficPhase::PreBuffering
+                    };
+                    self.metrics.chunks.push(ChunkRecord {
+                        path,
+                        bytes,
+                        requested_at,
+                        completed_at: now,
+                        goodput_bps: sample_bps,
+                        phase,
+                    });
+                }
+                self.buffer.on_playable(now, contiguous);
+            }
+            PlayerEvent::ChunkFailed { path, reason } => {
+                self.ledger.abort_in_flight(path);
+                self.consecutive_failures[path] += 1;
+                if self.consecutive_failures[path] >= self.cfg.failures_before_switch
+                    && reason != ChunkFailReason::Timeout
+                {
+                    // Server-side trouble: switch to another replica in the
+                    // same network (§2 robustness). Timeouts are link
+                    // trouble; the driver signals PathDown for those.
+                    self.paths[path] = PathState::Down;
+                    self.scheduler.reset_path(path);
+                    self.warmed_up[path] = false;
+                    self.consecutive_failures[path] = 0;
+                    self.metrics.failovers[path] += 1;
+                    actions.push(PlayerAction::Failover { path });
+                } else {
+                    self.paths[path] = PathState::Idle;
+                }
+            }
+            PlayerEvent::PathDown { path } => {
+                self.ledger.abort_in_flight(path);
+                self.paths[path] = PathState::Down;
+                self.scheduler.reset_path(path);
+                self.warmed_up[path] = false;
+            }
+            PlayerEvent::PathRestored { path } => {
+                if self.paths[path] == PathState::Down {
+                    self.paths[path] = PathState::Idle;
+                }
+            }
+            PlayerEvent::Tick => {
+                self.buffer.advance_to(now);
+            }
+        }
+        self.pump(now, &mut actions);
+        actions
+    }
+
+    /// Issues work to every idle path, respecting the download gate and the
+    /// out-of-order cap, then arranges the next tick.
+    fn pump(&mut self, now: SimTime, actions: &mut Vec<PlayerAction>) {
+        self.buffer.advance_to(now);
+        if self.buffer.wants_download() {
+            for path in 0..NUM_PATHS {
+                if self.paths[path] != PathState::Idle {
+                    continue;
+                }
+                if self.ledger.has_in_flight(path) {
+                    continue;
+                }
+                // Out-of-order cap (§2: at most `ooo_cap` completed chunks
+                // held ahead of the playable prefix). A path whose next
+                // chunk would be out of order must wait while the cap is
+                // reached.
+                if self.ledger.ooo_completed() >= self.cfg.ooo_cap
+                    && self.ledger.next_would_be_ooo(path)
+                {
+                    continue;
+                }
+                let size = self.next_chunk_len(path);
+                if size == 0 {
+                    continue;
+                }
+                if let Some(assignment) = self.ledger.assign(path, size) {
+                    self.paths[path] = PathState::Fetching;
+                    actions.push(PlayerAction::Fetch { assignment });
+                }
+            }
+        }
+        // Keep a tick pending for the next buffer self-transition.
+        if let Some(at) = self.buffer.next_event_after(now) {
+            if self.last_tick_scheduled != Some(at) {
+                self.last_tick_scheduled = Some(at);
+                actions.push(PlayerAction::ScheduleTick { at });
+            }
+        }
+    }
+
+    /// The next chunk length for `path` in bytes.
+    fn next_chunk_len(&self, path: PathId) -> u64 {
+        if self.cfg.single_request_prebuffer && self.buffer.prebuffer_done_at().is_none() {
+            // Commercial-player emulation: the whole pre-buffer amount as
+            // one request (clamped to what remains).
+            let target = (self.cfg.prebuffer_secs * self.rate_bytes_per_sec) as u64;
+            let already = self.ledger.contiguous_bytes();
+            return target.saturating_sub(already).max(self.cfg.min_chunk.as_u64());
+        }
+        self.scheduler.chunk_size(path).as_u64()
+    }
+
+    /// Completed-but-unplayable chunk count (exposed for tests/invariants).
+    pub fn ooo_completed(&self) -> usize {
+        self.ledger.ooo_completed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msim_core::units::ByteSize;
+
+    const RATE: f64 = 312_500.0; // 2.5 Mbit/s in bytes/s
+    const TOTAL: u64 = 312_500 * 600; // 10 minutes
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn player(cfg: PlayerConfig) -> Player {
+        Player::new(cfg, TOTAL, RATE, SimTime::ZERO)
+    }
+
+    fn fetches(actions: &[PlayerAction]) -> Vec<ChunkAssignment> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                PlayerAction::Fetch { assignment } => Some(*assignment),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn no_work_before_paths_ready() {
+        let mut p = player(PlayerConfig::default());
+        let actions = p.handle(SimTime::ZERO, PlayerEvent::Tick);
+        assert!(fetches(&actions).is_empty());
+    }
+
+    #[test]
+    fn both_paths_get_initial_chunks() {
+        let mut p = player(PlayerConfig::default());
+        let a0 = p.handle(secs(0.5), PlayerEvent::PathReady { path: 0 });
+        let f0 = fetches(&a0);
+        assert_eq!(f0.len(), 1, "fast path starts alone (head start)");
+        assert_eq!(f0[0].path, 0);
+        assert_eq!(f0[0].range.start, 0);
+        let a1 = p.handle(secs(0.9), PlayerEvent::PathReady { path: 1 });
+        let f1 = fetches(&a1);
+        assert_eq!(f1.len(), 1);
+        assert_eq!(f1[0].path, 1);
+        assert_eq!(f1[0].range.start, f0[0].range.len(), "sequential ranges");
+    }
+
+    #[test]
+    fn chunk_completion_reissues_work() {
+        let mut p = player(PlayerConfig::default());
+        let a0 = p.handle(secs(0.5), PlayerEvent::PathReady { path: 0 });
+        let f0 = fetches(&a0)[0];
+        let a1 = p.handle(
+            secs(1.0),
+            PlayerEvent::ChunkComplete {
+                path: 0,
+                index: f0.index,
+                bytes: f0.range.len(),
+                requested_at: secs(0.5),
+                first_byte_at: secs(0.6),
+            },
+        );
+        let f1 = fetches(&a1);
+        assert_eq!(f1.len(), 1, "path 0 re-armed");
+        assert_eq!(p.metrics().first_byte_at[0], Some(secs(0.6)));
+        assert_eq!(p.metrics().chunks.len(), 1);
+    }
+
+    #[test]
+    fn ooo_cap_blocks_runahead_path() {
+        let cfg = PlayerConfig::default();
+        let mut p = player(cfg);
+        let f0 = fetches(&p.handle(secs(0.1), PlayerEvent::PathReady { path: 0 }))[0];
+        let f1 = fetches(&p.handle(secs(0.1), PlayerEvent::PathReady { path: 1 }))[0];
+        // Path 1 completes its chunk while path 0's is still in flight:
+        // 1 OOO chunk stored → path 1 may fetch one more (the gate counts
+        // *completed* OOO chunks vs cap=1... completing makes it 1).
+        let a = p.handle(
+            secs(0.5),
+            PlayerEvent::ChunkComplete {
+                path: 1,
+                index: f1.index,
+                bytes: f1.range.len(),
+                requested_at: secs(0.1),
+                first_byte_at: secs(0.2),
+            },
+        );
+        assert_eq!(p.ooo_completed(), 1);
+        assert!(
+            fetches(&a).is_empty(),
+            "path 1 blocked: another chunk would strand a second OOO chunk"
+        );
+        // Path 0 completes: prefix folds, path 0 and 1 both resume.
+        let a = p.handle(
+            secs(0.9),
+            PlayerEvent::ChunkComplete {
+                path: 0,
+                index: f0.index,
+                bytes: f0.range.len(),
+                requested_at: secs(0.1),
+                first_byte_at: secs(0.2),
+            },
+        );
+        assert_eq!(p.ooo_completed(), 0);
+        assert_eq!(fetches(&a).len(), 2, "both paths re-armed");
+    }
+
+    #[test]
+    fn failover_requested_after_server_error() {
+        let cfg = PlayerConfig::default(); // failures_before_switch = 1
+        let mut p = player(cfg);
+        let _ = p.handle(secs(0.1), PlayerEvent::PathReady { path: 0 });
+        let actions = p.handle(
+            secs(0.5),
+            PlayerEvent::ChunkFailed {
+                path: 0,
+                reason: ChunkFailReason::ServerError,
+            },
+        );
+        assert!(
+            actions.contains(&PlayerAction::Failover { path: 0 }),
+            "server error triggers failover: {actions:?}"
+        );
+        assert_eq!(p.metrics().failovers[0], 1);
+        // While down, no fetches on path 0.
+        assert!(fetches(&actions).iter().all(|f| f.path != 0));
+        // Restoration re-arms it.
+        let actions = p.handle(secs(1.0), PlayerEvent::PathRestored { path: 0 });
+        assert_eq!(fetches(&actions).len(), 1);
+    }
+
+    #[test]
+    fn timeout_does_not_failover_but_retries() {
+        let mut p = player(PlayerConfig::default());
+        let _ = p.handle(secs(0.1), PlayerEvent::PathReady { path: 0 });
+        let actions = p.handle(
+            secs(0.5),
+            PlayerEvent::ChunkFailed {
+                path: 0,
+                reason: ChunkFailReason::Timeout,
+            },
+        );
+        assert!(!actions.contains(&PlayerAction::Failover { path: 0 }));
+        assert_eq!(fetches(&actions).len(), 1, "retry on the same server");
+    }
+
+    #[test]
+    fn path_down_reassigns_hole_to_survivor() {
+        let mut p = player(PlayerConfig::default());
+        let f0 = fetches(&p.handle(secs(0.1), PlayerEvent::PathReady { path: 0 }))[0];
+        let f1 = fetches(&p.handle(secs(0.1), PlayerEvent::PathReady { path: 1 }))[0];
+        // Path 0 dies mid-flight.
+        let _ = p.handle(secs(0.5), PlayerEvent::PathDown { path: 0 });
+        // Path 1 completes; next assignment must fill path 0's hole.
+        let a = p.handle(
+            secs(0.8),
+            PlayerEvent::ChunkComplete {
+                path: 1,
+                index: f1.index,
+                bytes: f1.range.len(),
+                requested_at: secs(0.1),
+                first_byte_at: secs(0.2),
+            },
+        );
+        let fs = fetches(&a);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].path, 1);
+        assert_eq!(fs[0].range.start, f0.range.start, "hole filled first");
+    }
+
+    #[test]
+    fn single_request_prebuffer_mode_issues_one_big_chunk() {
+        let cfg = PlayerConfig::commercial_single_path(ByteSize::kb(64));
+        let mut p = player(cfg.clone());
+        let a = p.handle(secs(0.2), PlayerEvent::PathReady { path: 0 });
+        let fs = fetches(&a);
+        assert_eq!(fs.len(), 1);
+        let expected = (cfg.prebuffer_secs * RATE) as u64;
+        assert_eq!(fs[0].range.len(), expected, "whole pre-buffer in one request");
+    }
+
+    #[test]
+    fn download_pauses_when_buffer_is_full() {
+        let mut p = player(PlayerConfig::default());
+        let f0 = fetches(&p.handle(secs(0.1), PlayerEvent::PathReady { path: 0 }))[0];
+        // Deliver the whole pre-buffer worth in one completion.
+        let prebuffer_bytes = (40.0 * RATE) as u64;
+        // Manually complete a huge chunk: first grow it via ledger by
+        // completing f0 then asking again isn't one event... simulate by
+        // completing f0 with its own size, then feeding a second chunk.
+        let mut t = 1.0;
+        let mut index = f0.index;
+        let mut done = f0.range.len();
+        let mut pending = f0;
+        loop {
+            let actions = p.handle(
+                secs(t),
+                PlayerEvent::ChunkComplete {
+                    path: 0,
+                    index,
+                    bytes: pending.range.len(),
+                    requested_at: secs(t - 0.2),
+                    first_byte_at: secs(0.2),
+                },
+            );
+            if done >= prebuffer_bytes {
+                assert!(
+                    fetches(&actions).is_empty(),
+                    "no fetches once pre-buffer reached (OFF period)"
+                );
+                break;
+            }
+            let fs = fetches(&actions);
+            assert_eq!(fs.len(), 1, "keep fetching until target");
+            pending = fs[0];
+            index = pending.index;
+            done += pending.range.len();
+            t += 0.2;
+        }
+        assert!(p.prebuffer_done());
+        assert_eq!(p.buffer_phase(), BufferPhase::PlayingOff);
+    }
+
+    #[test]
+    fn ticks_resume_downloading_at_low_watermark() {
+        let mut p = player(PlayerConfig::default());
+        let mut pending = fetches(&p.handle(secs(0.0), PlayerEvent::PathReady { path: 0 }));
+        // Complete chunks (capturing the follow-up fetch each completion
+        // triggers) until the pre-buffer target is reached.
+        let mut t = 0.0;
+        while !p.prebuffer_done() {
+            let f = pending.pop().expect("a fetch is always in flight while filling");
+            t += 0.3;
+            let actions = p.handle(
+                secs(t),
+                PlayerEvent::ChunkComplete {
+                    path: 0,
+                    index: f.index,
+                    bytes: f.range.len(),
+                    requested_at: secs(t - 0.3),
+                    first_byte_at: secs(0.1),
+                },
+            );
+            pending.extend(fetches(&actions));
+            assert!(t < 120.0, "prebuffer never completed");
+        }
+        assert!(
+            pending.is_empty(),
+            "no further fetches once the target is reached"
+        );
+        // Now in OFF period; tick far enough ahead to cross the watermark.
+        let wait = 40.0 - 10.0 + 1.0;
+        let actions = p.handle(secs(t + wait), PlayerEvent::Tick);
+        assert!(
+            !fetches(&actions).is_empty(),
+            "ON cycle re-arms the paths: {actions:?}"
+        );
+    }
+}

@@ -1,0 +1,491 @@
+//! Chunk schedulers (§3.3).
+//!
+//! The scheduler's job: pick per-path chunk sizes so that concurrent chunk
+//! transfers on heterogeneous paths finish at about the same time, keeping
+//! out-of-order memory bounded and both paths busy.
+//!
+//! * [`RatioScheduler`] — the baseline: the slower path is pinned at the
+//!   base size B and the faster path gets `w_fast/w_slow · B`, computed from
+//!   the *latest* raw samples only.
+//! * [`DcsaScheduler`] — Alg. 1 "Dynamic chunk size adjustment": the slow
+//!   path doubles its chunk when the current measurement beats its estimate
+//!   by (1+δ) and halves (with a 16 KB floor) when it falls below (1−δ);
+//!   the fast path takes `γ = ⌈ŵ_fast/ŵ_slow⌉` times the slow path's chunk.
+//!   Instantiated with either the EWMA (Eq. 1) or harmonic-mean (Eq. 2)
+//!   estimator.
+//! * [`FixedScheduler`] — constant chunk size (the commercial single-path
+//!   players' 64 KB / 256 KB behaviour).
+
+use crate::config::{GammaRounding, PlayerConfig, SchedulerKind};
+use crate::estimator::{BandwidthEstimator, Ewma, HarmonicInc, HarmonicWindow, LastSample};
+use msim_core::units::ByteSize;
+
+/// Number of paths the player uses ("MSPlayer limits the number of paths to
+/// two", §2).
+pub const NUM_PATHS: usize = 2;
+
+/// A chunk-size scheduler over two paths.
+pub trait ChunkScheduler: Send {
+    /// Feeds a throughput measurement for `path` (bits/s) from a completed
+    /// chunk, and lets the scheduler update that path's chunk size.
+    fn on_sample(&mut self, path: usize, sample_bps: f64);
+    /// The chunk size to request next on `path`.
+    fn chunk_size(&self, path: usize) -> ByteSize;
+    /// Resets per-path state after a failover on `path`.
+    fn reset_path(&mut self, path: usize);
+    /// Scheduler name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Builds the scheduler selected by a config.
+pub fn build_scheduler(cfg: &PlayerConfig) -> Box<dyn ChunkScheduler> {
+    match cfg.scheduler {
+        SchedulerKind::Ratio => Box::new(RatioScheduler::new(cfg)),
+        SchedulerKind::Ewma => Box::new(DcsaScheduler::new(cfg, || {
+            Box::new(Ewma::new(cfg.alpha)) as Box<dyn BandwidthEstimator>
+        })),
+        SchedulerKind::Harmonic => Box::new(DcsaScheduler::new(cfg, || {
+            Box::new(HarmonicInc::new()) as Box<dyn BandwidthEstimator>
+        })),
+        SchedulerKind::HarmonicWindowed => Box::new(DcsaScheduler::new(cfg, || {
+            Box::new(HarmonicWindow::new(20)) as Box<dyn BandwidthEstimator>
+        })),
+        SchedulerKind::Fixed => Box::new(FixedScheduler::new(cfg.initial_chunk)),
+    }
+}
+
+fn clamp(cfg_min: ByteSize, cfg_max: ByteSize, v: f64) -> ByteSize {
+    let v = v.clamp(cfg_min.as_f64(), cfg_max.as_f64());
+    ByteSize::bytes(v.round() as u64)
+}
+
+/// §3.3 baseline scheduler.
+pub struct RatioScheduler {
+    base: ByteSize,
+    min: ByteSize,
+    max: ByteSize,
+    last: [LastSample; NUM_PATHS],
+    sizes: [ByteSize; NUM_PATHS],
+}
+
+impl RatioScheduler {
+    /// Creates the scheduler from a config (uses `initial_chunk` as B).
+    pub fn new(cfg: &PlayerConfig) -> RatioScheduler {
+        RatioScheduler {
+            base: cfg.initial_chunk,
+            min: cfg.min_chunk,
+            max: cfg.max_chunk,
+            last: [LastSample::new(), LastSample::new()],
+            sizes: [cfg.initial_chunk; NUM_PATHS],
+        }
+    }
+}
+
+impl ChunkScheduler for RatioScheduler {
+    fn on_sample(&mut self, path: usize, sample_bps: f64) {
+        self.last[path].update(sample_bps);
+        let (Some(w_this), Some(w_other)) = (
+            self.last[path].estimate_bps(),
+            self.last[1 - path].estimate_bps(),
+        ) else {
+            // Only one path measured so far: stay at B.
+            self.sizes[path] = self.base;
+            return;
+        };
+        if w_this <= w_other {
+            // Slow path: fixed base size.
+            self.sizes[path] = self.base;
+        } else {
+            // Fast path: throughput-ratio multiple of B.
+            let ratio = w_this / w_other;
+            self.sizes[path] = clamp(self.min, self.max, ratio * self.base.as_f64());
+        }
+    }
+
+    fn chunk_size(&self, path: usize) -> ByteSize {
+        self.sizes[path]
+    }
+
+    fn reset_path(&mut self, path: usize) {
+        self.last[path].reset();
+        self.sizes[path] = self.base;
+    }
+
+    fn name(&self) -> &'static str {
+        "Ratio"
+    }
+}
+
+/// Alg. 1: dynamic chunk size adjustment over a pluggable estimator.
+pub struct DcsaScheduler {
+    base: ByteSize,
+    min: ByteSize,
+    max: ByteSize,
+    delta: f64,
+    gamma_rounding: GammaRounding,
+    estimators: [Box<dyn BandwidthEstimator>; NUM_PATHS],
+    sizes: [ByteSize; NUM_PATHS],
+    est_name: &'static str,
+}
+
+impl DcsaScheduler {
+    /// Creates the scheduler with a fresh estimator per path.
+    pub fn new(
+        cfg: &PlayerConfig,
+        mut make_estimator: impl FnMut() -> Box<dyn BandwidthEstimator>,
+    ) -> DcsaScheduler {
+        let e0 = make_estimator();
+        let e1 = make_estimator();
+        let est_name = e0.name();
+        DcsaScheduler {
+            base: cfg.initial_chunk,
+            min: cfg.min_chunk,
+            max: cfg.max_chunk,
+            delta: cfg.delta,
+            gamma_rounding: cfg.gamma_rounding,
+            estimators: [e0, e1],
+            sizes: [cfg.initial_chunk; NUM_PATHS],
+            est_name,
+        }
+    }
+
+    /// Runs Alg. 1 for path `i` given the fresh measurement `w_i`.
+    fn dcsa(&mut self, i: usize, w_i: f64) {
+        // Estimates *before* absorbing the new measurement — Alg. 1 compares
+        // the surprise of w_i against history ŵ_i.
+        let w_hat_i = self.estimators[i].estimate_bps();
+        let w_hat_other = self.estimators[1 - i].estimate_bps();
+        self.estimators[i].update(w_i);
+
+        let (Some(w_hat_i), Some(w_hat_other)) = (w_hat_i, w_hat_other) else {
+            // Line 2–3: estimate not available → initial chunk size.
+            self.sizes[i] = self.base;
+            return;
+        };
+        if w_hat_i < w_hat_other {
+            // Lines 4–11: slow path — double / halve / hold.
+            let s_i = self.sizes[i].as_f64();
+            let next = if w_i > (1.0 + self.delta) * w_hat_i {
+                s_i * 2.0
+            } else if w_i < (1.0 - self.delta) * w_hat_i {
+                (s_i / 2.0).ceil().max(ByteSize::kb(16).as_f64())
+            } else {
+                s_i
+            };
+            self.sizes[i] = clamp(self.min, self.max, next);
+        } else {
+            // Lines 12–14: fast path — γ multiple of the other path's chunk
+            // so both transfers complete at about the same time.
+            let ratio = w_hat_i / w_hat_other;
+            let gamma = match self.gamma_rounding {
+                GammaRounding::Ceil => ratio.ceil(),
+                GammaRounding::Exact => ratio,
+            }
+            .max(1.0);
+            self.sizes[i] = clamp(self.min, self.max, gamma * self.sizes[1 - i].as_f64());
+        }
+    }
+}
+
+impl ChunkScheduler for DcsaScheduler {
+    fn on_sample(&mut self, path: usize, sample_bps: f64) {
+        self.dcsa(path, sample_bps);
+    }
+
+    fn chunk_size(&self, path: usize) -> ByteSize {
+        self.sizes[path]
+    }
+
+    fn reset_path(&mut self, path: usize) {
+        self.estimators[path].reset();
+        self.sizes[path] = self.base;
+    }
+
+    fn name(&self) -> &'static str {
+        self.est_name
+    }
+}
+
+/// Constant chunk size (commercial single-path player emulation).
+pub struct FixedScheduler {
+    size: ByteSize,
+}
+
+impl FixedScheduler {
+    /// Creates the scheduler.
+    pub fn new(size: ByteSize) -> FixedScheduler {
+        FixedScheduler { size }
+    }
+}
+
+impl ChunkScheduler for FixedScheduler {
+    fn on_sample(&mut self, _path: usize, _sample_bps: f64) {}
+
+    fn chunk_size(&self, _path: usize) -> ByteSize {
+        self.size
+    }
+
+    fn reset_path(&mut self, _path: usize) {}
+
+    fn name(&self) -> &'static str {
+        "Fixed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PlayerConfig {
+        PlayerConfig::default() // 256 KB initial, δ = 5 %, α = 0.9
+    }
+
+    fn harmonic(cfg: &PlayerConfig) -> DcsaScheduler {
+        DcsaScheduler::new(cfg, || Box::new(HarmonicInc::new()))
+    }
+
+    #[test]
+    fn starts_at_base_chunk_size() {
+        let cfg = cfg();
+        for kind in [
+            SchedulerKind::Ratio,
+            SchedulerKind::Ewma,
+            SchedulerKind::Harmonic,
+        ] {
+            let s = build_scheduler(&cfg.clone().with_scheduler(kind));
+            assert_eq!(s.chunk_size(0), cfg.initial_chunk, "{}", s.name());
+            assert_eq!(s.chunk_size(1), cfg.initial_chunk, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn ratio_pins_slow_path_and_scales_fast_path() {
+        let cfg = cfg();
+        let mut s = RatioScheduler::new(&cfg);
+        s.on_sample(0, 10.0e6);
+        s.on_sample(1, 5.0e6); // path 1 is slower
+        assert_eq!(s.chunk_size(1), cfg.initial_chunk, "slow path stays at B");
+        s.on_sample(0, 10.0e6); // re-evaluate fast path with both known
+        let expect = cfg.initial_chunk.as_f64() * 2.0;
+        assert_eq!(s.chunk_size(0).as_f64(), expect, "fast path = ratio · B");
+    }
+
+    #[test]
+    fn ratio_respects_max_cap() {
+        let cfg = cfg();
+        let mut s = RatioScheduler::new(&cfg);
+        s.on_sample(1, 0.1e6);
+        s.on_sample(0, 500.0e6); // ratio 5000× would explode
+        assert_eq!(s.chunk_size(0), cfg.max_chunk);
+    }
+
+    #[test]
+    fn dcsa_slow_path_doubles_on_upside_surprise() {
+        let cfg = cfg();
+        let mut s = harmonic(&cfg);
+        // Establish estimates: path 0 fast, path 1 slow.
+        s.on_sample(0, 10.0e6);
+        s.on_sample(1, 5.0e6);
+        let before = s.chunk_size(1);
+        // Measurement 10 % above the estimate (> 1+δ with δ=5 %).
+        s.on_sample(1, 5.5e6 * 1.01);
+        assert_eq!(s.chunk_size(1).as_u64(), before.as_u64() * 2);
+    }
+
+    #[test]
+    fn dcsa_slow_path_halves_on_downside_surprise_with_floor() {
+        let cfg = cfg().with_initial_chunk(ByteSize::kb(32));
+        let mut s = harmonic(&cfg);
+        s.on_sample(0, 10.0e6);
+        s.on_sample(1, 5.0e6);
+        // Two big downside surprises: 32 KB → 16 KB → floor holds at 16 KB.
+        s.on_sample(1, 2.0e6);
+        assert_eq!(s.chunk_size(1), ByteSize::kb(16));
+        s.on_sample(1, 1.0e6);
+        assert_eq!(s.chunk_size(1), ByteSize::kb(16), "16 KB floor (Alg. 1 line 8)");
+    }
+
+    #[test]
+    fn dcsa_slow_path_holds_inside_delta_band() {
+        let cfg = cfg();
+        let mut s = harmonic(&cfg);
+        s.on_sample(0, 10.0e6);
+        s.on_sample(1, 5.0e6);
+        let before = s.chunk_size(1);
+        // Within ±5 % of the estimate: unchanged.
+        s.on_sample(1, 5.05e6);
+        assert_eq!(s.chunk_size(1), before);
+    }
+
+    #[test]
+    fn dcsa_fast_path_takes_gamma_multiple() {
+        let mut cfg = cfg();
+        cfg.gamma_rounding = crate::config::GammaRounding::Ceil;
+        let mut s = harmonic(&cfg);
+        s.on_sample(0, 12.0e6);
+        s.on_sample(1, 5.0e6);
+        // Path 0 completes a chunk: ŵ0/ŵ1 = 12/5 = 2.4 → γ = 3.
+        s.on_sample(0, 12.0e6);
+        let expect = s.chunk_size(1).as_u64() * 3;
+        assert_eq!(s.chunk_size(0).as_u64(), expect);
+    }
+
+    #[test]
+    fn dcsa_fast_path_exact_gamma_matches_ratio() {
+        let cfg = cfg(); // default: GammaRounding::Exact
+        let mut s = harmonic(&cfg);
+        s.on_sample(0, 12.0e6);
+        s.on_sample(1, 5.0e6);
+        // Exact mode: S_fast = 2.4 * S_slow, so both paths' transfers take
+        // the same expected time.
+        s.on_sample(0, 12.0e6);
+        let expect = (s.chunk_size(1).as_f64() * 2.4).round() as u64;
+        assert_eq!(s.chunk_size(0).as_u64(), expect);
+    }
+
+    #[test]
+    fn dcsa_gamma_is_at_least_one() {
+        let cfg = cfg();
+        let mut s = harmonic(&cfg);
+        s.on_sample(0, 5.0e6);
+        s.on_sample(1, 5.0e6);
+        // Equal estimates: path 0 is "fast" by tie-break (not <), γ = 1.
+        s.on_sample(0, 5.0e6);
+        assert_eq!(s.chunk_size(0), s.chunk_size(1));
+    }
+
+    #[test]
+    fn first_sample_keeps_base_until_both_paths_known() {
+        let cfg = cfg();
+        let mut s = harmonic(&cfg);
+        s.on_sample(0, 10.0e6);
+        assert_eq!(s.chunk_size(0), cfg.initial_chunk, "other estimate missing");
+    }
+
+    #[test]
+    fn ewma_variant_chases_recent_samples_more_than_harmonic() {
+        // After a burst outlier, EWMA's estimate moves more; the *next*
+        // genuine sample then looks like a downside surprise to EWMA
+        // (halving) but not to Harmonic. This is the §5.2 mechanism that
+        // makes Harmonic outperform EWMA.
+        let cfg = cfg();
+        let mut ewma = DcsaScheduler::new(&cfg, || Box::new(Ewma::new(cfg.alpha)));
+        let mut harm = harmonic(&cfg);
+        for s in [&mut ewma, &mut harm] {
+            // Establish: path 0 fast (20 Mb/s), path 1 slow (6 Mb/s).
+            s.on_sample(0, 20.0e6);
+            s.on_sample(1, 6.0e6);
+            for _ in 0..20 {
+                s.on_sample(1, 6.0e6);
+            }
+            // Burst outlier on the slow path (6× the truth), then normal.
+            s.on_sample(1, 36.0e6);
+        }
+        let ewma_before = ewma.chunk_size(1);
+        let harm_before = harm.chunk_size(1);
+        ewma.on_sample(1, 6.0e6);
+        harm.on_sample(1, 6.0e6);
+        // EWMA absorbed the outlier into its estimate, so the honest 6 Mb/s
+        // sample reads as a collapse → halve. Harmonic barely moved.
+        assert!(
+            ewma.chunk_size(1) < ewma_before,
+            "EWMA halves after outlier ({} -> {})",
+            ewma_before,
+            ewma.chunk_size(1)
+        );
+        assert_eq!(
+            harm.chunk_size(1),
+            harm_before,
+            "Harmonic holds steady through the outlier"
+        );
+    }
+
+    #[test]
+    fn fixed_scheduler_never_moves() {
+        let mut s = FixedScheduler::new(ByteSize::kb(64));
+        s.on_sample(0, 1.0e6);
+        s.on_sample(1, 99.0e6);
+        assert_eq!(s.chunk_size(0), ByteSize::kb(64));
+        assert_eq!(s.chunk_size(1), ByteSize::kb(64));
+    }
+
+    #[test]
+    fn reset_path_returns_to_base() {
+        let cfg = cfg();
+        let mut s = harmonic(&cfg);
+        s.on_sample(0, 20.0e6);
+        s.on_sample(1, 5.0e6);
+        s.on_sample(0, 20.0e6);
+        assert_ne!(s.chunk_size(0), cfg.initial_chunk);
+        s.reset_path(0);
+        assert_eq!(s.chunk_size(0), cfg.initial_chunk);
+        // Estimator history gone: next sample re-initialises.
+        s.on_sample(0, 1.0e6);
+        assert_eq!(s.chunk_size(0), cfg.initial_chunk);
+    }
+
+    #[test]
+    fn builder_maps_kinds_to_names() {
+        let cfg = cfg();
+        assert_eq!(build_scheduler(&cfg.clone().with_scheduler(SchedulerKind::Ratio)).name(), "Ratio");
+        assert_eq!(build_scheduler(&cfg.clone().with_scheduler(SchedulerKind::Ewma)).name(), "EWMA");
+        assert_eq!(build_scheduler(&cfg.clone().with_scheduler(SchedulerKind::Harmonic)).name(), "Harmonic");
+        assert_eq!(build_scheduler(&cfg.with_scheduler(SchedulerKind::Fixed)).name(), "Fixed");
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Chunk sizes always stay within [min, max] whatever the sample
+            /// stream.
+            #[test]
+            fn sizes_always_bounded(
+                samples in prop::collection::vec((0usize..2, 1.0e5f64..1.0e9), 1..200),
+                kind in prop::sample::select(vec![
+                    SchedulerKind::Ratio,
+                    SchedulerKind::Ewma,
+                    SchedulerKind::Harmonic,
+                ]),
+            ) {
+                let cfg = PlayerConfig::default().with_scheduler(kind);
+                let mut s = build_scheduler(&cfg);
+                for (path, w) in samples {
+                    s.on_sample(path, w);
+                    for p in 0..NUM_PATHS {
+                        let size = s.chunk_size(p);
+                        prop_assert!(size >= cfg.min_chunk, "{} below floor", size);
+                        prop_assert!(size <= cfg.max_chunk, "{} above cap", size);
+                    }
+                }
+            }
+
+            /// DCSA's completion-time matching: with stable estimates, the
+            /// fast path's chunk divided by its bandwidth is within one
+            /// "gamma rounding" of the slow path's chunk time.
+            #[test]
+            fn completion_times_roughly_match(
+                w_slow in 1.0e6f64..10.0e6,
+                ratio in 1.0f64..6.0,
+            ) {
+                let w_fast = w_slow * ratio;
+                let cfg = PlayerConfig::default();
+                let mut s = DcsaScheduler::new(&cfg, || Box::new(HarmonicInc::new()));
+                for _ in 0..12 {
+                    s.on_sample(0, w_fast);
+                    s.on_sample(1, w_slow);
+                }
+                let t_fast = s.chunk_size(0).as_f64() / w_fast;
+                let t_slow = s.chunk_size(1).as_f64() / w_slow;
+                // γ = ceil(ratio) ≤ ratio + 1 ⇒ t_fast/t_slow ∈ [1/(1+1/ratio)... ]
+                // Accept a 2× band, which catches gross mismatches while
+                // allowing the ceil rounding and clamping.
+                prop_assert!(
+                    t_fast / t_slow < 2.0 + 1e-9 && t_slow / t_fast < 2.0 + 1e-9,
+                    "t_fast {t_fast} vs t_slow {t_slow} (ratio {ratio})"
+                );
+            }
+        }
+    }
+}

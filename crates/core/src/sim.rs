@@ -1,0 +1,722 @@
+//! Deterministic simulation driver: runs complete MSPlayer (or single-path
+//! baseline) sessions against the simulated links and the emulated YouTube
+//! service. Every figure in the paper is regenerated through
+//! [`run_session`].
+
+use crate::chunk::ChunkAssignment;
+use crate::config::PlayerConfig;
+use crate::metrics::SessionMetrics;
+use crate::player::{ChunkFailReason, Player, PlayerAction, PlayerEvent};
+use msim_core::event::EventQueue;
+use msim_core::rng::Prng;
+use msim_core::time::{SimDuration, SimTime};
+use msim_core::units::ByteSize;
+use msim_http::tls::TlsTimingModel;
+use msim_http::StatusCode;
+use msim_net::mobility::OutageSchedule;
+use msim_net::profile::PathProfile;
+use msim_net::tcp::{TcpConfig, TcpConnection, TransferOutcome};
+use msim_net::Link;
+use msim_youtube::dns::{DnsResolver, Network};
+use msim_youtube::proxy::{parse_video_info, VideoInfo};
+use msim_youtube::service::{ServiceConfig, YoutubeService, PROXY_DOMAIN};
+use msim_youtube::video::{Video, VideoId};
+use msim_youtube::Catalog;
+use std::net::Ipv4Addr;
+
+/// One path of a scenario.
+#[derive(Clone)]
+pub struct PathSetup {
+    /// Link recipe.
+    pub profile: PathProfile,
+    /// Access network (decides DNS view, proxy, servers, client IP).
+    pub network: Network,
+    /// Optional mobility outages on this path.
+    pub outages: Option<OutageSchedule>,
+}
+
+impl PathSetup {
+    /// A path with no outages.
+    pub fn new(profile: PathProfile, network: Network) -> PathSetup {
+        PathSetup {
+            profile,
+            network,
+            outages: None,
+        }
+    }
+}
+
+/// When the session ends.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StopCondition {
+    /// Stop the moment the pre-buffer target is reached (Figs. 2–4).
+    PrebufferDone,
+    /// Stop after `n` completed refill cycles (Fig. 5, Table 1).
+    AfterRefills(usize),
+    /// Stop when the whole video has been fetched.
+    DownloadComplete,
+    /// Stop at an absolute time.
+    AtTime(SimTime),
+}
+
+/// Scheduled failure of a path's primary video server (robustness tests).
+#[derive(Clone, Copy, Debug)]
+pub struct ServerFailure {
+    /// Which path's primary server fails.
+    pub path: usize,
+    /// Failure window start.
+    pub from: SimTime,
+    /// Failure window end.
+    pub until: SimTime,
+}
+
+/// A complete experiment description.
+#[derive(Clone)]
+pub struct Scenario {
+    /// Master seed; every stochastic component forks from it.
+    pub seed: u64,
+    /// One or two paths (index 0 is WiFi by convention).
+    pub paths: Vec<PathSetup>,
+    /// Service topology (replicas per network, pacing).
+    pub service: ServiceConfig,
+    /// Video length in seconds.
+    pub video_secs: f64,
+    /// Whether the video requires the signature-decipher bootstrap step.
+    pub copyrighted: bool,
+    /// Video format (itag 22 = the paper's HD 720p).
+    pub itag: u32,
+    /// Player configuration.
+    pub player: PlayerConfig,
+    /// Stop condition.
+    pub stop: StopCondition,
+    /// Optional server-failure injection.
+    pub server_failure: Option<ServerFailure>,
+}
+
+impl Scenario {
+    /// The §5 emulated-testbed MSPlayer scenario: WiFi + LTE, two replicas
+    /// per network, no pacing, 10-minute 720p video.
+    pub fn testbed_msplayer(seed: u64, player: PlayerConfig) -> Scenario {
+        Scenario {
+            seed,
+            paths: vec![
+                PathSetup::new(PathProfile::wifi_testbed(), Network::Wifi),
+                PathSetup::new(PathProfile::lte_testbed(), Network::Cellular),
+            ],
+            service: ServiceConfig::default(),
+            video_secs: 600.0,
+            copyrighted: false,
+            itag: 22,
+            player,
+            stop: StopCondition::PrebufferDone,
+            server_failure: None,
+        }
+    }
+
+    /// A single-path testbed scenario over the given profile/network.
+    pub fn testbed_single_path(
+        seed: u64,
+        profile: PathProfile,
+        network: Network,
+        player: PlayerConfig,
+    ) -> Scenario {
+        Scenario {
+            seed,
+            paths: vec![PathSetup::new(profile, network)],
+            service: ServiceConfig::default(),
+            video_secs: 600.0,
+            copyrighted: false,
+            itag: 22,
+            player,
+            stop: StopCondition::PrebufferDone,
+            server_failure: None,
+        }
+    }
+
+    /// The §6 YouTube-service scenario (heavier control plane, paced
+    /// servers, copyrighted video → signature decipher step).
+    pub fn youtube_msplayer(seed: u64, player: PlayerConfig) -> Scenario {
+        Scenario {
+            seed,
+            paths: vec![
+                PathSetup::new(PathProfile::wifi_youtube(), Network::Wifi),
+                PathSetup::new(PathProfile::lte_youtube(), Network::Cellular),
+            ],
+            service: youtube_service_config(),
+            video_secs: 600.0,
+            copyrighted: true,
+            itag: 22,
+            player,
+            stop: StopCondition::PrebufferDone,
+            server_failure: None,
+        }
+    }
+
+    /// Single-path variant of [`Scenario::youtube_msplayer`].
+    pub fn youtube_single_path(
+        seed: u64,
+        profile: PathProfile,
+        network: Network,
+        player: PlayerConfig,
+    ) -> Scenario {
+        Scenario {
+            paths: vec![PathSetup::new(profile, network)],
+            ..Scenario::youtube_msplayer(seed, player)
+        }
+    }
+}
+
+/// The YouTube-service topology: generous Trickle-style pacing (the
+/// production servers burst the pre-buffer then pace well above the
+/// encoding rate; cf. the paper's \[12\]).
+pub fn youtube_service_config() -> ServiceConfig {
+    ServiceConfig {
+        servers_per_network: 3,
+        pacing: Some(msim_youtube::server::PacePolicy {
+            burst: ByteSize::mb(6),
+            rate: msim_core::units::BitRate::mbps(5.0),
+        }),
+    }
+}
+
+/// Hard ceiling on simulated session length (guards against pathological
+/// configurations looping forever).
+const MAX_SESSION: SimDuration = SimDuration::from_secs(4 * 3600);
+
+#[derive(Debug)]
+enum Ev {
+    PathReady(usize),
+    ChunkDone {
+        path: usize,
+        index: u64,
+        bytes: u64,
+        requested_at: SimTime,
+        first_byte_at: SimTime,
+    },
+    ChunkError {
+        path: usize,
+        reason: ChunkFailReason,
+        /// The link itself is in an outage: the player should treat the
+        /// whole path as down rather than retrying on it.
+        link_down: bool,
+    },
+    PathRecover(usize),
+    Tick,
+}
+
+struct PathRt {
+    client_ip: String,
+    tcp_config: TcpConfig,
+    resolver: DnsResolver,
+    info: Option<VideoInfo>,
+    signature: Option<String>,
+    /// Preference-ordered server domains from the JSON.
+    domains: Vec<String>,
+    current_server: usize,
+    server_addr: Ipv4Addr,
+    /// Set while the path is down; the instant it may come back.
+    down: bool,
+}
+
+fn client_ip_for(network: Network) -> &'static str {
+    match network {
+        Network::Wifi => "203.0.113.7",
+        Network::Cellular => "198.51.100.23",
+    }
+}
+
+fn map_status(status: StatusCode) -> ChunkFailReason {
+    if status == StatusCode::FORBIDDEN {
+        ChunkFailReason::Forbidden
+    } else {
+        ChunkFailReason::ServerError
+    }
+}
+
+/// Runs one scenario to completion and returns its metrics.
+pub fn run_session(scenario: &Scenario) -> SessionMetrics {
+    assert!(
+        !scenario.paths.is_empty() && scenario.paths.len() <= 2,
+        "scenarios use one or two paths"
+    );
+    let mut rng = Prng::new(scenario.seed);
+
+    // --- Video & service -------------------------------------------------
+    let video_id = VideoId::new("qjT4T2gU9sM").expect("static id");
+    let mut catalog = Catalog::new();
+    catalog.add(Video::new(
+        video_id,
+        "Experiment Stream",
+        "umass-nets",
+        SimDuration::from_secs_f64(scenario.video_secs),
+        scenario.copyrighted,
+    ));
+    let mut service = YoutubeService::new(
+        scenario.seed ^ 0x5e21_11ce,
+        catalog,
+        scenario.service.clone(),
+    );
+    let format = msim_youtube::by_itag(scenario.itag).expect("known itag");
+    let bytes_per_sec = format.bytes_per_sec();
+    let total_bytes = format
+        .size_for(SimDuration::from_secs_f64(scenario.video_secs))
+        .as_u64();
+
+    // --- Links & connections ---------------------------------------------
+    let n_paths = scenario.paths.len();
+    let mut links: Vec<Link> = Vec::with_capacity(n_paths);
+    for setup in &scenario.paths {
+        let mut link = setup.profile.build(&mut rng);
+        if let Some(outages) = &setup.outages {
+            link = link.with_outages(outages.clone());
+        }
+        links.push(link);
+    }
+    let mut conns: Vec<Option<TcpConnection>> = (0..n_paths).map(|_| None).collect();
+    let tls = TlsTimingModel::default();
+
+    // --- Bootstrap each path (§3.2 + Fig. 1 + footnote 1) ----------------
+    let mut paths: Vec<PathRt> = Vec::with_capacity(n_paths);
+    let mut ready_times: Vec<SimTime> = Vec::with_capacity(n_paths);
+    for (i, setup) in scenario.paths.iter().enumerate() {
+        let network = setup.network;
+        let client_ip = client_ip_for(network).to_string();
+        let mut resolver = DnsResolver::new(network);
+        let rtt = links[i].base_rtt();
+        let t0 = SimTime::ZERO;
+
+        // DNS for the proxy.
+        let (_proxy_ans, dns_done) = resolver
+            .resolve(service.zone(), PROXY_DOMAIN, t0, rtt)
+            .expect("proxy resolvable");
+        // HTTPS + OAuth + JSON (ψ + OAuth).
+        let proxy_latency = service.proxy(network).json_ready_after(rtt);
+        let json_done = dns_done + proxy_latency;
+        let json = service
+            .watch_request(network, video_id, &client_ip, json_done)
+            .expect("watch request succeeds");
+        let info = parse_video_info(&json).expect("well-formed JSON");
+        // JSON decode on the client.
+        let mut t = json_done + SimDuration::from_millis(2);
+        // Copyrighted: fetch the video web page carrying the decoder
+        // (footnote 1) — a real ~300 KB transfer on a fresh connection to
+        // the proxy, expensive on the high-RTT path — then decipher.
+        let signature = if let Some(enc) = &info.enciphered_sig {
+            let mut page_conn = TcpConnection::new(setup.profile.tcp_config());
+            let page_start = page_conn.connect(&mut links[i], t + tls.eta(rtt).saturating_sub(rtt));
+            let page = page_conn.request(&mut links[i], page_start, ByteSize::kb(300));
+            t = page.completed_at + SimDuration::from_millis(3);
+            Some(service.decoder_page().decipher(enc))
+        } else {
+            None
+        };
+        // DNS for the chosen video server.
+        let domains = info.server_domains.clone();
+        let (ans, dns2_done) = resolver
+            .resolve(service.zone(), &domains[0], t, rtt)
+            .expect("server resolvable");
+        let server_addr = ans.addrs[0];
+        // HTTPS to the video server: η minus the TCP round the connection
+        // model charges itself.
+        let tls_extra = tls.eta(rtt).saturating_sub(rtt);
+        let connect_start = dns2_done + tls_extra;
+        let mut conn = TcpConnection::new(setup.profile.tcp_config());
+        if let Some(pace) = service.server(server_addr).and_then(|s| s.pace()) {
+            conn = conn.with_server_pacing(pace.burst, pace.rate);
+        }
+        let ready = conn.connect(&mut links[i], connect_start);
+        conns[i] = Some(conn);
+        if let Some(s) = service.server_mut(server_addr) {
+            s.begin_session();
+        }
+        ready_times.push(ready);
+        paths.push(PathRt {
+            client_ip,
+            tcp_config: setup.profile.tcp_config(),
+            resolver,
+            info: Some(info),
+            signature,
+            domains,
+            current_server: 0,
+            server_addr,
+            down: false,
+        });
+    }
+
+    // Optional server-failure injection on a path's primary server.
+    if let Some(failure) = scenario.server_failure {
+        if failure.path < paths.len() {
+            let addr = paths[failure.path].server_addr;
+            service.fail_server(addr, failure.from, failure.until);
+        }
+    }
+
+    // --- Player & event loop ----------------------------------------------
+    let mut player = Player::new(
+        scenario.player.clone(),
+        total_bytes,
+        bytes_per_sec,
+        SimTime::ZERO,
+    );
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    if scenario.player.head_start {
+        for (i, &ready) in ready_times.iter().enumerate() {
+            queue.push(ready, Ev::PathReady(i));
+        }
+    } else {
+        // All paths wait for the slowest bootstrap (ablation mode).
+        let latest = ready_times.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        for i in 0..n_paths {
+            queue.push(latest, Ev::PathReady(i));
+        }
+    }
+
+    let deadline = SimTime::ZERO + MAX_SESSION;
+    while let Some((now, ev)) = queue.pop() {
+        if now > deadline {
+            break;
+        }
+        let player_event = match ev {
+            Ev::PathReady(p) => PlayerEvent::PathReady { path: p },
+            Ev::ChunkDone {
+                path,
+                index,
+                bytes,
+                requested_at,
+                first_byte_at,
+            } => PlayerEvent::ChunkComplete {
+                path,
+                index,
+                bytes,
+                requested_at,
+                first_byte_at,
+            },
+            Ev::ChunkError {
+                path,
+                reason,
+                link_down,
+            } => {
+                if link_down {
+                    PlayerEvent::PathDown { path }
+                } else {
+                    PlayerEvent::ChunkFailed { path, reason }
+                }
+            }
+            Ev::PathRecover(p) => {
+                paths[p].down = false;
+                PlayerEvent::PathRestored { path: p }
+            }
+            Ev::Tick => PlayerEvent::Tick,
+        };
+        let actions = player.handle(now, player_event);
+        for action in actions {
+            match action {
+                PlayerAction::Fetch { assignment } => {
+                    dispatch_fetch(
+                        &mut service,
+                        &mut links,
+                        &mut conns,
+                        &mut paths,
+                        &mut queue,
+                        video_id,
+                        now,
+                        assignment,
+                    );
+                }
+                PlayerAction::Failover { path } => {
+                    dispatch_failover(
+                        &mut service, &mut links, &mut conns, &mut paths, &mut queue, &tls, now,
+                        path,
+                    );
+                }
+                PlayerAction::ScheduleTick { at } => {
+                    queue.push(at.max(now), Ev::Tick);
+                }
+            }
+        }
+        // Stop conditions.
+        let stop = match scenario.stop {
+            StopCondition::PrebufferDone => player.prebuffer_done(),
+            StopCondition::AfterRefills(n) => player.refill_count() >= n,
+            StopCondition::DownloadComplete => player.download_complete(),
+            StopCondition::AtTime(t) => now >= t,
+        };
+        if stop {
+            return player.into_metrics(now);
+        }
+    }
+    let end = queue.now();
+    player.into_metrics(end)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch_fetch(
+    service: &mut YoutubeService,
+    links: &mut [Link],
+    conns: &mut [Option<TcpConnection>],
+    paths: &mut [PathRt],
+    queue: &mut EventQueue<Ev>,
+    video_id: VideoId,
+    now: SimTime,
+    assignment: ChunkAssignment,
+) {
+    let p = assignment.path;
+    let rt = &mut paths[p];
+    let info = rt.info.as_ref().expect("fetch before bootstrap");
+    // Server-side admission (token, signature, failure windows).
+    let admission = service.check_range_request(
+        rt.server_addr,
+        now,
+        video_id,
+        &rt.client_ip,
+        &info.token,
+        rt.signature.as_deref(),
+    );
+    if let Err(status) = admission {
+        // The error response costs one round trip.
+        let rtt = links[p].base_rtt();
+        queue.push(
+            now + rtt,
+            Ev::ChunkError {
+                path: p,
+                reason: map_status(status),
+                link_down: false,
+            },
+        );
+        return;
+    }
+    let conn = conns[p].as_mut().expect("connection established");
+    let result = conn.request(&mut links[p], now, ByteSize::bytes(assignment.range.len()));
+    match result.outcome {
+        TransferOutcome::Complete => {
+            queue.push(
+                result.completed_at,
+                Ev::ChunkDone {
+                    path: p,
+                    index: assignment.index,
+                    bytes: result.delivered.as_u64(),
+                    requested_at: now,
+                    first_byte_at: result.first_byte_at,
+                },
+            );
+        }
+        TransferOutcome::TimedOut => {
+            // Link trouble. If the link is in an outage the whole path goes
+            // down (the player reassigns the hole to the surviving path)
+            // and recovers only after the outage ends plus a reconnect
+            // handshake; a transient timeout is just a failed chunk.
+            let down_until = links[p].next_up_after(result.completed_at);
+            queue.push(
+                result.completed_at,
+                Ev::ChunkError {
+                    path: p,
+                    reason: ChunkFailReason::Timeout,
+                    link_down: down_until.is_some(),
+                },
+            );
+            if let Some(up_at) = down_until {
+                rt.down = true;
+                let rtt = links[p].base_rtt();
+                let reconnect = TlsTimingModel::default().eta(rtt);
+                queue.push(up_at + reconnect, Ev::PathRecover(p));
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch_failover(
+    service: &mut YoutubeService,
+    links: &mut [Link],
+    conns: &mut [Option<TcpConnection>],
+    paths: &mut [PathRt],
+    queue: &mut EventQueue<Ev>,
+    tls: &TlsTimingModel,
+    now: SimTime,
+    path: usize,
+) {
+    let rt = &mut paths[path];
+    if let Some(s) = service.server_mut(rt.server_addr) {
+        s.end_session();
+    }
+    // Next replica in this network's list (§2: "If a server in a network
+    // fails or is overloaded, MSPlayer switches to another server in that
+    // network and resumes video streaming").
+    rt.current_server = (rt.current_server + 1) % rt.domains.len();
+    let domain = rt.domains[rt.current_server].clone();
+    let rtt = links[path].base_rtt();
+    let (ans, dns_done) = rt
+        .resolver
+        .resolve(service.zone(), &domain, now, rtt)
+        .expect("replica resolvable");
+    rt.server_addr = ans.addrs[0];
+    if let Some(s) = service.server_mut(rt.server_addr) {
+        s.begin_session();
+    }
+    // Fresh HTTPS connection to the new replica.
+    let tls_extra = tls.eta(rtt).saturating_sub(rtt);
+    let mut conn = TcpConnection::new(rt.tcp_config.clone());
+    if let Some(pace) = service.server(rt.server_addr).and_then(|s| s.pace()) {
+        conn = conn.with_server_pacing(pace.burst, pace.rate);
+    }
+    let ready = conn.connect(&mut links[path], dns_done + tls_extra);
+    conns[path] = Some(conn);
+    queue.push(ready, Ev::PathRecover(path));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerKind;
+
+    fn quick_player() -> PlayerConfig {
+        PlayerConfig::msplayer().with_prebuffer_secs(10.0)
+    }
+
+    #[test]
+    fn msplayer_prebuffer_session_completes() {
+        let m = run_session(&Scenario::testbed_msplayer(1, quick_player()));
+        let t = m.prebuffer_time().expect("prebuffer reached");
+        assert!(t.as_secs_f64() > 0.5, "takes real time: {t}");
+        assert!(t.as_secs_f64() < 30.0, "finishes promptly: {t}");
+        // Both paths carried traffic.
+        assert!(m.chunk_count(0) > 0, "wifi chunks");
+        assert!(m.chunk_count(1) > 0, "lte chunks");
+    }
+
+    #[test]
+    fn sessions_are_deterministic() {
+        let a = run_session(&Scenario::testbed_msplayer(42, quick_player()));
+        let b = run_session(&Scenario::testbed_msplayer(42, quick_player()));
+        assert_eq!(a.prebuffer_done_at, b.prebuffer_done_at);
+        assert_eq!(a.chunks.len(), b.chunks.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_session(&Scenario::testbed_msplayer(1, quick_player()));
+        let b = run_session(&Scenario::testbed_msplayer(2, quick_player()));
+        assert_ne!(a.prebuffer_done_at, b.prebuffer_done_at);
+    }
+
+    #[test]
+    fn msplayer_beats_single_path_on_average() {
+        let runs = 8;
+        let mut ms = 0.0;
+        let mut wifi = 0.0;
+        for seed in 0..runs {
+            ms += run_session(&Scenario::testbed_msplayer(seed, quick_player()))
+                .prebuffer_time()
+                .unwrap()
+                .as_secs_f64();
+            wifi += run_session(&Scenario::testbed_single_path(
+                seed,
+                PathProfile::wifi_testbed(),
+                Network::Wifi,
+                quick_player(),
+            ))
+            .prebuffer_time()
+            .unwrap()
+            .as_secs_f64();
+        }
+        assert!(
+            ms < wifi,
+            "MSPlayer mean {:.2}s should beat WiFi-only {:.2}s",
+            ms / runs as f64,
+            wifi / runs as f64
+        );
+    }
+
+    #[test]
+    fn wifi_head_start_is_positive() {
+        let m = run_session(&Scenario::testbed_msplayer(5, quick_player()));
+        let hs = m.observed_head_start().expect("both paths delivered");
+        assert!(
+            hs.as_secs_f64() > 0.05,
+            "LTE starts later than WiFi: {hs}"
+        );
+        // WiFi delivered its first byte first.
+        assert!(m.first_byte_at[0].unwrap() < m.first_byte_at[1].unwrap());
+    }
+
+    #[test]
+    fn steady_state_reaches_refills() {
+        let cfg = quick_player();
+        let mut scenario = Scenario::testbed_msplayer(3, cfg);
+        scenario.stop = StopCondition::AfterRefills(2);
+        let m = run_session(&scenario);
+        assert!(m.refills.len() >= 2, "refills: {}", m.refills.len());
+        for r in &m.refills {
+            assert!(r.duration().as_secs_f64() > 0.0);
+            assert!(r.bytes > 0);
+        }
+    }
+
+    #[test]
+    fn server_failure_triggers_failover_and_session_survives() {
+        let mut scenario = Scenario::testbed_msplayer(9, quick_player());
+        scenario.stop = StopCondition::AfterRefills(1);
+        scenario.server_failure = Some(ServerFailure {
+            path: 0,
+            from: SimTime::from_secs(2),
+            until: SimTime::from_secs(60),
+        });
+        let m = run_session(&scenario);
+        assert!(m.failovers[0] >= 1, "failover happened");
+        assert!(!m.refills.is_empty(), "streaming continued after failover");
+    }
+
+    #[test]
+    fn wifi_outage_mid_stream_recovers_on_lte() {
+        let mut scenario = Scenario::testbed_msplayer(11, quick_player());
+        // WiFi dies from t=3s to t=20s.
+        scenario.paths[0].outages = Some(OutageSchedule::from_windows(vec![(
+            SimTime::from_secs(3),
+            SimTime::from_secs(20),
+        )]));
+        scenario.stop = StopCondition::AfterRefills(1);
+        let m = run_session(&scenario);
+        // The session still made progress (LTE carried it).
+        assert!(m.prebuffer_done_at.is_some(), "prebuffer still completed");
+        assert!(m.chunk_count(1) > 0);
+    }
+
+    #[test]
+    fn copyrighted_video_still_streams() {
+        let mut scenario = Scenario::testbed_msplayer(13, quick_player());
+        scenario.copyrighted = true;
+        let m = run_session(&scenario);
+        assert!(m.prebuffer_done_at.is_some());
+    }
+
+    #[test]
+    fn single_path_fixed_chunks_works() {
+        let m = run_session(&Scenario::testbed_single_path(
+            17,
+            PathProfile::wifi_testbed(),
+            Network::Wifi,
+            PlayerConfig::commercial_single_path(ByteSize::kb(256)).with_prebuffer_secs(10.0),
+        ));
+        assert!(m.prebuffer_done_at.is_some());
+        assert_eq!(m.chunk_count(1), 0, "no second path");
+    }
+
+    #[test]
+    fn ratio_vs_harmonic_schedulers_both_run() {
+        for kind in [SchedulerKind::Ratio, SchedulerKind::Ewma, SchedulerKind::Harmonic] {
+            let cfg = quick_player().with_scheduler(kind);
+            let m = run_session(&Scenario::testbed_msplayer(21, cfg));
+            assert!(m.prebuffer_done_at.is_some(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn youtube_profile_sessions_run() {
+        let m = run_session(&Scenario::youtube_msplayer(23, quick_player()));
+        assert!(m.prebuffer_done_at.is_some());
+        let wifi_frac = m
+            .traffic_fraction(0, crate::metrics::TrafficPhase::PreBuffering)
+            .unwrap();
+        assert!(wifi_frac > 0.3, "wifi carries substantial traffic: {wifi_frac}");
+    }
+}

@@ -1,0 +1,224 @@
+//! HTTP byte ranges (RFC 7233), the mechanism MSPlayer uses for all video
+//! chunk retrieval ("MSPlayer relies on range requests to retrieve video
+//! chunks over different paths", §2).
+
+use std::fmt;
+
+/// An inclusive byte range `start..=end`, as in `Range: bytes=start-end`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ByteRange {
+    /// First byte offset (inclusive).
+    pub start: u64,
+    /// Last byte offset (inclusive).
+    pub end: u64,
+}
+
+/// Errors from parsing `Range` / `Content-Range` headers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RangeError {
+    /// The header did not match `bytes=<start>-<end>`.
+    Malformed(String),
+    /// `start > end`.
+    Inverted,
+    /// Range lies outside the resource (HTTP 416).
+    Unsatisfiable {
+        /// Resource length the range was checked against.
+        resource_len: u64,
+    },
+}
+
+impl fmt::Display for RangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RangeError::Malformed(s) => write!(f, "malformed range header: {s:?}"),
+            RangeError::Inverted => write!(f, "range start exceeds end"),
+            RangeError::Unsatisfiable { resource_len } => {
+                write!(f, "range not satisfiable for resource of {resource_len} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RangeError {}
+
+impl ByteRange {
+    /// Builds a range from inclusive offsets.
+    pub fn new(start: u64, end: u64) -> Result<ByteRange, RangeError> {
+        if start > end {
+            return Err(RangeError::Inverted);
+        }
+        Ok(ByteRange { start, end })
+    }
+
+    /// Builds the range covering `len` bytes starting at `offset`.
+    /// `len` must be non-zero.
+    pub fn from_offset_len(offset: u64, len: u64) -> ByteRange {
+        assert!(len > 0, "zero-length range");
+        ByteRange {
+            start: offset,
+            end: offset + len - 1,
+        }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> u64 {
+        self.end - self.start + 1
+    }
+
+    /// Ranges are always non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Renders the request-header value: `bytes=start-end`.
+    pub fn to_header_value(&self) -> String {
+        format!("bytes={}-{}", self.start, self.end)
+    }
+
+    /// Parses a request-header value of the exact form `bytes=start-end`
+    /// (the only form MSPlayer and the emulated YouTube servers use; open
+    /// ended and suffix forms are rejected as unsupported).
+    pub fn parse_header_value(value: &str) -> Result<ByteRange, RangeError> {
+        let rest = value
+            .trim()
+            .strip_prefix("bytes=")
+            .ok_or_else(|| RangeError::Malformed(value.to_string()))?;
+        let (start_s, end_s) = rest
+            .split_once('-')
+            .ok_or_else(|| RangeError::Malformed(value.to_string()))?;
+        let start: u64 = start_s
+            .parse()
+            .map_err(|_| RangeError::Malformed(value.to_string()))?;
+        let end: u64 = end_s
+            .parse()
+            .map_err(|_| RangeError::Malformed(value.to_string()))?;
+        ByteRange::new(start, end)
+    }
+
+    /// Clamps the range to a resource of `resource_len` bytes, per RFC 7233
+    /// (an `end` past EOF is truncated; a `start` past EOF is 416).
+    pub fn clamp_to(&self, resource_len: u64) -> Result<ByteRange, RangeError> {
+        if self.start >= resource_len {
+            return Err(RangeError::Unsatisfiable { resource_len });
+        }
+        Ok(ByteRange {
+            start: self.start,
+            end: self.end.min(resource_len - 1),
+        })
+    }
+
+    /// Renders the `Content-Range` response value:
+    /// `bytes start-end/total`.
+    pub fn to_content_range(&self, total: u64) -> String {
+        format!("bytes {}-{}/{}", self.start, self.end, total)
+    }
+
+    /// Parses a `Content-Range: bytes start-end/total` value; returns the
+    /// range and the total resource size.
+    pub fn parse_content_range(value: &str) -> Result<(ByteRange, u64), RangeError> {
+        let rest = value
+            .trim()
+            .strip_prefix("bytes ")
+            .ok_or_else(|| RangeError::Malformed(value.to_string()))?;
+        let (range_s, total_s) = rest
+            .split_once('/')
+            .ok_or_else(|| RangeError::Malformed(value.to_string()))?;
+        let (start_s, end_s) = range_s
+            .split_once('-')
+            .ok_or_else(|| RangeError::Malformed(value.to_string()))?;
+        let start: u64 = start_s
+            .parse()
+            .map_err(|_| RangeError::Malformed(value.to_string()))?;
+        let end: u64 = end_s
+            .parse()
+            .map_err(|_| RangeError::Malformed(value.to_string()))?;
+        let total: u64 = total_s
+            .parse()
+            .map_err(|_| RangeError::Malformed(value.to_string()))?;
+        Ok((ByteRange::new(start, end)?, total))
+    }
+
+    /// The range immediately after this one, of length `len`.
+    pub fn next(&self, len: u64) -> ByteRange {
+        ByteRange::from_offset_len(self.end + 1, len)
+    }
+}
+
+impl fmt::Debug for ByteRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bytes[{}..={}]", self.start, self.end)
+    }
+}
+
+impl fmt::Display for ByteRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_len() {
+        let r = ByteRange::new(0, 65_535).unwrap();
+        assert_eq!(r.len(), 65_536);
+        assert!(!r.is_empty());
+        let r2 = ByteRange::from_offset_len(1024, 256 * 1024);
+        assert_eq!(r2.start, 1024);
+        assert_eq!(r2.end, 1024 + 256 * 1024 - 1);
+    }
+
+    #[test]
+    fn inverted_rejected() {
+        assert_eq!(ByteRange::new(10, 5), Err(RangeError::Inverted));
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let r = ByteRange::from_offset_len(65_536, 65_536);
+        let h = r.to_header_value();
+        assert_eq!(h, "bytes=65536-131071");
+        assert_eq!(ByteRange::parse_header_value(&h).unwrap(), r);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "bytes=", "bytes=1-", "bytes=-5", "octets=1-2", "bytes=a-b", "bytes=5"] {
+            assert!(
+                ByteRange::parse_header_value(bad).is_err(),
+                "should reject {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn clamp_truncates_or_416s() {
+        let r = ByteRange::new(100, 1_000).unwrap();
+        let clamped = r.clamp_to(500).unwrap();
+        assert_eq!(clamped.end, 499);
+        assert_eq!(
+            r.clamp_to(50),
+            Err(RangeError::Unsatisfiable { resource_len: 50 })
+        );
+    }
+
+    #[test]
+    fn content_range_roundtrip() {
+        let r = ByteRange::new(0, 1023).unwrap();
+        let v = r.to_content_range(4096);
+        assert_eq!(v, "bytes 0-1023/4096");
+        let (back, total) = ByteRange::parse_content_range(&v).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(total, 4096);
+    }
+
+    #[test]
+    fn next_range_is_contiguous() {
+        let r = ByteRange::from_offset_len(0, 1000);
+        let n = r.next(500);
+        assert_eq!(n.start, 1000);
+        assert_eq!(n.len(), 500);
+    }
+}

@@ -1,0 +1,215 @@
+//! The JSON value tree.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON document node.
+///
+/// Objects preserve no insertion order (keys are kept sorted in a
+/// `BTreeMap`), which makes serialisation deterministic — important because
+/// emulated YouTube JSON responses are part of seeded, replayable sessions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as f64, like browsers do).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Builds an empty object.
+    pub fn object() -> Value {
+        Value::Object(BTreeMap::new())
+    }
+
+    /// Fluent insert for building objects; panics when `self` is not an
+    /// object (builder misuse, a programming error).
+    pub fn with(mut self, key: &str, value: impl Into<Value>) -> Value {
+        match &mut self {
+            Value::Object(map) => {
+                map.insert(key.to_string(), value.into());
+            }
+            other => panic!("Value::with on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Member lookup: `v.get("formats")`. Returns `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Array index lookup. Returns `None` on non-arrays and out of range.
+    pub fn at(&self, index: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as u64 if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Number(n)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(n: u32) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Value {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::ser::to_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let v = Value::object()
+            .with("title", "Some Video")
+            .with("views", 1234u64)
+            .with("hd", true)
+            .with("tags", vec!["a", "b"]);
+        assert_eq!(v.get("title").and_then(Value::as_str), Some("Some Video"));
+        assert_eq!(v.get("views").and_then(Value::as_u64), Some(1234));
+        assert_eq!(v.get("hd").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            v.get("tags").and_then(|t| t.at(1)).and_then(Value::as_str),
+            Some("b")
+        );
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn as_u64_rejects_fractions_and_negatives() {
+        assert_eq!(Value::Number(1.5).as_u64(), None);
+        assert_eq!(Value::Number(-2.0).as_u64(), None);
+        assert_eq!(Value::Number(7.0).as_u64(), Some(7));
+    }
+
+    #[test]
+    fn type_mismatches_return_none() {
+        let v = Value::String("x".into());
+        assert!(v.as_f64().is_none());
+        assert!(v.as_bool().is_none());
+        assert!(v.as_array().is_none());
+        assert!(v.as_object().is_none());
+        assert!(v.get("k").is_none());
+        assert!(v.at(0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn with_on_non_object_panics() {
+        Value::Null.with("k", 1u64);
+    }
+}

@@ -1,0 +1,174 @@
+//! A simulated access link: time-varying available bandwidth, RTT with
+//! jitter, random loss, and optional outage windows (mobility).
+
+use crate::mobility::OutageSchedule;
+use msim_core::process::Process;
+use msim_core::rng::Prng;
+use msim_core::time::{SimDuration, SimTime};
+use msim_core::units::BitRate;
+
+/// One directional access link (WiFi or LTE attachment).
+///
+/// The available-bandwidth process is sampled per TCP round; RTT jitter is
+/// drawn per round from a log-normal multiplier so that latency spikes are
+/// occasionally large but never negative.
+pub struct Link {
+    /// Human-readable name, e.g. `"wifi"`.
+    pub name: String,
+    rate_process: Box<dyn Process>,
+    base_rtt: SimDuration,
+    rtt_jitter_frac: f64,
+    random_loss_per_round: f64,
+    outages: Option<OutageSchedule>,
+    rng: Prng,
+}
+
+impl Link {
+    /// Assembles a link from its parts. `rate_process` yields Mbit/s.
+    pub fn new(
+        name: impl Into<String>,
+        rate_process: Box<dyn Process>,
+        base_rtt: SimDuration,
+        rtt_jitter_frac: f64,
+        random_loss_per_round: f64,
+        rng: Prng,
+    ) -> Self {
+        Link {
+            name: name.into(),
+            rate_process,
+            base_rtt,
+            rtt_jitter_frac,
+            random_loss_per_round,
+            outages: None,
+            rng,
+        }
+    }
+
+    /// Attaches an outage schedule (mobility: the link is dead inside
+    /// outage windows).
+    pub fn with_outages(mut self, outages: OutageSchedule) -> Self {
+        self.outages = Some(outages);
+        self
+    }
+
+    /// Available bandwidth at time `t`; zero while in an outage.
+    pub fn rate_at(&mut self, t: SimTime) -> BitRate {
+        if let Some(o) = &self.outages {
+            if !o.is_up(t) {
+                return BitRate::ZERO;
+            }
+        }
+        BitRate::mbps(self.rate_process.value_at(t).max(0.01))
+    }
+
+    /// Round-trip time at time `t` (base RTT × log-normal jitter).
+    pub fn rtt_at(&mut self, _t: SimTime) -> SimDuration {
+        if self.rtt_jitter_frac <= 0.0 {
+            return self.base_rtt;
+        }
+        // Log-normal with sigma chosen so that std/mean ≈ jitter_frac.
+        let sigma = self.rtt_jitter_frac;
+        let mult = self.rng.lognormal(-0.5 * sigma * sigma, sigma);
+        self.base_rtt.mul_f64(mult.max(0.3))
+    }
+
+    /// The configured base (unjittered) RTT.
+    pub fn base_rtt(&self) -> SimDuration {
+        self.base_rtt
+    }
+
+    /// Draws whether a random (non-congestion) loss hits this round.
+    pub fn random_loss(&mut self) -> bool {
+        self.rng.chance(self.random_loss_per_round)
+    }
+
+    /// True when the link is usable at `t` (no outage in progress).
+    pub fn is_up(&self, t: SimTime) -> bool {
+        self.outages.as_ref().is_none_or(|o| o.is_up(t))
+    }
+
+    /// Next instant at or after `t` when the link comes back up, if it is
+    /// currently down. Returns `None` when already up.
+    pub fn next_up_after(&self, t: SimTime) -> Option<SimTime> {
+        let o = self.outages.as_ref()?;
+        if o.is_up(t) {
+            None
+        } else {
+            Some(o.next_up(t))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msim_core::process::Constant;
+
+    fn test_link(jitter: f64) -> Link {
+        Link::new(
+            "test",
+            Box::new(Constant(10.0)),
+            SimDuration::from_millis(50),
+            jitter,
+            0.0,
+            Prng::new(1),
+        )
+    }
+
+    #[test]
+    fn rate_comes_from_process() {
+        let mut l = test_link(0.0);
+        assert!((l.rate_at(SimTime::ZERO).as_mbps() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rtt_without_jitter_is_base() {
+        let mut l = test_link(0.0);
+        assert_eq!(l.rtt_at(SimTime::ZERO), SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn rtt_jitter_has_right_scale() {
+        let mut l = test_link(0.2);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| l.rtt_at(SimTime::ZERO).as_secs_f64())
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 0.050).abs() < 0.002, "mean rtt {mean}");
+        assert!(samples.iter().all(|&s| s > 0.0), "rtt always positive");
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        let cv = var.sqrt() / mean;
+        assert!((0.1..0.35).contains(&cv), "cv {cv}");
+    }
+
+    #[test]
+    fn outage_zeroes_rate() {
+        use crate::mobility::OutageSchedule;
+        let sched = OutageSchedule::from_windows(vec![(
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+        )]);
+        let mut l = test_link(0.0).with_outages(sched);
+        assert!(l.rate_at(SimTime::from_secs(5)).as_mbps() > 0.0);
+        assert_eq!(l.rate_at(SimTime::from_secs(15)).as_bps(), 0.0);
+        assert!(!l.is_up(SimTime::from_secs(15)));
+        assert_eq!(l.next_up_after(SimTime::from_secs(15)), Some(SimTime::from_secs(20)));
+        assert_eq!(l.next_up_after(SimTime::from_secs(25)), None);
+        assert!(l.rate_at(SimTime::from_secs(25)).as_mbps() > 0.0);
+    }
+
+    #[test]
+    fn random_loss_frequency() {
+        let mut l = Link::new(
+            "lossy",
+            Box::new(Constant(10.0)),
+            SimDuration::from_millis(50),
+            0.0,
+            0.1,
+            Prng::new(7),
+        );
+        let hits = (0..10_000).filter(|_| l.random_loss()).count();
+        assert!((800..1200).contains(&hits), "hits {hits}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Middlebox interference model.
+//!
+//! §1/§2 of the paper motivate a client-side, legacy-TCP design with the
+//! observation that MPTCP "suffers significantly from network middleboxes as
+//! they very often strip away unknown options", and that in the authors'
+//! measurements *two out of three major US cellular carriers* did not allow
+//! MPTCP traffic through the default HTTP port 80. This module models that
+//! negotiation so an example/bench can demonstrate the motivation: MPTCP
+//! falls back to single-path through such carriers while MSPlayer's plain
+//! HTTP range requests are untouched.
+
+/// What a middlebox on the path does to TCP traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Middlebox {
+    /// Strips TCP options it does not recognise (kills `MP_CAPABLE`).
+    pub strips_unknown_options: bool,
+    /// Rewrites sequence numbers (kills `DSS` mappings mid-connection).
+    pub rewrites_sequence_numbers: bool,
+    /// Drops SYNs carrying unknown options entirely (worst case).
+    pub drops_unknown_option_syn: bool,
+}
+
+impl Middlebox {
+    /// A fully transparent middlebox.
+    pub fn transparent() -> Self {
+        Middlebox {
+            strips_unknown_options: false,
+            rewrites_sequence_numbers: false,
+            drops_unknown_option_syn: false,
+        }
+    }
+
+    /// A NAT/proxy that strips unknown TCP options (the common case the
+    /// paper measured on cellular port 80).
+    pub fn option_stripper() -> Self {
+        Middlebox {
+            strips_unknown_options: true,
+            rewrites_sequence_numbers: false,
+            drops_unknown_option_syn: false,
+        }
+    }
+
+    /// A stateful firewall that drops SYNs with unknown options.
+    pub fn syn_dropper() -> Self {
+        Middlebox {
+            strips_unknown_options: false,
+            rewrites_sequence_numbers: false,
+            drops_unknown_option_syn: true,
+        }
+    }
+}
+
+/// Result of attempting an MPTCP connection through a chain of middleboxes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MptcpNegotiation {
+    /// MP_CAPABLE survived: multipath works end to end.
+    MultipathOk,
+    /// Options were stripped: the connection silently falls back to
+    /// single-path TCP (RFC 6824 fallback).
+    FellBackToSinglePath,
+    /// SYN was dropped: the connection cannot even establish until the
+    /// client retries without options.
+    ConnectBlockedThenFallback,
+}
+
+/// Simulates RFC 6824 connection establishment through `path`.
+pub fn negotiate_mptcp(path: &[Middlebox]) -> MptcpNegotiation {
+    if path.iter().any(|m| m.drops_unknown_option_syn) {
+        return MptcpNegotiation::ConnectBlockedThenFallback;
+    }
+    if path
+        .iter()
+        .any(|m| m.strips_unknown_options || m.rewrites_sequence_numbers)
+    {
+        return MptcpNegotiation::FellBackToSinglePath;
+    }
+    MptcpNegotiation::MultipathOk
+}
+
+/// Plain HTTP/TCP (what MSPlayer uses) through the same chain: always fine —
+/// every hop speaks legacy TCP by construction.
+pub fn negotiate_plain_tcp(_path: &[Middlebox]) -> bool {
+    true
+}
+
+/// The paper's measurement: of the three major US carriers, two interfere
+/// with MPTCP on port 80. Returns the per-carrier negotiation outcomes for
+/// the demo bench/example.
+pub fn us_carrier_survey() -> Vec<(&'static str, MptcpNegotiation)> {
+    let carrier_a = [Middlebox::option_stripper()];
+    let carrier_b = [Middlebox::syn_dropper()];
+    let carrier_c = [Middlebox::transparent()];
+    vec![
+        ("carrier-A", negotiate_mptcp(&carrier_a)),
+        ("carrier-B", negotiate_mptcp(&carrier_b)),
+        ("carrier-C", negotiate_mptcp(&carrier_c)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transparent_path_allows_multipath() {
+        let path = [Middlebox::transparent(), Middlebox::transparent()];
+        assert_eq!(negotiate_mptcp(&path), MptcpNegotiation::MultipathOk);
+    }
+
+    #[test]
+    fn one_stripper_forces_fallback() {
+        let path = [Middlebox::transparent(), Middlebox::option_stripper()];
+        assert_eq!(
+            negotiate_mptcp(&path),
+            MptcpNegotiation::FellBackToSinglePath
+        );
+    }
+
+    #[test]
+    fn syn_dropper_dominates() {
+        let path = [Middlebox::option_stripper(), Middlebox::syn_dropper()];
+        assert_eq!(
+            negotiate_mptcp(&path),
+            MptcpNegotiation::ConnectBlockedThenFallback
+        );
+    }
+
+    #[test]
+    fn plain_tcp_always_passes() {
+        let path = [
+            Middlebox::option_stripper(),
+            Middlebox::syn_dropper(),
+            Middlebox::transparent(),
+        ];
+        assert!(negotiate_plain_tcp(&path));
+    }
+
+    #[test]
+    fn survey_matches_paper_two_of_three() {
+        let survey = us_carrier_survey();
+        let broken = survey
+            .iter()
+            .filter(|(_, r)| *r != MptcpNegotiation::MultipathOk)
+            .count();
+        assert_eq!(broken, 2, "two of three carriers break MPTCP (§2)");
+    }
+}

@@ -1,0 +1,180 @@
+//! Mobility modelling: link outage schedules.
+//!
+//! The paper motivates MSPlayer with connections that "break down
+//! temporarily due to mobility" (§1) and reports (without figures) that
+//! MSPlayer sustains playback through such events. An [`OutageSchedule`] is
+//! a set of half-open `[start, end)` windows during which a link is dead;
+//! it can be fixed (scripted scenarios) or generated from a two-state
+//! renewal process (random walking-around-town connectivity).
+
+use msim_core::rng::Prng;
+use msim_core::time::{SimDuration, SimTime};
+
+/// A set of non-overlapping, sorted outage windows.
+#[derive(Clone, Debug)]
+pub struct OutageSchedule {
+    /// Sorted, disjoint `[start, end)` windows.
+    windows: Vec<(SimTime, SimTime)>,
+}
+
+impl OutageSchedule {
+    /// Builds a schedule from explicit windows; they are sorted and must be
+    /// disjoint and well-formed.
+    pub fn from_windows(mut windows: Vec<(SimTime, SimTime)>) -> Self {
+        windows.sort_by_key(|w| w.0);
+        for w in &windows {
+            assert!(w.0 < w.1, "empty or inverted outage window {w:?}");
+        }
+        for pair in windows.windows(2) {
+            assert!(pair[0].1 <= pair[1].0, "overlapping outage windows");
+        }
+        OutageSchedule { windows }
+    }
+
+    /// Generates a schedule from a renewal process over `[0, horizon)`:
+    /// up-times are exponential with mean `mean_up`, outages exponential
+    /// with mean `mean_down`.
+    pub fn generate(
+        horizon: SimTime,
+        mean_up: SimDuration,
+        mean_down: SimDuration,
+        rng: &mut Prng,
+    ) -> Self {
+        let mut windows = Vec::new();
+        let mut t = SimTime::ZERO;
+        loop {
+            let up = SimDuration::from_secs_f64(rng.exponential(mean_up.as_secs_f64()));
+            let start = t + up;
+            if start >= horizon {
+                break;
+            }
+            let down = SimDuration::from_secs_f64(
+                rng.exponential(mean_down.as_secs_f64()).max(0.001),
+            );
+            let end = start + down;
+            windows.push((start, end.min(horizon)));
+            t = end;
+            if t >= horizon {
+                break;
+            }
+        }
+        OutageSchedule { windows }
+    }
+
+    /// A schedule with no outages.
+    pub fn none() -> Self {
+        OutageSchedule { windows: Vec::new() }
+    }
+
+    /// True when the link is up at `t`.
+    pub fn is_up(&self, t: SimTime) -> bool {
+        !self.windows.iter().any(|&(s, e)| s <= t && t < e)
+    }
+
+    /// The first instant at or after `t` when the link is up. If `t` is
+    /// inside an outage this is that window's end, otherwise `t` itself.
+    pub fn next_up(&self, t: SimTime) -> SimTime {
+        for &(s, e) in &self.windows {
+            if s <= t && t < e {
+                return e;
+            }
+        }
+        t
+    }
+
+    /// The start of the first outage at or after `t`, if any.
+    pub fn next_outage_after(&self, t: SimTime) -> Option<SimTime> {
+        self.windows.iter().map(|&(s, _)| s).find(|&s| s >= t)
+    }
+
+    /// The scheduled windows.
+    pub fn windows(&self) -> &[(SimTime, SimTime)] {
+        &self.windows
+    }
+
+    /// Total downtime inside `[0, horizon)`.
+    pub fn downtime(&self, horizon: SimTime) -> SimDuration {
+        self.windows
+            .iter()
+            .map(|&(s, e)| e.min(horizon).saturating_since(s.min(horizon)))
+            .fold(SimDuration::ZERO, |acc, d| acc + d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_windows_queries() {
+        let s = OutageSchedule::from_windows(vec![
+            (SimTime::from_secs(10), SimTime::from_secs(12)),
+            (SimTime::from_secs(20), SimTime::from_secs(25)),
+        ]);
+        assert!(s.is_up(SimTime::from_secs(5)));
+        assert!(!s.is_up(SimTime::from_secs(11)));
+        assert!(s.is_up(SimTime::from_secs(12)), "end is exclusive");
+        assert_eq!(s.next_up(SimTime::from_secs(11)), SimTime::from_secs(12));
+        assert_eq!(s.next_up(SimTime::from_secs(13)), SimTime::from_secs(13));
+        assert_eq!(
+            s.next_outage_after(SimTime::from_secs(13)),
+            Some(SimTime::from_secs(20))
+        );
+        assert_eq!(s.next_outage_after(SimTime::from_secs(30)), None);
+    }
+
+    #[test]
+    fn windows_are_sorted_on_construction() {
+        let s = OutageSchedule::from_windows(vec![
+            (SimTime::from_secs(20), SimTime::from_secs(25)),
+            (SimTime::from_secs(10), SimTime::from_secs(12)),
+        ]);
+        assert_eq!(s.windows()[0].0, SimTime::from_secs(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlapping_windows_rejected() {
+        OutageSchedule::from_windows(vec![
+            (SimTime::from_secs(10), SimTime::from_secs(15)),
+            (SimTime::from_secs(14), SimTime::from_secs(20)),
+        ]);
+    }
+
+    #[test]
+    fn downtime_accounting() {
+        let s = OutageSchedule::from_windows(vec![
+            (SimTime::from_secs(10), SimTime::from_secs(12)),
+            (SimTime::from_secs(20), SimTime::from_secs(25)),
+        ]);
+        assert_eq!(s.downtime(SimTime::from_secs(100)), SimDuration::from_secs(7));
+        // Horizon truncates the second window.
+        assert_eq!(s.downtime(SimTime::from_secs(22)), SimDuration::from_secs(4));
+    }
+
+    #[test]
+    fn generated_schedule_respects_horizon_and_means() {
+        let mut rng = Prng::new(3);
+        let horizon = SimTime::from_secs(10_000);
+        let s = OutageSchedule::generate(
+            horizon,
+            SimDuration::from_secs(100),
+            SimDuration::from_secs(10),
+            &mut rng,
+        );
+        assert!(!s.windows().is_empty());
+        for &(start, end) in s.windows() {
+            assert!(start < end && end <= horizon);
+        }
+        // Duty cycle ≈ 100/110 up.
+        let down_frac = s.downtime(horizon).as_secs_f64() / horizon.as_secs_f64();
+        assert!((0.04..0.16).contains(&down_frac), "down fraction {down_frac}");
+    }
+
+    #[test]
+    fn none_schedule_always_up() {
+        let s = OutageSchedule::none();
+        assert!(s.is_up(SimTime::from_secs(1_000_000)));
+        assert_eq!(s.downtime(SimTime::from_secs(1000)), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,532 @@
+//! Round-based TCP connection model.
+//!
+//! Every HTTP range request in the paper's system rides a persistent legacy
+//! TCP connection. What determines a chunk's download time is:
+//!
+//! * one RTT of request latency ("packets start to arrive one RTT after the
+//!   request is sent", §2),
+//! * the congestion window ramp (slow start from IW10, CUBIC afterwards),
+//! * the available bandwidth of the access link during the transfer,
+//! * losses (queue overflow at the bottleneck + random wireless loss),
+//! * slow-start restart after ON/OFF idle periods (RFC 2861), which matters
+//!   in the re-buffering phase of Figs. 3/5.
+//!
+//! The model simulates these per RTT "round": each round delivers
+//! `min(cwnd, BDP)` bytes, cwnd grows per slow start / CUBIC, and losses cut
+//! it. This fluid approximation is standard for transfer-time studies and is
+//! deterministic given the link's RNG streams.
+
+use crate::cubic::Cubic;
+use crate::link::Link;
+use msim_core::time::{SimDuration, SimTime};
+use msim_core::units::{BitRate, ByteSize};
+
+/// Tunables for the TCP model (defaults match a Linux 3.5-era stack).
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    /// Maximum segment size in bytes.
+    pub mss: u32,
+    /// Initial congestion window in packets (IW10 per RFC 6928).
+    pub initial_cwnd_pkts: f64,
+    /// Initial slow-start threshold in packets (effectively unbounded).
+    pub initial_ssthresh_pkts: f64,
+    /// Bottleneck queue capacity as a multiple of the instantaneous BDP.
+    pub queue_bdp_factor: f64,
+    /// Restart threshold: idle longer than this triggers slow-start restart
+    /// (RFC 2861). `None` disables restart.
+    pub idle_restart: Option<SimDuration>,
+    /// Window the connection restarts with after idle, in packets.
+    pub restart_cwnd_pkts: f64,
+    /// Receiver window cap in bytes (e.g. default 3 MB auto-tuning ceiling).
+    pub rwnd_bytes: u64,
+    /// Abort a transfer after the link has been dead for this long
+    /// (models application-level timeout on top of TCP retransmission).
+    pub dead_link_timeout: SimDuration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1448,
+            initial_cwnd_pkts: 10.0,
+            initial_ssthresh_pkts: f64::INFINITY,
+            queue_bdp_factor: 1.0,
+            idle_restart: Some(SimDuration::from_millis(1_000)),
+            restart_cwnd_pkts: 10.0,
+            rwnd_bytes: 3 * 1024 * 1024,
+            dead_link_timeout: SimDuration::from_secs(4),
+        }
+    }
+}
+
+/// Why a transfer ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferOutcome {
+    /// All requested bytes delivered.
+    Complete,
+    /// The link stayed dead past [`TcpConfig::dead_link_timeout`].
+    TimedOut,
+}
+
+/// The result of simulating one request/response transfer.
+#[derive(Clone, Debug)]
+pub struct TransferResult {
+    /// When the request was issued.
+    pub requested_at: SimTime,
+    /// When the first response byte arrived.
+    pub first_byte_at: SimTime,
+    /// When the last byte arrived (or the abort time on timeout).
+    pub completed_at: SimTime,
+    /// Bytes actually delivered.
+    pub delivered: ByteSize,
+    /// Number of TCP rounds the transfer took.
+    pub rounds: u32,
+    /// Congestion events experienced.
+    pub losses: u32,
+    /// How it ended.
+    pub outcome: TransferOutcome,
+}
+
+impl TransferResult {
+    /// Transfer duration as seen by the application: request to last byte.
+    pub fn duration(&self) -> SimDuration {
+        self.completed_at.saturating_since(self.requested_at)
+    }
+
+    /// Application-level goodput over the whole request.
+    pub fn goodput(&self) -> BitRate {
+        BitRate::from_transfer(self.delivered, self.duration())
+    }
+}
+
+/// Connection state that persists across requests on a keep-alive
+/// connection: the congestion window survives between chunks, subject to
+/// slow-start restart after idleness.
+pub struct TcpConnection {
+    cfg: TcpConfig,
+    cubic: Cubic,
+    cwnd_pkts: f64,
+    ssthresh_pkts: f64,
+    /// Set once the 3WHS is done.
+    established_at: Option<SimTime>,
+    /// Completion time of the most recent activity.
+    last_activity: SimTime,
+    /// Total bytes delivered on this connection (for server pacing models).
+    total_delivered: u64,
+    /// Optional server-side pacing: (burst bytes sent unpaced, pace rate).
+    pace: Option<(u64, BitRate)>,
+}
+
+impl TcpConnection {
+    /// Creates an unconnected connection with the given config.
+    pub fn new(cfg: TcpConfig) -> Self {
+        let cwnd = cfg.initial_cwnd_pkts;
+        let ssthresh = cfg.initial_ssthresh_pkts;
+        TcpConnection {
+            cfg,
+            cubic: Cubic::default(),
+            cwnd_pkts: cwnd,
+            ssthresh_pkts: ssthresh,
+            established_at: None,
+            last_activity: SimTime::ZERO,
+            total_delivered: 0,
+            pace: None,
+        }
+    }
+
+    /// Applies a server-side pacing policy: the first `burst` bytes of the
+    /// connection are sent at link speed, the remainder paced at `rate`.
+    /// Models YouTube's Trickle-style rate limiting (cited as \[12\] in the
+    /// paper).
+    pub fn with_server_pacing(mut self, burst: ByteSize, rate: BitRate) -> Self {
+        self.pace = Some((burst.as_u64(), rate));
+        self
+    }
+
+    /// True once the handshake completed.
+    pub fn is_established(&self) -> bool {
+        self.established_at.is_some()
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd_bytes(&self) -> f64 {
+        self.cwnd_pkts * self.cfg.mss as f64
+    }
+
+    /// Performs the TCP three-way handshake starting at `now`. The
+    /// connection can carry a request after one RTT. Returns the instant at
+    /// which the first request may be sent.
+    pub fn connect(&mut self, link: &mut Link, now: SimTime) -> SimTime {
+        let rtt = link.rtt_at(now);
+        let done = now + rtt;
+        self.established_at = Some(done);
+        self.last_activity = done;
+        done
+    }
+
+    /// Simulates a request for `size` bytes issued at `now` (which must be
+    /// at or after the handshake completion). Returns the transfer record.
+    ///
+    /// The request consumes one upstream half-RTT; the first data packet
+    /// arrives a full RTT after the request. Subsequent rounds deliver
+    /// `min(cwnd, avail·RTT, rwnd, pace·RTT)` bytes each.
+    pub fn request(&mut self, link: &mut Link, now: SimTime, size: ByteSize) -> TransferResult {
+        assert!(
+            self.established_at.is_some(),
+            "request() before connect()"
+        );
+        debug_assert!(size.as_u64() > 0, "zero-byte request");
+
+        // Slow-start restart after idle (RFC 2861).
+        if let Some(idle_limit) = self.cfg.idle_restart {
+            let idle = now.saturating_since(self.last_activity);
+            if idle > idle_limit {
+                self.cwnd_pkts = self.cfg.restart_cwnd_pkts;
+                self.ssthresh_pkts = self.cfg.initial_ssthresh_pkts;
+                self.cubic = Cubic::default();
+            }
+        }
+
+        let mss = self.cfg.mss as f64;
+        let mut t = now;
+        let mut remaining = size.as_u64() as f64;
+        let mut rounds: u32 = 0;
+        let mut losses: u32 = 0;
+        let mut first_byte_at: Option<SimTime> = None;
+        let mut dead_for = SimDuration::ZERO;
+
+        // The request packet travels for one RTT before data flows.
+        let req_rtt = link.rtt_at(t);
+        t += req_rtt;
+        first_byte_at.get_or_insert(t);
+
+        while remaining > 0.0 {
+            rounds += 1;
+            let rtt = link.rtt_at(t);
+            let rate = self.effective_rate(link, t);
+
+            if rate.as_bps() <= 0.0 {
+                // Link dead: TCP retransmits silently; the application aborts
+                // after `dead_link_timeout`.
+                if let Some(up_at) = link.next_up_after(t) {
+                    let wait = up_at.saturating_since(t);
+                    dead_for += wait;
+                    if dead_for >= self.cfg.dead_link_timeout {
+                        let abort_at = t + self.cfg.dead_link_timeout.saturating_sub(
+                            dead_for.saturating_sub(wait),
+                        );
+                        return self.finish(
+                            now,
+                            first_byte_at.unwrap_or(abort_at),
+                            abort_at,
+                            size.as_u64() as f64 - remaining,
+                            rounds,
+                            losses,
+                            TransferOutcome::TimedOut,
+                        );
+                    }
+                    t = up_at;
+                    // Loss of a full window during the outage.
+                    self.cwnd_pkts = self.cubic.on_loss(self.cwnd_pkts);
+                    self.ssthresh_pkts = self.cwnd_pkts;
+                    losses += 1;
+                    continue;
+                }
+                // No scheduled recovery: abort at the timeout.
+                let abort_at = t + self.cfg.dead_link_timeout;
+                return self.finish(
+                    now,
+                    first_byte_at.unwrap_or(abort_at),
+                    abort_at,
+                    size.as_u64() as f64 - remaining,
+                    rounds,
+                    losses,
+                    TransferOutcome::TimedOut,
+                );
+            }
+            dead_for = SimDuration::ZERO;
+
+            let bdp_bytes = rate.bytes_per_sec() * rtt.as_secs_f64();
+            let queue_bytes = bdp_bytes * self.cfg.queue_bdp_factor;
+            let cwnd_bytes = self.cwnd_pkts * mss;
+
+            // Bytes the sender puts on the wire this round.
+            let offered = cwnd_bytes
+                .min(self.cfg.rwnd_bytes as f64)
+                .min(remaining.max(mss));
+            // Bytes that fit through the bottleneck in one RTT.
+            let deliverable = bdp_bytes.max(mss);
+            let sent = offered.min(remaining);
+            let delivered = sent.min(deliverable);
+
+            // Congestion: window exceeded path capacity + queue.
+            let overflow = offered > bdp_bytes + queue_bytes;
+            let random_loss = link.random_loss();
+
+            // Time for this round: a full RTT, or the fraction needed to
+            // finish the remaining bytes at the deliverable rate.
+            let round_time = if delivered >= remaining {
+                // Last round: time to drain `remaining` at the line rate,
+                // at most one RTT.
+                let frac = (remaining / deliverable).min(1.0);
+                rtt.mul_f64(frac.max(0.05))
+            } else {
+                rtt
+            };
+
+            remaining -= delivered;
+            self.total_delivered += delivered as u64;
+            t += round_time;
+
+            if remaining <= 0.0 {
+                break;
+            }
+
+            // Window evolution for the next round.
+            if overflow || random_loss {
+                losses += 1;
+                self.cwnd_pkts = self.cubic.on_loss(self.cwnd_pkts);
+                self.ssthresh_pkts = self.cwnd_pkts;
+            } else if self.cwnd_pkts < self.ssthresh_pkts {
+                // Slow start: cwnd grows by one MSS per ACKed segment.
+                self.cwnd_pkts += delivered / mss;
+                if self.cwnd_pkts >= self.ssthresh_pkts {
+                    self.cwnd_pkts = self.ssthresh_pkts;
+                }
+            } else {
+                self.cwnd_pkts =
+                    self.cubic
+                        .advance(rtt.as_secs_f64(), rtt.as_secs_f64(), self.cwnd_pkts);
+            }
+            // The window never usefully exceeds what the receiver offers.
+            let rwnd_pkts = self.cfg.rwnd_bytes as f64 / mss;
+            self.cwnd_pkts = self.cwnd_pkts.min(rwnd_pkts).max(2.0);
+        }
+
+        self.finish(
+            now,
+            first_byte_at.expect("first byte recorded"),
+            t,
+            size.as_u64() as f64,
+            rounds,
+            losses,
+            TransferOutcome::Complete,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &mut self,
+        requested_at: SimTime,
+        first_byte_at: SimTime,
+        completed_at: SimTime,
+        delivered: f64,
+        rounds: u32,
+        losses: u32,
+        outcome: TransferOutcome,
+    ) -> TransferResult {
+        self.last_activity = completed_at;
+        TransferResult {
+            requested_at,
+            first_byte_at,
+            completed_at,
+            delivered: ByteSize::bytes(delivered.max(0.0) as u64),
+            rounds,
+            losses,
+            outcome,
+        }
+    }
+
+    /// Link rate, additionally capped by server pacing once past the burst.
+    fn effective_rate(&self, link: &mut Link, t: SimTime) -> BitRate {
+        let link_rate = link.rate_at(t);
+        match self.pace {
+            Some((burst, pace_rate)) if self.total_delivered >= burst => {
+                BitRate::bps(link_rate.as_bps().min(pace_rate.as_bps()))
+            }
+            _ => link_rate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msim_core::process::Constant;
+    use msim_core::rng::Prng;
+
+    fn quiet_link(mbps: f64, rtt_ms: u64) -> Link {
+        Link::new(
+            "test",
+            Box::new(Constant(mbps)),
+            SimDuration::from_millis(rtt_ms),
+            0.0,
+            0.0,
+            Prng::new(1),
+        )
+    }
+
+    fn connected(cfg: TcpConfig, link: &mut Link) -> (TcpConnection, SimTime) {
+        let mut conn = TcpConnection::new(cfg);
+        let ready = conn.connect(link, SimTime::ZERO);
+        (conn, ready)
+    }
+
+    #[test]
+    fn handshake_costs_one_rtt() {
+        let mut link = quiet_link(10.0, 50);
+        let (_conn, ready) = connected(TcpConfig::default(), &mut link);
+        assert_eq!(ready, SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn small_transfer_is_request_rtt_plus_drain() {
+        let mut link = quiet_link(8.0, 50);
+        let (mut conn, ready) = connected(TcpConfig::default(), &mut link);
+        // 10 KB fits in the initial window (10 * 1448 = 14 480 B).
+        let res = conn.request(&mut link, ready, ByteSize::kb(10));
+        assert_eq!(res.outcome, TransferOutcome::Complete);
+        assert_eq!(res.delivered, ByteSize::kb(10));
+        // 1 RTT for the request + partial round: strictly more than 1 RTT,
+        // at most 2 RTT.
+        let dur = res.duration().as_secs_f64();
+        assert!((0.05..0.10).contains(&dur), "duration {dur}");
+    }
+
+    #[test]
+    fn slow_start_doubles_per_round() {
+        let mut link = quiet_link(1000.0, 100); // fat link so BDP is never binding
+        let (mut conn, ready) = connected(TcpConfig::default(), &mut link);
+        // 1 MB at IW10: rounds deliver ~10, 20, 40, 80, ... packets.
+        let res = conn.request(&mut link, ready, ByteSize::mb(1));
+        assert_eq!(res.outcome, TransferOutcome::Complete);
+        // 1 MB = 724 packets → IW10 doubling: 10+20+40+80+160+320 = 630 in 6
+        // rounds, finishing inside round 7. Request RTT adds 1.
+        assert!((6..=8).contains(&res.rounds), "rounds {}", res.rounds);
+    }
+
+    #[test]
+    fn throughput_approaches_link_rate_for_large_transfers() {
+        let mut link = quiet_link(10.0, 30);
+        let (mut conn, ready) = connected(TcpConfig::default(), &mut link);
+        let res = conn.request(&mut link, ready, ByteSize::mb(8));
+        let goodput = res.goodput().as_mbps();
+        assert!(
+            (7.0..=10.0).contains(&goodput),
+            "goodput {goodput} Mbit/s on a 10 Mbit/s link"
+        );
+    }
+
+    #[test]
+    fn persistent_connection_keeps_cwnd_across_requests() {
+        let mut link = quiet_link(50.0, 40);
+        let (mut conn, ready) = connected(TcpConfig::default(), &mut link);
+        let first = conn.request(&mut link, ready, ByteSize::mb(1));
+        let warm_cwnd = conn.cwnd_bytes();
+        // Second request right away: no idle restart, warm window.
+        let second = conn.request(&mut link, first.completed_at, ByteSize::mb(1));
+        assert!(second.duration() < first.duration(), "warm transfer faster");
+        // The warm window may take congestion cuts, but stays well above IW10.
+        assert!(conn.cwnd_bytes() >= warm_cwnd * 0.3);
+        assert!(conn.cwnd_bytes() > 10.0 * 1448.0 * 2.0);
+    }
+
+    #[test]
+    fn idle_restart_resets_window() {
+        let mut link = quiet_link(50.0, 40);
+        let (mut conn, ready) = connected(TcpConfig::default(), &mut link);
+        let first = conn.request(&mut link, ready, ByteSize::mb(1));
+        let warm = conn.cwnd_bytes();
+        assert!(warm > 10.0 * 1448.0);
+        // Wait 5 s (ON/OFF gap) then request again: window restarts.
+        let later = first.completed_at + SimDuration::from_secs(5);
+        let second = conn.request(&mut link, later, ByteSize::mb(1));
+        assert!(second.rounds >= first.rounds.saturating_sub(1), "cold again");
+    }
+
+    #[test]
+    fn random_loss_slows_transfers() {
+        let mk = |loss: f64, seed: u64| {
+            let mut link = Link::new(
+                "l",
+                Box::new(Constant(20.0)),
+                SimDuration::from_millis(40),
+                0.0,
+                loss,
+                Prng::new(seed),
+            );
+            let (mut conn, ready) = connected(TcpConfig::default(), &mut link);
+            conn.request(&mut link, ready, ByteSize::mb(4)).duration()
+        };
+        let clean: f64 = (0..5).map(|s| mk(0.0, s).as_secs_f64()).sum();
+        let lossy: f64 = (0..5).map(|s| mk(0.10, s).as_secs_f64()).sum();
+        assert!(lossy > clean, "lossy {lossy} vs clean {clean}");
+    }
+
+    #[test]
+    fn server_pacing_caps_goodput_after_burst() {
+        let mut link = quiet_link(50.0, 30);
+        let mut conn =
+            TcpConnection::new(TcpConfig::default()).with_server_pacing(
+                ByteSize::kb(256),
+                BitRate::mbps(2.0),
+            );
+        let ready = conn.connect(&mut link, SimTime::ZERO);
+        let res = conn.request(&mut link, ready, ByteSize::mb(4));
+        let goodput = res.goodput().as_mbps();
+        assert!(goodput < 3.0, "paced goodput {goodput}");
+    }
+
+    #[test]
+    fn outage_times_out_transfer() {
+        use crate::mobility::OutageSchedule;
+        let sched =
+            OutageSchedule::from_windows(vec![(SimTime::from_millis(100), SimTime::from_secs(60))]);
+        let mut link = quiet_link(10.0, 50).with_outages(sched);
+        let (mut conn, ready) = connected(TcpConfig::default(), &mut link);
+        let res = conn.request(&mut link, ready, ByteSize::mb(8));
+        assert_eq!(res.outcome, TransferOutcome::TimedOut);
+        assert!(res.delivered < ByteSize::mb(8));
+        // Abort happens within timeout + a couple of rounds.
+        assert!(res.completed_at < SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn short_outage_recovers_and_completes() {
+        use crate::mobility::OutageSchedule;
+        let sched = OutageSchedule::from_windows(vec![(
+            SimTime::from_millis(200),
+            SimTime::from_millis(700),
+        )]);
+        let mut link = quiet_link(10.0, 50).with_outages(sched);
+        let (mut conn, ready) = connected(TcpConfig::default(), &mut link);
+        let res = conn.request(&mut link, ready, ByteSize::mb(2));
+        assert_eq!(res.outcome, TransferOutcome::Complete);
+        assert!(res.losses >= 1, "outage registered as loss");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut link = Link::new(
+                "l",
+                Box::new(Constant(12.0)),
+                SimDuration::from_millis(35),
+                0.15,
+                0.01,
+                Prng::new(99),
+            );
+            let (mut conn, ready) = connected(TcpConfig::default(), &mut link);
+            conn.request(&mut link, ready, ByteSize::mb(3)).completed_at
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "before connect")]
+    fn request_requires_connect() {
+        let mut link = quiet_link(10.0, 50);
+        let mut conn = TcpConnection::new(TcpConfig::default());
+        conn.request(&mut link, SimTime::ZERO, ByteSize::kb(1));
+    }
+}

@@ -1,0 +1,236 @@
+//! Deterministic discrete-event queue.
+//!
+//! [`EventQueue`] is a priority queue keyed by [`SimTime`] with a strict
+//! total order: events scheduled for the same instant pop in the order they
+//! were pushed (FIFO tie-break via a monotone sequence number). This makes
+//! every simulation replayable bit-for-bit from a seed.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A handle identifying a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-heap of timestamped events.
+///
+/// ```
+/// use msim_core::event::EventQueue;
+/// use msim_core::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2), "second");
+/// q.push(SimTime::from_secs(1), "first");
+/// assert_eq!(q.pop().unwrap().1, "first");
+/// assert_eq!(q.pop().unwrap().1, "second");
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    next_id: u64,
+    cancelled: std::collections::HashSet<EventId>,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            next_id: 0,
+            cancelled: std::collections::HashSet::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated instant: the timestamp of the most recently
+    /// popped event (zero before any pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` at instant `at`.
+    ///
+    /// Scheduling in the past is a logic error in the caller; in debug builds
+    /// it panics, in release builds the event fires "now" (at the current
+    /// clock) to keep the clock monotone.
+    pub fn push(&mut self, at: SimTime, payload: E) -> EventId {
+        debug_assert!(
+            at >= self.now,
+            "scheduled event in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, id, payload });
+        id
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending (it will be silently skipped when its time comes).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_id {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Removes and returns the earliest pending event, advancing the clock to
+    /// its timestamp. Returns `None` when the queue is drained.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            self.now = entry.at;
+            return Some((entry.at, entry.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let entry = self.heap.pop().expect("peeked entry vanished");
+                self.cancelled.remove(&entry.id);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) events still pending.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), 3u32);
+        q.push(SimTime::from_secs(1), 1u32);
+        q.push(SimTime::from_secs(2), 2u32);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100u32 {
+            q.push(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_secs(1), "a");
+        let _b = q.push(SimTime::from_secs(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(EventId(999)), "unknown id is not cancellable");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_does_not_advance_clock() {
+        let mut q = EventQueue::new();
+        let id = q.push(SimTime::from_secs(1), ());
+        q.push(SimTime::from_secs(2), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.cancel(id);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), 1u32);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, 1);
+        q.push(t + SimDuration::from_secs(1), 2u32);
+        q.push(t + SimDuration::from_millis(500), 3u32);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "scheduled event in the past")]
+    fn scheduling_in_the_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(2), ());
+        q.pop();
+        q.push(SimTime::from_secs(1), ());
+    }
+}

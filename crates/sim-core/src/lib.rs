@@ -1,0 +1,37 @@
+//! # msim-core — deterministic discrete-event simulation substrate
+//!
+//! Foundation crate for the MSPlayer (CoNEXT 2014) reproduction. It provides
+//! the pieces every other crate builds on:
+//!
+//! * [`time`] — integer-microsecond simulated clock ([`SimTime`],
+//!   [`SimDuration`]);
+//! * [`event`] — a deterministic FIFO-tie-broken event queue;
+//! * [`rng`] — a splittable PCG PRNG so every stochastic component owns an
+//!   independent, reproducible stream;
+//! * [`process`] — stochastic processes (Ornstein–Uhlenbeck, Markov
+//!   modulation, Pareto bursts) used to model time-varying link bandwidth;
+//! * [`stats`] — medians, boxplot summaries, `mean ± std`, harmonic mean;
+//! * [`units`] — byte sizes (`64 KB`, `1 MB`, …) and bit rates;
+//! * [`report`] — aligned tables, ASCII boxplots/bar charts, CSV export for
+//!   regenerating the paper's figures.
+//!
+//! Everything in this workspace is deterministic given a single `u64` seed;
+//! no wall-clock time or OS randomness is consulted anywhere in the
+//! simulation path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod process;
+pub mod report;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use event::{EventId, EventQueue};
+pub use process::Process;
+pub use rng::Prng;
+pub use time::{SimDuration, SimTime};
+pub use units::{BitRate, ByteSize, KB, MB};

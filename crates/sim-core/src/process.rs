@@ -1,0 +1,383 @@
+//! Stochastic processes used to model time-varying link properties.
+//!
+//! The paper's links (home WiFi, commercial LTE) are characterised by three
+//! properties the schedulers are sensitive to (§5.2, §6):
+//!
+//! 1. *mean-reverting variability* — available bandwidth wanders around a
+//!    mean (modelled by an exact-discretisation Ornstein–Uhlenbeck process);
+//! 2. *heavy-tailed outliers* — short bursts and dips, especially on LTE
+//!    (modelled by a Pareto-amplitude burst overlay). These are exactly the
+//!    outliers the harmonic-mean estimator is designed to resist;
+//! 3. *regime changes* — e.g. cross-traffic appearing (modelled by a two-state
+//!    Markov modulator).
+//!
+//! Processes are sampled at non-decreasing times and are deterministic given
+//! their [`Prng`] stream.
+
+use crate::rng::Prng;
+use crate::time::SimTime;
+
+/// A real-valued stochastic process sampled at non-decreasing sim times.
+pub trait Process: Send {
+    /// Value of the process at time `t`. Implementations may advance internal
+    /// state; callers must sample with non-decreasing `t`.
+    fn value_at(&mut self, t: SimTime) -> f64;
+}
+
+/// A constant process.
+#[derive(Clone, Debug)]
+pub struct Constant(pub f64);
+
+impl Process for Constant {
+    fn value_at(&mut self, _t: SimTime) -> f64 {
+        self.0
+    }
+}
+
+/// Mean-reverting Ornstein–Uhlenbeck process with exact discretisation:
+///
+/// `x(t+dt) = mean + (x(t) - mean)·e^(−dt/tau) + s·sqrt(1 − e^(−2dt/tau))·N(0,1)`
+///
+/// where `s` is the stationary standard deviation. Exact discretisation means
+/// the sampling grid (chunk boundaries, which differ per scheduler) does not
+/// change the process distribution — crucial for fair scheduler comparisons.
+pub struct Ou {
+    mean: f64,
+    stationary_std: f64,
+    tau_secs: f64,
+    state: f64,
+    last_t: SimTime,
+    rng: Prng,
+}
+
+impl Ou {
+    /// Creates a process with the given long-run `mean`, stationary standard
+    /// deviation `std`, and mean-reversion time constant `tau_secs`.
+    pub fn new(mean: f64, std: f64, tau_secs: f64, mut rng: Prng) -> Self {
+        assert!(tau_secs > 0.0, "tau must be positive");
+        // Start from the stationary distribution so there is no warm-up bias.
+        let state = mean + std * rng.normal();
+        Ou {
+            mean,
+            stationary_std: std,
+            tau_secs,
+            state,
+            last_t: SimTime::ZERO,
+            rng,
+        }
+    }
+}
+
+impl Process for Ou {
+    fn value_at(&mut self, t: SimTime) -> f64 {
+        let dt = t.saturating_since(self.last_t).as_secs_f64();
+        if dt > 0.0 {
+            let decay = (-dt / self.tau_secs).exp();
+            let noise = self.stationary_std * (1.0 - decay * decay).sqrt();
+            self.state = self.mean + (self.state - self.mean) * decay + noise * self.rng.normal();
+            self.last_t = t;
+        }
+        self.state
+    }
+}
+
+/// Two-state Markov modulator. Emits `good_mult` in the good state and
+/// `bad_mult` in the bad state, with exponential holding times. Used for
+/// cross-traffic / congestion episodes.
+pub struct MarkovModulator {
+    good_mult: f64,
+    bad_mult: f64,
+    mean_good_secs: f64,
+    mean_bad_secs: f64,
+    in_good: bool,
+    next_switch: SimTime,
+    rng: Prng,
+}
+
+impl MarkovModulator {
+    /// Builds a modulator that stays in the good state for
+    /// `mean_good_secs` on average and in the bad state for `mean_bad_secs`.
+    pub fn new(
+        good_mult: f64,
+        bad_mult: f64,
+        mean_good_secs: f64,
+        mean_bad_secs: f64,
+        mut rng: Prng,
+    ) -> Self {
+        let first = rng.exponential(mean_good_secs);
+        MarkovModulator {
+            good_mult,
+            bad_mult,
+            mean_good_secs,
+            mean_bad_secs,
+            in_good: true,
+            next_switch: SimTime::from_secs_f64(first),
+            rng,
+        }
+    }
+}
+
+impl Process for MarkovModulator {
+    fn value_at(&mut self, t: SimTime) -> f64 {
+        while t >= self.next_switch {
+            self.in_good = !self.in_good;
+            let mean = if self.in_good {
+                self.mean_good_secs
+            } else {
+                self.mean_bad_secs
+            };
+            let hold = self.rng.exponential(mean);
+            self.next_switch += crate::time::SimDuration::from_secs_f64(hold);
+        }
+        if self.in_good {
+            self.good_mult
+        } else {
+            self.bad_mult
+        }
+    }
+}
+
+/// Deterministic sinusoidal modulator `1 + amp·sin(2π t / period + phase)`;
+/// models slow diurnal-style load swings during a long experiment run.
+#[derive(Clone, Debug)]
+pub struct Sinusoid {
+    /// Peak deviation from 1.0.
+    pub amplitude: f64,
+    /// Oscillation period in seconds.
+    pub period_secs: f64,
+    /// Phase offset in radians.
+    pub phase: f64,
+}
+
+impl Process for Sinusoid {
+    fn value_at(&mut self, t: SimTime) -> f64 {
+        1.0 + self.amplitude
+            * (std::f64::consts::TAU * t.as_secs_f64() / self.period_secs + self.phase).sin()
+    }
+}
+
+/// Heavy-tailed burst/dip overlay.
+///
+/// Burst events arrive as a Poisson process. Each event lasts an exponential
+/// duration; with probability `up_prob` it is an *up* burst with multiplier
+/// drawn from `Pareto(1, shape)` (capped), otherwise a *dip* with multiplier
+/// `1/Pareto(1, shape)`. Outside events the multiplier is 1. These are the
+/// "large outliers due to network variation" of §3.3 that motivate the
+/// harmonic-mean estimator.
+pub struct Bursts {
+    mean_interarrival_secs: f64,
+    mean_duration_secs: f64,
+    shape: f64,
+    cap: f64,
+    down_cap: f64,
+    up_prob: f64,
+    /// Current event: (end_time, multiplier) if inside one.
+    current: Option<(SimTime, f64)>,
+    next_start: SimTime,
+    rng: Prng,
+}
+
+impl Bursts {
+    /// Creates the overlay. `shape` is the Pareto tail exponent (smaller =
+    /// heavier tail); up-burst multipliers are capped at `cap`, dips are
+    /// floored at `1/down_cap`. Asymmetric caps model the common case where
+    /// spare-capacity bursts are much larger than transient dips.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        mean_interarrival_secs: f64,
+        mean_duration_secs: f64,
+        shape: f64,
+        cap: f64,
+        down_cap: f64,
+        up_prob: f64,
+        mut rng: Prng,
+    ) -> Self {
+        assert!(cap >= 1.0 && down_cap >= 1.0, "caps are multipliers >= 1");
+        let first = rng.exponential(mean_interarrival_secs);
+        Bursts {
+            mean_interarrival_secs,
+            mean_duration_secs,
+            shape,
+            cap,
+            down_cap,
+            up_prob,
+            current: None,
+            next_start: SimTime::from_secs_f64(first),
+            rng,
+        }
+    }
+
+    fn draw_multiplier(&mut self) -> f64 {
+        if self.rng.chance(self.up_prob) {
+            self.rng.pareto(1.0, self.shape).min(self.cap)
+        } else {
+            1.0 / self.rng.pareto(1.0, self.shape).min(self.down_cap)
+        }
+    }
+}
+
+impl Process for Bursts {
+    fn value_at(&mut self, t: SimTime) -> f64 {
+        // Expire a finished event.
+        if let Some((end, _)) = self.current {
+            if t >= end {
+                self.current = None;
+            }
+        }
+        // Start (possibly skip over) events up to time t.
+        while self.current.is_none() && t >= self.next_start {
+            let dur = self.rng.exponential(self.mean_duration_secs);
+            let end = self.next_start + crate::time::SimDuration::from_secs_f64(dur);
+            let mult = self.draw_multiplier();
+            let gap = self.rng.exponential(self.mean_interarrival_secs);
+            self.next_start = end + crate::time::SimDuration::from_secs_f64(gap);
+            if t < end {
+                self.current = Some((end, mult));
+            }
+            // else: the event began and ended entirely before t; skip it.
+        }
+        self.current.map_or(1.0, |(_, m)| m)
+    }
+}
+
+/// A base process multiplied by any number of modulator processes, clamped
+/// to `[min, max]`. This is the standard composition for link rates:
+/// `clamp(OU × Markov × Bursts × Sinusoid)`.
+pub struct Modulated {
+    base: Box<dyn Process>,
+    modulators: Vec<Box<dyn Process>>,
+    min: f64,
+    max: f64,
+}
+
+impl Modulated {
+    /// Wraps `base` with no modulators and the given clamp bounds.
+    pub fn new(base: Box<dyn Process>, min: f64, max: f64) -> Self {
+        assert!(min <= max, "min > max");
+        Modulated {
+            base,
+            modulators: Vec::new(),
+            min,
+            max,
+        }
+    }
+
+    /// Adds a multiplicative modulator.
+    pub fn with(mut self, modulator: Box<dyn Process>) -> Self {
+        self.modulators.push(modulator);
+        self
+    }
+}
+
+impl Process for Modulated {
+    fn value_at(&mut self, t: SimTime) -> f64 {
+        let mut v = self.base.value_at(t);
+        for m in &mut self.modulators {
+            v *= m.value_at(t);
+        }
+        v.clamp(self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn sample_grid(p: &mut dyn Process, n: usize, step: SimDuration) -> Vec<f64> {
+        let mut t = SimTime::ZERO;
+        (0..n)
+            .map(|_| {
+                t += step;
+                p.value_at(t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut c = Constant(5.0);
+        for v in sample_grid(&mut c, 100, SimDuration::from_millis(10)) {
+            assert_eq!(v, 5.0);
+        }
+    }
+
+    #[test]
+    fn ou_reverts_to_mean() {
+        let mut ou = Ou::new(10.0, 2.0, 1.0, Prng::new(1));
+        let samples = sample_grid(&mut ou, 20_000, SimDuration::from_millis(100));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 10.0).abs() < 0.3, "mean {mean}");
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((var.sqrt() - 2.0).abs() < 0.3, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn ou_is_deterministic_per_seed() {
+        let mut a = Ou::new(10.0, 2.0, 1.0, Prng::new(5));
+        let mut b = Ou::new(10.0, 2.0, 1.0, Prng::new(5));
+        assert_eq!(
+            sample_grid(&mut a, 100, SimDuration::from_millis(37)),
+            sample_grid(&mut b, 100, SimDuration::from_millis(37)),
+        );
+    }
+
+    #[test]
+    fn ou_same_time_same_value() {
+        let mut ou = Ou::new(10.0, 2.0, 1.0, Prng::new(5));
+        let t = SimTime::from_secs(1);
+        let v1 = ou.value_at(t);
+        let v2 = ou.value_at(t);
+        assert_eq!(v1, v2, "re-sampling the same instant must not advance state");
+    }
+
+    #[test]
+    fn markov_visits_both_states() {
+        let mut m = MarkovModulator::new(1.0, 0.3, 5.0, 2.0, Prng::new(2));
+        let samples = sample_grid(&mut m, 10_000, SimDuration::from_millis(50));
+        let good = samples.iter().filter(|&&v| v == 1.0).count();
+        let bad = samples.iter().filter(|&&v| v == 0.3).count();
+        assert_eq!(good + bad, samples.len());
+        assert!(good > 0 && bad > 0);
+        // Expected good fraction = 5 / (5 + 2) ≈ 0.71.
+        let frac = good as f64 / samples.len() as f64;
+        assert!((0.55..0.85).contains(&frac), "good fraction {frac}");
+    }
+
+    #[test]
+    fn bursts_mostly_one_with_outliers() {
+        let mut b = Bursts::new(10.0, 0.5, 1.5, 8.0, 8.0, 0.5, Prng::new(3));
+        let samples = sample_grid(&mut b, 20_000, SimDuration::from_millis(100));
+        let neutral = samples.iter().filter(|&&v| v == 1.0).count();
+        let frac = neutral as f64 / samples.len() as f64;
+        assert!(frac > 0.8, "neutral fraction {frac}");
+        assert!(samples.iter().any(|&v| v > 1.0), "some up bursts");
+        assert!(samples.iter().any(|&v| v < 1.0), "some dips");
+        for &v in &samples {
+            assert!((1.0 / 8.0..=8.0).contains(&v), "bounded by cap: {v}");
+        }
+    }
+
+    #[test]
+    fn sinusoid_oscillates() {
+        let mut s = Sinusoid {
+            amplitude: 0.2,
+            period_secs: 10.0,
+            phase: 0.0,
+        };
+        let v_quarter = s.value_at(SimTime::from_secs_f64(2.5));
+        assert!((v_quarter - 1.2).abs() < 1e-9);
+        let v_three_quarter = s.value_at(SimTime::from_secs_f64(7.5));
+        assert!((v_three_quarter - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn modulated_clamps() {
+        let mut m = Modulated::new(Box::new(Constant(100.0)), 0.0, 50.0);
+        assert_eq!(m.value_at(SimTime::from_secs(1)), 50.0);
+        let mut m2 = Modulated::new(Box::new(Constant(10.0)), 0.0, 50.0)
+            .with(Box::new(Constant(0.5)))
+            .with(Box::new(Constant(3.0)));
+        assert!((m2.value_at(SimTime::from_secs(1)) - 15.0).abs() < 1e-9);
+    }
+}

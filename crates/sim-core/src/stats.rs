@@ -1,0 +1,285 @@
+//! Statistics helpers for experiment reporting.
+//!
+//! The paper reports medians, boxplot five-number summaries (Figs. 2–5) and
+//! `mean ± std` rows (Table 1); this module computes all of them, plus the
+//! harmonic mean that is central to the scheduler itself.
+
+/// Online mean/variance accumulator (Welford's algorithm).
+#[derive(Clone, Debug, Default)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Running {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation with Bessel's correction (0 for n < 2).
+    pub fn std(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Formats as the paper's Table-1 style `mean ± std` with one decimal.
+    pub fn mean_pm_std(&self) -> String {
+        format!("{:.1} ± {:.1}", self.mean(), self.std())
+    }
+}
+
+/// Quantile with linear interpolation on a **sorted** slice
+/// (type-7 estimator, the R/NumPy default). `q` is clamped to `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Sorts a copy of the sample and returns the `q`-quantile.
+pub fn quantile(sample: &[f64], q: f64) -> f64 {
+    let mut v = sample.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    quantile_sorted(&v, q)
+}
+
+/// Median convenience wrapper.
+pub fn median(sample: &[f64]) -> f64 {
+    quantile(sample, 0.5)
+}
+
+/// Arithmetic mean (0 when empty).
+pub fn mean(sample: &[f64]) -> f64 {
+    if sample.is_empty() {
+        0.0
+    } else {
+        sample.iter().sum::<f64>() / sample.len() as f64
+    }
+}
+
+/// Harmonic mean of strictly positive values: `n / Σ(1/xᵢ)`.
+///
+/// This is the estimator of §3.3 Eq. (2); it is dominated by the *small*
+/// values in the sample, which is why it resists large upward outliers.
+pub fn harmonic_mean(sample: &[f64]) -> f64 {
+    assert!(!sample.is_empty(), "harmonic mean of empty sample");
+    let inv_sum: f64 = sample
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "harmonic mean requires positive values");
+            1.0 / x
+        })
+        .sum();
+    sample.len() as f64 / inv_sum
+}
+
+/// Five-number summary for boxplots (Tukey whiskers at 1.5 × IQR).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoxStats {
+    /// Smallest observation.
+    pub min: f64,
+    /// Lower whisker (most extreme point above the 1.5 IQR fence).
+    pub whisker_lo: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Upper whisker (most extreme point below the 1.5 IQR fence).
+    pub whisker_hi: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl BoxStats {
+    /// Computes the summary from an unsorted sample.
+    pub fn from_sample(sample: &[f64]) -> BoxStats {
+        assert!(!sample.is_empty(), "boxplot of empty sample");
+        let mut v = sample.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        let q1 = quantile_sorted(&v, 0.25);
+        let med = quantile_sorted(&v, 0.50);
+        let q3 = quantile_sorted(&v, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        // Whiskers extend to the most extreme data point inside the fences.
+        let whisker_lo = v
+            .iter()
+            .copied()
+            .find(|&x| x >= lo_fence)
+            .unwrap_or(v[0]);
+        let whisker_hi = v
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(v[v.len() - 1]);
+        BoxStats {
+            min: v[0],
+            whisker_lo,
+            q1,
+            median: med,
+            q3,
+            whisker_hi,
+            max: v[v.len() - 1],
+            n: v.len(),
+        }
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_matches_batch() {
+        let data = [4.0, 7.0, 13.0, 16.0];
+        let mut r = Running::new();
+        for &x in &data {
+            r.push(x);
+        }
+        assert_eq!(r.count(), 4);
+        assert!((r.mean() - 10.0).abs() < 1e-12);
+        // Sample std of [4,7,13,16] = sqrt(30) ≈ 5.477
+        assert!((r.std() - 30f64.sqrt()).abs() < 1e-12);
+        assert_eq!(r.min(), 4.0);
+        assert_eq!(r.max(), 16.0);
+    }
+
+    #[test]
+    fn running_single_value_has_zero_std() {
+        let mut r = Running::new();
+        r.push(5.0);
+        assert_eq!(r.std(), 0.0);
+        assert_eq!(r.mean(), 5.0);
+    }
+
+    #[test]
+    fn mean_pm_std_format() {
+        let mut r = Running::new();
+        r.push(60.0);
+        r.push(64.0);
+        assert_eq!(r.mean_pm_std(), "62.0 ± 2.8");
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert!((quantile(&v, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile(&v, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert!((median(&[1.0, 2.0, 3.0, 10.0]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_known_value() {
+        // H(1, 2, 4) = 3 / (1 + 0.5 + 0.25) = 12/7
+        assert!((harmonic_mean(&[1.0, 2.0, 4.0]) - 12.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_resists_large_outliers() {
+        let base = [10.0; 9];
+        let mut with_spike = base.to_vec();
+        with_spike.push(1000.0); // one huge burst
+        let h = harmonic_mean(&with_spike);
+        let a = mean(&with_spike);
+        assert!(h < 11.2, "harmonic barely moves: {h}");
+        assert!(a > 100.0, "arithmetic mean is dragged: {a}");
+    }
+
+    #[test]
+    fn box_stats_basic() {
+        let v: Vec<f64> = (1..=9).map(|x| x as f64).collect();
+        let b = BoxStats::from_sample(&v);
+        assert_eq!(b.median, 5.0);
+        assert_eq!(b.q1, 3.0);
+        assert_eq!(b.q3, 7.0);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.max, 9.0);
+        assert_eq!(b.n, 9);
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 9.0);
+    }
+
+    #[test]
+    fn box_stats_whiskers_exclude_outliers() {
+        let mut v: Vec<f64> = (1..=9).map(|x| x as f64).collect();
+        v.push(100.0); // far outlier
+        let b = BoxStats::from_sample(&v);
+        assert_eq!(b.max, 100.0);
+        assert!(b.whisker_hi < 100.0, "whisker stops at fence");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        quantile(&[], 0.5);
+    }
+}

@@ -1,0 +1,30 @@
+//! # msim-testbed — the real-socket loopback testbed
+//!
+//! The §5 evaluation ran MSPlayer against actual Apache servers over real
+//! WiFi/LTE links. This crate rebuilds that testbed on loopback TCP:
+//!
+//! * [`shaper`] — token-bucket pacing + RTT delay emulating link shapes;
+//! * [`server`] — a threaded HTTP/1.1 range server ("Apache") with
+//!   keep-alive, failure injection and byte-exact range semantics, plus a
+//!   web-proxy daemon serving the JSON video information;
+//! * [`driver`] — the socket driver running the *same* sans-I/O
+//!   [`msplayer_core::player::Player`] the simulator uses, with one blocking
+//!   worker thread per path (mirroring the original player's threads);
+//! * [`harness`] — one-call setup: shaped servers + proxies + session.
+//!
+//! The point of this crate is the sans-I/O proof: every scheduler decision
+//! exercised by the deterministic simulator also runs against real sockets
+//! moving real bytes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod harness;
+pub mod server;
+pub mod shaper;
+
+pub use driver::{run_testbed_session, TestbedSession, TestbedStop};
+pub use harness::Testbed;
+pub use server::{ProxyDaemon, VideoFileServer};
+pub use shaper::{LinkShape, TokenBucket};

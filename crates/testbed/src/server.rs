@@ -1,0 +1,381 @@
+//! Threaded HTTP servers for the loopback testbed: a video file server
+//! (range requests over keep-alive connections, like §5's Apache) and a web
+//! proxy daemon returning the JSON video information.
+
+use crate::shaper::{write_paced, LinkShape};
+use msim_core::time::SimDuration;
+use msim_http::{decode_request, encode_response, Decoded, Response, StatusCode};
+use parking_lot::Mutex;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Shared controls for a running server (failure injection, counters).
+#[derive(Default)]
+pub struct ServerControls {
+    /// When set, every request is answered with 500 (failure injection).
+    pub fail: AtomicBool,
+    /// Served range-request count.
+    pub requests: AtomicU64,
+    /// Total body bytes served.
+    pub bytes: AtomicU64,
+}
+
+/// A running video file server on loopback.
+pub struct VideoFileServer {
+    /// Bound address.
+    pub addr: SocketAddr,
+    /// Runtime controls.
+    pub controls: Arc<ServerControls>,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl VideoFileServer {
+    /// Starts a server holding a synthetic `file` of bytes, shaping every
+    /// response according to `shape`. The "file" is the pre-downloaded
+    /// video of §5.
+    pub fn start(file: Arc<Vec<u8>>, shape: LinkShape) -> std::io::Result<VideoFileServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let controls = Arc::new(ServerControls::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let c2 = controls.clone();
+        let s2 = shutdown.clone();
+        let handle = std::thread::spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            while !s2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let file = file.clone();
+                        let controls = c2.clone();
+                        let stop = s2.clone();
+                        workers.push(std::thread::spawn(move || {
+                            let _ = serve_video_conn(stream, &file, shape, &controls, &stop);
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        });
+        Ok(VideoFileServer {
+            addr,
+            controls,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+}
+
+impl Drop for VideoFileServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_video_conn(
+    mut stream: TcpStream,
+    file: &[u8],
+    shape: LinkShape,
+    controls: &ServerControls,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
+    stream.set_nodelay(true)?;
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut scratch = [0u8; 4096];
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        // Try to decode a request from what we have.
+        match decode_request(&buf) {
+            Ok(Decoded::Complete { message, consumed }) => {
+                buf.drain(..consumed);
+                let resp = build_video_response(&message, file, controls);
+                // Emulate the link RTT: request propagation + first byte.
+                std::thread::sleep(to_std(shape.rtt));
+                let wire = encode_response(&resp);
+                // Head goes immediately; body is paced at the link rate.
+                let head_len = wire.len() - resp.body.len();
+                use std::io::Write;
+                stream.write_all(&wire[..head_len])?;
+                write_paced(&mut stream, &resp.body, shape)?;
+                controls.requests.fetch_add(1, Ordering::Relaxed);
+                controls
+                    .bytes
+                    .fetch_add(resp.body.len() as u64, Ordering::Relaxed);
+            }
+            Ok(Decoded::NeedMore) => match stream.read(&mut scratch) {
+                Ok(0) => return Ok(()), // client closed
+                Ok(n) => buf.extend_from_slice(&scratch[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            },
+            Err(_) => {
+                // Malformed request: answer 400 and close.
+                let resp = Response::new(StatusCode::BAD_REQUEST, Vec::new());
+                use std::io::Write;
+                stream.write_all(&encode_response(&resp))?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn build_video_response(
+    req: &msim_http::Request,
+    file: &[u8],
+    controls: &ServerControls,
+) -> Response {
+    if controls.fail.load(Ordering::Relaxed) {
+        return Response::new(StatusCode::INTERNAL_SERVER_ERROR, Vec::new());
+    }
+    match req.range() {
+        Some(Ok(range)) => match range.clamp_to(file.len() as u64) {
+            Ok(r) => {
+                let body = file[r.start as usize..=(r.end as usize)].to_vec();
+                Response::partial_content(body, r, file.len() as u64)
+            }
+            Err(_) => Response::new(StatusCode::RANGE_NOT_SATISFIABLE, Vec::new()),
+        },
+        Some(Err(_)) => Response::new(StatusCode::BAD_REQUEST, Vec::new()),
+        None => {
+            // Whole-file GET (not used by the player, but be a good server).
+            Response::new(StatusCode::OK, file.to_vec())
+        }
+    }
+}
+
+/// A running web-proxy daemon serving one JSON document at `/watch`.
+pub struct ProxyDaemon {
+    /// Bound address.
+    pub addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ProxyDaemon {
+    /// Starts the daemon. `json` is the video-information object for this
+    /// network's view (pre-built by the harness); `processing` emulates the
+    /// OAuth/JSON generation delay.
+    pub fn start(json: String, processing: SimDuration) -> std::io::Result<ProxyDaemon> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let s2 = shutdown.clone();
+        let json = Arc::new(json);
+        let handle = std::thread::spawn(move || {
+            while !s2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let json = json.clone();
+                        std::thread::spawn(move || {
+                            let _ = serve_proxy_conn(stream, &json, processing);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(ProxyDaemon {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+}
+
+impl Drop for ProxyDaemon {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_proxy_conn(
+    mut stream: TcpStream,
+    json: &str,
+    processing: SimDuration,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
+    let mut buf = Vec::new();
+    let mut scratch = [0u8; 4096];
+    loop {
+        match decode_request(&buf) {
+            Ok(Decoded::Complete { .. }) => break,
+            Ok(Decoded::NeedMore) => {
+                let n = stream.read(&mut scratch)?;
+                if n == 0 {
+                    return Ok(());
+                }
+                buf.extend_from_slice(&scratch[..n]);
+            }
+            Err(_) => return Ok(()),
+        }
+    }
+    std::thread::sleep(to_std(processing));
+    let resp = Response::json(json.as_bytes().to_vec());
+    use std::io::Write;
+    stream.write_all(&encode_response(&resp))
+}
+
+fn to_std(d: SimDuration) -> std::time::Duration {
+    std::time::Duration::from_micros(d.as_micros())
+}
+
+/// A guard that keeps shared state alive for assertions in tests.
+pub type Shared<T> = Arc<Mutex<T>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msim_http::{encode_request, Request};
+    use std::io::Write;
+
+    use msim_http::ByteRange;
+
+    fn fetch_range(addr: SocketAddr, start: u64, len: u64) -> Response {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let req = Request::get("/videoplayback?id=test")
+            .header("Host", "testbed")
+            .with_range(ByteRange::from_offset_len(start, len));
+        stream.write_all(&encode_request(&req)).unwrap();
+        read_response(&mut stream)
+    }
+
+    fn read_response(stream: &mut TcpStream) -> Response {
+        let mut buf = Vec::new();
+        let mut scratch = [0u8; 8192];
+        loop {
+            match decode_response(&buf).unwrap() {
+                Decoded::Complete { message, .. } => return message,
+                Decoded::NeedMore => {
+                    let n = stream.read(&mut scratch).unwrap();
+                    assert!(n > 0, "server closed early");
+                    buf.extend_from_slice(&scratch[..n]);
+                }
+            }
+        }
+    }
+
+    use msim_http::decode_response;
+
+    fn test_file(n: usize) -> Arc<Vec<u8>> {
+        Arc::new((0..n).map(|i| (i % 251) as u8).collect())
+    }
+
+    fn fast_shape() -> LinkShape {
+        LinkShape {
+            rate: msim_core::units::BitRate::mbps(400.0),
+            rtt: SimDuration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn serves_correct_range_bytes() {
+        let file = test_file(100_000);
+        let server = VideoFileServer::start(file.clone(), fast_shape()).unwrap();
+        let resp = fetch_range(server.addr, 1000, 5000);
+        assert_eq!(resp.status, StatusCode::PARTIAL_CONTENT);
+        assert_eq!(&resp.body[..], &file[1000..6000]);
+        let (range, total) = resp.content_range().unwrap().unwrap();
+        assert_eq!(range, ByteRange::from_offset_len(1000, 5000));
+        assert_eq!(total, 100_000);
+    }
+
+    #[test]
+    fn keepalive_serves_sequential_requests() {
+        let file = test_file(50_000);
+        let server = VideoFileServer::start(file.clone(), fast_shape()).unwrap();
+        let mut stream = TcpStream::connect(server.addr).unwrap();
+        for i in 0..5u64 {
+            let req = Request::get("/videoplayback")
+                .header("Host", "testbed")
+                .with_range(ByteRange::from_offset_len(i * 1000, 1000));
+            stream.write_all(&encode_request(&req)).unwrap();
+            let resp = read_response(&mut stream);
+            assert_eq!(resp.status, StatusCode::PARTIAL_CONTENT);
+            assert_eq!(&resp.body[..], &file[(i * 1000) as usize..(i * 1000 + 1000) as usize]);
+        }
+        assert_eq!(server.controls.requests.load(Ordering::Relaxed), 5);
+        assert_eq!(server.controls.bytes.load(Ordering::Relaxed), 5000);
+    }
+
+    #[test]
+    fn range_past_eof_is_clamped_or_416() {
+        let file = test_file(10_000);
+        let server = VideoFileServer::start(file.clone(), fast_shape()).unwrap();
+        let resp = fetch_range(server.addr, 9_000, 5_000);
+        assert_eq!(resp.status, StatusCode::PARTIAL_CONTENT);
+        assert_eq!(resp.body.len(), 1000, "clamped at EOF");
+        let resp = fetch_range(server.addr, 20_000, 100);
+        assert_eq!(resp.status, StatusCode::RANGE_NOT_SATISFIABLE);
+    }
+
+    #[test]
+    fn failure_injection_returns_500() {
+        let file = test_file(10_000);
+        let server = VideoFileServer::start(file, fast_shape()).unwrap();
+        server.controls.fail.store(true, Ordering::Relaxed);
+        let resp = fetch_range(server.addr, 0, 100);
+        assert_eq!(resp.status, StatusCode::INTERNAL_SERVER_ERROR);
+        server.controls.fail.store(false, Ordering::Relaxed);
+        let resp = fetch_range(server.addr, 0, 100);
+        assert_eq!(resp.status, StatusCode::PARTIAL_CONTENT);
+    }
+
+    #[test]
+    fn proxy_serves_json() {
+        let daemon =
+            ProxyDaemon::start(r#"{"video_id":"qjT4T2gU9sM"}"#.into(), SimDuration::from_millis(5))
+                .unwrap();
+        let mut stream = TcpStream::connect(daemon.addr).unwrap();
+        let req = Request::get("/watch?v=qjT4T2gU9sM").header("Host", "www.youtube.com");
+        stream.write_all(&encode_request(&req)).unwrap();
+        let resp = read_response(&mut stream);
+        assert_eq!(resp.status, StatusCode::OK);
+        let v = msim_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(
+            v.get("video_id").and_then(msim_json::Value::as_str),
+            Some("qjT4T2gU9sM")
+        );
+    }
+
+    #[test]
+    fn rtt_shaping_delays_response() {
+        let file = test_file(1000);
+        let shape = LinkShape {
+            rate: msim_core::units::BitRate::mbps(400.0),
+            rtt: SimDuration::from_millis(60),
+        };
+        let server = VideoFileServer::start(file, shape).unwrap();
+        let start = std::time::Instant::now();
+        let _ = fetch_range(server.addr, 0, 100);
+        let took = start.elapsed();
+        assert!(took >= std::time::Duration::from_millis(55), "took {took:?}");
+    }
+}

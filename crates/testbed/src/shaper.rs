@@ -1,0 +1,156 @@
+//! Link shaping for the loopback testbed.
+//!
+//! The §5 testbed put real Apache servers behind real WiFi/LTE links. Over
+//! loopback we recreate the two link properties that matter — bandwidth and
+//! round-trip time — on the server side: each response is delayed by one
+//! emulated RTT (request propagation + response propagation) and its body is
+//! paced by a token bucket at the link rate.
+
+use msim_core::time::SimDuration;
+use msim_core::units::BitRate;
+use std::time::{Duration, Instant};
+
+/// The emulated link parameters for one served connection.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkShape {
+    /// Bottleneck rate for the body.
+    pub rate: BitRate,
+    /// Emulated round-trip time (charged once per request).
+    pub rtt: SimDuration,
+}
+
+impl LinkShape {
+    /// A fast, low-latency profile (WiFi-ish on loopback scales).
+    pub fn wifi_like() -> LinkShape {
+        LinkShape {
+            rate: BitRate::mbps(40.0),
+            rtt: SimDuration::from_millis(10),
+        }
+    }
+
+    /// A slower, higher-latency profile (LTE-ish).
+    pub fn lte_like() -> LinkShape {
+        LinkShape {
+            rate: BitRate::mbps(25.0),
+            rtt: SimDuration::from_millis(30),
+        }
+    }
+}
+
+/// A token bucket that paces bytes at a configured rate.
+///
+/// `consume(n)` returns how long the caller must sleep before sending the
+/// next block so that long-run throughput matches the rate. The bucket
+/// allows a small burst (one refill quantum) so pacing does not add
+/// per-block latency at low rates.
+pub struct TokenBucket {
+    rate_bytes_per_sec: f64,
+    capacity: f64,
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    /// Creates a bucket for `rate`, with a burst capacity of `burst` bytes.
+    pub fn new(rate: BitRate, burst_bytes: u64) -> TokenBucket {
+        TokenBucket {
+            rate_bytes_per_sec: rate.bytes_per_sec().max(1.0),
+            capacity: burst_bytes.max(1) as f64,
+            tokens: burst_bytes.max(1) as f64,
+            last_refill: Instant::now(),
+        }
+    }
+
+    /// Takes `n` bytes of budget; returns how long to sleep first.
+    pub fn consume(&mut self, n: u64) -> Duration {
+        self.refill();
+        self.tokens -= n as f64;
+        if self.tokens >= 0.0 {
+            Duration::ZERO
+        } else {
+            Duration::from_secs_f64(-self.tokens / self.rate_bytes_per_sec)
+        }
+    }
+
+    fn refill(&mut self) {
+        let now = Instant::now();
+        let dt = now.duration_since(self.last_refill).as_secs_f64();
+        self.last_refill = now;
+        self.tokens = (self.tokens + dt * self.rate_bytes_per_sec).min(self.capacity);
+    }
+}
+
+/// Writes `body` to `w` in paced blocks, emulating `shape`.
+pub fn write_paced(
+    w: &mut impl std::io::Write,
+    body: &[u8],
+    shape: LinkShape,
+) -> std::io::Result<()> {
+    const BLOCK: usize = 16 * 1024;
+    let mut bucket = TokenBucket::new(shape.rate, BLOCK as u64 * 2);
+    for block in body.chunks(BLOCK) {
+        let wait = bucket.consume(block.len() as u64);
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
+        }
+        w.write_all(block)?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_allows_initial_burst() {
+        let mut b = TokenBucket::new(BitRate::mbps(8.0), 32 * 1024);
+        assert_eq!(b.consume(16 * 1024), Duration::ZERO);
+        assert_eq!(b.consume(16 * 1024), Duration::ZERO);
+        // Bucket exhausted: the next block must wait.
+        let wait = b.consume(16 * 1024);
+        assert!(wait > Duration::ZERO);
+    }
+
+    #[test]
+    fn bucket_long_run_rate_is_correct() {
+        // 80 Mbit/s = 10 MB/s; pacing 1 MB through the bucket (sleeping as
+        // instructed, like a real sender) should take ≈ 0.1 s.
+        let mut b = TokenBucket::new(BitRate::mbps(80.0), 1);
+        let start = Instant::now();
+        for _ in 0..100 {
+            let wait = b.consume(10_000);
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        assert!((0.08..0.30).contains(&secs), "took {secs}s");
+    }
+
+    #[test]
+    fn paced_write_delivers_everything() {
+        let body: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let mut out = Vec::new();
+        let shape = LinkShape {
+            rate: BitRate::mbps(800.0), // fast so the test is quick
+            rtt: SimDuration::ZERO,
+        };
+        write_paced(&mut out, &body, shape).unwrap();
+        assert_eq!(out, body);
+    }
+
+    #[test]
+    fn paced_write_takes_roughly_rate_time() {
+        let body = vec![0u8; 125_000]; // 1 second at 1 Mbit/s
+        let shape = LinkShape {
+            rate: BitRate::mbps(4.0), // 0.25 s expected
+            rtt: SimDuration::ZERO,
+        };
+        let start = Instant::now();
+        let mut sink = std::io::sink();
+        write_paced(&mut sink, &body, shape).unwrap();
+        let took = start.elapsed().as_secs_f64();
+        assert!((0.15..0.60).contains(&took), "took {took}s");
+    }
+}

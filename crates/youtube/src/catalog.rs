@@ -1,0 +1,149 @@
+//! The video catalog: what the emulated service can serve.
+
+use crate::format::{VideoFormat, ITAGS};
+use crate::video::{Video, VideoId};
+use msim_core::rng::Prng;
+use msim_core::time::SimDuration;
+use std::collections::BTreeMap;
+
+/// A collection of videos, each available in every catalogued format
+/// ("multiple profiles of the same video", §2).
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    videos: BTreeMap<String, Video>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Inserts a video (replacing any previous entry with the same ID).
+    pub fn add(&mut self, video: Video) {
+        self.videos.insert(video.id.as_str().to_string(), video);
+    }
+
+    /// Looks a video up by ID.
+    pub fn get(&self, id: VideoId) -> Option<&Video> {
+        self.videos.get(id.as_str())
+    }
+
+    /// Number of videos.
+    pub fn len(&self) -> usize {
+        self.videos.len()
+    }
+
+    /// True when no videos are catalogued.
+    pub fn is_empty(&self) -> bool {
+        self.videos.is_empty()
+    }
+
+    /// All videos in ID order.
+    pub fn iter(&self) -> impl Iterator<Item = &Video> {
+        self.videos.values()
+    }
+
+    /// The formats every video is offered in.
+    pub fn formats(&self) -> &'static [VideoFormat] {
+        ITAGS
+    }
+
+    /// Generates `n` synthetic videos with plausible durations (30 s – 15
+    /// min, log-normal-ish) and ~20 % copyrighted, deterministically from
+    /// `rng`.
+    pub fn synthetic(rng: &mut Prng, n: usize) -> Catalog {
+        const ADJECTIVES: &[&str] = &["Amazing", "Epic", "Quiet", "Hidden", "Rapid", "Golden"];
+        const NOUNS: &[&str] = &["Cats", "Mountains", "Streams", "Circuits", "Planets", "Gardens"];
+        let mut catalog = Catalog::new();
+        for i in 0..n {
+            let id = VideoId::generate(rng);
+            let secs = rng.lognormal(4.6, 0.7).clamp(30.0, 900.0);
+            let title = format!(
+                "{} {} #{:03}",
+                rng.choose(ADJECTIVES),
+                rng.choose(NOUNS),
+                i
+            );
+            let author = format!("channel-{:02}", rng.below(20));
+            let copyrighted = rng.chance(0.2);
+            catalog.add(Video::new(
+                id,
+                title,
+                author,
+                SimDuration::from_secs_f64(secs),
+                copyrighted,
+            ));
+        }
+        catalog
+    }
+
+    /// A catalog with a single, known test video: 10 minutes of 720p,
+    /// non-copyrighted, with the paper's example ID.
+    pub fn single_test_video() -> (Catalog, VideoId) {
+        let id = VideoId::new("qjT4T2gU9sM").expect("valid id");
+        let mut c = Catalog::new();
+        c.add(Video::new(
+            id,
+            "MSPlayer Test Stream",
+            "umass-nets",
+            SimDuration::from_secs(600),
+            false,
+        ));
+        (c, id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let (catalog, id) = Catalog::single_test_video();
+        assert_eq!(catalog.len(), 1);
+        let v = catalog.get(id).unwrap();
+        assert_eq!(v.duration, SimDuration::from_secs(600));
+        assert!(!v.copyrighted);
+    }
+
+    #[test]
+    fn missing_video_is_none() {
+        let (catalog, _) = Catalog::single_test_video();
+        let other = VideoId::new("dQw4w9WgXcQ").unwrap();
+        assert!(catalog.get(other).is_none());
+    }
+
+    #[test]
+    fn synthetic_catalog_is_deterministic() {
+        let mut a = Prng::new(11);
+        let mut b = Prng::new(11);
+        let ca = Catalog::synthetic(&mut a, 50);
+        let cb = Catalog::synthetic(&mut b, 50);
+        assert_eq!(ca.len(), 50);
+        let ids_a: Vec<&str> = ca.iter().map(|v| v.id.as_str()).collect();
+        let ids_b: Vec<&str> = cb.iter().map(|v| v.id.as_str()).collect();
+        assert_eq!(ids_a, ids_b);
+    }
+
+    #[test]
+    fn synthetic_durations_in_bounds() {
+        let mut rng = Prng::new(13);
+        let c = Catalog::synthetic(&mut rng, 100);
+        for v in c.iter() {
+            let s = v.duration.as_secs_f64();
+            assert!((30.0..=900.0).contains(&s), "duration {s}");
+        }
+        // Some but not all copyrighted.
+        let n_copy = c.iter().filter(|v| v.copyrighted).count();
+        assert!(n_copy > 0 && n_copy < 100, "copyrighted count {n_copy}");
+    }
+
+    #[test]
+    fn replace_on_duplicate_id() {
+        let (mut catalog, id) = Catalog::single_test_video();
+        catalog.add(Video::new(id, "Replaced", "x", SimDuration::from_secs(1), true));
+        assert_eq!(catalog.len(), 1);
+        assert_eq!(catalog.get(id).unwrap().title, "Replaced");
+    }
+}

@@ -1,0 +1,244 @@
+//! Per-network DNS resolution.
+//!
+//! "As wireless interfaces are associated with different networks, MSPlayer
+//! requests partial content from video servers in all networks
+//! simultaneously … In this work, we use Google's public DNS service to
+//! resolve the IP addresses of YouTube servers." (§2)
+//!
+//! The crucial behaviour modelled here is that a DNS answer depends on *which
+//! network asks*: the resolver (and YouTube's DNS-based server selection,
+//! the paper's \[3\]) returns video-server addresses topologically close to
+//! the querying network. Resolving `r1.youtube-video.example` over WiFi
+//! yields servers in the WiFi-reachable subnet; over cellular it yields the
+//! cellular-side replicas. That answer asymmetry is what gives MSPlayer its
+//! *source* diversity on top of path diversity.
+
+use msim_core::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// The access network an interface is attached to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Network {
+    /// 802.11 home WiFi.
+    Wifi,
+    /// Cellular LTE.
+    Cellular,
+}
+
+impl Network {
+    /// Both networks, WiFi first (the usual fast path).
+    pub const ALL: [Network; 2] = [Network::Wifi, Network::Cellular];
+
+    /// Short name used in domains and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Network::Wifi => "wifi",
+            Network::Cellular => "lte",
+        }
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// DNS failure modes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DnsError {
+    /// No record for this name in this network's view.
+    NxDomain(String),
+}
+
+impl fmt::Display for DnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnsError::NxDomain(name) => write!(f, "NXDOMAIN: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for DnsError {}
+
+/// A resolved answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DnsAnswer {
+    /// Addresses, preference-ordered.
+    pub addrs: Vec<Ipv4Addr>,
+    /// Answer TTL.
+    pub ttl: SimDuration,
+}
+
+/// The authoritative zone: per-network views of each name.
+#[derive(Clone, Debug, Default)]
+pub struct DnsZone {
+    records: BTreeMap<(Network, String), Vec<Ipv4Addr>>,
+    ttl: SimDuration,
+}
+
+impl DnsZone {
+    /// Creates an empty zone with a default 5-minute TTL.
+    pub fn new() -> DnsZone {
+        DnsZone {
+            records: BTreeMap::new(),
+            ttl: SimDuration::from_secs(300),
+        }
+    }
+
+    /// Adds (or extends) a record in one network's view.
+    pub fn add(&mut self, network: Network, name: &str, addr: Ipv4Addr) {
+        self.records
+            .entry((network, name.to_string()))
+            .or_default()
+            .push(addr);
+    }
+
+    /// Authoritative lookup of `name` as seen from `network`.
+    pub fn lookup(&self, network: Network, name: &str) -> Result<DnsAnswer, DnsError> {
+        self.records
+            .get(&(network, name.to_string()))
+            .filter(|addrs| !addrs.is_empty())
+            .map(|addrs| DnsAnswer {
+                addrs: addrs.clone(),
+                ttl: self.ttl,
+            })
+            .ok_or_else(|| DnsError::NxDomain(name.to_string()))
+    }
+}
+
+/// A caching stub resolver bound to one network interface (the "Google
+/// public DNS over interface i" of §2).
+pub struct DnsResolver {
+    network: Network,
+    /// Resolver processing time on top of the network round trip.
+    server_delay: SimDuration,
+    cache: BTreeMap<String, (SimTime, DnsAnswer)>,
+}
+
+impl DnsResolver {
+    /// Creates a resolver for `network` with a typical public-resolver
+    /// processing delay.
+    pub fn new(network: Network) -> DnsResolver {
+        DnsResolver {
+            network,
+            server_delay: SimDuration::from_millis(8),
+            cache: BTreeMap::new(),
+        }
+    }
+
+    /// The network this resolver queries through.
+    pub fn network(&self) -> Network {
+        self.network
+    }
+
+    /// Resolves `name` at time `now` through a path with round-trip `rtt`.
+    /// Returns the answer and the instant it becomes available (cache hits
+    /// are instantaneous).
+    pub fn resolve(
+        &mut self,
+        zone: &DnsZone,
+        name: &str,
+        now: SimTime,
+        rtt: SimDuration,
+    ) -> Result<(DnsAnswer, SimTime), DnsError> {
+        if let Some((expiry, answer)) = self.cache.get(name) {
+            if now < *expiry {
+                return Ok((answer.clone(), now));
+            }
+        }
+        let answer = zone.lookup(self.network, name)?;
+        let ready = now + rtt + self.server_delay;
+        self.cache
+            .insert(name.to_string(), (ready + answer.ttl, answer.clone()));
+        Ok((answer, ready))
+    }
+
+    /// Drops all cached entries (e.g. after an interface change).
+    pub fn flush(&mut self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zone() -> DnsZone {
+        let mut z = DnsZone::new();
+        z.add(Network::Wifi, "www.youtube.com", Ipv4Addr::new(128, 119, 1, 10));
+        z.add(Network::Cellular, "www.youtube.com", Ipv4Addr::new(172, 16, 9, 10));
+        z.add(Network::Wifi, "r1.youtube-video.example", Ipv4Addr::new(128, 119, 40, 1));
+        z.add(Network::Wifi, "r1.youtube-video.example", Ipv4Addr::new(128, 119, 40, 2));
+        z.add(
+            Network::Cellular,
+            "r1.youtube-video.example",
+            Ipv4Addr::new(172, 16, 40, 1),
+        );
+        z
+    }
+
+    #[test]
+    fn views_differ_per_network() {
+        let z = zone();
+        let wifi = z.lookup(Network::Wifi, "www.youtube.com").unwrap();
+        let lte = z.lookup(Network::Cellular, "www.youtube.com").unwrap();
+        assert_ne!(wifi.addrs, lte.addrs, "source diversity: per-network answers");
+    }
+
+    #[test]
+    fn multiple_replicas_in_one_view() {
+        let z = zone();
+        let ans = z.lookup(Network::Wifi, "r1.youtube-video.example").unwrap();
+        assert_eq!(ans.addrs.len(), 2, "failover list within the network");
+    }
+
+    #[test]
+    fn nxdomain_for_unknown_names() {
+        let z = zone();
+        assert!(matches!(
+            z.lookup(Network::Wifi, "nosuch.example"),
+            Err(DnsError::NxDomain(_))
+        ));
+    }
+
+    #[test]
+    fn resolver_charges_latency_then_caches() {
+        let z = zone();
+        let mut r = DnsResolver::new(Network::Wifi);
+        let rtt = SimDuration::from_millis(25);
+        let t0 = SimTime::from_secs(1);
+        let (ans1, ready1) = r.resolve(&z, "www.youtube.com", t0, rtt).unwrap();
+        assert_eq!(ready1, t0 + rtt + SimDuration::from_millis(8));
+        // Cache hit: immediate.
+        let t1 = ready1 + SimDuration::from_secs(1);
+        let (ans2, ready2) = r.resolve(&z, "www.youtube.com", t1, rtt).unwrap();
+        assert_eq!(ready2, t1, "cache hit is free");
+        assert_eq!(ans1, ans2);
+    }
+
+    #[test]
+    fn cache_expires_after_ttl() {
+        let z = zone();
+        let mut r = DnsResolver::new(Network::Wifi);
+        let rtt = SimDuration::from_millis(25);
+        let (_ans, ready) = r.resolve(&z, "www.youtube.com", SimTime::ZERO, rtt).unwrap();
+        let after_ttl = ready + SimDuration::from_secs(301);
+        let (_, ready2) = r.resolve(&z, "www.youtube.com", after_ttl, rtt).unwrap();
+        assert!(ready2 > after_ttl, "re-query after TTL expiry");
+    }
+
+    #[test]
+    fn flush_clears_cache() {
+        let z = zone();
+        let mut r = DnsResolver::new(Network::Wifi);
+        let rtt = SimDuration::from_millis(25);
+        let _ = r.resolve(&z, "www.youtube.com", SimTime::ZERO, rtt).unwrap();
+        r.flush();
+        let t = SimTime::from_secs(1);
+        let (_, ready) = r.resolve(&z, "www.youtube.com", t, rtt).unwrap();
+        assert!(ready > t);
+    }
+}

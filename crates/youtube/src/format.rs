@@ -1,0 +1,172 @@
+//! Video format profiles ("itags").
+//!
+//! "The video server maintains multiple profiles of the same video for
+//! different bitrates and video quality levels" (§2). The table below
+//! mirrors the circa-2014 YouTube itag table for progressive MP4/WebM/3GP
+//! streams. The paper's experiments use HD 720p MP4 with 44,100 Hz audio
+//! (§5) — itag 22 here.
+
+use msim_core::time::SimDuration;
+use msim_core::units::{BitRate, ByteSize};
+use std::fmt;
+
+/// Container formats.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Container {
+    /// MPEG-4 Part 14.
+    Mp4,
+    /// WebM (VP8 era).
+    WebM,
+    /// 3GP (legacy mobile).
+    ThreeGp,
+}
+
+impl fmt::Display for Container {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Container::Mp4 => "mp4",
+            Container::WebM => "webm",
+            Container::ThreeGp => "3gp",
+        })
+    }
+}
+
+/// One downloadable profile of a video.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VideoFormat {
+    /// The YouTube itag number.
+    pub itag: u32,
+    /// Container format.
+    pub container: Container,
+    /// Width × height.
+    pub resolution: (u32, u32),
+    /// Human label, e.g. `"720p"`.
+    pub quality_label: &'static str,
+    /// Combined audio+video encoding rate.
+    pub bitrate: BitRate,
+    /// Audio sample rate in Hz (the paper notes 44,100 Hz audio).
+    pub audio_sample_rate: u32,
+}
+
+impl VideoFormat {
+    /// File size of a `duration`-long video in this format.
+    pub fn size_for(&self, duration: SimDuration) -> ByteSize {
+        self.bitrate.bytes_over(duration)
+    }
+
+    /// Bytes of stream per second of playback.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bitrate.bytes_per_sec()
+    }
+
+    /// Seconds of playback contained in `bytes` of stream.
+    pub fn playback_secs(&self, bytes: ByteSize) -> f64 {
+        bytes.as_f64() / self.bytes_per_sec()
+    }
+}
+
+/// The circa-2014 progressive itag table (subset).
+pub const ITAGS: &[VideoFormat] = &[
+    VideoFormat {
+        itag: 17,
+        container: Container::ThreeGp,
+        resolution: (176, 144),
+        quality_label: "144p",
+        bitrate: BitRate::bps_const(120_000.0),
+        audio_sample_rate: 22_050,
+    },
+    VideoFormat {
+        itag: 36,
+        container: Container::ThreeGp,
+        resolution: (320, 240),
+        quality_label: "240p",
+        bitrate: BitRate::bps_const(250_000.0),
+        audio_sample_rate: 22_050,
+    },
+    VideoFormat {
+        itag: 18,
+        container: Container::Mp4,
+        resolution: (640, 360),
+        quality_label: "360p",
+        bitrate: BitRate::bps_const(600_000.0),
+        audio_sample_rate: 44_100,
+    },
+    VideoFormat {
+        itag: 43,
+        container: Container::WebM,
+        resolution: (640, 360),
+        quality_label: "360p",
+        bitrate: BitRate::bps_const(650_000.0),
+        audio_sample_rate: 44_100,
+    },
+    VideoFormat {
+        itag: 22,
+        container: Container::Mp4,
+        resolution: (1280, 720),
+        quality_label: "720p",
+        bitrate: BitRate::bps_const(2_500_000.0),
+        audio_sample_rate: 44_100,
+    },
+    VideoFormat {
+        itag: 37,
+        container: Container::Mp4,
+        resolution: (1920, 1080),
+        quality_label: "1080p",
+        bitrate: BitRate::bps_const(4_300_000.0),
+        audio_sample_rate: 44_100,
+    },
+];
+
+/// Looks up a format by itag.
+pub fn by_itag(itag: u32) -> Option<&'static VideoFormat> {
+    ITAGS.iter().find(|f| f.itag == itag)
+}
+
+/// The paper's experimental format: HD 720p MP4, 44.1 kHz audio (itag 22).
+pub fn hd_720p() -> &'static VideoFormat {
+    by_itag(22).expect("itag 22 present")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn itag_22_matches_paper_setup() {
+        let f = hd_720p();
+        assert_eq!(f.resolution, (1280, 720));
+        assert_eq!(f.audio_sample_rate, 44_100, "44,100 Hz audio per §5");
+        assert_eq!(f.container, Container::Mp4);
+        assert_eq!(f.quality_label, "720p");
+    }
+
+    #[test]
+    fn sizes_scale_with_duration_and_bitrate() {
+        let f = hd_720p();
+        // 40 s at 2.5 Mbit/s = 100 Mbit = 12.5 MB decimal.
+        let s = f.size_for(SimDuration::from_secs(40));
+        assert_eq!(s.as_u64(), 12_500_000);
+        // Round trip through playback_secs.
+        let secs = f.playback_secs(s);
+        assert!((secs - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn itags_are_unique_and_ordered_by_quality() {
+        let mut seen = std::collections::HashSet::new();
+        for f in ITAGS {
+            assert!(seen.insert(f.itag), "duplicate itag {}", f.itag);
+            assert!(f.bitrate.as_bps() > 0.0);
+        }
+        // Higher resolutions cost more bits.
+        let b360 = by_itag(18).unwrap().bitrate.as_bps();
+        let b720 = by_itag(22).unwrap().bitrate.as_bps();
+        let b1080 = by_itag(37).unwrap().bitrate.as_bps();
+        assert!(b360 < b720 && b720 < b1080);
+    }
+
+    #[test]
+    fn unknown_itag_is_none() {
+        assert!(by_itag(999).is_none());
+    }
+}

@@ -1,0 +1,421 @@
+//! The assembled emulated YouTube service.
+//!
+//! Wires together the catalog, per-network DNS views, web proxies, video
+//! servers, token minting, and the signature cipher into one façade the
+//! player drivers talk to. The topology mirrors §5: one web proxy and `k`
+//! video-server replicas per network ("Each type of server is hosted in two
+//! different UMass subnets for source diversity").
+
+use crate::catalog::Catalog;
+use crate::dns::{DnsZone, Network};
+use crate::proxy::{build_video_info, WebProxyServer};
+use crate::server::{FailurePlan, PacePolicy, ServerId, VideoServer};
+use crate::sig::{generate_signature, DecoderScript, SignatureCipher};
+use crate::token::{AccessToken, Operations};
+use crate::video::VideoId;
+use msim_core::rng::Prng;
+use msim_core::time::SimTime;
+use msim_http::StatusCode;
+use msim_json::Value;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Configuration for assembling a service instance.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Video-server replicas per network (paper testbed: 2 subnets).
+    pub servers_per_network: u32,
+    /// Pacing applied by every video server (None = testbed profile;
+    /// Some = YouTube-service profile with Trickle-style limiting).
+    pub pacing: Option<PacePolicy>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            servers_per_network: 2,
+            pacing: None,
+        }
+    }
+}
+
+/// The emulated service.
+pub struct YoutubeService {
+    catalog: Catalog,
+    zone: DnsZone,
+    proxies: Vec<WebProxyServer>,
+    servers: Vec<VideoServer>,
+    secret: u64,
+    cipher: SignatureCipher,
+    /// Per-video true signatures, minted on first use.
+    signatures: BTreeMap<String, String>,
+    rng: Prng,
+}
+
+fn subnet_base(network: Network) -> [u8; 2] {
+    match network {
+        Network::Wifi => [128, 119], // UMass-style subnet
+        Network::Cellular => [172, 16],
+    }
+}
+
+/// The well-known front-end name.
+pub const PROXY_DOMAIN: &str = "www.youtube.com";
+
+impl YoutubeService {
+    /// Assembles a service with the given catalog and config, seeded
+    /// deterministically.
+    pub fn new(seed: u64, catalog: Catalog, config: ServiceConfig) -> YoutubeService {
+        let mut rng = Prng::new(seed ^ 0x5eed_5eed_0000_0001);
+        let cipher = SignatureCipher::generate(&mut rng.fork(), 5);
+        let mut zone = DnsZone::new();
+        let mut proxies = Vec::new();
+        let mut servers = Vec::new();
+        let mut next_id = 0u32;
+        for network in Network::ALL {
+            let [a, b] = subnet_base(network);
+            let proxy_addr = Ipv4Addr::new(a, b, 1, 10);
+            zone.add(network, PROXY_DOMAIN, proxy_addr);
+            proxies.push(WebProxyServer::new(network, proxy_addr));
+            for replica in 0..config.servers_per_network {
+                next_id += 1;
+                let domain = format!("r{}.{}.youtube-video.example", replica + 1, network.name());
+                let addr = Ipv4Addr::new(a, b, 40, (replica + 1) as u8);
+                zone.add(network, &domain, addr);
+                let mut server = VideoServer::new(ServerId(next_id), domain, addr, network);
+                if let Some(pace) = config.pacing {
+                    server = server.with_pacing(pace);
+                }
+                servers.push(server);
+            }
+        }
+        YoutubeService {
+            catalog,
+            zone,
+            proxies,
+            servers,
+            secret: Prng::new(seed ^ 0x70ce_77e5).next_u64(),
+            cipher,
+            signatures: BTreeMap::new(),
+            rng,
+        }
+    }
+
+    /// The DNS zone (hand to per-interface resolvers).
+    pub fn zone(&self) -> &DnsZone {
+        &self.zone
+    }
+
+    /// The catalog being served.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The web proxy reachable from `network`.
+    pub fn proxy(&self, network: Network) -> &WebProxyServer {
+        self.proxies
+            .iter()
+            .find(|p| p.network == network)
+            .expect("a proxy exists per network")
+    }
+
+    /// All video servers reachable from `network`, preference-ordered
+    /// (least-loaded first, then by id — the load-aware selection of the
+    /// paper's \[3\]).
+    pub fn servers_in(&self, network: Network) -> Vec<&VideoServer> {
+        let mut list: Vec<&VideoServer> =
+            self.servers.iter().filter(|s| s.network == network).collect();
+        list.sort_by_key(|s| (s.load(), s.id));
+        list
+    }
+
+    /// Mutable access to a server by address (failure injection, session
+    /// accounting).
+    pub fn server_mut(&mut self, addr: Ipv4Addr) -> Option<&mut VideoServer> {
+        self.servers.iter_mut().find(|s| s.addr == addr)
+    }
+
+    /// Server lookup by address.
+    pub fn server(&self, addr: Ipv4Addr) -> Option<&VideoServer> {
+        self.servers.iter().find(|s| s.addr == addr)
+    }
+
+    /// Server lookup by domain name.
+    pub fn server_by_domain(&self, domain: &str) -> Option<&VideoServer> {
+        self.servers.iter().find(|s| s.domain == domain)
+    }
+
+    /// Injects a failure window into the server at `addr` (replaces any
+    /// previous plan — scenarios inject one plan each).
+    pub fn fail_server(&mut self, addr: Ipv4Addr, from: SimTime, until: SimTime) {
+        if let Some(s) = self.server_mut(addr) {
+            s.set_failures(FailurePlan::windows(vec![(from, until)]));
+        }
+    }
+
+    /// Handles a watch request arriving at the `network` proxy: performs the
+    /// catalog lookup, mints the token, selects servers, enciphers the
+    /// signature for copyrighted videos, and returns the JSON object.
+    ///
+    /// Timing is *not* applied here — drivers charge
+    /// [`WebProxyServer::json_ready_after`] on the wire.
+    pub fn watch_request(
+        &mut self,
+        network: Network,
+        video_id: VideoId,
+        client_ip: &str,
+        now: SimTime,
+    ) -> Result<Value, StatusCode> {
+        let Some(video) = self.catalog.get(video_id).cloned() else {
+            return Err(StatusCode::NOT_FOUND);
+        };
+        let token = AccessToken::issue(self.secret, video_id, client_ip, Operations::ALL, now);
+        let enciphered = if video.copyrighted {
+            let sig = self
+                .signatures
+                .entry(video_id.as_str().to_string())
+                .or_insert_with(|| generate_signature(&mut self.rng))
+                .clone();
+            Some(self.cipher.encipher(&sig))
+        } else {
+            None
+        };
+        let servers = self.servers_in(network);
+        if servers.is_empty() {
+            return Err(StatusCode::SERVICE_UNAVAILABLE);
+        }
+        Ok(build_video_info(
+            &video,
+            crate::format::ITAGS,
+            &servers,
+            &token,
+            client_ip,
+            enciphered.as_deref(),
+        ))
+    }
+
+    /// The decoder script embedded in the "video web page" (fetched by the
+    /// player for copyrighted videos, paper footnote 1).
+    pub fn decoder_page(&self) -> DecoderScript {
+        self.cipher.decoder()
+    }
+
+    /// Validates a range request hitting the server at `addr`. Checks
+    /// failure windows, token, and (for copyrighted videos) the deciphered
+    /// signature. On success returns the server's pacing policy.
+    pub fn check_range_request(
+        &self,
+        addr: Ipv4Addr,
+        now: SimTime,
+        video_id: VideoId,
+        client_ip: &str,
+        token_wire: &str,
+        signature: Option<&str>,
+    ) -> Result<Option<PacePolicy>, StatusCode> {
+        let Some(server) = self.server(addr) else {
+            return Err(StatusCode::NOT_FOUND);
+        };
+        server.check_range_request(self.secret, now, video_id, client_ip, token_wire)?;
+        if let Some(video) = self.catalog.get(video_id) {
+            if video.copyrighted {
+                let expected = self.signatures.get(video_id.as_str());
+                match (expected, signature) {
+                    (Some(exp), Some(got)) if exp == got => {}
+                    _ => return Err(StatusCode::FORBIDDEN),
+                }
+            }
+        } else {
+            return Err(StatusCode::NOT_FOUND);
+        }
+        Ok(server.pace())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proxy::parse_video_info;
+    use msim_core::time::SimDuration;
+
+    fn service() -> (YoutubeService, VideoId) {
+        let (catalog, id) = Catalog::single_test_video();
+        (
+            YoutubeService::new(7, catalog, ServiceConfig::default()),
+            id,
+        )
+    }
+
+    #[test]
+    fn topology_has_proxy_and_replicas_per_network() {
+        let (svc, _) = service();
+        for network in Network::ALL {
+            let proxy_ans = svc.zone().lookup(network, PROXY_DOMAIN).unwrap();
+            assert_eq!(proxy_ans.addrs.len(), 1);
+            let servers = svc.servers_in(network);
+            assert_eq!(servers.len(), 2, "two replicas per network");
+            for s in servers {
+                let ans = svc.zone().lookup(network, &s.domain).unwrap();
+                assert_eq!(ans.addrs, vec![s.addr]);
+            }
+        }
+    }
+
+    #[test]
+    fn watch_request_roundtrip_and_token_validates() {
+        let (mut svc, id) = service();
+        let now = SimTime::from_secs(2);
+        let json = svc
+            .watch_request(Network::Wifi, id, "203.0.113.7", now)
+            .unwrap();
+        let info = parse_video_info(&json).unwrap();
+        assert_eq!(info.video_id, id.as_str());
+        assert!(!info.copyrighted);
+        let server_addr = svc
+            .server_by_domain(&info.server_domains[0])
+            .unwrap()
+            .addr;
+        let pace = svc
+            .check_range_request(server_addr, now, id, "203.0.113.7", &info.token, None)
+            .unwrap();
+        assert!(pace.is_none(), "testbed profile is unpaced");
+    }
+
+    #[test]
+    fn unknown_video_is_404() {
+        let (mut svc, _) = service();
+        let other = VideoId::new("dQw4w9WgXcQ").unwrap();
+        assert_eq!(
+            svc.watch_request(Network::Wifi, other, "203.0.113.7", SimTime::ZERO),
+            Err(StatusCode::NOT_FOUND)
+        );
+    }
+
+    #[test]
+    fn copyrighted_video_requires_deciphered_signature() {
+        let mut catalog = Catalog::new();
+        let id = VideoId::new("c0pyRighted").unwrap();
+        catalog.add(crate::video::Video::new(
+            id,
+            "Protected",
+            "studio",
+            SimDuration::from_secs(120),
+            true,
+        ));
+        let mut svc = YoutubeService::new(3, catalog, ServiceConfig::default());
+        let json = svc
+            .watch_request(Network::Cellular, id, "198.51.100.9", SimTime::ZERO)
+            .unwrap();
+        let info = parse_video_info(&json).unwrap();
+        let enc = info.enciphered_sig.clone().expect("sig present");
+        let addr = svc.server_by_domain(&info.server_domains[0]).unwrap().addr;
+
+        // Without a signature: 403.
+        assert_eq!(
+            svc.check_range_request(addr, SimTime::ZERO, id, "198.51.100.9", &info.token, None),
+            Err(StatusCode::FORBIDDEN)
+        );
+        // With the enciphered signature passed as-is: still 403.
+        assert_eq!(
+            svc.check_range_request(
+                addr,
+                SimTime::ZERO,
+                id,
+                "198.51.100.9",
+                &info.token,
+                Some(&enc)
+            ),
+            Err(StatusCode::FORBIDDEN)
+        );
+        // Deciphering with the page's decoder: accepted.
+        let deciphered = svc.decoder_page().decipher(&enc);
+        assert_eq!(
+            svc.check_range_request(
+                addr,
+                SimTime::ZERO,
+                id,
+                "198.51.100.9",
+                &info.token,
+                Some(&deciphered)
+            ),
+            Ok(None)
+        );
+    }
+
+    #[test]
+    fn token_from_one_network_fails_for_other_client_ip() {
+        let (mut svc, id) = service();
+        let json = svc
+            .watch_request(Network::Wifi, id, "203.0.113.7", SimTime::ZERO)
+            .unwrap();
+        let info = parse_video_info(&json).unwrap();
+        let addr = svc.server_by_domain(&info.server_domains[0]).unwrap().addr;
+        assert_eq!(
+            svc.check_range_request(addr, SimTime::ZERO, id, "198.51.100.9", &info.token, None),
+            Err(StatusCode::FORBIDDEN),
+            "token is bound to the requesting interface's public IP"
+        );
+    }
+
+    #[test]
+    fn failed_server_rejects_until_recovery() {
+        let (mut svc, id) = service();
+        let json = svc
+            .watch_request(Network::Wifi, id, "203.0.113.7", SimTime::ZERO)
+            .unwrap();
+        let info = parse_video_info(&json).unwrap();
+        let addr = svc.server_by_domain(&info.server_domains[0]).unwrap().addr;
+        svc.fail_server(addr, SimTime::from_secs(5), SimTime::from_secs(10));
+        assert!(svc
+            .check_range_request(addr, SimTime::from_secs(7), id, "203.0.113.7", &info.token, None)
+            .is_err());
+        assert!(svc
+            .check_range_request(addr, SimTime::from_secs(12), id, "203.0.113.7", &info.token, None)
+            .is_ok());
+        // The other replica in the same network stays healthy → failover target.
+        let backup = svc
+            .servers_in(Network::Wifi)
+            .into_iter()
+            .find(|s| s.addr != addr)
+            .unwrap()
+            .addr;
+        assert!(svc
+            .check_range_request(backup, SimTime::from_secs(7), id, "203.0.113.7", &info.token, None)
+            .is_ok());
+    }
+
+    #[test]
+    fn load_aware_ordering() {
+        let (mut svc, _) = service();
+        let first = svc.servers_in(Network::Wifi)[0].addr;
+        svc.server_mut(first).unwrap().begin_session();
+        svc.server_mut(first).unwrap().begin_session();
+        let reordered = svc.servers_in(Network::Wifi);
+        assert_ne!(reordered[0].addr, first, "loaded server demoted");
+    }
+
+    #[test]
+    fn pacing_config_propagates() {
+        let (catalog, id) = Catalog::single_test_video();
+        let pace = PacePolicy {
+            burst: msim_core::units::ByteSize::mb(2),
+            rate: msim_core::units::BitRate::mbps(5.0),
+        };
+        let mut svc = YoutubeService::new(
+            1,
+            catalog,
+            ServiceConfig {
+                servers_per_network: 2,
+                pacing: Some(pace),
+            },
+        );
+        let json = svc
+            .watch_request(Network::Wifi, id, "203.0.113.7", SimTime::ZERO)
+            .unwrap();
+        let info = parse_video_info(&json).unwrap();
+        let addr = svc.server_by_domain(&info.server_domains[0]).unwrap().addr;
+        let got = svc
+            .check_range_request(addr, SimTime::ZERO, id, "203.0.113.7", &info.token, None)
+            .unwrap();
+        assert_eq!(got, Some(pace));
+    }
+}

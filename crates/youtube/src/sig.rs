@@ -1,0 +1,239 @@
+//! Signature cipher for copyrighted videos.
+//!
+//! Paper footnote 1: "As of July 2014, YouTube has applied algorithms to
+//! encode copyrighted video signatures. Since these signatures are needed to
+//! contact the video servers, for copyrighted videos, an additional
+//! operation is required to fetch the video web page containing a decoder to
+//! decipher the video signature."
+//!
+//! Historically that "decoder" was a small JavaScript routine composed of
+//! three primitive operations applied to the signature string: *reverse*,
+//! *swap the first char with position n*, and *splice off the first n
+//! chars*. This module reproduces that scheme: the proxy enciphers the
+//! signature; the player must fetch the [`DecoderScript`] (costing an extra
+//! round trip in the bootstrap) and run it to recover the signature the
+//! video server accepts.
+
+use msim_core::rng::Prng;
+
+/// One primitive cipher operation (mirrors the historical JS decoders).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CipherOp {
+    /// Reverse the signature.
+    Reverse,
+    /// Swap position 0 with position `n % len`.
+    Swap(usize),
+    /// Remove the first `n` characters.
+    Splice(usize),
+}
+
+impl CipherOp {
+    fn apply(&self, sig: &mut Vec<u8>) {
+        match *self {
+            CipherOp::Reverse => sig.reverse(),
+            CipherOp::Swap(n) => {
+                if !sig.is_empty() {
+                    let m = n % sig.len();
+                    sig.swap(0, m);
+                }
+            }
+            CipherOp::Splice(n) => {
+                let n = n.min(sig.len());
+                sig.drain(..n);
+            }
+        }
+    }
+}
+
+/// The decoder program: the op sequence that *deciphers* a signature.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecoderScript {
+    ops: Vec<CipherOp>,
+}
+
+impl DecoderScript {
+    /// Runs the decoder over an enciphered signature.
+    pub fn decipher(&self, enciphered: &str) -> String {
+        let mut sig = enciphered.as_bytes().to_vec();
+        for op in &self.ops {
+            op.apply(&mut sig);
+        }
+        String::from_utf8(sig).expect("cipher ops preserve ASCII")
+    }
+
+    /// The op sequence (for inspection / serialisation into the "video web
+    /// page").
+    pub fn ops(&self) -> &[CipherOp] {
+        &self.ops
+    }
+}
+
+/// The server-side cipher: enciphers true signatures and can produce the
+/// decoder script the client needs.
+///
+/// Note the historical quirk this models: `Splice` is lossy, so the *server*
+/// pads the signature before enciphering; the pad is what splices discard
+/// during deciphering. Concretely the server enciphers by running the
+/// decoder program backwards with inverse ops, inserting pad characters
+/// where the decoder will splice them off.
+#[derive(Clone, Debug)]
+pub struct SignatureCipher {
+    decoder: DecoderScript,
+    pad_char: u8,
+}
+
+impl SignatureCipher {
+    /// Generates a cipher with `n_ops` operations from a seeded RNG
+    /// (different videos/pages get different decoders, like the rotating JS
+    /// players did).
+    pub fn generate(rng: &mut Prng, n_ops: usize) -> SignatureCipher {
+        assert!(n_ops > 0, "cipher needs at least one op");
+        let mut ops = Vec::with_capacity(n_ops);
+        for _ in 0..n_ops {
+            let op = match rng.below(3) {
+                0 => CipherOp::Reverse,
+                1 => CipherOp::Swap(1 + rng.below(20) as usize),
+                _ => CipherOp::Splice(1 + rng.below(3) as usize),
+            };
+            ops.push(op);
+        }
+        SignatureCipher {
+            decoder: DecoderScript { ops },
+            pad_char: b'A',
+        }
+    }
+
+    /// The decoder script to embed in the "video web page".
+    pub fn decoder(&self) -> DecoderScript {
+        self.decoder.clone()
+    }
+
+    /// Enciphers a true signature such that
+    /// `decoder.decipher(encipher(sig)) == sig`.
+    pub fn encipher(&self, signature: &str) -> String {
+        let mut sig = signature.as_bytes().to_vec();
+        // Invert the decoder ops in reverse order.
+        for op in self.decoder.ops.iter().rev() {
+            match *op {
+                CipherOp::Reverse => sig.reverse(),
+                CipherOp::Swap(n) => {
+                    if !sig.is_empty() {
+                        let m = n % sig.len();
+                        sig.swap(0, m); // swap is self-inverse at fixed len
+                    }
+                }
+                CipherOp::Splice(n) => {
+                    // Decoder removes n chars from the front; pre-pend pad.
+                    let pad = vec![self.pad_char; n];
+                    let mut padded = pad;
+                    padded.extend_from_slice(&sig);
+                    sig = padded;
+                }
+            }
+        }
+        String::from_utf8(sig).expect("ascii")
+    }
+}
+
+/// Generates a plausible raw video signature (hex-ish, 40 chars, like the
+/// historical `signature=` parameter).
+pub fn generate_signature(rng: &mut Prng) -> String {
+    const HEX: &[u8] = b"0123456789ABCDEF";
+    let mut s = Vec::with_capacity(40);
+    for i in 0..40 {
+        if i == 8 || i == 16 {
+            s.push(b'.');
+        } else {
+            s.push(HEX[rng.below(16) as usize]);
+        }
+    }
+    String::from_utf8(s).expect("ascii")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decipher_inverts_encipher() {
+        let mut rng = Prng::new(1);
+        for n_ops in 1..=8 {
+            let cipher = SignatureCipher::generate(&mut rng, n_ops);
+            let sig = generate_signature(&mut rng);
+            let enc = cipher.encipher(&sig);
+            let dec = cipher.decoder().decipher(&enc);
+            assert_eq!(dec, sig, "n_ops={n_ops} enc={enc}");
+        }
+    }
+
+    #[test]
+    fn enciphered_differs_from_plain() {
+        let mut rng = Prng::new(2);
+        let cipher = SignatureCipher::generate(&mut rng, 5);
+        let sig = generate_signature(&mut rng);
+        let enc = cipher.encipher(&sig);
+        assert_ne!(enc, sig, "cipher must actually scramble");
+    }
+
+    #[test]
+    fn splice_only_cipher_pads_correctly() {
+        let cipher = SignatureCipher {
+            decoder: DecoderScript {
+                ops: vec![CipherOp::Splice(3), CipherOp::Splice(2)],
+            },
+            pad_char: b'A',
+        };
+        let sig = "HELLO";
+        let enc = cipher.encipher(sig);
+        assert_eq!(enc.len(), sig.len() + 5);
+        assert_eq!(cipher.decoder().decipher(&enc), sig);
+    }
+
+    #[test]
+    fn swap_is_self_inverse() {
+        let cipher = SignatureCipher {
+            decoder: DecoderScript {
+                ops: vec![CipherOp::Swap(7)],
+            },
+            pad_char: b'A',
+        };
+        let sig = "0123456789";
+        assert_eq!(cipher.decoder().decipher(&cipher.encipher(sig)), sig);
+    }
+
+    #[test]
+    fn ops_on_empty_signature_do_not_panic() {
+        let script = DecoderScript {
+            ops: vec![CipherOp::Reverse, CipherOp::Swap(3), CipherOp::Splice(2)],
+        };
+        assert_eq!(script.decipher(""), "");
+    }
+
+    #[test]
+    fn generated_signatures_look_right() {
+        let mut rng = Prng::new(3);
+        let sig = generate_signature(&mut rng);
+        assert_eq!(sig.len(), 40);
+        assert_eq!(sig.matches('.').count(), 2);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Roundtrip holds for arbitrary op programs and signatures.
+            #[test]
+            fn arbitrary_programs_roundtrip(
+                seed in any::<u64>(),
+                n_ops in 1usize..10,
+                sig in "[0-9A-F]{10,60}",
+            ) {
+                let mut rng = Prng::new(seed);
+                let cipher = SignatureCipher::generate(&mut rng, n_ops);
+                let enc = cipher.encipher(&sig);
+                prop_assert_eq!(cipher.decoder().decipher(&enc), sig);
+            }
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Access tokens.
+//!
+//! Paper §4: after OAuth verification "the web proxy server generates an
+//! access token (valid for an hour) that matches the video server's IP
+//! address as well as the operations requested". The token is embedded in
+//! the synthesized video URL and checked by the video server.
+//!
+//! The MAC here is an FNV-1a-based keyed hash — *an emulation stand-in, not
+//! cryptography* — chosen because it is deterministic, dependency-free and
+//! byte-stable across platforms, which keeps seeded sessions replayable.
+
+use crate::video::VideoId;
+use msim_core::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// Operations a token can grant (paper: "the operations requested").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Operations(u8);
+
+impl Operations {
+    /// Permission to stream (range-request) the video.
+    pub const STREAM: Operations = Operations(1);
+    /// Permission to probe metadata (HEAD).
+    pub const PROBE: Operations = Operations(2);
+    /// Both stream and probe.
+    pub const ALL: Operations = Operations(3);
+
+    /// True when `self` grants everything in `needed`.
+    pub fn allows(&self, needed: Operations) -> bool {
+        self.0 & needed.0 == needed.0
+    }
+
+    /// Raw bits (wire form).
+    pub fn bits(&self) -> u8 {
+        self.0
+    }
+
+    /// From raw bits.
+    pub fn from_bits(b: u8) -> Operations {
+        Operations(b & Operations::ALL.0)
+    }
+}
+
+/// Token validity window: one hour (paper §4).
+pub const TOKEN_TTL: SimDuration = SimDuration::from_secs(3600);
+
+/// An access token binding (video, client IP, operations, issue time).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessToken {
+    /// The video the token authorises.
+    pub video_id: VideoId,
+    /// The client's public IP as resolved by the proxy.
+    pub client_ip: String,
+    /// Granted operations.
+    pub operations: Operations,
+    /// Issue instant.
+    pub issued_at: SimTime,
+    /// Keyed MAC over the fields above.
+    mac: u64,
+}
+
+/// Why token validation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenError {
+    /// Past `issued_at + TOKEN_TTL`.
+    Expired {
+        /// How long past expiry the request arrived.
+        by: SimDuration,
+    },
+    /// MAC mismatch (forged or corrupted token, or wrong secret).
+    BadSignature,
+    /// Token is for a different video.
+    WrongVideo,
+    /// Token was bound to a different client IP.
+    WrongClient,
+    /// The requested operation is not granted.
+    OperationNotAllowed,
+    /// Wire form did not parse.
+    Malformed,
+}
+
+impl fmt::Display for TokenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenError::Expired { by } => write!(f, "token expired {by} ago"),
+            TokenError::BadSignature => write!(f, "token signature invalid"),
+            TokenError::WrongVideo => write!(f, "token bound to another video"),
+            TokenError::WrongClient => write!(f, "token bound to another client"),
+            TokenError::OperationNotAllowed => write!(f, "operation not granted"),
+            TokenError::Malformed => write!(f, "token malformed"),
+        }
+    }
+}
+
+impl std::error::Error for TokenError {}
+
+fn fnv1a64(data: &[u8], seed: u64) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64 ^ seed;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+fn mac_over(secret: u64, video_id: &VideoId, client_ip: &str, ops: Operations, issued: SimTime) -> u64 {
+    let material = format!(
+        "{}|{}|{}|{}",
+        video_id.as_str(),
+        client_ip,
+        ops.bits(),
+        issued.as_micros()
+    );
+    // Two passes with derived seeds: still not crypto, but not trivially
+    // invertible by accident in tests.
+    let h1 = fnv1a64(material.as_bytes(), secret);
+    fnv1a64(&h1.to_le_bytes(), secret.rotate_left(17))
+}
+
+impl AccessToken {
+    /// Issues a token signed with `secret`.
+    pub fn issue(
+        secret: u64,
+        video_id: VideoId,
+        client_ip: impl Into<String>,
+        operations: Operations,
+        issued_at: SimTime,
+    ) -> AccessToken {
+        let client_ip = client_ip.into();
+        let mac = mac_over(secret, &video_id, &client_ip, operations, issued_at);
+        AccessToken {
+            video_id,
+            client_ip,
+            operations,
+            issued_at,
+            mac,
+        }
+    }
+
+    /// Validates the token for a request arriving at `now`, for `video_id`,
+    /// from `client_ip`, performing `op`.
+    pub fn validate(
+        &self,
+        secret: u64,
+        now: SimTime,
+        video_id: VideoId,
+        client_ip: &str,
+        op: Operations,
+    ) -> Result<(), TokenError> {
+        let expect = mac_over(secret, &self.video_id, &self.client_ip, self.operations, self.issued_at);
+        if expect != self.mac {
+            return Err(TokenError::BadSignature);
+        }
+        if self.video_id != video_id {
+            return Err(TokenError::WrongVideo);
+        }
+        if self.client_ip != client_ip {
+            return Err(TokenError::WrongClient);
+        }
+        if !self.operations.allows(op) {
+            return Err(TokenError::OperationNotAllowed);
+        }
+        let expiry = self.issued_at + TOKEN_TTL;
+        if now > expiry {
+            return Err(TokenError::Expired {
+                by: now.saturating_since(expiry),
+            });
+        }
+        Ok(())
+    }
+
+    /// Wire form carried in the synthesized video URL.
+    pub fn to_wire(&self) -> String {
+        format!(
+            "{}.{}.{}.{}.{:016x}",
+            self.video_id.as_str(),
+            self.client_ip.replace('.', "_"),
+            self.operations.bits(),
+            self.issued_at.as_micros(),
+            self.mac
+        )
+    }
+
+    /// Parses the wire form.
+    pub fn from_wire(s: &str) -> Result<AccessToken, TokenError> {
+        let parts: Vec<&str> = s.split('.').collect();
+        if parts.len() != 5 {
+            return Err(TokenError::Malformed);
+        }
+        let video_id = VideoId::new(parts[0]).map_err(|_| TokenError::Malformed)?;
+        let client_ip = parts[1].replace('_', ".");
+        let ops: u8 = parts[2].parse().map_err(|_| TokenError::Malformed)?;
+        let issued: u64 = parts[3].parse().map_err(|_| TokenError::Malformed)?;
+        let mac = u64::from_str_radix(parts[4], 16).map_err(|_| TokenError::Malformed)?;
+        Ok(AccessToken {
+            video_id,
+            client_ip,
+            operations: Operations::from_bits(ops),
+            issued_at: SimTime::from_micros(issued),
+            mac,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SECRET: u64 = 0xfeed_beef_dead_cafe;
+
+    fn vid() -> VideoId {
+        VideoId::new("qjT4T2gU9sM").unwrap()
+    }
+
+    fn issue_at(t: SimTime) -> AccessToken {
+        AccessToken::issue(SECRET, vid(), "203.0.113.7", Operations::STREAM, t)
+    }
+
+    #[test]
+    fn valid_token_passes() {
+        let t = issue_at(SimTime::from_secs(100));
+        assert_eq!(
+            t.validate(SECRET, SimTime::from_secs(200), vid(), "203.0.113.7", Operations::STREAM),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn expires_after_one_hour() {
+        let t = issue_at(SimTime::from_secs(0));
+        let just_inside = SimTime::from_secs(3600);
+        assert!(t
+            .validate(SECRET, just_inside, vid(), "203.0.113.7", Operations::STREAM)
+            .is_ok());
+        let just_past = SimTime::from_secs(3601);
+        assert!(matches!(
+            t.validate(SECRET, just_past, vid(), "203.0.113.7", Operations::STREAM),
+            Err(TokenError::Expired { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_secret_is_bad_signature() {
+        let t = issue_at(SimTime::ZERO);
+        assert_eq!(
+            t.validate(SECRET + 1, SimTime::ZERO, vid(), "203.0.113.7", Operations::STREAM),
+            Err(TokenError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn binding_checks() {
+        let t = issue_at(SimTime::ZERO);
+        let other_vid = VideoId::new("dQw4w9WgXcQ").unwrap();
+        assert_eq!(
+            t.validate(SECRET, SimTime::ZERO, other_vid, "203.0.113.7", Operations::STREAM),
+            Err(TokenError::WrongVideo)
+        );
+        assert_eq!(
+            t.validate(SECRET, SimTime::ZERO, vid(), "198.51.100.9", Operations::STREAM),
+            Err(TokenError::WrongClient)
+        );
+        assert_eq!(
+            t.validate(SECRET, SimTime::ZERO, vid(), "203.0.113.7", Operations::PROBE),
+            Err(TokenError::OperationNotAllowed)
+        );
+    }
+
+    #[test]
+    fn tampered_wire_form_rejected() {
+        let t = issue_at(SimTime::from_secs(5));
+        let wire = t.to_wire();
+        let parsed = AccessToken::from_wire(&wire).unwrap();
+        assert_eq!(parsed, t);
+        // Flip the ops field to escalate permissions.
+        let mut parts: Vec<String> = wire.split('.').map(String::from).collect();
+        parts[2] = "3".into();
+        let forged = AccessToken::from_wire(&parts.join(".")).unwrap();
+        assert_eq!(
+            forged.validate(SECRET, SimTime::from_secs(6), vid(), "203.0.113.7", Operations::STREAM),
+            Err(TokenError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn malformed_wire_forms() {
+        for bad in ["", "a.b.c", "qjT4T2gU9sM.ip.9.nan.zz", "x.y.z.w.v.u"] {
+            assert_eq!(AccessToken::from_wire(bad), Err(TokenError::Malformed), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn operations_lattice() {
+        assert!(Operations::ALL.allows(Operations::STREAM));
+        assert!(Operations::ALL.allows(Operations::PROBE));
+        assert!(!Operations::STREAM.allows(Operations::ALL));
+        assert!(Operations::STREAM.allows(Operations::STREAM));
+    }
+}

@@ -1,0 +1,311 @@
+//! `msplayer-sim` — command-line front end for the simulator.
+//!
+//! ```sh
+//! cargo run --release --bin msplayer-sim -- \
+//!     --env testbed --scheduler harmonic --chunk 256K \
+//!     --prebuffer 40 --seed 7 --refills 2 --trace
+//! ```
+//!
+//! Runs one seeded session (or a `--runs N` sweep) and prints the QoE
+//! summary, optionally with the per-path activity timeline.
+
+use msplayer::core::config::{PlayerConfig, SchedulerKind};
+use msplayer::core::metrics::TrafficPhase;
+use msplayer::core::sim::{run_session, Scenario, StopCondition};
+use msplayer::core::trace::render_timeline;
+use msplayer::net::PathProfile;
+use msplayer::simcore::stats::{median, Running};
+use msplayer::simcore::units::ByteSize;
+use msplayer::youtube::Network;
+
+/// Parsed command-line options.
+#[derive(Clone, Debug, PartialEq)]
+struct Options {
+    env: String,       // testbed | youtube
+    player: String,    // msplayer | wifi | lte
+    scheduler: String, // harmonic | ewma | ratio | fixed
+    chunk: u64,        // bytes
+    prebuffer: f64,
+    refills: usize,
+    seed: u64,
+    runs: u64,
+    trace: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            env: "testbed".into(),
+            player: "msplayer".into(),
+            scheduler: "harmonic".into(),
+            chunk: 256 * 1024,
+            prebuffer: 40.0,
+            refills: 0,
+            seed: 2014,
+            runs: 1,
+            trace: false,
+        }
+    }
+}
+
+const USAGE: &str = "\
+msplayer-sim — run MSPlayer sessions on the deterministic simulator
+
+OPTIONS
+    --env <testbed|youtube>        environment profile        [testbed]
+    --player <msplayer|wifi|lte>   who streams                [msplayer]
+    --scheduler <harmonic|ewma|ratio|fixed>                   [harmonic]
+    --chunk <SIZE>                 initial chunk, e.g. 64K/1M [256K]
+    --prebuffer <SECS>             pre-buffer target          [40]
+    --refills <N>                  steady-state cycles to run [0]
+    --seed <N>                     base seed                  [2014]
+    --runs <N>                     seeds to sweep             [1]
+    --trace                        print the activity timeline
+    --help                         this text
+";
+
+/// Parses a size like `64K`, `1M`, `256K`, or plain bytes.
+fn parse_size(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    let (num, mult) = match s.chars().last() {
+        Some('K') | Some('k') => (&s[..s.len() - 1], 1024u64),
+        Some('M') | Some('m') => (&s[..s.len() - 1], 1024 * 1024),
+        _ => (s, 1),
+    };
+    num.parse::<u64>()
+        .map(|n| n * mult)
+        .map_err(|_| format!("bad size {s:?}"))
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opt = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--env" => opt.env = value()?,
+            "--player" => opt.player = value()?,
+            "--scheduler" => opt.scheduler = value()?,
+            "--chunk" => opt.chunk = parse_size(&value()?)?,
+            "--prebuffer" => {
+                opt.prebuffer = value()?.parse().map_err(|e| format!("--prebuffer: {e}"))?
+            }
+            "--refills" => {
+                opt.refills = value()?.parse().map_err(|e| format!("--refills: {e}"))?
+            }
+            "--seed" => opt.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--runs" => opt.runs = value()?.parse().map_err(|e| format!("--runs: {e}"))?,
+            "--trace" => opt.trace = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
+        }
+    }
+    for (field, allowed) in [
+        (&opt.env, &["testbed", "youtube"][..]),
+        (&opt.player, &["msplayer", "wifi", "lte"][..]),
+        (&opt.scheduler, &["harmonic", "ewma", "ratio", "fixed"][..]),
+    ] {
+        if !allowed.contains(&field.as_str()) {
+            return Err(format!("invalid value {field:?}; allowed: {allowed:?}"));
+        }
+    }
+    Ok(opt)
+}
+
+fn scenario_for(opt: &Options, seed: u64) -> Scenario {
+    let kind = match opt.scheduler.as_str() {
+        "ewma" => SchedulerKind::Ewma,
+        "ratio" => SchedulerKind::Ratio,
+        "fixed" => SchedulerKind::Fixed,
+        _ => SchedulerKind::Harmonic,
+    };
+    let cfg = if opt.player == "msplayer" {
+        PlayerConfig::msplayer()
+            .with_scheduler(kind)
+            .with_initial_chunk(ByteSize::bytes(opt.chunk))
+            .with_prebuffer_secs(opt.prebuffer)
+    } else {
+        PlayerConfig::commercial_single_path(ByteSize::bytes(opt.chunk))
+            .with_prebuffer_secs(opt.prebuffer)
+    };
+    let youtube = opt.env == "youtube";
+    let mut scenario = match (youtube, opt.player.as_str()) {
+        (false, "msplayer") => Scenario::testbed_msplayer(seed, cfg),
+        (true, "msplayer") => Scenario::youtube_msplayer(seed, cfg),
+        (false, "wifi") => Scenario::testbed_single_path(
+            seed,
+            PathProfile::wifi_testbed(),
+            Network::Wifi,
+            cfg,
+        ),
+        (true, "wifi") => Scenario::youtube_single_path(
+            seed,
+            PathProfile::wifi_youtube(),
+            Network::Wifi,
+            cfg,
+        ),
+        (false, _) => Scenario::testbed_single_path(
+            seed,
+            PathProfile::lte_testbed(),
+            Network::Cellular,
+            cfg,
+        ),
+        (true, _) => Scenario::youtube_single_path(
+            seed,
+            PathProfile::lte_youtube(),
+            Network::Cellular,
+            cfg,
+        ),
+    };
+    scenario.stop = if opt.refills > 0 {
+        StopCondition::AfterRefills(opt.refills)
+    } else {
+        StopCondition::PrebufferDone
+    };
+    scenario
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opt = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg == USAGE { 0 } else { 2 });
+        }
+    };
+
+    let mut prebuffer_stats = Running::new();
+    let mut prebuffer_samples = Vec::new();
+    for run in 0..opt.runs {
+        let seed = opt.seed ^ run.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let m = run_session(&scenario_for(&opt, seed));
+        if let Some(t) = m.prebuffer_time() {
+            prebuffer_stats.push(t.as_secs_f64());
+            prebuffer_samples.push(t.as_secs_f64());
+        }
+        if opt.runs == 1 {
+            println!(
+                "session (seed {seed}): {} chunks, pre-buffer {}",
+                m.chunks.len(),
+                m.prebuffer_time()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "-".into()),
+            );
+            for (i, r) in m.refills.iter().enumerate() {
+                println!(
+                    "  refill {}: {:.2} s ({:.1} MB)",
+                    i + 1,
+                    r.duration().as_secs_f64(),
+                    r.bytes as f64 / 1e6
+                );
+            }
+            for phase in [TrafficPhase::PreBuffering, TrafficPhase::ReBuffering] {
+                if let Some(f) = m.traffic_fraction(0, phase) {
+                    println!("  WiFi share, {phase:?}: {:.1} %", f * 100.0);
+                }
+            }
+            if !m.stalls.is_empty() {
+                println!("  stalls: {} ({})", m.stalls.len(), m.total_stall_time());
+            }
+            if opt.trace {
+                println!("\n{}", render_timeline(&m, 96));
+            }
+        }
+    }
+    if opt.runs > 1 {
+        println!(
+            "{} runs: pre-buffer median {:.2} s, mean {} s (min {:.2}, max {:.2})",
+            opt.runs,
+            median(&prebuffer_samples),
+            prebuffer_stats.mean_pm_std(),
+            prebuffer_stats.min(),
+            prebuffer_stats.max(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_when_no_args() {
+        assert_eq!(parse_args(&[]).unwrap(), Options::default());
+    }
+
+    #[test]
+    fn parses_everything() {
+        let o = parse_args(&args(
+            "--env youtube --player wifi --scheduler ewma --chunk 1M \
+             --prebuffer 20 --refills 3 --seed 9 --runs 5 --trace",
+        ))
+        .unwrap();
+        assert_eq!(o.env, "youtube");
+        assert_eq!(o.player, "wifi");
+        assert_eq!(o.scheduler, "ewma");
+        assert_eq!(o.chunk, 1024 * 1024);
+        assert_eq!(o.prebuffer, 20.0);
+        assert_eq!(o.refills, 3);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.runs, 5);
+        assert!(o.trace);
+    }
+
+    #[test]
+    fn size_suffixes() {
+        assert_eq!(parse_size("64K").unwrap(), 65_536);
+        assert_eq!(parse_size("1M").unwrap(), 1_048_576);
+        assert_eq!(parse_size("512").unwrap(), 512);
+        assert!(parse_size("abcK").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_and_invalid() {
+        assert!(parse_args(&args("--bogus 1")).is_err());
+        assert!(parse_args(&args("--env mars")).is_err());
+        assert!(parse_args(&args("--scheduler quantum")).is_err());
+        assert!(parse_args(&args("--chunk")).is_err(), "missing value");
+    }
+
+    #[test]
+    fn help_returns_usage() {
+        let err = parse_args(&args("--help")).unwrap_err();
+        assert!(err.contains("msplayer-sim"));
+    }
+
+    #[test]
+    fn scenarios_build_for_all_combinations() {
+        for env in ["testbed", "youtube"] {
+            for player in ["msplayer", "wifi", "lte"] {
+                let o = Options {
+                    env: env.into(),
+                    player: player.into(),
+                    prebuffer: 5.0,
+                    ..Options::default()
+                };
+                let s = scenario_for(&o, 1);
+                let expected_paths = if player == "msplayer" { 2 } else { 1 };
+                assert_eq!(s.paths.len(), expected_paths, "{env}/{player}");
+            }
+        }
+    }
+
+    #[test]
+    fn cli_session_runs_end_to_end() {
+        let o = Options {
+            prebuffer: 5.0,
+            ..Options::default()
+        };
+        let m = run_session(&scenario_for(&o, 42));
+        assert!(m.prebuffer_time().is_some());
+    }
+}

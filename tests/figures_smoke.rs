@@ -1,0 +1,214 @@
+//! Figure-shape smoke tests: small-N versions of every figure/table
+//! experiment asserting the *qualitative* claims of the paper hold for the
+//! default seeds. The full-N versions live in `crates/bench/benches/`.
+
+use msplayer::core::config::{PlayerConfig, SchedulerKind};
+use msplayer::core::metrics::TrafficPhase;
+use msplayer::core::sim::{run_session, Scenario, StopCondition};
+use msplayer::http::tls::TlsTimingModel;
+use msplayer::net::PathProfile;
+use msplayer::simcore::stats::median;
+use msplayer::simcore::time::SimDuration;
+use msplayer::simcore::units::ByteSize;
+use msplayer::youtube::Network;
+
+const RUNS: u64 = 8;
+
+fn seeds() -> impl Iterator<Item = u64> {
+    (0..RUNS).map(|r| 0x5eed ^ (r.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+fn prebuffer_median(make: impl Fn(u64) -> Scenario) -> f64 {
+    let times: Vec<f64> = seeds()
+        .map(|s| {
+            run_session(&make(s))
+                .prebuffer_time()
+                .expect("completes")
+                .as_secs_f64()
+        })
+        .collect();
+    median(&times)
+}
+
+fn msplayer_cfg(kind: SchedulerKind, chunk_kb: u64, pb: f64) -> PlayerConfig {
+    PlayerConfig::msplayer()
+        .with_scheduler(kind)
+        .with_initial_chunk(ByteSize::kb(chunk_kb))
+        .with_prebuffer_secs(pb)
+}
+
+fn commercial(chunk_kb: u64, pb: f64) -> PlayerConfig {
+    PlayerConfig::commercial_single_path(ByteSize::kb(chunk_kb)).with_prebuffer_secs(pb)
+}
+
+// --- Fig. 1 ----------------------------------------------------------------
+
+#[test]
+fn fig1_formulas_hold() {
+    let m = TlsTimingModel::default();
+    let r1 = SimDuration::from_millis(25);
+    let r2 = SimDuration::from_millis(65);
+    assert_eq!(m.pi(r1), m.psi(r1) + m.eta(r1));
+    // Head start = 10(θ−1)R1, independent of Δs.
+    assert_eq!(
+        m.head_start(r1, r2),
+        SimDuration::from_micros(10 * (r2.as_micros() - r1.as_micros()))
+    );
+}
+
+// --- Fig. 2 ----------------------------------------------------------------
+
+#[test]
+fn fig2_msplayer_beats_both_single_paths() {
+    let ms = prebuffer_median(|s| {
+        Scenario::testbed_msplayer(s, msplayer_cfg(SchedulerKind::Ratio, 1024, 40.0))
+    });
+    let wifi = prebuffer_median(|s| {
+        Scenario::testbed_single_path(
+            s,
+            PathProfile::wifi_testbed(),
+            Network::Wifi,
+            commercial(1024, 40.0),
+        )
+    });
+    let lte = prebuffer_median(|s| {
+        Scenario::testbed_single_path(
+            s,
+            PathProfile::lte_testbed(),
+            Network::Cellular,
+            commercial(1024, 40.0),
+        )
+    });
+    assert!(wifi < lte, "WiFi is the best single path: {wifi} vs {lte}");
+    let reduction = 1.0 - ms / wifi;
+    assert!(
+        reduction > 0.15,
+        "MSPlayer cuts start-up delay materially: ms={ms:.2} wifi={wifi:.2} ({:.0} %)",
+        reduction * 100.0
+    );
+}
+
+// --- Fig. 3 ----------------------------------------------------------------
+
+#[test]
+fn fig3_larger_initial_chunks_download_faster() {
+    let t16 = prebuffer_median(|s| {
+        Scenario::testbed_msplayer(s, msplayer_cfg(SchedulerKind::Harmonic, 16, 40.0))
+    });
+    let t1m = prebuffer_median(|s| {
+        Scenario::testbed_msplayer(s, msplayer_cfg(SchedulerKind::Harmonic, 1024, 40.0))
+    });
+    assert!(t1m < t16, "1 MB beats 16 KB: {t1m} vs {t16}");
+}
+
+#[test]
+fn fig3_ratio_baseline_is_much_worse_at_small_chunks() {
+    let harmonic = prebuffer_median(|s| {
+        Scenario::testbed_msplayer(s, msplayer_cfg(SchedulerKind::Harmonic, 16, 40.0))
+    });
+    let ratio = prebuffer_median(|s| {
+        Scenario::testbed_msplayer(s, msplayer_cfg(SchedulerKind::Ratio, 16, 40.0))
+    });
+    assert!(
+        ratio > harmonic * 1.3,
+        "Ratio cannot grow the slow path's chunks: ratio={ratio:.2} harmonic={harmonic:.2}"
+    );
+}
+
+#[test]
+fn fig3_harmonic_default_chunk_choice_is_justified() {
+    // §5.2: Harmonic(256 KB) ≈ Harmonic(1 MB), so 256 KB is preferred for
+    // smaller bursts.
+    let t256 = prebuffer_median(|s| {
+        Scenario::testbed_msplayer(s, msplayer_cfg(SchedulerKind::Harmonic, 256, 40.0))
+    });
+    let t1m = prebuffer_median(|s| {
+        Scenario::testbed_msplayer(s, msplayer_cfg(SchedulerKind::Harmonic, 1024, 40.0))
+    });
+    assert!(
+        (t256 - t1m).abs() / t1m < 0.25,
+        "256 KB within 25 % of 1 MB: {t256:.2} vs {t1m:.2}"
+    );
+}
+
+// --- Fig. 4 ----------------------------------------------------------------
+
+#[test]
+fn fig4_youtube_msplayer_beats_best_single_path_at_all_prebuffers() {
+    for pb in [20.0, 40.0, 60.0] {
+        let ms = prebuffer_median(|s| {
+            Scenario::youtube_msplayer(s, msplayer_cfg(SchedulerKind::Harmonic, 256, pb))
+        });
+        let wifi = prebuffer_median(|s| {
+            Scenario::youtube_single_path(
+                s,
+                PathProfile::wifi_youtube(),
+                Network::Wifi,
+                commercial(256, pb),
+            )
+        });
+        assert!(
+            ms < wifi,
+            "pb={pb}: MSPlayer {ms:.2} must beat WiFi {wifi:.2}"
+        );
+    }
+}
+
+// --- Fig. 5 ----------------------------------------------------------------
+
+fn refill_median(who: &str, cfg: PlayerConfig) -> f64 {
+    let samples: Vec<f64> = seeds()
+        .flat_map(|seed| {
+            let mut s = match who {
+                "ms" => Scenario::youtube_msplayer(seed, cfg.clone()),
+                "wifi" => Scenario::youtube_single_path(
+                    seed,
+                    PathProfile::wifi_youtube(),
+                    Network::Wifi,
+                    cfg.clone(),
+                ),
+                _ => unreachable!(),
+            };
+            s.stop = StopCondition::AfterRefills(2);
+            run_session(&s)
+                .refills
+                .iter()
+                .map(|r| r.duration().as_secs_f64())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    median(&samples)
+}
+
+#[test]
+fn fig5_bigger_chunks_refill_faster_and_msplayer_is_fastest() {
+    let wifi64 = refill_median("wifi", commercial(64, 40.0).with_rebuffer_secs(20.0));
+    let wifi256 = refill_median("wifi", commercial(256, 40.0).with_rebuffer_secs(20.0));
+    let ms = refill_median(
+        "ms",
+        msplayer_cfg(SchedulerKind::Harmonic, 256, 40.0).with_rebuffer_secs(20.0),
+    );
+    assert!(wifi256 < wifi64, "256 KB < 64 KB: {wifi256:.2} vs {wifi64:.2}");
+    assert!(ms < wifi256, "MSPlayer fastest: {ms:.2} vs {wifi256:.2}");
+}
+
+// --- Table 1 ---------------------------------------------------------------
+
+#[test]
+fn table1_wifi_carries_majority_of_prebuffer_traffic() {
+    let mut fractions = Vec::new();
+    for seed in seeds() {
+        let mut s =
+            Scenario::youtube_msplayer(seed, msplayer_cfg(SchedulerKind::Harmonic, 256, 40.0));
+        s.stop = StopCondition::AfterRefills(1);
+        let m = run_session(&s);
+        if let Some(f) = m.traffic_fraction(0, TrafficPhase::PreBuffering) {
+            fractions.push(f * 100.0);
+        }
+    }
+    let avg = fractions.iter().sum::<f64>() / fractions.len() as f64;
+    assert!(
+        (50.0..80.0).contains(&avg),
+        "WiFi pre-buffer share ≈ 60 % band, got {avg:.1} % ({fractions:?})"
+    );
+}

@@ -14,13 +14,13 @@
 
 use msim_core::report::{figures_dir, Table};
 use msim_core::stats::{mean, median};
-use msim_net::profile::PathProfile;
+use msim_core::time::SimTime;
 use msim_core::units::BitRate;
+use msim_net::profile::PathProfile;
 use msim_youtube::dns::Network;
 use msplayer_bench::*;
 use msplayer_core::config::{GammaRounding, PlayerConfig, SchedulerKind};
 use msplayer_core::sim::{run_session, Scenario, ServerFailure, StopCondition};
-use msim_core::time::SimTime;
 
 fn sweep(label: &str, table: &mut Table, make: impl Fn(u64) -> Scenario) {
     let times: Vec<f64> = (0..runs())
@@ -45,7 +45,10 @@ fn base_player() -> PlayerConfig {
 }
 
 fn main() {
-    println!("Ablations — emulated testbed, 40 s pre-buffer ({} runs each)\n", runs());
+    println!(
+        "Ablations — emulated testbed, 40 s pre-buffer ({} runs each)\n",
+        runs()
+    );
 
     // 1. Out-of-order cap.
     let mut t = Table::new(&["ooo cap", "median (s)", "mean", "iqr"]);
@@ -56,8 +59,12 @@ fn main() {
             Scenario::testbed_msplayer(seed, p)
         });
     }
-    println!("1) out-of-order chunk cap (paper design: 1)\n{}", t.render());
-    t.write_csv(&figures_dir().join("ablation_ooo_cap.csv")).unwrap();
+    println!(
+        "1) out-of-order chunk cap (paper design: 1)\n{}",
+        t.render()
+    );
+    t.write_csv(&figures_dir().join("ablation_ooo_cap.csv"))
+        .unwrap();
 
     // 2. δ sweep.
     let mut t = Table::new(&["delta", "median (s)", "mean", "iqr"]);
@@ -68,8 +75,12 @@ fn main() {
             Scenario::testbed_msplayer(seed, p)
         });
     }
-    println!("2) throughput variation parameter δ (paper: 5 %)\n{}", t.render());
-    t.write_csv(&figures_dir().join("ablation_delta.csv")).unwrap();
+    println!(
+        "2) throughput variation parameter δ (paper: 5 %)\n{}",
+        t.render()
+    );
+    t.write_csv(&figures_dir().join("ablation_delta.csv"))
+        .unwrap();
 
     // 3. α sweep (EWMA scheduler).
     let mut t = Table::new(&["alpha", "median (s)", "mean", "iqr"]);
@@ -81,7 +92,8 @@ fn main() {
         });
     }
     println!("3) EWMA weight α (paper: 0.9)\n{}", t.render());
-    t.write_csv(&figures_dir().join("ablation_alpha.csv")).unwrap();
+    t.write_csv(&figures_dir().join("ablation_alpha.csv"))
+        .unwrap();
 
     // 4. Harmonic estimator form.
     let mut t = Table::new(&["estimator", "median (s)", "mean", "iqr"]);
@@ -90,8 +102,12 @@ fn main() {
             Scenario::testbed_msplayer(seed, msplayer(kind, 256))
         });
     }
-    println!("4) full-history (Eq. 2) vs sliding-window harmonic mean\n{}", t.render());
-    t.write_csv(&figures_dir().join("ablation_harmonic_form.csv")).unwrap();
+    println!(
+        "4) full-history (Eq. 2) vs sliding-window harmonic mean\n{}",
+        t.render()
+    );
+    t.write_csv(&figures_dir().join("ablation_harmonic_form.csv"))
+        .unwrap();
 
     // 5. Head start.
     let mut t = Table::new(&["head start", "median (s)", "mean", "iqr"]);
@@ -102,8 +118,12 @@ fn main() {
             Scenario::testbed_msplayer(seed, p)
         });
     }
-    println!("5) fast path starts before the slow path finishes bootstrap (§3.2)\n{}", t.render());
-    t.write_csv(&figures_dir().join("ablation_head_start.csv")).unwrap();
+    println!(
+        "5) fast path starts before the slow path finishes bootstrap (§3.2)\n{}",
+        t.render()
+    );
+    t.write_csv(&figures_dir().join("ablation_head_start.csv"))
+        .unwrap();
 
     // 6. γ rounding.
     let mut t = Table::new(&["gamma", "median (s)", "mean", "iqr"]);
@@ -117,8 +137,12 @@ fn main() {
             Scenario::testbed_msplayer(seed, p)
         });
     }
-    println!("6) fast-path γ rounding (see DESIGN.md deviation note)\n{}", t.render());
-    t.write_csv(&figures_dir().join("ablation_gamma.csv")).unwrap();
+    println!(
+        "6) fast-path γ rounding (see DESIGN.md deviation note)\n{}",
+        t.render()
+    );
+    t.write_csv(&figures_dir().join("ablation_gamma.csv"))
+        .unwrap();
 
     // 7. Source/path diversity: two real paths vs one fat pipe.
     let mut t = Table::new(&["topology", "median (s)", "mean", "iqr"]);
@@ -135,8 +159,12 @@ fn main() {
             commercial(1024),
         )
     });
-    println!("7) two paths vs a single path of equal total capacity\n{}", t.render());
-    t.write_csv(&figures_dir().join("ablation_diversity.csv")).unwrap();
+    println!(
+        "7) two paths vs a single path of equal total capacity\n{}",
+        t.render()
+    );
+    t.write_csv(&figures_dir().join("ablation_diversity.csv"))
+        .unwrap();
 
     // 8. Failover under an injected failure of WiFi's primary server.
     let mut t = Table::new(&["failover", "median (s)", "mean", "iqr"]);
@@ -154,8 +182,12 @@ fn main() {
             s
         });
     }
-    println!("8) server failover when WiFi's primary server fails at t=1 s\n{}", t.render());
-    t.write_csv(&figures_dir().join("ablation_failover.csv")).unwrap();
+    println!(
+        "8) server failover when WiFi's primary server fails at t=1 s\n{}",
+        t.render()
+    );
+    t.write_csv(&figures_dir().join("ablation_failover.csv"))
+        .unwrap();
 
     println!("[csv] written under {}", figures_dir().display());
 }

@@ -24,8 +24,18 @@ fn main() {
         msplayer(SchedulerKind::Ratio, 1024),
         prebuffer,
     );
-    let wifi = prebuffer_times(Env::Testbed, Competitor::WifiOnly, commercial(1024), prebuffer);
-    let lte = prebuffer_times(Env::Testbed, Competitor::LteOnly, commercial(1024), prebuffer);
+    let wifi = prebuffer_times(
+        Env::Testbed,
+        Competitor::WifiOnly,
+        commercial(1024),
+        prebuffer,
+    );
+    let lte = prebuffer_times(
+        Env::Testbed,
+        Competitor::LteOnly,
+        commercial(1024),
+        prebuffer,
+    );
 
     let mut panel = BoxPanel::new("Download time distribution", "Download Time (sec)", 56);
     panel.add("WiFi", boxstats(&wifi));

@@ -45,12 +45,8 @@ fn main() {
         );
         for &kb in chunk_sizes_kb.iter().rev() {
             for kind in schedulers {
-                let times = prebuffer_times(
-                    Env::Testbed,
-                    Competitor::MsPlayer,
-                    msplayer(kind, kb),
-                    pb,
-                );
+                let times =
+                    prebuffer_times(Env::Testbed, Competitor::MsPlayer, msplayer(kind, kb), pb);
                 let b = boxstats(&times);
                 let size_label = if kb >= 1024 {
                     format!("{}MB", kb / 1024)

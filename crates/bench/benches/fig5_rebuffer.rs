@@ -19,14 +19,7 @@ fn main() {
         "Fig. 5 — re-buffering over the YouTube service profile ({} runs × {CYCLES} cycles)\n",
         runs()
     );
-    let mut table = Table::new(&[
-        "refill (s)",
-        "player",
-        "chunk",
-        "median (s)",
-        "q1",
-        "q3",
-    ]);
+    let mut table = Table::new(&["refill (s)", "player", "chunk", "median (s)", "q1", "q3"]);
 
     for refill in [20.0, 40.0, 60.0] {
         let mut panel = BoxPanel::new(
@@ -34,11 +27,36 @@ fn main() {
             "Download Time (sec)",
             56,
         );
-        let configs: Vec<(String, Competitor, msplayer_core::config::PlayerConfig, &str)> = vec![
-            ("WiFi 64 KB".into(), Competitor::WifiOnly, commercial(64), "64 KB"),
-            ("WiFi 256 KB".into(), Competitor::WifiOnly, commercial(256), "256 KB"),
-            ("LTE 64 KB".into(), Competitor::LteOnly, commercial(64), "64 KB"),
-            ("LTE 256 KB".into(), Competitor::LteOnly, commercial(256), "256 KB"),
+        let configs: Vec<(
+            String,
+            Competitor,
+            msplayer_core::config::PlayerConfig,
+            &str,
+        )> = vec![
+            (
+                "WiFi 64 KB".into(),
+                Competitor::WifiOnly,
+                commercial(64),
+                "64 KB",
+            ),
+            (
+                "WiFi 256 KB".into(),
+                Competitor::WifiOnly,
+                commercial(256),
+                "256 KB",
+            ),
+            (
+                "LTE 64 KB".into(),
+                Competitor::LteOnly,
+                commercial(64),
+                "64 KB",
+            ),
+            (
+                "LTE 256 KB".into(),
+                Competitor::LteOnly,
+                commercial(256),
+                "256 KB",
+            ),
             (
                 "MSPlayer".into(),
                 Competitor::MsPlayer,

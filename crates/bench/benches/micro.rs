@@ -11,7 +11,7 @@ use msim_core::time::{SimDuration, SimTime};
 use msim_core::units::ByteSize;
 use msplayer_core::config::{PlayerConfig, SchedulerKind};
 use msplayer_core::estimator::{BandwidthEstimator, Ewma, HarmonicInc};
-use msplayer_core::scheduler::build_scheduler;
+use msplayer_core::scheduler::{build_scheduler, SchedulerImpl};
 use msplayer_core::sim::{run_session, Scenario};
 
 fn bench_estimators(c: &mut Criterion) {
@@ -36,7 +36,21 @@ fn bench_estimators(c: &mut Criterion) {
 }
 
 fn bench_scheduler(c: &mut Criterion) {
+    // Enum dispatch (what the player uses): on_sample + chunk_size are
+    // direct, inlinable calls.
     c.bench_function("scheduler/dcsa_harmonic_on_sample", |b| {
+        let cfg = PlayerConfig::default();
+        let mut s = SchedulerImpl::from_config(&cfg);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            s.on_sample(i & 1, black_box(8.0e6 + (i % 100) as f64 * 1e4));
+            black_box(s.chunk_size(i & 1))
+        });
+    });
+    // Boxed trait-object dispatch, kept as the before/after comparator for
+    // the enum refactor.
+    c.bench_function("scheduler/dcsa_harmonic_on_sample_boxed", |b| {
         let cfg = PlayerConfig::default();
         let mut s = build_scheduler(&cfg);
         let mut i = 0usize;
@@ -54,7 +68,10 @@ fn bench_event_queue(c: &mut Criterion) {
             EventQueue::<u32>::new,
             |mut q| {
                 for i in 0..1000u32 {
-                    q.push(SimTime::from_micros(((i * 7919) % 10_000) as u64 + 10_000), i);
+                    q.push(
+                        SimTime::from_micros(((i * 7919) % 10_000) as u64 + 10_000),
+                        i,
+                    );
                 }
                 while let Some(ev) = q.pop() {
                     black_box(ev);
@@ -62,6 +79,50 @@ fn bench_event_queue(c: &mut Criterion) {
             },
             BatchSize::SmallInput,
         );
+    });
+    // Cancellation-heavy schedule: the simulator cancels timers (ticks,
+    // timeouts) constantly; this is the path the slab queue makes O(1).
+    c.bench_function("event_queue/push_cancel_pop_1k", |b| {
+        b.iter_batched(
+            EventQueue::<u32>::new,
+            |mut q| {
+                let mut ids = Vec::with_capacity(1000);
+                for i in 0..1000u32 {
+                    ids.push(q.push(
+                        SimTime::from_micros(((i * 7919) % 10_000) as u64 + 10_000),
+                        i,
+                    ));
+                }
+                // Cancel two of every three events, newest first.
+                for (k, id) in ids.into_iter().enumerate().rev() {
+                    if k % 3 != 0 {
+                        black_box(q.cancel(id));
+                    }
+                }
+                while let Some(ev) = q.pop() {
+                    black_box(ev);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    // Steady-state interleave: the simulator's actual access pattern is a
+    // rolling horizon of pushes/pops, not bulk fill-drain.
+    c.bench_function("event_queue/interleaved_steady_state", |b| {
+        let mut q = EventQueue::<u32>::new();
+        for i in 0..64u32 {
+            q.push(SimTime::from_micros(i as u64 * 13 + 1_000_000), i);
+        }
+        let mut i = 64u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let (t, e) = q.pop().expect("queue never drains");
+            q.push(
+                t + SimDuration::from_micros(((e as u64 * 7919) % 997) + 1),
+                i,
+            );
+            black_box(t)
+        });
     });
 }
 
@@ -92,10 +153,12 @@ fn bench_http_codec(c: &mut Criterion) {
     );
     let wire = msim_http::encode_response(&resp);
     c.bench_function("http/decode_256kB_response", |b| {
-        b.iter(|| match msim_http::decode_response(black_box(&wire)).unwrap() {
-            msim_http::Decoded::Complete { message, .. } => black_box(message.body.len()),
-            msim_http::Decoded::NeedMore => unreachable!(),
-        });
+        b.iter(
+            || match msim_http::decode_response(black_box(&wire)).unwrap() {
+                msim_http::Decoded::Complete { message, .. } => black_box(message.body.len()),
+                msim_http::Decoded::NeedMore => unreachable!(),
+            },
+        );
     });
 }
 

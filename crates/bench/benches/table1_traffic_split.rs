@@ -35,7 +35,9 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
-    println!("\n(paper: pre 64.1±9.3 / 60.1±15.0 / 63.7±12.6; re 61.8±7.1 / 61.7±11.5 / 56.5±11.6)");
+    println!(
+        "\n(paper: pre 64.1±9.3 / 60.1±15.0 / 63.7±12.6; re 61.8±7.1 / 61.7±11.5 / 56.5±11.6)"
+    );
 
     let csv_path = figures_dir().join("table1_traffic_split.csv");
     table.write_csv(&csv_path).expect("write CSV");

@@ -1,0 +1,84 @@
+//! `sweep` — runs the Fig. 3-style scheduler sweep serially and in
+//! parallel, verifies the outputs are bit-identical, and records
+//! `BENCH_*.json` perf artifacts (wall time, sessions/sec, events/sec).
+//!
+//! ```sh
+//! MSP_RUNS=20 MSP_THREADS=8 cargo run --release -p msplayer-bench --bin sweep
+//! ```
+
+use msim_core::stats::median;
+use msplayer_bench::runs;
+use msplayer_bench::sweep::{
+    run_parallel, run_serial, threads, write_bench_json, BenchReport, SweepSpec,
+};
+
+fn main() {
+    let spec = SweepSpec::fig3(runs());
+    let cells = spec.cells();
+    let n_threads = threads();
+    println!(
+        "sweep: {} cells (fig3-style: {} runs/cell), {} worker threads",
+        cells.len(),
+        runs(),
+        n_threads
+    );
+
+    // Warm up both execution paths with a full pass each: the first
+    // threaded pass in a process pays allocator-arena creation and page
+    // faults (~2x), which would otherwise be billed to the measured run.
+    // Disable with MSP_WARMUP=0 (e.g. CI smoke runs).
+    let warmup = std::env::var("MSP_WARMUP")
+        .map(|v| v != "0")
+        .unwrap_or(true);
+    if warmup {
+        let _ = run_parallel(&cells, n_threads);
+        let _ = run_serial(&cells);
+    }
+
+    let (serial_report, serial) =
+        BenchReport::measure("sweep_fig3_serial", 1, || run_serial(&cells));
+    let (mut parallel_report, parallel) =
+        BenchReport::measure("sweep_fig3_parallel", n_threads, || {
+            run_parallel(&cells, n_threads)
+        });
+    parallel_report.serial_wall_secs = Some(serial_report.wall_secs);
+
+    assert_eq!(
+        serial, parallel,
+        "parallel sweep must be bit-identical to serial"
+    );
+    println!("determinism: parallel output bit-identical to serial ✓");
+
+    for report in [&serial_report, &parallel_report] {
+        println!(
+            "{:<22} wall {:>8.3}s  {:>8.1} sessions/s  {:>12.0} events/s{}",
+            report.name,
+            report.wall_secs,
+            report.sessions_per_sec(),
+            report.events_per_sec(),
+            report
+                .speedup()
+                .map(|s| format!("  speedup {s:.2}x"))
+                .unwrap_or_default(),
+        );
+        let path = write_bench_json(report).expect("write bench json");
+        println!("[bench] {}", path.display());
+    }
+
+    // A paper-shaped sanity line so the artifact doubles as a smoke check.
+    let harmonic_256: Vec<f64> = serial
+        .iter()
+        .filter(|r| {
+            r.cell.chunk_kb == 256
+                && r.cell.scheduler == msplayer_core::config::SchedulerKind::Harmonic
+        })
+        .filter_map(|r| r.metrics.prebuffer_time().map(|t| t.as_secs_f64()))
+        .collect();
+    if !harmonic_256.is_empty() {
+        println!(
+            "harmonic(256KB) median prebuffer download: {:.2}s over {} seeds",
+            median(&harmonic_256),
+            harmonic_256.len()
+        );
+    }
+}

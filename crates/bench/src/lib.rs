@@ -11,6 +11,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sweep;
+
 use msim_core::stats::BoxStats;
 use msim_net::profile::PathProfile;
 use msim_youtube::dns::Network;
@@ -20,11 +22,19 @@ use msplayer_core::sim::{run_session, Scenario, StopCondition};
 
 /// Number of seeded repetitions per configuration (paper: "repeat this 20
 /// times"). Override with `MSP_RUNS`.
+///
+/// The env var is read **once** and cached in a `OnceLock` — sweep inner
+/// loops call this per cell, and re-parsing the environment on every call
+/// was measurable noise. Consequently `MSP_RUNS` must be set before the
+/// first call (process start does this naturally).
 pub fn runs() -> u64 {
-    std::env::var("MSP_RUNS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(20)
+    static RUNS: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *RUNS.get_or_init(|| {
+        std::env::var("MSP_RUNS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20)
+    })
 }
 
 /// Base seed; combined with run index so each repetition is independent but

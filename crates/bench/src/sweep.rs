@@ -1,0 +1,398 @@
+//! Deterministic parallel sweep engine.
+//!
+//! Every figure in the paper is a sweep over (environment × competitor ×
+//! scheduler × seed) cells, each cell one [`run_session`] call. The seed
+//! harness ran them strictly serially; this module fans the cells across a
+//! **work-stealing thread pool** (std threads only — no external deps) and
+//! merges results **in cell order**, so the output is bit-for-bit identical
+//! to the serial runner no matter how the OS schedules the workers
+//! (asserted by `tests/sweep_determinism.rs`).
+//!
+//! * Thread count: `MSP_THREADS` env var, else
+//!   [`std::thread::available_parallelism`].
+//! * Each run can emit a machine-readable `BENCH_<name>.json` (wall time,
+//!   sessions/sec, events/sec) via [`write_bench_json`], giving the repo a
+//!   recorded perf trajectory.
+
+use crate::{commercial, msplayer, scenario_for, Competitor, Env};
+use msplayer_core::config::SchedulerKind;
+use msplayer_core::metrics::SessionMetrics;
+use msplayer_core::sim::{run_session, StopCondition};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One sweep cell: a fully determined session to run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cell {
+    /// Environment (testbed / YouTube profile).
+    pub env: Env,
+    /// Who streams.
+    pub competitor: Competitor,
+    /// Scheduler under test (meaningful for MSPlayer; single-path
+    /// competitors use their commercial profile).
+    pub scheduler: SchedulerKind,
+    /// Initial/base chunk size in KB.
+    pub chunk_kb: u64,
+    /// Pre-buffering target in seconds.
+    pub prebuffer_secs: f64,
+    /// Session seed.
+    pub seed: u64,
+}
+
+impl Cell {
+    /// Runs this cell's session to completion.
+    pub fn run(&self) -> CellResult {
+        let player = match self.competitor {
+            Competitor::MsPlayer => msplayer(self.scheduler, self.chunk_kb),
+            _ => commercial(self.chunk_kb),
+        }
+        .with_prebuffer_secs(self.prebuffer_secs);
+        let mut scenario = scenario_for(self.env, self.competitor, self.seed, player);
+        scenario.stop = StopCondition::PrebufferDone;
+        CellResult {
+            cell: self.clone(),
+            metrics: run_session(&scenario),
+        }
+    }
+}
+
+/// A cell together with its complete session metrics.
+///
+/// `PartialEq` compares *everything* (chunk records, f64 goodputs, event
+/// counts), which is what lets the determinism tests assert bit-identical
+/// parallel/serial output.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellResult {
+    /// The cell that produced this result.
+    pub cell: Cell,
+    /// Full session metrics.
+    pub metrics: SessionMetrics,
+}
+
+/// A sweep specification, expanded to cells in a fixed nested order
+/// (env → competitor → scheduler → seed).
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Environments to sweep.
+    pub envs: Vec<Env>,
+    /// Competitors to sweep.
+    pub competitors: Vec<Competitor>,
+    /// Schedulers to sweep (applied to MSPlayer cells only; single-path
+    /// competitors get one cell per (env, chunk) regardless).
+    pub schedulers: Vec<SchedulerKind>,
+    /// Initial chunk sizes (KB) to sweep.
+    pub chunk_kb: Vec<u64>,
+    /// Pre-buffering target.
+    pub prebuffer_secs: f64,
+    /// Seeded repetitions per configuration.
+    pub runs: u64,
+}
+
+impl SweepSpec {
+    /// The Fig. 3-style sweep: MSPlayer on the emulated testbed across the
+    /// three schedulers and four initial chunk sizes, `runs` seeds per
+    /// cell.
+    pub fn fig3(runs: u64) -> SweepSpec {
+        SweepSpec {
+            envs: vec![Env::Testbed],
+            competitors: vec![Competitor::MsPlayer],
+            schedulers: vec![
+                SchedulerKind::Harmonic,
+                SchedulerKind::Ewma,
+                SchedulerKind::Ratio,
+            ],
+            chunk_kb: vec![16, 64, 256, 1024],
+            prebuffer_secs: 40.0,
+            runs,
+        }
+    }
+
+    /// Expands the spec to its cell list (deterministic order).
+    pub fn cells(&self) -> Vec<Cell> {
+        let mut out = Vec::new();
+        for &env in &self.envs {
+            for &competitor in &self.competitors {
+                let schedulers: &[SchedulerKind] = match competitor {
+                    Competitor::MsPlayer => &self.schedulers,
+                    _ => &[SchedulerKind::Fixed],
+                };
+                for &scheduler in schedulers {
+                    for &chunk_kb in &self.chunk_kb {
+                        for run in 0..self.runs {
+                            let seed = crate::BASE_SEED ^ (run.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                            out.push(Cell {
+                                env,
+                                competitor,
+                                scheduler,
+                                chunk_kb,
+                                prebuffer_secs: self.prebuffer_secs,
+                                seed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Worker count: `MSP_THREADS` env var, else the machine's available
+/// parallelism, else 1.
+pub fn threads() -> usize {
+    std::env::var("MSP_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Runs every cell on the calling thread, in order.
+pub fn run_serial(cells: &[Cell]) -> Vec<CellResult> {
+    cells.iter().map(Cell::run).collect()
+}
+
+/// Runs the cells across `n_threads` workers with work stealing, returning
+/// results **in cell order** — bit-for-bit identical to [`run_serial`].
+///
+/// Cells are dealt round-robin into per-worker deques; a worker pops from
+/// the front of its own deque and, when empty, steals from the *back* of
+/// the busiest sibling. Each result is tagged with its cell index, so the
+/// merge is a deterministic scatter regardless of which worker ran what.
+pub fn run_parallel(cells: &[Cell], n_threads: usize) -> Vec<CellResult> {
+    let n_threads = n_threads.max(1).min(cells.len().max(1));
+    if n_threads <= 1 || cells.len() <= 1 {
+        return run_serial(cells);
+    }
+
+    // Per-worker deques, dealt round-robin.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..n_threads)
+        .map(|w| {
+            Mutex::new(
+                (0..cells.len())
+                    .filter(|i| i % n_threads == w)
+                    .collect::<VecDeque<_>>(),
+            )
+        })
+        .collect();
+
+    let mut slots: Vec<Option<CellResult>> = Vec::new();
+    slots.resize_with(cells.len(), || None);
+
+    let mut tagged: Vec<Vec<(usize, CellResult)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..n_threads {
+            let queues = &queues;
+            handles.push(scope.spawn(move || {
+                let mut done: Vec<(usize, CellResult)> = Vec::new();
+                loop {
+                    // Own queue first.
+                    let mine = queues[w].lock().expect("queue poisoned").pop_front();
+                    let idx = match mine {
+                        Some(i) => i,
+                        None => {
+                            // Steal from the back of each sibling in turn.
+                            // Queues only ever shrink after the deal, so a
+                            // full scan finding them all empty means the
+                            // work is genuinely drained (cells already
+                            // claimed are running on their owners).
+                            let stolen = (0..queues.len())
+                                .filter(|&v| v != w)
+                                .find_map(|v| queues[v].lock().expect("queue poisoned").pop_back());
+                            match stolen {
+                                Some(i) => i,
+                                None => break, // everything drained
+                            }
+                        }
+                    };
+                    done.push((idx, cells[idx].run()));
+                }
+                done
+            }));
+        }
+        for h in handles {
+            tagged.push(h.join().expect("sweep worker panicked"));
+        }
+    });
+
+    for (idx, result) in tagged.into_iter().flatten() {
+        debug_assert!(slots[idx].is_none(), "cell {idx} ran twice");
+        slots[idx] = Some(result);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("cell {i} never ran")))
+        .collect()
+}
+
+/// Timing + throughput summary of one sweep execution.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Label, used in the output filename (`BENCH_<name>.json`).
+    pub name: String,
+    /// Worker threads used (1 = serial).
+    pub threads: usize,
+    /// Number of cells (sessions) executed.
+    pub sessions: u64,
+    /// Total simulator events processed across all sessions.
+    pub events: u64,
+    /// Wall-clock duration of the sweep.
+    pub wall_secs: f64,
+    /// Serial wall-clock reference, when measured alongside.
+    pub serial_wall_secs: Option<f64>,
+}
+
+impl BenchReport {
+    /// Builds a report by timing `f`.
+    pub fn measure<F>(name: &str, threads: usize, f: F) -> (BenchReport, Vec<CellResult>)
+    where
+        F: FnOnce() -> Vec<CellResult>,
+    {
+        let t0 = Instant::now();
+        let results = f();
+        let wall = t0.elapsed().as_secs_f64();
+        let report = BenchReport {
+            name: name.to_string(),
+            threads,
+            sessions: results.len() as u64,
+            events: results.iter().map(|r| r.metrics.events).sum(),
+            wall_secs: wall,
+            serial_wall_secs: None,
+        };
+        (report, results)
+    }
+
+    /// Sessions per wall-clock second.
+    pub fn sessions_per_sec(&self) -> f64 {
+        self.sessions as f64 / self.wall_secs.max(1e-12)
+    }
+
+    /// Simulator events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs.max(1e-12)
+    }
+
+    /// Speedup over the serial reference, when one was recorded.
+    pub fn speedup(&self) -> Option<f64> {
+        self.serial_wall_secs.map(|s| s / self.wall_secs.max(1e-12))
+    }
+
+    /// Renders the report as a JSON value.
+    pub fn to_json(&self) -> msim_json::Value {
+        let mut v = msim_json::Value::object()
+            .with("name", self.name.as_str())
+            .with("threads", self.threads as u64)
+            .with("sessions", self.sessions)
+            .with("events", self.events)
+            .with("wall_secs", self.wall_secs)
+            .with("sessions_per_sec", self.sessions_per_sec())
+            .with("events_per_sec", self.events_per_sec());
+        if let Some(s) = self.serial_wall_secs {
+            v = v.with("serial_wall_secs", s);
+            if let Some(x) = self.speedup() {
+                v = v.with("speedup", x);
+            }
+        }
+        v
+    }
+}
+
+/// Directory for bench JSON artifacts: `MSP_BENCH_DIR`, else
+/// `target/bench/` under the workspace root.
+pub fn bench_dir() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("MSP_BENCH_DIR") {
+        let dir = std::path::PathBuf::from(dir);
+        let _ = std::fs::create_dir_all(&dir);
+        return dir;
+    }
+    let mut base = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    for _ in 0..4 {
+        if base.join("target").is_dir() && base.join("Cargo.toml").is_file() {
+            break;
+        }
+        if let Some(parent) = base.parent() {
+            base = parent.to_path_buf();
+        }
+    }
+    let dir = base.join("target").join("bench");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Writes `BENCH_<report.name>.json` into [`bench_dir`], returning the
+/// path.
+pub fn write_bench_json(report: &BenchReport) -> std::io::Result<std::path::PathBuf> {
+    let path = bench_dir().join(format!("BENCH_{}.json", report.name));
+    std::fs::write(&path, msim_json::to_string_pretty(&report.to_json()))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            envs: vec![Env::Testbed],
+            competitors: vec![Competitor::MsPlayer, Competitor::WifiOnly],
+            schedulers: vec![SchedulerKind::Harmonic, SchedulerKind::Ratio],
+            chunk_kb: vec![256],
+            prebuffer_secs: 10.0,
+            runs: 2,
+        }
+    }
+
+    #[test]
+    fn expansion_order_is_stable() {
+        let spec = tiny_spec();
+        let a = spec.cells();
+        let b = spec.cells();
+        assert_eq!(a, b);
+        // MSPlayer × 2 schedulers × 2 seeds + WifiOnly × 1 × 2 seeds.
+        assert_eq!(a.len(), 6);
+        assert_eq!(a[0].scheduler, SchedulerKind::Harmonic);
+        assert_eq!(a[4].competitor, Competitor::WifiOnly);
+    }
+
+    #[test]
+    fn parallel_merge_is_cell_ordered() {
+        let cells = tiny_spec().cells();
+        let serial = run_serial(&cells);
+        let parallel = run_parallel(&cells, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s, p);
+        }
+    }
+
+    #[test]
+    fn single_thread_parallel_equals_serial() {
+        let cells = tiny_spec().cells();
+        assert_eq!(run_serial(&cells), run_parallel(&cells, 1));
+    }
+
+    #[test]
+    fn bench_report_math() {
+        let r = BenchReport {
+            name: "t".into(),
+            threads: 2,
+            sessions: 10,
+            events: 1000,
+            wall_secs: 2.0,
+            serial_wall_secs: Some(4.0),
+        };
+        assert_eq!(r.sessions_per_sec(), 5.0);
+        assert_eq!(r.events_per_sec(), 500.0);
+        assert_eq!(r.speedup(), Some(2.0));
+        let json = msim_json::to_string(&r.to_json());
+        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"events_per_sec\""));
+    }
+}

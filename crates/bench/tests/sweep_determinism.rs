@@ -1,0 +1,115 @@
+//! Determinism at scale: the parallel sweep engine must be an exact
+//! drop-in for the serial runner, and the simulator itself must replay
+//! bit-identically from a seed.
+
+use msplayer_bench::sweep::{run_parallel, run_serial, Cell, SweepSpec};
+use msplayer_bench::{scenario_for, Competitor, Env};
+use msplayer_core::config::SchedulerKind;
+use msplayer_core::sim::run_session;
+use proptest::prelude::*;
+
+/// Every (env, competitor, scheduler) cell — both environments, all three
+/// competitors, all paper schedulers — produces bit-identical per-cell
+/// metrics whether run serially or across the thread pool.
+#[test]
+fn parallel_sweep_matches_serial_for_every_cell_kind() {
+    let spec = SweepSpec {
+        envs: vec![Env::Testbed, Env::Youtube],
+        competitors: vec![
+            Competitor::MsPlayer,
+            Competitor::WifiOnly,
+            Competitor::LteOnly,
+        ],
+        schedulers: vec![
+            SchedulerKind::Harmonic,
+            SchedulerKind::Ewma,
+            SchedulerKind::Ratio,
+        ],
+        chunk_kb: vec![256],
+        prebuffer_secs: 10.0,
+        runs: 2,
+    };
+    let cells = spec.cells();
+    // (2 env) × (MsPlayer × 3 sched + 2 single-path × 1) × 1 chunk × 2 seeds
+    assert_eq!(cells.len(), 2 * (3 + 2) * 2);
+    let serial = run_serial(&cells);
+    for threads in [2, 3, 8] {
+        let parallel = run_parallel(&cells, threads);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s, p, "cell diverged with {threads} threads: {:?}", s.cell);
+        }
+    }
+}
+
+/// `run_session` with equal seeds is bit-identical across 3 runs —
+/// including chunk-level f64 goodputs and the event count.
+#[test]
+fn run_session_is_bit_identical_across_three_runs() {
+    for (env, who) in [
+        (Env::Testbed, Competitor::MsPlayer),
+        (Env::Youtube, Competitor::MsPlayer),
+        (Env::Testbed, Competitor::WifiOnly),
+    ] {
+        let make = || {
+            let player =
+                msplayer_bench::msplayer(SchedulerKind::Harmonic, 256).with_prebuffer_secs(10.0);
+            run_session(&scenario_for(env, who, 0xD5EED, player))
+        };
+        let a = make();
+        let b = make();
+        let c = make();
+        assert_eq!(a, b, "{env:?}/{who:?} run 2 diverged");
+        assert_eq!(b, c, "{env:?}/{who:?} run 3 diverged");
+        assert!(a.events > 0, "event count recorded");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Random sweep shapes (dims, seeds, thread counts) keep the
+    /// parallel == serial invariant.
+    #[test]
+    fn random_sweeps_are_schedule_independent(
+        runs in 1u64..3,
+        chunk_kb in prop::sample::select(vec![64u64, 256]),
+        threads in 2usize..6,
+        sched in prop::sample::select(vec![
+            SchedulerKind::Harmonic,
+            SchedulerKind::Ratio,
+        ]),
+    ) {
+        let spec = SweepSpec {
+            envs: vec![Env::Testbed],
+            competitors: vec![Competitor::MsPlayer, Competitor::LteOnly],
+            schedulers: vec![sched],
+            chunk_kb: vec![chunk_kb],
+            prebuffer_secs: 8.0,
+            runs,
+        };
+        let cells = spec.cells();
+        prop_assert!(!cells.is_empty());
+        let serial = run_serial(&cells);
+        let parallel = run_parallel(&cells, threads);
+        prop_assert_eq!(&serial, &parallel);
+    }
+}
+
+/// The engine handles degenerate inputs: empty cell lists and more threads
+/// than cells.
+#[test]
+fn degenerate_sweeps() {
+    let empty: Vec<Cell> = Vec::new();
+    assert!(run_parallel(&empty, 8).is_empty());
+    let spec = SweepSpec {
+        envs: vec![Env::Testbed],
+        competitors: vec![Competitor::MsPlayer],
+        schedulers: vec![SchedulerKind::Harmonic],
+        chunk_kb: vec![256],
+        prebuffer_secs: 8.0,
+        runs: 1,
+    };
+    let cells = spec.cells();
+    assert_eq!(run_parallel(&cells, 64), run_serial(&cells));
+}

@@ -231,7 +231,15 @@ mod tests {
         // Same collapse with a shallow buffer: step down.
         let (f2, reason2) = a.decide(BitRate::mbps(1.0), 12.0);
         assert_eq!(reason2, SwitchReason::RateDown);
-        assert!(f2.bitrate.as_bps() < ITAGS.iter().find(|x| x.itag == before).unwrap().bitrate.as_bps());
+        assert!(
+            f2.bitrate.as_bps()
+                < ITAGS
+                    .iter()
+                    .find(|x| x.itag == before)
+                    .unwrap()
+                    .bitrate
+                    .as_bps()
+        );
     }
 
     #[test]
@@ -240,7 +248,11 @@ mod tests {
         let _ = a.decide(BitRate::mbps(4.0), 20.0);
         for _ in 0..10 {
             let (_, reason) = a.decide(BitRate::mbps(4.0), 20.0);
-            assert_eq!(reason, SwitchReason::Hold, "no oscillation under stable input");
+            assert_eq!(
+                reason,
+                SwitchReason::Hold,
+                "no oscillation under stable input"
+            );
         }
     }
 
@@ -253,13 +265,20 @@ mod tests {
         let _ = a.decide(BitRate::mbps(1.0), 20.0);
         let mut ups = 0;
         for i in 0..8 {
-            let est = if i == 4 { BitRate::mbps(60.0) } else { BitRate::mbps(1.0) };
+            let est = if i == 4 {
+                BitRate::mbps(60.0)
+            } else {
+                BitRate::mbps(1.0)
+            };
             let (_, reason) = a.decide(est, 20.0);
             if reason == SwitchReason::RateUp {
                 ups += 1;
             }
         }
-        assert_eq!(ups, 0, "a single outlier within the hold window must not upswitch");
+        assert_eq!(
+            ups, 0,
+            "a single outlier within the hold window must not upswitch"
+        );
     }
 
     #[test]

@@ -254,8 +254,7 @@ impl PlayoutBuffer {
                 }
             }
             BufferPhase::Stalled => {
-                if (self.playable - self.consumed) >= self.stall_resume_bytes
-                    || self.all_fetched()
+                if (self.playable - self.consumed) >= self.stall_resume_bytes || self.all_fetched()
                 {
                     if let Some(last) = self.stalls.last_mut() {
                         last.1 = Some(now);
@@ -396,7 +395,10 @@ mod tests {
         // 20 s video with a 40 s prebuffer target: clamp to total.
         let mut b = PlayoutBuffer::new(125_000 * 20, 125_000.0, 40.0, 10.0, 20.0, 5.0);
         b.on_playable(secs(2.0), 125_000 * 20);
-        assert!(b.prebuffer_done_at().is_some(), "target clamped to video size");
+        assert!(
+            b.prebuffer_done_at().is_some(),
+            "target clamped to video size"
+        );
     }
 
     #[test]
@@ -440,6 +442,9 @@ mod tests {
         b.on_playable(secs(4.0), 125_000 * 40);
         b.advance_to(secs(34.0)); // ON at 10 s level
         let ev = b.next_event_after(secs(34.0)).unwrap();
-        assert!((ev.as_secs_f64() - 44.0).abs() < 0.01, "stall if nothing arrives");
+        assert!(
+            (ev.as_secs_f64() - 44.0).abs() < 0.01,
+            "stall if nothing arrives"
+        );
     }
 }

@@ -75,17 +75,17 @@ pub fn session_energy(
     path: usize,
     model: InterfaceEnergyModel,
 ) -> InterfaceEnergy {
-    let session_end = metrics
-        .ended_at
-        .unwrap_or_else(|| {
-            metrics
-                .chunks
-                .iter()
-                .map(|c| c.completed_at)
-                .max()
-                .unwrap_or(metrics.started_at)
-        });
-    let session_secs = session_end.saturating_since(metrics.started_at).as_secs_f64();
+    let session_end = metrics.ended_at.unwrap_or_else(|| {
+        metrics
+            .chunks
+            .iter()
+            .map(|c| c.completed_at)
+            .max()
+            .unwrap_or(metrics.started_at)
+    });
+    let session_secs = session_end
+        .saturating_since(metrics.started_at)
+        .as_secs_f64();
 
     // Collect and merge this path's activity intervals.
     let mut intervals: Vec<(f64, f64)> = metrics
@@ -94,8 +94,12 @@ pub fn session_energy(
         .filter(|c| c.path == path)
         .map(|c| {
             (
-                c.requested_at.saturating_since(metrics.started_at).as_secs_f64(),
-                c.completed_at.saturating_since(metrics.started_at).as_secs_f64(),
+                c.requested_at
+                    .saturating_since(metrics.started_at)
+                    .as_secs_f64(),
+                c.completed_at
+                    .saturating_since(metrics.started_at)
+                    .as_secs_f64(),
             )
         })
         .collect();
@@ -120,7 +124,11 @@ pub fn session_energy(
 
 /// Joules per megabyte delivered on a path — the efficiency figure an
 /// energy-aware scheduler would optimise.
-pub fn joules_per_mb(metrics: &SessionMetrics, path: usize, model: InterfaceEnergyModel) -> Option<f64> {
+pub fn joules_per_mb(
+    metrics: &SessionMetrics,
+    path: usize,
+    model: InterfaceEnergyModel,
+) -> Option<f64> {
     let bytes: u64 = metrics
         .chunks
         .iter()
@@ -201,6 +209,9 @@ mod tests {
         let m = metrics_with_chunks(vec![(0, 0.0, 10.0, 10_000_000)]);
         let jpm = joules_per_mb(&m, 0, InterfaceEnergyModel::wifi()).unwrap();
         assert!(jpm > 0.0);
-        assert!(joules_per_mb(&m, 1, InterfaceEnergyModel::lte()).is_none(), "idle path");
+        assert!(
+            joules_per_mb(&m, 1, InterfaceEnergyModel::lte()).is_none(),
+            "idle path"
+        );
     }
 }

@@ -192,6 +192,107 @@ impl BandwidthEstimator for LastSample {
     }
 }
 
+/// Enum-dispatched estimator used on the per-chunk hot path.
+///
+/// [`BandwidthEstimator`] stays as the extension point, but the player's
+/// inner loop calls one estimator per completed chunk; routing that through
+/// `Box<dyn BandwidthEstimator>` costs a heap allocation per scheduler
+/// build plus a virtual call per sample. The enum keeps the four built-in
+/// estimators inline — the `match` arms compile to direct (inlinable)
+/// calls and the whole per-path state lives in the scheduler struct.
+#[derive(Clone, Debug)]
+pub enum EstimatorImpl {
+    /// Eq. 1 EWMA.
+    Ewma(Ewma),
+    /// Eq. 2 incremental harmonic mean.
+    HarmonicInc(HarmonicInc),
+    /// Sliding-window harmonic mean.
+    HarmonicWindow(HarmonicWindow),
+    /// Latest raw sample.
+    LastSample(LastSample),
+}
+
+impl EstimatorImpl {
+    /// Feeds one throughput measurement `w > 0` (bits/s).
+    #[inline]
+    pub fn update(&mut self, sample_bps: f64) {
+        match self {
+            EstimatorImpl::Ewma(e) => e.update(sample_bps),
+            EstimatorImpl::HarmonicInc(e) => e.update(sample_bps),
+            EstimatorImpl::HarmonicWindow(e) => e.update(sample_bps),
+            EstimatorImpl::LastSample(e) => e.update(sample_bps),
+        }
+    }
+
+    /// The current estimate ŵ, or `None` before any sample.
+    #[inline]
+    pub fn estimate_bps(&self) -> Option<f64> {
+        match self {
+            EstimatorImpl::Ewma(e) => e.estimate_bps(),
+            EstimatorImpl::HarmonicInc(e) => e.estimate_bps(),
+            EstimatorImpl::HarmonicWindow(e) => e.estimate_bps(),
+            EstimatorImpl::LastSample(e) => e.estimate_bps(),
+        }
+    }
+
+    /// Forgets all history (used after failover to a new server).
+    #[inline]
+    pub fn reset(&mut self) {
+        match self {
+            EstimatorImpl::Ewma(e) => e.reset(),
+            EstimatorImpl::HarmonicInc(e) => e.reset(),
+            EstimatorImpl::HarmonicWindow(e) => e.reset(),
+            EstimatorImpl::LastSample(e) => e.reset(),
+        }
+    }
+
+    /// Estimator name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EstimatorImpl::Ewma(e) => e.name(),
+            EstimatorImpl::HarmonicInc(e) => e.name(),
+            EstimatorImpl::HarmonicWindow(e) => e.name(),
+            EstimatorImpl::LastSample(e) => e.name(),
+        }
+    }
+}
+
+impl BandwidthEstimator for EstimatorImpl {
+    fn update(&mut self, sample_bps: f64) {
+        EstimatorImpl::update(self, sample_bps)
+    }
+    fn estimate_bps(&self) -> Option<f64> {
+        EstimatorImpl::estimate_bps(self)
+    }
+    fn reset(&mut self) {
+        EstimatorImpl::reset(self)
+    }
+    fn name(&self) -> &'static str {
+        EstimatorImpl::name(self)
+    }
+}
+
+impl From<Ewma> for EstimatorImpl {
+    fn from(e: Ewma) -> Self {
+        EstimatorImpl::Ewma(e)
+    }
+}
+impl From<HarmonicInc> for EstimatorImpl {
+    fn from(e: HarmonicInc) -> Self {
+        EstimatorImpl::HarmonicInc(e)
+    }
+}
+impl From<HarmonicWindow> for EstimatorImpl {
+    fn from(e: HarmonicWindow) -> Self {
+        EstimatorImpl::HarmonicWindow(e)
+    }
+}
+impl From<LastSample> for EstimatorImpl {
+    fn from(e: LastSample) -> Self {
+        EstimatorImpl::LastSample(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

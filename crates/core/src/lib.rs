@@ -44,12 +44,17 @@ pub mod scheduler;
 pub mod sim;
 pub mod trace;
 
+pub use adaptation::{AdaptationConfig, RateAdapter, SwitchReason};
 pub use buffer::{BufferPhase, PlayoutBuffer, RefillRecord};
 pub use chunk::{ChunkAssignment, ChunkLedger, PathId};
 pub use config::{GammaRounding, PlayerConfig, SchedulerKind};
-pub use estimator::{BandwidthEstimator, Ewma, HarmonicInc, HarmonicWindow, LastSample};
+pub use estimator::{
+    BandwidthEstimator, EstimatorImpl, Ewma, HarmonicInc, HarmonicWindow, LastSample,
+};
 pub use metrics::{ChunkRecord, SessionMetrics, TrafficPhase};
 pub use player::{ChunkFailReason, Player, PlayerAction, PlayerEvent};
-pub use scheduler::{build_scheduler, ChunkScheduler, DcsaScheduler, FixedScheduler, RatioScheduler, NUM_PATHS};
-pub use adaptation::{AdaptationConfig, RateAdapter, SwitchReason};
+pub use scheduler::{
+    build_scheduler, ChunkScheduler, DcsaScheduler, FixedScheduler, RatioScheduler, SchedulerImpl,
+    NUM_PATHS,
+};
 pub use sim::{run_session, PathSetup, Scenario, ServerFailure, StopCondition};

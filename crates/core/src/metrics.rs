@@ -15,7 +15,7 @@ pub enum TrafficPhase {
 }
 
 /// One completed chunk transfer, for traces and traffic accounting.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ChunkRecord {
     /// Path that carried the chunk.
     pub path: PathId,
@@ -32,7 +32,11 @@ pub struct ChunkRecord {
 }
 
 /// Metrics of one streaming session.
-#[derive(Clone, Debug, Default)]
+///
+/// Derives `PartialEq` so determinism tests can assert bit-identical
+/// replays (every field, including the `f64` goodputs, must match
+/// exactly).
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SessionMetrics {
     /// When the player was started.
     pub started_at: SimTime,
@@ -50,6 +54,10 @@ pub struct SessionMetrics {
     pub failovers: [u32; 2],
     /// When the session ended.
     pub ended_at: Option<SimTime>,
+    /// Simulator events processed while producing this session (drivers
+    /// fill this in; 0 outside the simulator). Feeds the bench harness's
+    /// events/sec figure.
+    pub events: u64,
 }
 
 impl SessionMetrics {
@@ -69,7 +77,9 @@ impl SessionMetrics {
             .iter()
             .map(|r| r.duration().as_secs_f64())
             .sum();
-        Some(SimDuration::from_secs_f64(total / self.refills.len() as f64))
+        Some(SimDuration::from_secs_f64(
+            total / self.refills.len() as f64,
+        ))
     }
 
     /// Total bytes delivered over `path` during `phase`.
@@ -179,7 +189,8 @@ mod tests {
     #[test]
     fn stall_time_ignores_open_episodes() {
         let mut m = SessionMetrics::default();
-        m.stalls.push((SimTime::from_secs(10), Some(SimTime::from_secs(13))));
+        m.stalls
+            .push((SimTime::from_secs(10), Some(SimTime::from_secs(13))));
         m.stalls.push((SimTime::from_secs(20), None));
         assert_eq!(m.total_stall_time(), SimDuration::from_secs(3));
     }

@@ -18,7 +18,7 @@ use crate::buffer::{BufferPhase, PlayoutBuffer};
 use crate::chunk::{ChunkAssignment, ChunkLedger, PathId};
 use crate::config::PlayerConfig;
 use crate::metrics::{ChunkRecord, SessionMetrics, TrafficPhase};
-use crate::scheduler::{build_scheduler, ChunkScheduler, NUM_PATHS};
+use crate::scheduler::{SchedulerImpl, NUM_PATHS};
 use msim_core::time::SimTime;
 
 /// Why a chunk transfer failed.
@@ -113,7 +113,7 @@ enum PathState {
 /// The player.
 pub struct Player {
     cfg: PlayerConfig,
-    scheduler: Box<dyn ChunkScheduler>,
+    scheduler: SchedulerImpl,
     ledger: ChunkLedger,
     buffer: PlayoutBuffer,
     rate_bytes_per_sec: f64,
@@ -134,7 +134,12 @@ pub struct Player {
 impl Player {
     /// Creates a player for a stream of `total_bytes` at `bytes_per_sec`
     /// (both derived from the video format chosen from the JSON info).
-    pub fn new(cfg: PlayerConfig, total_bytes: u64, bytes_per_sec: f64, started_at: SimTime) -> Player {
+    pub fn new(
+        cfg: PlayerConfig,
+        total_bytes: u64,
+        bytes_per_sec: f64,
+        started_at: SimTime,
+    ) -> Player {
         cfg.validate().expect("invalid player config");
         let buffer = PlayoutBuffer::new(
             total_bytes,
@@ -144,7 +149,7 @@ impl Player {
             cfg.rebuffer_secs,
             cfg.stall_resume_secs,
         );
-        let scheduler = build_scheduler(&cfg);
+        let scheduler = SchedulerImpl::from_config(&cfg);
         Player {
             cfg,
             scheduler,
@@ -203,8 +208,25 @@ impl Player {
     }
 
     /// Feeds one event; returns the actions to execute.
+    ///
+    /// Convenience wrapper over [`Player::handle_into`] that allocates a
+    /// fresh action buffer. Drivers with a hot event loop should hold one
+    /// `Vec<PlayerAction>` and call `handle_into` to avoid the per-event
+    /// allocation.
     pub fn handle(&mut self, now: SimTime, event: PlayerEvent) -> Vec<PlayerAction> {
         let mut actions = Vec::new();
+        self.handle_into(now, event, &mut actions);
+        actions
+    }
+
+    /// Feeds one event, appending the actions to execute onto `actions`
+    /// (which is *not* cleared — the caller owns its lifecycle).
+    pub fn handle_into(
+        &mut self,
+        now: SimTime,
+        event: PlayerEvent,
+        actions: &mut Vec<PlayerAction>,
+    ) {
         match event {
             PlayerEvent::PathReady { path } => {
                 debug_assert!(path < NUM_PATHS);
@@ -289,8 +311,7 @@ impl Player {
                 self.buffer.advance_to(now);
             }
         }
-        self.pump(now, &mut actions);
-        actions
+        self.pump(now, actions);
     }
 
     /// Issues work to every idle path, respecting the download gate and the
@@ -340,7 +361,9 @@ impl Player {
             // one request (clamped to what remains).
             let target = (self.cfg.prebuffer_secs * self.rate_bytes_per_sec) as u64;
             let already = self.ledger.contiguous_bytes();
-            return target.saturating_sub(already).max(self.cfg.min_chunk.as_u64());
+            return target
+                .saturating_sub(already)
+                .max(self.cfg.min_chunk.as_u64());
         }
         self.scheduler.chunk_size(path).as_u64()
     }
@@ -530,7 +553,11 @@ mod tests {
         let fs = fetches(&a);
         assert_eq!(fs.len(), 1);
         let expected = (cfg.prebuffer_secs * RATE) as u64;
-        assert_eq!(fs[0].range.len(), expected, "whole pre-buffer in one request");
+        assert_eq!(
+            fs[0].range.len(),
+            expected,
+            "whole pre-buffer in one request"
+        );
     }
 
     #[test]
@@ -583,7 +610,9 @@ mod tests {
         // triggers) until the pre-buffer target is reached.
         let mut t = 0.0;
         while !p.prebuffer_done() {
-            let f = pending.pop().expect("a fetch is always in flight while filling");
+            let f = pending
+                .pop()
+                .expect("a fetch is always in flight while filling");
             t += 0.3;
             let actions = p.handle(
                 secs(t),

@@ -17,7 +17,9 @@
 //!   players' 64 KB / 256 KB behaviour).
 
 use crate::config::{GammaRounding, PlayerConfig, SchedulerKind};
-use crate::estimator::{BandwidthEstimator, Ewma, HarmonicInc, HarmonicWindow, LastSample};
+use crate::estimator::{
+    BandwidthEstimator, EstimatorImpl, Ewma, HarmonicInc, HarmonicWindow, LastSample,
+};
 use msim_core::units::ByteSize;
 
 /// Number of paths the player uses ("MSPlayer limits the number of paths to
@@ -37,21 +39,104 @@ pub trait ChunkScheduler: Send {
     fn name(&self) -> &'static str;
 }
 
-/// Builds the scheduler selected by a config.
-pub fn build_scheduler(cfg: &PlayerConfig) -> Box<dyn ChunkScheduler> {
-    match cfg.scheduler {
-        SchedulerKind::Ratio => Box::new(RatioScheduler::new(cfg)),
-        SchedulerKind::Ewma => Box::new(DcsaScheduler::new(cfg, || {
-            Box::new(Ewma::new(cfg.alpha)) as Box<dyn BandwidthEstimator>
-        })),
-        SchedulerKind::Harmonic => Box::new(DcsaScheduler::new(cfg, || {
-            Box::new(HarmonicInc::new()) as Box<dyn BandwidthEstimator>
-        })),
-        SchedulerKind::HarmonicWindowed => Box::new(DcsaScheduler::new(cfg, || {
-            Box::new(HarmonicWindow::new(20)) as Box<dyn BandwidthEstimator>
-        })),
-        SchedulerKind::Fixed => Box::new(FixedScheduler::new(cfg.initial_chunk)),
+/// Enum-dispatched scheduler used on the per-chunk hot path.
+///
+/// The player takes two scheduler decisions per completed chunk
+/// (`on_sample` + `chunk_size`); the seed routed both through
+/// `Box<dyn ChunkScheduler>`, paying a virtual call each time plus a heap
+/// allocation per session for the box (and two more for the boxed
+/// estimators inside DCSA). The enum keeps every built-in scheduler —
+/// and, via [`EstimatorImpl`], every built-in estimator — inline, so the
+/// whole decision path is direct calls the compiler can flatten.
+/// [`ChunkScheduler`] remains implemented for the enum (and `Box<dyn ..>`
+/// still works via [`build_scheduler`]) for code that wants the trait.
+pub enum SchedulerImpl {
+    /// §3.3 Ratio baseline.
+    Ratio(RatioScheduler),
+    /// Alg. 1 DCSA over any [`EstimatorImpl`].
+    Dcsa(DcsaScheduler),
+    /// Constant chunk size.
+    Fixed(FixedScheduler),
+}
+
+impl SchedulerImpl {
+    /// Builds the scheduler selected by a config.
+    pub fn from_config(cfg: &PlayerConfig) -> SchedulerImpl {
+        match cfg.scheduler {
+            SchedulerKind::Ratio => SchedulerImpl::Ratio(RatioScheduler::new(cfg)),
+            SchedulerKind::Ewma => {
+                SchedulerImpl::Dcsa(DcsaScheduler::new(cfg, Ewma::new(cfg.alpha)))
+            }
+            SchedulerKind::Harmonic => {
+                SchedulerImpl::Dcsa(DcsaScheduler::new(cfg, HarmonicInc::new()))
+            }
+            SchedulerKind::HarmonicWindowed => {
+                SchedulerImpl::Dcsa(DcsaScheduler::new(cfg, HarmonicWindow::new(20)))
+            }
+            SchedulerKind::Fixed => SchedulerImpl::Fixed(FixedScheduler::new(cfg.initial_chunk)),
+        }
     }
+
+    /// Feeds a throughput measurement for `path` (bits/s).
+    #[inline]
+    pub fn on_sample(&mut self, path: usize, sample_bps: f64) {
+        match self {
+            SchedulerImpl::Ratio(s) => s.on_sample(path, sample_bps),
+            SchedulerImpl::Dcsa(s) => s.on_sample(path, sample_bps),
+            SchedulerImpl::Fixed(s) => s.on_sample(path, sample_bps),
+        }
+    }
+
+    /// The chunk size to request next on `path`.
+    #[inline]
+    pub fn chunk_size(&self, path: usize) -> ByteSize {
+        match self {
+            SchedulerImpl::Ratio(s) => s.chunk_size(path),
+            SchedulerImpl::Dcsa(s) => s.chunk_size(path),
+            SchedulerImpl::Fixed(s) => s.chunk_size(path),
+        }
+    }
+
+    /// Resets per-path state after a failover on `path`.
+    #[inline]
+    pub fn reset_path(&mut self, path: usize) {
+        match self {
+            SchedulerImpl::Ratio(s) => s.reset_path(path),
+            SchedulerImpl::Dcsa(s) => s.reset_path(path),
+            SchedulerImpl::Fixed(s) => s.reset_path(path),
+        }
+    }
+
+    /// Scheduler name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerImpl::Ratio(s) => ChunkScheduler::name(s),
+            SchedulerImpl::Dcsa(s) => ChunkScheduler::name(s),
+            SchedulerImpl::Fixed(s) => ChunkScheduler::name(s),
+        }
+    }
+}
+
+impl ChunkScheduler for SchedulerImpl {
+    fn on_sample(&mut self, path: usize, sample_bps: f64) {
+        SchedulerImpl::on_sample(self, path, sample_bps)
+    }
+    fn chunk_size(&self, path: usize) -> ByteSize {
+        SchedulerImpl::chunk_size(self, path)
+    }
+    fn reset_path(&mut self, path: usize) {
+        SchedulerImpl::reset_path(self, path)
+    }
+    fn name(&self) -> &'static str {
+        SchedulerImpl::name(self)
+    }
+}
+
+/// Builds the scheduler selected by a config, boxed behind the trait (the
+/// enum-dispatched [`SchedulerImpl::from_config`] is the allocation-free
+/// path the player itself uses).
+pub fn build_scheduler(cfg: &PlayerConfig) -> Box<dyn ChunkScheduler> {
+    Box::new(SchedulerImpl::from_config(cfg))
 }
 
 fn clamp(cfg_min: ByteSize, cfg_max: ByteSize, v: f64) -> ByteSize {
@@ -123,19 +208,16 @@ pub struct DcsaScheduler {
     max: ByteSize,
     delta: f64,
     gamma_rounding: GammaRounding,
-    estimators: [Box<dyn BandwidthEstimator>; NUM_PATHS],
+    estimators: [EstimatorImpl; NUM_PATHS],
     sizes: [ByteSize; NUM_PATHS],
     est_name: &'static str,
 }
 
 impl DcsaScheduler {
-    /// Creates the scheduler with a fresh estimator per path.
-    pub fn new(
-        cfg: &PlayerConfig,
-        mut make_estimator: impl FnMut() -> Box<dyn BandwidthEstimator>,
-    ) -> DcsaScheduler {
-        let e0 = make_estimator();
-        let e1 = make_estimator();
+    /// Creates the scheduler with a fresh copy of `estimator` per path.
+    pub fn new(cfg: &PlayerConfig, estimator: impl Into<EstimatorImpl>) -> DcsaScheduler {
+        let e0 = estimator.into();
+        let e1 = e0.clone();
         let est_name = e0.name();
         DcsaScheduler {
             base: cfg.initial_chunk,
@@ -241,7 +323,7 @@ mod tests {
     }
 
     fn harmonic(cfg: &PlayerConfig) -> DcsaScheduler {
-        DcsaScheduler::new(cfg, || Box::new(HarmonicInc::new()))
+        DcsaScheduler::new(cfg, HarmonicInc::new())
     }
 
     #[test]
@@ -302,7 +384,11 @@ mod tests {
         s.on_sample(1, 2.0e6);
         assert_eq!(s.chunk_size(1), ByteSize::kb(16));
         s.on_sample(1, 1.0e6);
-        assert_eq!(s.chunk_size(1), ByteSize::kb(16), "16 KB floor (Alg. 1 line 8)");
+        assert_eq!(
+            s.chunk_size(1),
+            ByteSize::kb(16),
+            "16 KB floor (Alg. 1 line 8)"
+        );
     }
 
     #[test]
@@ -369,7 +455,7 @@ mod tests {
         // (halving) but not to Harmonic. This is the §5.2 mechanism that
         // makes Harmonic outperform EWMA.
         let cfg = cfg();
-        let mut ewma = DcsaScheduler::new(&cfg, || Box::new(Ewma::new(cfg.alpha)));
+        let mut ewma = DcsaScheduler::new(&cfg, Ewma::new(cfg.alpha));
         let mut harm = harmonic(&cfg);
         for s in [&mut ewma, &mut harm] {
             // Establish: path 0 fast (20 Mb/s), path 1 slow (6 Mb/s).
@@ -427,10 +513,22 @@ mod tests {
     #[test]
     fn builder_maps_kinds_to_names() {
         let cfg = cfg();
-        assert_eq!(build_scheduler(&cfg.clone().with_scheduler(SchedulerKind::Ratio)).name(), "Ratio");
-        assert_eq!(build_scheduler(&cfg.clone().with_scheduler(SchedulerKind::Ewma)).name(), "EWMA");
-        assert_eq!(build_scheduler(&cfg.clone().with_scheduler(SchedulerKind::Harmonic)).name(), "Harmonic");
-        assert_eq!(build_scheduler(&cfg.with_scheduler(SchedulerKind::Fixed)).name(), "Fixed");
+        assert_eq!(
+            build_scheduler(&cfg.clone().with_scheduler(SchedulerKind::Ratio)).name(),
+            "Ratio"
+        );
+        assert_eq!(
+            build_scheduler(&cfg.clone().with_scheduler(SchedulerKind::Ewma)).name(),
+            "EWMA"
+        );
+        assert_eq!(
+            build_scheduler(&cfg.clone().with_scheduler(SchedulerKind::Harmonic)).name(),
+            "Harmonic"
+        );
+        assert_eq!(
+            build_scheduler(&cfg.with_scheduler(SchedulerKind::Fixed)).name(),
+            "Fixed"
+        );
     }
 
     mod proptests {
@@ -471,7 +569,7 @@ mod tests {
             ) {
                 let w_fast = w_slow * ratio;
                 let cfg = PlayerConfig::default();
-                let mut s = DcsaScheduler::new(&cfg, || Box::new(HarmonicInc::new()));
+                let mut s = DcsaScheduler::new(&cfg, HarmonicInc::new());
                 for _ in 0..12 {
                     s.on_sample(0, w_fast);
                     s.on_sample(1, w_slow);

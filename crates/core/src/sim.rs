@@ -358,24 +358,35 @@ pub fn run_session(scenario: &Scenario) -> SessionMetrics {
         bytes_per_sec,
         SimTime::ZERO,
     );
-    let mut queue: EventQueue<Ev> = EventQueue::new();
+    // Pending events stay small: at most one chunk completion or error per
+    // path, plus a tick and recovery timers. 16 slots covers every scenario
+    // without a single reallocation.
+    let mut queue: EventQueue<Ev> = EventQueue::with_capacity(16);
     if scenario.player.head_start {
         for (i, &ready) in ready_times.iter().enumerate() {
             queue.push(ready, Ev::PathReady(i));
         }
     } else {
         // All paths wait for the slowest bootstrap (ablation mode).
-        let latest = ready_times.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        let latest = ready_times
+            .iter()
+            .copied()
+            .fold(SimTime::ZERO, SimTime::max);
         for i in 0..n_paths {
             queue.push(latest, Ev::PathReady(i));
         }
     }
 
     let deadline = SimTime::ZERO + MAX_SESSION;
+    // One action buffer for the whole session: `handle_into` appends and
+    // the dispatch loop drains, so the hot loop never allocates.
+    let mut actions: Vec<PlayerAction> = Vec::with_capacity(8);
+    let mut events: u64 = 0;
     while let Some((now, ev)) = queue.pop() {
         if now > deadline {
             break;
         }
+        events += 1;
         let player_event = match ev {
             Ev::PathReady(p) => PlayerEvent::PathReady { path: p },
             Ev::ChunkDone {
@@ -408,8 +419,8 @@ pub fn run_session(scenario: &Scenario) -> SessionMetrics {
             }
             Ev::Tick => PlayerEvent::Tick,
         };
-        let actions = player.handle(now, player_event);
-        for action in actions {
+        player.handle_into(now, player_event, &mut actions);
+        for action in actions.drain(..) {
             match action {
                 PlayerAction::Fetch { assignment } => {
                     dispatch_fetch(
@@ -425,7 +436,13 @@ pub fn run_session(scenario: &Scenario) -> SessionMetrics {
                 }
                 PlayerAction::Failover { path } => {
                     dispatch_failover(
-                        &mut service, &mut links, &mut conns, &mut paths, &mut queue, &tls, now,
+                        &mut service,
+                        &mut links,
+                        &mut conns,
+                        &mut paths,
+                        &mut queue,
+                        &tls,
+                        now,
                         path,
                     );
                 }
@@ -442,11 +459,15 @@ pub fn run_session(scenario: &Scenario) -> SessionMetrics {
             StopCondition::AtTime(t) => now >= t,
         };
         if stop {
-            return player.into_metrics(now);
+            let mut m = player.into_metrics(now);
+            m.events = events;
+            return m;
         }
     }
     let end = queue.now();
-    player.into_metrics(end)
+    let mut m = player.into_metrics(end);
+    m.events = events;
+    m
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -631,10 +652,7 @@ mod tests {
     fn wifi_head_start_is_positive() {
         let m = run_session(&Scenario::testbed_msplayer(5, quick_player()));
         let hs = m.observed_head_start().expect("both paths delivered");
-        assert!(
-            hs.as_secs_f64() > 0.05,
-            "LTE starts later than WiFi: {hs}"
-        );
+        assert!(hs.as_secs_f64() > 0.05, "LTE starts later than WiFi: {hs}");
         // WiFi delivered its first byte first.
         assert!(m.first_byte_at[0].unwrap() < m.first_byte_at[1].unwrap());
     }
@@ -703,7 +721,11 @@ mod tests {
 
     #[test]
     fn ratio_vs_harmonic_schedulers_both_run() {
-        for kind in [SchedulerKind::Ratio, SchedulerKind::Ewma, SchedulerKind::Harmonic] {
+        for kind in [
+            SchedulerKind::Ratio,
+            SchedulerKind::Ewma,
+            SchedulerKind::Harmonic,
+        ] {
             let cfg = quick_player().with_scheduler(kind);
             let m = run_session(&Scenario::testbed_msplayer(21, cfg));
             assert!(m.prebuffer_done_at.is_some(), "{kind:?}");
@@ -717,6 +739,9 @@ mod tests {
         let wifi_frac = m
             .traffic_fraction(0, crate::metrics::TrafficPhase::PreBuffering)
             .unwrap();
-        assert!(wifi_frac > 0.3, "wifi carries substantial traffic: {wifi_frac}");
+        assert!(
+            wifi_frac > 0.3,
+            "wifi carries substantial traffic: {wifi_frac}"
+        );
     }
 }

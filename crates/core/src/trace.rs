@@ -115,7 +115,8 @@ mod tests {
             });
         }
         m.prebuffer_done_at = Some(SimTime::from_secs(5));
-        m.stalls.push((SimTime::from_secs(7), Some(SimTime::from_secs(8))));
+        m.stalls
+            .push((SimTime::from_secs(7), Some(SimTime::from_secs(8))));
         m
     }
 

@@ -13,12 +13,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bytes;
 pub mod message;
 pub mod range;
 pub mod tls;
 pub mod wire;
 
+pub use bytes::Bytes;
 pub use message::{Headers, Method, Request, Response, StatusCode};
 pub use range::{ByteRange, RangeError};
 pub use tls::{Phase, TlsTimingModel};
-pub use wire::{decode_request, decode_response, encode_request, encode_response, Decoded, WireError};
+pub use wire::{
+    decode_request, decode_response, encode_request, encode_request_into, encode_response,
+    encode_response_into, Decoded, WireError,
+};

@@ -3,7 +3,7 @@
 //! These are shared by the simulator (which moves messages as values) and
 //! the real-socket testbed (which serialises them with [`crate::wire`]).
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 use std::fmt;
 
 /// The request methods the system uses.
@@ -143,7 +143,8 @@ impl Headers {
 
     /// Parses `Content-Length`, if present and well-formed.
     pub fn content_length(&self) -> Option<u64> {
-        self.get("content-length").and_then(|v| v.trim().parse().ok())
+        self.get("content-length")
+            .and_then(|v| v.trim().parse().ok())
     }
 }
 
@@ -323,7 +324,10 @@ mod tests {
         assert!(StatusCode::PARTIAL_CONTENT.is_success());
         assert!(!StatusCode::FORBIDDEN.is_success());
         assert!(StatusCode::SERVICE_UNAVAILABLE.is_server_error());
-        assert_eq!(StatusCode::PARTIAL_CONTENT.to_string(), "206 Partial Content");
+        assert_eq!(
+            StatusCode::PARTIAL_CONTENT.to_string(),
+            "206 Partial Content"
+        );
     }
 
     #[test]

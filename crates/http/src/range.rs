@@ -33,7 +33,10 @@ impl fmt::Display for RangeError {
             RangeError::Malformed(s) => write!(f, "malformed range header: {s:?}"),
             RangeError::Inverted => write!(f, "range start exceeds end"),
             RangeError::Unsatisfiable { resource_len } => {
-                write!(f, "range not satisfiable for resource of {resource_len} bytes")
+                write!(
+                    f,
+                    "range not satisfiable for resource of {resource_len} bytes"
+                )
             }
         }
     }
@@ -185,7 +188,15 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for bad in ["", "bytes=", "bytes=1-", "bytes=-5", "octets=1-2", "bytes=a-b", "bytes=5"] {
+        for bad in [
+            "",
+            "bytes=",
+            "bytes=1-",
+            "bytes=-5",
+            "octets=1-2",
+            "bytes=a-b",
+            "bytes=5",
+        ] {
             assert!(
                 ByteRange::parse_header_value(bad).is_err(),
                 "should reject {bad:?}"

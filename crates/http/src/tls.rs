@@ -144,7 +144,12 @@ mod tests {
         for theta10 in [10u64, 15, 20, 25, 30] {
             let r2 = SimDuration::from_micros(r1.as_micros() * theta10 / 10);
             let expected = SimDuration::from_micros(r1.as_micros() * (theta10 - 10));
-            assert_eq!(m.head_start(r1, r2), expected, "theta = {}", theta10 as f64 / 10.0);
+            assert_eq!(
+                m.head_start(r1, r2),
+                expected,
+                "theta = {}",
+                theta10 as f64 / 10.0
+            );
         }
     }
 

@@ -7,8 +7,8 @@
 //! implemented: `Content-Length` bodies (YouTube range responses always know
 //! their length) — no chunked transfer encoding.
 
+use crate::bytes::Bytes;
 use crate::message::{Headers, Method, Request, Response, StatusCode};
-use bytes::Bytes;
 use std::fmt;
 
 /// Maximum accepted head (request/status line + headers) size.
@@ -42,6 +42,16 @@ impl std::error::Error for WireError {}
 /// Serialises a request into wire bytes.
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut out = Vec::with_capacity(256 + req.body.len());
+    encode_request_into(req, &mut out);
+    out
+}
+
+/// Serialises a request into `out` (cleared first). Callers with a hot
+/// request loop hold one buffer and reuse its capacity across requests
+/// instead of allocating per message.
+pub fn encode_request_into(req: &Request, out: &mut Vec<u8>) {
+    use std::io::Write as _;
+    out.clear();
     out.extend_from_slice(req.method.as_str().as_bytes());
     out.push(b' ');
     out.extend_from_slice(req.target.as_bytes());
@@ -57,19 +67,31 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         out.extend_from_slice(b"\r\n");
     }
     if !req.body.is_empty() && !has_len {
-        out.extend_from_slice(format!("Content-Length: {}\r\n", req.body.len()).as_bytes());
+        write!(out, "Content-Length: {}\r\n", req.body.len()).expect("Vec write");
     }
     out.extend_from_slice(b"\r\n");
     out.extend_from_slice(&req.body);
-    out
 }
 
 /// Serialises a response into wire bytes.
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     let mut out = Vec::with_capacity(256 + resp.body.len());
-    out.extend_from_slice(
-        format!("HTTP/1.1 {} {}\r\n", resp.status.0, resp.status.reason()).as_bytes(),
-    );
+    encode_response_into(resp, &mut out);
+    out
+}
+
+/// Serialises a response into `out` (cleared first); the reusable-buffer
+/// counterpart of [`encode_response`].
+pub fn encode_response_into(resp: &Response, out: &mut Vec<u8>) {
+    use std::io::Write as _;
+    out.clear();
+    write!(
+        out,
+        "HTTP/1.1 {} {}\r\n",
+        resp.status.0,
+        resp.status.reason()
+    )
+    .expect("Vec write");
     let mut has_len = false;
     for (name, value) in resp.headers.iter() {
         if name.eq_ignore_ascii_case("content-length") {
@@ -81,11 +103,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         out.extend_from_slice(b"\r\n");
     }
     if !has_len {
-        out.extend_from_slice(format!("Content-Length: {}\r\n", resp.body.len()).as_bytes());
+        write!(out, "Content-Length: {}\r\n", resp.body.len()).expect("Vec write");
     }
     out.extend_from_slice(b"\r\n");
     out.extend_from_slice(&resp.body);
-    out
 }
 
 /// Outcome of a decode attempt over a byte buffer.
@@ -125,7 +146,9 @@ pub fn decode_request(buf: &[u8]) -> Result<Decoded<Request>, WireError> {
         .next()
         .ok_or_else(|| WireError::Malformed("missing version".into()))?;
     if version != "HTTP/1.1" && version != "HTTP/1.0" {
-        return Err(WireError::Malformed(format!("unsupported version {version:?}")));
+        return Err(WireError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
     }
     let headers = parse_headers(lines)?;
     let body_len = headers.content_length().unwrap_or(0);

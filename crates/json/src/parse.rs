@@ -20,7 +20,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.offset, self.reason)
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.reason
+        )
     }
 }
 
@@ -75,7 +79,10 @@ impl<'a> Parser<'a> {
             Some(got) if got == b => Ok(()),
             Some(got) => {
                 self.pos -= 1;
-                Err(self.err(&format!("expected '{}', found '{}'", b as char, got as char)))
+                Err(self.err(&format!(
+                    "expected '{}', found '{}'",
+                    b as char, got as char
+                )))
             }
             None => Err(self.err(&format!("expected '{}', found end of input", b as char))),
         }
@@ -224,7 +231,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, ParseError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
@@ -347,8 +356,8 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         for bad in [
-            "", "{", "}", "[1,", "{\"a\":}", "01", "1.", "1e", "+1", "'x'", "tru",
-            "[1] junk", "\"\x01\"", "{a:1}",
+            "", "{", "}", "[1,", "{\"a\":}", "01", "1.", "1e", "+1", "'x'", "tru", "[1] junk",
+            "\"\x01\"", "{a:1}",
         ] {
             assert!(from_str(bad).is_err(), "should reject {bad:?}");
         }
@@ -373,7 +382,10 @@ mod tests {
     #[test]
     fn whitespace_everywhere() {
         let v = from_str(" \t\r\n{ \"a\" : [ 1 , 2 ] } \n").unwrap();
-        assert_eq!(v.get("a").and_then(|a| a.at(1)).and_then(Value::as_f64), Some(2.0));
+        assert_eq!(
+            v.get("a").and_then(|a| a.at(1)).and_then(Value::as_f64),
+            Some(2.0)
+        );
     }
 
     #[test]

@@ -145,15 +145,16 @@ mod tests {
     #[test]
     fn outage_zeroes_rate() {
         use crate::mobility::OutageSchedule;
-        let sched = OutageSchedule::from_windows(vec![(
-            SimTime::from_secs(10),
-            SimTime::from_secs(20),
-        )]);
+        let sched =
+            OutageSchedule::from_windows(vec![(SimTime::from_secs(10), SimTime::from_secs(20))]);
         let mut l = test_link(0.0).with_outages(sched);
         assert!(l.rate_at(SimTime::from_secs(5)).as_mbps() > 0.0);
         assert_eq!(l.rate_at(SimTime::from_secs(15)).as_bps(), 0.0);
         assert!(!l.is_up(SimTime::from_secs(15)));
-        assert_eq!(l.next_up_after(SimTime::from_secs(15)), Some(SimTime::from_secs(20)));
+        assert_eq!(
+            l.next_up_after(SimTime::from_secs(15)),
+            Some(SimTime::from_secs(20))
+        );
         assert_eq!(l.next_up_after(SimTime::from_secs(25)), None);
         assert!(l.rate_at(SimTime::from_secs(25)).as_mbps() > 0.0);
     }

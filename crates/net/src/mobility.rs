@@ -48,9 +48,8 @@ impl OutageSchedule {
             if start >= horizon {
                 break;
             }
-            let down = SimDuration::from_secs_f64(
-                rng.exponential(mean_down.as_secs_f64()).max(0.001),
-            );
+            let down =
+                SimDuration::from_secs_f64(rng.exponential(mean_down.as_secs_f64()).max(0.001));
             let end = start + down;
             windows.push((start, end.min(horizon)));
             t = end;
@@ -63,7 +62,9 @@ impl OutageSchedule {
 
     /// A schedule with no outages.
     pub fn none() -> Self {
-        OutageSchedule { windows: Vec::new() }
+        OutageSchedule {
+            windows: Vec::new(),
+        }
     }
 
     /// True when the link is up at `t`.
@@ -147,9 +148,15 @@ mod tests {
             (SimTime::from_secs(10), SimTime::from_secs(12)),
             (SimTime::from_secs(20), SimTime::from_secs(25)),
         ]);
-        assert_eq!(s.downtime(SimTime::from_secs(100)), SimDuration::from_secs(7));
+        assert_eq!(
+            s.downtime(SimTime::from_secs(100)),
+            SimDuration::from_secs(7)
+        );
         // Horizon truncates the second window.
-        assert_eq!(s.downtime(SimTime::from_secs(22)), SimDuration::from_secs(4));
+        assert_eq!(
+            s.downtime(SimTime::from_secs(22)),
+            SimDuration::from_secs(4)
+        );
     }
 
     #[test]
@@ -168,7 +175,10 @@ mod tests {
         }
         // Duty cycle ≈ 100/110 up.
         let down_frac = s.downtime(horizon).as_secs_f64() / horizon.as_secs_f64();
-        assert!((0.04..0.16).contains(&down_frac), "down fraction {down_frac}");
+        assert!(
+            (0.04..0.16).contains(&down_frac),
+            "down fraction {down_frac}"
+        );
     }
 
     #[test]

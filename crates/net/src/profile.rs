@@ -245,11 +245,8 @@ impl PathProfile {
         } else {
             Box::new(msim_core::process::Constant(mean))
         };
-        let mut modulated = Modulated::new(
-            base,
-            mean * self.min_rate_frac,
-            mean * self.max_rate_frac,
-        );
+        let mut modulated =
+            Modulated::new(base, mean * self.min_rate_frac, mean * self.max_rate_frac);
         if let Some(b) = self.bursts {
             modulated = modulated.with(Box::new(Bursts::new(
                 b.mean_interarrival_secs,
@@ -293,8 +290,14 @@ mod tests {
             / PathProfile::wifi_testbed().base_rtt.as_secs_f64();
         let theta_youtube = PathProfile::lte_youtube().base_rtt.as_secs_f64()
             / PathProfile::wifi_youtube().base_rtt.as_secs_f64();
-        assert!((2.0..=3.0).contains(&theta_testbed), "testbed θ {theta_testbed}");
-        assert!((2.0..=3.0).contains(&theta_youtube), "youtube θ {theta_youtube}");
+        assert!(
+            (2.0..=3.0).contains(&theta_testbed),
+            "testbed θ {theta_testbed}"
+        );
+        assert!(
+            (2.0..=3.0).contains(&theta_youtube),
+            "youtube θ {theta_youtube}"
+        );
     }
 
     #[test]
@@ -313,9 +316,7 @@ mod tests {
                 let mut sum = 0.0;
                 let n = 600;
                 for i in 0..n {
-                    sum += link
-                        .rate_at(SimTime::from_millis(100 * i as u64))
-                        .as_mbps();
+                    sum += link.rate_at(SimTime::from_millis(100 * i as u64)).as_mbps();
                 }
                 agg += sum / n as f64;
             }

@@ -171,10 +171,7 @@ impl TcpConnection {
     /// arrives a full RTT after the request. Subsequent rounds deliver
     /// `min(cwnd, avail·RTT, rwnd, pace·RTT)` bytes each.
     pub fn request(&mut self, link: &mut Link, now: SimTime, size: ByteSize) -> TransferResult {
-        assert!(
-            self.established_at.is_some(),
-            "request() before connect()"
-        );
+        assert!(self.established_at.is_some(), "request() before connect()");
         debug_assert!(size.as_u64() > 0, "zero-byte request");
 
         // Slow-start restart after idle (RFC 2861).
@@ -212,9 +209,10 @@ impl TcpConnection {
                     let wait = up_at.saturating_since(t);
                     dead_for += wait;
                     if dead_for >= self.cfg.dead_link_timeout {
-                        let abort_at = t + self.cfg.dead_link_timeout.saturating_sub(
-                            dead_for.saturating_sub(wait),
-                        );
+                        let abort_at = t + self
+                            .cfg
+                            .dead_link_timeout
+                            .saturating_sub(dead_for.saturating_sub(wait));
                         return self.finish(
                             now,
                             first_byte_at.unwrap_or(abort_at),
@@ -441,7 +439,10 @@ mod tests {
         // Wait 5 s (ON/OFF gap) then request again: window restarts.
         let later = first.completed_at + SimDuration::from_secs(5);
         let second = conn.request(&mut link, later, ByteSize::mb(1));
-        assert!(second.rounds >= first.rounds.saturating_sub(1), "cold again");
+        assert!(
+            second.rounds >= first.rounds.saturating_sub(1),
+            "cold again"
+        );
     }
 
     #[test]
@@ -466,11 +467,8 @@ mod tests {
     #[test]
     fn server_pacing_caps_goodput_after_burst() {
         let mut link = quiet_link(50.0, 30);
-        let mut conn =
-            TcpConnection::new(TcpConfig::default()).with_server_pacing(
-                ByteSize::kb(256),
-                BitRate::mbps(2.0),
-            );
+        let mut conn = TcpConnection::new(TcpConfig::default())
+            .with_server_pacing(ByteSize::kb(256), BitRate::mbps(2.0));
         let ready = conn.connect(&mut link, SimTime::ZERO);
         let res = conn.request(&mut link, ready, ByteSize::mb(4));
         let goodput = res.goodput().as_mbps();

@@ -4,43 +4,65 @@
 //! total order: events scheduled for the same instant pop in the order they
 //! were pushed (FIFO tie-break via a monotone sequence number). This makes
 //! every simulation replayable bit-for-bit from a seed.
+//!
+//! ## Implementation
+//!
+//! An index-addressable **4-ary min-heap** over a **generation-stamped
+//! slab**:
+//!
+//! * heap entries carry `(at, seq, slot)` inline, so sift comparisons never
+//!   chase a pointer into the slab;
+//! * the 4-ary layout halves tree depth versus a binary heap and keeps the
+//!   four children of a node within one cache line of indices — pops of
+//!   near-future events touch fewer levels;
+//! * cancellation is **O(1)**: it flips the slot's state to a tombstone that
+//!   `pop`/`peek_time` discard when the entry surfaces. There is no side
+//!   `HashSet` — the pop path does zero hash lookups — and tombstoned slots
+//!   are recycled through a free list, so memory stays bounded by the peak
+//!   number of pending events;
+//! * slot reuse bumps a generation counter, so a stale [`EventId`] can never
+//!   cancel an unrelated later event.
+//!
+//! The previous `BinaryHeap + HashSet` lazy-cancellation implementation is
+//! kept (test-only) as `legacy::LegacyQueue`, and a differential test drives
+//! both through randomized push/cancel/pop/peek schedules asserting
+//! identical observable behaviour.
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// A handle identifying a scheduled event, usable for cancellation.
+///
+/// Internally a `(slot, generation)` pair; the generation stamp makes
+/// handles single-use — once the event fires or is cancelled, the handle
+/// goes stale and [`EventQueue::cancel`] returns `false` for it.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventId(u64);
+pub struct EventId {
+    slot: u32,
+    gen: u32,
+}
 
-struct Entry<E> {
+/// Heap entry: ordering key inline, payload in the slab.
+#[derive(Clone, Copy)]
+struct HeapEntry {
     at: SimTime,
     seq: u64,
-    id: EventId,
-    payload: E,
+    slot: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+impl HeapEntry {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
     }
 }
 
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+enum Slot<E> {
+    /// Pending event.
+    Occupied(E),
+    /// Cancelled; its heap entry has not surfaced yet.
+    Tombstone,
+    /// Recyclable (not referenced by any heap entry).
+    Free,
 }
 
 /// A deterministic min-heap of timestamped events.
@@ -57,11 +79,13 @@ impl<E> Ord for Entry<E> {
 /// assert!(q.pop().is_none());
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: Vec<HeapEntry>,
+    slots: Vec<(u32, Slot<E>)>,
+    free: Vec<u32>,
+    live: usize,
     next_seq: u64,
-    next_id: u64,
-    cancelled: std::collections::HashSet<EventId>,
     now: SimTime,
+    saturated_pushes: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -70,15 +94,33 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+const ARITY: usize = 4;
+
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
             next_seq: 0,
-            next_id: 0,
-            cancelled: std::collections::HashSet::new(),
             now: SimTime::ZERO,
+            saturated_pushes: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `cap` pending events before
+    /// reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: Vec::with_capacity(cap),
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            live: 0,
+            next_seq: 0,
+            now: SimTime::ZERO,
+            saturated_pushes: 0,
         }
     }
 
@@ -90,67 +132,299 @@ impl<E> EventQueue<E> {
 
     /// Schedules `payload` at instant `at`.
     ///
-    /// Scheduling in the past is a logic error in the caller; in debug builds
-    /// it panics, in release builds the event fires "now" (at the current
-    /// clock) to keep the clock monotone.
+    /// Scheduling in the past is a logic error in the caller; in debug
+    /// builds it panics, in release builds the event is *saturated* to fire
+    /// "now" (at the current clock) to keep the clock monotone, and the
+    /// [`EventQueue::saturated_pushes`] counter records the rewrite so
+    /// callers/tests can detect the condition instead of it passing
+    /// silently.
     pub fn push(&mut self, at: SimTime, payload: E) -> EventId {
         debug_assert!(
             at >= self.now,
             "scheduled event in the past: at={at:?} now={:?}",
             self.now
         );
+        self.push_saturating(at, payload).0
+    }
+
+    /// Like [`EventQueue::push`], but reports saturation instead of only
+    /// counting it: returns `(id, true)` when `at` lay in the past and was
+    /// rewritten to "now". Does not panic in debug builds — this is the
+    /// checked entry point for callers that handle the condition.
+    pub fn push_saturating(&mut self, at: SimTime, payload: E) -> (EventId, bool) {
+        let saturated = at < self.now;
+        if saturated {
+            self.saturated_pushes += 1;
+        }
         let at = at.max(self.now);
-        let id = EventId(self.next_id);
-        self.next_id += 1;
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, id, payload });
-        id
+
+        let slot = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx as usize].1 = Slot::Occupied(payload);
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("event slab exhausted");
+                self.slots.push((0, Slot::Occupied(payload)));
+                idx
+            }
+        };
+        let gen = self.slots[slot as usize].0;
+        self.live += 1;
+
+        self.heap.push(HeapEntry { at, seq, slot });
+        self.sift_up(self.heap.len() - 1);
+        (EventId { slot, gen }, saturated)
+    }
+
+    /// Number of release-mode past-scheduled pushes rewritten to "now" over
+    /// the queue's lifetime (always 0 when callers are well-behaved).
+    pub fn saturated_pushes(&self) -> u64 {
+        self.saturated_pushes
     }
 
     /// Cancels a previously scheduled event. Returns `true` if the event was
     /// still pending (it will be silently skipped when its time comes).
+    /// O(1): no heap restructuring, no hashing.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_id {
+        let Some((gen, slot)) = self.slots.get_mut(id.slot as usize) else {
+            return false;
+        };
+        if *gen != id.gen || !matches!(slot, Slot::Occupied(_)) {
             return false;
         }
-        self.cancelled.insert(id)
+        *slot = Slot::Tombstone;
+        self.live -= 1;
+        true
     }
 
-    /// Removes and returns the earliest pending event, advancing the clock to
-    /// its timestamp. Returns `None` when the queue is drained.
+    /// Removes and returns the earliest pending event, advancing the clock
+    /// to its timestamp. Returns `None` when the queue is drained.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.id) {
-                continue;
+        loop {
+            let entry = self.pop_root()?;
+            match self.release_slot(entry.slot) {
+                Some(payload) => {
+                    self.live -= 1;
+                    self.now = entry.at;
+                    return Some((entry.at, payload));
+                }
+                None => continue, // tombstone: slot recycled, skip
             }
-            self.now = entry.at;
-            return Some((entry.at, entry.payload));
         }
-        None
     }
 
     /// Timestamp of the next live event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.id) {
-                let entry = self.heap.pop().expect("peeked entry vanished");
-                self.cancelled.remove(&entry.id);
-                continue;
+        loop {
+            let entry = *self.heap.first()?;
+            if matches!(self.slots[entry.slot as usize].1, Slot::Occupied(_)) {
+                return Some(entry.at);
             }
-            return Some(entry.at);
+            // Tombstone on top: discard eagerly so peek stays O(1) amortised.
+            let entry = self.pop_root().expect("non-empty heap");
+            self.release_slot(entry.slot);
         }
-        None
     }
 
     /// Number of live (non-cancelled) events still pending.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live
     }
 
     /// True when no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
+    }
+
+    /// Removes the root heap entry, restoring the heap property.
+    fn pop_root(&mut self) -> Option<HeapEntry> {
+        let last = self.heap.pop()?;
+        if self.heap.is_empty() {
+            return Some(last);
+        }
+        let root = std::mem::replace(&mut self.heap[0], last);
+        self.sift_down(0);
+        Some(root)
+    }
+
+    /// Frees `slot`, bumping its generation; returns the payload if it was
+    /// still occupied (`None` for tombstones).
+    fn release_slot(&mut self, slot: u32) -> Option<E> {
+        let cell = &mut self.slots[slot as usize];
+        cell.0 = cell.0.wrapping_add(1);
+        let payload = match std::mem::replace(&mut cell.1, Slot::Free) {
+            Slot::Occupied(p) => Some(p),
+            Slot::Tombstone => None,
+            Slot::Free => unreachable!("slot freed twice"),
+        };
+        self.free.push(slot);
+        payload
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut i: usize) {
+        let entry = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if self.heap[parent].key() <= entry.key() {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            i = parent;
+        }
+        self.heap[i] = entry;
+    }
+
+    #[inline]
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        let entry = self.heap[i];
+        loop {
+            let first_child = i * ARITY + 1;
+            if first_child >= len {
+                break;
+            }
+            let mut min_child = first_child;
+            let mut min_key = self.heap[first_child].key();
+            let last_child = (first_child + ARITY - 1).min(len - 1);
+            for c in first_child + 1..=last_child {
+                let k = self.heap[c].key();
+                if k < min_key {
+                    min_key = k;
+                    min_child = c;
+                }
+            }
+            if entry.key() <= min_key {
+                break;
+            }
+            self.heap[i] = self.heap[min_child];
+            i = min_child;
+        }
+        self.heap[i] = entry;
+    }
+}
+
+#[cfg(test)]
+mod legacy {
+    //! The seed implementation (`BinaryHeap<Entry> + HashSet<EventId>` lazy
+    //! cancellation), preserved verbatim in behaviour as the reference for
+    //! the differential test.
+
+    use crate::time::SimTime;
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+    pub struct LegacyId(u64);
+
+    struct Entry<E> {
+        at: SimTime,
+        seq: u64,
+        id: LegacyId,
+        payload: E,
+    }
+
+    impl<E> PartialEq for Entry<E> {
+        fn eq(&self, other: &Self) -> bool {
+            self.at == other.at && self.seq == other.seq
+        }
+    }
+    impl<E> Eq for Entry<E> {}
+    impl<E> PartialOrd for Entry<E> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<E> Ord for Entry<E> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .at
+                .cmp(&self.at)
+                .then_with(|| other.seq.cmp(&self.seq))
+        }
+    }
+
+    pub struct LegacyQueue<E> {
+        heap: BinaryHeap<Entry<E>>,
+        next_seq: u64,
+        next_id: u64,
+        cancelled: std::collections::HashSet<LegacyId>,
+        now: SimTime,
+    }
+
+    impl<E> LegacyQueue<E> {
+        pub fn new() -> Self {
+            LegacyQueue {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                next_id: 0,
+                cancelled: std::collections::HashSet::new(),
+                now: SimTime::ZERO,
+            }
+        }
+
+        pub fn push(&mut self, at: SimTime, payload: E) -> LegacyId {
+            let at = at.max(self.now);
+            let id = LegacyId(self.next_id);
+            self.next_id += 1;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Entry {
+                at,
+                seq,
+                id,
+                payload,
+            });
+            id
+        }
+
+        pub fn cancel(&mut self, id: LegacyId) -> bool {
+            if id.0 >= self.next_id {
+                return false;
+            }
+            // One deliberate deviation from the seed: cancelling an id that
+            // already fired returned `true` there (and leaked the id into
+            // `cancelled` forever). The slab queue returns `false` for stale
+            // handles; align so the differential test can assert outcomes.
+            if self.cancelled.contains(&id) || !self.pending(id) {
+                return false;
+            }
+            self.cancelled.insert(id)
+        }
+
+        fn pending(&self, id: LegacyId) -> bool {
+            self.heap.iter().any(|e| e.id == id)
+        }
+
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            while let Some(entry) = self.heap.pop() {
+                if self.cancelled.remove(&entry.id) {
+                    continue;
+                }
+                self.now = entry.at;
+                return Some((entry.at, entry.payload));
+            }
+            None
+        }
+
+        pub fn peek_time(&mut self) -> Option<SimTime> {
+            while let Some(entry) = self.heap.peek() {
+                if self.cancelled.contains(&entry.id) {
+                    let entry = self.heap.pop().expect("peeked entry vanished");
+                    self.cancelled.remove(&entry.id);
+                    continue;
+                }
+                return Some(entry.at);
+            }
+            None
+        }
+
+        pub fn len(&self) -> usize {
+            self.heap.len() - self.cancelled.len()
+        }
     }
 }
 
@@ -195,10 +469,25 @@ mod tests {
         let a = q.push(SimTime::from_secs(1), "a");
         let _b = q.push(SimTime::from_secs(2), "b");
         assert!(q.cancel(a));
-        assert!(!q.cancel(EventId(999)), "unknown id is not cancellable");
+        assert!(!q.cancel(a), "double cancel is rejected");
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop().unwrap().1, "b");
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn stale_and_unknown_ids_are_not_cancellable() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_secs(1), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert!(!q.cancel(a), "popped event's id is stale");
+        // The slot gets recycled by the next push; the old id must still be
+        // rejected thanks to the generation stamp.
+        let b = q.push(SimTime::from_secs(2), "b");
+        assert!(!q.cancel(a), "stale id cannot cancel the recycled slot");
+        assert!(q.cancel(b));
+        let c = EventId { slot: 999, gen: 0 };
+        assert!(!q.cancel(c), "out-of-range id is not cancellable");
     }
 
     #[test]
@@ -232,5 +521,130 @@ mod tests {
         q.push(SimTime::from_secs(2), ());
         q.pop();
         q.push(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn past_push_saturates_and_is_reported() {
+        // Covers the release-mode semantics of `push` via the checked entry
+        // point (which never panics, so this test runs in both build modes):
+        // a past-scheduled event fires "now" and the rewrite is observable.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5), 0u32);
+        q.pop();
+        assert_eq!(q.saturated_pushes(), 0);
+        let (_, saturated) = q.push_saturating(SimTime::from_secs(1), 1u32);
+        assert!(saturated, "past schedule is flagged");
+        assert_eq!(q.saturated_pushes(), 1);
+        let (at, e) = q.pop().unwrap();
+        assert_eq!(e, 1);
+        assert_eq!(at, SimTime::from_secs(5), "event rewritten to now");
+        // An on-time push is not flagged.
+        let (_, saturated) = q.push_saturating(SimTime::from_secs(6), 2u32);
+        assert!(!saturated);
+        assert_eq!(q.saturated_pushes(), 1);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn release_push_saturates_silently_but_counts() {
+        // In release builds the plain `push` rewrites past events to "now"
+        // (monotone clock) and the counter is the only trace.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5), 0u32);
+        q.pop();
+        q.push(SimTime::from_secs(1), 1u32);
+        assert_eq!(q.saturated_pushes(), 1);
+        let (at, e) = q.pop().unwrap();
+        assert_eq!(e, 1);
+        assert_eq!(at, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn slots_are_recycled_bounded() {
+        // Push/cancel churn must not grow memory: tombstones are reclaimed
+        // as they surface, slots and heap entries are reused.
+        let mut q = EventQueue::new();
+        for round in 0..1000u64 {
+            let t = SimTime::from_micros(round + 1_000_000);
+            let a = q.push(t, round);
+            let b = q.push(t, round + 1);
+            assert!(q.cancel(a));
+            assert_eq!(q.pop().unwrap().1, round + 1);
+            let _ = b;
+        }
+        assert!(q.slots.len() <= 4, "slab stays tiny: {}", q.slots.len());
+        assert!(q.heap.capacity() <= 16, "heap stays tiny");
+    }
+
+    #[test]
+    fn differential_vs_legacy_binary_heap() {
+        // Randomized schedules of push/cancel/pop/peek driven into both the
+        // new 4-ary slab heap and the seed BinaryHeap+HashSet implementation
+        // must observe identical (time, payload) sequences, lengths, peeks,
+        // and cancel outcomes.
+        for seed in 1..=20u64 {
+            let mut rng = crate::rng::Prng::new(seed);
+            let mut new_q: EventQueue<u64> = EventQueue::new();
+            let mut old_q: legacy::LegacyQueue<u64> = legacy::LegacyQueue::new();
+            // Parallel handle lists: (new_id, legacy_id).
+            let mut handles = Vec::new();
+            let mut payload = 0u64;
+
+            for _step in 0..2000 {
+                match rng.below(10) {
+                    // 0-4: push (pushes outnumber pops so queues grow).
+                    0..=4 => {
+                        let at = new_q.now() + SimDuration::from_micros(rng.below(50));
+                        payload += 1;
+                        let a = new_q.push(at, payload);
+                        let b = old_q.push(at, payload);
+                        handles.push((a, b));
+                    }
+                    // 5-6: cancel a random (possibly stale) handle.
+                    5 | 6 => {
+                        if !handles.is_empty() {
+                            let i = rng.below(handles.len() as u64) as usize;
+                            let (a, b) = handles[i];
+                            assert_eq!(new_q.cancel(a), old_q.cancel(b), "cancel outcome");
+                        }
+                    }
+                    // 7-8: pop.
+                    7 | 8 => {
+                        assert_eq!(new_q.pop(), old_q.pop(), "pop");
+                    }
+                    // 9: peek.
+                    _ => {
+                        assert_eq!(new_q.peek_time(), old_q.peek_time(), "peek");
+                    }
+                }
+                assert_eq!(new_q.len(), old_q.len(), "len");
+                assert_eq!(new_q.is_empty(), old_q.len() == 0, "is_empty");
+            }
+            // Drain both; full remaining order must match.
+            loop {
+                let (a, b) = (new_q.pop(), old_q.pop());
+                assert_eq!(a, b, "drain");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_heap_pops_sorted() {
+        let mut q = EventQueue::new();
+        let mut rng = crate::rng::Prng::new(42);
+        for i in 0..10_000u64 {
+            q.push(SimTime::from_micros(rng.below(1_000_000)), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            n += 1;
+        }
+        assert_eq!(n, 10_000);
     }
 }

@@ -328,7 +328,10 @@ mod tests {
         let t = SimTime::from_secs(1);
         let v1 = ou.value_at(t);
         let v2 = ou.value_at(t);
-        assert_eq!(v1, v2, "re-sampling the same instant must not advance state");
+        assert_eq!(
+            v1, v2,
+            "re-sampling the same instant must not advance state"
+        );
     }
 
     #[test]

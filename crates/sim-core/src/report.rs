@@ -33,7 +33,8 @@ impl Table {
     /// Appends a row; must have as many cells as there are headers.
     pub fn row(&mut self, cells: &[&str]) {
         assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
     }
 
     /// Appends a row of already-owned cells.
@@ -141,9 +142,8 @@ impl BoxPanel {
             .fold(f64::NEG_INFINITY, f64::max);
         let span = (hi - lo).max(1e-12);
         let label_w = self.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
-        let scale = |x: f64| -> usize {
-            (((x - lo) / span) * (self.width - 1) as f64).round() as usize
-        };
+        let scale =
+            |x: f64| -> usize { (((x - lo) / span) * (self.width - 1) as f64).round() as usize };
 
         let mut out = String::new();
         let _ = writeln!(out, "{}", self.title);
@@ -174,9 +174,7 @@ impl BoxPanel {
         }
         let lo_str = format!("{lo:.1}");
         let hi_str = format!("{hi:.1}");
-        let pad = self
-            .width
-            .saturating_sub(lo_str.len() + hi_str.len());
+        let pad = self.width.saturating_sub(lo_str.len() + hi_str.len());
         let _ = writeln!(
             out,
             "{:<label_w$}  {}{}{}",
@@ -185,7 +183,12 @@ impl BoxPanel {
             " ".repeat(pad),
             hi_str,
         );
-        let _ = writeln!(out, "{:<label_w$}  {}", "", center(&self.axis_label, self.width));
+        let _ = writeln!(
+            out,
+            "{:<label_w$}  {}",
+            "",
+            center(&self.axis_label, self.width)
+        );
         out
     }
 }
@@ -230,7 +233,12 @@ impl BarChart {
             let _ = writeln!(out, "(no data)");
             return out;
         }
-        let max = self.rows.iter().map(|(_, v)| *v).fold(0.0, f64::max).max(1e-12);
+        let max = self
+            .rows
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(0.0, f64::max)
+            .max(1e-12);
         let label_w = self.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
         for (label, v) in &self.rows {
             let n = ((v / max) * self.width as f64).round() as usize;

@@ -254,7 +254,10 @@ mod tests {
     #[test]
     fn bytes_over_duration() {
         let r = BitRate::mbps(8.0);
-        assert_eq!(r.bytes_over(SimDuration::from_millis(500)).as_u64(), 500_000);
+        assert_eq!(
+            r.bytes_over(SimDuration::from_millis(500)).as_u64(),
+            500_000
+        );
     }
 
     #[test]

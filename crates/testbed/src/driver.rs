@@ -7,16 +7,14 @@
 //! chunk scheduler"). The main thread owns the player state machine and a
 //! wall-clock mapped onto [`SimTime`].
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use msim_core::time::SimTime;
-use msim_http::{
-    decode_response, encode_request, ByteRange, Decoded, Request, StatusCode,
-};
+use msim_http::{decode_response, encode_request_into, ByteRange, Decoded, Request, StatusCode};
 use msplayer_core::config::PlayerConfig;
 use msplayer_core::metrics::SessionMetrics;
 use msplayer_core::player::{ChunkFailReason, Player, PlayerAction, PlayerEvent};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 
 /// When the testbed session ends.
@@ -93,12 +91,12 @@ pub fn run_testbed_session(session: &TestbedSession) -> std::io::Result<SessionM
         "one or two paths"
     );
     let clock = Clock { t0: Instant::now() };
-    let (ev_tx, ev_rx): (Sender<WorkerEvent>, Receiver<WorkerEvent>) = unbounded();
+    let (ev_tx, ev_rx): (Sender<WorkerEvent>, Receiver<WorkerEvent>) = channel();
     let mut cmd_txs: Vec<Sender<WorkerCmd>> = Vec::new();
     let mut workers = Vec::new();
 
     for (path, servers) in session.path_servers.iter().enumerate() {
-        let (cmd_tx, cmd_rx) = unbounded::<WorkerCmd>();
+        let (cmd_tx, cmd_rx) = channel::<WorkerCmd>();
         cmd_txs.push(cmd_tx);
         let servers = servers.clone();
         let ev_tx = ev_tx.clone();
@@ -158,9 +156,7 @@ pub fn run_testbed_session(session: &TestbedSession) -> std::io::Result<SessionM
                     WorkerEvent::Failed { path, reason, at } => {
                         (at, PlayerEvent::ChunkFailed { path, reason })
                     }
-                    WorkerEvent::Restored { path, at } => {
-                        (at, PlayerEvent::PathRestored { path })
-                    }
+                    WorkerEvent::Restored { path, at } => (at, PlayerEvent::PathRestored { path }),
                 };
                 (at, pe)
             }
@@ -220,6 +216,10 @@ fn path_worker(
     t0: Instant,
 ) {
     let now = |t0: Instant| SimTime::from_micros(t0.elapsed().as_micros() as u64);
+    // Reused across every chunk this worker fetches: request wire bytes and
+    // the response accumulation buffer keep their capacity for the whole
+    // session instead of re-allocating per chunk.
+    let mut bufs = FetchBufs::default();
     let mut current = 0usize;
     let mut conn = match TcpStream::connect(servers[current]) {
         Ok(c) => {
@@ -238,10 +238,7 @@ fn path_worker(
                 conn = TcpStream::connect(servers[current]).ok();
                 if let Some(c) = &conn {
                     let _ = c.set_nodelay(true);
-                    let _ = ev_tx.send(WorkerEvent::Restored {
-                        path,
-                        at: now(t0),
-                    });
+                    let _ = ev_tx.send(WorkerEvent::Restored { path, at: now(t0) });
                 }
             }
             WorkerCmd::Fetch { index, range } => {
@@ -249,7 +246,7 @@ fn path_worker(
                 let result = conn
                     .as_mut()
                     .ok_or(ChunkFailReason::Timeout)
-                    .and_then(|c| fetch_range(c, range, t0));
+                    .and_then(|c| fetch_range(c, range, t0, &mut bufs));
                 match result {
                     Ok((bytes, first_byte_at)) => {
                         let _ = ev_tx.send(WorkerEvent::Done {
@@ -277,23 +274,36 @@ fn path_worker(
     }
 }
 
+/// Per-worker scratch buffers reused across chunk fetches.
+#[derive(Default)]
+struct FetchBufs {
+    /// Encoded request bytes.
+    wire: Vec<u8>,
+    /// Accumulated response bytes.
+    resp: Vec<u8>,
+}
+
 /// Issues one range request on the persistent connection. Returns
 /// `(bytes, first_byte_at)`.
 fn fetch_range(
     conn: &mut TcpStream,
     range: ByteRange,
     t0: Instant,
+    bufs: &mut FetchBufs,
 ) -> Result<(u64, SimTime), ChunkFailReason> {
     let req = Request::get("/videoplayback?id=stream")
         .header("Host", "testbed")
         .with_range(range);
-    conn.write_all(&encode_request(&req))
+    encode_request_into(&req, &mut bufs.wire);
+    conn.write_all(&bufs.wire)
         .map_err(|_| ChunkFailReason::Timeout)?;
-    let mut buf: Vec<u8> = Vec::with_capacity(range.len() as usize + 512);
+    bufs.resp.clear();
+    bufs.resp.reserve(range.len() as usize + 512);
+    let buf = &mut bufs.resp;
     let mut scratch = [0u8; 64 * 1024];
     let mut first_byte_at: Option<SimTime> = None;
     loop {
-        match decode_response(&buf) {
+        match decode_response(buf) {
             Ok(Decoded::Complete { message, .. }) => {
                 return match message.status {
                     StatusCode::PARTIAL_CONTENT | StatusCode::OK => Ok((
@@ -307,13 +317,14 @@ fn fetch_range(
                 };
             }
             Ok(Decoded::NeedMore) => {
-                let n = conn.read(&mut scratch).map_err(|_| ChunkFailReason::Timeout)?;
+                let n = conn
+                    .read(&mut scratch)
+                    .map_err(|_| ChunkFailReason::Timeout)?;
                 if n == 0 {
                     return Err(ChunkFailReason::Timeout);
                 }
                 if first_byte_at.is_none() {
-                    first_byte_at =
-                        Some(SimTime::from_micros(t0.elapsed().as_micros() as u64));
+                    first_byte_at = Some(SimTime::from_micros(t0.elapsed().as_micros() as u64));
                 }
                 buf.extend_from_slice(&scratch[..n]);
             }

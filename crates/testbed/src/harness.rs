@@ -27,11 +27,7 @@ impl Testbed {
     /// Builds a two-path testbed ("WiFi"-like and "LTE"-like shapes) with
     /// `replicas` video servers per path, serving `video_secs` of video at
     /// `bytes_per_sec`.
-    pub fn start(
-        video_secs: f64,
-        bytes_per_sec: f64,
-        replicas: usize,
-    ) -> std::io::Result<Testbed> {
+    pub fn start(video_secs: f64, bytes_per_sec: f64, replicas: usize) -> std::io::Result<Testbed> {
         let len = (video_secs * bytes_per_sec) as usize;
         let file: Arc<Vec<u8>> = Arc::new((0..len).map(|i| (i % 251) as u8).collect());
         let shapes = [LinkShape::wifi_like(), LinkShape::lte_like()];
@@ -148,7 +144,10 @@ mod tests {
                 Duration::from_secs(20),
             )
             .expect("session runs");
-        assert!(m.prebuffer_time().is_some(), "streaming survived the failure");
+        assert!(
+            m.prebuffer_time().is_some(),
+            "streaming survived the failure"
+        );
         assert!(m.failovers[0] >= 1, "failover recorded: {:?}", m.failovers);
     }
 
@@ -159,8 +158,7 @@ mod tests {
             path_servers: vec![vec![tb.servers[0][0].addr]],
             video_len: tb.file.len() as u64,
             bytes_per_sec: BPS,
-            player: PlayerConfig::commercial_single_path(ByteSize::kb(64))
-                .with_prebuffer_secs(2.0),
+            player: PlayerConfig::commercial_single_path(ByteSize::kb(64)).with_prebuffer_secs(2.0),
             stop: TestbedStop::PrebufferDone,
             wall_timeout: Duration::from_secs(20),
         };

@@ -5,11 +5,11 @@
 use crate::shaper::{write_paced, LinkShape};
 use msim_core::time::SimDuration;
 use msim_http::{decode_request, encode_response, Decoded, Response, StatusCode};
-use parking_lot::Mutex;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::thread::JoinHandle;
 
 /// Shared controls for a running server (failure injection, counters).
@@ -319,7 +319,10 @@ mod tests {
             stream.write_all(&encode_request(&req)).unwrap();
             let resp = read_response(&mut stream);
             assert_eq!(resp.status, StatusCode::PARTIAL_CONTENT);
-            assert_eq!(&resp.body[..], &file[(i * 1000) as usize..(i * 1000 + 1000) as usize]);
+            assert_eq!(
+                &resp.body[..],
+                &file[(i * 1000) as usize..(i * 1000 + 1000) as usize]
+            );
         }
         assert_eq!(server.controls.requests.load(Ordering::Relaxed), 5);
         assert_eq!(server.controls.bytes.load(Ordering::Relaxed), 5000);
@@ -350,9 +353,11 @@ mod tests {
 
     #[test]
     fn proxy_serves_json() {
-        let daemon =
-            ProxyDaemon::start(r#"{"video_id":"qjT4T2gU9sM"}"#.into(), SimDuration::from_millis(5))
-                .unwrap();
+        let daemon = ProxyDaemon::start(
+            r#"{"video_id":"qjT4T2gU9sM"}"#.into(),
+            SimDuration::from_millis(5),
+        )
+        .unwrap();
         let mut stream = TcpStream::connect(daemon.addr).unwrap();
         let req = Request::get("/watch?v=qjT4T2gU9sM").header("Host", "www.youtube.com");
         stream.write_all(&encode_request(&req)).unwrap();
@@ -376,6 +381,9 @@ mod tests {
         let start = std::time::Instant::now();
         let _ = fetch_range(server.addr, 0, 100);
         let took = start.elapsed();
-        assert!(took >= std::time::Duration::from_millis(55), "took {took:?}");
+        assert!(
+            took >= std::time::Duration::from_millis(55),
+            "took {took:?}"
+        );
     }
 }

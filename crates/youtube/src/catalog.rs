@@ -54,17 +54,19 @@ impl Catalog {
     /// `rng`.
     pub fn synthetic(rng: &mut Prng, n: usize) -> Catalog {
         const ADJECTIVES: &[&str] = &["Amazing", "Epic", "Quiet", "Hidden", "Rapid", "Golden"];
-        const NOUNS: &[&str] = &["Cats", "Mountains", "Streams", "Circuits", "Planets", "Gardens"];
+        const NOUNS: &[&str] = &[
+            "Cats",
+            "Mountains",
+            "Streams",
+            "Circuits",
+            "Planets",
+            "Gardens",
+        ];
         let mut catalog = Catalog::new();
         for i in 0..n {
             let id = VideoId::generate(rng);
             let secs = rng.lognormal(4.6, 0.7).clamp(30.0, 900.0);
-            let title = format!(
-                "{} {} #{:03}",
-                rng.choose(ADJECTIVES),
-                rng.choose(NOUNS),
-                i
-            );
+            let title = format!("{} {} #{:03}", rng.choose(ADJECTIVES), rng.choose(NOUNS), i);
             let author = format!("channel-{:02}", rng.below(20));
             let copyrighted = rng.chance(0.2);
             catalog.add(Video::new(
@@ -142,7 +144,13 @@ mod tests {
     #[test]
     fn replace_on_duplicate_id() {
         let (mut catalog, id) = Catalog::single_test_video();
-        catalog.add(Video::new(id, "Replaced", "x", SimDuration::from_secs(1), true));
+        catalog.add(Video::new(
+            id,
+            "Replaced",
+            "x",
+            SimDuration::from_secs(1),
+            true,
+        ));
         assert_eq!(catalog.len(), 1);
         assert_eq!(catalog.get(id).unwrap().title, "Replaced");
     }

@@ -168,10 +168,26 @@ mod tests {
 
     fn zone() -> DnsZone {
         let mut z = DnsZone::new();
-        z.add(Network::Wifi, "www.youtube.com", Ipv4Addr::new(128, 119, 1, 10));
-        z.add(Network::Cellular, "www.youtube.com", Ipv4Addr::new(172, 16, 9, 10));
-        z.add(Network::Wifi, "r1.youtube-video.example", Ipv4Addr::new(128, 119, 40, 1));
-        z.add(Network::Wifi, "r1.youtube-video.example", Ipv4Addr::new(128, 119, 40, 2));
+        z.add(
+            Network::Wifi,
+            "www.youtube.com",
+            Ipv4Addr::new(128, 119, 1, 10),
+        );
+        z.add(
+            Network::Cellular,
+            "www.youtube.com",
+            Ipv4Addr::new(172, 16, 9, 10),
+        );
+        z.add(
+            Network::Wifi,
+            "r1.youtube-video.example",
+            Ipv4Addr::new(128, 119, 40, 1),
+        );
+        z.add(
+            Network::Wifi,
+            "r1.youtube-video.example",
+            Ipv4Addr::new(128, 119, 40, 2),
+        );
         z.add(
             Network::Cellular,
             "r1.youtube-video.example",
@@ -185,7 +201,10 @@ mod tests {
         let z = zone();
         let wifi = z.lookup(Network::Wifi, "www.youtube.com").unwrap();
         let lte = z.lookup(Network::Cellular, "www.youtube.com").unwrap();
-        assert_ne!(wifi.addrs, lte.addrs, "source diversity: per-network answers");
+        assert_ne!(
+            wifi.addrs, lte.addrs,
+            "source diversity: per-network answers"
+        );
     }
 
     #[test]
@@ -224,7 +243,9 @@ mod tests {
         let z = zone();
         let mut r = DnsResolver::new(Network::Wifi);
         let rtt = SimDuration::from_millis(25);
-        let (_ans, ready) = r.resolve(&z, "www.youtube.com", SimTime::ZERO, rtt).unwrap();
+        let (_ans, ready) = r
+            .resolve(&z, "www.youtube.com", SimTime::ZERO, rtt)
+            .unwrap();
         let after_ttl = ready + SimDuration::from_secs(301);
         let (_, ready2) = r.resolve(&z, "www.youtube.com", after_ttl, rtt).unwrap();
         assert!(ready2 > after_ttl, "re-query after TTL expiry");
@@ -235,7 +256,9 @@ mod tests {
         let z = zone();
         let mut r = DnsResolver::new(Network::Wifi);
         let rtt = SimDuration::from_millis(25);
-        let _ = r.resolve(&z, "www.youtube.com", SimTime::ZERO, rtt).unwrap();
+        let _ = r
+            .resolve(&z, "www.youtube.com", SimTime::ZERO, rtt)
+            .unwrap();
         r.flush();
         let t = SimTime::from_secs(1);
         let (_, ready) = r.resolve(&z, "www.youtube.com", t, rtt).unwrap();

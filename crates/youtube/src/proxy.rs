@@ -169,7 +169,8 @@ impl fmt::Display for InfoError {
 impl std::error::Error for InfoError {}
 
 fn field<'v>(v: &'v Value, key: &str) -> Result<&'v Value, InfoError> {
-    v.get(key).ok_or_else(|| InfoError(format!("missing {key}")))
+    v.get(key)
+        .ok_or_else(|| InfoError(format!("missing {key}")))
 }
 
 /// Decodes a video-information object (inverse of [`build_video_info`]).
@@ -312,7 +313,9 @@ mod tests {
     #[test]
     fn parse_rejects_missing_fields() {
         let (json, _) = fixture();
-        let Value::Object(mut map) = json else { panic!() };
+        let Value::Object(mut map) = json else {
+            panic!()
+        };
         map.remove("token");
         let err = parse_video_info(&Value::Object(map)).unwrap_err();
         assert!(err.0.contains("token"), "{err}");
@@ -321,7 +324,9 @@ mod tests {
     #[test]
     fn parse_rejects_empty_server_list() {
         let (json, _) = fixture();
-        let Value::Object(mut map) = json else { panic!() };
+        let Value::Object(mut map) = json else {
+            panic!()
+        };
         map.insert("servers".into(), Value::Array(vec![]));
         assert!(parse_video_info(&Value::Object(map)).is_err());
     }

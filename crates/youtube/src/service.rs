@@ -123,8 +123,11 @@ impl YoutubeService {
     /// (least-loaded first, then by id — the load-aware selection of the
     /// paper's \[3\]).
     pub fn servers_in(&self, network: Network) -> Vec<&VideoServer> {
-        let mut list: Vec<&VideoServer> =
-            self.servers.iter().filter(|s| s.network == network).collect();
+        let mut list: Vec<&VideoServer> = self
+            .servers
+            .iter()
+            .filter(|s| s.network == network)
+            .collect();
         list.sort_by_key(|s| (s.load(), s.id));
         list
     }
@@ -270,10 +273,7 @@ mod tests {
         let info = parse_video_info(&json).unwrap();
         assert_eq!(info.video_id, id.as_str());
         assert!(!info.copyrighted);
-        let server_addr = svc
-            .server_by_domain(&info.server_domains[0])
-            .unwrap()
-            .addr;
+        let server_addr = svc.server_by_domain(&info.server_domains[0]).unwrap().addr;
         let pace = svc
             .check_range_request(server_addr, now, id, "203.0.113.7", &info.token, None)
             .unwrap();
@@ -366,10 +366,24 @@ mod tests {
         let addr = svc.server_by_domain(&info.server_domains[0]).unwrap().addr;
         svc.fail_server(addr, SimTime::from_secs(5), SimTime::from_secs(10));
         assert!(svc
-            .check_range_request(addr, SimTime::from_secs(7), id, "203.0.113.7", &info.token, None)
+            .check_range_request(
+                addr,
+                SimTime::from_secs(7),
+                id,
+                "203.0.113.7",
+                &info.token,
+                None
+            )
             .is_err());
         assert!(svc
-            .check_range_request(addr, SimTime::from_secs(12), id, "203.0.113.7", &info.token, None)
+            .check_range_request(
+                addr,
+                SimTime::from_secs(12),
+                id,
+                "203.0.113.7",
+                &info.token,
+                None
+            )
             .is_ok());
         // The other replica in the same network stays healthy → failover target.
         let backup = svc
@@ -379,7 +393,14 @@ mod tests {
             .unwrap()
             .addr;
         assert!(svc
-            .check_range_request(backup, SimTime::from_secs(7), id, "203.0.113.7", &info.token, None)
+            .check_range_request(
+                backup,
+                SimTime::from_secs(7),
+                id,
+                "203.0.113.7",
+                &info.token,
+                None
+            )
             .is_ok());
     }
 

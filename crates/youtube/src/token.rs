@@ -103,7 +103,13 @@ fn fnv1a64(data: &[u8], seed: u64) -> u64 {
     hash
 }
 
-fn mac_over(secret: u64, video_id: &VideoId, client_ip: &str, ops: Operations, issued: SimTime) -> u64 {
+fn mac_over(
+    secret: u64,
+    video_id: &VideoId,
+    client_ip: &str,
+    ops: Operations,
+    issued: SimTime,
+) -> u64 {
     let material = format!(
         "{}|{}|{}|{}",
         video_id.as_str(),
@@ -147,7 +153,13 @@ impl AccessToken {
         client_ip: &str,
         op: Operations,
     ) -> Result<(), TokenError> {
-        let expect = mac_over(secret, &self.video_id, &self.client_ip, self.operations, self.issued_at);
+        let expect = mac_over(
+            secret,
+            &self.video_id,
+            &self.client_ip,
+            self.operations,
+            self.issued_at,
+        );
         if expect != self.mac {
             return Err(TokenError::BadSignature);
         }
@@ -220,7 +232,13 @@ mod tests {
     fn valid_token_passes() {
         let t = issue_at(SimTime::from_secs(100));
         assert_eq!(
-            t.validate(SECRET, SimTime::from_secs(200), vid(), "203.0.113.7", Operations::STREAM),
+            t.validate(
+                SECRET,
+                SimTime::from_secs(200),
+                vid(),
+                "203.0.113.7",
+                Operations::STREAM
+            ),
             Ok(())
         );
     }
@@ -230,7 +248,13 @@ mod tests {
         let t = issue_at(SimTime::from_secs(0));
         let just_inside = SimTime::from_secs(3600);
         assert!(t
-            .validate(SECRET, just_inside, vid(), "203.0.113.7", Operations::STREAM)
+            .validate(
+                SECRET,
+                just_inside,
+                vid(),
+                "203.0.113.7",
+                Operations::STREAM
+            )
             .is_ok());
         let just_past = SimTime::from_secs(3601);
         assert!(matches!(
@@ -243,7 +267,13 @@ mod tests {
     fn wrong_secret_is_bad_signature() {
         let t = issue_at(SimTime::ZERO);
         assert_eq!(
-            t.validate(SECRET + 1, SimTime::ZERO, vid(), "203.0.113.7", Operations::STREAM),
+            t.validate(
+                SECRET + 1,
+                SimTime::ZERO,
+                vid(),
+                "203.0.113.7",
+                Operations::STREAM
+            ),
             Err(TokenError::BadSignature)
         );
     }
@@ -253,15 +283,33 @@ mod tests {
         let t = issue_at(SimTime::ZERO);
         let other_vid = VideoId::new("dQw4w9WgXcQ").unwrap();
         assert_eq!(
-            t.validate(SECRET, SimTime::ZERO, other_vid, "203.0.113.7", Operations::STREAM),
+            t.validate(
+                SECRET,
+                SimTime::ZERO,
+                other_vid,
+                "203.0.113.7",
+                Operations::STREAM
+            ),
             Err(TokenError::WrongVideo)
         );
         assert_eq!(
-            t.validate(SECRET, SimTime::ZERO, vid(), "198.51.100.9", Operations::STREAM),
+            t.validate(
+                SECRET,
+                SimTime::ZERO,
+                vid(),
+                "198.51.100.9",
+                Operations::STREAM
+            ),
             Err(TokenError::WrongClient)
         );
         assert_eq!(
-            t.validate(SECRET, SimTime::ZERO, vid(), "203.0.113.7", Operations::PROBE),
+            t.validate(
+                SECRET,
+                SimTime::ZERO,
+                vid(),
+                "203.0.113.7",
+                Operations::PROBE
+            ),
             Err(TokenError::OperationNotAllowed)
         );
     }
@@ -277,7 +325,13 @@ mod tests {
         parts[2] = "3".into();
         let forged = AccessToken::from_wire(&parts.join(".")).unwrap();
         assert_eq!(
-            forged.validate(SECRET, SimTime::from_secs(6), vid(), "203.0.113.7", Operations::STREAM),
+            forged.validate(
+                SECRET,
+                SimTime::from_secs(6),
+                vid(),
+                "203.0.113.7",
+                Operations::STREAM
+            ),
             Err(TokenError::BadSignature)
         );
     }
@@ -285,7 +339,11 @@ mod tests {
     #[test]
     fn malformed_wire_forms() {
         for bad in ["", "a.b.c", "qjT4T2gU9sM.ip.9.nan.zz", "x.y.z.w.v.u"] {
-            assert_eq!(AccessToken::from_wire(bad), Err(TokenError::Malformed), "{bad:?}");
+            assert_eq!(
+                AccessToken::from_wire(bad),
+                Err(TokenError::Malformed),
+                "{bad:?}"
+            );
         }
     }
 

@@ -77,8 +77,7 @@ impl VideoId {
 
     /// Generates a deterministic pseudo-random ID from an RNG stream.
     pub fn generate(rng: &mut msim_core::rng::Prng) -> VideoId {
-        const ALPHABET: &[u8] =
-            b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+        const ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
         let mut id = [0u8; 11];
         for slot in &mut id {
             *slot = ALPHABET[rng.below(64) as usize];

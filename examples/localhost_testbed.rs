@@ -14,7 +14,11 @@ use std::time::Duration;
 fn main() -> std::io::Result<()> {
     // A 2 Mbit/s stream so the demo finishes in a few wall-clock seconds.
     let bytes_per_sec = 250_000.0;
-    let testbed = Testbed::start(/* video_secs */ 60.0, bytes_per_sec, /* replicas */ 2)?;
+    let testbed = Testbed::start(
+        /* video_secs */ 60.0,
+        bytes_per_sec,
+        /* replicas */ 2,
+    )?;
     println!("loopback testbed up:");
     for (path, servers) in testbed.servers.iter().enumerate() {
         let addrs: Vec<String> = servers.iter().map(|s| s.addr.to_string()).collect();
@@ -26,7 +30,11 @@ fn main() -> std::io::Result<()> {
         .with_prebuffer_secs(8.0);
 
     println!("\n-- streaming an 8 s pre-buffer over two shaped paths --");
-    let m = testbed.run(player.clone(), TestbedStop::PrebufferDone, Duration::from_secs(30))?;
+    let m = testbed.run(
+        player.clone(),
+        TestbedStop::PrebufferDone,
+        Duration::from_secs(30),
+    )?;
     println!(
         "pre-buffer reached in {} wall-clock; {} + {} chunks over the two paths",
         m.prebuffer_time().expect("reached"),

@@ -52,7 +52,9 @@ fn main() {
         m.failovers[0],
         m.refills.len(),
     );
-    println!("   MSPlayer switched to the backup replica in the same network and kept streaming.\n");
+    println!(
+        "   MSPlayer switched to the backup replica in the same network and kept streaming.\n"
+    );
 
     // --- Baseline: a single-path player facing the same WiFi outage ------
     println!("== C) The same outage with a single-path WiFi player ==");

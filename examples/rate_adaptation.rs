@@ -25,7 +25,10 @@ fn main() {
     let mut estimators = [HarmonicInc::new(), HarmonicInc::new()];
     let mut adapter = RateAdapter::new(AdaptationConfig::default(), ITAGS.to_vec());
 
-    println!("itag ladder: {:?}\n", ITAGS.iter().map(|f| f.quality_label).collect::<Vec<_>>());
+    println!(
+        "itag ladder: {:?}\n",
+        ITAGS.iter().map(|f| f.quality_label).collect::<Vec<_>>()
+    );
     println!("time     aggregate est.   buffer   decision");
     println!("-------  ---------------  -------  -----------------------------");
 

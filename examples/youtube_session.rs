@@ -11,8 +11,8 @@ use msplayer::core::config::PlayerConfig;
 use msplayer::core::sim::{run_session, Scenario, StopCondition};
 use msplayer::simcore::time::SimTime;
 use msplayer::youtube::{
-    parse_video_info, Catalog, DnsResolver, Network, ServiceConfig, Video, VideoId,
-    YoutubeService, PROXY_DOMAIN,
+    parse_video_info, Catalog, DnsResolver, Network, ServiceConfig, Video, VideoId, YoutubeService,
+    PROXY_DOMAIN,
 };
 
 fn main() {
@@ -48,7 +48,10 @@ fn main() {
 
     // Watch request on each interface: each network gets its own JSON with
     // its own server list and a token bound to that interface's public IP.
-    for (network, client_ip) in [(Network::Wifi, "203.0.113.7"), (Network::Cellular, "198.51.100.23")] {
+    for (network, client_ip) in [
+        (Network::Wifi, "203.0.113.7"),
+        (Network::Cellular, "198.51.100.23"),
+    ] {
         let json = service
             .watch_request(network, id, client_ip, SimTime::from_secs(1))
             .expect("watch ok");
@@ -58,7 +61,11 @@ fn main() {
         println!("  servers:  {:?}", info.server_domains);
         println!("  token:    {}...", &info.token[..24.min(info.token.len())]);
         let f = info.format(22).expect("720p offered");
-        println!("  itag 22:  {} ({:.1} MB)", f.quality, f.size_bytes as f64 / 1e6);
+        println!(
+            "  itag 22:  {} ({:.1} MB)",
+            f.quality,
+            f.size_bytes as f64 / 1e6
+        );
 
         // Decipher the signature with the decoder from the "video page".
         let enc = info.enciphered_sig.clone().expect("copyrighted");

@@ -94,9 +94,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--prebuffer" => {
                 opt.prebuffer = value()?.parse().map_err(|e| format!("--prebuffer: {e}"))?
             }
-            "--refills" => {
-                opt.refills = value()?.parse().map_err(|e| format!("--refills: {e}"))?
-            }
+            "--refills" => opt.refills = value()?.parse().map_err(|e| format!("--refills: {e}"))?,
             "--seed" => opt.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--runs" => opt.runs = value()?.parse().map_err(|e| format!("--runs: {e}"))?,
             "--trace" => opt.trace = true,
@@ -136,30 +134,18 @@ fn scenario_for(opt: &Options, seed: u64) -> Scenario {
     let mut scenario = match (youtube, opt.player.as_str()) {
         (false, "msplayer") => Scenario::testbed_msplayer(seed, cfg),
         (true, "msplayer") => Scenario::youtube_msplayer(seed, cfg),
-        (false, "wifi") => Scenario::testbed_single_path(
-            seed,
-            PathProfile::wifi_testbed(),
-            Network::Wifi,
-            cfg,
-        ),
-        (true, "wifi") => Scenario::youtube_single_path(
-            seed,
-            PathProfile::wifi_youtube(),
-            Network::Wifi,
-            cfg,
-        ),
-        (false, _) => Scenario::testbed_single_path(
-            seed,
-            PathProfile::lte_testbed(),
-            Network::Cellular,
-            cfg,
-        ),
-        (true, _) => Scenario::youtube_single_path(
-            seed,
-            PathProfile::lte_youtube(),
-            Network::Cellular,
-            cfg,
-        ),
+        (false, "wifi") => {
+            Scenario::testbed_single_path(seed, PathProfile::wifi_testbed(), Network::Wifi, cfg)
+        }
+        (true, "wifi") => {
+            Scenario::youtube_single_path(seed, PathProfile::wifi_youtube(), Network::Wifi, cfg)
+        }
+        (false, _) => {
+            Scenario::testbed_single_path(seed, PathProfile::lte_testbed(), Network::Cellular, cfg)
+        }
+        (true, _) => {
+            Scenario::youtube_single_path(seed, PathProfile::lte_youtube(), Network::Cellular, cfg)
+        }
     };
     scenario.stop = if opt.refills > 0 {
         StopCondition::AfterRefills(opt.refills)

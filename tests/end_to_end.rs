@@ -94,7 +94,12 @@ fn no_stalls_on_healthy_links() {
     let mut s = Scenario::testbed_msplayer(33, quick());
     s.stop = StopCondition::AfterRefills(3);
     let m = run_session(&s);
-    assert_eq!(m.stalls.len(), 0, "healthy links must not stall: {:?}", m.stalls);
+    assert_eq!(
+        m.stalls.len(),
+        0,
+        "healthy links must not stall: {:?}",
+        m.stalls
+    );
     assert_eq!(m.failovers, [0, 0]);
 }
 
@@ -126,7 +131,10 @@ fn longer_prebuffer_takes_longer() {
     let t20 = t(20.0);
     let t40 = t(40.0);
     let t60 = t(60.0);
-    assert!(t20 < t40 && t40 < t60, "monotone in pre-buffer: {t20} {t40} {t60}");
+    assert!(
+        t20 < t40 && t40 < t60,
+        "monotone in pre-buffer: {t20} {t40} {t60}"
+    );
 }
 
 #[test]

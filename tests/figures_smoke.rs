@@ -188,7 +188,10 @@ fn fig5_bigger_chunks_refill_faster_and_msplayer_is_fastest() {
         "ms",
         msplayer_cfg(SchedulerKind::Harmonic, 256, 40.0).with_rebuffer_secs(20.0),
     );
-    assert!(wifi256 < wifi64, "256 KB < 64 KB: {wifi256:.2} vs {wifi64:.2}");
+    assert!(
+        wifi256 < wifi64,
+        "256 KB < 64 KB: {wifi256:.2} vs {wifi64:.2}"
+    );
     assert!(ms < wifi256, "MSPlayer fastest: {ms:.2} vs {wifi256:.2}");
 }
 

@@ -37,10 +37,8 @@ fn wifi_outage_does_not_stall_playback() {
 #[test]
 fn single_path_suffers_where_msplayer_does_not() {
     // The same outage applied to a single-path player: the viewer stalls.
-    let outage = OutageSchedule::from_windows(vec![(
-        SimTime::from_secs(6),
-        SimTime::from_secs(40),
-    )]);
+    let outage =
+        OutageSchedule::from_windows(vec![(SimTime::from_secs(6), SimTime::from_secs(40))]);
     let mut single = Scenario::testbed_single_path(
         101,
         msplayer::net::PathProfile::wifi_testbed(),

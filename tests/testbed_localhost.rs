@@ -19,7 +19,11 @@ fn quick_player() -> PlayerConfig {
 fn loopback_prebuffer_with_real_bytes() {
     let tb = Testbed::start(30.0, BPS, 1).expect("testbed");
     let m = tb
-        .run(quick_player(), TestbedStop::PrebufferDone, Duration::from_secs(25))
+        .run(
+            quick_player(),
+            TestbedStop::PrebufferDone,
+            Duration::from_secs(25),
+        )
         .expect("session");
     assert!(m.prebuffer_time().is_some());
     let total: u64 = m.chunks.iter().map(|c| c.bytes).sum();
@@ -27,7 +31,10 @@ fn loopback_prebuffer_with_real_bytes() {
         total >= (3.0 * BPS) as u64,
         "at least the pre-buffer amount moved: {total}"
     );
-    assert!(m.chunk_count(0) > 0 && m.chunk_count(1) > 0, "both paths used");
+    assert!(
+        m.chunk_count(0) > 0 && m.chunk_count(1) > 0,
+        "both paths used"
+    );
 }
 
 #[test]
@@ -37,9 +44,17 @@ fn loopback_refill_cycle() {
     // Low watermark default is 10 s > prebuffer 3 s, so the buffer turns ON
     // immediately after pre-buffering; one refill completes quickly.
     let m = tb
-        .run(player, TestbedStop::AfterRefills(1), Duration::from_secs(30))
+        .run(
+            player,
+            TestbedStop::AfterRefills(1),
+            Duration::from_secs(30),
+        )
         .expect("session");
-    assert!(!m.refills.is_empty(), "refill cycle completed: {:?}", m.refills.len());
+    assert!(
+        !m.refills.is_empty(),
+        "refill cycle completed: {:?}",
+        m.refills.len()
+    );
     assert!(m.refills[0].bytes >= (2.0 * BPS) as u64);
 }
 
@@ -48,9 +63,16 @@ fn loopback_failover_and_recovery() {
     let tb = Testbed::start(30.0, BPS, 2).expect("testbed");
     tb.set_primary_failed(1, true);
     let m = tb
-        .run(quick_player(), TestbedStop::PrebufferDone, Duration::from_secs(25))
+        .run(
+            quick_player(),
+            TestbedStop::PrebufferDone,
+            Duration::from_secs(25),
+        )
         .expect("session");
-    assert!(m.prebuffer_time().is_some(), "stream survives the dead primary");
+    assert!(
+        m.prebuffer_time().is_some(),
+        "stream survives the dead primary"
+    );
     assert!(m.failovers[1] >= 1, "failover happened on path 1");
 }
 
@@ -66,8 +88,18 @@ fn loopback_wifi_like_path_carries_more() {
             Duration::from_secs(30),
         )
         .expect("session");
-    let b0: u64 = m.chunks.iter().filter(|c| c.path == 0).map(|c| c.bytes).sum();
-    let b1: u64 = m.chunks.iter().filter(|c| c.path == 1).map(|c| c.bytes).sum();
+    let b0: u64 = m
+        .chunks
+        .iter()
+        .filter(|c| c.path == 0)
+        .map(|c| c.bytes)
+        .sum();
+    let b1: u64 = m
+        .chunks
+        .iter()
+        .filter(|c| c.path == 1)
+        .map(|c| c.bytes)
+        .sum();
     assert!(
         b0 * 10 >= b1 * 8,
         "fast path not starved: wifi-like {b0} vs lte-like {b1}"

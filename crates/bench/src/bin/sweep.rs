@@ -65,6 +65,16 @@ fn main() {
         println!("[bench] {}", path.display());
     }
 
+    // Per-cell-kind wall-time percentiles (serial run): the attribution
+    // data for scheduler-level regressions.
+    println!("\nper-kind wall-time percentiles (serial):");
+    for k in &serial_report.cell_kinds {
+        println!(
+            "  {:<32} n={:<4} p50 {:>7.3}ms  p95 {:>7.3}ms  p99 {:>7.3}ms",
+            k.kind, k.cells, k.p50_ms, k.p95_ms, k.p99_ms
+        );
+    }
+
     // A paper-shaped sanity line so the artifact doubles as a smoke check.
     let harmonic_256: Vec<f64> = serial
         .iter()

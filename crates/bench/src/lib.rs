@@ -12,13 +12,14 @@
 #![warn(missing_docs)]
 
 pub mod sweep;
+pub mod workload;
 
 use msim_core::stats::BoxStats;
 use msim_net::profile::PathProfile;
 use msim_youtube::dns::Network;
 use msplayer_core::config::{PlayerConfig, SchedulerKind};
 use msplayer_core::metrics::{SessionMetrics, TrafficPhase};
-use msplayer_core::sim::{run_session, Scenario, StopCondition};
+use msplayer_core::sim::{run_session, Scenario, SessionHost, StopCondition};
 
 /// Number of seeded repetitions per configuration (paper: "repeat this 20
 /// times"). Override with `MSP_RUNS`.
@@ -49,6 +50,16 @@ pub enum Env {
     /// §6 production-YouTube profile (paced servers, heavier control plane,
     /// copyrighted video → signature decipher step).
     Youtube,
+}
+
+impl Env {
+    /// Short name used in workload names and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Env::Testbed => "testbed",
+            Env::Youtube => "youtube",
+        }
+    }
 }
 
 /// Which competitor streams.
@@ -101,6 +112,25 @@ pub fn scenario_for(env: Env, who: Competitor, seed: u64, player: PlayerConfig) 
     }
 }
 
+/// Runs one experiment shape over `runs()` seeds on a single warmed
+/// [`SessionHost`]: derives the session spec from `scenario` with `stop`,
+/// salts the per-repetition seeds with `seed_salt`, and returns the batch
+/// metrics. Every repeated-session helper below goes through this — the
+/// batch API amortizes the control-plane bootstrap without changing any
+/// session's outcome.
+pub fn run_experiment(
+    scenario: &Scenario,
+    stop: StopCondition,
+    seed_salt: u64,
+) -> Vec<SessionMetrics> {
+    let mut host = SessionHost::new(scenario.service_spec());
+    let spec = scenario.session_spec().with_stop(stop);
+    let seeds: Vec<u64> = (0..runs())
+        .map(|run| BASE_SEED ^ seed_salt ^ run.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    host.run_batch(&seeds, &spec).expect("valid scenario")
+}
+
 /// Runs a pre-buffering experiment: download time (seconds) to accumulate
 /// `prebuffer_secs` of video, across `runs()` seeds.
 pub fn prebuffer_times(
@@ -109,13 +139,11 @@ pub fn prebuffer_times(
     player_base: PlayerConfig,
     prebuffer_secs: f64,
 ) -> Vec<f64> {
-    (0..runs())
-        .map(|run| {
-            let seed = BASE_SEED ^ (run.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            let player = player_base.clone().with_prebuffer_secs(prebuffer_secs);
-            let mut scenario = scenario_for(env, who, seed, player);
-            scenario.stop = StopCondition::PrebufferDone;
-            let m = run_session(&scenario);
+    let player = player_base.with_prebuffer_secs(prebuffer_secs);
+    let scenario = scenario_for(env, who, 0, player);
+    run_experiment(&scenario, StopCondition::PrebufferDone, 0)
+        .iter()
+        .map(|m| {
             m.prebuffer_time()
                 .expect("prebuffer completes")
                 .as_secs_f64()
@@ -132,21 +160,16 @@ pub fn rebuffer_times(
     refill_secs: f64,
     cycles: usize,
 ) -> Vec<f64> {
-    let mut samples = Vec::new();
-    for run in 0..runs() {
-        let seed = BASE_SEED ^ 0xBEEF ^ (run.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let player = player_base
-            .clone()
-            .with_prebuffer_secs(40.0)
-            .with_rebuffer_secs(refill_secs);
-        let mut scenario = scenario_for(env, who, seed, player);
-        // Long enough for the requested cycles.
-        scenario.video_secs = 40.0 + (refill_secs + 60.0) * (cycles as f64 + 1.0);
-        scenario.stop = StopCondition::AfterRefills(cycles);
-        let m = run_session(&scenario);
-        samples.extend(m.refills.iter().map(|r| r.duration().as_secs_f64()));
-    }
-    samples
+    let player = player_base
+        .with_prebuffer_secs(40.0)
+        .with_rebuffer_secs(refill_secs);
+    let mut scenario = scenario_for(env, who, 0, player);
+    // Long enough for the requested cycles.
+    scenario.video_secs = 40.0 + (refill_secs + 60.0) * (cycles as f64 + 1.0);
+    run_experiment(&scenario, StopCondition::AfterRefills(cycles), 0xBEEF)
+        .iter()
+        .flat_map(|m| m.refills.iter().map(|r| r.duration().as_secs_f64()))
+        .collect()
 }
 
 /// Runs the Table-1 experiment: WiFi traffic fraction (percent) per phase,
@@ -156,15 +179,12 @@ pub fn wifi_fractions(
     player_base: PlayerConfig,
     cycles: usize,
 ) -> (Vec<f64>, Vec<f64>) {
+    let player = player_base.with_prebuffer_secs(prebuffer_secs);
+    let mut scenario = scenario_for(Env::Youtube, Competitor::MsPlayer, 0, player);
+    scenario.video_secs = prebuffer_secs + 90.0 * (cycles as f64 + 1.0);
     let mut pre = Vec::new();
     let mut re = Vec::new();
-    for run in 0..runs() {
-        let seed = BASE_SEED ^ 0x7AB1 ^ (run.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let player = player_base.clone().with_prebuffer_secs(prebuffer_secs);
-        let mut scenario = scenario_for(Env::Youtube, Competitor::MsPlayer, seed, player);
-        scenario.video_secs = prebuffer_secs + 90.0 * (cycles as f64 + 1.0);
-        scenario.stop = StopCondition::AfterRefills(cycles);
-        let m = run_session(&scenario);
+    for m in run_experiment(&scenario, StopCondition::AfterRefills(cycles), 0x7AB1) {
         if let Some(f) = m.traffic_fraction(0, TrafficPhase::PreBuffering) {
             pre.push(f * 100.0);
         }

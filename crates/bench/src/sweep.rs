@@ -1,77 +1,142 @@
 //! Deterministic parallel sweep engine.
 //!
-//! Every figure in the paper is a sweep over (environment × competitor ×
-//! scheduler × seed) cells, each cell one [`run_session`] call. The seed
-//! harness ran them strictly serially; this module fans the cells across a
-//! **work-stealing thread pool** (std threads only — no external deps) and
-//! merges results **in cell order**, so the output is bit-for-bit identical
-//! to the serial runner no matter how the OS schedules the workers
-//! (asserted by `tests/sweep_determinism.rs`).
+//! Every figure in the paper is a sweep over workload cells, each cell one
+//! session. Cells are enumerated from [`WorkloadSpec`]s (open registry —
+//! see [`crate::workload`]); the engine fans them across a **work-stealing
+//! thread pool** (std threads only — no external deps) and merges results
+//! **in cell order**, so the output is bit-for-bit identical to the serial
+//! runner no matter how the OS schedules the workers (asserted by
+//! `tests/sweep_determinism.rs`).
+//!
+//! Cells that share a workload also share a warmed [`SessionHost`] per
+//! worker, so the per-session control-plane bootstrap is paid once per
+//! (worker, workload) instead of once per cell — without affecting results,
+//! since a host batch is bit-identical to independent sessions.
 //!
 //! * Thread count: `MSP_THREADS` env var, else
 //!   [`std::thread::available_parallelism`].
 //! * Each run can emit a machine-readable `BENCH_<name>.json` (wall time,
-//!   sessions/sec, events/sec) via [`write_bench_json`], giving the repo a
-//!   recorded perf trajectory.
+//!   sessions/sec, events/sec, per-cell-kind wall-time percentiles) via
+//!   [`write_bench_json`], giving the repo a recorded perf trajectory.
 
-use crate::{commercial, msplayer, scenario_for, Competitor, Env};
+use crate::workload::WorkloadSpec;
+use crate::{Competitor, Env};
 use msplayer_core::config::SchedulerKind;
 use msplayer_core::metrics::SessionMetrics;
-use msplayer_core::sim::{run_session, StopCondition};
+use msplayer_core::sim::SessionHost;
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// One sweep cell: a fully determined session to run.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// The workload handle carries the path set, service profile, player
+/// family, and stop condition; the cell pins one (scheduler, chunk, seed)
+/// point of the workload's grid.
+#[derive(Clone, Debug)]
 pub struct Cell {
-    /// Environment (testbed / YouTube profile).
-    pub env: Env,
-    /// Who streams.
-    pub competitor: Competitor,
-    /// Scheduler under test (meaningful for MSPlayer; single-path
-    /// competitors use their commercial profile).
+    /// The workload this cell belongs to.
+    pub workload: Arc<WorkloadSpec>,
+    /// Scheduler under test (single-path commercial workloads pin
+    /// `Fixed`).
     pub scheduler: SchedulerKind,
     /// Initial/base chunk size in KB.
     pub chunk_kb: u64,
-    /// Pre-buffering target in seconds.
-    pub prebuffer_secs: f64,
     /// Session seed.
     pub seed: u64,
 }
 
+/// Cells compare by their determining parameters (workload name + grid
+/// point) — two cells with equal parameters run identical sessions.
+impl PartialEq for Cell {
+    fn eq(&self, other: &Cell) -> bool {
+        self.workload.name == other.workload.name
+            && self.scheduler == other.scheduler
+            && self.chunk_kb == other.chunk_kb
+            && self.seed == other.seed
+    }
+}
+
 impl Cell {
-    /// Runs this cell's session to completion.
+    /// The cell's kind label (`<workload>/<scheduler>`): the grouping key
+    /// for the per-kind timing percentiles in `BENCH_*.json`.
+    pub fn kind(&self) -> String {
+        format!("{}/{}", self.workload.name, self.scheduler.name())
+    }
+
+    /// Runs this cell's session on a one-shot host. Prefer
+    /// [`Cell::run_on`] with a [`HostCache`] when running many cells.
     pub fn run(&self) -> CellResult {
-        let player = match self.competitor {
-            Competitor::MsPlayer => msplayer(self.scheduler, self.chunk_kb),
-            _ => commercial(self.chunk_kb),
-        }
-        .with_prebuffer_secs(self.prebuffer_secs);
-        let mut scenario = scenario_for(self.env, self.competitor, self.seed, player);
-        scenario.stop = StopCondition::PrebufferDone;
+        let mut host = SessionHost::new(self.workload.service.clone());
+        self.run_on(&mut host)
+    }
+
+    /// Runs this cell's session over an already-warmed host (which must
+    /// have been built from this cell's workload service spec).
+    pub fn run_on(&self, host: &mut SessionHost) -> CellResult {
+        let spec = self
+            .workload
+            .session_spec(self.scheduler, self.chunk_kb, self.seed);
+        let t0 = Instant::now();
+        let metrics = host.run(&spec).expect("registered workloads validate");
         CellResult {
             cell: self.clone(),
-            metrics: run_session(&scenario),
+            metrics,
+            wall_secs: t0.elapsed().as_secs_f64(),
         }
     }
 }
 
+/// Expands one workload into its cell list (scheduler → chunk → seed, all
+/// deterministic).
+pub fn expand_workload(workload: &Arc<WorkloadSpec>) -> Vec<Cell> {
+    let mut out = Vec::new();
+    for &scheduler in &workload.schedulers {
+        for &chunk_kb in &workload.chunk_kb {
+            for run in 0..workload.runs {
+                out.push(Cell {
+                    workload: Arc::clone(workload),
+                    scheduler,
+                    chunk_kb,
+                    seed: workload.seed(run),
+                });
+            }
+        }
+    }
+    out
+}
+
 /// A cell together with its complete session metrics.
 ///
-/// `PartialEq` compares *everything* (chunk records, f64 goodputs, event
-/// counts), which is what lets the determinism tests assert bit-identical
-/// parallel/serial output.
-#[derive(Clone, Debug, PartialEq)]
+/// Equality compares the cell parameters and *everything* in the metrics
+/// (chunk records, f64 goodputs, event counts) — which is what lets the
+/// determinism tests assert bit-identical parallel/serial output. The
+/// measured wall time is deliberately excluded: it is a property of the
+/// execution, not of the session.
+#[derive(Clone, Debug)]
 pub struct CellResult {
     /// The cell that produced this result.
     pub cell: Cell,
     /// Full session metrics.
     pub metrics: SessionMetrics,
+    /// Wall-clock seconds this cell's session took to execute.
+    pub wall_secs: f64,
 }
 
-/// A sweep specification, expanded to cells in a fixed nested order
-/// (env → competitor → scheduler → seed).
+impl PartialEq for CellResult {
+    fn eq(&self, other: &CellResult) -> bool {
+        self.cell == other.cell && self.metrics == other.metrics
+    }
+}
+
+/// A sweep specification over the historical closed enums, expanded to
+/// cells in a fixed nested order (env → competitor → scheduler → seed).
+///
+/// Compatibility shell: [`SweepSpec::cells`] maps each (env, competitor)
+/// pair onto a [`WorkloadSpec`] via
+/// [`WorkloadSpec::from_env_competitor`] and enumerates those — seeds and
+/// session shapes are unchanged. New scenarios should register
+/// [`WorkloadSpec`]s directly instead of growing these enums.
 #[derive(Clone, Debug)]
 pub struct SweepSpec {
     /// Environments to sweep.
@@ -108,33 +173,27 @@ impl SweepSpec {
         }
     }
 
-    /// Expands the spec to its cell list (deterministic order).
-    pub fn cells(&self) -> Vec<Cell> {
+    /// The workloads this spec describes, in expansion order.
+    pub fn workloads(&self) -> Vec<Arc<WorkloadSpec>> {
         let mut out = Vec::new();
         for &env in &self.envs {
             for &competitor in &self.competitors {
-                let schedulers: &[SchedulerKind] = match competitor {
-                    Competitor::MsPlayer => &self.schedulers,
-                    _ => &[SchedulerKind::Fixed],
-                };
-                for &scheduler in schedulers {
-                    for &chunk_kb in &self.chunk_kb {
-                        for run in 0..self.runs {
-                            let seed = crate::BASE_SEED ^ (run.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                            out.push(Cell {
-                                env,
-                                competitor,
-                                scheduler,
-                                chunk_kb,
-                                prebuffer_secs: self.prebuffer_secs,
-                                seed,
-                            });
-                        }
-                    }
-                }
+                out.push(Arc::new(WorkloadSpec::from_env_competitor(
+                    env,
+                    competitor,
+                    self.schedulers.clone(),
+                    self.chunk_kb.clone(),
+                    self.prebuffer_secs,
+                    self.runs,
+                )));
             }
         }
         out
+    }
+
+    /// Expands the spec to its cell list (deterministic order).
+    pub fn cells(&self) -> Vec<Cell> {
+        self.workloads().iter().flat_map(expand_workload).collect()
     }
 }
 
@@ -152,9 +211,50 @@ pub fn threads() -> usize {
         })
 }
 
-/// Runs every cell on the calling thread, in order.
+/// A per-worker cache of warmed [`SessionHost`]s, one per workload.
+///
+/// Keyed by the workload's `Arc` pointer: cells expanded from the same
+/// registration share a host, cells from different registrations (even
+/// with equal specs) get their own. The list stays tiny — a handful of
+/// workloads per sweep — so a linear scan beats a hash map.
+#[derive(Default)]
+pub struct HostCache {
+    hosts: Vec<(Arc<WorkloadSpec>, SessionHost)>,
+}
+
+impl HostCache {
+    /// An empty cache.
+    pub fn new() -> HostCache {
+        HostCache::default()
+    }
+
+    /// The cached host for `workload`, building it on first use. The key
+    /// `Arc` is retained by the cache, so its address can never be
+    /// recycled for a different workload while the entry lives.
+    pub fn host_for(&mut self, workload: &Arc<WorkloadSpec>) -> &mut SessionHost {
+        if let Some(i) = self
+            .hosts
+            .iter()
+            .position(|(k, _)| Arc::ptr_eq(k, workload))
+        {
+            return &mut self.hosts[i].1;
+        }
+        self.hosts.push((
+            Arc::clone(workload),
+            SessionHost::new(workload.service.clone()),
+        ));
+        &mut self.hosts.last_mut().expect("just pushed").1
+    }
+}
+
+/// Runs every cell on the calling thread, in order, sharing hosts across
+/// cells of the same workload.
 pub fn run_serial(cells: &[Cell]) -> Vec<CellResult> {
-    cells.iter().map(Cell::run).collect()
+    let mut hosts = HostCache::new();
+    cells
+        .iter()
+        .map(|c| c.run_on(hosts.host_for(&c.workload)))
+        .collect()
 }
 
 /// Runs the cells across `n_threads` workers with work stealing, returning
@@ -164,6 +264,9 @@ pub fn run_serial(cells: &[Cell]) -> Vec<CellResult> {
 /// the front of its own deque and, when empty, steals from the *back* of
 /// the busiest sibling. Each result is tagged with its cell index, so the
 /// merge is a deterministic scatter regardless of which worker ran what.
+/// Every worker keeps its own [`HostCache`] — hosts are not shared across
+/// threads, and host reuse cannot change results (bit-identical batch
+/// guarantee).
 pub fn run_parallel(cells: &[Cell], n_threads: usize) -> Vec<CellResult> {
     let n_threads = n_threads.max(1).min(cells.len().max(1));
     if n_threads <= 1 || cells.len() <= 1 {
@@ -191,6 +294,7 @@ pub fn run_parallel(cells: &[Cell], n_threads: usize) -> Vec<CellResult> {
             let queues = &queues;
             handles.push(scope.spawn(move || {
                 let mut done: Vec<(usize, CellResult)> = Vec::new();
+                let mut hosts = HostCache::new();
                 loop {
                     // Own queue first.
                     let mine = queues[w].lock().expect("queue poisoned").pop_front();
@@ -211,7 +315,8 @@ pub fn run_parallel(cells: &[Cell], n_threads: usize) -> Vec<CellResult> {
                             }
                         }
                     };
-                    done.push((idx, cells[idx].run()));
+                    let cell = &cells[idx];
+                    done.push((idx, cell.run_on(hosts.host_for(&cell.workload))));
                 }
                 done
             }));
@@ -232,6 +337,70 @@ pub fn run_parallel(cells: &[Cell], n_threads: usize) -> Vec<CellResult> {
         .collect()
 }
 
+/// Nearest-rank percentile of an ascending-sorted sample, `q` in (0, 1].
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Per-cell-kind wall-time statistics (milliseconds), recorded in
+/// `BENCH_*.json` so scheduler-level regressions are attributable to the
+/// kind that slowed down.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellKindStats {
+    /// The kind label (`<workload>/<scheduler>`).
+    pub kind: String,
+    /// Cells of this kind in the sweep.
+    pub cells: u64,
+    /// Median per-cell wall time, ms.
+    pub p50_ms: f64,
+    /// 95th-percentile per-cell wall time, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile per-cell wall time, ms.
+    pub p99_ms: f64,
+    /// Total wall time spent in this kind, ms.
+    pub total_ms: f64,
+}
+
+/// Groups results by cell kind and computes per-kind wall-time
+/// percentiles. Output order follows first appearance in `results`
+/// (deterministic, since results are merged in cell order).
+pub fn cell_kind_stats(results: &[CellResult]) -> Vec<CellKindStats> {
+    let mut order: Vec<String> = Vec::new();
+    let mut samples: Vec<Vec<f64>> = Vec::new();
+    for r in results {
+        let kind = r.cell.kind();
+        let idx = match order.iter().position(|k| *k == kind) {
+            Some(i) => i,
+            None => {
+                order.push(kind);
+                samples.push(Vec::new());
+                order.len() - 1
+            }
+        };
+        samples[idx].push(r.wall_secs * 1e3);
+    }
+    order
+        .into_iter()
+        .zip(samples)
+        .map(|(kind, mut ms)| {
+            let total_ms = ms.iter().sum();
+            ms.sort_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
+            CellKindStats {
+                kind,
+                cells: ms.len() as u64,
+                p50_ms: percentile_sorted(&ms, 0.50),
+                p95_ms: percentile_sorted(&ms, 0.95),
+                p99_ms: percentile_sorted(&ms, 0.99),
+                total_ms,
+            }
+        })
+        .collect()
+}
+
 /// Timing + throughput summary of one sweep execution.
 #[derive(Clone, Debug)]
 pub struct BenchReport {
@@ -247,10 +416,17 @@ pub struct BenchReport {
     pub wall_secs: f64,
     /// Serial wall-clock reference, when measured alongside.
     pub serial_wall_secs: Option<f64>,
+    /// Per-cell-kind wall-time percentiles.
+    pub cell_kinds: Vec<CellKindStats>,
 }
 
 impl BenchReport {
     /// Builds a report by timing `f`.
+    ///
+    /// Per-cell-kind percentiles are recorded for single-threaded runs
+    /// only: under a thread pool, per-cell wall times are inflated by
+    /// worker contention, which would poison the regression-attribution
+    /// data the percentiles exist for.
     pub fn measure<F>(name: &str, threads: usize, f: F) -> (BenchReport, Vec<CellResult>)
     where
         F: FnOnce() -> Vec<CellResult>,
@@ -265,6 +441,11 @@ impl BenchReport {
             events: results.iter().map(|r| r.metrics.events).sum(),
             wall_secs: wall,
             serial_wall_secs: None,
+            cell_kinds: if threads <= 1 {
+                cell_kind_stats(&results)
+            } else {
+                Vec::new()
+            },
         };
         (report, results)
     }
@@ -284,7 +465,11 @@ impl BenchReport {
         self.serial_wall_secs.map(|s| s / self.wall_secs.max(1e-12))
     }
 
-    /// Renders the report as a JSON value.
+    /// Renders the report as a JSON value. The pre-existing fields (name,
+    /// threads, sessions, events, wall_secs, sessions_per_sec,
+    /// events_per_sec, serial_wall_secs, speedup) are stable; `cell_kinds`
+    /// extends the schema (present on single-threaded reports only — see
+    /// [`BenchReport::measure`]).
     pub fn to_json(&self) -> msim_json::Value {
         let mut v = msim_json::Value::object()
             .with("name", self.name.as_str())
@@ -300,7 +485,23 @@ impl BenchReport {
                 v = v.with("speedup", x);
             }
         }
-        v
+        if self.cell_kinds.is_empty() {
+            return v;
+        }
+        let kinds: Vec<msim_json::Value> = self
+            .cell_kinds
+            .iter()
+            .map(|k| {
+                msim_json::Value::object()
+                    .with("kind", k.kind.as_str())
+                    .with("cells", k.cells)
+                    .with("p50_ms", k.p50_ms)
+                    .with("p95_ms", k.p95_ms)
+                    .with("p99_ms", k.p99_ms)
+                    .with("total_ms", k.total_ms)
+            })
+            .collect();
+        v.with("cell_kinds", msim_json::Value::Array(kinds))
     }
 }
 
@@ -358,7 +559,8 @@ mod tests {
         // MSPlayer × 2 schedulers × 2 seeds + WifiOnly × 1 × 2 seeds.
         assert_eq!(a.len(), 6);
         assert_eq!(a[0].scheduler, SchedulerKind::Harmonic);
-        assert_eq!(a[4].competitor, Competitor::WifiOnly);
+        assert_eq!(a[4].workload.name, "testbed/WiFi");
+        assert_eq!(a[4].scheduler, SchedulerKind::Fixed);
     }
 
     #[test]
@@ -379,6 +581,37 @@ mod tests {
     }
 
     #[test]
+    fn host_reuse_matches_one_shot_cells() {
+        let cells = tiny_spec().cells();
+        let shared = run_serial(&cells);
+        let one_shot: Vec<CellResult> = cells.iter().map(Cell::run).collect();
+        assert_eq!(shared, one_shot, "host reuse changed a session");
+    }
+
+    #[test]
+    fn cell_kinds_group_and_count() {
+        let cells = tiny_spec().cells();
+        let results = run_serial(&cells);
+        let kinds = cell_kind_stats(&results);
+        assert_eq!(kinds.len(), 3, "2 MSPlayer schedulers + WiFi/Fixed");
+        assert_eq!(kinds[0].kind, "testbed/MSPlayer/Harmonic");
+        assert!(kinds.iter().all(|k| k.cells == 2));
+        for k in &kinds {
+            assert!(k.p50_ms <= k.p95_ms && k.p95_ms <= k.p99_ms, "{k:?}");
+            assert!(k.total_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_sorted(&s, 0.50), 2.0);
+        assert_eq!(percentile_sorted(&s, 0.95), 4.0);
+        assert_eq!(percentile_sorted(&s, 1.0), 4.0);
+        assert_eq!(percentile_sorted(&[], 0.5), 0.0);
+    }
+
+    #[test]
     fn bench_report_math() {
         let r = BenchReport {
             name: "t".into(),
@@ -387,6 +620,14 @@ mod tests {
             events: 1000,
             wall_secs: 2.0,
             serial_wall_secs: Some(4.0),
+            cell_kinds: vec![CellKindStats {
+                kind: "testbed/MSPlayer/Harmonic".into(),
+                cells: 10,
+                p50_ms: 1.0,
+                p95_ms: 2.0,
+                p99_ms: 3.0,
+                total_ms: 12.0,
+            }],
         };
         assert_eq!(r.sessions_per_sec(), 5.0);
         assert_eq!(r.events_per_sec(), 500.0);
@@ -394,5 +635,7 @@ mod tests {
         let json = msim_json::to_string(&r.to_json());
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"events_per_sec\""));
+        assert!(json.contains("\"cell_kinds\""));
+        assert!(json.contains("\"p99_ms\""));
     }
 }

@@ -1,0 +1,442 @@
+//! The open workload registry.
+//!
+//! A workload is **data**, not an enum arm: the path set, the service
+//! profile, the player family, the scheduler/chunk grid, the stop
+//! condition, and the seed range. The sweep engine enumerates a workload
+//! into [`Cell`]s and runs each over a shared [`SessionHost`] — so adding a
+//! new scenario (a 3-path WiFi+LTE+ethernet run, a mobility-outage storm, a
+//! server-failure storm) means *registering a spec*, not editing the
+//! engine.
+//!
+//! The closed `Env` × `Competitor` enums of the original harness survive as
+//! conveniences in the crate root; [`WorkloadSpec::from_env_competitor`]
+//! maps them onto workloads (see the README migration table).
+//!
+//! [`Cell`]: crate::sweep::Cell
+//! [`SessionHost`]: msplayer_core::sim::SessionHost
+
+use crate::{Competitor, Env};
+use msim_core::time::SimTime;
+use msim_core::units::ByteSize;
+use msim_net::mobility::OutageSchedule;
+use msim_net::profile::PathProfile;
+use msim_youtube::dns::Network;
+use msplayer_core::config::{PlayerConfig, SchedulerKind};
+use msplayer_core::sim::{PathSetup, ServerFailure, ServiceSpec, SessionSpec, StopCondition};
+use std::sync::Arc;
+
+/// Which player family a workload's cells run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlayerKind {
+    /// MSPlayer with the cell's scheduler and initial chunk size.
+    MsPlayer,
+    /// Commercial single-path profile with the cell's fixed chunk size
+    /// (the cell's scheduler is ignored — the profile pins `Fixed`).
+    Commercial,
+}
+
+/// One registered workload: everything needed to enumerate and run its
+/// cells.
+#[derive(Clone)]
+pub struct WorkloadSpec {
+    /// Unique name; cells report as `<name>/<scheduler>` kinds.
+    pub name: String,
+    /// Service side (built once per host).
+    pub service: ServiceSpec,
+    /// The session's paths (any count — 1, 2, 3, …).
+    pub paths: Vec<PathSetup>,
+    /// Player family.
+    pub player: PlayerKind,
+    /// Schedulers to sweep (one cell group per entry).
+    pub schedulers: Vec<SchedulerKind>,
+    /// Initial/base chunk sizes (KB) to sweep.
+    pub chunk_kb: Vec<u64>,
+    /// Pre-buffering target in seconds.
+    pub prebuffer_secs: f64,
+    /// Stop condition for every cell.
+    pub stop: StopCondition,
+    /// Server-failure injections applied to every cell (storms).
+    pub server_failures: Vec<ServerFailure>,
+    /// Seeded repetitions per (scheduler, chunk) configuration.
+    pub runs: u64,
+    /// Mixed into every seed so different workloads draw different
+    /// sessions; keep `0` to reproduce the historical Env×Competitor
+    /// sweeps bit-for-bit.
+    pub seed_salt: u64,
+}
+
+impl std::fmt::Debug for WorkloadSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadSpec")
+            .field("name", &self.name)
+            .field("paths", &self.paths.len())
+            .field("player", &self.player)
+            .field("schedulers", &self.schedulers)
+            .field("chunk_kb", &self.chunk_kb)
+            .field("prebuffer_secs", &self.prebuffer_secs)
+            .field("stop", &self.stop)
+            .field("server_failures", &self.server_failures.len())
+            .field("runs", &self.runs)
+            .field("seed_salt", &self.seed_salt)
+            .finish()
+    }
+}
+
+impl WorkloadSpec {
+    /// The seed of repetition `run`.
+    pub fn seed(&self, run: u64) -> u64 {
+        crate::BASE_SEED ^ self.seed_salt ^ run.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// The player configuration for one cell of this workload.
+    pub fn player_config(&self, scheduler: SchedulerKind, chunk_kb: u64) -> PlayerConfig {
+        match self.player {
+            PlayerKind::MsPlayer => PlayerConfig::msplayer()
+                .with_scheduler(scheduler)
+                .with_initial_chunk(ByteSize::kb(chunk_kb)),
+            PlayerKind::Commercial => PlayerConfig::commercial_single_path(ByteSize::kb(chunk_kb)),
+        }
+        .with_prebuffer_secs(self.prebuffer_secs)
+    }
+
+    /// Validates the workload: non-empty grids and a valid session spec
+    /// for every (scheduler, chunk) point (path set, failure targets,
+    /// player config).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schedulers.is_empty() {
+            return Err(format!("workload {:?} has no schedulers", self.name));
+        }
+        if self.chunk_kb.is_empty() {
+            return Err(format!("workload {:?} has no chunk sizes", self.name));
+        }
+        for &scheduler in &self.schedulers {
+            for &chunk_kb in &self.chunk_kb {
+                self.session_spec(scheduler, chunk_kb, self.seed(0))
+                    .validate()
+                    .map_err(|e| format!("workload {:?}: {e}", self.name))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The full session spec for one cell of this workload.
+    pub fn session_spec(&self, scheduler: SchedulerKind, chunk_kb: u64, seed: u64) -> SessionSpec {
+        SessionSpec {
+            seed,
+            paths: self.paths.clone(),
+            player: self.player_config(scheduler, chunk_kb),
+            stop: self.stop,
+            server_failures: self.server_failures.clone(),
+        }
+    }
+
+    /// Maps one historical (env, competitor) pair onto a workload. Seeds,
+    /// player configs, and scenario shapes reproduce the closed-enum sweep
+    /// exactly (`seed_salt = 0`).
+    pub fn from_env_competitor(
+        env: Env,
+        competitor: Competitor,
+        schedulers: Vec<SchedulerKind>,
+        chunk_kb: Vec<u64>,
+        prebuffer_secs: f64,
+        runs: u64,
+    ) -> WorkloadSpec {
+        let (wifi, lte) = match env {
+            Env::Testbed => (PathProfile::wifi_testbed(), PathProfile::lte_testbed()),
+            Env::Youtube => (PathProfile::wifi_youtube(), PathProfile::lte_youtube()),
+        };
+        let service = match env {
+            Env::Testbed => ServiceSpec::testbed(),
+            Env::Youtube => ServiceSpec::youtube(),
+        };
+        let (paths, player, schedulers) = match competitor {
+            Competitor::MsPlayer => (
+                vec![
+                    PathSetup::new(wifi, Network::Wifi),
+                    PathSetup::new(lte, Network::Cellular),
+                ],
+                PlayerKind::MsPlayer,
+                schedulers,
+            ),
+            Competitor::WifiOnly => (
+                vec![PathSetup::new(wifi, Network::Wifi)],
+                PlayerKind::Commercial,
+                vec![SchedulerKind::Fixed],
+            ),
+            Competitor::LteOnly => (
+                vec![PathSetup::new(lte, Network::Cellular)],
+                PlayerKind::Commercial,
+                vec![SchedulerKind::Fixed],
+            ),
+        };
+        WorkloadSpec {
+            name: format!("{}/{}", env.label(), competitor.label()),
+            service,
+            paths,
+            player,
+            schedulers,
+            chunk_kb,
+            prebuffer_secs,
+            stop: StopCondition::PrebufferDone,
+            server_failures: Vec::new(),
+            runs,
+            seed_salt: 0,
+        }
+    }
+
+    /// Three-path WiFi + LTE + ethernet testbed workload — the first
+    /// scenario the closed enums could not express.
+    pub fn three_path_testbed(runs: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "testbed3/MSPlayer".into(),
+            service: ServiceSpec::testbed(),
+            paths: vec![
+                PathSetup::new(PathProfile::wifi_testbed(), Network::Wifi),
+                PathSetup::new(PathProfile::lte_testbed(), Network::Cellular),
+                PathSetup::new(PathProfile::ethernet_testbed(), Network::Ethernet),
+            ],
+            player: PlayerKind::MsPlayer,
+            schedulers: vec![SchedulerKind::Harmonic, SchedulerKind::Ratio],
+            chunk_kb: vec![256],
+            prebuffer_secs: 10.0,
+            stop: StopCondition::PrebufferDone,
+            server_failures: Vec::new(),
+            runs,
+            seed_salt: 0x3_9A7_0E7,
+        }
+    }
+
+    /// Mobility-outage storm: the WiFi path drops out repeatedly while the
+    /// session streams through its first refill cycle.
+    pub fn mobility_storm(runs: u64) -> WorkloadSpec {
+        let outages = OutageSchedule::from_windows(vec![
+            (SimTime::from_secs(3), SimTime::from_secs(8)),
+            (SimTime::from_secs(15), SimTime::from_secs(19)),
+            (SimTime::from_secs(28), SimTime::from_secs(33)),
+        ]);
+        let mut wifi = PathSetup::new(PathProfile::wifi_testbed(), Network::Wifi);
+        wifi.outages = Some(outages);
+        WorkloadSpec {
+            name: "storm/mobility".into(),
+            service: ServiceSpec::testbed(),
+            paths: vec![
+                wifi,
+                PathSetup::new(PathProfile::lte_testbed(), Network::Cellular),
+            ],
+            player: PlayerKind::MsPlayer,
+            schedulers: vec![SchedulerKind::Harmonic],
+            chunk_kb: vec![256],
+            prebuffer_secs: 20.0,
+            stop: StopCondition::PrebufferDone,
+            server_failures: Vec::new(),
+            runs,
+            seed_salt: 0x0B_1EE7,
+        }
+    }
+
+    /// Server-failure storm: both paths' primary servers fail in
+    /// overlapping windows early in the session.
+    pub fn server_failure_storm(runs: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "storm/server-failure".into(),
+            service: ServiceSpec::testbed(),
+            paths: vec![
+                PathSetup::new(PathProfile::wifi_testbed(), Network::Wifi),
+                PathSetup::new(PathProfile::lte_testbed(), Network::Cellular),
+            ],
+            player: PlayerKind::MsPlayer,
+            schedulers: vec![SchedulerKind::Harmonic],
+            chunk_kb: vec![256],
+            prebuffer_secs: 15.0,
+            stop: StopCondition::PrebufferDone,
+            server_failures: vec![
+                ServerFailure {
+                    path: 0,
+                    from: SimTime::from_secs(2),
+                    until: SimTime::from_secs(30),
+                },
+                ServerFailure {
+                    path: 1,
+                    from: SimTime::from_secs(4),
+                    until: SimTime::from_secs(25),
+                },
+            ],
+            runs,
+            seed_salt: 0x5707_4A11,
+        }
+    }
+}
+
+/// An ordered, open collection of workloads. Enumeration order is
+/// registration order, so sweeps over a registry are deterministic.
+#[derive(Clone, Default)]
+pub struct WorkloadRegistry {
+    specs: Vec<Arc<WorkloadSpec>>,
+}
+
+impl WorkloadRegistry {
+    /// An empty registry.
+    pub fn new() -> WorkloadRegistry {
+        WorkloadRegistry::default()
+    }
+
+    /// The built-in catalogue: every historical Env×Competitor pair plus
+    /// the N-path scenarios, `runs` seeds each.
+    pub fn builtin(runs: u64) -> WorkloadRegistry {
+        let mut reg = WorkloadRegistry::new();
+        let paper_schedulers = vec![
+            SchedulerKind::Harmonic,
+            SchedulerKind::Ewma,
+            SchedulerKind::Ratio,
+        ];
+        for env in [Env::Testbed, Env::Youtube] {
+            for competitor in [
+                Competitor::MsPlayer,
+                Competitor::WifiOnly,
+                Competitor::LteOnly,
+            ] {
+                reg.register(WorkloadSpec::from_env_competitor(
+                    env,
+                    competitor,
+                    paper_schedulers.clone(),
+                    vec![256],
+                    40.0,
+                    runs,
+                ));
+            }
+        }
+        reg.register(WorkloadSpec::three_path_testbed(runs));
+        reg.register(WorkloadSpec::mobility_storm(runs));
+        reg.register(WorkloadSpec::server_failure_storm(runs));
+        reg
+    }
+
+    /// Registers a workload, returning its shared handle.
+    ///
+    /// Panics on a duplicate name (cell equality and the per-kind
+    /// percentiles in `BENCH_*.json` key on the workload name, so two
+    /// distinct workloads sharing one name would silently conflate) and
+    /// on an invalid spec (see [`WorkloadSpec::validate`]) — failing fast
+    /// at the registration boundary instead of mid-sweep inside a worker
+    /// thread.
+    pub fn register(&mut self, spec: WorkloadSpec) -> Arc<WorkloadSpec> {
+        assert!(
+            self.by_name(&spec.name).is_none(),
+            "workload name {:?} already registered",
+            spec.name
+        );
+        if let Err(why) = spec.validate() {
+            panic!("invalid workload: {why}");
+        }
+        let spec = Arc::new(spec);
+        self.specs.push(Arc::clone(&spec));
+        spec
+    }
+
+    /// Looks a workload up by name.
+    pub fn by_name(&self, name: &str) -> Option<&Arc<WorkloadSpec>> {
+        self.specs.iter().find(|s| s.name == name)
+    }
+
+    /// All registered workloads in registration order.
+    pub fn specs(&self) -> &[Arc<WorkloadSpec>] {
+        &self.specs
+    }
+
+    /// Enumerates every registered workload into its cell list
+    /// (registration order, then scheduler → chunk → seed within each
+    /// workload).
+    pub fn cells(&self) -> Vec<crate::sweep::Cell> {
+        self.specs
+            .iter()
+            .flat_map(crate::sweep::expand_workload)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_open_and_ordered() {
+        let mut reg = WorkloadRegistry::new();
+        assert!(reg.specs().is_empty());
+        reg.register(WorkloadSpec::three_path_testbed(2));
+        reg.register(WorkloadSpec::mobility_storm(1));
+        assert_eq!(reg.specs().len(), 2);
+        assert_eq!(reg.specs()[0].name, "testbed3/MSPlayer");
+        assert!(reg.by_name("storm/mobility").is_some());
+        assert!(reg.by_name("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_names_are_rejected() {
+        let mut reg = WorkloadRegistry::new();
+        reg.register(WorkloadSpec::mobility_storm(1));
+        reg.register(WorkloadSpec::mobility_storm(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload")]
+    fn invalid_failure_targets_are_rejected_at_registration() {
+        let mut w = WorkloadSpec::server_failure_storm(1);
+        w.server_failures[0].path = 7; // the workload has only 2 paths
+        WorkloadRegistry::new().register(w);
+    }
+
+    #[test]
+    fn builtin_covers_enums_and_n_path() {
+        let reg = WorkloadRegistry::builtin(2);
+        // 2 envs × 3 competitors + 3 new scenarios.
+        assert_eq!(reg.specs().len(), 9);
+        assert!(reg.by_name("testbed/MSPlayer").is_some());
+        assert!(reg.by_name("youtube/LTE").is_some());
+        let three = reg.by_name("testbed3/MSPlayer").unwrap();
+        assert_eq!(three.paths.len(), 3);
+    }
+
+    #[test]
+    fn env_competitor_mapping_preserves_seeds() {
+        let w = WorkloadSpec::from_env_competitor(
+            Env::Testbed,
+            Competitor::MsPlayer,
+            vec![SchedulerKind::Harmonic],
+            vec![256],
+            10.0,
+            3,
+        );
+        for run in 0..3u64 {
+            let expected = crate::BASE_SEED ^ run.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            assert_eq!(w.seed(run), expected);
+        }
+    }
+
+    #[test]
+    fn single_path_competitors_pin_fixed_scheduler() {
+        let w = WorkloadSpec::from_env_competitor(
+            Env::Youtube,
+            Competitor::WifiOnly,
+            vec![SchedulerKind::Harmonic, SchedulerKind::Ratio],
+            vec![64],
+            10.0,
+            1,
+        );
+        assert_eq!(w.schedulers, vec![SchedulerKind::Fixed]);
+        assert_eq!(w.paths.len(), 1);
+        assert_eq!(w.player, PlayerKind::Commercial);
+    }
+
+    #[test]
+    fn storm_specs_validate() {
+        for w in [
+            WorkloadSpec::three_path_testbed(1),
+            WorkloadSpec::mobility_storm(1),
+            WorkloadSpec::server_failure_storm(1),
+        ] {
+            let spec = w.session_spec(w.schedulers[0], w.chunk_kb[0], w.seed(0));
+            assert!(spec.validate().is_ok(), "{} invalid", w.name);
+        }
+    }
+}

@@ -13,7 +13,9 @@
 //!   (40 s / 10 s / 20 s defaults, §4);
 //! * [`player`] — the sans-I/O player state machine shared by the simulator
 //!   and the real-socket testbed;
-//! * [`sim`] — the deterministic session driver behind every figure;
+//! * [`sim`] — the deterministic session driver behind every figure:
+//!   [`sim::SessionHost`] runs batches of N-path sessions over one warmed
+//!   service; [`sim::run_session`] is the single-shot compatibility shim;
 //! * [`metrics`] — startup delay, refills, stalls, per-path traffic splits
 //!   (Table 1);
 //! * [`energy`] — the §7 future-work energy-accounting extension.
@@ -57,4 +59,7 @@ pub use scheduler::{
     build_scheduler, ChunkScheduler, DcsaScheduler, FixedScheduler, RatioScheduler, SchedulerImpl,
     NUM_PATHS,
 };
-pub use sim::{run_session, PathSetup, Scenario, ServerFailure, StopCondition};
+pub use sim::{
+    run_session, PathSetup, Scenario, ServerFailure, ServiceSpec, SessionHost, SessionSpec,
+    SessionSpecError, StopCondition,
+};

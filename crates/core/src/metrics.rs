@@ -40,8 +40,9 @@ pub struct ChunkRecord {
 pub struct SessionMetrics {
     /// When the player was started.
     pub started_at: SimTime,
-    /// When each path delivered its first video byte.
-    pub first_byte_at: [Option<SimTime>; 2],
+    /// When each path delivered its first video byte (one slot per path;
+    /// sized by the player at construction).
+    pub first_byte_at: Vec<Option<SimTime>>,
     /// When the pre-buffer target was reached (Figs. 2–4 endpoint).
     pub prebuffer_done_at: Option<SimTime>,
     /// Completed refill cycles (Fig. 5).
@@ -51,7 +52,7 @@ pub struct SessionMetrics {
     /// Every completed chunk.
     pub chunks: Vec<ChunkRecord>,
     /// Failovers performed per path.
-    pub failovers: [u32; 2],
+    pub failovers: Vec<u32>,
     /// When the session ended.
     pub ended_at: Option<SimTime>,
     /// Simulator events processed while producing this session (drivers
@@ -61,6 +62,21 @@ pub struct SessionMetrics {
 }
 
 impl SessionMetrics {
+    /// An empty metrics record with per-path slots for `n_paths` paths.
+    pub fn for_paths(n_paths: usize, started_at: SimTime) -> SessionMetrics {
+        SessionMetrics {
+            started_at,
+            first_byte_at: vec![None; n_paths],
+            failovers: vec![0; n_paths],
+            ..SessionMetrics::default()
+        }
+    }
+
+    /// Number of per-path slots this record was sized for.
+    pub fn num_paths(&self) -> usize {
+        self.first_byte_at.len()
+    }
+
     /// Pre-buffering download time (session start → target reached).
     pub fn prebuffer_time(&self) -> Option<SimDuration> {
         self.prebuffer_done_at
@@ -95,14 +111,21 @@ impl SessionMetrics {
     /// with path 0 = WiFi). `None` when the phase saw no traffic.
     pub fn traffic_fraction(&self, path: PathId, phase: TrafficPhase) -> Option<f64> {
         let on_path = self.bytes_on(path, phase) as f64;
-        let total: u64 = (0..2).map(|p| self.bytes_on(p, phase)).sum();
+        let total: u64 = self
+            .chunks
+            .iter()
+            .filter(|c| c.phase == phase)
+            .map(|c| c.bytes)
+            .sum();
         (total > 0).then(|| on_path / total as f64)
     }
 
-    /// The head start observed: difference between the two paths' first
-    /// video bytes (§3.2's π₂ − π₁).
+    /// The head start observed: difference between the first two paths'
+    /// first video bytes (§3.2's π₂ − π₁).
     pub fn observed_head_start(&self) -> Option<SimDuration> {
-        match (self.first_byte_at[0], self.first_byte_at[1]) {
+        let first = self.first_byte_at.first().copied().flatten();
+        let second = self.first_byte_at.get(1).copied().flatten();
+        match (first, second) {
             (Some(a), Some(b)) => Some(if a <= b {
                 b.saturating_since(a)
             } else {
@@ -173,7 +196,7 @@ mod tests {
     #[test]
     fn head_start_is_symmetric() {
         let mut m = SessionMetrics {
-            first_byte_at: [
+            first_byte_at: vec![
                 Some(SimTime::from_millis(500)),
                 Some(SimTime::from_millis(900)),
             ],

@@ -117,8 +117,8 @@ pub struct Player {
     ledger: ChunkLedger,
     buffer: PlayoutBuffer,
     rate_bytes_per_sec: f64,
-    paths: [PathState; NUM_PATHS],
-    consecutive_failures: [u32; NUM_PATHS],
+    paths: Vec<PathState>,
+    consecutive_failures: Vec<u32>,
     /// Whether the path has completed its warm-up chunk. The first chunk of
     /// a fresh connection downloads inside TCP slow start; its throughput
     /// sample under-reads the path and would permanently anchor the
@@ -126,21 +126,35 @@ pub struct Player {
     /// Alg. 1 double/halve rule into a runaway spiral. Standard measurement
     /// practice: the warm-up sample is excluded from estimation (but still
     /// counted in traffic metrics).
-    warmed_up: [bool; NUM_PATHS],
+    warmed_up: Vec<bool>,
     metrics: SessionMetrics,
     last_tick_scheduled: Option<SimTime>,
 }
 
 impl Player {
     /// Creates a player for a stream of `total_bytes` at `bytes_per_sec`
-    /// (both derived from the video format chosen from the JSON info).
+    /// (both derived from the video format chosen from the JSON info), with
+    /// the paper's two path slots.
     pub fn new(
         cfg: PlayerConfig,
         total_bytes: u64,
         bytes_per_sec: f64,
         started_at: SimTime,
     ) -> Player {
+        Player::multi(cfg, NUM_PATHS, total_bytes, bytes_per_sec, started_at)
+    }
+
+    /// Creates a player with per-path state for `n_paths` paths (the
+    /// N-path scenarios; `n_paths = 2` reproduces [`Player::new`]).
+    pub fn multi(
+        cfg: PlayerConfig,
+        n_paths: usize,
+        total_bytes: u64,
+        bytes_per_sec: f64,
+        started_at: SimTime,
+    ) -> Player {
         cfg.validate().expect("invalid player config");
+        let n_paths = n_paths.max(1);
         let buffer = PlayoutBuffer::new(
             total_bytes,
             bytes_per_sec,
@@ -149,22 +163,24 @@ impl Player {
             cfg.rebuffer_secs,
             cfg.stall_resume_secs,
         );
-        let scheduler = SchedulerImpl::from_config(&cfg);
+        let scheduler = SchedulerImpl::for_paths(&cfg, n_paths);
         Player {
             cfg,
             scheduler,
             ledger: ChunkLedger::new(total_bytes),
             buffer,
             rate_bytes_per_sec: bytes_per_sec,
-            paths: [PathState::NotReady; NUM_PATHS],
-            consecutive_failures: [0; NUM_PATHS],
-            warmed_up: [false; NUM_PATHS],
-            metrics: SessionMetrics {
-                started_at,
-                ..SessionMetrics::default()
-            },
+            paths: vec![PathState::NotReady; n_paths],
+            consecutive_failures: vec![0; n_paths],
+            warmed_up: vec![false; n_paths],
+            metrics: SessionMetrics::for_paths(n_paths, started_at),
             last_tick_scheduled: None,
         }
+    }
+
+    /// Number of path slots this player schedules over.
+    pub fn num_paths(&self) -> usize {
+        self.paths.len()
     }
 
     /// The collected metrics so far.
@@ -229,7 +245,7 @@ impl Player {
     ) {
         match event {
             PlayerEvent::PathReady { path } => {
-                debug_assert!(path < NUM_PATHS);
+                debug_assert!(path < self.paths.len());
                 if self.paths[path] == PathState::NotReady {
                     self.paths[path] = PathState::Idle;
                 }
@@ -319,7 +335,7 @@ impl Player {
     fn pump(&mut self, now: SimTime, actions: &mut Vec<PlayerAction>) {
         self.buffer.advance_to(now);
         if self.buffer.wants_download() {
-            for path in 0..NUM_PATHS {
+            for path in 0..self.paths.len() {
                 if self.paths[path] != PathState::Idle {
                     continue;
                 }

@@ -22,11 +22,14 @@ use crate::estimator::{
 };
 use msim_core::units::ByteSize;
 
-/// Number of paths the player uses ("MSPlayer limits the number of paths to
-/// two", §2).
+/// The paper's path count ("MSPlayer limits the number of paths to two",
+/// §2). Schedulers are no longer limited to it — every scheduler carries
+/// per-path state for an arbitrary path count (see
+/// [`SchedulerImpl::for_paths`]) — but two remains the default used by
+/// [`SchedulerImpl::from_config`] and the compatibility constructors.
 pub const NUM_PATHS: usize = 2;
 
-/// A chunk-size scheduler over two paths.
+/// A chunk-size scheduler over N paths.
 pub trait ChunkScheduler: Send {
     /// Feeds a throughput measurement for `path` (bits/s) from a completed
     /// chunk, and lets the scheduler update that path's chunk size.
@@ -60,19 +63,29 @@ pub enum SchedulerImpl {
 }
 
 impl SchedulerImpl {
-    /// Builds the scheduler selected by a config.
+    /// Builds the scheduler selected by a config for the paper's two paths.
     pub fn from_config(cfg: &PlayerConfig) -> SchedulerImpl {
+        SchedulerImpl::for_paths(cfg, NUM_PATHS)
+    }
+
+    /// Builds the scheduler selected by a config with per-path state for
+    /// `n_paths` paths.
+    pub fn for_paths(cfg: &PlayerConfig, n_paths: usize) -> SchedulerImpl {
         match cfg.scheduler {
-            SchedulerKind::Ratio => SchedulerImpl::Ratio(RatioScheduler::new(cfg)),
-            SchedulerKind::Ewma => {
-                SchedulerImpl::Dcsa(DcsaScheduler::new(cfg, Ewma::new(cfg.alpha)))
-            }
+            SchedulerKind::Ratio => SchedulerImpl::Ratio(RatioScheduler::with_paths(cfg, n_paths)),
+            SchedulerKind::Ewma => SchedulerImpl::Dcsa(DcsaScheduler::with_paths(
+                cfg,
+                Ewma::new(cfg.alpha),
+                n_paths,
+            )),
             SchedulerKind::Harmonic => {
-                SchedulerImpl::Dcsa(DcsaScheduler::new(cfg, HarmonicInc::new()))
+                SchedulerImpl::Dcsa(DcsaScheduler::with_paths(cfg, HarmonicInc::new(), n_paths))
             }
-            SchedulerKind::HarmonicWindowed => {
-                SchedulerImpl::Dcsa(DcsaScheduler::new(cfg, HarmonicWindow::new(20)))
-            }
+            SchedulerKind::HarmonicWindowed => SchedulerImpl::Dcsa(DcsaScheduler::with_paths(
+                cfg,
+                HarmonicWindow::new(20),
+                n_paths,
+            )),
             SchedulerKind::Fixed => SchedulerImpl::Fixed(FixedScheduler::new(cfg.initial_chunk)),
         }
     }
@@ -144,24 +157,54 @@ fn clamp(cfg_min: ByteSize, cfg_max: ByteSize, v: f64) -> ByteSize {
     ByteSize::bytes(v.round() as u64)
 }
 
+/// The slowest *other* path's estimate: the minimum estimate among all
+/// paths except `path` (ties resolved to the lowest index, which keeps the
+/// two-path case bit-identical to the historical `1 - path` lookup).
+/// Returns `(index, estimate)`, or `None` when no other path has been
+/// measured yet.
+fn slowest_other(
+    estimates: impl Iterator<Item = Option<f64>>,
+    path: usize,
+) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, est) in estimates.enumerate() {
+        if i == path {
+            continue;
+        }
+        if let Some(w) = est {
+            match best {
+                Some((_, b)) if b <= w => {}
+                _ => best = Some((i, w)),
+            }
+        }
+    }
+    best
+}
+
 /// §3.3 baseline scheduler.
 pub struct RatioScheduler {
     base: ByteSize,
     min: ByteSize,
     max: ByteSize,
-    last: [LastSample; NUM_PATHS],
-    sizes: [ByteSize; NUM_PATHS],
+    last: Vec<LastSample>,
+    sizes: Vec<ByteSize>,
 }
 
 impl RatioScheduler {
-    /// Creates the scheduler from a config (uses `initial_chunk` as B).
+    /// Creates the two-path scheduler from a config (uses `initial_chunk`
+    /// as B).
     pub fn new(cfg: &PlayerConfig) -> RatioScheduler {
+        RatioScheduler::with_paths(cfg, NUM_PATHS)
+    }
+
+    /// Creates the scheduler with per-path state for `n_paths` paths.
+    pub fn with_paths(cfg: &PlayerConfig, n_paths: usize) -> RatioScheduler {
         RatioScheduler {
             base: cfg.initial_chunk,
             min: cfg.min_chunk,
             max: cfg.max_chunk,
-            last: [LastSample::new(), LastSample::new()],
-            sizes: [cfg.initial_chunk; NUM_PATHS],
+            last: (0..n_paths).map(|_| LastSample::new()).collect(),
+            sizes: vec![cfg.initial_chunk; n_paths],
         }
     }
 }
@@ -169,11 +212,10 @@ impl RatioScheduler {
 impl ChunkScheduler for RatioScheduler {
     fn on_sample(&mut self, path: usize, sample_bps: f64) {
         self.last[path].update(sample_bps);
-        let (Some(w_this), Some(w_other)) = (
-            self.last[path].estimate_bps(),
-            self.last[1 - path].estimate_bps(),
-        ) else {
-            // Only one path measured so far: stay at B.
+        let w_this = self.last[path].estimate_bps().expect("just updated");
+        let Some((_, w_other)) = slowest_other(self.last.iter().map(|l| l.estimate_bps()), path)
+        else {
+            // Only this path measured so far: stay at B.
             self.sizes[path] = self.base;
             return;
         };
@@ -181,7 +223,8 @@ impl ChunkScheduler for RatioScheduler {
             // Slow path: fixed base size.
             self.sizes[path] = self.base;
         } else {
-            // Fast path: throughput-ratio multiple of B.
+            // Fast path: throughput-ratio multiple of B, relative to the
+            // slowest measured path.
             let ratio = w_this / w_other;
             self.sizes[path] = clamp(self.min, self.max, ratio * self.base.as_f64());
         }
@@ -208,25 +251,35 @@ pub struct DcsaScheduler {
     max: ByteSize,
     delta: f64,
     gamma_rounding: GammaRounding,
-    estimators: [EstimatorImpl; NUM_PATHS],
-    sizes: [ByteSize; NUM_PATHS],
+    estimators: Vec<EstimatorImpl>,
+    sizes: Vec<ByteSize>,
     est_name: &'static str,
 }
 
 impl DcsaScheduler {
-    /// Creates the scheduler with a fresh copy of `estimator` per path.
+    /// Creates the two-path scheduler with a fresh copy of `estimator` per
+    /// path.
     pub fn new(cfg: &PlayerConfig, estimator: impl Into<EstimatorImpl>) -> DcsaScheduler {
-        let e0 = estimator.into();
-        let e1 = e0.clone();
-        let est_name = e0.name();
+        DcsaScheduler::with_paths(cfg, estimator, NUM_PATHS)
+    }
+
+    /// Creates the scheduler with a fresh copy of `estimator` for each of
+    /// `n_paths` paths.
+    pub fn with_paths(
+        cfg: &PlayerConfig,
+        estimator: impl Into<EstimatorImpl>,
+        n_paths: usize,
+    ) -> DcsaScheduler {
+        let proto = estimator.into();
+        let est_name = proto.name();
         DcsaScheduler {
             base: cfg.initial_chunk,
             min: cfg.min_chunk,
             max: cfg.max_chunk,
             delta: cfg.delta,
             gamma_rounding: cfg.gamma_rounding,
-            estimators: [e0, e1],
-            sizes: [cfg.initial_chunk; NUM_PATHS],
+            estimators: vec![proto; n_paths.max(1)],
+            sizes: vec![cfg.initial_chunk; n_paths.max(1)],
             est_name,
         }
     }
@@ -234,12 +287,13 @@ impl DcsaScheduler {
     /// Runs Alg. 1 for path `i` given the fresh measurement `w_i`.
     fn dcsa(&mut self, i: usize, w_i: f64) {
         // Estimates *before* absorbing the new measurement — Alg. 1 compares
-        // the surprise of w_i against history ŵ_i.
+        // the surprise of w_i against history ŵ_i. The comparison partner is
+        // the slowest *other* path (with two paths: the other path).
         let w_hat_i = self.estimators[i].estimate_bps();
-        let w_hat_other = self.estimators[1 - i].estimate_bps();
+        let other = slowest_other(self.estimators.iter().map(|e| e.estimate_bps()), i);
         self.estimators[i].update(w_i);
 
-        let (Some(w_hat_i), Some(w_hat_other)) = (w_hat_i, w_hat_other) else {
+        let (Some(w_hat_i), Some((other_idx, w_hat_other))) = (w_hat_i, other) else {
             // Line 2–3: estimate not available → initial chunk size.
             self.sizes[i] = self.base;
             return;
@@ -256,15 +310,15 @@ impl DcsaScheduler {
             };
             self.sizes[i] = clamp(self.min, self.max, next);
         } else {
-            // Lines 12–14: fast path — γ multiple of the other path's chunk
-            // so both transfers complete at about the same time.
+            // Lines 12–14: fast path — γ multiple of the slowest path's
+            // chunk so concurrent transfers complete at about the same time.
             let ratio = w_hat_i / w_hat_other;
             let gamma = match self.gamma_rounding {
                 GammaRounding::Ceil => ratio.ceil(),
                 GammaRounding::Exact => ratio,
             }
             .max(1.0);
-            self.sizes[i] = clamp(self.min, self.max, gamma * self.sizes[1 - i].as_f64());
+            self.sizes[i] = clamp(self.min, self.max, gamma * self.sizes[other_idx].as_f64());
         }
     }
 }

@@ -1,7 +1,37 @@
 //! Deterministic simulation driver: runs complete MSPlayer (or single-path
 //! baseline) sessions against the simulated links and the emulated YouTube
-//! service. Every figure in the paper is regenerated through
-//! [`run_session`].
+//! service.
+//!
+//! # The session API
+//!
+//! The experiment-facing API is split in two:
+//!
+//! * [`ServiceSpec`] describes the *service side* of an experiment — the
+//!   emulated YouTube topology, the video, its format. Building this state
+//!   (DNS zone, signature cipher, server/proxy fleet, catalog) used to
+//!   dominate short sessions because it was redone per session.
+//! * [`SessionSpec`] describes one *client session* — seed, paths, player
+//!   configuration, stop condition, and server-failure injections.
+//!
+//! A [`SessionHost`] is built **once** from a `ServiceSpec` and then runs
+//! any number of sessions over the warmed service via [`SessionHost::run`]
+//! and [`SessionHost::run_batch`], resetting only the cheap per-session
+//! server state in between. A batch over N seeds is bit-identical to N
+//! independent [`run_session`] calls (asserted by
+//! `crates/bench/tests/batch_api.rs` and the in-crate
+//! `host_batch_matches_individual_runs` test) —
+//! the only thing amortized is the control-plane construction, never
+//! simulated behaviour.
+//!
+//! Sessions may use **any number of paths** (the mHTTP lineage's "more than
+//! two" sources): all per-path state (scheduler, out-of-order gate, failure
+//! injection) is indexed by path. Invalid specs (no paths, out-of-range
+//! failure injection, bad player config) surface as [`SessionSpecError`]
+//! instead of panics.
+//!
+//! [`run_session`] remains as a thin compatibility shim: it builds a
+//! one-shot host from a [`Scenario`] and runs it. Every figure in the paper
+//! is still regenerated through it.
 
 use crate::chunk::ChunkAssignment;
 use crate::config::PlayerConfig;
@@ -22,6 +52,8 @@ use msim_youtube::proxy::{parse_video_info, VideoInfo};
 use msim_youtube::service::{ServiceConfig, YoutubeService, PROXY_DOMAIN};
 use msim_youtube::video::{Video, VideoId};
 use msim_youtube::Catalog;
+use std::collections::BTreeMap;
+use std::fmt;
 use std::net::Ipv4Addr;
 
 /// One path of a scenario.
@@ -60,7 +92,9 @@ pub enum StopCondition {
 }
 
 /// Scheduled failure of a path's primary video server (robustness tests).
-#[derive(Clone, Copy, Debug)]
+/// `path` indexes the session's path set — any path of an N-path session
+/// can be targeted, and a session may carry several failures (storms).
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ServerFailure {
     /// Which path's primary server fails.
     pub path: usize,
@@ -70,12 +104,177 @@ pub struct ServerFailure {
     pub until: SimTime,
 }
 
-/// A complete experiment description.
+/// Why a [`SessionSpec`] was rejected by the host.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionSpecError {
+    /// The spec has no paths at all.
+    NoPaths,
+    /// A [`ServerFailure`] targets a path index the spec does not have.
+    FailurePathOutOfRange {
+        /// The offending failure's path index.
+        path: usize,
+        /// How many paths the spec has.
+        n_paths: usize,
+    },
+    /// A failure window is empty or inverted (`from >= until`).
+    InvalidFailureWindow {
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        until: SimTime,
+    },
+    /// The player configuration failed [`PlayerConfig::validate`].
+    InvalidPlayer(String),
+}
+
+impl fmt::Display for SessionSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionSpecError::NoPaths => write!(f, "session spec has no paths"),
+            SessionSpecError::FailurePathOutOfRange { path, n_paths } => write!(
+                f,
+                "server failure targets path {path} but the spec has only {n_paths} path(s)"
+            ),
+            SessionSpecError::InvalidFailureWindow { from, until } => {
+                write!(f, "empty or inverted failure window [{from}, {until})")
+            }
+            SessionSpecError::InvalidPlayer(why) => write!(f, "invalid player config: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionSpecError {}
+
+/// The service side of an experiment: everything a [`SessionHost`] builds
+/// once and shares across every session it runs.
+#[derive(Clone, Debug)]
+pub struct ServiceSpec {
+    /// Service topology (replicas per network, pacing).
+    pub service: ServiceConfig,
+    /// Video length in seconds.
+    pub video_secs: f64,
+    /// Whether the video requires the signature-decipher bootstrap step.
+    pub copyrighted: bool,
+    /// Video format (itag 22 = the paper's HD 720p).
+    pub itag: u32,
+}
+
+impl Default for ServiceSpec {
+    fn default() -> Self {
+        ServiceSpec::testbed()
+    }
+}
+
+impl ServiceSpec {
+    /// The §5 emulated-testbed service: two unpaced replicas per network,
+    /// 10-minute non-copyrighted 720p video.
+    pub fn testbed() -> ServiceSpec {
+        ServiceSpec {
+            service: ServiceConfig::default(),
+            video_secs: 600.0,
+            copyrighted: false,
+            itag: 22,
+        }
+    }
+
+    /// The §6 YouTube-service profile: paced servers, heavier control
+    /// plane, copyrighted video (signature decipher step).
+    pub fn youtube() -> ServiceSpec {
+        ServiceSpec {
+            service: youtube_service_config(),
+            video_secs: 600.0,
+            copyrighted: true,
+            itag: 22,
+        }
+    }
+
+    /// Builder-style video length override.
+    pub fn with_video_secs(mut self, secs: f64) -> Self {
+        self.video_secs = secs;
+        self
+    }
+}
+
+/// One client session to run against a [`SessionHost`]: seed, paths,
+/// player, stop condition, and failure injections.
+#[derive(Clone)]
+pub struct SessionSpec {
+    /// Master seed; every stochastic component forks from it.
+    pub seed: u64,
+    /// The session's paths, in scheduler index order (index 0 is WiFi by
+    /// convention; any number of paths is allowed).
+    pub paths: Vec<PathSetup>,
+    /// Player configuration.
+    pub player: PlayerConfig,
+    /// Stop condition.
+    pub stop: StopCondition,
+    /// Server-failure injections (empty = healthy servers; several entries
+    /// model failure storms). Each entry must target a valid path index.
+    pub server_failures: Vec<ServerFailure>,
+}
+
+impl SessionSpec {
+    /// A spec over `paths` with no failure injections.
+    pub fn new(seed: u64, paths: Vec<PathSetup>, player: PlayerConfig) -> SessionSpec {
+        SessionSpec {
+            seed,
+            paths,
+            player,
+            stop: StopCondition::PrebufferDone,
+            server_failures: Vec::new(),
+        }
+    }
+
+    /// Builder-style stop-condition override.
+    pub fn with_stop(mut self, stop: StopCondition) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Builder-style seed override (used by batch drivers).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the spec: at least one path, in-range failure targets,
+    /// well-formed windows, valid player config.
+    pub fn validate(&self) -> Result<(), SessionSpecError> {
+        if self.paths.is_empty() {
+            return Err(SessionSpecError::NoPaths);
+        }
+        for failure in &self.server_failures {
+            if failure.path >= self.paths.len() {
+                return Err(SessionSpecError::FailurePathOutOfRange {
+                    path: failure.path,
+                    n_paths: self.paths.len(),
+                });
+            }
+            if failure.from >= failure.until {
+                return Err(SessionSpecError::InvalidFailureWindow {
+                    from: failure.from,
+                    until: failure.until,
+                });
+            }
+        }
+        self.player
+            .validate()
+            .map_err(SessionSpecError::InvalidPlayer)?;
+        Ok(())
+    }
+}
+
+/// A complete experiment description (the original single-shot API).
+///
+/// A `Scenario` bundles a [`ServiceSpec`] and a [`SessionSpec`] into one
+/// value; [`run_session`] splits it and runs it over a one-shot
+/// [`SessionHost`]. Code that runs many sessions should build the host
+/// once and use [`SessionHost::run_batch`] instead.
 #[derive(Clone)]
 pub struct Scenario {
     /// Master seed; every stochastic component forks from it.
     pub seed: u64,
-    /// One or two paths (index 0 is WiFi by convention).
+    /// The session's paths (index 0 is WiFi by convention).
     pub paths: Vec<PathSetup>,
     /// Service topology (replicas per network, pacing).
     pub service: ServiceConfig,
@@ -110,6 +309,19 @@ impl Scenario {
             player,
             stop: StopCondition::PrebufferDone,
             server_failure: None,
+        }
+    }
+
+    /// A three-path testbed scenario: WiFi + LTE + wired ethernet, each in
+    /// its own network (full source diversity).
+    pub fn testbed_three_path(seed: u64, player: PlayerConfig) -> Scenario {
+        Scenario {
+            paths: vec![
+                PathSetup::new(PathProfile::wifi_testbed(), Network::Wifi),
+                PathSetup::new(PathProfile::lte_testbed(), Network::Cellular),
+                PathSetup::new(PathProfile::ethernet_testbed(), Network::Ethernet),
+            ],
+            ..Scenario::testbed_msplayer(seed, player)
         }
     }
 
@@ -164,6 +376,27 @@ impl Scenario {
             ..Scenario::youtube_msplayer(seed, player)
         }
     }
+
+    /// The service half of this scenario (host construction input).
+    pub fn service_spec(&self) -> ServiceSpec {
+        ServiceSpec {
+            service: self.service.clone(),
+            video_secs: self.video_secs,
+            copyrighted: self.copyrighted,
+            itag: self.itag,
+        }
+    }
+
+    /// The session half of this scenario.
+    pub fn session_spec(&self) -> SessionSpec {
+        SessionSpec {
+            seed: self.seed,
+            paths: self.paths.clone(),
+            player: self.player.clone(),
+            stop: self.stop,
+            server_failures: self.server_failure.into_iter().collect(),
+        }
+    }
 }
 
 /// The YouTube-service topology: generous Trickle-style pacing (the
@@ -182,6 +415,13 @@ pub fn youtube_service_config() -> ServiceConfig {
 /// Hard ceiling on simulated session length (guards against pathological
 /// configurations looping forever).
 const MAX_SESSION: SimDuration = SimDuration::from_secs(4 * 3600);
+
+/// Seed for the host-level service. The service's own randomness only
+/// shapes *strings* (token wire form, signature content, cipher program) —
+/// never timing — so a host-level constant reproduces the per-session
+/// metrics exactly; `crates/bench/tests/batch_api.rs` and the in-crate
+/// `host_batch_matches_individual_runs` test lock this equivalence in.
+const HOST_SERVICE_SEED: u64 = 0x5e21_11ce;
 
 #[derive(Debug)]
 enum Ev {
@@ -204,14 +444,21 @@ enum Ev {
     Tick,
 }
 
+/// The content half of one path's bootstrap: the decoded JSON and, for
+/// copyrighted videos, the deciphered signature. For an idle service this
+/// is a pure function of `(network, json_done)` — `json_done` derives from
+/// the *base* RTT, never the jittered one — so hosts cache and share it
+/// across sessions (see [`SessionHost`]).
+struct PathBootstrap {
+    info: VideoInfo,
+    signature: Option<String>,
+}
+
 struct PathRt {
-    client_ip: String,
+    client_ip: &'static str,
     tcp_config: TcpConfig,
     resolver: DnsResolver,
-    info: Option<VideoInfo>,
-    signature: Option<String>,
-    /// Preference-ordered server domains from the JSON.
-    domains: Vec<String>,
+    boot: std::sync::Arc<PathBootstrap>,
     current_server: usize,
     server_addr: Ipv4Addr,
     /// Set while the path is down; the instant it may come back.
@@ -222,6 +469,7 @@ fn client_ip_for(network: Network) -> &'static str {
     match network {
         Network::Wifi => "203.0.113.7",
         Network::Cellular => "198.51.100.23",
+        Network::Ethernet => "192.0.2.41",
     }
 }
 
@@ -233,241 +481,339 @@ fn map_status(status: StatusCode) -> ChunkFailReason {
     }
 }
 
-/// Runs one scenario to completion and returns its metrics.
-pub fn run_session(scenario: &Scenario) -> SessionMetrics {
-    assert!(
-        !scenario.paths.is_empty() && scenario.paths.len() <= 2,
-        "scenarios use one or two paths"
-    );
-    let mut rng = Prng::new(scenario.seed);
+/// A warmed session runner: owns the emulated service, catalog, and video
+/// format derived from one [`ServiceSpec`], and executes any number of
+/// [`SessionSpec`]s against them.
+///
+/// Construction is the expensive part (DNS zone strings, signature cipher,
+/// proxy/server fleet); [`SessionHost::run`] only resets per-session server
+/// state (load counters, failure plans), so batching sessions over one host
+/// amortizes the bootstrap without changing any session's outcome.
+pub struct SessionHost {
+    spec: ServiceSpec,
+    service: YoutubeService,
+    video_id: VideoId,
+    bytes_per_sec: f64,
+    total_bytes: u64,
+    tls: TlsTimingModel,
+    /// Action scratch buffer reused across sessions (and across events
+    /// within a session): the hot loop never allocates for actions.
+    actions: Vec<PlayerAction>,
+    /// Cached per-`(network, json_done)` bootstrap content. Valid only
+    /// when the network is idle at watch time (always true for bootstraps
+    /// on distinct networks; same-network multi-path sessions bypass the
+    /// cache so load-aware server ordering is preserved exactly).
+    boot_cache: BTreeMap<(Network, SimTime), std::sync::Arc<PathBootstrap>>,
+}
 
-    // --- Video & service -------------------------------------------------
-    let video_id = VideoId::new("qjT4T2gU9sM").expect("static id");
-    let mut catalog = Catalog::new();
-    catalog.add(Video::new(
-        video_id,
-        "Experiment Stream",
-        "umass-nets",
-        SimDuration::from_secs_f64(scenario.video_secs),
-        scenario.copyrighted,
-    ));
-    let mut service = YoutubeService::new(
-        scenario.seed ^ 0x5e21_11ce,
-        catalog,
-        scenario.service.clone(),
-    );
-    let format = msim_youtube::by_itag(scenario.itag).expect("known itag");
-    let bytes_per_sec = format.bytes_per_sec();
-    let total_bytes = format
-        .size_for(SimDuration::from_secs_f64(scenario.video_secs))
-        .as_u64();
-
-    // --- Links & connections ---------------------------------------------
-    let n_paths = scenario.paths.len();
-    let mut links: Vec<Link> = Vec::with_capacity(n_paths);
-    for setup in &scenario.paths {
-        let mut link = setup.profile.build(&mut rng);
-        if let Some(outages) = &setup.outages {
-            link = link.with_outages(outages.clone());
-        }
-        links.push(link);
-    }
-    let mut conns: Vec<Option<TcpConnection>> = (0..n_paths).map(|_| None).collect();
-    let tls = TlsTimingModel::default();
-
-    // --- Bootstrap each path (§3.2 + Fig. 1 + footnote 1) ----------------
-    let mut paths: Vec<PathRt> = Vec::with_capacity(n_paths);
-    let mut ready_times: Vec<SimTime> = Vec::with_capacity(n_paths);
-    for (i, setup) in scenario.paths.iter().enumerate() {
-        let network = setup.network;
-        let client_ip = client_ip_for(network).to_string();
-        let mut resolver = DnsResolver::new(network);
-        let rtt = links[i].base_rtt();
-        let t0 = SimTime::ZERO;
-
-        // DNS for the proxy.
-        let (_proxy_ans, dns_done) = resolver
-            .resolve(service.zone(), PROXY_DOMAIN, t0, rtt)
-            .expect("proxy resolvable");
-        // HTTPS + OAuth + JSON (ψ + OAuth).
-        let proxy_latency = service.proxy(network).json_ready_after(rtt);
-        let json_done = dns_done + proxy_latency;
-        let json = service
-            .watch_request(network, video_id, &client_ip, json_done)
-            .expect("watch request succeeds");
-        let info = parse_video_info(&json).expect("well-formed JSON");
-        // JSON decode on the client.
-        let mut t = json_done + SimDuration::from_millis(2);
-        // Copyrighted: fetch the video web page carrying the decoder
-        // (footnote 1) — a real ~300 KB transfer on a fresh connection to
-        // the proxy, expensive on the high-RTT path — then decipher.
-        let signature = if let Some(enc) = &info.enciphered_sig {
-            let mut page_conn = TcpConnection::new(setup.profile.tcp_config());
-            let page_start = page_conn.connect(&mut links[i], t + tls.eta(rtt).saturating_sub(rtt));
-            let page = page_conn.request(&mut links[i], page_start, ByteSize::kb(300));
-            t = page.completed_at + SimDuration::from_millis(3);
-            Some(service.decoder_page().decipher(enc))
-        } else {
-            None
-        };
-        // DNS for the chosen video server.
-        let domains = info.server_domains.clone();
-        let (ans, dns2_done) = resolver
-            .resolve(service.zone(), &domains[0], t, rtt)
-            .expect("server resolvable");
-        let server_addr = ans.addrs[0];
-        // HTTPS to the video server: η minus the TCP round the connection
-        // model charges itself.
-        let tls_extra = tls.eta(rtt).saturating_sub(rtt);
-        let connect_start = dns2_done + tls_extra;
-        let mut conn = TcpConnection::new(setup.profile.tcp_config());
-        if let Some(pace) = service.server(server_addr).and_then(|s| s.pace()) {
-            conn = conn.with_server_pacing(pace.burst, pace.rate);
-        }
-        let ready = conn.connect(&mut links[i], connect_start);
-        conns[i] = Some(conn);
-        if let Some(s) = service.server_mut(server_addr) {
-            s.begin_session();
-        }
-        ready_times.push(ready);
-        paths.push(PathRt {
-            client_ip,
-            tcp_config: setup.profile.tcp_config(),
-            resolver,
-            info: Some(info),
-            signature,
-            domains,
-            current_server: 0,
-            server_addr,
-            down: false,
-        });
-    }
-
-    // Optional server-failure injection on a path's primary server.
-    if let Some(failure) = scenario.server_failure {
-        if failure.path < paths.len() {
-            let addr = paths[failure.path].server_addr;
-            service.fail_server(addr, failure.from, failure.until);
+impl SessionHost {
+    /// Builds the host: assembles the service topology and resolves the
+    /// video format once.
+    pub fn new(spec: ServiceSpec) -> SessionHost {
+        let video_id = VideoId::new("qjT4T2gU9sM").expect("static id");
+        let mut catalog = Catalog::new();
+        catalog.add(Video::new(
+            video_id,
+            "Experiment Stream",
+            "umass-nets",
+            SimDuration::from_secs_f64(spec.video_secs),
+            spec.copyrighted,
+        ));
+        let service = YoutubeService::new(HOST_SERVICE_SEED, catalog, spec.service.clone());
+        let format = msim_youtube::by_itag(spec.itag).expect("known itag");
+        let bytes_per_sec = format.bytes_per_sec();
+        let total_bytes = format
+            .size_for(SimDuration::from_secs_f64(spec.video_secs))
+            .as_u64();
+        SessionHost {
+            spec,
+            service,
+            video_id,
+            bytes_per_sec,
+            total_bytes,
+            tls: TlsTimingModel::default(),
+            actions: Vec::with_capacity(8),
+            boot_cache: BTreeMap::new(),
         }
     }
 
-    // --- Player & event loop ----------------------------------------------
-    let mut player = Player::new(
-        scenario.player.clone(),
-        total_bytes,
-        bytes_per_sec,
-        SimTime::ZERO,
-    );
-    // Pending events stay small: at most one chunk completion or error per
-    // path, plus a tick and recovery timers. 16 slots covers every scenario
-    // without a single reallocation.
-    let mut queue: EventQueue<Ev> = EventQueue::with_capacity(16);
-    if scenario.player.head_start {
-        for (i, &ready) in ready_times.iter().enumerate() {
-            queue.push(ready, Ev::PathReady(i));
-        }
-    } else {
-        // All paths wait for the slowest bootstrap (ablation mode).
-        let latest = ready_times
+    /// The service spec this host was built from.
+    pub fn service_spec(&self) -> &ServiceSpec {
+        &self.spec
+    }
+
+    /// Runs one session to completion over the warmed service.
+    pub fn run(&mut self, spec: &SessionSpec) -> Result<SessionMetrics, SessionSpecError> {
+        spec.validate()?;
+        Ok(self.run_validated(spec.seed, spec))
+    }
+
+    /// Runs the same session shape over many seeds, validating once.
+    /// The result at position `i` is bit-identical to
+    /// `self.run(&spec.with_seed(seeds[i]))`.
+    pub fn run_batch(
+        &mut self,
+        seeds: &[u64],
+        spec: &SessionSpec,
+    ) -> Result<Vec<SessionMetrics>, SessionSpecError> {
+        spec.validate()?;
+        Ok(seeds
             .iter()
-            .copied()
-            .fold(SimTime::ZERO, SimTime::max);
-        for i in 0..n_paths {
-            queue.push(latest, Ev::PathReady(i));
-        }
+            .map(|&seed| self.run_validated(seed, spec))
+            .collect())
     }
 
-    let deadline = SimTime::ZERO + MAX_SESSION;
-    // One action buffer for the whole session: `handle_into` appends and
-    // the dispatch loop drains, so the hot loop never allocates.
-    let mut actions: Vec<PlayerAction> = Vec::with_capacity(8);
-    let mut events: u64 = 0;
-    while let Some((now, ev)) = queue.pop() {
-        if now > deadline {
-            break;
+    /// The session body. `spec` must already be validated.
+    fn run_validated(&mut self, seed: u64, spec: &SessionSpec) -> SessionMetrics {
+        // Per-session mutable service state back to pristine: load counts
+        // and failure plans. Everything else on the service is immutable
+        // topology or timing-neutral strings.
+        self.service.reset_sessions();
+        self.actions.clear();
+
+        let mut rng = Prng::new(seed);
+        let n_paths = spec.paths.len();
+
+        // --- Links & connections -------------------------------------------
+        let mut links: Vec<Link> = Vec::with_capacity(n_paths);
+        for setup in &spec.paths {
+            let mut link = setup.profile.build(&mut rng);
+            if let Some(outages) = &setup.outages {
+                link = link.with_outages(outages.clone());
+            }
+            links.push(link);
         }
-        events += 1;
-        let player_event = match ev {
-            Ev::PathReady(p) => PlayerEvent::PathReady { path: p },
-            Ev::ChunkDone {
-                path,
-                index,
-                bytes,
-                requested_at,
-                first_byte_at,
-            } => PlayerEvent::ChunkComplete {
-                path,
-                index,
-                bytes,
-                requested_at,
-                first_byte_at,
-            },
-            Ev::ChunkError {
-                path,
-                reason,
-                link_down,
-            } => {
-                if link_down {
-                    PlayerEvent::PathDown { path }
-                } else {
-                    PlayerEvent::ChunkFailed { path, reason }
+        let mut conns: Vec<Option<TcpConnection>> = (0..n_paths).map(|_| None).collect();
+
+        // --- Bootstrap each path (§3.2 + Fig. 1 + footnote 1) --------------
+        let mut paths: Vec<PathRt> = Vec::with_capacity(n_paths);
+        let mut ready_times: Vec<SimTime> = Vec::with_capacity(n_paths);
+        for (i, setup) in spec.paths.iter().enumerate() {
+            let network = setup.network;
+            let client_ip = client_ip_for(network);
+            let mut resolver = DnsResolver::new(network);
+            let rtt = links[i].base_rtt();
+            let t0 = SimTime::ZERO;
+
+            // DNS for the proxy.
+            let (_proxy_ans, dns_done) = resolver
+                .resolve(self.service.zone(), PROXY_DOMAIN, t0, rtt)
+                .expect("proxy resolvable");
+            // HTTPS + OAuth + JSON (ψ + OAuth).
+            let proxy_latency = self.service.proxy(network).json_ready_after(rtt);
+            let json_done = dns_done + proxy_latency;
+            // The bootstrap *content* (decoded JSON + deciphered signature)
+            // is a pure function of (network, json_done) while the network
+            // is idle — serve it from the host cache when possible. The
+            // bootstrap *timing* below is charged per session regardless.
+            let cache_key = (network, json_done);
+            let idle = self.service.network_is_idle(network);
+            let boot = match self.boot_cache.get(&cache_key) {
+                Some(cached) if idle => std::sync::Arc::clone(cached),
+                _ => {
+                    let json = self
+                        .service
+                        .watch_request(network, self.video_id, client_ip, json_done)
+                        .expect("watch request succeeds");
+                    let info = parse_video_info(&json).expect("well-formed JSON");
+                    let signature = info
+                        .enciphered_sig
+                        .as_ref()
+                        .map(|enc| self.service.decoder_page().decipher(enc));
+                    let boot = std::sync::Arc::new(PathBootstrap { info, signature });
+                    if idle {
+                        self.boot_cache
+                            .insert(cache_key, std::sync::Arc::clone(&boot));
+                    }
+                    boot
+                }
+            };
+            // JSON decode on the client.
+            let mut t = json_done + SimDuration::from_millis(2);
+            // Copyrighted: fetch the video web page carrying the decoder
+            // (footnote 1) — a real ~300 KB transfer on a fresh connection to
+            // the proxy, expensive on the high-RTT path — then decipher.
+            if boot.info.enciphered_sig.is_some() {
+                let mut page_conn = TcpConnection::new(setup.profile.tcp_config());
+                let page_start =
+                    page_conn.connect(&mut links[i], t + self.tls.eta(rtt).saturating_sub(rtt));
+                let page = page_conn.request(&mut links[i], page_start, ByteSize::kb(300));
+                t = page.completed_at + SimDuration::from_millis(3);
+            }
+            // DNS for the chosen video server.
+            let (ans, dns2_done) = resolver
+                .resolve(self.service.zone(), &boot.info.server_domains[0], t, rtt)
+                .expect("server resolvable");
+            let server_addr = ans.addrs[0];
+            // HTTPS to the video server: η minus the TCP round the connection
+            // model charges itself.
+            let tls_extra = self.tls.eta(rtt).saturating_sub(rtt);
+            let connect_start = dns2_done + tls_extra;
+            let mut conn = TcpConnection::new(setup.profile.tcp_config());
+            if let Some(pace) = self.service.server(server_addr).and_then(|s| s.pace()) {
+                conn = conn.with_server_pacing(pace.burst, pace.rate);
+            }
+            let ready = conn.connect(&mut links[i], connect_start);
+            conns[i] = Some(conn);
+            if let Some(s) = self.service.server_mut(server_addr) {
+                s.begin_session();
+            }
+            ready_times.push(ready);
+            paths.push(PathRt {
+                client_ip,
+                tcp_config: setup.profile.tcp_config(),
+                resolver,
+                boot,
+                current_server: 0,
+                server_addr,
+                down: false,
+            });
+        }
+
+        // Server-failure injections, grouped per target server so storms
+        // may stack several windows on one address.
+        if !spec.server_failures.is_empty() {
+            let mut windows: BTreeMap<Ipv4Addr, Vec<(SimTime, SimTime)>> = BTreeMap::new();
+            for failure in &spec.server_failures {
+                windows
+                    .entry(paths[failure.path].server_addr)
+                    .or_default()
+                    .push((failure.from, failure.until));
+            }
+            for (addr, w) in windows {
+                self.service.fail_server_windows(addr, w);
+            }
+        }
+
+        // --- Player & event loop -------------------------------------------
+        let mut player = Player::multi(
+            spec.player.clone(),
+            n_paths,
+            self.total_bytes,
+            self.bytes_per_sec,
+            SimTime::ZERO,
+        );
+        // Pending events stay small: at most one chunk completion or error
+        // per path, plus a tick and recovery timers.
+        let mut queue: EventQueue<Ev> = EventQueue::with_capacity(16.max(2 * n_paths));
+        if spec.player.head_start {
+            for (i, &ready) in ready_times.iter().enumerate() {
+                queue.push(ready, Ev::PathReady(i));
+            }
+        } else {
+            // All paths wait for the slowest bootstrap (ablation mode).
+            let latest = ready_times
+                .iter()
+                .copied()
+                .fold(SimTime::ZERO, SimTime::max);
+            for i in 0..n_paths {
+                queue.push(latest, Ev::PathReady(i));
+            }
+        }
+
+        let deadline = SimTime::ZERO + MAX_SESSION;
+        let actions = &mut self.actions;
+        let mut events: u64 = 0;
+        while let Some((now, ev)) = queue.pop() {
+            if now > deadline {
+                break;
+            }
+            events += 1;
+            let player_event = match ev {
+                Ev::PathReady(p) => PlayerEvent::PathReady { path: p },
+                Ev::ChunkDone {
+                    path,
+                    index,
+                    bytes,
+                    requested_at,
+                    first_byte_at,
+                } => PlayerEvent::ChunkComplete {
+                    path,
+                    index,
+                    bytes,
+                    requested_at,
+                    first_byte_at,
+                },
+                Ev::ChunkError {
+                    path,
+                    reason,
+                    link_down,
+                } => {
+                    if link_down {
+                        PlayerEvent::PathDown { path }
+                    } else {
+                        PlayerEvent::ChunkFailed { path, reason }
+                    }
+                }
+                Ev::PathRecover(p) => {
+                    paths[p].down = false;
+                    PlayerEvent::PathRestored { path: p }
+                }
+                Ev::Tick => PlayerEvent::Tick,
+            };
+            player.handle_into(now, player_event, actions);
+            for action in actions.drain(..) {
+                match action {
+                    PlayerAction::Fetch { assignment } => {
+                        dispatch_fetch(
+                            &mut self.service,
+                            &mut links,
+                            &mut conns,
+                            &mut paths,
+                            &mut queue,
+                            self.video_id,
+                            now,
+                            assignment,
+                        );
+                    }
+                    PlayerAction::Failover { path } => {
+                        dispatch_failover(
+                            &mut self.service,
+                            &mut links,
+                            &mut conns,
+                            &mut paths,
+                            &mut queue,
+                            &self.tls,
+                            now,
+                            path,
+                        );
+                    }
+                    PlayerAction::ScheduleTick { at } => {
+                        queue.push(at.max(now), Ev::Tick);
+                    }
                 }
             }
-            Ev::PathRecover(p) => {
-                paths[p].down = false;
-                PlayerEvent::PathRestored { path: p }
-            }
-            Ev::Tick => PlayerEvent::Tick,
-        };
-        player.handle_into(now, player_event, &mut actions);
-        for action in actions.drain(..) {
-            match action {
-                PlayerAction::Fetch { assignment } => {
-                    dispatch_fetch(
-                        &mut service,
-                        &mut links,
-                        &mut conns,
-                        &mut paths,
-                        &mut queue,
-                        video_id,
-                        now,
-                        assignment,
-                    );
-                }
-                PlayerAction::Failover { path } => {
-                    dispatch_failover(
-                        &mut service,
-                        &mut links,
-                        &mut conns,
-                        &mut paths,
-                        &mut queue,
-                        &tls,
-                        now,
-                        path,
-                    );
-                }
-                PlayerAction::ScheduleTick { at } => {
-                    queue.push(at.max(now), Ev::Tick);
-                }
+            // Stop conditions.
+            let stop = match spec.stop {
+                StopCondition::PrebufferDone => player.prebuffer_done(),
+                StopCondition::AfterRefills(n) => player.refill_count() >= n,
+                StopCondition::DownloadComplete => player.download_complete(),
+                StopCondition::AtTime(t) => now >= t,
+            };
+            if stop {
+                let mut m = player.into_metrics(now);
+                m.events = events;
+                return m;
             }
         }
-        // Stop conditions.
-        let stop = match scenario.stop {
-            StopCondition::PrebufferDone => player.prebuffer_done(),
-            StopCondition::AfterRefills(n) => player.refill_count() >= n,
-            StopCondition::DownloadComplete => player.download_complete(),
-            StopCondition::AtTime(t) => now >= t,
-        };
-        if stop {
-            let mut m = player.into_metrics(now);
-            m.events = events;
-            return m;
-        }
+        let end = queue.now();
+        let mut m = player.into_metrics(end);
+        m.events = events;
+        m
     }
-    let end = queue.now();
-    let mut m = player.into_metrics(end);
-    m.events = events;
-    m
+}
+
+/// Runs one scenario to completion and returns its metrics.
+///
+/// Compatibility shim over a one-shot [`SessionHost`]: builds the host from
+/// the scenario's [`ServiceSpec`], runs its [`SessionSpec`], and panics on
+/// an invalid spec (batch users get the [`SessionSpecError`] instead).
+pub fn run_session(scenario: &Scenario) -> SessionMetrics {
+    let mut host = SessionHost::new(scenario.service_spec());
+    match host.run(&scenario.session_spec()) {
+        Ok(metrics) => metrics,
+        Err(err) => panic!("invalid scenario: {err}"),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -483,15 +829,14 @@ fn dispatch_fetch(
 ) {
     let p = assignment.path;
     let rt = &mut paths[p];
-    let info = rt.info.as_ref().expect("fetch before bootstrap");
     // Server-side admission (token, signature, failure windows).
     let admission = service.check_range_request(
         rt.server_addr,
         now,
         video_id,
-        &rt.client_ip,
-        &info.token,
-        rt.signature.as_deref(),
+        rt.client_ip,
+        &rt.boot.info.token,
+        rt.boot.signature.as_deref(),
     );
     if let Err(status) = admission {
         // The error response costs one round trip.
@@ -563,8 +908,8 @@ fn dispatch_failover(
     // Next replica in this network's list (§2: "If a server in a network
     // fails or is overloaded, MSPlayer switches to another server in that
     // network and resumes video streaming").
-    rt.current_server = (rt.current_server + 1) % rt.domains.len();
-    let domain = rt.domains[rt.current_server].clone();
+    rt.current_server = (rt.current_server + 1) % rt.boot.info.server_domains.len();
+    let domain = rt.boot.info.server_domains[rt.current_server].clone();
     let rtt = links[path].base_rtt();
     let (ans, dns_done) = rt
         .resolver
@@ -716,7 +1061,7 @@ mod tests {
             PlayerConfig::commercial_single_path(ByteSize::kb(256)).with_prebuffer_secs(10.0),
         ));
         assert!(m.prebuffer_done_at.is_some());
-        assert_eq!(m.chunk_count(1), 0, "no second path");
+        assert_eq!(m.num_paths(), 1, "one per-path slot");
     }
 
     #[test]
@@ -743,5 +1088,100 @@ mod tests {
             wifi_frac > 0.3,
             "wifi carries substantial traffic: {wifi_frac}"
         );
+    }
+
+    #[test]
+    fn three_path_session_uses_all_paths() {
+        let m = run_session(&Scenario::testbed_three_path(31, quick_player()));
+        assert!(m.prebuffer_done_at.is_some(), "prebuffer completes");
+        assert_eq!(m.num_paths(), 3);
+        for path in 0..3 {
+            assert!(m.chunk_count(path) > 0, "path {path} carried chunks");
+        }
+        // All three phases' traffic fractions sum to 1.
+        let total: f64 = (0..3)
+            .filter_map(|p| m.traffic_fraction(p, crate::metrics::TrafficPhase::PreBuffering))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9, "fractions sum to 1: {total}");
+    }
+
+    #[test]
+    fn host_batch_matches_individual_runs() {
+        let scenario = Scenario::testbed_msplayer(0, quick_player());
+        let mut host = SessionHost::new(scenario.service_spec());
+        let spec = scenario.session_spec();
+        let seeds = [3u64, 14, 15, 92];
+        let batch = host.run_batch(&seeds, &spec).expect("valid spec");
+        for (i, &seed) in seeds.iter().enumerate() {
+            let single = run_session(&Scenario::testbed_msplayer(seed, quick_player()));
+            assert_eq!(batch[i], single, "seed {seed} diverged in batch");
+        }
+    }
+
+    #[test]
+    fn spec_validation_catches_bad_specs() {
+        let scenario = Scenario::testbed_msplayer(1, quick_player());
+        let mut host = SessionHost::new(scenario.service_spec());
+
+        let mut spec = scenario.session_spec();
+        spec.paths.clear();
+        assert_eq!(host.run(&spec), Err(SessionSpecError::NoPaths));
+
+        let mut spec = scenario.session_spec();
+        spec.server_failures.push(ServerFailure {
+            path: 5,
+            from: SimTime::from_secs(1),
+            until: SimTime::from_secs(2),
+        });
+        assert_eq!(
+            host.run(&spec),
+            Err(SessionSpecError::FailurePathOutOfRange {
+                path: 5,
+                n_paths: 2
+            })
+        );
+
+        let mut spec = scenario.session_spec();
+        spec.server_failures.push(ServerFailure {
+            path: 0,
+            from: SimTime::from_secs(2),
+            until: SimTime::from_secs(2),
+        });
+        assert!(matches!(
+            host.run(&spec),
+            Err(SessionSpecError::InvalidFailureWindow { .. })
+        ));
+
+        let mut spec = scenario.session_spec();
+        spec.player.delta = 2.0;
+        assert!(matches!(
+            host.run(&spec),
+            Err(SessionSpecError::InvalidPlayer(_))
+        ));
+    }
+
+    #[test]
+    fn failure_storm_on_two_paths_survives() {
+        let scenario = Scenario::testbed_msplayer(7, quick_player());
+        let mut host = SessionHost::new(scenario.service_spec());
+        let mut spec = scenario
+            .session_spec()
+            .with_stop(StopCondition::AfterRefills(1));
+        spec.server_failures = vec![
+            ServerFailure {
+                path: 0,
+                from: SimTime::from_secs(2),
+                until: SimTime::from_secs(40),
+            },
+            ServerFailure {
+                path: 1,
+                from: SimTime::from_secs(5),
+                until: SimTime::from_secs(45),
+            },
+        ];
+        let m = host.run(&spec).expect("valid spec");
+        let total_failovers: u32 = m.failovers.iter().sum();
+        assert!(total_failovers >= 1, "storm triggered failovers");
+        assert!(m.prebuffer_done_at.is_some(), "session survived the storm");
     }
 }

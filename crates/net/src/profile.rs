@@ -198,6 +198,37 @@ impl PathProfile {
         }
     }
 
+    /// Wired campus ethernet attachment (the third path of the N-path
+    /// scenarios): lower RTT and variance than either wireless path, a
+    /// modest mean rate (shared access switch), shallow buffers.
+    pub fn ethernet_testbed() -> Self {
+        PathProfile {
+            name: "eth-testbed",
+            mean_rate: BitRate::mbps(9.4),
+            rate_std_frac: 0.03,
+            rate_tau_secs: 10.0,
+            bursts: Some(BurstParams {
+                mean_interarrival_secs: 6.0,
+                mean_duration_secs: 0.2,
+                shape: 1.3,
+                cap: 4.0,
+                down_cap: 1.8,
+                up_prob: 0.85,
+            }),
+            markov: Some(MarkovParams {
+                bad_mult: 0.90,
+                mean_good_secs: 30.0,
+                mean_bad_secs: 2.0,
+            }),
+            base_rtt: SimDuration::from_millis(12),
+            rtt_jitter_frac: 0.06,
+            random_loss_per_round: 0.001,
+            min_rate_frac: 0.25,
+            max_rate_frac: 1.8,
+            queue_bdp_factor: 0.8,
+        }
+    }
+
     /// A deliberately stable link, useful in unit tests and the quickstart.
     pub fn stable(mean_mbps: f64, rtt_ms: u64) -> Self {
         PathProfile {

@@ -25,17 +25,21 @@ pub enum Network {
     Wifi,
     /// Cellular LTE.
     Cellular,
+    /// Wired ethernet (campus/office attachment; the third path of the
+    /// N-path scenarios — mHTTP's "more than two" sources).
+    Ethernet,
 }
 
 impl Network {
-    /// Both networks, WiFi first (the usual fast path).
-    pub const ALL: [Network; 2] = [Network::Wifi, Network::Cellular];
+    /// Every modelled network, WiFi first (the usual fast path).
+    pub const ALL: [Network; 3] = [Network::Wifi, Network::Cellular, Network::Ethernet];
 
     /// Short name used in domains and reports.
     pub fn name(&self) -> &'static str {
         match self {
             Network::Wifi => "wifi",
             Network::Cellular => "lte",
+            Network::Ethernet => "eth",
         }
     }
 }

@@ -133,6 +133,14 @@ impl VideoServer {
         self.active_sessions = self.active_sessions.saturating_sub(1);
     }
 
+    /// Clears all per-session state (load and failure plan), returning the
+    /// server to the state it had straight out of [`VideoServer::new`]
+    /// modulo its static topology and pacing config.
+    pub fn reset_session_state(&mut self) {
+        self.active_sessions = 0;
+        self.failure = FailurePlan::none();
+    }
+
     /// Is the server inside a failure window at `t`?
     pub fn is_failed(&self, t: SimTime) -> bool {
         self.failure.is_failed(t)

@@ -56,6 +56,7 @@ fn subnet_base(network: Network) -> [u8; 2] {
     match network {
         Network::Wifi => [128, 119], // UMass-style subnet
         Network::Cellular => [172, 16],
+        Network::Ethernet => [192, 88], // wired campus attachment
     }
 }
 
@@ -148,11 +149,43 @@ impl YoutubeService {
         self.servers.iter().find(|s| s.domain == domain)
     }
 
+    /// True when no server in `network` carries an active session — the
+    /// precondition under which a watch request's JSON is a pure function
+    /// of `(network, client_ip, now)` (load-aware server ordering cannot
+    /// differ), which is what lets session hosts cache bootstrap results.
+    pub fn network_is_idle(&self, network: Network) -> bool {
+        self.servers
+            .iter()
+            .filter(|s| s.network == network)
+            .all(|s| s.load() == 0)
+    }
+
     /// Injects a failure window into the server at `addr` (replaces any
     /// previous plan — scenarios inject one plan each).
     pub fn fail_server(&mut self, addr: Ipv4Addr, from: SimTime, until: SimTime) {
         if let Some(s) = self.server_mut(addr) {
             s.set_failures(FailurePlan::windows(vec![(from, until)]));
+        }
+    }
+
+    /// Installs a multi-window failure plan on the server at `addr`
+    /// (failure-storm scenarios inject several windows per server).
+    pub fn fail_server_windows(&mut self, addr: Ipv4Addr, windows: Vec<(SimTime, SimTime)>) {
+        if let Some(s) = self.server_mut(addr) {
+            s.set_failures(FailurePlan::windows(windows));
+        }
+    }
+
+    /// Returns the service to its pre-session state: every server's load
+    /// and failure plan is cleared. [`SessionHost`] calls this between
+    /// batched sessions so a warmed service behaves exactly like a freshly
+    /// assembled one (DNS zone, cipher, and signature cache are immutable
+    /// or content-only and are deliberately kept).
+    ///
+    /// [`SessionHost`]: ../../msplayer_core/sim/struct.SessionHost.html
+    pub fn reset_sessions(&mut self) {
+        for s in &mut self.servers {
+            s.reset_session_state();
         }
     }
 

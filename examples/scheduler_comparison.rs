@@ -1,12 +1,18 @@
 //! Compare the three chunk schedulers of §3.3 (Ratio baseline, DCSA+EWMA,
 //! DCSA+Harmonic) head-to-head on identical seeded link conditions.
 //!
+//! Showcases the batch API: one [`SessionHost`] is built per service
+//! profile and every (scheduler × chunk × seed) cell runs over it via
+//! [`SessionHost::run_batch`] — the control-plane bootstrap is paid once,
+//! not `schedulers × chunks × seeds` times, and results are bit-identical
+//! to independent `run_session` calls.
+//!
 //! ```sh
 //! cargo run --release --example scheduler_comparison
 //! ```
 
 use msplayer::core::config::{PlayerConfig, SchedulerKind};
-use msplayer::core::sim::{run_session, Scenario};
+use msplayer::core::sim::{Scenario, SessionHost, StopCondition};
 use msplayer::simcore::report::Table;
 use msplayer::simcore::stats::{median, Running};
 use msplayer::simcore::units::ByteSize;
@@ -17,6 +23,12 @@ fn main() {
     println!(
         "Scheduler comparison: {prebuffer:.0} s pre-buffer on the emulated testbed, {runs} seeds\n"
     );
+
+    // One warmed host for the whole grid — every cell below shares the
+    // same emulated service.
+    let template = Scenario::testbed_msplayer(0, PlayerConfig::msplayer());
+    let mut host = SessionHost::new(template.service_spec());
+    let seeds: Vec<u64> = (0..runs).collect();
 
     let mut table = Table::new(&[
         "scheduler",
@@ -31,14 +43,17 @@ fn main() {
         SchedulerKind::Ratio,
     ] {
         for chunk_kb in [64u64, 256, 1024] {
+            let cfg = PlayerConfig::msplayer()
+                .with_scheduler(kind)
+                .with_initial_chunk(ByteSize::kb(chunk_kb))
+                .with_prebuffer_secs(prebuffer);
+            let mut spec = Scenario::testbed_msplayer(0, cfg).session_spec();
+            spec.stop = StopCondition::PrebufferDone;
+            let batch = host.run_batch(&seeds, &spec).expect("valid spec");
+
             let mut stats = Running::new();
             let mut samples = Vec::new();
-            for seed in 0..runs {
-                let cfg = PlayerConfig::msplayer()
-                    .with_scheduler(kind)
-                    .with_initial_chunk(ByteSize::kb(chunk_kb))
-                    .with_prebuffer_secs(prebuffer);
-                let m = run_session(&Scenario::testbed_msplayer(seed, cfg));
+            for m in &batch {
                 let t = m.prebuffer_time().expect("completes").as_secs_f64();
                 stats.push(t);
                 samples.push(t);

@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use msim_core::event::fourary::FourAryQueue;
 use msim_core::event::EventQueue;
 use msim_core::rng::Prng;
 use msim_core::time::{SimDuration, SimTime};
@@ -119,6 +120,45 @@ fn bench_event_queue(c: &mut Criterion) {
             let (t, e) = q.pop().expect("queue never drains");
             q.push(
                 t + SimDuration::from_micros(((e as u64 * 7919) % 997) + 1),
+                i,
+            );
+            black_box(t)
+        });
+    });
+    // The near-horizon timer pattern at scale: thousands of pending timers
+    // (many multiplexed sessions), every reschedule within the rolling
+    // horizon. This is the pattern the calendar ring exists for — pops stay
+    // O(1) where a heap pays a full log-depth sift per pop. The `_fourary`
+    // twin runs the identical schedule on the previous single-level 4-ary
+    // heap (the before/after comparator, same precedent as the boxed
+    // scheduler bench).
+    c.bench_function("event_queue/near_horizon_steady_state_4k", |b| {
+        let mut q = EventQueue::<u32>::new();
+        for i in 0..4096u32 {
+            q.push(SimTime::from_micros(i as u64 * 211 + 1_000_000), i);
+        }
+        let mut i = 4096u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let (t, e) = q.pop().expect("queue never drains");
+            q.push(
+                t + SimDuration::from_micros(((e as u64 * 7919) % 863_557) + 1),
+                i,
+            );
+            black_box(t)
+        });
+    });
+    c.bench_function("event_queue/near_horizon_steady_state_4k_fourary", |b| {
+        let mut q = FourAryQueue::<u32>::new();
+        for i in 0..4096u32 {
+            q.push(SimTime::from_micros(i as u64 * 211 + 1_000_000), i);
+        }
+        let mut i = 4096u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let (t, e) = q.pop().expect("queue never drains");
+            q.push(
+                t + SimDuration::from_micros(((e as u64 * 7919) % 863_557) + 1),
                 i,
             );
             black_box(t)

@@ -1,0 +1,173 @@
+//! `event_queue_bench` — measures the two-level (calendar ring + 4-ary
+//! heap) [`EventQueue`] against the previous single-level 4-ary heap
+//! ([`FourAryQueue`]) on the queue access patterns the simulator produces,
+//! and records `BENCH_event_queue.json` (ns/op per pattern + speedups).
+//!
+//! The headline gate is the **near-horizon timer pattern** — thousands of
+//! multiplexed pending timers, every reschedule within the rolling horizon
+//! — where the calendar ring pops in O(1) while a heap pays a full
+//! log-depth sift per pop.
+//!
+//! ```sh
+//! MSP_BENCH_DIR=bench_results cargo run --release -p msplayer-bench --bin event_queue_bench
+//! ```
+
+use msim_core::event::fourary::FourAryQueue;
+use msim_core::event::EventQueue;
+use msim_core::time::{SimDuration, SimTime};
+use msplayer_bench::sweep::bench_dir;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured pattern on both implementations.
+struct PatternResult {
+    name: &'static str,
+    hybrid_ns: f64,
+    fourary_ns: f64,
+}
+
+impl PatternResult {
+    fn speedup(&self) -> f64 {
+        self.fourary_ns / self.hybrid_ns.max(1e-9)
+    }
+}
+
+/// Times `f` (which runs `ops` queue operations) a few times and returns
+/// the best ns/op — the standard guardrail measure (minimum over repeats
+/// suppresses scheduler noise).
+fn best_ns_per_op<F: FnMut() -> u64>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..7 {
+        let t0 = Instant::now();
+        let ops = f();
+        let ns = t0.elapsed().as_nanos() as f64 / ops.max(1) as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+/// Generates the shared op schedule so both queues run identical work.
+/// `macro` over the two queue types (no shared trait — the reference impl
+/// stays API-frozen).
+macro_rules! patterns {
+    ($Q:ident) => {{
+        let steady = |pending: u64, ops: u64, modulus: u64| {
+            let mut q = $Q::<u64>::new();
+            for i in 0..pending {
+                q.push(SimTime::from_micros(i * 211 + 1_000_000), i);
+            }
+            move || {
+                for i in 0..ops {
+                    let (t, e) = q.pop().expect("steady state never drains");
+                    q.push(
+                        t + SimDuration::from_micros(((e * 7919) % modulus) + 1),
+                        pending + i,
+                    );
+                    black_box(t);
+                }
+                ops * 2
+            }
+        };
+        let fill_drain = |n: u64| {
+            move || {
+                let mut q = $Q::<u64>::new();
+                for i in 0..n {
+                    q.push(SimTime::from_micros(((i * 7919) % 10_000) + 10_000), i);
+                }
+                while let Some(ev) = q.pop() {
+                    black_box(ev);
+                }
+                n * 2
+            }
+        };
+        let cancel_heavy = |n: u64| {
+            move || {
+                let mut q = $Q::<u64>::new();
+                let mut ids = Vec::with_capacity(n as usize);
+                for i in 0..n {
+                    ids.push(q.push(SimTime::from_micros(((i * 7919) % 10_000) + 10_000), i));
+                }
+                for (k, id) in ids.into_iter().enumerate().rev() {
+                    if k % 3 != 0 {
+                        black_box(q.cancel(id));
+                    }
+                }
+                while let Some(ev) = q.pop() {
+                    black_box(ev);
+                }
+                n * 3
+            }
+        };
+        (
+            best_ns_per_op(steady(4096, 200_000, 863_557)),
+            best_ns_per_op(steady(8, 200_000, 97)),
+            best_ns_per_op(fill_drain(1000)),
+            best_ns_per_op(cancel_heavy(1000)),
+        )
+    }};
+}
+
+fn main() {
+    println!("event_queue_bench: two-level calendar+heap vs single-level 4-ary heap");
+    let (h_near, h_tiny, h_fill, h_cancel) = patterns!(EventQueue);
+    let (f_near, f_tiny, f_fill, f_cancel) = patterns!(FourAryQueue);
+
+    let results = [
+        PatternResult {
+            name: "near_horizon_steady_state_4k",
+            hybrid_ns: h_near,
+            fourary_ns: f_near,
+        },
+        PatternResult {
+            name: "tiny_session_steady_state_8",
+            hybrid_ns: h_tiny,
+            fourary_ns: f_tiny,
+        },
+        PatternResult {
+            name: "fill_drain_1k",
+            hybrid_ns: h_fill,
+            fourary_ns: f_fill,
+        },
+        PatternResult {
+            name: "cancel_heavy_1k",
+            hybrid_ns: h_cancel,
+            fourary_ns: f_cancel,
+        },
+    ];
+
+    let mut patterns_json = Vec::new();
+    for r in &results {
+        println!(
+            "{:<32} hybrid {:>7.1} ns/op   4-ary heap {:>7.1} ns/op   speedup {:>5.2}x",
+            r.name,
+            r.hybrid_ns,
+            r.fourary_ns,
+            r.speedup()
+        );
+        patterns_json.push(
+            msim_json::Value::object()
+                .with("pattern", r.name)
+                .with("hybrid_ns_per_op", r.hybrid_ns)
+                .with("fourary_ns_per_op", r.fourary_ns)
+                .with("speedup", r.speedup()),
+        );
+    }
+
+    let near = &results[0];
+    let json = msim_json::Value::object()
+        .with("name", "event_queue")
+        .with("patterns", msim_json::Value::Array(patterns_json))
+        .with("near_horizon_speedup", near.speedup());
+    let path = bench_dir().join("BENCH_event_queue.json");
+    std::fs::write(&path, msim_json::to_string_pretty(&json)).expect("write bench json");
+    println!("[bench] {}", path.display());
+
+    if near.speedup() < 1.3 {
+        eprintln!(
+            "WARNING: near-horizon speedup {:.2}x below the 1.3x target",
+            near.speedup()
+        );
+    }
+}

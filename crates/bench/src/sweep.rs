@@ -44,6 +44,10 @@ pub struct Cell {
     pub chunk_kb: u64,
     /// Session seed.
     pub seed: u64,
+    /// Interned kind label, shared by every cell of the same
+    /// (workload, scheduler) group — [`Cell::kind`] hands out `&str`
+    /// without allocating per cell.
+    kind: Arc<str>,
 }
 
 /// Cells compare by their determining parameters (workload name + grid
@@ -58,10 +62,30 @@ impl PartialEq for Cell {
 }
 
 impl Cell {
+    /// Builds a cell, interning its kind label. Cells created through
+    /// [`expand_workload`] share one label allocation per
+    /// (workload, scheduler) group.
+    pub fn new(
+        workload: Arc<WorkloadSpec>,
+        scheduler: SchedulerKind,
+        chunk_kb: u64,
+        seed: u64,
+    ) -> Cell {
+        let kind: Arc<str> = kind_label(&workload, scheduler).into();
+        Cell {
+            workload,
+            scheduler,
+            chunk_kb,
+            seed,
+            kind,
+        }
+    }
+
     /// The cell's kind label (`<workload>/<scheduler>`): the grouping key
-    /// for the per-kind timing percentiles in `BENCH_*.json`.
-    pub fn kind(&self) -> String {
-        format!("{}/{}", self.workload.name, self.scheduler.name())
+    /// for the per-kind timing percentiles in `BENCH_*.json`. Borrowed
+    /// from the interned label — no allocation per call.
+    pub fn kind(&self) -> &str {
+        &self.kind
     }
 
     /// Runs this cell's session on a one-shot host. Prefer
@@ -87,11 +111,18 @@ impl Cell {
     }
 }
 
+/// The kind label of a (workload, scheduler) cell group.
+fn kind_label(workload: &WorkloadSpec, scheduler: SchedulerKind) -> String {
+    format!("{}/{}", workload.name, scheduler.name())
+}
+
 /// Expands one workload into its cell list (scheduler → chunk → seed, all
-/// deterministic).
+/// deterministic). The kind label is interned once per scheduler group and
+/// shared by its cells.
 pub fn expand_workload(workload: &Arc<WorkloadSpec>) -> Vec<Cell> {
     let mut out = Vec::new();
     for &scheduler in &workload.schedulers {
+        let kind: Arc<str> = kind_label(workload, scheduler).into();
         for &chunk_kb in &workload.chunk_kb {
             for run in 0..workload.runs {
                 out.push(Cell {
@@ -99,6 +130,7 @@ pub fn expand_workload(workload: &Arc<WorkloadSpec>) -> Vec<Cell> {
                     scheduler,
                     chunk_kb,
                     seed: workload.seed(run),
+                    kind: Arc::clone(&kind),
                 });
             }
         }
@@ -373,10 +405,10 @@ pub fn cell_kind_stats(results: &[CellResult]) -> Vec<CellKindStats> {
     let mut samples: Vec<Vec<f64>> = Vec::new();
     for r in results {
         let kind = r.cell.kind();
-        let idx = match order.iter().position(|k| *k == kind) {
+        let idx = match order.iter().position(|k| k == kind) {
             Some(i) => i,
             None => {
-                order.push(kind);
+                order.push(kind.to_string());
                 samples.push(Vec::new());
                 order.len() - 1
             }

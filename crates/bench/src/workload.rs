@@ -21,7 +21,7 @@ use msim_core::units::ByteSize;
 use msim_net::mobility::OutageSchedule;
 use msim_net::profile::PathProfile;
 use msim_youtube::dns::Network;
-use msplayer_core::config::{PlayerConfig, SchedulerKind};
+use msplayer_core::config::{AbrLadderConfig, PlayerConfig, SchedulerKind};
 use msplayer_core::sim::{PathSetup, ServerFailure, ServiceSpec, SessionSpec, StopCondition};
 use std::sync::Arc;
 
@@ -63,6 +63,9 @@ pub struct WorkloadSpec {
     /// sessions; keep `0` to reproduce the historical Env×Competitor
     /// sweeps bit-for-bit.
     pub seed_salt: u64,
+    /// Optional shadow ABR ladder applied to every cell's player (`None` =
+    /// the paper's fixed-rate player).
+    pub abr: Option<AbrLadderConfig>,
 }
 
 impl std::fmt::Debug for WorkloadSpec {
@@ -78,6 +81,7 @@ impl std::fmt::Debug for WorkloadSpec {
             .field("server_failures", &self.server_failures.len())
             .field("runs", &self.runs)
             .field("seed_salt", &self.seed_salt)
+            .field("abr", &self.abr.is_some())
             .finish()
     }
 }
@@ -90,13 +94,17 @@ impl WorkloadSpec {
 
     /// The player configuration for one cell of this workload.
     pub fn player_config(&self, scheduler: SchedulerKind, chunk_kb: u64) -> PlayerConfig {
-        match self.player {
+        let cfg = match self.player {
             PlayerKind::MsPlayer => PlayerConfig::msplayer()
                 .with_scheduler(scheduler)
                 .with_initial_chunk(ByteSize::kb(chunk_kb)),
             PlayerKind::Commercial => PlayerConfig::commercial_single_path(ByteSize::kb(chunk_kb)),
         }
-        .with_prebuffer_secs(self.prebuffer_secs)
+        .with_prebuffer_secs(self.prebuffer_secs);
+        match self.abr {
+            Some(abr) => cfg.with_abr_ladder(abr),
+            None => cfg,
+        }
     }
 
     /// Validates the workload: non-empty grids and a valid session spec
@@ -181,6 +189,7 @@ impl WorkloadSpec {
             server_failures: Vec::new(),
             runs,
             seed_salt: 0,
+            abr: None,
         }
     }
 
@@ -203,6 +212,7 @@ impl WorkloadSpec {
             server_failures: Vec::new(),
             runs,
             seed_salt: 0x3_9A7_0E7,
+            abr: None,
         }
     }
 
@@ -231,6 +241,7 @@ impl WorkloadSpec {
             server_failures: Vec::new(),
             runs,
             seed_salt: 0x0B_1EE7,
+            abr: None,
         }
     }
 
@@ -263,6 +274,36 @@ impl WorkloadSpec {
             ],
             runs,
             seed_salt: 0x5707_4A11,
+            abr: None,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// ABR-ladder workload: MSPlayer streams through two refill cycles
+    /// with the shadow rate adapter (see
+    /// [`msplayer_core::adaptation`]) deciding a ladder rung every 250 ms.
+    /// This finally wires the `adaptation` module into a sweepable
+    /// workload — and, because every decision is a timer wakeup, its cells
+    /// are the registry's most tick-heavy sessions, exercising the event
+    /// queue's near-horizon calendar path.
+    pub fn abr_ladder(runs: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "abr/ladder".into(),
+            service: ServiceSpec::testbed(),
+            paths: vec![
+                PathSetup::new(PathProfile::wifi_testbed(), Network::Wifi),
+                PathSetup::new(PathProfile::lte_testbed(), Network::Cellular),
+            ],
+            player: PlayerKind::MsPlayer,
+            schedulers: vec![SchedulerKind::Harmonic],
+            chunk_kb: vec![256],
+            prebuffer_secs: 15.0,
+            stop: StopCondition::AfterRefills(2),
+            server_failures: Vec::new(),
+            runs,
+            seed_salt: 0xAB_12AD,
+            abr: Some(AbrLadderConfig::default()),
         }
     }
 }
@@ -308,6 +349,7 @@ impl WorkloadRegistry {
         reg.register(WorkloadSpec::three_path_testbed(runs));
         reg.register(WorkloadSpec::mobility_storm(runs));
         reg.register(WorkloadSpec::server_failure_storm(runs));
+        reg.register(WorkloadSpec::abr_ladder(runs));
         reg
     }
 
@@ -389,12 +431,40 @@ mod tests {
     #[test]
     fn builtin_covers_enums_and_n_path() {
         let reg = WorkloadRegistry::builtin(2);
-        // 2 envs × 3 competitors + 3 new scenarios.
-        assert_eq!(reg.specs().len(), 9);
+        // 2 envs × 3 competitors + 4 new scenarios.
+        assert_eq!(reg.specs().len(), 10);
         assert!(reg.by_name("testbed/MSPlayer").is_some());
         assert!(reg.by_name("youtube/LTE").is_some());
         let three = reg.by_name("testbed3/MSPlayer").unwrap();
         assert_eq!(three.paths.len(), 3);
+        assert!(reg.by_name("abr/ladder").is_some());
+    }
+
+    #[test]
+    fn abr_ladder_workload_produces_decision_traces() {
+        // End-to-end: an abr/ladder cell streams through its refills and
+        // leaves a non-empty, deterministic shadow-ABR decision trace.
+        let w = Arc::new(WorkloadSpec::abr_ladder(1));
+        let cells = crate::sweep::expand_workload(&w);
+        assert_eq!(cells.len(), 1);
+        let a = cells[0].run();
+        let b = cells[0].run();
+        assert_eq!(a.metrics, b.metrics, "deterministic replay");
+        assert!(
+            !a.metrics.abr_switches.is_empty(),
+            "decision trace recorded"
+        );
+        assert!(
+            a.metrics.refills.len() >= 2,
+            "streams through its refill cycles"
+        );
+        // Tick-heavy by construction: decisions every 250 ms dominate the
+        // event count relative to a prebuffer-only session.
+        assert!(
+            a.metrics.events > 200,
+            "periodic decisions make the session tick-heavy: {} events",
+            a.metrics.events
+        );
     }
 
     #[test]

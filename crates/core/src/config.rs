@@ -4,8 +4,35 @@
 //! 20 s (§4); δ = 5 %, α = 0.9, initial chunk 256 KB, Harmonic estimator
 //! (§5.2); two paths, at most one out-of-order chunk (§2).
 
+use crate::adaptation::AdaptationConfig;
 use msim_core::time::SimDuration;
 use msim_core::units::ByteSize;
+
+/// Configuration of the shadow ABR ladder (see
+/// [`crate::adaptation::RateAdapter`]): the player periodically decides
+/// which rung of the itag ladder a DASH-style adapter would stream at,
+/// from the aggregate bandwidth estimate and the buffer level, and records
+/// the decision trace in the session metrics. The simulated stream itself
+/// stays at the session's fixed itag (the paper's pipeline); this is the
+/// §7 "how rate adaption can be integrated with MSPlayer" exploration run
+/// in observer mode — and, operationally, a periodic-timer workload that
+/// keeps the event queue's near-horizon path busy.
+#[derive(Clone, Copy, Debug)]
+pub struct AbrLadderConfig {
+    /// The adapter's rate/buffer rules.
+    pub adaptation: AdaptationConfig,
+    /// Interval between quality decisions (each one is a timer wakeup).
+    pub decision_interval: SimDuration,
+}
+
+impl Default for AbrLadderConfig {
+    fn default() -> Self {
+        AbrLadderConfig {
+            adaptation: AdaptationConfig::default(),
+            decision_interval: SimDuration::from_millis(250),
+        }
+    }
+}
 
 /// How the DCSA fast path rounds the chunk-size multiplier γ.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -95,6 +122,8 @@ pub struct PlayerConfig {
     pub failures_before_switch: u32,
     /// Fast-path γ rounding mode (see [`GammaRounding`]).
     pub gamma_rounding: GammaRounding,
+    /// Optional shadow ABR ladder (`None` = the paper's fixed-rate player).
+    pub abr_ladder: Option<AbrLadderConfig>,
 }
 
 impl Default for PlayerConfig {
@@ -115,6 +144,7 @@ impl Default for PlayerConfig {
             single_request_prebuffer: false,
             failures_before_switch: 1,
             gamma_rounding: GammaRounding::Exact,
+            abr_ladder: None,
         }
     }
 }
@@ -161,6 +191,12 @@ impl PlayerConfig {
         self
     }
 
+    /// Builder-style shadow-ABR-ladder override.
+    pub fn with_abr_ladder(mut self, abr: AbrLadderConfig) -> Self {
+        self.abr_ladder = Some(abr);
+        self
+    }
+
     /// Validates internal consistency.
     pub fn validate(&self) -> Result<(), String> {
         if self.min_chunk.as_u64() == 0 {
@@ -181,6 +217,11 @@ impl PlayerConfig {
         if self.prebuffer_secs <= 0.0 || self.low_watermark_secs < 0.0 || self.rebuffer_secs <= 0.0
         {
             return Err("buffer thresholds must be positive".into());
+        }
+        if let Some(abr) = &self.abr_ladder {
+            if abr.decision_interval.is_zero() {
+                return Err("abr decision interval must be positive".into());
+            }
         }
         Ok(())
     }

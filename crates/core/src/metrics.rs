@@ -1,8 +1,22 @@
 //! Session metrics: everything the paper's tables and figures report.
 
+use crate::adaptation::SwitchReason;
 use crate::buffer::RefillRecord;
 use crate::chunk::PathId;
 use msim_core::time::{SimDuration, SimTime};
+
+/// One shadow-ABR quality decision that selected a (new) ladder rung (see
+/// [`crate::config::AbrLadderConfig`]). The trace records the `Initial`
+/// pick and every rung change; `Hold` decisions are not recorded.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AbrSwitch {
+    /// When the decision was taken.
+    pub at: SimTime,
+    /// The selected format (itag).
+    pub itag: u32,
+    /// Why the adapter moved.
+    pub reason: SwitchReason,
+}
 
 /// Phase tag for per-path traffic accounting (Table 1 splits traffic by
 /// pre-buffering vs re-buffering phase).
@@ -59,6 +73,9 @@ pub struct SessionMetrics {
     /// fill this in; 0 outside the simulator). Feeds the bench harness's
     /// events/sec figure.
     pub events: u64,
+    /// Shadow-ABR decision trace (empty unless the player ran with an
+    /// [`AbrLadderConfig`](crate::config::AbrLadderConfig)).
+    pub abr_switches: Vec<AbrSwitch>,
 }
 
 impl SessionMetrics {

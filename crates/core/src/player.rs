@@ -14,12 +14,14 @@
 //! * per-path failure counting and failover requests;
 //! * per-phase traffic accounting (Table 1) and QoE metrics.
 
+use crate::adaptation::{RateAdapter, SwitchReason};
 use crate::buffer::{BufferPhase, PlayoutBuffer};
 use crate::chunk::{ChunkAssignment, ChunkLedger, PathId};
 use crate::config::PlayerConfig;
-use crate::metrics::{ChunkRecord, SessionMetrics, TrafficPhase};
+use crate::metrics::{AbrSwitch, ChunkRecord, SessionMetrics, TrafficPhase};
 use crate::scheduler::{SchedulerImpl, NUM_PATHS};
-use msim_core::time::SimTime;
+use msim_core::time::{SimDuration, SimTime};
+use msim_core::units::BitRate;
 
 /// Why a chunk transfer failed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,6 +42,16 @@ pub enum PlayerEvent {
     PathReady {
         /// The path in question.
         path: PathId,
+    },
+    /// Several paths became ready at the same instant. Drivers coalesce
+    /// same-timestamp readiness wakeups into one event so the loop pops
+    /// once per instant; handling is equivalent to delivering
+    /// [`PlayerEvent::PathReady`] for each path in order, with one shared
+    /// pump at the end.
+    PathsReady {
+        /// The paths, in the order their individual events would have
+        /// popped.
+        paths: Vec<PathId>,
     },
     /// A chunk completed on `path`.
     ChunkComplete {
@@ -91,7 +103,15 @@ pub enum PlayerAction {
         /// The path to re-home.
         path: PathId,
     },
-    /// Ask for a `Tick` at the given time (buffer self-transition).
+    /// Ask for a `Tick` at the given time (buffer self-transition or ABR
+    /// decision point).
+    ///
+    /// **Coalescing contract:** the player keeps exactly one wakeup
+    /// outstanding — a new `ScheduleTick` *supersedes* any earlier
+    /// undelivered one, so drivers should cancel the previously scheduled
+    /// tick (if it has not fired) and keep only the latest. The player
+    /// re-derives its desired wakeup after every event, so dropping the
+    /// superseded tick can never lose a transition.
     ScheduleTick {
         /// When to tick.
         at: SimTime,
@@ -128,7 +148,19 @@ pub struct Player {
     /// counted in traffic metrics).
     warmed_up: Vec<bool>,
     metrics: SessionMetrics,
-    last_tick_scheduled: Option<SimTime>,
+    /// The wakeup most recently requested via `ScheduleTick` (the single
+    /// outstanding tick under the coalescing contract).
+    last_wake_requested: Option<SimTime>,
+    /// Shadow ABR ladder state, when configured.
+    abr: Option<AbrShadow>,
+}
+
+/// Runtime state of the shadow ABR ladder (see
+/// [`crate::config::AbrLadderConfig`]).
+struct AbrShadow {
+    adapter: RateAdapter,
+    interval: SimDuration,
+    next_decision_at: SimTime,
 }
 
 impl Player {
@@ -164,6 +196,11 @@ impl Player {
             cfg.stall_resume_secs,
         );
         let scheduler = SchedulerImpl::for_paths(&cfg, n_paths);
+        let abr = cfg.abr_ladder.as_ref().map(|abr| AbrShadow {
+            adapter: RateAdapter::new(abr.adaptation, msim_youtube::format::ITAGS.to_vec()),
+            interval: abr.decision_interval,
+            next_decision_at: started_at + abr.decision_interval,
+        });
         Player {
             cfg,
             scheduler,
@@ -174,7 +211,8 @@ impl Player {
             consecutive_failures: vec![0; n_paths],
             warmed_up: vec![false; n_paths],
             metrics: SessionMetrics::for_paths(n_paths, started_at),
-            last_tick_scheduled: None,
+            last_wake_requested: None,
+            abr,
         }
     }
 
@@ -248,6 +286,18 @@ impl Player {
                 debug_assert!(path < self.paths.len());
                 if self.paths[path] == PathState::NotReady {
                     self.paths[path] = PathState::Idle;
+                }
+            }
+            PlayerEvent::PathsReady { paths } => {
+                // Coalesced same-instant readiness: mark every path, pump
+                // once (below). Path order matches the order the individual
+                // events would have popped, so chunk assignment is
+                // unchanged.
+                for path in paths {
+                    debug_assert!(path < self.paths.len());
+                    if self.paths[path] == PathState::NotReady {
+                        self.paths[path] = PathState::Idle;
+                    }
                 }
             }
             PlayerEvent::ChunkComplete {
@@ -361,10 +411,42 @@ impl Player {
                 }
             }
         }
-        // Keep a tick pending for the next buffer self-transition.
-        if let Some(at) = self.buffer.next_event_after(now) {
-            if self.last_tick_scheduled != Some(at) {
-                self.last_tick_scheduled = Some(at);
+        // Shadow ABR ladder: one quality decision per elapsed interval
+        // boundary, from the aggregate estimate and the buffer level.
+        if let Some(abr) = &mut self.abr {
+            if now >= abr.next_decision_at && !self.buffer.finished() {
+                let estimate = self.scheduler.aggregate_estimate_bps().unwrap_or(0.0);
+                let level = self.buffer.level_secs();
+                let before = abr.adapter.current().itag;
+                let (format, reason) = abr.adapter.decide(BitRate::bps(estimate), level);
+                if format.itag != before || matches!(reason, SwitchReason::Initial) {
+                    self.metrics.abr_switches.push(AbrSwitch {
+                        at: now,
+                        itag: format.itag,
+                        reason,
+                    });
+                }
+                while abr.next_decision_at <= now {
+                    abr.next_decision_at += abr.interval;
+                }
+            }
+        }
+        // Keep exactly one wakeup pending: the earlier of the next buffer
+        // self-transition and the next ABR decision. A changed request
+        // supersedes the previous one (the driver cancels it), so stale
+        // wakeups never fire and same-instant requests are pushed once.
+        let buffer_next = self.buffer.next_event_after(now);
+        let abr_next = match &self.abr {
+            Some(abr) if !self.buffer.finished() => Some(abr.next_decision_at),
+            _ => None,
+        };
+        let wake = match (buffer_next, abr_next) {
+            (Some(b), Some(a)) => Some(b.min(a)),
+            (b, a) => b.or(a),
+        };
+        if let Some(at) = wake {
+            if self.last_wake_requested != Some(at) {
+                self.last_wake_requested = Some(at);
                 actions.push(PlayerAction::ScheduleTick { at });
             }
         }

@@ -128,6 +128,27 @@ impl SchedulerImpl {
             SchedulerImpl::Fixed(s) => ChunkScheduler::name(s),
         }
     }
+
+    /// The aggregate (sum-over-paths) bandwidth estimate in bits/s —
+    /// MSPlayer's view of its total capacity, the input a DASH-style rate
+    /// adapter works from (§7 future work; see `crate::adaptation`).
+    /// Unmeasured paths contribute nothing; `None` until any path has an
+    /// estimate (and always for `Fixed`, which estimates nothing).
+    pub fn aggregate_estimate_bps(&self) -> Option<f64> {
+        let fold = |acc: Option<f64>, est: Option<f64>| match (acc, est) {
+            (Some(a), Some(w)) => Some(a + w),
+            (a, w) => a.or(w),
+        };
+        match self {
+            SchedulerImpl::Ratio(s) => s.last.iter().map(|l| l.estimate_bps()).fold(None, fold),
+            SchedulerImpl::Dcsa(s) => s
+                .estimators
+                .iter()
+                .map(|e| e.estimate_bps())
+                .fold(None, fold),
+            SchedulerImpl::Fixed(_) => None,
+        }
+    }
 }
 
 impl ChunkScheduler for SchedulerImpl {

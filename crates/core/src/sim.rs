@@ -426,6 +426,9 @@ const HOST_SERVICE_SEED: u64 = 0x5e21_11ce;
 #[derive(Debug)]
 enum Ev {
     PathReady(usize),
+    /// Several paths ready at the same instant, coalesced into one event
+    /// at push time (pop once per instant instead of once per path).
+    PathsReady(Vec<usize>),
     ChunkDone {
         path: usize,
         index: u64,
@@ -451,11 +454,16 @@ enum Ev {
 /// across sessions (see [`SessionHost`]).
 struct PathBootstrap {
     info: VideoInfo,
-    signature: Option<String>,
+    /// Pre-validated admission for this path's range requests: the token /
+    /// signature checks (including the deciphered signature, for
+    /// copyrighted videos) are time-independent per session, so they are
+    /// performed once here instead of on every chunk (the per-request
+    /// failure-window / overload / expiry checks remain per request; the
+    /// service asserts verdict equivalence).
+    grant: msim_youtube::service::StreamGrant,
 }
 
 struct PathRt {
-    client_ip: &'static str,
     tcp_config: TcpConfig,
     resolver: DnsResolver,
     boot: std::sync::Arc<PathBootstrap>,
@@ -499,6 +507,11 @@ pub struct SessionHost {
     /// Action scratch buffer reused across sessions (and across events
     /// within a session): the hot loop never allocates for actions.
     actions: Vec<PlayerAction>,
+    /// The event queue, owned by the host so batched sessions reuse its
+    /// calendar-bucket / heap / slab storage *and* its adapted bucket
+    /// width. [`EventQueue::reset`] between sessions restores pristine
+    /// semantics; width carry-over affects only speed, never pop order.
+    queue: EventQueue<Ev>,
     /// Cached per-`(network, json_done)` bootstrap content. Valid only
     /// when the network is idle at watch time (always true for bootstraps
     /// on distinct networks; same-network multi-path sessions bypass the
@@ -533,6 +546,7 @@ impl SessionHost {
             total_bytes,
             tls: TlsTimingModel::default(),
             actions: Vec::with_capacity(8),
+            queue: EventQueue::with_capacity(16),
             boot_cache: BTreeMap::new(),
         }
     }
@@ -620,7 +634,16 @@ impl SessionHost {
                         .enciphered_sig
                         .as_ref()
                         .map(|enc| self.service.decoder_page().decipher(enc));
-                    let boot = std::sync::Arc::new(PathBootstrap { info, signature });
+                    // Pre-validate the per-session admission checks once;
+                    // every range request then pays only the per-request
+                    // (failure-window / overload / expiry) half.
+                    let grant = self.service.grant_stream(
+                        self.video_id,
+                        client_ip,
+                        &info.token,
+                        signature.as_deref(),
+                    );
+                    let boot = std::sync::Arc::new(PathBootstrap { info, grant });
                     if idle {
                         self.boot_cache
                             .insert(cache_key, std::sync::Arc::clone(&boot));
@@ -660,7 +683,6 @@ impl SessionHost {
             }
             ready_times.push(ready);
             paths.push(PathRt {
-                client_ip,
                 tcp_config: setup.profile.tcp_config(),
                 resolver,
                 boot,
@@ -694,26 +716,51 @@ impl SessionHost {
             SimTime::ZERO,
         );
         // Pending events stay small: at most one chunk completion or error
-        // per path, plus a tick and recovery timers.
-        let mut queue: EventQueue<Ev> = EventQueue::with_capacity(16.max(2 * n_paths));
+        // per path, plus a tick and recovery timers. The queue's storage
+        // (and adapted bucket width) is reused across the host's sessions.
+        self.queue.reset();
+        self.queue.reserve(16.max(2 * n_paths));
+        let queue = &mut self.queue;
+        // Same-instant readiness wakeups coalesce into one event: group the
+        // ready times (ascending, stable in path order) and push one event
+        // per distinct instant.
+        let push_ready_group = |queue: &mut EventQueue<Ev>, at: SimTime, group: &[usize]| {
+            if group.len() == 1 {
+                queue.push(at, Ev::PathReady(group[0]));
+            } else {
+                queue.push(at, Ev::PathsReady(group.to_vec()));
+            }
+        };
         if spec.player.head_start {
-            for (i, &ready) in ready_times.iter().enumerate() {
-                queue.push(ready, Ev::PathReady(i));
+            let mut order: Vec<usize> = (0..n_paths).collect();
+            order.sort_by_key(|&i| (ready_times[i], i));
+            let mut i = 0;
+            while i < n_paths {
+                let at = ready_times[order[i]];
+                let mut j = i + 1;
+                while j < n_paths && ready_times[order[j]] == at {
+                    j += 1;
+                }
+                push_ready_group(queue, at, &order[i..j]);
+                i = j;
             }
         } else {
-            // All paths wait for the slowest bootstrap (ablation mode).
+            // All paths wait for the slowest bootstrap (ablation mode):
+            // one coalesced wakeup for the whole path set.
             let latest = ready_times
                 .iter()
                 .copied()
                 .fold(SimTime::ZERO, SimTime::max);
-            for i in 0..n_paths {
-                queue.push(latest, Ev::PathReady(i));
-            }
+            let all: Vec<usize> = (0..n_paths).collect();
+            push_ready_group(queue, latest, &all);
         }
 
         let deadline = SimTime::ZERO + MAX_SESSION;
         let actions = &mut self.actions;
         let mut events: u64 = 0;
+        // The single outstanding tick (ScheduleTick coalescing contract:
+        // the latest request supersedes any undelivered earlier one).
+        let mut pending_tick: Option<(SimTime, msim_core::event::EventId)> = None;
         while let Some((now, ev)) = queue.pop() {
             if now > deadline {
                 break;
@@ -721,6 +768,7 @@ impl SessionHost {
             events += 1;
             let player_event = match ev {
                 Ev::PathReady(p) => PlayerEvent::PathReady { path: p },
+                Ev::PathsReady(paths) => PlayerEvent::PathsReady { paths },
                 Ev::ChunkDone {
                     path,
                     index,
@@ -749,7 +797,10 @@ impl SessionHost {
                     paths[p].down = false;
                     PlayerEvent::PathRestored { path: p }
                 }
-                Ev::Tick => PlayerEvent::Tick,
+                Ev::Tick => {
+                    pending_tick = None;
+                    PlayerEvent::Tick
+                }
             };
             player.handle_into(now, player_event, actions);
             for action in actions.drain(..) {
@@ -760,8 +811,7 @@ impl SessionHost {
                             &mut links,
                             &mut conns,
                             &mut paths,
-                            &mut queue,
-                            self.video_id,
+                            queue,
                             now,
                             assignment,
                         );
@@ -772,14 +822,22 @@ impl SessionHost {
                             &mut links,
                             &mut conns,
                             &mut paths,
-                            &mut queue,
+                            queue,
                             &self.tls,
                             now,
                             path,
                         );
                     }
                     PlayerAction::ScheduleTick { at } => {
-                        queue.push(at.max(now), Ev::Tick);
+                        // Tick coalescing: keep exactly one pending tick —
+                        // the latest request supersedes the previous one.
+                        let at = at.max(now);
+                        if pending_tick.is_none_or(|(t, _)| t != at) {
+                            if let Some((_, id)) = pending_tick.take() {
+                                queue.cancel(id);
+                            }
+                            pending_tick = Some((at, queue.push(at, Ev::Tick)));
+                        }
                     }
                 }
             }
@@ -823,21 +881,16 @@ fn dispatch_fetch(
     conns: &mut [Option<TcpConnection>],
     paths: &mut [PathRt],
     queue: &mut EventQueue<Ev>,
-    video_id: VideoId,
     now: SimTime,
     assignment: ChunkAssignment,
 ) {
     let p = assignment.path;
     let rt = &mut paths[p];
-    // Server-side admission (token, signature, failure windows).
-    let admission = service.check_range_request(
-        rt.server_addr,
-        now,
-        video_id,
-        rt.client_ip,
-        &rt.boot.info.token,
-        rt.boot.signature.as_deref(),
-    );
+    // Server-side admission over the bootstrap's pre-validated grant:
+    // failure windows, overload, and token expiry (the token / signature
+    // halves were checked once at bootstrap — same verdicts, no per-chunk
+    // re-parse).
+    let admission = service.check_range_request_granted(rt.server_addr, now, &rt.boot.grant);
     if let Err(status) = admission {
         // The error response costs one round trip.
         let rtt = links[p].base_rtt();

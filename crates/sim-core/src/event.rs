@@ -7,26 +7,45 @@
 //!
 //! ## Implementation
 //!
-//! An index-addressable **4-ary min-heap** over a **generation-stamped
-//! slab**:
+//! A **two-level scheduler** over a **generation-stamped slab**:
 //!
-//! * heap entries carry `(at, seq, slot)` inline, so sift comparisons never
-//!   chase a pointer into the slab;
-//! * the 4-ary layout halves tree depth versus a binary heap and keeps the
-//!   four children of a node within one cache line of indices — pops of
-//!   near-future events touch fewer levels;
-//! * cancellation is **O(1)**: it flips the slot's state to a tombstone that
-//!   `pop`/`peek_time` discard when the entry surfaces. There is no side
-//!   `HashSet` — the pop path does zero hash lookups — and tombstoned slots
-//!   are recycled through a free list, so memory stays bounded by the peak
-//!   number of pending events;
-//! * slot reuse bumps a generation counter, so a stale [`EventId`] can never
-//!   cancel an unrelated later event.
+//! * a **calendar ring** (timing-wheel-style array of time buckets) holds
+//!   the *near-horizon* events that dominate the simulator — path
+//!   readiness, chunk completions, ticks. Push is O(1) (compute the bucket,
+//!   append); pop scans forward from the clock's bucket, which is O(1)
+//!   amortised when the bucket width matches the event spacing;
+//! * a **4-ary min-heap** (the previous implementation's layout, preserved
+//!   verbatim as [`fourary::FourAryQueue`]) absorbs the *far-future*
+//!   overflow — failure windows, recovery timers, session deadlines. Heap
+//!   roots migrate into the ring as the clock approaches them, so the ring
+//!   always holds the earliest events and a non-empty ring never needs to
+//!   consult the heap on pop;
+//! * the **bucket width adapts** to the observed workload: it is re-derived
+//!   from the average inter-pop spacing every few hundred pops (so sparse
+//!   timer patterns get wide buckets and dense ones narrow buckets), and a
+//!   push that finds the ring overfull narrows it immediately. Width only
+//!   affects *speed* — the pop order is the strict `(time, seq)` total
+//!   order for every width, which is what lets the width adapt freely
+//!   without perturbing replays (asserted by the differential tests);
+//! * cancellation is **O(1)**: it flips the slab slot's state to a
+//!   tombstone that `pop` discards (and reclaims) when the entry surfaces.
+//!   There is no side `HashSet` — the pop path does zero hash lookups — and
+//!   slots are recycled through a free list, so memory stays bounded by the
+//!   peak number of pending events;
+//! * slot reuse bumps a generation counter, so a stale [`EventId`] can
+//!   never cancel an unrelated later event;
+//! * [`EventQueue::reset`] returns the queue to its pristine state while
+//!   keeping every allocation (ring buckets, heap, slab) *and* the adapted
+//!   bucket width, so drivers that run many sessions back-to-back (batch
+//!   hosts, sweep workers) pay the warm-up once.
 //!
-//! The previous `BinaryHeap + HashSet` lazy-cancellation implementation is
-//! kept (test-only) as `legacy::LegacyQueue`, and a differential test drives
-//! both through randomized push/cancel/pop/peek schedules asserting
-//! identical observable behaviour.
+//! The previous single-level 4-ary heap is kept as
+//! [`fourary::FourAryQueue`] — the reference for the randomized
+//! differential tests (same discipline the heap rewrite itself was gated
+//! on) and the baseline the `event_queue` micro benches compare against.
+//! The original seed implementation (`BinaryHeap + HashSet` lazy
+//! cancellation) survives test-only as `legacy::LegacyQueue`, so the chain
+//! hybrid ↔ heap ↔ seed is differential-tested end to end.
 
 use crate::time::SimTime;
 
@@ -41,15 +60,15 @@ pub struct EventId {
     gen: u32,
 }
 
-/// Heap entry: ordering key inline, payload in the slab.
+/// Ring/heap entry: ordering key inline, payload in the slab.
 #[derive(Clone, Copy)]
-struct HeapEntry {
+struct Entry {
     at: SimTime,
     seq: u64,
     slot: u32,
 }
 
-impl HeapEntry {
+impl Entry {
     #[inline]
     fn key(&self) -> (SimTime, u64) {
         (self.at, self.seq)
@@ -59,13 +78,41 @@ impl HeapEntry {
 enum Slot<E> {
     /// Pending event.
     Occupied(E),
-    /// Cancelled; its heap entry has not surfaced yet.
+    /// Cancelled; its ring/heap entry has not surfaced yet.
     Tombstone,
-    /// Recyclable (not referenced by any heap entry).
+    /// Recyclable (not referenced by any entry).
     Free,
 }
 
-/// A deterministic min-heap of timestamped events.
+const ARITY: usize = 4;
+
+/// Initial (and minimum) calendar bucket count; the ring covers
+/// `buckets.len() << shift` microseconds ahead of the clock. The count
+/// doubles when occupancy outgrows it (classic calendar-queue resizing),
+/// up to [`MAX_BUCKETS`], so big pending sets stay ring-resident.
+const MIN_BUCKETS: usize = 128;
+
+/// Bucket-count ceiling (2^16 `Vec` headers ≈ 1.5 MB; beyond this the far
+/// heap absorbs the excess).
+const MAX_BUCKETS: usize = 65_536;
+
+/// Initial bucket width exponent: 2^13 µs ≈ 8 ms buckets, ≈ 1 s horizon.
+const DEFAULT_SHIFT: u32 = 13;
+
+/// Bucket width bounds: 2^3 µs = 8 µs … 2^24 µs ≈ 16.8 s.
+const MIN_SHIFT: u32 = 3;
+const MAX_SHIFT: u32 = 24;
+
+/// Pops between width re-derivations from the observed inter-pop spacing.
+const ADAPT_EVERY: u64 = 256;
+
+/// A push that lands in a bucket already holding this many entries
+/// narrows the bucket width immediately (a burst denser than the adapted
+/// width would otherwise degrade pops into linear bucket scans until the
+/// next pop-side adaptation).
+const BUCKET_OVERFULL: usize = 64;
+
+/// A deterministic two-level priority queue of timestamped events.
 ///
 /// ```
 /// use msim_core::event::EventQueue;
@@ -79,13 +126,35 @@ enum Slot<E> {
 /// assert!(q.pop().is_none());
 /// ```
 pub struct EventQueue<E> {
-    heap: Vec<HeapEntry>,
+    /// Near-horizon calendar ring (`buckets.len()` is a power of two that
+    /// adapts to occupancy). Bucket `b` holds entries whose "day"
+    /// (`at >> shift`) satisfies `day % buckets.len() == b` and lies within
+    /// `[cursor_day, cursor_day + buckets.len())`; within one such window
+    /// the mapping day → bucket is bijective, so a bucket never mixes days.
+    buckets: Vec<Vec<Entry>>,
+    /// Entries currently in the ring (live + tombstoned).
+    near_len: usize,
+    /// Bucket width is `1 << shift` microseconds.
+    shift: u32,
+    /// The clock's day: `now >> shift`. Only advances.
+    cursor_day: u64,
+    /// Far-future overflow: 4-ary min-heap on `(at, seq)`. Invariant: every
+    /// entry's day is `>= cursor_day + buckets.len()` (maintained by
+    /// migration on cursor advance), so the ring always wins while
+    /// non-empty.
+    far: Vec<Entry>,
     slots: Vec<(u32, Slot<E>)>,
     free: Vec<u32>,
     live: usize,
     next_seq: u64,
     now: SimTime,
     saturated_pushes: u64,
+    /// Adaptation state: inter-pop spacing accumulator.
+    pops_since_adapt: u64,
+    gap_sum_us: u64,
+    last_pop_us: u64,
+    /// Scratch for re-bucketing (kept to reuse its allocation).
+    scratch: Vec<Entry>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -94,34 +163,61 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
-const ARITY: usize = 4;
-
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at zero.
     pub fn new() -> Self {
-        EventQueue {
-            heap: Vec::new(),
-            slots: Vec::new(),
-            free: Vec::new(),
-            live: 0,
-            next_seq: 0,
-            now: SimTime::ZERO,
-            saturated_pushes: 0,
-        }
+        Self::with_capacity(0)
     }
 
     /// Creates an empty queue with room for `cap` pending events before
-    /// reallocating.
+    /// reallocating the slab.
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: Vec::with_capacity(cap),
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            near_len: 0,
+            shift: DEFAULT_SHIFT,
+            cursor_day: 0,
+            far: Vec::new(),
             slots: Vec::with_capacity(cap),
             free: Vec::new(),
             live: 0,
             next_seq: 0,
             now: SimTime::ZERO,
             saturated_pushes: 0,
+            pops_since_adapt: 0,
+            gap_sum_us: 0,
+            last_pop_us: 0,
+            scratch: Vec::new(),
         }
+    }
+
+    /// Empties the queue and rewinds the clock to zero, keeping every
+    /// allocation (ring buckets, heap, slab, free list) and the adapted
+    /// bucket width. Batch drivers call this between sessions so bucket
+    /// storage is reused; the width carries over because it influences only
+    /// speed, never pop order.
+    pub fn reset(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.near_len = 0;
+        self.cursor_day = 0;
+        self.far.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.live = 0;
+        self.next_seq = 0;
+        self.now = SimTime::ZERO;
+        self.saturated_pushes = 0;
+        self.pops_since_adapt = 0;
+        self.gap_sum_us = 0;
+        self.last_pop_us = 0;
+    }
+
+    /// Pre-allocates slab room for `cap` pending events (capacity hint for
+    /// drivers that know their session shape).
+    pub fn reserve(&mut self, cap: usize) {
+        self.slots.reserve(cap.saturating_sub(self.slots.len()));
     }
 
     /// The current simulated instant: the timestamp of the most recently
@@ -174,8 +270,49 @@ impl<E> EventQueue<E> {
         let gen = self.slots[slot as usize].0;
         self.live += 1;
 
-        self.heap.push(HeapEntry { at, seq, slot });
-        self.sift_up(self.heap.len() - 1);
+        let target_bucket = self.insert_entry(Entry { at, seq, slot });
+        // Two push-side pressure valves (the pop-side adaptation handles
+        // the steady state):
+        // * a single overfull bucket means the width is far too wide for a
+        //   burst — narrow immediately so pops don't degrade into linear
+        //   bucket scans (same-instant events can't be separated by any
+        //   width; MIN_SHIFT bounds the cascade);
+        // * a ring outgrown overall doubles its bucket count so the
+        //   pending set stays ring-resident (classic calendar-queue
+        //   resizing); at the count ceiling, narrow the width instead
+        //   (excess spills to the heap and migrates back as the clock
+        //   advances).
+        if let Some(b) = target_bucket {
+            if self.buckets[b].len() > BUCKET_OVERFULL && self.shift > MIN_SHIFT {
+                // Derive the width from the burst's measured span (aim for
+                // ~8 entries per bucket) so one redistribution absorbs the
+                // density regime instead of a cascade of fixed steps.
+                let bucket = &self.buckets[b];
+                let (mut lo, mut hi) = (u64::MAX, 0u64);
+                for e in bucket {
+                    let us = e.at.as_micros();
+                    lo = lo.min(us);
+                    hi = hi.max(us);
+                }
+                let per_bucket = (hi - lo) * 8 / bucket.len() as u64;
+                let target = if per_bucket == 0 {
+                    MIN_SHIFT
+                } else {
+                    (64 - per_bucket.leading_zeros()).clamp(MIN_SHIFT, MAX_SHIFT)
+                };
+                if target < self.shift {
+                    self.rebucket(target, self.buckets.len());
+                }
+            }
+        }
+        if self.near_len > 2 * self.buckets.len() {
+            if self.buckets.len() < MAX_BUCKETS {
+                let nb = self.buckets.len() * 2;
+                self.rebucket(self.shift, nb);
+            } else if self.shift > MIN_SHIFT {
+                self.rebucket(self.shift - 1, self.buckets.len());
+            }
+        }
         (EventId { slot, gen }, saturated)
     }
 
@@ -187,7 +324,7 @@ impl<E> EventQueue<E> {
 
     /// Cancels a previously scheduled event. Returns `true` if the event was
     /// still pending (it will be silently skipped when its time comes).
-    /// O(1): no heap restructuring, no hashing.
+    /// O(1): no ring or heap restructuring, no hashing.
     pub fn cancel(&mut self, id: EventId) -> bool {
         let Some((gen, slot)) = self.slots.get_mut(id.slot as usize) else {
             return false;
@@ -201,14 +338,28 @@ impl<E> EventQueue<E> {
     }
 
     /// Removes and returns the earliest pending event, advancing the clock
-    /// to its timestamp. Returns `None` when the queue is drained.
+    /// to its timestamp. Returns `None` when the queue is drained (all
+    /// remaining tombstones are reclaimed before returning `None`, so
+    /// push/cancel churn cannot grow memory).
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         loop {
-            let entry = self.pop_root()?;
+            if self.near_len > 0 {
+                if let Some(entry) = self.take_near_min() {
+                    let payload = self
+                        .release_slot(entry.slot)
+                        .expect("near min is checked live");
+                    self.live -= 1;
+                    self.advance_now(entry.at);
+                    return Some((entry.at, payload));
+                }
+                // The ring held only tombstones; they are reclaimed now.
+                continue;
+            }
+            let entry = self.far_pop_root()?;
             match self.release_slot(entry.slot) {
                 Some(payload) => {
                     self.live -= 1;
-                    self.now = entry.at;
+                    self.advance_now(entry.at);
                     return Some((entry.at, payload));
                 }
                 None => continue, // tombstone: slot recycled, skip
@@ -217,16 +368,38 @@ impl<E> EventQueue<E> {
     }
 
     /// Timestamp of the next live event without popping it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        loop {
-            let entry = *self.heap.first()?;
-            if matches!(self.slots[entry.slot as usize].1, Slot::Occupied(_)) {
-                return Some(entry.at);
-            }
-            // Tombstone on top: discard eagerly so peek stays O(1) amortised.
-            let entry = self.pop_root().expect("non-empty heap");
-            self.release_slot(entry.slot);
+    ///
+    /// Pure (`&self`): peeking skips tombstones without reclaiming them —
+    /// reclamation happens on `pop`.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if self.live == 0 {
+            return None;
         }
+        // Ring first: within the current window, bucket order is day order,
+        // so the first bucket containing a live entry holds the ring's min.
+        if self.near_len > 0 {
+            let nb = self.buckets.len() as u64;
+            for k in 0..nb {
+                let day = self.cursor_day.saturating_add(k);
+                let bucket = &self.buckets[(day & (nb - 1)) as usize];
+                let min = bucket
+                    .iter()
+                    .filter(|e| self.slot_is_live(e.slot))
+                    .map(|e| e.key())
+                    .min();
+                if let Some((at, _)) = min {
+                    return Some(at);
+                }
+            }
+        }
+        // Far heap: linear scan over live entries (the heap may have a
+        // tombstoned root, which a pure peek cannot rotate away).
+        self.far
+            .iter()
+            .filter(|e| self.slot_is_live(e.slot))
+            .map(|e| e.key())
+            .min()
+            .map(|(at, _)| at)
     }
 
     /// Number of live (non-cancelled) events still pending.
@@ -239,15 +412,21 @@ impl<E> EventQueue<E> {
         self.live == 0
     }
 
-    /// Removes the root heap entry, restoring the heap property.
-    fn pop_root(&mut self) -> Option<HeapEntry> {
-        let last = self.heap.pop()?;
-        if self.heap.is_empty() {
-            return Some(last);
-        }
-        let root = std::mem::replace(&mut self.heap[0], last);
-        self.sift_down(0);
-        Some(root)
+    /// The current bucket width in microseconds (exposed for tests and the
+    /// micro benches; adapts to the observed event spacing).
+    pub fn bucket_width_us(&self) -> u64 {
+        1 << self.shift
+    }
+
+    /// The current calendar bucket count (exposed for tests; doubles as
+    /// occupancy outgrows the ring and shrinks back when it drains).
+    pub fn ring_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    #[inline]
+    fn slot_is_live(&self, slot: u32) -> bool {
+        matches!(self.slots[slot as usize].1, Slot::Occupied(_))
     }
 
     /// Frees `slot`, bumping its generation; returns the payload if it was
@@ -264,34 +443,189 @@ impl<E> EventQueue<E> {
         payload
     }
 
+    /// Routes an entry to the ring (within the horizon) or the far heap.
+    /// Returns the ring bucket it landed in, if any.
     #[inline]
-    fn sift_up(&mut self, mut i: usize) {
-        let entry = self.heap[i];
-        while i > 0 {
-            let parent = (i - 1) / ARITY;
-            if self.heap[parent].key() <= entry.key() {
+    fn insert_entry(&mut self, entry: Entry) -> Option<usize> {
+        let day = entry.at.as_micros() >> self.shift;
+        debug_assert!(day >= self.cursor_day, "entry behind the clock");
+        let nb = self.buckets.len() as u64;
+        if day < self.cursor_day.saturating_add(nb) {
+            let b = (day & (nb - 1)) as usize;
+            self.buckets[b].push(entry);
+            self.near_len += 1;
+            Some(b)
+        } else {
+            self.far.push(entry);
+            self.far_sift_up(self.far.len() - 1);
+            None
+        }
+    }
+
+    /// Removes and returns the ring's earliest live entry, reclaiming every
+    /// tombstone encountered on the way. `None` when the ring held only
+    /// tombstones (all reclaimed; `near_len` is 0 afterwards).
+    fn take_near_min(&mut self) -> Option<Entry> {
+        let nb = self.buckets.len() as u64;
+        for k in 0..nb {
+            if self.near_len == 0 {
+                return None;
+            }
+            let day = self.cursor_day.saturating_add(k);
+            let b = (day & (nb - 1)) as usize;
+            // Reclaim tombstones first so the min scan sees only live
+            // entries.
+            let mut i = 0;
+            while i < self.buckets[b].len() {
+                let slot = self.buckets[b][i].slot;
+                if self.slot_is_live(slot) {
+                    i += 1;
+                } else {
+                    self.buckets[b].swap_remove(i);
+                    self.near_len -= 1;
+                    self.release_slot(slot);
+                }
+            }
+            let bucket = &self.buckets[b];
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut min_i = 0;
+            for j in 1..bucket.len() {
+                if bucket[j].key() < bucket[min_i].key() {
+                    min_i = j;
+                }
+            }
+            let entry = self.buckets[b].swap_remove(min_i);
+            self.near_len -= 1;
+            return Some(entry);
+        }
+        None
+    }
+
+    /// Advances the clock to `at` (a just-popped timestamp): moves the ring
+    /// cursor, migrates far-heap roots that came within the horizon, and
+    /// periodically re-derives the bucket width from the observed inter-pop
+    /// spacing.
+    fn advance_now(&mut self, at: SimTime) {
+        let at_us = at.as_micros();
+        self.gap_sum_us += at_us.saturating_sub(self.last_pop_us);
+        self.last_pop_us = at_us;
+        self.pops_since_adapt += 1;
+        self.now = at;
+        let day = at_us >> self.shift;
+        if day != self.cursor_day {
+            self.cursor_day = day;
+            self.migrate_far();
+        }
+        if self.pops_since_adapt >= ADAPT_EVERY {
+            let avg_gap = (self.gap_sum_us / self.pops_since_adapt).max(1);
+            self.pops_since_adapt = 0;
+            self.gap_sum_us = 0;
+            // Bucket width ≈ 2× the average spacing: ~2 events per bucket,
+            // few empty-bucket hops. Re-derived with hysteresis — a
+            // one-step disagreement is left alone, so a spacing average
+            // that hovers near a power-of-two boundary cannot flap the
+            // width (each flap is an O(ring) redistribution). A ring left
+            // oversized by a past burst shrinks back (bounded below by
+            // MIN_BUCKETS).
+            let target = (64 - avg_gap.leading_zeros()).clamp(MIN_SHIFT, MAX_SHIFT);
+            let mut nb = self.buckets.len();
+            while nb > MIN_BUCKETS && self.near_len < nb / 4 {
+                nb /= 2;
+            }
+            if target.abs_diff(self.shift) >= 2 || nb != self.buckets.len() {
+                self.rebucket(target, nb);
+            }
+        }
+    }
+
+    /// Restores the far-heap invariant after a cursor advance: roots whose
+    /// day entered the horizon move into the ring (tombstoned ones are
+    /// reclaimed on the way).
+    fn migrate_far(&mut self) {
+        let nb = self.buckets.len() as u64;
+        let horizon = self.cursor_day.saturating_add(nb);
+        while let Some(root) = self.far.first() {
+            if root.at.as_micros() >> self.shift >= horizon {
                 break;
             }
-            self.heap[i] = self.heap[parent];
-            i = parent;
+            let entry = self.far_pop_root().expect("checked non-empty");
+            if self.slot_is_live(entry.slot) {
+                let b = ((entry.at.as_micros() >> self.shift) & (nb - 1)) as usize;
+                self.buckets[b].push(entry);
+                self.near_len += 1;
+            } else {
+                self.release_slot(entry.slot);
+            }
         }
-        self.heap[i] = entry;
+    }
+
+    /// Changes the bucket width to `1 << new_shift` µs and/or the bucket
+    /// count, redistributing every ring entry (some may spill to the far
+    /// heap under a narrower horizon).
+    fn rebucket(&mut self, new_shift: u32, new_buckets: usize) {
+        debug_assert!(new_buckets.is_power_of_two());
+        let mut entries = std::mem::take(&mut self.scratch);
+        for b in &mut self.buckets {
+            entries.append(b);
+        }
+        if new_buckets > self.buckets.len() {
+            self.buckets.resize_with(new_buckets, Vec::new);
+        } else {
+            self.buckets.truncate(new_buckets);
+        }
+        self.near_len = 0;
+        self.shift = new_shift;
+        self.cursor_day = self.now.as_micros() >> new_shift;
+        for entry in entries.drain(..) {
+            self.insert_entry(entry);
+        }
+        self.scratch = entries;
+        // A wider width or a bigger ring also widens the horizon: pull in
+        // far roots that now fit.
+        self.migrate_far();
+    }
+
+    /// Removes the far heap's root entry, restoring the heap property.
+    fn far_pop_root(&mut self) -> Option<Entry> {
+        let last = self.far.pop()?;
+        if self.far.is_empty() {
+            return Some(last);
+        }
+        let root = std::mem::replace(&mut self.far[0], last);
+        self.far_sift_down(0);
+        Some(root)
     }
 
     #[inline]
-    fn sift_down(&mut self, mut i: usize) {
-        let len = self.heap.len();
-        let entry = self.heap[i];
+    fn far_sift_up(&mut self, mut i: usize) {
+        let entry = self.far[i];
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if self.far[parent].key() <= entry.key() {
+                break;
+            }
+            self.far[i] = self.far[parent];
+            i = parent;
+        }
+        self.far[i] = entry;
+    }
+
+    #[inline]
+    fn far_sift_down(&mut self, mut i: usize) {
+        let len = self.far.len();
+        let entry = self.far[i];
         loop {
             let first_child = i * ARITY + 1;
             if first_child >= len {
                 break;
             }
             let mut min_child = first_child;
-            let mut min_key = self.heap[first_child].key();
+            let mut min_key = self.far[first_child].key();
             let last_child = (first_child + ARITY - 1).min(len - 1);
             for c in first_child + 1..=last_child {
-                let k = self.heap[c].key();
+                let k = self.far[c].key();
                 if k < min_key {
                     min_key = k;
                     min_child = c;
@@ -300,18 +634,249 @@ impl<E> EventQueue<E> {
             if entry.key() <= min_key {
                 break;
             }
-            self.heap[i] = self.heap[min_child];
+            self.far[i] = self.far[min_child];
             i = min_child;
         }
-        self.heap[i] = entry;
+        self.far[i] = entry;
+    }
+}
+
+pub mod fourary {
+    //! The previous `EventQueue` implementation — an index-addressable
+    //! 4-ary min-heap over a generation-stamped slab — preserved verbatim
+    //! in behaviour. It is the *reference* the hybrid queue is
+    //! differential-tested against (randomized push/cancel/pop/peek
+    //! schedules must observe identical behaviour) and the baseline the
+    //! `event_queue` micro benches measure speedups over.
+
+    use crate::time::SimTime;
+
+    /// Cancellation handle (slot, generation), same contract as
+    /// [`EventId`](super::EventId).
+    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+    pub struct FourAryId {
+        slot: u32,
+        gen: u32,
+    }
+
+    #[derive(Clone, Copy)]
+    struct HeapEntry {
+        at: SimTime,
+        seq: u64,
+        slot: u32,
+    }
+
+    impl HeapEntry {
+        #[inline]
+        fn key(&self) -> (SimTime, u64) {
+            (self.at, self.seq)
+        }
+    }
+
+    enum Slot<E> {
+        Occupied(E),
+        Tombstone,
+        Free,
+    }
+
+    const ARITY: usize = 4;
+
+    /// The single-level 4-ary slab heap (reference implementation).
+    pub struct FourAryQueue<E> {
+        heap: Vec<HeapEntry>,
+        slots: Vec<(u32, Slot<E>)>,
+        free: Vec<u32>,
+        live: usize,
+        next_seq: u64,
+        now: SimTime,
+        saturated_pushes: u64,
+    }
+
+    impl<E> Default for FourAryQueue<E> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<E> FourAryQueue<E> {
+        /// Creates an empty queue with the clock at zero.
+        pub fn new() -> Self {
+            FourAryQueue {
+                heap: Vec::new(),
+                slots: Vec::new(),
+                free: Vec::new(),
+                live: 0,
+                next_seq: 0,
+                now: SimTime::ZERO,
+                saturated_pushes: 0,
+            }
+        }
+
+        /// The clock (timestamp of the last pop).
+        pub fn now(&self) -> SimTime {
+            self.now
+        }
+
+        /// Schedules `payload` at `at` (saturating past times to "now").
+        pub fn push(&mut self, at: SimTime, payload: E) -> FourAryId {
+            self.push_saturating(at, payload).0
+        }
+
+        /// Push reporting whether `at` was saturated to "now".
+        pub fn push_saturating(&mut self, at: SimTime, payload: E) -> (FourAryId, bool) {
+            let saturated = at < self.now;
+            if saturated {
+                self.saturated_pushes += 1;
+            }
+            let at = at.max(self.now);
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let slot = match self.free.pop() {
+                Some(idx) => {
+                    self.slots[idx as usize].1 = Slot::Occupied(payload);
+                    idx
+                }
+                None => {
+                    let idx = u32::try_from(self.slots.len()).expect("event slab exhausted");
+                    self.slots.push((0, Slot::Occupied(payload)));
+                    idx
+                }
+            };
+            let gen = self.slots[slot as usize].0;
+            self.live += 1;
+            self.heap.push(HeapEntry { at, seq, slot });
+            self.sift_up(self.heap.len() - 1);
+            (FourAryId { slot, gen }, saturated)
+        }
+
+        /// Past-scheduled pushes rewritten to "now" so far.
+        pub fn saturated_pushes(&self) -> u64 {
+            self.saturated_pushes
+        }
+
+        /// O(1) cancellation via slab tombstoning.
+        pub fn cancel(&mut self, id: FourAryId) -> bool {
+            let Some((gen, slot)) = self.slots.get_mut(id.slot as usize) else {
+                return false;
+            };
+            if *gen != id.gen || !matches!(slot, Slot::Occupied(_)) {
+                return false;
+            }
+            *slot = Slot::Tombstone;
+            self.live -= 1;
+            true
+        }
+
+        /// Pops the earliest live event, advancing the clock.
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            loop {
+                let entry = self.pop_root()?;
+                match self.release_slot(entry.slot) {
+                    Some(payload) => {
+                        self.live -= 1;
+                        self.now = entry.at;
+                        return Some((entry.at, payload));
+                    }
+                    None => continue,
+                }
+            }
+        }
+
+        /// Timestamp of the next live event (pure: tombstones are skipped,
+        /// not reclaimed).
+        pub fn peek_time(&self) -> Option<SimTime> {
+            if self.live == 0 {
+                return None;
+            }
+            self.heap
+                .iter()
+                .filter(|e| matches!(self.slots[e.slot as usize].1, Slot::Occupied(_)))
+                .map(|e| e.key())
+                .min()
+                .map(|(at, _)| at)
+        }
+
+        /// Live events pending.
+        pub fn len(&self) -> usize {
+            self.live
+        }
+
+        /// True when nothing live remains.
+        pub fn is_empty(&self) -> bool {
+            self.live == 0
+        }
+
+        fn pop_root(&mut self) -> Option<HeapEntry> {
+            let last = self.heap.pop()?;
+            if self.heap.is_empty() {
+                return Some(last);
+            }
+            let root = std::mem::replace(&mut self.heap[0], last);
+            self.sift_down(0);
+            Some(root)
+        }
+
+        fn release_slot(&mut self, slot: u32) -> Option<E> {
+            let cell = &mut self.slots[slot as usize];
+            cell.0 = cell.0.wrapping_add(1);
+            let payload = match std::mem::replace(&mut cell.1, Slot::Free) {
+                Slot::Occupied(p) => Some(p),
+                Slot::Tombstone => None,
+                Slot::Free => unreachable!("slot freed twice"),
+            };
+            self.free.push(slot);
+            payload
+        }
+
+        #[inline]
+        fn sift_up(&mut self, mut i: usize) {
+            let entry = self.heap[i];
+            while i > 0 {
+                let parent = (i - 1) / ARITY;
+                if self.heap[parent].key() <= entry.key() {
+                    break;
+                }
+                self.heap[i] = self.heap[parent];
+                i = parent;
+            }
+            self.heap[i] = entry;
+        }
+
+        #[inline]
+        fn sift_down(&mut self, mut i: usize) {
+            let len = self.heap.len();
+            let entry = self.heap[i];
+            loop {
+                let first_child = i * ARITY + 1;
+                if first_child >= len {
+                    break;
+                }
+                let mut min_child = first_child;
+                let mut min_key = self.heap[first_child].key();
+                let last_child = (first_child + ARITY - 1).min(len - 1);
+                for c in first_child + 1..=last_child {
+                    let k = self.heap[c].key();
+                    if k < min_key {
+                        min_key = k;
+                        min_child = c;
+                    }
+                }
+                if entry.key() <= min_key {
+                    break;
+                }
+                self.heap[i] = self.heap[min_child];
+                i = min_child;
+            }
+            self.heap[i] = entry;
+        }
     }
 }
 
 #[cfg(test)]
 mod legacy {
     //! The seed implementation (`BinaryHeap<Entry> + HashSet<EventId>` lazy
-    //! cancellation), preserved verbatim in behaviour as the reference for
-    //! the differential test.
+    //! cancellation), preserved verbatim in behaviour as the oldest
+    //! reference in the differential-test chain.
 
     use crate::time::SimTime;
     use std::cmp::Ordering;
@@ -387,7 +952,7 @@ mod legacy {
             }
             // One deliberate deviation from the seed: cancelling an id that
             // already fired returned `true` there (and leaked the id into
-            // `cancelled` forever). The slab queue returns `false` for stale
+            // `cancelled` forever). The slab queues return `false` for stale
             // handles; align so the differential test can assert outcomes.
             if self.cancelled.contains(&id) || !self.pending(id) {
                 return false;
@@ -410,16 +975,13 @@ mod legacy {
             None
         }
 
-        pub fn peek_time(&mut self) -> Option<SimTime> {
-            while let Some(entry) = self.heap.peek() {
-                if self.cancelled.contains(&entry.id) {
-                    let entry = self.heap.pop().expect("peeked entry vanished");
-                    self.cancelled.remove(&entry.id);
-                    continue;
-                }
-                return Some(entry.at);
-            }
-            None
+        pub fn peek_time(&self) -> Option<SimTime> {
+            self.heap
+                .iter()
+                .filter(|e| !self.cancelled.contains(&e.id))
+                .map(|e| (e.at, e.seq))
+                .min()
+                .map(|(at, _)| at)
         }
 
         pub fn len(&self) -> usize {
@@ -430,6 +992,7 @@ mod legacy {
 
 #[cfg(test)]
 mod tests {
+    use super::fourary::FourAryQueue;
     use super::*;
     use crate::time::SimDuration;
 
@@ -491,14 +1054,31 @@ mod tests {
     }
 
     #[test]
-    fn peek_does_not_advance_clock() {
+    fn peek_is_pure_and_does_not_advance_clock() {
         let mut q = EventQueue::new();
         let id = q.push(SimTime::from_secs(1), ());
         q.push(SimTime::from_secs(2), ());
-        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        // peek takes &self: a shared reference suffices.
+        let q_ref: &EventQueue<()> = &q;
+        assert_eq!(q_ref.peek_time(), Some(SimTime::from_secs(1)));
         assert_eq!(q.now(), SimTime::ZERO);
         q.cancel(id);
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)), "idempotent");
+    }
+
+    #[test]
+    fn peek_sees_through_far_horizon() {
+        let mut q = EventQueue::new();
+        // Far beyond the default ring horizon (~1 s): lives in the heap.
+        let far = q.push(SimTime::from_secs(3600), 1u32);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(3600)));
+        // Cancelled far root: peek must skip it without mutating.
+        q.push(SimTime::from_secs(7200), 2u32);
+        assert!(q.cancel(far));
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(7200)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(7200), 2)));
+        assert_eq!(q.peek_time(), None);
     }
 
     #[test]
@@ -562,7 +1142,7 @@ mod tests {
     #[test]
     fn slots_are_recycled_bounded() {
         // Push/cancel churn must not grow memory: tombstones are reclaimed
-        // as they surface, slots and heap entries are reused.
+        // as pops sweep past them, slots and entries are reused.
         let mut q = EventQueue::new();
         for round in 0..1000u64 {
             let t = SimTime::from_micros(round + 1_000_000);
@@ -573,15 +1153,197 @@ mod tests {
             let _ = b;
         }
         assert!(q.slots.len() <= 4, "slab stays tiny: {}", q.slots.len());
-        assert!(q.heap.capacity() <= 16, "heap stays tiny");
+        assert!(q.near_len <= 4, "ring stays tiny: {}", q.near_len);
+        assert!(q.far.len() <= 4, "far heap stays tiny: {}", q.far.len());
+    }
+
+    #[test]
+    fn drain_after_mass_cancel_reclaims_everything() {
+        let mut q = EventQueue::new();
+        let ids: Vec<EventId> = (0..500u64)
+            .map(|i| q.push(SimTime::from_micros(i * 50_000), i))
+            .collect();
+        for id in ids {
+            assert!(q.cancel(id));
+        }
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.pop(), None, "pop reclaims all tombstones");
+        assert_eq!(q.near_len, 0);
+        assert_eq!(q.far.len(), 0);
+        assert_eq!(q.free.len(), q.slots.len(), "every slot is free again");
+    }
+
+    #[test]
+    fn reset_keeps_storage_but_clears_state() {
+        let mut q = EventQueue::new();
+        for i in 0..200u64 {
+            q.push(SimTime::from_micros(i * 10_000), i);
+        }
+        for _ in 0..100 {
+            q.pop();
+        }
+        let slab_cap = q.slots.capacity();
+        q.reset();
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.pop(), None);
+        assert!(q.slots.capacity() >= slab_cap, "slab storage kept");
+        // A fresh session on the reset queue behaves like a new queue.
+        q.push(SimTime::from_secs(1), 7u64);
+        q.push(SimTime::from_millis(500), 3u64);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 7);
+    }
+
+    #[test]
+    fn far_events_migrate_into_the_ring() {
+        // Events far beyond the horizon start in the heap and must pop in
+        // exact order as the clock reaches them.
+        let mut q = EventQueue::new();
+        let mut expect = Vec::new();
+        for i in 0..50u64 {
+            // Mix of near (µs–ms) and far (minutes) events.
+            let at = if i % 3 == 0 {
+                SimTime::from_secs(60 + i)
+            } else {
+                SimTime::from_millis(i * 7)
+            };
+            q.push(at, i);
+            expect.push((at, i));
+        }
+        expect.sort_by_key(|&(at, i)| (at, i));
+        let got: Vec<(SimTime, u64)> = std::iter::from_fn(|| q.pop()).collect();
+        // Same-time FIFO: pushes were in i order, so (at, i) sort matches.
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn width_adapts_to_observed_spacing() {
+        // Dense sub-millisecond events: the push-side overfull check plus
+        // the pop-side spacing rule must narrow the default ~8 ms buckets.
+        let mut q = EventQueue::new();
+        let w0 = q.bucket_width_us();
+        let mut t = SimTime::ZERO;
+        for i in 0..2000u64 {
+            q.push(SimTime::from_micros(i * 20), i);
+        }
+        for _ in 0..1500 {
+            let (at, _) = q.pop().unwrap();
+            t = at;
+        }
+        assert!(
+            q.bucket_width_us() < w0,
+            "width narrowed: {} -> {}",
+            w0,
+            q.bucket_width_us()
+        );
+        // Sparse multi-second events afterwards: width grows back.
+        for i in 0..600u64 {
+            q.push(t + SimDuration::from_secs(1 + i), i);
+        }
+        while q.pop().is_some() {}
+        assert!(
+            q.bucket_width_us() > 1 << MIN_SHIFT,
+            "width re-widened: {}",
+            q.bucket_width_us()
+        );
+    }
+
+    /// Drives the hybrid queue and the 4-ary reference through one
+    /// randomized schedule, asserting identical observable behaviour at
+    /// every step. `past_pushes` additionally exercises past-scheduled
+    /// saturation via `push_saturating`.
+    fn differential_vs_fourary(seed: u64, steps: usize, past_pushes: bool) {
+        let mut rng = crate::rng::Prng::new(seed);
+        let mut new_q: EventQueue<u64> = EventQueue::new();
+        let mut ref_q: FourAryQueue<u64> = FourAryQueue::new();
+        let mut handles = Vec::new();
+        let mut payload = 0u64;
+
+        for _step in 0..steps {
+            match rng.below(12) {
+                // 0-4: push with a spread of horizons so entries land in
+                // both the ring and the far heap (and survive re-bucketing).
+                0..=4 => {
+                    let spread = match rng.below(4) {
+                        0 => rng.below(50),          // same-bucket dense
+                        1 => rng.below(10_000),      // near horizon
+                        2 => rng.below(5_000_000),   // seconds out
+                        _ => rng.below(600_000_000), // minutes out (far)
+                    };
+                    let at = new_q.now() + SimDuration::from_micros(spread);
+                    payload += 1;
+                    let a = new_q.push(at, payload);
+                    let b = ref_q.push(at, payload);
+                    handles.push((a, b));
+                }
+                // 5: past-scheduled push (saturates to "now").
+                5 => {
+                    if past_pushes {
+                        let back = rng.below(1_000_000);
+                        let at = SimTime::from_micros(new_q.now().as_micros().saturating_sub(back));
+                        payload += 1;
+                        let (a, sat_a) = new_q.push_saturating(at, payload);
+                        let (b, sat_b) = ref_q.push_saturating(at, payload);
+                        assert_eq!(sat_a, sat_b, "saturation flag");
+                        handles.push((a, b));
+                    }
+                }
+                // 6-7: cancel a random (possibly stale) handle.
+                6 | 7 => {
+                    if !handles.is_empty() {
+                        let i = rng.below(handles.len() as u64) as usize;
+                        let (a, b) = handles[i];
+                        assert_eq!(new_q.cancel(a), ref_q.cancel(b), "cancel outcome");
+                    }
+                }
+                // 8-9: pop.
+                8 | 9 => {
+                    assert_eq!(new_q.pop(), ref_q.pop(), "pop");
+                }
+                // 10-11: peek.
+                _ => {
+                    assert_eq!(new_q.peek_time(), ref_q.peek_time(), "peek");
+                }
+            }
+            assert_eq!(new_q.len(), ref_q.len(), "len");
+            assert_eq!(new_q.is_empty(), ref_q.is_empty(), "is_empty");
+            assert_eq!(
+                new_q.saturated_pushes(),
+                ref_q.saturated_pushes(),
+                "saturation count"
+            );
+        }
+        // Drain both; full remaining order must match.
+        loop {
+            let (a, b) = (new_q.pop(), ref_q.pop());
+            assert_eq!(a, b, "drain");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn differential_hybrid_vs_fourary_heap() {
+        for seed in 1..=20u64 {
+            differential_vs_fourary(seed, 2000, false);
+        }
+    }
+
+    #[test]
+    fn differential_hybrid_vs_fourary_with_past_saturation() {
+        for seed in 100..=110u64 {
+            differential_vs_fourary(seed, 2000, true);
+        }
     }
 
     #[test]
     fn differential_vs_legacy_binary_heap() {
-        // Randomized schedules of push/cancel/pop/peek driven into both the
-        // new 4-ary slab heap and the seed BinaryHeap+HashSet implementation
-        // must observe identical (time, payload) sequences, lengths, peeks,
-        // and cancel outcomes.
+        // The original differential gate from the heap rewrite, now driving
+        // the hybrid queue against the seed BinaryHeap+HashSet
+        // implementation: identical (time, payload) sequences, lengths,
+        // peeks, and cancel outcomes.
         for seed in 1..=20u64 {
             let mut rng = crate::rng::Prng::new(seed);
             let mut new_q: EventQueue<u64> = EventQueue::new();
@@ -632,7 +1394,30 @@ mod tests {
     }
 
     #[test]
-    fn large_heap_pops_sorted() {
+    fn ring_grows_with_occupancy_and_shrinks_back() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.ring_buckets(), MIN_BUCKETS);
+        // A big pending set must not degrade into the far heap: the ring
+        // doubles until the set is ring-resident.
+        for i in 0..4096u64 {
+            q.push(SimTime::from_micros(i * 300), i);
+        }
+        assert!(
+            q.ring_buckets() >= 2048,
+            "ring grew: {} buckets",
+            q.ring_buckets()
+        );
+        // Drain; the pop-side adaptation shrinks the drained ring back.
+        while q.pop().is_some() {}
+        for i in 0..600u64 {
+            q.push(SimTime::from_secs(2 + i), i);
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.ring_buckets(), MIN_BUCKETS, "ring shrank back");
+    }
+
+    #[test]
+    fn large_queue_pops_sorted() {
         let mut q = EventQueue::new();
         let mut rng = crate::rng::Prng::new(42);
         for i in 0..10_000u64 {

@@ -182,10 +182,10 @@ pub fn run_testbed_session(session: &TestbedSession) -> std::io::Result<SessionM
                     let _ = cmd_txs[path].send(WorkerCmd::Failover);
                 }
                 PlayerAction::ScheduleTick { at } => {
-                    next_tick = Some(match next_tick {
-                        Some(t) => t.min(at),
-                        None => at,
-                    });
+                    // Coalescing contract: the latest request supersedes
+                    // any undelivered earlier one (the player re-derives
+                    // its desired wakeup after every event).
+                    next_tick = Some(at);
                 }
             }
         }

@@ -146,6 +146,21 @@ impl VideoServer {
         self.failure.is_failed(t)
     }
 
+    /// The time-*dependent* half of range-request admission: failure
+    /// windows and overload. Checked on every request; the token /
+    /// signature half is time-independent per session and can be
+    /// pre-validated once into a
+    /// [`StreamGrant`](crate::service::StreamGrant).
+    pub fn admit_at(&self, now: SimTime) -> Result<(), StatusCode> {
+        if self.failure.is_failed(now) {
+            return Err(StatusCode::INTERNAL_SERVER_ERROR);
+        }
+        if self.active_sessions > self.session_capacity {
+            return Err(StatusCode::SERVICE_UNAVAILABLE);
+        }
+        Ok(())
+    }
+
     /// Admission + authorisation check for a range request arriving at
     /// `now`. On success the request proceeds onto the TCP model; on error
     /// the mapped HTTP status is returned.
@@ -157,12 +172,7 @@ impl VideoServer {
         client_ip: &str,
         token_wire: &str,
     ) -> Result<(), StatusCode> {
-        if self.failure.is_failed(now) {
-            return Err(StatusCode::INTERNAL_SERVER_ERROR);
-        }
-        if self.active_sessions > self.session_capacity {
-            return Err(StatusCode::SERVICE_UNAVAILABLE);
-        }
+        self.admit_at(now)?;
         let token = AccessToken::from_wire(token_wire).map_err(|_| StatusCode::FORBIDDEN)?;
         match token.validate(secret, now, video_id, client_ip, Operations::STREAM) {
             Ok(()) => Ok(()),

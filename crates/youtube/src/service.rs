@@ -265,6 +265,104 @@ impl YoutubeService {
         }
         Ok(server.pace())
     }
+
+    /// Pre-validates the *time-independent* half of range-request admission
+    /// — token wire form, MAC, video/client/operation binding, catalog
+    /// presence, and (for copyrighted videos) the deciphered signature —
+    /// into a reusable [`StreamGrant`].
+    ///
+    /// A session performs these checks with identical inputs on every
+    /// chunk; real CDNs amortize exactly this with session tickets. Only
+    /// the per-request state (server failure windows, overload, token
+    /// expiry) is left for request time, so
+    /// [`YoutubeService::check_range_request_granted`] returns the same
+    /// verdict as [`YoutubeService::check_range_request`] for every
+    /// `(addr, now)` — asserted by the `grant_matches_per_request_checks`
+    /// test.
+    pub fn grant_stream(
+        &self,
+        video_id: VideoId,
+        client_ip: &str,
+        token_wire: &str,
+        signature: Option<&str>,
+    ) -> StreamGrant {
+        // Probe the token's static checks at its issue instant, which is
+        // always inside the validity window: any error reported here is
+        // time-independent. The token verdict and the content (catalog /
+        // signature) verdict are kept separate so the per-request path can
+        // interleave the expiry check between them, exactly where the full
+        // path evaluates it.
+        let (token_verdict, expires_at) = match AccessToken::from_wire(token_wire) {
+            Err(_) => (Err(StatusCode::FORBIDDEN), SimTime::MAX),
+            Ok(token) => (
+                token
+                    .validate(
+                        self.secret,
+                        token.issued_at,
+                        video_id,
+                        client_ip,
+                        Operations::STREAM,
+                    )
+                    .map_err(|_| StatusCode::FORBIDDEN),
+                token.expires_at(),
+            ),
+        };
+        let content_verdict = match self.catalog.get(video_id) {
+            None => Err(StatusCode::NOT_FOUND),
+            Some(video) if video.copyrighted => {
+                let expected = self.signatures.get(video_id.as_str());
+                match (expected, signature) {
+                    (Some(exp), Some(got)) if exp == got => Ok(()),
+                    _ => Err(StatusCode::FORBIDDEN),
+                }
+            }
+            Some(_) => Ok(()),
+        };
+        StreamGrant {
+            token_verdict,
+            expires_at,
+            content_verdict,
+        }
+    }
+
+    /// Per-request admission over a pre-validated [`StreamGrant`], in the
+    /// full path's exact order — failure windows / overload, token checks
+    /// (with expiry evaluated at `now`), then catalog / signature — so the
+    /// verdicts are bit-identical to
+    /// [`YoutubeService::check_range_request`], without re-parsing or
+    /// re-MAC-ing the token per chunk.
+    pub fn check_range_request_granted(
+        &self,
+        addr: Ipv4Addr,
+        now: SimTime,
+        grant: &StreamGrant,
+    ) -> Result<Option<PacePolicy>, StatusCode> {
+        let Some(server) = self.server(addr) else {
+            return Err(StatusCode::NOT_FOUND);
+        };
+        server.admit_at(now)?;
+        grant.token_verdict?;
+        if now > grant.expires_at {
+            return Err(StatusCode::FORBIDDEN);
+        }
+        grant.content_verdict?;
+        Ok(server.pace())
+    }
+}
+
+/// A pre-validated streaming authorisation (see
+/// [`YoutubeService::grant_stream`]): the outcomes of every
+/// time-independent admission check plus the token's expiry instant.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamGrant {
+    /// Verdict of the token's static checks (wire form, MAC, video /
+    /// client / operation binding).
+    token_verdict: Result<(), StatusCode>,
+    /// Requests after this instant are rejected with 403.
+    expires_at: SimTime,
+    /// Verdict of the content checks (catalog presence, deciphered
+    /// signature), evaluated after expiry in the full path's order.
+    content_verdict: Result<(), StatusCode>,
 }
 
 #[cfg(test)]
@@ -471,5 +569,85 @@ mod tests {
             .check_range_request(addr, SimTime::ZERO, id, "203.0.113.7", &info.token, None)
             .unwrap();
         assert_eq!(got, Some(pace));
+    }
+
+    #[test]
+    fn grant_matches_per_request_checks() {
+        // The grant path must return exactly the verdict of the full
+        // per-request path for every (condition, now) combination the
+        // simulator can produce.
+        let (mut svc, id) = service();
+        let json = svc
+            .watch_request(Network::Wifi, id, "203.0.113.7", SimTime::from_secs(1))
+            .unwrap();
+        let info = parse_video_info(&json).unwrap();
+        let addr = svc.server_by_domain(&info.server_domains[0]).unwrap().addr;
+        svc.fail_server(addr, SimTime::from_secs(100), SimTime::from_secs(200));
+
+        // A token that MAC-validates for a video the catalog does not
+        // carry: the full path reports token expiry (checked inside
+        // `validate`) before the catalog lookup, so the grant path must
+        // interleave expiry between its token and content verdicts.
+        let ghost = VideoId::new("dQw4w9WgXcQ").unwrap();
+        let ghost_wire = AccessToken::issue(
+            svc.secret,
+            ghost,
+            "203.0.113.7",
+            Operations::ALL,
+            SimTime::from_secs(1),
+        )
+        .to_wire();
+
+        let cases: Vec<(&str, VideoId, StreamGrant, String)> = vec![
+            (
+                "valid token",
+                id,
+                svc.grant_stream(id, "203.0.113.7", &info.token, None),
+                info.token.clone(),
+            ),
+            (
+                "wrong client ip",
+                id,
+                svc.grant_stream(id, "198.51.100.99", &info.token, None),
+                info.token.clone(),
+            ),
+            (
+                "malformed token",
+                id,
+                svc.grant_stream(id, "203.0.113.7", "garbage", None),
+                "garbage".to_string(),
+            ),
+            (
+                "uncatalogued video",
+                ghost,
+                svc.grant_stream(ghost, "203.0.113.7", &ghost_wire, None),
+                ghost_wire,
+            ),
+        ];
+        // Healthy instant, failure window, post-expiry instant, unknown
+        // server.
+        let instants = [
+            SimTime::from_secs(2),
+            SimTime::from_secs(150),
+            SimTime::from_secs(1) + crate::token::TOKEN_TTL + SimDuration::from_secs(1),
+        ];
+        for (label, vid, grant, wire) in &cases {
+            let client_ip = if label.contains("wrong") {
+                "198.51.100.99"
+            } else {
+                "203.0.113.7"
+            };
+            for &now in &instants {
+                let full = svc.check_range_request(addr, now, *vid, client_ip, wire, None);
+                let granted = svc.check_range_request_granted(addr, now, grant);
+                assert_eq!(full, granted, "{label} at {now}");
+            }
+            let bogus = Ipv4Addr::new(10, 0, 0, 1);
+            assert_eq!(
+                svc.check_range_request_granted(bogus, instants[0], grant),
+                Err(StatusCode::NOT_FOUND),
+                "{label} unknown server"
+            );
+        }
     }
 }

@@ -181,6 +181,11 @@ impl AccessToken {
         Ok(())
     }
 
+    /// The instant this token stops validating (`issued_at + TOKEN_TTL`).
+    pub fn expires_at(&self) -> SimTime {
+        self.issued_at + TOKEN_TTL
+    }
+
     /// Wire form carried in the synthesized video URL.
     pub fn to_wire(&self) -> String {
         format!(

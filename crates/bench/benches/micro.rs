@@ -207,7 +207,7 @@ fn bench_tcp_model(c: &mut Criterion) {
         b.iter(|| {
             let mut link = msim_net::Link::new(
                 "bench",
-                Box::new(msim_core::process::Constant(10.0)),
+                msim_core::process::Constant(10.0),
                 SimDuration::from_millis(30),
                 0.1,
                 0.001,
@@ -218,6 +218,37 @@ fn bench_tcp_model(c: &mut Criterion) {
             black_box(conn.request(&mut link, ready, ByteSize::mb(1)))
         });
     });
+    // The epoch engine's fast path vs the reference round loop on a stable
+    // (jitter-free, loss-free) link — the pattern the closed-form solves
+    // target. Results are bit-identical; only wall time differs.
+    for engine in [
+        msim_net::TransferEngine::Epoch,
+        msim_net::TransferEngine::RoundLoop,
+    ] {
+        let name = match engine {
+            msim_net::TransferEngine::Epoch => "tcp/stable_4MB_transfer_epoch",
+            msim_net::TransferEngine::RoundLoop => "tcp/stable_4MB_transfer_roundloop",
+        };
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let mut link = msim_net::Link::new(
+                    "bench",
+                    msim_core::process::Constant(10.0),
+                    SimDuration::from_millis(20),
+                    0.0,
+                    0.0,
+                    Prng::new(7),
+                );
+                let cfg = msim_net::TcpConfig {
+                    engine,
+                    ..msim_net::TcpConfig::default()
+                };
+                let mut conn = msim_net::TcpConnection::new(cfg);
+                let ready = conn.connect(&mut link, SimTime::ZERO);
+                black_box(conn.request(&mut link, ready, ByteSize::mb(4)))
+            });
+        });
+    }
 }
 
 fn bench_full_session(c: &mut Criterion) {

@@ -1,0 +1,150 @@
+//! `bench_report` — merges the committed `bench_results/BENCH_*.json`
+//! artifacts into one markdown trend table, so each PR's recorded perf
+//! trajectory is readable at a glance (and diffs of `TREND.md` show
+//! regressions in review).
+//!
+//! ```sh
+//! cargo run --release -p msplayer-bench --bin bench_report            # print
+//! cargo run --release -p msplayer-bench --bin bench_report -- --write # update bench_results/TREND.md
+//! cargo run --release -p msplayer-bench --bin bench_report -- some/dir
+//! ```
+//!
+//! Two artifact shapes are understood:
+//!
+//! * sweep-style reports (`sessions_per_sec` / `events_per_sec`, optional
+//!   `speedup` over a serial reference);
+//! * pattern-comparison reports (a `patterns` array of
+//!   `{pattern, *_ns_per_op|*_ns_per_round, speedup}` rows, as written by
+//!   `event_queue_bench` and `transfer_bench`).
+
+use msim_json::Value;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+fn fmt_rate(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Renders one artifact as markdown table rows; returns `None` for files
+/// this report does not understand.
+fn rows_for(name: &str, v: &Value) -> Option<Vec<String>> {
+    let mut rows = Vec::new();
+    if let Some(patterns) = v.get("patterns").and_then(Value::as_array) {
+        for p in patterns {
+            let pattern = p.get("pattern").and_then(Value::as_str).unwrap_or("?");
+            let speedup = p.get("speedup").and_then(Value::as_f64).unwrap_or(0.0);
+            // The per-op keys differ per bench; surface whichever pair is
+            // present, fastest implementation first.
+            let mut nums: Vec<(String, f64)> = p
+                .as_object()?
+                .iter()
+                .filter(|(k, _)| k.ends_with("_ns_per_op") || k.ends_with("_ns_per_round"))
+                .filter_map(|(k, val)| Some((k.clone(), val.as_f64()?)))
+                .collect();
+            nums.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite timings"));
+            let detail = nums
+                .iter()
+                .map(|(k, v)| format!("{k} {v:.1}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            rows.push(format!("| {name} | {pattern} | {speedup:.2}x | {detail} |"));
+        }
+        return Some(rows);
+    }
+    if let Some(sps) = v.get("sessions_per_sec").and_then(Value::as_f64) {
+        let eps = v
+            .get("events_per_sec")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        let threads = v.get("threads").and_then(Value::as_u64).unwrap_or(1);
+        let speedup = v
+            .get("speedup")
+            .and_then(Value::as_f64)
+            .map(|s| format!("{s:.2}x"))
+            .unwrap_or_else(|| "—".into());
+        rows.push(format!(
+            "| {name} | {} sessions/s, {} events/s ({} thread{}) | {speedup} | |",
+            fmt_rate(sps),
+            fmt_rate(eps),
+            threads,
+            if threads == 1 { "" } else { "s" },
+        ));
+        return Some(rows);
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let write = args.iter().any(|a| a == "--write");
+    let dir: PathBuf = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new("bench_results").to_path_buf());
+
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# Bench trend\n");
+    let _ = writeln!(
+        out,
+        "Merged from `{}/BENCH_*.json` by `bench_report`; re-record with the\n\
+         corresponding bench bins and re-run `bench_report -- --write` when a\n\
+         PR moves a number.\n",
+        dir.display()
+    );
+    let _ = writeln!(out, "| bench | metric / pattern | speedup | detail (ns) |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    let mut parsed = 0;
+    for f in &files {
+        let text = std::fs::read_to_string(f).expect("readable artifact");
+        let v = msim_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("{}: bad JSON: {e:?}", f.display()));
+        let name = f
+            .file_stem()
+            .and_then(|n| n.to_str())
+            .unwrap_or("?")
+            .trim_start_matches("BENCH_")
+            .to_string();
+        match rows_for(&name, &v) {
+            Some(rows) => {
+                parsed += 1;
+                for r in rows {
+                    let _ = writeln!(out, "{r}");
+                }
+            }
+            None => {
+                let _ = writeln!(out, "| {name} | (unrecognised schema) | — | |");
+            }
+        }
+    }
+    assert!(
+        parsed > 0,
+        "no recognisable BENCH_*.json in {}",
+        dir.display()
+    );
+
+    print!("{out}");
+    if write {
+        let path = dir.join("TREND.md");
+        std::fs::write(&path, &out).expect("write TREND.md");
+        eprintln!("[bench_report] wrote {}", path.display());
+    }
+}

@@ -1,0 +1,172 @@
+//! `transfer_bench` — measures the epoch transfer engine against the
+//! per-RTT reference round loop and records `BENCH_transfer.json`.
+//!
+//! Three patterns:
+//!
+//! * `stable_chunks` — the headline stable-link keep-alive chunk pattern
+//!   (10 Mbit/s / 20 ms constant link, 12 × 2 MB chunks with idle gaps):
+//!   the fast path solves slow-start ramps, CUBIC sawtooth growth, and
+//!   ssthresh oscillation in closed form;
+//! * `stable_deep_queue` — the same chain over a bufferbloated (3×BDP
+//!   queue) link with 4 MB chunks: longer loss-free CUBIC stretches,
+//!   bigger solves;
+//! * `jittered_fallback` — the calibrated WiFi testbed profile, where
+//!   per-round randomness forbids the fast path: measures that the
+//!   fallback costs ≈ nothing relative to the reference loop.
+//!
+//! Every pattern first asserts bit-identical results across the engines,
+//! then times them (best of `MSP_BENCH_TRIALS`, default 5).
+//!
+//! ```sh
+//! MSP_BENCH_DIR=bench_results cargo run --release -p msplayer-bench --bin transfer_bench
+//! ```
+
+use msim_core::rng::Prng;
+use msim_core::time::{SimDuration, SimTime};
+use msim_core::units::ByteSize;
+use msim_net::profile::PathProfile;
+use msim_net::tcp::{TcpConfig, TcpConnection, TransferEngine};
+use msplayer_bench::sweep::bench_dir;
+use std::time::Instant;
+
+struct Pattern {
+    name: &'static str,
+    profile: PathProfile,
+    queue_bdp_factor: f64,
+    chunk: ByteSize,
+    chunks: usize,
+    reps: u32,
+}
+
+struct Outcome {
+    rounds_per_chain: u32,
+    fast_fraction: f64,
+    solved_fraction: f64,
+    completed_at: SimTime,
+}
+
+fn run_chain(p: &Pattern, engine: TransferEngine, rep_seed: u64) -> Outcome {
+    let mut rng = Prng::new(rep_seed);
+    let mut link = p.profile.build(&mut rng);
+    let cfg = TcpConfig {
+        engine,
+        queue_bdp_factor: p.queue_bdp_factor,
+        ..TcpConfig::default()
+    };
+    let mut conn = TcpConnection::new(cfg);
+    let mut t = conn.connect(&mut link, SimTime::ZERO);
+    let (mut rounds, mut fast, mut solved) = (0u32, 0u32, 0u32);
+    for i in 0..p.chunks {
+        let res = conn.request(&mut link, t, p.chunk);
+        t = res.completed_at + SimDuration::from_millis(if i % 4 == 3 { 1_500 } else { 10 });
+        rounds += res.rounds;
+        fast += res.stats.fast_rounds;
+        solved += res.stats.solved_rounds;
+    }
+    Outcome {
+        rounds_per_chain: rounds,
+        fast_fraction: fast as f64 / rounds.max(1) as f64,
+        solved_fraction: solved as f64 / rounds.max(1) as f64,
+        completed_at: t,
+    }
+}
+
+fn time_engine(p: &Pattern, engine: TransferEngine, trials: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        let t0 = Instant::now();
+        for rep in 0..p.reps {
+            let _ = run_chain(p, engine, rep as u64);
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let trials: u32 = std::env::var("MSP_BENCH_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let patterns = [
+        Pattern {
+            name: "stable_chunks",
+            profile: PathProfile::stable(10.0, 20),
+            queue_bdp_factor: 1.0,
+            chunk: ByteSize::mb(2),
+            chunks: 12,
+            reps: 3_000,
+        },
+        Pattern {
+            name: "stable_deep_queue",
+            profile: PathProfile::stable(10.0, 20),
+            queue_bdp_factor: 3.0,
+            chunk: ByteSize::mb(4),
+            chunks: 12,
+            reps: 1_500,
+        },
+        Pattern {
+            name: "jittered_fallback",
+            profile: PathProfile::wifi_testbed(),
+            queue_bdp_factor: 1.0,
+            chunk: ByteSize::mb(2),
+            chunks: 12,
+            reps: 1_500,
+        },
+    ];
+
+    let mut json_patterns: Vec<msim_json::Value> = Vec::new();
+    let mut stable_speedup = 0.0;
+    for p in &patterns {
+        // Equivalence gate before timing: both engines must agree exactly.
+        for rep in [0u64, 1, 2] {
+            let a = run_chain(p, TransferEngine::Epoch, rep);
+            let b = run_chain(p, TransferEngine::RoundLoop, rep);
+            assert_eq!(
+                a.completed_at, b.completed_at,
+                "{}: engines diverged (rep {rep})",
+                p.name
+            );
+            assert_eq!(a.rounds_per_chain, b.rounds_per_chain, "{}", p.name);
+        }
+        // Warm up both paths, then time.
+        let _ = time_engine(p, TransferEngine::Epoch, 1);
+        let _ = time_engine(p, TransferEngine::RoundLoop, 1);
+        let epoch = time_engine(p, TransferEngine::Epoch, trials);
+        let roundloop = time_engine(p, TransferEngine::RoundLoop, trials);
+        let o = run_chain(p, TransferEngine::Epoch, 0);
+        let speedup = roundloop / epoch.max(1e-12);
+        if p.name == "stable_chunks" {
+            stable_speedup = speedup;
+        }
+        let total_rounds = o.rounds_per_chain as f64 * p.reps as f64;
+        println!(
+            "{:<20} epoch {:>7.1} ns/round  roundloop {:>7.1} ns/round  speedup {:>5.2}x  \
+             (fast {:.0}%, solved {:.0}%)",
+            p.name,
+            epoch * 1e9 / total_rounds,
+            roundloop * 1e9 / total_rounds,
+            speedup,
+            o.fast_fraction * 100.0,
+            o.solved_fraction * 100.0,
+        );
+        json_patterns.push(
+            msim_json::Value::object()
+                .with("pattern", p.name)
+                .with("epoch_ns_per_round", epoch * 1e9 / total_rounds)
+                .with("roundloop_ns_per_round", roundloop * 1e9 / total_rounds)
+                .with("speedup", speedup)
+                .with("rounds_per_chain", o.rounds_per_chain as u64)
+                .with("fast_round_fraction", o.fast_fraction)
+                .with("solved_round_fraction", o.solved_fraction),
+        );
+    }
+
+    let json = msim_json::Value::object()
+        .with("name", "transfer")
+        .with("stable_chunks_speedup", stable_speedup)
+        .with("patterns", msim_json::Value::Array(json_patterns));
+    let path = bench_dir().join("BENCH_transfer.json");
+    std::fs::write(&path, msim_json::to_string_pretty(&json)).expect("write bench json");
+    println!("[bench] {}", path.display());
+}

@@ -280,6 +280,67 @@ impl WorkloadSpec {
 }
 
 impl WorkloadSpec {
+    /// Four-path asymmetric-replica grid: WiFi + LTE + ethernet + a
+    /// second, slower cellular modem that shares the **same** cellular
+    /// network (and therefore the same replica fleet) as the LTE path.
+    /// Two paths competing for one network's servers is the asymmetry the
+    /// closed enums could never express; the grid sweeps two schedulers ×
+    /// two chunk sizes over it.
+    pub fn four_path_asymmetric_grid(runs: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "grid/4path-asym".into(),
+            service: ServiceSpec::testbed(),
+            paths: vec![
+                PathSetup::new(PathProfile::wifi_testbed(), Network::Wifi),
+                PathSetup::new(PathProfile::lte_testbed(), Network::Cellular),
+                PathSetup::new(PathProfile::ethernet_testbed(), Network::Ethernet),
+                PathSetup::new(
+                    PathProfile::lte_youtube().scaled_to(msim_core::units::BitRate::mbps(4.2)),
+                    Network::Cellular,
+                ),
+            ],
+            player: PlayerKind::MsPlayer,
+            schedulers: vec![SchedulerKind::Harmonic, SchedulerKind::Ratio],
+            chunk_kb: vec![256, 1024],
+            prebuffer_secs: 10.0,
+            stop: StopCondition::PrebufferDone,
+            server_failures: Vec::new(),
+            runs,
+            seed_salt: 0x4A57_4247,
+            abr: None,
+        }
+    }
+
+    /// Same-network dual-WiFi workload: two WiFi interfaces attached to
+    /// one WiFi network (e.g. a phone bridging 2.4 GHz and 5 GHz radios).
+    /// Both paths bootstrap against the *same* network's proxy and server
+    /// fleet, which exercises the bootstrap cache's load-aware-ordering
+    /// caveat: the second path sees a non-idle network, so the host must
+    /// bypass its `(network, json_done)` cache to preserve exact
+    /// load-aware server ordering.
+    pub fn dual_wifi_same_network(runs: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "wifi/dual-same-network".into(),
+            service: ServiceSpec::testbed(),
+            paths: vec![
+                PathSetup::new(PathProfile::wifi_testbed(), Network::Wifi),
+                PathSetup::new(
+                    PathProfile::wifi_testbed().scaled_to(msim_core::units::BitRate::mbps(6.3)),
+                    Network::Wifi,
+                ),
+            ],
+            player: PlayerKind::MsPlayer,
+            schedulers: vec![SchedulerKind::Harmonic],
+            chunk_kb: vec![256],
+            prebuffer_secs: 10.0,
+            stop: StopCondition::PrebufferDone,
+            server_failures: Vec::new(),
+            runs,
+            seed_salt: 0xD0A1_F1F1,
+            abr: None,
+        }
+    }
+
     /// ABR-ladder workload: MSPlayer streams through two refill cycles
     /// with the shadow rate adapter (see
     /// [`msplayer_core::adaptation`]) deciding a ladder rung every 250 ms.
@@ -350,6 +411,8 @@ impl WorkloadRegistry {
         reg.register(WorkloadSpec::mobility_storm(runs));
         reg.register(WorkloadSpec::server_failure_storm(runs));
         reg.register(WorkloadSpec::abr_ladder(runs));
+        reg.register(WorkloadSpec::four_path_asymmetric_grid(runs));
+        reg.register(WorkloadSpec::dual_wifi_same_network(runs));
         reg
     }
 
@@ -431,13 +494,51 @@ mod tests {
     #[test]
     fn builtin_covers_enums_and_n_path() {
         let reg = WorkloadRegistry::builtin(2);
-        // 2 envs × 3 competitors + 4 new scenarios.
-        assert_eq!(reg.specs().len(), 10);
+        // 2 envs × 3 competitors + 6 new scenarios.
+        assert_eq!(reg.specs().len(), 12);
         assert!(reg.by_name("testbed/MSPlayer").is_some());
         assert!(reg.by_name("youtube/LTE").is_some());
         let three = reg.by_name("testbed3/MSPlayer").unwrap();
         assert_eq!(three.paths.len(), 3);
         assert!(reg.by_name("abr/ladder").is_some());
+        let four = reg.by_name("grid/4path-asym").unwrap();
+        assert_eq!(four.paths.len(), 4);
+        let dual = reg.by_name("wifi/dual-same-network").unwrap();
+        assert_eq!(dual.paths.len(), 2);
+        assert!(dual.paths.iter().all(|p| p.network == Network::Wifi));
+    }
+
+    #[test]
+    fn four_path_asym_grid_uses_all_paths_and_shares_cellular() {
+        let w = WorkloadSpec::four_path_asymmetric_grid(1);
+        // Asymmetric replica pressure: two of the four paths share the
+        // cellular network's replica fleet.
+        let cellular = w
+            .paths
+            .iter()
+            .filter(|p| p.network == Network::Cellular)
+            .count();
+        assert_eq!(cellular, 2);
+        let cells = crate::sweep::expand_workload(&Arc::new(w));
+        assert_eq!(cells.len(), 4, "2 schedulers × 2 chunks × 1 seed");
+        let r = cells[0].run();
+        assert!(r.metrics.prebuffer_done_at.is_some());
+        assert_eq!(r.metrics.num_paths(), 4);
+        for p in 0..4 {
+            assert!(r.metrics.chunk_count(p) > 0, "path {p} carried chunks");
+        }
+    }
+
+    #[test]
+    fn dual_wifi_same_network_streams_on_both_interfaces() {
+        let w = WorkloadSpec::dual_wifi_same_network(1);
+        let cells = crate::sweep::expand_workload(&Arc::new(w));
+        assert_eq!(cells.len(), 1);
+        let a = cells[0].run();
+        let b = cells[0].run();
+        assert_eq!(a.metrics, b.metrics, "deterministic replay");
+        assert!(a.metrics.prebuffer_done_at.is_some());
+        assert!(a.metrics.chunk_count(0) > 0 && a.metrics.chunk_count(1) > 0);
     }
 
     #[test]

@@ -33,16 +33,16 @@ fn scenario_of(w: &WorkloadSpec, seed: u64) -> Option<Scenario> {
 }
 
 /// `run_batch` over N seeds is bit-identical to N independent
-/// `run_session` calls, for every built-in 1–2-path workload (both
-/// environments, all competitor shapes, the storm scenarios).
+/// `run_session` calls, for **every** built-in workload (both
+/// environments, all competitor shapes, the storms, the 3/4-path grids,
+/// and the same-network dual-WiFi scenario). Workloads a `Scenario`
+/// cannot express (several failures) compare against fresh one-shot
+/// hosts instead.
 #[test]
-fn batch_equals_run_session_loop_for_every_1_2_path_workload() {
+fn batch_equals_run_session_loop_for_every_builtin_workload() {
     let registry = WorkloadRegistry::builtin(1);
     let mut covered = 0;
     for w in registry.specs() {
-        if w.paths.len() > 2 {
-            continue;
-        }
         let spec = w.session_spec(w.schedulers[0], w.chunk_kb[0], 0);
         let seeds: Vec<u64> = (0..3).map(|r| w.seed(r)).collect();
         let mut host = SessionHost::new(w.service.clone());
@@ -67,8 +67,8 @@ fn batch_equals_run_session_loop_for_every_1_2_path_workload() {
         covered += 1;
     }
     assert!(
-        covered >= 8,
-        "expected the builtin 1–2-path workloads, got {covered}"
+        covered >= 12,
+        "expected every builtin workload (incl. grid/4path-asym and wifi/dual-same-network), got {covered}"
     );
 }
 

@@ -45,7 +45,7 @@ use msim_http::tls::TlsTimingModel;
 use msim_http::StatusCode;
 use msim_net::mobility::OutageSchedule;
 use msim_net::profile::PathProfile;
-use msim_net::tcp::{TcpConfig, TcpConnection, TransferOutcome};
+use msim_net::tcp::{TcpConfig, TcpConnection, TransferOutcome, TransferStats};
 use msim_net::Link;
 use msim_youtube::dns::{DnsResolver, Network};
 use msim_youtube::proxy::{parse_video_info, VideoInfo};
@@ -587,6 +587,18 @@ impl SessionHost {
 
         let mut rng = Prng::new(seed);
         let n_paths = spec.paths.len();
+        // The session's transfer-engine selection applies to every TCP
+        // connection the driver opens (bootstrap page fetches, video
+        // connections, failover reconnects).
+        let engine = spec.player.transfer_engine;
+        let tcp_config_for = |setup: &PathSetup| -> TcpConfig {
+            TcpConfig {
+                engine,
+                ..setup.profile.tcp_config()
+            }
+        };
+        // Aggregated engine telemetry across the session's transfers.
+        let mut xfer_stats = TransferStats::default();
 
         // --- Links & connections -------------------------------------------
         let mut links: Vec<Link> = Vec::with_capacity(n_paths);
@@ -657,10 +669,11 @@ impl SessionHost {
             // (footnote 1) — a real ~300 KB transfer on a fresh connection to
             // the proxy, expensive on the high-RTT path — then decipher.
             if boot.info.enciphered_sig.is_some() {
-                let mut page_conn = TcpConnection::new(setup.profile.tcp_config());
+                let mut page_conn = TcpConnection::new(tcp_config_for(setup));
                 let page_start =
                     page_conn.connect(&mut links[i], t + self.tls.eta(rtt).saturating_sub(rtt));
                 let page = page_conn.request(&mut links[i], page_start, ByteSize::kb(300));
+                xfer_stats.absorb(page.stats);
                 t = page.completed_at + SimDuration::from_millis(3);
             }
             // DNS for the chosen video server.
@@ -672,7 +685,7 @@ impl SessionHost {
             // model charges itself.
             let tls_extra = self.tls.eta(rtt).saturating_sub(rtt);
             let connect_start = dns2_done + tls_extra;
-            let mut conn = TcpConnection::new(setup.profile.tcp_config());
+            let mut conn = TcpConnection::new(tcp_config_for(setup));
             if let Some(pace) = self.service.server(server_addr).and_then(|s| s.pace()) {
                 conn = conn.with_server_pacing(pace.burst, pace.rate);
             }
@@ -683,7 +696,7 @@ impl SessionHost {
             }
             ready_times.push(ready);
             paths.push(PathRt {
-                tcp_config: setup.profile.tcp_config(),
+                tcp_config: tcp_config_for(setup),
                 resolver,
                 boot,
                 current_server: 0,
@@ -814,6 +827,7 @@ impl SessionHost {
                             queue,
                             now,
                             assignment,
+                            &mut xfer_stats,
                         );
                     }
                     PlayerAction::Failover { path } => {
@@ -851,14 +865,24 @@ impl SessionHost {
             if stop {
                 let mut m = player.into_metrics(now);
                 m.events = events;
+                record_transfer_stats(&mut m, xfer_stats);
                 return m;
             }
         }
         let end = queue.now();
         let mut m = player.into_metrics(end);
         m.events = events;
+        record_transfer_stats(&mut m, xfer_stats);
         m
     }
+}
+
+/// Copies the session's aggregated transfer-engine telemetry into the
+/// metrics record.
+fn record_transfer_stats(m: &mut SessionMetrics, stats: TransferStats) {
+    m.transfer_epochs = stats.epochs as u64;
+    m.transfer_fast_rounds = stats.fast_rounds as u64;
+    m.transfer_solved_rounds = stats.solved_rounds as u64;
 }
 
 /// Runs one scenario to completion and returns its metrics.
@@ -883,6 +907,7 @@ fn dispatch_fetch(
     queue: &mut EventQueue<Ev>,
     now: SimTime,
     assignment: ChunkAssignment,
+    xfer_stats: &mut TransferStats,
 ) {
     let p = assignment.path;
     let rt = &mut paths[p];
@@ -906,6 +931,7 @@ fn dispatch_fetch(
     }
     let conn = conns[p].as_mut().expect("connection established");
     let result = conn.request(&mut links[p], now, ByteSize::bytes(assignment.range.len()));
+    xfer_stats.absorb(result.stats);
     match result.outcome {
         TransferOutcome::Complete => {
             queue.push(
@@ -1156,6 +1182,50 @@ mod tests {
             .filter_map(|p| m.traffic_fraction(p, crate::metrics::TrafficPhase::PreBuffering))
             .sum();
         assert!((total - 1.0).abs() < 1e-9, "fractions sum to 1: {total}");
+    }
+
+    #[test]
+    fn transfer_engines_agree_end_to_end() {
+        use msim_net::tcp::TransferEngine;
+        // A stable link engages the epoch engine's closed-form fast path
+        // for essentially every round; the session must be bit-identical
+        // to one driven by the reference round loop (the jittered paper
+        // profiles are covered too, via the fallback path).
+        let scenarios = [
+            Scenario::testbed_single_path(
+                17,
+                PathProfile::stable(10.0, 20),
+                Network::Wifi,
+                quick_player(),
+            ),
+            Scenario::testbed_msplayer(17, quick_player()),
+        ];
+        for scenario in scenarios {
+            let epoch = run_session(&scenario);
+            let mut rl_scenario = scenario.clone();
+            rl_scenario.player = rl_scenario
+                .player
+                .with_transfer_engine(TransferEngine::RoundLoop);
+            let mut rl = run_session(&rl_scenario);
+            // Telemetry is engine-specific by design; the model is not.
+            assert_eq!(
+                rl.transfer_fast_rounds, 0,
+                "round loop reports no fast path"
+            );
+            rl.transfer_epochs = epoch.transfer_epochs;
+            rl.transfer_fast_rounds = epoch.transfer_fast_rounds;
+            rl.transfer_solved_rounds = epoch.transfer_solved_rounds;
+            assert_eq!(epoch, rl, "engines diverged end-to-end");
+        }
+        // And the stable scenario genuinely exercised the fast path.
+        let m = run_session(&Scenario::testbed_single_path(
+            17,
+            PathProfile::stable(10.0, 20),
+            Network::Wifi,
+            quick_player(),
+        ));
+        assert!(m.transfer_epochs > 0, "fast path engaged: {m:?}");
+        assert!(m.transfer_solved_rounds > 0, "closed-form solves engaged");
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! * [`tcp`] — a deterministic round-based TCP connection model with IW10
 //!   slow start, CUBIC congestion avoidance ([`cubic`]), slow-start restart
 //!   after idle, persistent-connection window reuse, and optional
-//!   server-side pacing (Trickle-style, the paper's \[12\]);
+//!   server-side pacing (Trickle-style, the paper's \[12\]), executed by
+//!   an epoch-based engine that solves stable stretches in closed form
+//!   (bit-identical to the preserved per-RTT reference loop);
 //! * [`profile`] — calibrated WiFi/LTE path recipes for the §5 emulated
 //!   testbed and the §6 production-YouTube environment;
 //! * [`mobility`] — outage schedules for the mobility/robustness scenarios;
@@ -33,4 +35,6 @@ pub use cubic::Cubic;
 pub use link::Link;
 pub use mobility::OutageSchedule;
 pub use profile::PathProfile;
-pub use tcp::{TcpConfig, TcpConnection, TransferOutcome, TransferResult};
+pub use tcp::{
+    TcpConfig, TcpConnection, TransferEngine, TransferOutcome, TransferResult, TransferStats,
+};

@@ -2,10 +2,27 @@
 //! jitter, random loss, and optional outage windows (mobility).
 
 use crate::mobility::OutageSchedule;
-use msim_core::process::Process;
+use msim_core::process::{Process, ProcessKind};
 use msim_core::rng::Prng;
 use msim_core::time::{SimDuration, SimTime};
 use msim_core::units::BitRate;
+
+/// A window over which a link is *provably boring*: constant rate, constant
+/// RTT, zero per-round loss probability, no outage — and, crucially, no
+/// randomness consumed by any per-round sampling inside it. The epoch-based
+/// transfer engine ([`crate::tcp`]) collapses TCP rounds inside such
+/// windows into closed-form solves; see [`Link::stable_window`] for the
+/// exact contract.
+#[derive(Clone, Copy, Debug)]
+pub struct StableWindow {
+    /// The (effective, clamped) link rate holding over the window.
+    pub rate: BitRate,
+    /// The round-trip time holding over the window (no jitter by
+    /// definition of stability).
+    pub rtt: SimDuration,
+    /// Exclusive end of the window: the guarantee covers `[t, until)`.
+    pub until: SimTime,
+}
 
 /// One directional access link (WiFi or LTE attachment).
 ///
@@ -15,7 +32,7 @@ use msim_core::units::BitRate;
 pub struct Link {
     /// Human-readable name, e.g. `"wifi"`.
     pub name: String,
-    rate_process: Box<dyn Process>,
+    rate_process: ProcessKind,
     base_rtt: SimDuration,
     rtt_jitter_frac: f64,
     random_loss_per_round: f64,
@@ -25,9 +42,12 @@ pub struct Link {
 
 impl Link {
     /// Assembles a link from its parts. `rate_process` yields Mbit/s.
+    /// Concrete process types dispatch through [`ProcessKind`] (a
+    /// predictable branch on the per-round hot path instead of a vtable);
+    /// exotic implementations can still be passed as `Box<dyn Process>`.
     pub fn new(
         name: impl Into<String>,
-        rate_process: Box<dyn Process>,
+        rate_process: impl Into<ProcessKind>,
         base_rtt: SimDuration,
         rtt_jitter_frac: f64,
         random_loss_per_round: f64,
@@ -35,7 +55,7 @@ impl Link {
     ) -> Self {
         Link {
             name: name.into(),
-            rate_process,
+            rate_process: rate_process.into(),
             base_rtt,
             rtt_jitter_frac,
             random_loss_per_round,
@@ -97,6 +117,57 @@ impl Link {
             Some(o.next_up(t))
         }
     }
+
+    /// Draws and returns the next raw value of the link's own RNG stream.
+    /// Test-only: differential tests use it to pin the stream *position*
+    /// (not just past draws) after a transfer ran on each engine.
+    #[doc(hidden)]
+    pub fn rng_probe(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Probes for a [`StableWindow`] starting at `t`.
+    ///
+    /// When this returns `Some(w)`, the link guarantees that for every
+    /// `t' ∈ [t, w.until)`:
+    ///
+    /// * [`Link::rate_at`]`(t')` returns exactly `w.rate`,
+    /// * [`Link::rtt_at`]`(t')` returns exactly `w.rtt`,
+    /// * [`Link::random_loss`]`()` returns `false`,
+    ///
+    /// **and none of those calls consumes randomness or observably mutates
+    /// state** — so a caller may skip them entirely and every later sample
+    /// on this link is bit-identical to the call-every-round execution.
+    /// This is the foundation of the TCP fast path's bit-identity claim.
+    ///
+    /// The probe itself samples the rate at `t` (exactly as a per-round
+    /// caller would), so callers must treat the probe as their sample for
+    /// time `t`. Returns `None` when the link is jittered, lossy, in an
+    /// outage, or its rate process cannot advertise a horizon.
+    pub fn stable_window(&mut self, t: SimTime) -> Option<StableWindow> {
+        if self.rtt_jitter_frac > 0.0 || self.random_loss_per_round > 0.0 {
+            return None;
+        }
+        let mut until = SimTime::MAX;
+        if let Some(o) = &self.outages {
+            if !o.is_up(t) {
+                return None;
+            }
+            if let Some(next_down) = o.next_outage_after(t) {
+                until = next_down;
+            }
+        }
+        let rate = self.rate_at(t);
+        until = until.min(self.rate_process.stable_until(t)?);
+        if until <= t {
+            return None;
+        }
+        Some(StableWindow {
+            rate,
+            rtt: self.base_rtt,
+            until,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -107,7 +178,7 @@ mod tests {
     fn test_link(jitter: f64) -> Link {
         Link::new(
             "test",
-            Box::new(Constant(10.0)),
+            Constant(10.0),
             SimDuration::from_millis(50),
             jitter,
             0.0,
@@ -163,7 +234,7 @@ mod tests {
     fn random_loss_frequency() {
         let mut l = Link::new(
             "lossy",
-            Box::new(Constant(10.0)),
+            Constant(10.0),
             SimDuration::from_millis(50),
             0.0,
             0.1,
@@ -171,5 +242,66 @@ mod tests {
         );
         let hits = (0..10_000).filter(|_| l.random_loss()).count();
         assert!((800..1200).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn stable_window_on_quiet_constant_link() {
+        let mut l = test_link(0.0);
+        let w = l.stable_window(SimTime::from_secs(1)).expect("stable");
+        assert_eq!(w.until, SimTime::MAX);
+        assert_eq!(w.rtt, SimDuration::from_millis(50));
+        assert!((w.rate.as_mbps() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_or_loss_defeat_stability() {
+        let mut jittered = test_link(0.2);
+        assert!(jittered.stable_window(SimTime::ZERO).is_none());
+        let mut lossy = Link::new(
+            "lossy",
+            Constant(10.0),
+            SimDuration::from_millis(50),
+            0.0,
+            0.01,
+            Prng::new(7),
+        );
+        assert!(lossy.stable_window(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn outages_bound_or_defeat_stability() {
+        use crate::mobility::OutageSchedule;
+        let sched =
+            OutageSchedule::from_windows(vec![(SimTime::from_secs(10), SimTime::from_secs(20))]);
+        let mut l = test_link(0.0).with_outages(sched);
+        // Before the outage: window ends at the outage start.
+        let w = l.stable_window(SimTime::from_secs(5)).expect("up + stable");
+        assert_eq!(w.until, SimTime::from_secs(10));
+        // Inside the outage: no stability at all.
+        assert!(l.stable_window(SimTime::from_secs(15)).is_none());
+        // After: unbounded again.
+        let w = l.stable_window(SimTime::from_secs(25)).expect("up again");
+        assert_eq!(w.until, SimTime::MAX);
+    }
+
+    #[test]
+    fn stochastic_rate_process_defeats_stability() {
+        use msim_core::process::Ou;
+        let mut l = Link::new(
+            "ou",
+            Ou::new(10.0, 2.0, 1.0, Prng::new(9)),
+            SimDuration::from_millis(40),
+            0.0,
+            0.0,
+            Prng::new(10),
+        );
+        assert!(l.stable_window(SimTime::from_millis(10)).is_none());
+        // The probe's own sample counts as the sample for that instant:
+        // a subsequent rate_at at the same t must agree and not re-draw.
+        let t = SimTime::from_millis(20);
+        let _ = l.stable_window(t);
+        let a = l.rate_at(t);
+        let b = l.rate_at(t);
+        assert_eq!(a.as_bps(), b.as_bps());
     }
 }

@@ -263,23 +263,26 @@ impl PathProfile {
     }
 
     /// Instantiates a [`Link`]; all stochastic components get independent
-    /// streams forked from `rng`.
+    /// streams forked from `rng`. Components are composed through
+    /// [`msim_core::process::ProcessKind`] — enum dispatch on the
+    /// per-round sampling hot path, no per-component vtable.
     pub fn build(&self, rng: &mut Prng) -> Link {
         let mean = self.mean_rate.as_mbps();
-        let base: Box<dyn msim_core::process::Process> = if self.rate_std_frac > 0.0 {
-            Box::new(Ou::new(
+        let base: msim_core::process::ProcessKind = if self.rate_std_frac > 0.0 {
+            Ou::new(
                 mean,
                 mean * self.rate_std_frac,
                 self.rate_tau_secs,
                 rng.fork(),
-            ))
+            )
+            .into()
         } else {
-            Box::new(msim_core::process::Constant(mean))
+            msim_core::process::Constant(mean).into()
         };
         let mut modulated =
             Modulated::new(base, mean * self.min_rate_frac, mean * self.max_rate_frac);
         if let Some(b) = self.bursts {
-            modulated = modulated.with(Box::new(Bursts::new(
+            modulated = modulated.with(Bursts::new(
                 b.mean_interarrival_secs,
                 b.mean_duration_secs,
                 b.shape,
@@ -287,20 +290,20 @@ impl PathProfile {
                 b.down_cap,
                 b.up_prob,
                 rng.fork(),
-            )));
+            ));
         }
         if let Some(m) = self.markov {
-            modulated = modulated.with(Box::new(MarkovModulator::new(
+            modulated = modulated.with(MarkovModulator::new(
                 1.0,
                 m.bad_mult,
                 m.mean_good_secs,
                 m.mean_bad_secs,
                 rng.fork(),
-            )));
+            ));
         }
         Link::new(
             self.name,
-            Box::new(modulated),
+            modulated,
             self.base_rtt,
             self.rtt_jitter_frac,
             self.random_loss_per_round,

@@ -1,4 +1,5 @@
-//! Round-based TCP connection model.
+//! Round-based TCP connection model, executed by an epoch-based transfer
+//! engine.
 //!
 //! Every HTTP range request in the paper's system rides a persistent legacy
 //! TCP connection. What determines a chunk's download time is:
@@ -15,11 +16,50 @@
 //! `min(cwnd, BDP)` bytes, cwnd grows per slow start / CUBIC, and losses cut
 //! it. This fluid approximation is standard for transfer-time studies and is
 //! deterministic given the link's RNG streams.
+//!
+//! # The two engines
+//!
+//! Two interchangeable engines execute that model:
+//!
+//! * [`rounds`] — the reference **round loop**: one iteration per RTT,
+//!   exactly the historical implementation (the differential baseline,
+//!   like `event::fourary::FourAryQueue` is for the event queue);
+//! * [`epoch`] — the default **epoch engine**: the same model decomposed
+//!   into composable phases (request latency, slow-start ramp, CUBIC
+//!   growth, pacing, drain, idle restart, dead link) over explicit epoch
+//!   boundaries. Wherever the link advertises a [`StableWindow`] (constant
+//!   rate/RTT, zero loss probability, *zero randomness consumed per
+//!   round*), the engine solves whole runs of rounds in closed form —
+//!   geometric sums in slow start, the CUBIC window polynomial in
+//!   congestion avoidance — and replays only the state arithmetic the
+//!   round loop would have performed, in the same order, so results are
+//!   **bit-identical**: same [`TransferResult`] model fields, same RNG
+//!   stream positions, same warm-connection state.
+//!
+//! Select an engine per connection via [`TcpConfig::engine`]; differential
+//! tests in `crates/net/tests/transfer_engines.rs` pin the equivalence
+//! across randomized profiles, handoffs, idle gaps, and loss regimes.
+//!
+//! [`StableWindow`]: crate::link::StableWindow
+
+pub mod epoch;
+pub mod rounds;
 
 use crate::cubic::Cubic;
 use crate::link::Link;
 use msim_core::time::{SimDuration, SimTime};
 use msim_core::units::{BitRate, ByteSize};
+
+/// Which transfer engine a connection runs (see the module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransferEngine {
+    /// The epoch-based engine with the closed-form fast path (default).
+    #[default]
+    Epoch,
+    /// The per-RTT reference loop — bit-identical, slower on stable
+    /// links; keep it at hand for debugging and differential testing.
+    RoundLoop,
+}
 
 /// Tunables for the TCP model (defaults match a Linux 3.5-era stack).
 #[derive(Clone, Debug)]
@@ -42,6 +82,8 @@ pub struct TcpConfig {
     /// Abort a transfer after the link has been dead for this long
     /// (models application-level timeout on top of TCP retransmission).
     pub dead_link_timeout: SimDuration,
+    /// Which transfer engine executes requests on this connection.
+    pub engine: TransferEngine,
 }
 
 impl Default for TcpConfig {
@@ -55,6 +97,7 @@ impl Default for TcpConfig {
             restart_cwnd_pkts: 10.0,
             rwnd_bytes: 3 * 1024 * 1024,
             dead_link_timeout: SimDuration::from_secs(4),
+            engine: TransferEngine::default(),
         }
     }
 }
@@ -66,6 +109,30 @@ pub enum TransferOutcome {
     Complete,
     /// The link stayed dead past [`TcpConfig::dead_link_timeout`].
     TimedOut,
+}
+
+/// Execution telemetry of one transfer: how the engine got the result,
+/// never *what* the result is. The model fields of [`TransferResult`] are
+/// engine-independent (differential-tested); these counters are not — the
+/// round loop always reports zeros.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransferStats {
+    /// Stable-link epochs the engine ran fast-path rounds in.
+    pub epochs: u32,
+    /// Rounds executed on the fast path (lean or closed-form-solved).
+    pub fast_rounds: u32,
+    /// The subset of `fast_rounds` skipped by a closed-form solve
+    /// (geometric slow start, CUBIC polynomial, cap-limited runs).
+    pub solved_rounds: u32,
+}
+
+impl TransferStats {
+    /// Accumulates another transfer's telemetry (saturating).
+    pub fn absorb(&mut self, other: TransferStats) {
+        self.epochs = self.epochs.saturating_add(other.epochs);
+        self.fast_rounds = self.fast_rounds.saturating_add(other.fast_rounds);
+        self.solved_rounds = self.solved_rounds.saturating_add(other.solved_rounds);
+    }
 }
 
 /// The result of simulating one request/response transfer.
@@ -85,6 +152,9 @@ pub struct TransferResult {
     pub losses: u32,
     /// How it ended.
     pub outcome: TransferOutcome,
+    /// Engine telemetry (epochs engaged, fast-path rounds). Excluded from
+    /// the bit-identity contract between engines.
+    pub stats: TransferStats,
 }
 
 impl TransferResult {
@@ -170,11 +240,27 @@ impl TcpConnection {
     /// The request consumes one upstream half-RTT; the first data packet
     /// arrives a full RTT after the request. Subsequent rounds deliver
     /// `min(cwnd, avail·RTT, rwnd, pace·RTT)` bytes each.
+    ///
+    /// Execution is delegated to the engine selected by
+    /// [`TcpConfig::engine`]; both engines produce bit-identical model
+    /// results (see the module docs).
     pub fn request(&mut self, link: &mut Link, now: SimTime, size: ByteSize) -> TransferResult {
         assert!(self.established_at.is_some(), "request() before connect()");
         debug_assert!(size.as_u64() > 0, "zero-byte request");
 
-        // Slow-start restart after idle (RFC 2861).
+        // Phase: slow-start restart after idle (RFC 2861) — shared by
+        // both engines, before any round runs.
+        self.idle_restart_phase(now);
+
+        match self.cfg.engine {
+            TransferEngine::Epoch => epoch::run(self, link, now, size),
+            TransferEngine::RoundLoop => rounds::run(self, link, now, size),
+        }
+    }
+
+    /// Resets the window if the connection idled past the restart
+    /// threshold (RFC 2861).
+    fn idle_restart_phase(&mut self, now: SimTime) {
         if let Some(idle_limit) = self.cfg.idle_restart {
             let idle = now.saturating_since(self.last_activity);
             if idle > idle_limit {
@@ -183,133 +269,20 @@ impl TcpConnection {
                 self.cubic = Cubic::default();
             }
         }
+    }
 
-        let mss = self.cfg.mss as f64;
-        let mut t = now;
-        let mut remaining = size.as_u64() as f64;
-        let mut rounds: u32 = 0;
-        let mut losses: u32 = 0;
-        let mut first_byte_at: Option<SimTime> = None;
-        let mut dead_for = SimDuration::ZERO;
-
-        // The request packet travels for one RTT before data flows.
-        let req_rtt = link.rtt_at(t);
-        t += req_rtt;
-        first_byte_at.get_or_insert(t);
-
-        while remaining > 0.0 {
-            rounds += 1;
-            let rtt = link.rtt_at(t);
-            let rate = self.effective_rate(link, t);
-
-            if rate.as_bps() <= 0.0 {
-                // Link dead: TCP retransmits silently; the application aborts
-                // after `dead_link_timeout`.
-                if let Some(up_at) = link.next_up_after(t) {
-                    let wait = up_at.saturating_since(t);
-                    dead_for += wait;
-                    if dead_for >= self.cfg.dead_link_timeout {
-                        let abort_at = t + self
-                            .cfg
-                            .dead_link_timeout
-                            .saturating_sub(dead_for.saturating_sub(wait));
-                        return self.finish(
-                            now,
-                            first_byte_at.unwrap_or(abort_at),
-                            abort_at,
-                            size.as_u64() as f64 - remaining,
-                            rounds,
-                            losses,
-                            TransferOutcome::TimedOut,
-                        );
-                    }
-                    t = up_at;
-                    // Loss of a full window during the outage.
-                    self.cwnd_pkts = self.cubic.on_loss(self.cwnd_pkts);
-                    self.ssthresh_pkts = self.cwnd_pkts;
-                    losses += 1;
-                    continue;
-                }
-                // No scheduled recovery: abort at the timeout.
-                let abort_at = t + self.cfg.dead_link_timeout;
-                return self.finish(
-                    now,
-                    first_byte_at.unwrap_or(abort_at),
-                    abort_at,
-                    size.as_u64() as f64 - remaining,
-                    rounds,
-                    losses,
-                    TransferOutcome::TimedOut,
-                );
-            }
-            dead_for = SimDuration::ZERO;
-
-            let bdp_bytes = rate.bytes_per_sec() * rtt.as_secs_f64();
-            let queue_bytes = bdp_bytes * self.cfg.queue_bdp_factor;
-            let cwnd_bytes = self.cwnd_pkts * mss;
-
-            // Bytes the sender puts on the wire this round.
-            let offered = cwnd_bytes
-                .min(self.cfg.rwnd_bytes as f64)
-                .min(remaining.max(mss));
-            // Bytes that fit through the bottleneck in one RTT.
-            let deliverable = bdp_bytes.max(mss);
-            let sent = offered.min(remaining);
-            let delivered = sent.min(deliverable);
-
-            // Congestion: window exceeded path capacity + queue.
-            let overflow = offered > bdp_bytes + queue_bytes;
-            let random_loss = link.random_loss();
-
-            // Time for this round: a full RTT, or the fraction needed to
-            // finish the remaining bytes at the deliverable rate.
-            let round_time = if delivered >= remaining {
-                // Last round: time to drain `remaining` at the line rate,
-                // at most one RTT.
-                let frac = (remaining / deliverable).min(1.0);
-                rtt.mul_f64(frac.max(0.05))
-            } else {
-                rtt
-            };
-
-            remaining -= delivered;
-            self.total_delivered += delivered as u64;
-            t += round_time;
-
-            if remaining <= 0.0 {
-                break;
-            }
-
-            // Window evolution for the next round.
-            if overflow || random_loss {
-                losses += 1;
-                self.cwnd_pkts = self.cubic.on_loss(self.cwnd_pkts);
-                self.ssthresh_pkts = self.cwnd_pkts;
-            } else if self.cwnd_pkts < self.ssthresh_pkts {
-                // Slow start: cwnd grows by one MSS per ACKed segment.
-                self.cwnd_pkts += delivered / mss;
-                if self.cwnd_pkts >= self.ssthresh_pkts {
-                    self.cwnd_pkts = self.ssthresh_pkts;
-                }
-            } else {
-                self.cwnd_pkts =
-                    self.cubic
-                        .advance(rtt.as_secs_f64(), rtt.as_secs_f64(), self.cwnd_pkts);
-            }
-            // The window never usefully exceeds what the receiver offers.
-            let rwnd_pkts = self.cfg.rwnd_bytes as f64 / mss;
-            self.cwnd_pkts = self.cwnd_pkts.min(rwnd_pkts).max(2.0);
+    /// A bit-exact snapshot of the warm-connection state that persists
+    /// across keep-alive requests. The engine-equivalence tests compare
+    /// these to prove that a chunk served by the fast path leaves the
+    /// connection in exactly the state the round loop would have.
+    pub fn snapshot(&self) -> ConnSnapshot {
+        ConnSnapshot {
+            cwnd_pkts: self.cwnd_pkts,
+            ssthresh_pkts: self.ssthresh_pkts,
+            total_delivered: self.total_delivered,
+            last_activity: self.last_activity,
+            cubic: self.cubic.clone(),
         }
-
-        self.finish(
-            now,
-            first_byte_at.expect("first byte recorded"),
-            t,
-            size.as_u64() as f64,
-            rounds,
-            losses,
-            TransferOutcome::Complete,
-        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -322,6 +295,7 @@ impl TcpConnection {
         rounds: u32,
         losses: u32,
         outcome: TransferOutcome,
+        stats: TransferStats,
     ) -> TransferResult {
         self.last_activity = completed_at;
         TransferResult {
@@ -332,6 +306,7 @@ impl TcpConnection {
             rounds,
             losses,
             outcome,
+            stats,
         }
     }
 
@@ -347,6 +322,23 @@ impl TcpConnection {
     }
 }
 
+/// Warm-connection state observable across keep-alive requests — see
+/// [`TcpConnection::snapshot`]. `PartialEq` is bit-exact (`f64` fields
+/// compare by value, the CUBIC state field-by-field).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConnSnapshot {
+    /// Congestion window, packets.
+    pub cwnd_pkts: f64,
+    /// Slow-start threshold, packets.
+    pub ssthresh_pkts: f64,
+    /// Lifetime bytes delivered (drives server pacing).
+    pub total_delivered: u64,
+    /// Completion time of the most recent activity (drives idle restart).
+    pub last_activity: SimTime,
+    /// Full CUBIC controller state.
+    pub cubic: Cubic,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,7 +348,7 @@ mod tests {
     fn quiet_link(mbps: f64, rtt_ms: u64) -> Link {
         Link::new(
             "test",
-            Box::new(Constant(mbps)),
+            Constant(mbps),
             SimDuration::from_millis(rtt_ms),
             0.0,
             0.0,
@@ -450,7 +442,7 @@ mod tests {
         let mk = |loss: f64, seed: u64| {
             let mut link = Link::new(
                 "l",
-                Box::new(Constant(20.0)),
+                Constant(20.0),
                 SimDuration::from_millis(40),
                 0.0,
                 loss,
@@ -508,7 +500,7 @@ mod tests {
         let run = || {
             let mut link = Link::new(
                 "l",
-                Box::new(Constant(12.0)),
+                Constant(12.0),
                 SimDuration::from_millis(35),
                 0.15,
                 0.01,

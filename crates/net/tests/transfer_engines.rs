@@ -1,0 +1,374 @@
+//! Differential tests: the epoch transfer engine vs the reference round
+//! loop.
+//!
+//! The contract (ISSUE 4 / README "The transfer engine"): wherever the
+//! fast path engages, and everywhere else too, the epoch engine is
+//! **bit-identical** to `tcp::rounds` — same `TransferResult` model fields
+//! (including `rounds` and `losses`), same RNG stream positions on the
+//! link, and same warm-connection state (`cwnd`, `ssthresh`, CUBIC state,
+//! pacing byte count, `last_activity`) so keep-alive chains cannot
+//! silently diverge on the *next* chunk. These tests randomize link
+//! profiles, mobility handoffs, idle-restart gaps, loss regimes, receiver
+//! windows, and server pacing, and compare chunk chains end to end.
+
+use msim_core::process::{Bursts, Constant, MarkovModulator, Modulated, Ou, ProcessKind};
+use msim_core::rng::Prng;
+use msim_core::time::{SimDuration, SimTime};
+use msim_core::units::{BitRate, ByteSize};
+use msim_net::mobility::OutageSchedule;
+use msim_net::profile::PathProfile;
+use msim_net::tcp::{TcpConfig, TcpConnection, TransferEngine, TransferResult};
+use msim_net::Link;
+use proptest::prelude::*;
+
+/// A randomized transfer scenario: one link recipe, one TCP config, one
+/// keep-alive chunk chain with idle gaps.
+struct Scenario {
+    link_seed: u64,
+    rate_mbps: f64,
+    rtt: SimDuration,
+    jitter: f64,
+    loss: f64,
+    kind: u8,
+    outages: Option<Vec<(SimTime, SimTime)>>,
+    cfg: TcpConfig,
+    pace: Option<(ByteSize, BitRate)>,
+    chunks: Vec<(ByteSize, SimDuration)>, // (size, idle gap before request)
+}
+
+impl Scenario {
+    /// Derives a scenario from a seed (both engines get identical copies).
+    fn derive(seed: u64) -> Scenario {
+        let mut g = Prng::new(seed ^ 0xD1FF_EE7E);
+        let rate_mbps = g.uniform(1.5, 45.0);
+        let rtt = SimDuration::from_millis(g.range(5, 150));
+        // Mix of regimes: stable links (fast path), jittered, lossy, and
+        // stochastic-rate links (per-round fallback).
+        let jitter = if g.chance(0.4) {
+            g.uniform(0.05, 0.3)
+        } else {
+            0.0
+        };
+        let loss = if g.chance(0.35) {
+            g.uniform(0.001, 0.05)
+        } else {
+            0.0
+        };
+        let kind = (g.below(5)) as u8; // 0 const, 1 ou, 2 markov, 3 bursts, 4 markov+bursts
+        let outages = if g.chance(0.3) {
+            let start = g.range(50, 3_000);
+            let len = g.range(20, 8_000);
+            let second = start + len + g.range(500, 4_000);
+            Some(vec![
+                (
+                    SimTime::from_millis(start),
+                    SimTime::from_millis(start + len),
+                ),
+                (
+                    SimTime::from_millis(second),
+                    SimTime::from_millis(second + g.range(20, 2_000)),
+                ),
+            ])
+        } else {
+            None
+        };
+        let mut cfg = TcpConfig {
+            queue_bdp_factor: *g.choose(&[0.5, 1.0, 3.0]),
+            ..TcpConfig::default()
+        };
+        if g.chance(0.25) {
+            // Small receiver window: exercises the rwnd-capped regime.
+            cfg.rwnd_bytes = g.range(32, 256) * 1024;
+        }
+        if g.chance(0.2) {
+            cfg.idle_restart = None;
+        }
+        let pace = if g.chance(0.3) {
+            // Occasionally a *zero* pacing rate: past the burst this
+            // zeroes the effective rate on an otherwise-healthy link and
+            // must take the reference dead-link abort on both engines.
+            let rate = if g.chance(0.15) {
+                BitRate::ZERO
+            } else {
+                BitRate::mbps(g.uniform(1.0, 6.0))
+            };
+            Some((ByteSize::kb(g.range(128, 4096)), rate))
+        } else {
+            None
+        };
+        let n_chunks = g.range(2, 7) as usize;
+        let chunks = (0..n_chunks)
+            .map(|_| {
+                let size = ByteSize::bytes(g.range(8 * 1024, 6 * 1024 * 1024));
+                let gap_ms = *g.choose(&[0u64, 10, 120, 900, 1_500, 5_000]);
+                (size, SimDuration::from_millis(gap_ms))
+            })
+            .collect();
+        Scenario {
+            link_seed: seed,
+            rate_mbps,
+            rtt,
+            jitter,
+            loss,
+            kind,
+            outages,
+            cfg,
+            pace,
+            chunks,
+        }
+    }
+
+    /// Builds one link instance; called once per engine so both see
+    /// identical RNG streams.
+    fn build_link(&self) -> Link {
+        let mut rng = Prng::new(self.link_seed);
+        let mean = self.rate_mbps;
+        let base: ProcessKind = match self.kind {
+            1 => Ou::new(mean, mean * 0.08, 6.0, rng.fork()).into(),
+            _ => Constant(mean).into(),
+        };
+        let mut process = Modulated::new(base, mean * 0.1, mean * 2.5);
+        if self.kind == 2 || self.kind == 4 {
+            process = process.with(MarkovModulator::new(1.0, 0.6, 8.0, 2.0, rng.fork()));
+        }
+        if self.kind == 3 || self.kind == 4 {
+            process = process.with(Bursts::new(3.0, 0.3, 1.2, 6.0, 2.0, 0.8, rng.fork()));
+        }
+        let mut link = Link::new(
+            "diff",
+            process,
+            self.rtt,
+            self.jitter,
+            self.loss,
+            rng.fork(),
+        );
+        if let Some(w) = &self.outages {
+            link = link.with_outages(OutageSchedule::from_windows(w.clone()));
+        }
+        link
+    }
+
+    fn build_conn(&self, engine: TransferEngine) -> TcpConnection {
+        let cfg = TcpConfig {
+            engine,
+            ..self.cfg.clone()
+        };
+        let conn = TcpConnection::new(cfg);
+        match self.pace {
+            Some((burst, rate)) => conn.with_server_pacing(burst, rate),
+            None => conn,
+        }
+    }
+
+    /// Runs the chunk chain on one engine, returning every transfer
+    /// record, the warm-state snapshots after each chunk, and the RNG
+    /// probes taken at the end.
+    fn run(&self, engine: TransferEngine) -> (Vec<TransferResult>, Vec<String>, [u64; 2], f64) {
+        let mut link = self.build_link();
+        let mut conn = self.build_conn(engine);
+        let mut t = conn.connect(&mut link, SimTime::ZERO);
+        let mut results = Vec::new();
+        let mut snapshots = Vec::new();
+        for &(size, gap) in &self.chunks {
+            t += gap;
+            let res = conn.request(&mut link, t, size);
+            t = res.completed_at;
+            results.push(res);
+            snapshots.push(format!("{:?}", conn.snapshot()));
+        }
+        // Stream-position probes: the link's own RNG, and the rate
+        // process advanced well past the chain (any skipped/extra draw
+        // shows up in one of these).
+        let probe_t = t + SimDuration::from_secs(3);
+        let rate_probe = link.rate_at(probe_t).as_bps();
+        let probes = [link.rng_probe(), link.rng_probe()];
+        (results, snapshots, probes, rate_probe)
+    }
+}
+
+/// Asserts bit-identity of the model fields of two transfer records.
+fn assert_results_equal(seed: u64, i: usize, a: &TransferResult, b: &TransferResult) {
+    assert_eq!(
+        a.requested_at, b.requested_at,
+        "seed {seed} chunk {i}: requested_at"
+    );
+    assert_eq!(
+        a.first_byte_at, b.first_byte_at,
+        "seed {seed} chunk {i}: first_byte_at"
+    );
+    assert_eq!(
+        a.completed_at, b.completed_at,
+        "seed {seed} chunk {i}: completed_at"
+    );
+    assert_eq!(a.delivered, b.delivered, "seed {seed} chunk {i}: delivered");
+    assert_eq!(a.rounds, b.rounds, "seed {seed} chunk {i}: rounds");
+    assert_eq!(a.losses, b.losses, "seed {seed} chunk {i}: losses");
+    assert_eq!(a.outcome, b.outcome, "seed {seed} chunk {i}: outcome");
+}
+
+fn check_scenario(seed: u64) {
+    let scenario = Scenario::derive(seed);
+    let (epoch, epoch_snaps, epoch_probes, epoch_rate) = scenario.run(TransferEngine::Epoch);
+    let (rl, rl_snaps, rl_probes, rl_rate) = scenario.run(TransferEngine::RoundLoop);
+    assert_eq!(epoch.len(), rl.len());
+    for (i, (a, b)) in epoch.iter().zip(&rl).enumerate() {
+        assert_results_equal(seed, i, a, b);
+        // Warm-connection state after every chunk: a keep-alive chain
+        // can never silently diverge on the next chunk.
+        assert_eq!(
+            epoch_snaps[i], rl_snaps[i],
+            "seed {seed} chunk {i}: warm-connection state diverged"
+        );
+    }
+    assert_eq!(
+        epoch_probes, rl_probes,
+        "seed {seed}: link RNG stream position diverged"
+    );
+    assert_eq!(
+        epoch_rate.to_bits(),
+        rl_rate.to_bits(),
+        "seed {seed}: rate-process stream diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 120, ..ProptestConfig::default() })]
+
+    /// The headline differential property: across randomized link
+    /// profiles (stable/OU/Markov/burst rates), jitter and loss regimes,
+    /// outage handoffs, idle-restart gaps, small receiver windows, and
+    /// server pacing, the epoch engine is bit-identical to the reference
+    /// round loop — results, RNG positions, warm state.
+    #[test]
+    fn epoch_engine_matches_round_loop(seed in 0u64..1_000_000) {
+        check_scenario(seed);
+    }
+}
+
+/// A hand-picked spread of scenario seeds that is guaranteed to run in CI
+/// even if the property-test case count is tuned down.
+#[test]
+fn epoch_engine_matches_round_loop_pinned_seeds() {
+    for seed in [0, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 610, 987, 46_368] {
+        check_scenario(seed);
+    }
+}
+
+/// The fast path must actually engage on stable links — otherwise the
+/// differential suite would be vacuously comparing two round loops.
+#[test]
+fn fast_path_engages_on_stable_links() {
+    let mut rng = Prng::new(7);
+    let mut link = PathProfile::stable(10.0, 20).build(&mut rng);
+    let mut conn = TcpConnection::new(TcpConfig::default());
+    let ready = conn.connect(&mut link, SimTime::ZERO);
+    let res = conn.request(&mut link, ready, ByteSize::mb(4));
+    assert!(
+        res.stats.epochs >= 1,
+        "no stable epoch engaged: {:?}",
+        res.stats
+    );
+    assert!(
+        res.stats.fast_rounds == res.rounds,
+        "every round of a stable-link transfer should be fast-path: {} of {}",
+        res.stats.fast_rounds,
+        res.rounds
+    );
+    assert!(res.rounds > 20, "sanity: a 4 MB chunk takes many rounds");
+
+    // And the reference loop reports no fast-path activity.
+    let mut rng = Prng::new(7);
+    let mut link = PathProfile::stable(10.0, 20).build(&mut rng);
+    let cfg = TcpConfig {
+        engine: TransferEngine::RoundLoop,
+        ..TcpConfig::default()
+    };
+    let mut conn = TcpConnection::new(cfg);
+    let ready = conn.connect(&mut link, SimTime::ZERO);
+    let res_rl = conn.request(&mut link, ready, ByteSize::mb(4));
+    assert_eq!(res_rl.stats, Default::default());
+    assert_eq!(res.rounds, res_rl.rounds);
+    assert_eq!(res.completed_at, res_rl.completed_at);
+}
+
+/// The realistic paper profiles are jittered and lossy: the engine must
+/// fall back to per-round stepping (bit-identical trivially and by test),
+/// and report no fast-path rounds.
+#[test]
+fn jittered_profiles_fall_back_to_rounds() {
+    let mut rng = Prng::new(11);
+    let mut link = PathProfile::wifi_testbed().build(&mut rng);
+    let mut conn = TcpConnection::new(TcpConfig::default());
+    let ready = conn.connect(&mut link, SimTime::ZERO);
+    let res = conn.request(&mut link, ready, ByteSize::mb(2));
+    assert_eq!(res.stats.fast_rounds, 0, "jittered links cannot fast-path");
+    assert_eq!(res.stats.epochs, 0);
+}
+
+/// Regression (found in review): a zero server-pacing rate zeroes the
+/// *effective* rate on a perfectly stable link once the burst is spent.
+/// The reference loop takes its dead-link arm and aborts with `TimedOut`;
+/// the epoch engine must do exactly the same instead of grinding out a
+/// "stable" epoch at rate zero.
+#[test]
+fn zero_pacing_rate_takes_the_dead_link_abort_on_both_engines() {
+    let run = |engine: TransferEngine| {
+        let mut rng = Prng::new(5);
+        let mut link = PathProfile::stable(12.0, 25).build(&mut rng);
+        let cfg = TcpConfig {
+            engine,
+            ..TcpConfig::default()
+        };
+        let mut conn = TcpConnection::new(cfg).with_server_pacing(ByteSize::kb(64), BitRate::ZERO);
+        let ready = conn.connect(&mut link, SimTime::ZERO);
+        let res = conn.request(&mut link, ready, ByteSize::mb(2));
+        (
+            res.outcome,
+            res.completed_at,
+            res.delivered,
+            res.rounds,
+            res.losses,
+            format!("{:?}", conn.snapshot()),
+        )
+    };
+    let epoch = run(TransferEngine::Epoch);
+    let rl = run(TransferEngine::RoundLoop);
+    assert_eq!(epoch, rl);
+    assert_eq!(
+        epoch.0,
+        msim_net::tcp::TransferOutcome::TimedOut,
+        "zero pacing rate must abort, not complete"
+    );
+}
+
+/// Keep-alive warm-state equivalence on the chunk pattern the player
+/// actually produces: consecutive chunks on a stable link, where the fast
+/// path serves chunk N and the state feeds chunk N+1.
+#[test]
+fn warm_chain_on_stable_link_is_identical() {
+    let run = |engine: TransferEngine| {
+        let mut rng = Prng::new(3);
+        let mut link = PathProfile::stable(16.0, 35).build(&mut rng);
+        let cfg = TcpConfig {
+            engine,
+            ..TcpConfig::default()
+        };
+        let mut conn =
+            TcpConnection::new(cfg).with_server_pacing(ByteSize::kb(512), BitRate::mbps(4.0));
+        let mut t = conn.connect(&mut link, SimTime::ZERO);
+        let mut out = Vec::new();
+        for (i, gap_ms) in [0u64, 0, 40, 1_400, 0, 2_500, 0, 0].iter().enumerate() {
+            t += SimDuration::from_millis(*gap_ms);
+            let res = conn.request(&mut link, t, ByteSize::kb(256 << (i % 4)));
+            t = res.completed_at;
+            out.push((
+                res.completed_at,
+                res.rounds,
+                res.losses,
+                format!("{:?}", conn.snapshot()),
+            ));
+        }
+        out
+    };
+    assert_eq!(run(TransferEngine::Epoch), run(TransferEngine::RoundLoop));
+}

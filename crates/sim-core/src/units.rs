@@ -120,6 +120,11 @@ impl BitRate {
     /// Zero rate.
     pub const ZERO: BitRate = BitRate(0.0);
 
+    /// The largest finite rate. Used as a saturation value where a
+    /// measurement degenerates (e.g. a zero-duration transfer) so that
+    /// downstream estimator/metrics arithmetic never sees `inf`/NaN.
+    pub const MAX: BitRate = BitRate(f64::MAX);
+
     /// From bits per second.
     pub fn bps(v: f64) -> Self {
         BitRate(v.max(0.0))
@@ -169,10 +174,14 @@ impl BitRate {
         SimDuration::from_secs_f64(size.as_f64() / self.bytes_per_sec())
     }
 
-    /// The rate that moves `size` in `d`.
+    /// The rate that moves `size` in `d`. A zero-duration transfer
+    /// saturates to the finite [`BitRate::MAX`] instead of `inf`, so the
+    /// result is always safe to feed into estimator and metrics
+    /// arithmetic (an `inf` goodput would propagate NaN through EWMA /
+    /// harmonic-mean updates).
     pub fn from_transfer(size: ByteSize, d: SimDuration) -> BitRate {
         if d.is_zero() {
-            return BitRate(f64::INFINITY);
+            return BitRate::MAX;
         }
         BitRate(size.as_f64() * 8.0 / d.as_secs_f64())
     }
@@ -249,6 +258,22 @@ mod tests {
     #[test]
     fn zero_rate_takes_forever() {
         assert_eq!(BitRate::ZERO.time_for(ByteSize::kb(1)), SimDuration::MAX);
+    }
+
+    #[test]
+    fn zero_duration_transfer_saturates_finite() {
+        // Regression: this used to return `BitRate(inf)`, which poisoned
+        // any downstream arithmetic (EWMA updates, harmonic means) with
+        // inf/NaN.
+        let r = BitRate::from_transfer(ByteSize::mb(1), SimDuration::ZERO);
+        assert!(r.as_bps().is_finite(), "zero-duration rate must be finite");
+        assert_eq!(r, BitRate::MAX);
+        // And it behaves like a number: products/ratios stay non-NaN.
+        assert!((r.as_bps() * 0.9).is_finite());
+        assert!(!(1.0 / r.as_bps()).is_nan());
+        // Normal transfers are untouched.
+        let ok = BitRate::from_transfer(ByteSize::mb(1), SimDuration::from_secs(1));
+        assert!((ok.as_mbps() - 8.388_608).abs() < 1e-9);
     }
 
     #[test]

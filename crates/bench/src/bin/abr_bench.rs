@@ -1,0 +1,121 @@
+//! `abr_bench` — smoke-sweeps the two closed-loop ABR workloads
+//! (`abr/closed-loop`, `abr/mobility-handoff`), compares closed-loop
+//! session throughput against the same grid forced into shadow mode, and
+//! records `BENCH_abr.json` with switch-rate sanity fields (mean switches
+//! per session, time-weighted bitrate bounds, shadow parity).
+//!
+//! ```sh
+//! MSP_RUNS=20 cargo run --release -p msplayer-bench --bin abr_bench
+//! ```
+
+use msplayer_bench::runs;
+use msplayer_bench::sweep::{bench_dir, expand_workload, run_serial, BenchReport};
+use msplayer_bench::workload::WorkloadSpec;
+use msplayer_core::abr::AbrMode;
+use std::sync::Arc;
+
+fn main() {
+    let runs = runs();
+    let closed = Arc::new(WorkloadSpec::abr_closed_loop_grid(runs));
+    let handoff = Arc::new(WorkloadSpec::abr_mobility_handoff(runs));
+    // The differential twin: the identical grid with every decision traced
+    // but the stream pinned at the session itag.
+    let mut shadow_spec = WorkloadSpec::abr_closed_loop_grid(runs);
+    shadow_spec.name = "abr/closed-loop-shadow".into();
+    shadow_spec.abr = shadow_spec.abr.map(|abr| abr.with_mode(AbrMode::Shadow));
+    let shadow = Arc::new(shadow_spec);
+
+    let mut cells = expand_workload(&closed);
+    cells.extend(expand_workload(&handoff));
+    let shadow_cells = expand_workload(&shadow);
+    println!(
+        "abr_bench: {} closed-loop cells ({} + {}), {} shadow cells",
+        cells.len(),
+        closed.name,
+        handoff.name,
+        shadow_cells.len()
+    );
+
+    // Warm up both paths.
+    let _ = run_serial(&cells);
+    let _ = run_serial(&shadow_cells);
+
+    let (closed_report, closed_results) =
+        BenchReport::measure("abr_closed_loop", 1, || run_serial(&cells));
+    let (shadow_report, shadow_results) =
+        BenchReport::measure("abr_shadow", 1, || run_serial(&shadow_cells));
+
+    // Switch-rate sanity: closed-loop sessions actually switch; shadow
+    // sessions never do; time-weighted bitrates stay inside the ladder.
+    let total_switches: u32 = closed_results
+        .iter()
+        .filter_map(|r| r.metrics.abr_qoe.map(|q| q.switches))
+        .sum();
+    let switched_sessions = closed_results
+        .iter()
+        .filter(|r| r.metrics.abr_qoe.is_some_and(|q| q.switches > 0))
+        .count();
+    let mean_switches = total_switches as f64 / closed_results.len() as f64;
+    let twa: Vec<f64> = closed_results
+        .iter()
+        .filter_map(|r| r.metrics.abr_qoe.map(|q| q.time_weighted_bitrate_bps))
+        .collect();
+    let (twa_min, twa_max) = twa
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    assert!(
+        switched_sessions > 0,
+        "closed-loop sweep produced no switches"
+    );
+    assert!(
+        (120_000.0..=4.3e6).contains(&twa_min) && (120_000.0..=4.3e6).contains(&twa_max),
+        "time-weighted bitrates outside the ladder: [{twa_min}, {twa_max}]"
+    );
+    assert!(
+        shadow_results
+            .iter()
+            .all(|r| r.metrics.abr_qoe.is_none()
+                && r.metrics.abr_decisions.iter().all(|d| !d.switched)),
+        "shadow cells must never switch"
+    );
+
+    for report in [&closed_report, &shadow_report] {
+        println!(
+            "{:<18} wall {:>8.3}s  {:>8.1} sessions/s  {:>12.0} events/s",
+            report.name,
+            report.wall_secs,
+            report.sessions_per_sec(),
+            report.events_per_sec(),
+        );
+    }
+    println!(
+        "switch-rate: {switched_sessions}/{} sessions switched, {mean_switches:.2} switches/session, twa [{:.2}, {:.2}] Mb/s",
+        closed_results.len(),
+        twa_min / 1e6,
+        twa_max / 1e6,
+    );
+
+    // One artifact carrying the closed-loop sweep numbers plus the shadow
+    // comparison and the sanity fields (sweep-style schema so
+    // `bench_report` renders it; extras extend it).
+    let json = closed_report
+        .to_json()
+        .with("name", "abr")
+        .with("shadow_sessions_per_sec", shadow_report.sessions_per_sec())
+        .with(
+            "closed_loop_sessions_per_sec",
+            closed_report.sessions_per_sec(),
+        )
+        .with("mean_switches_per_session", mean_switches)
+        .with(
+            "switched_session_fraction",
+            switched_sessions as f64 / closed_results.len() as f64,
+        )
+        .with("twa_bitrate_min_bps", twa_min)
+        .with("twa_bitrate_max_bps", twa_max);
+    let path = bench_dir().join("BENCH_abr.json");
+    std::fs::write(&path, msim_json::to_string_pretty(&json)).expect("write bench json");
+    println!("[bench] {}", path.display());
+}

@@ -75,6 +75,20 @@ fn rows_for(name: &str, v: &Value) -> Option<Vec<String>> {
             threads,
             if threads == 1 { "" } else { "s" },
         ));
+        // Per-cell-kind wall-time percentiles (single-threaded sweeps
+        // record them): one row per kind so kind-level regressions are
+        // visible in the TREND.md diff, not just the aggregate rate.
+        if let Some(kinds) = v.get("cell_kinds").and_then(Value::as_array) {
+            for k in kinds {
+                let kind = k.get("kind").and_then(Value::as_str).unwrap_or("?");
+                let p50 = k.get("p50_ms").and_then(Value::as_f64).unwrap_or(0.0);
+                let p95 = k.get("p95_ms").and_then(Value::as_f64).unwrap_or(0.0);
+                let cells = k.get("cells").and_then(Value::as_u64).unwrap_or(0);
+                rows.push(format!(
+                    "| {name} | {kind} | — | p95 {p95:.3} ms (p50 {p50:.3} ms, n={cells}) |"
+                ));
+            }
+        }
         return Some(rows);
     }
     None
@@ -89,16 +103,24 @@ fn main() {
         .map(PathBuf::from)
         .unwrap_or_else(|| Path::new("bench_results").to_path_buf());
 
-    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
-        .filter_map(|e| e.ok())
-        .map(|e| e.path())
-        .filter(|p| {
-            p.file_name()
-                .and_then(|n| n.to_str())
-                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
-        })
-        .collect();
+    // A missing or unreadable artifact directory is not fatal: the trend
+    // report degrades to an empty table (CI runs this against directories
+    // that may not have produced every artifact).
+    let mut files: Vec<PathBuf> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("[bench_report] cannot read {}: {e}", dir.display());
+            Vec::new()
+        }
+    };
     files.sort();
 
     let mut out = String::new();
@@ -114,15 +136,29 @@ fn main() {
     let _ = writeln!(out, "|---|---|---|---|");
     let mut parsed = 0;
     for f in &files {
-        let text = std::fs::read_to_string(f).expect("readable artifact");
-        let v = msim_json::from_str(&text)
-            .unwrap_or_else(|e| panic!("{}: bad JSON: {e:?}", f.display()));
         let name = f
             .file_stem()
             .and_then(|n| n.to_str())
             .unwrap_or("?")
             .trim_start_matches("BENCH_")
             .to_string();
+        // Partial or truncated artifacts (a bench killed mid-write, a
+        // missing file raced by upload) degrade to a marker row instead
+        // of sinking the whole report.
+        let text = match std::fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                let _ = writeln!(out, "| {name} | (unreadable: {e}) | — | |");
+                continue;
+            }
+        };
+        let v = match msim_json::from_str(&text) {
+            Ok(v) => v,
+            Err(_) => {
+                let _ = writeln!(out, "| {name} | (malformed JSON) | — | |");
+                continue;
+            }
+        };
         match rows_for(&name, &v) {
             Some(rows) => {
                 parsed += 1;
@@ -135,14 +171,22 @@ fn main() {
             }
         }
     }
-    assert!(
-        parsed > 0,
-        "no recognisable BENCH_*.json in {}",
-        dir.display()
-    );
+    if parsed == 0 {
+        eprintln!(
+            "[bench_report] warning: no recognisable BENCH_*.json in {}",
+            dir.display()
+        );
+    }
 
     print!("{out}");
     if write {
+        if parsed == 0 {
+            // Never replace a committed trend table with an empty one
+            // because the artifact directory happened to be empty or
+            // corrupt — degrade to print-only.
+            eprintln!("[bench_report] refusing to overwrite TREND.md with an empty report");
+            return;
+        }
         let path = dir.join("TREND.md");
         std::fs::write(&path, &out).expect("write TREND.md");
         eprintln!("[bench_report] wrote {}", path.display());

@@ -101,8 +101,8 @@ impl WorkloadSpec {
             PlayerKind::Commercial => PlayerConfig::commercial_single_path(ByteSize::kb(chunk_kb)),
         }
         .with_prebuffer_secs(self.prebuffer_secs);
-        match self.abr {
-            Some(abr) => cfg.with_abr_ladder(abr),
+        match &self.abr {
+            Some(abr) => cfg.with_abr_ladder(abr.clone()),
             None => cfg,
         }
     }
@@ -341,6 +341,98 @@ impl WorkloadSpec {
         }
     }
 
+    /// Closed-loop ABR grid: MSPlayer streams through two refill cycles
+    /// with the damped rate policy *actually switching the streamed itag*
+    /// (see [`msplayer_core::abr`]), swept over two schedulers × two base
+    /// chunk sizes. WiFi + LTE afford well above the starting rung's
+    /// 2.5 Mb/s, so sessions up-switch mid-stream — the scenario the
+    /// shadow-only `abr/ladder` workload could never produce.
+    pub fn abr_closed_loop_grid(runs: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "abr/closed-loop".into(),
+            service: ServiceSpec::testbed(),
+            paths: vec![
+                PathSetup::new(PathProfile::wifi_testbed(), Network::Wifi),
+                PathSetup::new(PathProfile::lte_testbed(), Network::Cellular),
+            ],
+            player: PlayerKind::MsPlayer,
+            schedulers: vec![SchedulerKind::Harmonic, SchedulerKind::Ratio],
+            chunk_kb: vec![256, 1024],
+            prebuffer_secs: 15.0,
+            stop: StopCondition::AfterRefills(2),
+            server_failures: Vec::new(),
+            runs,
+            seed_salt: 0xC105_ED10,
+            abr: Some(AbrLadderConfig::closed_loop()),
+        }
+    }
+
+    /// Closed-loop ABR under an LTE→WiFi handoff: the session starts on
+    /// LTE alone (the WiFi path is in an outage through its bootstrap),
+    /// then WiFi comes up mid-stream. The hybrid policy rides the buffer
+    /// down during the single-path phase and climbs after the handoff
+    /// doubles the aggregate estimate — adaptation and multi-path
+    /// scheduling interacting, not just coexisting.
+    pub fn abr_mobility_handoff(runs: u64) -> WorkloadSpec {
+        let mut wifi = PathSetup::new(PathProfile::wifi_testbed(), Network::Wifi);
+        wifi.outages = Some(OutageSchedule::from_windows(vec![(
+            SimTime::from_millis(200),
+            SimTime::from_secs(12),
+        )]));
+        WorkloadSpec {
+            name: "abr/mobility-handoff".into(),
+            service: ServiceSpec::testbed(),
+            paths: vec![
+                wifi,
+                PathSetup::new(PathProfile::lte_testbed(), Network::Cellular),
+            ],
+            player: PlayerKind::MsPlayer,
+            schedulers: vec![SchedulerKind::Harmonic],
+            chunk_kb: vec![256],
+            prebuffer_secs: 15.0,
+            stop: StopCondition::AfterRefills(2),
+            server_failures: Vec::new(),
+            runs,
+            seed_salt: 0x4A2D_0FF5,
+            abr: Some(
+                AbrLadderConfig::closed_loop()
+                    .with_policy(msplayer_core::abr::AbrPolicyKind::Hybrid),
+            ),
+        }
+    }
+
+    /// Mixed mobility trace (the ROADMAP's scripted multi-segment trace):
+    /// WiFi-only → LTE-only → dual. The LTE path is down through the
+    /// early stream, WiFi then drops for a long stretch while LTE is
+    /// back, and finally both run together — one session crossing three
+    /// connectivity regimes.
+    pub fn mobility_mixed_trace(runs: u64) -> WorkloadSpec {
+        let mut wifi = PathSetup::new(PathProfile::wifi_testbed(), Network::Wifi);
+        wifi.outages = Some(OutageSchedule::from_windows(vec![(
+            SimTime::from_secs(8),
+            SimTime::from_secs(25),
+        )]));
+        let mut lte = PathSetup::new(PathProfile::lte_testbed(), Network::Cellular);
+        lte.outages = Some(OutageSchedule::from_windows(vec![(
+            SimTime::from_millis(300),
+            SimTime::from_secs(8),
+        )]));
+        WorkloadSpec {
+            name: "mobility/mixed-trace".into(),
+            service: ServiceSpec::testbed(),
+            paths: vec![wifi, lte],
+            player: PlayerKind::MsPlayer,
+            schedulers: vec![SchedulerKind::Harmonic],
+            chunk_kb: vec![256],
+            prebuffer_secs: 20.0,
+            stop: StopCondition::AfterRefills(1),
+            server_failures: Vec::new(),
+            runs,
+            seed_salt: 0x3177_ACE5,
+            abr: None,
+        }
+    }
+
     /// ABR-ladder workload: MSPlayer streams through two refill cycles
     /// with the shadow rate adapter (see
     /// [`msplayer_core::adaptation`]) deciding a ladder rung every 250 ms.
@@ -413,6 +505,9 @@ impl WorkloadRegistry {
         reg.register(WorkloadSpec::abr_ladder(runs));
         reg.register(WorkloadSpec::four_path_asymmetric_grid(runs));
         reg.register(WorkloadSpec::dual_wifi_same_network(runs));
+        reg.register(WorkloadSpec::abr_closed_loop_grid(runs));
+        reg.register(WorkloadSpec::abr_mobility_handoff(runs));
+        reg.register(WorkloadSpec::mobility_mixed_trace(runs));
         reg
     }
 
@@ -494,8 +589,11 @@ mod tests {
     #[test]
     fn builtin_covers_enums_and_n_path() {
         let reg = WorkloadRegistry::builtin(2);
-        // 2 envs × 3 competitors + 6 new scenarios.
-        assert_eq!(reg.specs().len(), 12);
+        // 2 envs × 3 competitors + 9 new scenarios.
+        assert_eq!(reg.specs().len(), 15);
+        assert!(reg.by_name("abr/closed-loop").is_some());
+        assert!(reg.by_name("abr/mobility-handoff").is_some());
+        assert!(reg.by_name("mobility/mixed-trace").is_some());
         assert!(reg.by_name("testbed/MSPlayer").is_some());
         assert!(reg.by_name("youtube/LTE").is_some());
         let three = reg.by_name("testbed3/MSPlayer").unwrap();
@@ -566,6 +664,72 @@ mod tests {
             "periodic decisions make the session tick-heavy: {} events",
             a.metrics.events
         );
+    }
+
+    #[test]
+    fn closed_loop_grid_switches_itags_mid_session() {
+        let w = Arc::new(WorkloadSpec::abr_closed_loop_grid(1));
+        let cells = crate::sweep::expand_workload(&w);
+        assert_eq!(cells.len(), 4, "2 schedulers × 2 chunks × 1 seed");
+        let mut switched_sessions = 0;
+        for cell in &cells {
+            let r = cell.run();
+            let qoe = r.metrics.abr_qoe.expect("closed-loop cells carry QoE");
+            if qoe.switches > 0 {
+                switched_sessions += 1;
+                // Time-weighted bitrate stays between the ladder endpoints.
+                assert!(
+                    qoe.time_weighted_bitrate_bps >= 120_000.0
+                        && qoe.time_weighted_bitrate_bps <= 4.3e6,
+                    "{:?}: twa {}",
+                    cell,
+                    qoe.time_weighted_bitrate_bps
+                );
+            }
+            assert_eq!(cell.run().metrics, r.metrics, "deterministic replay");
+        }
+        assert!(
+            switched_sessions > 0,
+            "no cell of the closed-loop grid ever switched"
+        );
+    }
+
+    #[test]
+    fn mobility_handoff_pairs_adaptation_with_the_handoff() {
+        let w = Arc::new(WorkloadSpec::abr_mobility_handoff(1));
+        let cells = crate::sweep::expand_workload(&w);
+        let r = cells[0].run();
+        assert!(r.metrics.abr_qoe.is_some());
+        // LTE carried the early stream; WiFi joined after the handoff.
+        assert!(r.metrics.chunk_count(1) > 0, "LTE streamed");
+        assert!(r.metrics.chunk_count(0) > 0, "WiFi joined after handoff");
+        assert!(
+            !r.metrics.abr_decisions.is_empty(),
+            "the policy kept deciding through the handoff"
+        );
+    }
+
+    #[test]
+    fn mixed_trace_crosses_three_connectivity_regimes() {
+        let w = Arc::new(WorkloadSpec::mobility_mixed_trace(1));
+        let cells = crate::sweep::expand_workload(&w);
+        let r = cells[0].run();
+        let m = &r.metrics;
+        assert!(m.prebuffer_done_at.is_some(), "session survived the trace");
+        assert!(m.chunk_count(0) > 0 && m.chunk_count(1) > 0);
+        // WiFi delivered both before its outage (the WiFi-only phase) and
+        // after it ended (the dual phase).
+        let wifi_early = m
+            .chunks
+            .iter()
+            .any(|c| c.path == 0 && c.completed_at < msim_core::time::SimTime::from_secs(8));
+        let wifi_late = m
+            .chunks
+            .iter()
+            .any(|c| c.path == 0 && c.completed_at >= msim_core::time::SimTime::from_secs(25));
+        assert!(wifi_early, "WiFi-only phase carried traffic");
+        assert!(wifi_late, "dual phase resumed WiFi");
+        assert_eq!(cells[0].run().metrics, r.metrics, "deterministic replay");
     }
 
     #[test]

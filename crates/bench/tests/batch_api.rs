@@ -67,8 +67,9 @@ fn batch_equals_run_session_loop_for_every_builtin_workload() {
         covered += 1;
     }
     assert!(
-        covered >= 12,
-        "expected every builtin workload (incl. grid/4path-asym and wifi/dual-same-network), got {covered}"
+        covered >= 15,
+        "expected every builtin workload (incl. abr/closed-loop, abr/mobility-handoff, \
+         and mobility/mixed-trace), got {covered}"
     );
 }
 

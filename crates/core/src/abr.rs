@@ -1,0 +1,611 @@
+//! Closed-loop adaptive bitrate streaming.
+//!
+//! The paper streams at a fixed itag and leaves rate adaptation as §7
+//! future work; [`crate::adaptation`] supplied a damped rate-based adapter
+//! that previous revisions ran in *shadow* mode (decisions recorded, stream
+//! unchanged). This module closes the loop: a pluggable [`AbrPolicyImpl`]
+//! decides a ladder rung every decision interval from the scheduler's
+//! aggregate bandwidth estimate and the playout-buffer level, and — in
+//! [`AbrMode::ClosedLoop`] — the player *actually switches the streamed
+//! itag mid-session*:
+//!
+//! * the remaining chunk map is re-planned at the new rung (per-itag sizes
+//!   derived from the catalog's format table via [`RungMap`]);
+//! * in-flight chunk requests complete at the old rung (their byte ranges
+//!   are already assigned and stay in the old rung's region of the mixed
+//!   byte space);
+//! * the scheduler's per-path assignment and the bandwidth estimators
+//!   carry across the switch untouched;
+//! * the playout buffer is rescaled into the new rung's byte space
+//!   exactly (seconds of buffered video are invariant under the rescale).
+//!
+//! [`AbrMode::Shadow`] keeps the historical observe-only behaviour and is
+//! the differential baseline: on a one-rung ladder, a closed-loop session
+//! is bit-identical to the fixed-itag player (no switch can fire, so none
+//! of the re-planning machinery runs — asserted by
+//! `crates/bench/tests/abr_closed_loop.rs`).
+//!
+//! Policies (enum-dispatched like `SchedulerImpl`, no boxing on the
+//! decision path):
+//!
+//! | kind | drives on | character |
+//! |---|---|---|
+//! | [`AbrPolicyKind::DampedRate`] | estimate + buffer overrides | the [`RateAdapter`] lineage: FESTIVE-style headroom, hold-damped single-step upgrades |
+//! | [`AbrPolicyKind::BufferOccupancy`] | buffer level only | BBA-style linear map between a reservoir and a cushion, single-step toward the mapped rung |
+//! | [`AbrPolicyKind::Hybrid`] | both | immediate rate rule, gated by panic/comfort buffer thresholds |
+
+use crate::adaptation::{AdaptationConfig, RateAdapter, SwitchReason};
+use msim_core::time::{SimDuration, SimTime};
+use msim_core::units::BitRate;
+use msim_youtube::format::{by_itag, VideoFormat};
+
+/// Whether ABR decisions change what is streamed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbrMode {
+    /// Observe-only: decisions are traced, the stream stays at the
+    /// session's fixed itag (the historical behaviour, kept as the
+    /// differential baseline).
+    Shadow,
+    /// Decisions re-plan the remaining chunk map at the selected rung and
+    /// the streamed itag actually changes mid-session.
+    ClosedLoop,
+}
+
+/// Which adaptation policy drives the decisions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbrPolicyKind {
+    /// The damped rate-based adapter ([`RateAdapter`]).
+    DampedRate,
+    /// Buffer-occupancy (BBA-style) policy: rung from buffer level alone.
+    BufferOccupancy,
+    /// Rate rule with buffer gates, no hold damping.
+    Hybrid,
+}
+
+impl AbrPolicyKind {
+    /// Display name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AbrPolicyKind::DampedRate => "damped-rate",
+            AbrPolicyKind::BufferOccupancy => "buffer-occupancy",
+            AbrPolicyKind::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// Stall time within this window after a quality switch is attributed to
+/// the switch in [`crate::metrics::AbrQoe::switch_rebuffer`] (an up-switch
+/// inflates the bytes still to fetch; a stall shortly after is the cost).
+pub const SWITCH_REBUFFER_ATTRIBUTION: SimDuration = SimDuration::from_secs(10);
+
+/// Enum-dispatched ABR policy over a shared ladder of formats.
+///
+/// `decide` consumes the aggregate bandwidth estimate (bits/s; `None`
+/// until any path has a measurement) and the buffer level (seconds) and
+/// returns the selected ladder rung index plus the reason. Policies damp
+/// themselves to single-step moves (except the initial pick), so the
+/// player can adopt the returned rung directly.
+pub enum AbrPolicyImpl {
+    /// The damped rate-based adapter.
+    Damped(RateAdapter),
+    /// Buffer-occupancy (BBA-style).
+    Bba(BbaPolicy),
+    /// Rate rule with buffer gates.
+    Hybrid(HybridPolicy),
+}
+
+impl AbrPolicyImpl {
+    /// Builds the policy of `kind` over `ladder` (ascending bitrates; the
+    /// caller validates — see `AbrLadderConfig::validate_ladder`).
+    pub fn new(kind: AbrPolicyKind, cfg: AdaptationConfig, ladder: Vec<VideoFormat>) -> Self {
+        match kind {
+            AbrPolicyKind::DampedRate => AbrPolicyImpl::Damped(RateAdapter::new(cfg, ladder)),
+            AbrPolicyKind::BufferOccupancy => AbrPolicyImpl::Bba(BbaPolicy::new(cfg, ladder)),
+            AbrPolicyKind::Hybrid => AbrPolicyImpl::Hybrid(HybridPolicy::new(cfg, ladder)),
+        }
+    }
+
+    /// The ladder, ascending by bitrate.
+    pub fn ladder(&self) -> &[VideoFormat] {
+        match self {
+            AbrPolicyImpl::Damped(p) => p.ladder(),
+            AbrPolicyImpl::Bba(p) => &p.ladder,
+            AbrPolicyImpl::Hybrid(p) => &p.ladder,
+        }
+    }
+
+    /// The currently selected rung index.
+    pub fn current_index(&self) -> usize {
+        match self {
+            AbrPolicyImpl::Damped(p) => p.current_index(),
+            AbrPolicyImpl::Bba(p) => p.current,
+            AbrPolicyImpl::Hybrid(p) => p.current,
+        }
+    }
+
+    /// One decision from the aggregate estimate and the buffer level.
+    pub fn decide(&mut self, estimate_bps: Option<f64>, buffer_secs: f64) -> (usize, SwitchReason) {
+        match self {
+            AbrPolicyImpl::Damped(p) => {
+                // The shadow adapter historically consumed a zero estimate
+                // until the first sample; keep that contract.
+                let (_, reason) = p.decide(BitRate::bps(estimate_bps.unwrap_or(0.0)), buffer_secs);
+                (p.current_index(), reason)
+            }
+            AbrPolicyImpl::Bba(p) => p.decide(buffer_secs),
+            AbrPolicyImpl::Hybrid(p) => p.decide(estimate_bps, buffer_secs),
+        }
+    }
+}
+
+/// Normalizes a ladder for policy use: non-empty, ascending by bitrate
+/// (shared by every policy constructor; validated specs arrive ascending
+/// already, the sort is the backstop for hand-built ladders).
+fn normalize_ladder(mut ladder: Vec<VideoFormat>) -> Vec<VideoFormat> {
+    assert!(!ladder.is_empty(), "empty format ladder");
+    ladder.sort_by(|a, b| {
+        a.bitrate
+            .as_bps()
+            .partial_cmp(&b.bitrate.as_bps())
+            .expect("finite bitrates")
+    });
+    ladder
+}
+
+/// The highest rung of `ladder` whose bitrate fits within `budget`
+/// (bits/s), or the floor when nothing fits — the FESTIVE-style
+/// affordability rule shared by the rate-driven policies.
+fn best_affordable(ladder: &[VideoFormat], budget: f64) -> usize {
+    ladder
+        .iter()
+        .rposition(|f| f.bitrate.as_bps() <= budget)
+        .unwrap_or(0)
+}
+
+/// BBA-style buffer-occupancy policy: the ladder is mapped linearly onto
+/// the buffer interval `[reservoir, cushion]` (the adaptation config's
+/// `panic_secs` / `comfort_secs`); each decision steps one rung toward the
+/// mapped target. The bandwidth estimate is deliberately ignored — the
+/// buffer level already integrates delivery against consumption.
+pub struct BbaPolicy {
+    ladder: Vec<VideoFormat>,
+    reservoir: f64,
+    cushion: f64,
+    current: usize,
+    initialised: bool,
+}
+
+impl BbaPolicy {
+    fn new(cfg: AdaptationConfig, ladder: Vec<VideoFormat>) -> BbaPolicy {
+        BbaPolicy {
+            ladder: normalize_ladder(ladder),
+            reservoir: cfg.panic_secs,
+            cushion: cfg.comfort_secs,
+            current: 0,
+            initialised: false,
+        }
+    }
+
+    fn target(&self, buffer_secs: f64) -> usize {
+        let top = self.ladder.len() - 1;
+        if buffer_secs <= self.reservoir {
+            return 0;
+        }
+        if buffer_secs >= self.cushion {
+            return top;
+        }
+        let frac = (buffer_secs - self.reservoir) / (self.cushion - self.reservoir);
+        ((frac * top as f64).floor() as usize).min(top)
+    }
+
+    fn decide(&mut self, buffer_secs: f64) -> (usize, SwitchReason) {
+        let target = self.target(buffer_secs);
+        if !self.initialised {
+            self.initialised = true;
+            self.current = target;
+            return (self.current, SwitchReason::Initial);
+        }
+        let reason = match target.cmp(&self.current) {
+            std::cmp::Ordering::Greater => {
+                self.current += 1;
+                SwitchReason::BufferUp
+            }
+            std::cmp::Ordering::Less => {
+                self.current -= 1;
+                SwitchReason::BufferDown
+            }
+            std::cmp::Ordering::Equal => SwitchReason::Hold,
+        };
+        (self.current, reason)
+    }
+}
+
+/// Hybrid policy: the FESTIVE-style rate rule picks the target, the
+/// buffer gates it — below `panic_secs` drop straight to the floor, at or
+/// above `comfort_secs` allow one opportunistic rung beyond the rate rule.
+/// Moves are immediate (no hold damping) but single-step; the buffer gate
+/// is the stabiliser.
+pub struct HybridPolicy {
+    ladder: Vec<VideoFormat>,
+    cfg: AdaptationConfig,
+    current: usize,
+    initialised: bool,
+}
+
+impl HybridPolicy {
+    fn new(cfg: AdaptationConfig, ladder: Vec<VideoFormat>) -> HybridPolicy {
+        HybridPolicy {
+            ladder: normalize_ladder(ladder),
+            cfg,
+            current: 0,
+            initialised: false,
+        }
+    }
+
+    fn decide(&mut self, estimate_bps: Option<f64>, buffer_secs: f64) -> (usize, SwitchReason) {
+        let budget = self.cfg.safety * estimate_bps.unwrap_or(0.0);
+        let affordable = best_affordable(&self.ladder, budget);
+        if !self.initialised {
+            self.initialised = true;
+            self.current = affordable;
+            return (self.current, SwitchReason::Initial);
+        }
+        if buffer_secs < self.cfg.panic_secs {
+            // Emergency floor — and *stay* there while the buffer is
+            // below the reservoir: falling through to the rate rule here
+            // would up-switch on the very next decision and oscillate
+            // floor↔floor+1 every interval until the buffer recovers.
+            let reason = if self.current > 0 {
+                self.current = 0;
+                SwitchReason::BufferPanic
+            } else {
+                SwitchReason::Hold
+            };
+            return (self.current, reason);
+        }
+        let target = if buffer_secs >= self.cfg.comfort_secs {
+            (affordable + 1).min(self.ladder.len() - 1)
+        } else {
+            affordable
+        };
+        let reason = match target.cmp(&self.current) {
+            std::cmp::Ordering::Greater => {
+                self.current += 1;
+                if target > affordable && self.current > affordable {
+                    SwitchReason::BufferComfort
+                } else {
+                    SwitchReason::RateUp
+                }
+            }
+            std::cmp::Ordering::Less => {
+                self.current -= 1;
+                SwitchReason::RateDown
+            }
+            std::cmp::Ordering::Equal => SwitchReason::Hold,
+        };
+        (self.current, reason)
+    }
+}
+
+/// One constant-rate segment of a mixed-rung stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RungSegment {
+    /// First byte (in the ledger's mixed byte space) this segment covers.
+    pub start_byte: u64,
+    /// Video time (seconds) at `start_byte`.
+    pub start_secs: f64,
+    /// Stream bytes per second of playback inside the segment.
+    pub bytes_per_sec: f64,
+    /// The itag streamed in this segment.
+    pub itag: u32,
+}
+
+/// Piecewise byte → video-seconds map over the chunk ledger's mixed byte
+/// space. A closed-loop session appends one segment per itag switch (at
+/// the ledger's assignment frontier); everything below a segment boundary
+/// keeps the rung it was planned at, which is what lets in-flight chunks
+/// and aborted-chunk holes complete/refill at the old rung.
+#[derive(Clone, Debug)]
+pub struct RungMap {
+    segs: Vec<RungSegment>,
+}
+
+impl RungMap {
+    /// A single-rung map (no switch has fired).
+    pub fn new(itag: u32, bytes_per_sec: f64) -> RungMap {
+        RungMap {
+            segs: vec![RungSegment {
+                start_byte: 0,
+                start_secs: 0.0,
+                bytes_per_sec,
+                itag,
+            }],
+        }
+    }
+
+    /// True while no switch has fired — the player bypasses all byte-space
+    /// conversion in this state, which is what pins single-rung sessions
+    /// bit-identical to the fixed-itag player.
+    pub fn is_single(&self) -> bool {
+        self.segs.len() == 1
+    }
+
+    /// The active (most recent) segment.
+    pub fn current(&self) -> &RungSegment {
+        self.segs.last().expect("at least one segment")
+    }
+
+    /// Appends a segment starting at `start_byte` (must be at or beyond
+    /// the previous segment's start).
+    pub fn push(&mut self, start_byte: u64, start_secs: f64, bytes_per_sec: f64, itag: u32) {
+        let last = self.current();
+        debug_assert!(start_byte >= last.start_byte, "segments must advance");
+        // A switch at the exact same frontier as the previous one replaces
+        // it (no bytes were planned at the superseded rung).
+        if start_byte == last.start_byte {
+            let last = self.segs.last_mut().expect("non-empty");
+            last.bytes_per_sec = bytes_per_sec;
+            last.itag = itag;
+            return;
+        }
+        self.segs.push(RungSegment {
+            start_byte,
+            start_secs,
+            bytes_per_sec,
+            itag,
+        });
+    }
+
+    fn seg_for(&self, byte: u64) -> &RungSegment {
+        match self.segs.iter().rposition(|s| s.start_byte <= byte) {
+            Some(i) => &self.segs[i],
+            None => &self.segs[0],
+        }
+    }
+
+    /// Video time (seconds) of `byte` in the mixed byte space.
+    pub fn secs_at(&self, byte: u64) -> f64 {
+        let seg = self.seg_for(byte);
+        seg.start_secs + (byte.saturating_sub(seg.start_byte)) as f64 / seg.bytes_per_sec
+    }
+
+    /// The itag whose region `byte` falls in (the rung a range request
+    /// starting at `byte` streams).
+    pub fn itag_at(&self, byte: u64) -> u32 {
+        self.seg_for(byte).itag
+    }
+
+    /// The segments, in byte order.
+    pub fn segments(&self) -> &[RungSegment] {
+        &self.segs
+    }
+}
+
+/// Resolves a ladder of itags against the catalog's format table,
+/// preserving order. Unknown itags are skipped (callers validate first;
+/// this is the construction-time backstop).
+pub fn resolve_ladder(itags: &[u32]) -> Vec<VideoFormat> {
+    itags.iter().filter_map(|&i| by_itag(i).copied()).collect()
+}
+
+/// QoE bookkeeping for one closed-loop session: the streamed-rung
+/// timeline and switch statistics the player folds into
+/// [`crate::metrics::AbrQoe`] at session end.
+#[derive(Clone, Debug)]
+pub struct RungTimeline {
+    /// `(since, bitrate_bps)` — each entry is a streamed rung taking
+    /// effect; the first is the session's starting rung.
+    pub entries: Vec<(SimTime, f64)>,
+    /// Switches performed (timeline entries after the first).
+    pub switches: u32,
+    /// Σ |Δ bitrate| over the switches.
+    pub switch_magnitude_bps: f64,
+}
+
+impl RungTimeline {
+    /// A timeline starting at `at` on `bitrate_bps`.
+    pub fn new(at: SimTime, bitrate_bps: f64) -> RungTimeline {
+        RungTimeline {
+            entries: vec![(at, bitrate_bps)],
+            switches: 0,
+            switch_magnitude_bps: 0.0,
+        }
+    }
+
+    /// Records a switch to `bitrate_bps` at `at`.
+    pub fn switch_to(&mut self, at: SimTime, bitrate_bps: f64) {
+        let prev = self.entries.last().expect("non-empty").1;
+        self.switches += 1;
+        self.switch_magnitude_bps += (bitrate_bps - prev).abs();
+        self.entries.push((at, bitrate_bps));
+    }
+
+    /// Time-weighted average streamed bitrate over `[start, end]`.
+    pub fn time_weighted_bitrate_bps(&self, end: SimTime) -> f64 {
+        let start = self.entries[0].0;
+        let total = end.saturating_since(start).as_secs_f64();
+        if total <= 0.0 {
+            return self.entries[0].1;
+        }
+        let mut acc = 0.0;
+        for (i, &(since, bps)) in self.entries.iter().enumerate() {
+            let until = self
+                .entries
+                .get(i + 1)
+                .map(|&(t, _)| t)
+                .unwrap_or(end)
+                .min(end);
+            acc += bps * until.saturating_since(since).as_secs_f64();
+        }
+        acc / total
+    }
+
+    /// Stall time attributable to a switch: stall episodes beginning
+    /// within [`SWITCH_REBUFFER_ATTRIBUTION`] of a switch instant. Open
+    /// episodes are charged up to `end`.
+    pub fn switch_rebuffer(
+        &self,
+        stalls: &[(SimTime, Option<SimTime>)],
+        end: SimTime,
+    ) -> SimDuration {
+        let mut acc = SimDuration::ZERO;
+        for &(s, e) in stalls {
+            let attributable = self.entries[1..]
+                .iter()
+                .any(|&(t, _)| s >= t && s.saturating_since(t) <= SWITCH_REBUFFER_ATTRIBUTION);
+            if attributable {
+                acc += e.unwrap_or(end).saturating_since(s);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msim_youtube::format::ITAGS;
+
+    fn cfg() -> AdaptationConfig {
+        AdaptationConfig::default() // panic 5 s, comfort 30 s, safety 0.8
+    }
+
+    fn ladder() -> Vec<VideoFormat> {
+        ITAGS.to_vec()
+    }
+
+    #[test]
+    fn bba_maps_buffer_onto_the_ladder() {
+        let mut p = AbrPolicyImpl::new(AbrPolicyKind::BufferOccupancy, cfg(), ladder());
+        // Initial at an empty buffer: floor.
+        let (r, reason) = p.decide(Some(50e6), 0.0);
+        assert_eq!((r, reason), (0, SwitchReason::Initial));
+        // Deep buffer: climbs one rung per decision regardless of estimate.
+        for expect in 1..ladder().len() {
+            let (r, reason) = p.decide(None, 60.0);
+            assert_eq!(r, expect);
+            assert_eq!(reason, SwitchReason::BufferUp);
+        }
+        let (r, reason) = p.decide(None, 60.0);
+        assert_eq!((r, reason), (ladder().len() - 1, SwitchReason::Hold));
+        // Draining buffer walks back down.
+        let (r, reason) = p.decide(None, 2.0);
+        assert_eq!(r, ladder().len() - 2);
+        assert_eq!(reason, SwitchReason::BufferDown);
+    }
+
+    #[test]
+    fn hybrid_panic_floors_and_comfort_overshoots() {
+        let mut p = AbrPolicyImpl::new(AbrPolicyKind::Hybrid, cfg(), ladder());
+        // 0.8 × 4 Mb/s affords itag 22 (2.5 Mb/s).
+        let (r, _) = p.decide(Some(4.0e6), 20.0);
+        assert_eq!(ladder()[r].itag, 22);
+        // Panic: straight to the floor, not one step.
+        let (r, reason) = p.decide(Some(4.0e6), 1.0);
+        assert_eq!((r, reason), (0, SwitchReason::BufferPanic));
+        // Comfortable buffer allows one rung beyond the rate rule; moves
+        // are single-step so it takes several decisions to climb back.
+        let mut top = 0;
+        for _ in 0..8 {
+            let (r, _) = p.decide(Some(4.0e6), 40.0);
+            top = r;
+        }
+        assert_eq!(
+            ladder()[top].itag,
+            37,
+            "comfort allows one rung past affordable (22 → 37)"
+        );
+    }
+
+    #[test]
+    fn hybrid_holds_the_floor_while_the_buffer_is_below_panic() {
+        let mut p = AbrPolicyImpl::new(AbrPolicyKind::Hybrid, cfg(), ladder());
+        let _ = p.decide(Some(50e6), 20.0); // initial: affordable = top
+        let (r, reason) = p.decide(Some(50e6), 1.0);
+        assert_eq!(
+            (r, reason),
+            (0, SwitchReason::BufferPanic),
+            "panic floors even with a rich estimate"
+        );
+        // While the buffer stays below panic_secs, the policy must not
+        // oscillate back up off the floor, decision after decision.
+        for _ in 0..5 {
+            let (r, reason) = p.decide(Some(50e6), 1.0);
+            assert_eq!((r, reason), (0, SwitchReason::Hold));
+        }
+        // Once the buffer recovers past panic, the rate rule resumes.
+        let (r, _) = p.decide(Some(50e6), 10.0);
+        assert_eq!(r, 1, "recovery climbs single-step");
+    }
+
+    #[test]
+    fn damped_policy_matches_rate_adapter() {
+        let mut policy = AbrPolicyImpl::new(AbrPolicyKind::DampedRate, cfg(), ladder());
+        let mut adapter = RateAdapter::new(cfg(), ladder());
+        for (est, buf) in [
+            (4.0e6, 0.0),
+            (50.0e6, 20.0),
+            (50.0e6, 20.0),
+            (50.0e6, 20.0),
+            (50.0e6, 20.0),
+            (1.0e6, 2.0),
+        ] {
+            let (rung, reason) = policy.decide(Some(est), buf);
+            let (fmt, expect_reason) = adapter.decide(BitRate::bps(est), buf);
+            assert_eq!(policy.ladder()[rung].itag, fmt.itag);
+            assert_eq!(reason, expect_reason);
+        }
+    }
+
+    #[test]
+    fn rung_map_converts_across_switches() {
+        // itag 22 (312 500 B/s) for the first 625 000 bytes (2 s of
+        // video), then itag 18 (75 000 B/s).
+        let mut map = RungMap::new(22, 312_500.0);
+        assert!(map.is_single());
+        map.push(625_000, 2.0, 75_000.0, 18);
+        assert!(!map.is_single());
+        assert_eq!(map.itag_at(0), 22);
+        assert_eq!(map.itag_at(624_999), 22);
+        assert_eq!(map.itag_at(625_000), 18);
+        assert!((map.secs_at(625_000) - 2.0).abs() < 1e-12);
+        // 75 000 bytes past the boundary = 1 more second at the new rung.
+        assert!((map.secs_at(700_000) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rung_map_same_frontier_switch_replaces() {
+        let mut map = RungMap::new(22, 312_500.0);
+        map.push(1000, 0.0032, 75_000.0, 18);
+        map.push(1000, 0.0032, 537_500.0, 37);
+        assert_eq!(map.segments().len(), 2, "superseded segment replaced");
+        assert_eq!(map.itag_at(1000), 37);
+    }
+
+    #[test]
+    fn timeline_time_weighted_bitrate_and_magnitude() {
+        let mut tl = RungTimeline::new(SimTime::ZERO, 2.5e6);
+        tl.switch_to(SimTime::from_secs(10), 4.3e6);
+        // 10 s at 2.5 + 10 s at 4.3 over 20 s.
+        let twa = tl.time_weighted_bitrate_bps(SimTime::from_secs(20));
+        assert!((twa - 3.4e6).abs() < 1.0, "{twa}");
+        assert_eq!(tl.switches, 1);
+        assert!((tl.switch_magnitude_bps - 1.8e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn switch_rebuffer_attribution_window() {
+        let mut tl = RungTimeline::new(SimTime::ZERO, 2.5e6);
+        tl.switch_to(SimTime::from_secs(100), 4.3e6);
+        let stalls = vec![
+            // 3 s stall right after the switch: attributable.
+            (SimTime::from_secs(105), Some(SimTime::from_secs(108))),
+            // Stall long after the window: not attributable.
+            (SimTime::from_secs(200), Some(SimTime::from_secs(205))),
+            // Stall before any switch: not attributable.
+            (SimTime::from_secs(50), Some(SimTime::from_secs(55))),
+        ];
+        let attributed = tl.switch_rebuffer(&stalls, SimTime::from_secs(300));
+        assert_eq!(attributed, SimDuration::from_secs(3));
+    }
+}

@@ -62,6 +62,10 @@ pub enum SwitchReason {
     BufferPanic,
     /// Buffer very comfortable: opportunistic one-step upgrade.
     BufferComfort,
+    /// Buffer-occupancy map supports a higher rung (BBA-style policies).
+    BufferUp,
+    /// Buffer-occupancy map demands a lower rung (BBA-style policies).
+    BufferDown,
     /// No change.
     Hold,
 }
@@ -102,6 +106,16 @@ impl RateAdapter {
     /// The currently selected format.
     pub fn current(&self) -> &VideoFormat {
         &self.ladder[self.current]
+    }
+
+    /// The currently selected ladder rung index.
+    pub fn current_index(&self) -> usize {
+        self.current
+    }
+
+    /// The ladder, ascending by bitrate.
+    pub fn ladder(&self) -> &[VideoFormat] {
+        &self.ladder
     }
 
     /// The highest ladder rung whose bitrate fits within `budget`.

@@ -53,8 +53,11 @@ impl RefillRecord {
 pub struct PlayoutBuffer {
     /// Stream bytes per second of playback (from the video format).
     bytes_per_sec: f64,
-    /// Total stream length in bytes.
-    total_bytes: u64,
+    /// Total stream length in bytes (f64: a closed-loop ABR rescale maps
+    /// the buffer into a new rung's byte space — see
+    /// [`PlayoutBuffer::rescale_rate`] — and exactness in the *seconds*
+    /// domain matters more than integral byte counts).
+    total_bytes: f64,
     /// Pre-buffer threshold in bytes.
     prebuffer_bytes: f64,
     /// Low watermark in bytes.
@@ -97,7 +100,7 @@ impl PlayoutBuffer {
         assert!(bytes_per_sec > 0.0, "bitrate must be positive");
         PlayoutBuffer {
             bytes_per_sec,
-            total_bytes,
+            total_bytes: total_bytes as f64,
             prebuffer_bytes: (prebuffer_secs * bytes_per_sec).min(total_bytes as f64),
             low_bytes: low_watermark_secs * bytes_per_sec,
             refill_bytes: refill_secs * bytes_per_sec,
@@ -153,8 +156,35 @@ impl PlayoutBuffer {
         self.phase == BufferPhase::Finished
     }
 
+    /// Total stream length in the buffer's current byte space.
+    pub fn total_bytes(&self) -> f64 {
+        self.total_bytes
+    }
+
+    /// Rescales the buffer into a new rung's byte space (closed-loop ABR
+    /// itag switch): every byte-denominated quantity is multiplied by
+    /// `new_bytes_per_sec / bytes_per_sec`, which leaves every
+    /// *seconds*-denominated quantity — buffer level, watermark distances,
+    /// remaining playback — exactly invariant. The buffer's byte space is
+    /// purely a scaled representation of video time, so the rescale does
+    /// not change semantics, only units; the fixed-rate player never calls
+    /// it, keeping its arithmetic untouched.
+    pub fn rescale_rate(&mut self, new_bytes_per_sec: f64) {
+        assert!(new_bytes_per_sec > 0.0, "bitrate must be positive");
+        let factor = new_bytes_per_sec / self.bytes_per_sec;
+        self.playable *= factor;
+        self.consumed *= factor;
+        self.total_bytes *= factor;
+        self.prebuffer_bytes *= factor;
+        self.low_bytes *= factor;
+        self.refill_bytes *= factor;
+        self.stall_resume_bytes *= factor;
+        self.on_cycle_start_playable *= factor;
+        self.bytes_per_sec = new_bytes_per_sec;
+    }
+
     fn all_fetched(&self) -> bool {
-        self.playable >= self.total_bytes as f64
+        self.playable >= self.total_bytes
     }
 
     /// Advances playback to `now`, draining the buffer and switching phases
@@ -173,10 +203,10 @@ impl PlayoutBuffer {
                     let dt = (now - t).as_secs_f64();
                     let level = self.playable - self.consumed;
                     let to_low = (level - self.low_bytes).max(0.0) / self.bytes_per_sec;
-                    let to_end = (self.total_bytes as f64 - self.consumed) / self.bytes_per_sec;
+                    let to_end = (self.total_bytes - self.consumed) / self.bytes_per_sec;
                     if to_end <= to_low.min(dt) {
                         // Plays out to the very end before anything else.
-                        self.consumed = self.total_bytes as f64;
+                        self.consumed = self.total_bytes;
                         self.phase = BufferPhase::Finished;
                         t += SimDuration::from_secs_f64(to_end);
                     } else if dt < to_low {
@@ -193,9 +223,9 @@ impl PlayoutBuffer {
                 BufferPhase::PlayingOn => {
                     let dt = (now - t).as_secs_f64();
                     let ahead = (self.playable - self.consumed).max(0.0) / self.bytes_per_sec;
-                    let to_end = (self.total_bytes as f64 - self.consumed) / self.bytes_per_sec;
+                    let to_end = (self.total_bytes - self.consumed) / self.bytes_per_sec;
                     if to_end <= ahead.min(dt) {
-                        self.consumed = self.total_bytes as f64;
+                        self.consumed = self.total_bytes;
                         self.phase = BufferPhase::Finished;
                         t += SimDuration::from_secs_f64(to_end);
                     } else if dt < ahead {
@@ -223,12 +253,17 @@ impl PlayoutBuffer {
 
     /// Reports growth of the playable prefix to `playable_bytes` at `now`.
     pub fn on_playable(&mut self, now: SimTime, playable_bytes: u64) {
+        self.on_playable_f64(now, playable_bytes as f64)
+    }
+
+    /// [`PlayoutBuffer::on_playable`] with a fractional byte count — the
+    /// closed-loop ABR player converts the ledger's mixed-rung byte counter
+    /// through its rung map into the buffer's normalized byte space, which
+    /// is not integral.
+    pub fn on_playable_f64(&mut self, now: SimTime, playable_bytes: f64) {
         self.advance_to(now);
-        debug_assert!(
-            playable_bytes as f64 >= self.playable,
-            "playable prefix shrank"
-        );
-        self.playable = playable_bytes as f64;
+        debug_assert!(playable_bytes >= self.playable, "playable prefix shrank");
+        self.playable = playable_bytes;
         match self.phase {
             BufferPhase::PreBuffering => {
                 if self.playable >= self.prebuffer_bytes {
@@ -276,13 +311,13 @@ impl PlayoutBuffer {
             BufferPhase::PlayingOff => {
                 let ahead = self.playable - self.consumed;
                 let to_low = (ahead - self.low_bytes).max(0.0) / self.bytes_per_sec;
-                let to_end = (self.total_bytes as f64 - self.consumed) / self.bytes_per_sec;
+                let to_end = (self.total_bytes - self.consumed) / self.bytes_per_sec;
                 Some(now + SimDuration::from_secs_f64(to_low.min(to_end).max(1e-6)))
             }
             BufferPhase::PlayingOn => {
                 // Could stall if nothing arrives.
                 let ahead = (self.playable - self.consumed).max(0.0) / self.bytes_per_sec;
-                let to_end = (self.total_bytes as f64 - self.consumed) / self.bytes_per_sec;
+                let to_end = (self.total_bytes - self.consumed) / self.bytes_per_sec;
                 Some(now + SimDuration::from_secs_f64(ahead.min(to_end).max(1e-6)))
             }
         }
@@ -434,6 +469,27 @@ mod tests {
             assert_eq!(b.phase(), BufferPhase::PlayingOff);
         }
         assert_eq!(b.refills().len(), 3);
+    }
+
+    #[test]
+    fn rescale_preserves_the_seconds_domain() {
+        let mut b = buffer();
+        b.on_playable(secs(4.0), 125_000 * 40);
+        b.advance_to(secs(14.0)); // 30 s of buffer left, PlayingOff
+        let level_before = b.level_secs();
+        let next_before = b.next_event_after(secs(14.0)).unwrap();
+        // Switch to a rung at double the bitrate: level and the next
+        // self-transition instant are invariant.
+        b.rescale_rate(250_000.0);
+        assert!((b.level_secs() - level_before).abs() < 1e-9);
+        let next_after = b.next_event_after(secs(14.0)).unwrap();
+        assert!(
+            (next_after.as_secs_f64() - next_before.as_secs_f64()).abs() < 1e-9,
+            "{next_before} vs {next_after}"
+        );
+        // Playback drains seconds at the same wall rate after the rescale.
+        b.advance_to(secs(24.0));
+        assert!((b.level_secs() - (level_before - 10.0)).abs() < 1e-9);
     }
 
     #[test]

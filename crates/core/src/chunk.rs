@@ -92,6 +92,29 @@ impl ChunkLedger {
         self.contiguous >= self.total_len
     }
 
+    /// The assignment frontier: the lowest byte offset never handed to any
+    /// path. Holes from aborted transfers sit *below* the frontier and are
+    /// refilled at their original planning (a closed-loop ABR switch
+    /// re-plans only the region at and beyond the frontier).
+    pub fn frontier(&self) -> u64 {
+        self.frontier_unassigned
+    }
+
+    /// Re-plans the un-assigned tail of the resource to a new total length
+    /// (closed-loop ABR itag switch: the remaining video is re-costed at
+    /// the new rung's bytes-per-second). Everything at or below the
+    /// frontier — completed ranges, in-flight requests, holes — is
+    /// untouched, which is what lets in-flight chunks complete at the old
+    /// rung. Panics if `new_total` would cut into already-assigned bytes.
+    pub fn retarget_total(&mut self, new_total: u64) {
+        assert!(
+            new_total >= self.frontier_unassigned,
+            "retarget below the assignment frontier ({new_total} < {})",
+            self.frontier_unassigned
+        );
+        self.total_len = new_total;
+    }
+
     /// Bytes not yet assigned to any path (excludes in-flight).
     pub fn unassigned_bytes(&self) -> u64 {
         let hole_bytes: u64 = self.holes.iter().map(|&(_, l)| l).sum();
@@ -316,6 +339,35 @@ mod tests {
     fn completing_unknown_chunk_panics() {
         let mut l = ChunkLedger::new(10_000);
         l.complete(7);
+    }
+
+    #[test]
+    fn retarget_replans_only_the_unassigned_tail() {
+        let mut l = ChunkLedger::new(10_000);
+        let a = l.assign(0, 1000).unwrap(); // [0,1000)
+        let b = l.assign(1, 1000).unwrap(); // [1000,2000)
+        assert_eq!(l.frontier(), 2000);
+        // Down-switch: remaining video costs fewer bytes.
+        l.retarget_total(5000);
+        assert_eq!(l.total_len(), 5000);
+        assert_eq!(l.unassigned_bytes(), 3000);
+        // In-flight chunks complete at their original ranges.
+        l.complete(a.index);
+        l.complete(b.index);
+        assert_eq!(l.contiguous_bytes(), 2000);
+        // The tail streams to the new total.
+        let c = l.assign(0, 10_000).unwrap();
+        assert_eq!((c.range.start, c.range.len()), (2000, 3000));
+        l.complete(c.index);
+        assert!(l.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "retarget below the assignment frontier")]
+    fn retarget_cannot_cut_assigned_bytes() {
+        let mut l = ChunkLedger::new(10_000);
+        l.assign(0, 4000).unwrap();
+        l.retarget_total(3000);
     }
 
     #[test]

@@ -4,26 +4,40 @@
 //! 20 s (§4); δ = 5 %, α = 0.9, initial chunk 256 KB, Harmonic estimator
 //! (§5.2); two paths, at most one out-of-order chunk (§2).
 
+use crate::abr::{AbrMode, AbrPolicyKind};
 use crate::adaptation::AdaptationConfig;
 use msim_core::time::SimDuration;
 use msim_core::units::ByteSize;
 pub use msim_net::tcp::TransferEngine;
 
-/// Configuration of the shadow ABR ladder (see
-/// [`crate::adaptation::RateAdapter`]): the player periodically decides
-/// which rung of the itag ladder a DASH-style adapter would stream at,
-/// from the aggregate bandwidth estimate and the buffer level, and records
-/// the decision trace in the session metrics. The simulated stream itself
-/// stays at the session's fixed itag (the paper's pipeline); this is the
-/// §7 "how rate adaption can be integrated with MSPlayer" exploration run
-/// in observer mode — and, operationally, a periodic-timer workload that
-/// keeps the event queue's near-horizon path busy.
-#[derive(Clone, Copy, Debug)]
+/// The default quality ladder: every progressive itag the catalog's format
+/// table maintains, ascending by bitrate.
+pub const DEFAULT_ABR_LADDER: &[u32] = &[17, 36, 18, 43, 22, 37];
+
+/// Configuration of the ABR ladder (see [`crate::abr`]): the player
+/// periodically decides which rung of the itag ladder to stream at, from
+/// the aggregate bandwidth estimate and the buffer level, and records the
+/// decision trace in the session metrics. In [`AbrMode::Shadow`] (the
+/// default, and the historical behaviour) the simulated stream stays at
+/// the session's fixed itag; in [`AbrMode::ClosedLoop`] decisions actually
+/// switch the streamed itag mid-session — the remaining chunk map is
+/// re-planned at the new rung while in-flight requests complete at the old
+/// one.
+#[derive(Clone, Debug)]
 pub struct AbrLadderConfig {
     /// The adapter's rate/buffer rules.
     pub adaptation: AdaptationConfig,
     /// Interval between quality decisions (each one is a timer wakeup).
     pub decision_interval: SimDuration,
+    /// The quality ladder: itags in strictly ascending bitrate order, each
+    /// present in the catalog's format table. A closed-loop session's
+    /// starting itag must be a rung of the ladder (validated by the
+    /// session host).
+    pub ladder: Vec<u32>,
+    /// Which policy drives the decisions.
+    pub policy: AbrPolicyKind,
+    /// Shadow (observe-only) or closed-loop (switches the stream).
+    pub mode: AbrMode,
 }
 
 impl Default for AbrLadderConfig {
@@ -31,7 +45,69 @@ impl Default for AbrLadderConfig {
         AbrLadderConfig {
             adaptation: AdaptationConfig::default(),
             decision_interval: SimDuration::from_millis(250),
+            ladder: DEFAULT_ABR_LADDER.to_vec(),
+            policy: AbrPolicyKind::DampedRate,
+            mode: AbrMode::Shadow,
         }
+    }
+}
+
+impl AbrLadderConfig {
+    /// A closed-loop configuration with the default ladder and policy.
+    pub fn closed_loop() -> AbrLadderConfig {
+        AbrLadderConfig {
+            mode: AbrMode::ClosedLoop,
+            ..AbrLadderConfig::default()
+        }
+    }
+
+    /// Builder-style policy override.
+    pub fn with_policy(mut self, policy: AbrPolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder-style ladder override.
+    pub fn with_ladder(mut self, ladder: Vec<u32>) -> Self {
+        self.ladder = ladder;
+        self
+    }
+
+    /// Builder-style mode override (e.g. force shadow mode to trace what a
+    /// policy *would* do without changing the stream).
+    pub fn with_mode(mut self, mode: AbrMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Validates the ladder: non-empty, every itag in the catalog's format
+    /// table, bitrates strictly ascending. This is what surfaces as
+    /// [`SessionSpecError::InvalidLadder`](crate::sim::SessionSpecError)
+    /// for session specs instead of the historical construction-time
+    /// assert.
+    pub fn validate_ladder(&self) -> Result<(), String> {
+        if self.ladder.is_empty() {
+            return Err("empty ladder".into());
+        }
+        let mut prev: Option<(u32, f64)> = None;
+        for &itag in &self.ladder {
+            let Some(format) = msim_youtube::format::by_itag(itag) else {
+                return Err(format!(
+                    "itag {itag} absent from the catalog's format table"
+                ));
+            };
+            let bps = format.bitrate.as_bps();
+            if let Some((prev_itag, prev_bps)) = prev {
+                if bps <= prev_bps {
+                    return Err(format!(
+                        "ladder bitrates not strictly ascending: itag {itag} \
+                         ({bps} b/s) follows itag {prev_itag} ({prev_bps} b/s)"
+                    ));
+                }
+            }
+            prev = Some((itag, bps));
+        }
+        Ok(())
     }
 }
 
@@ -237,6 +313,8 @@ impl PlayerConfig {
             if abr.decision_interval.is_zero() {
                 return Err("abr decision interval must be positive".into());
             }
+            abr.validate_ladder()
+                .map_err(|e| format!("invalid abr ladder: {e}"))?;
         }
         Ok(())
     }

@@ -5,6 +5,8 @@
 //! paths (WiFi + LTE) fetching from two CDN sources with plain HTTP range
 //! requests over legacy TCP.
 //!
+//! * [`abr`] — closed-loop adaptive bitrate: pluggable policies that
+//!   switch the streamed itag mid-session (shadow mode as the baseline);
 //! * [`estimator`] — EWMA (Eq. 1) and incremental harmonic mean (Eq. 2)
 //!   bandwidth estimators;
 //! * [`scheduler`] — the Ratio baseline and Alg. 1 DCSA chunk schedulers;
@@ -34,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod abr;
 pub mod adaptation;
 pub mod buffer;
 pub mod chunk;
@@ -46,6 +49,7 @@ pub mod scheduler;
 pub mod sim;
 pub mod trace;
 
+pub use abr::{AbrMode, AbrPolicyImpl, AbrPolicyKind, RungMap};
 pub use adaptation::{AdaptationConfig, RateAdapter, SwitchReason};
 pub use buffer::{BufferPhase, PlayoutBuffer, RefillRecord};
 pub use chunk::{ChunkAssignment, ChunkLedger, PathId};
@@ -53,7 +57,7 @@ pub use config::{GammaRounding, PlayerConfig, SchedulerKind};
 pub use estimator::{
     BandwidthEstimator, EstimatorImpl, Ewma, HarmonicInc, HarmonicWindow, LastSample,
 };
-pub use metrics::{ChunkRecord, SessionMetrics, TrafficPhase};
+pub use metrics::{AbrDecision, AbrQoe, AbrSwitch, ChunkRecord, SessionMetrics, TrafficPhase};
 pub use player::{ChunkFailReason, Player, PlayerAction, PlayerEvent};
 pub use scheduler::{
     build_scheduler, ChunkScheduler, DcsaScheduler, FixedScheduler, RatioScheduler, SchedulerImpl,

@@ -5,9 +5,11 @@ use crate::buffer::RefillRecord;
 use crate::chunk::PathId;
 use msim_core::time::{SimDuration, SimTime};
 
-/// One shadow-ABR quality decision that selected a (new) ladder rung (see
+/// One ABR quality decision that selected a (new) ladder rung (see
 /// [`crate::config::AbrLadderConfig`]). The trace records the `Initial`
-/// pick and every rung change; `Hold` decisions are not recorded.
+/// pick and every rung change; `Hold` decisions are not recorded (the
+/// full per-decision trace, holds included, is
+/// [`SessionMetrics::abr_decisions`]).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AbrSwitch {
     /// When the decision was taken.
@@ -16,6 +18,43 @@ pub struct AbrSwitch {
     pub itag: u32,
     /// Why the adapter moved.
     pub reason: SwitchReason,
+}
+
+/// One entry of the full ABR decision trace: every decision the policy
+/// took, `Hold`s included, with the inputs it saw.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AbrDecision {
+    /// When the decision was taken.
+    pub at: SimTime,
+    /// The selected format (itag) after the decision.
+    pub itag: u32,
+    /// The aggregate bandwidth estimate the policy consumed (bits/s; 0
+    /// before any path has a measurement).
+    pub estimate_bps: f64,
+    /// The playout-buffer level the policy consumed (seconds).
+    pub buffer_secs: f64,
+    /// Why the policy chose this rung.
+    pub reason: SwitchReason,
+    /// Whether the decision actually switched the streamed itag (always
+    /// `false` in shadow mode).
+    pub switched: bool,
+}
+
+/// First-class QoE accounting for a closed-loop ABR session.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AbrQoe {
+    /// Time-weighted average streamed bitrate (bits/s) over the session:
+    /// each rung weighted by how long it was the streaming target. Equals
+    /// the fixed format's bitrate when no switch fired.
+    pub time_weighted_bitrate_bps: f64,
+    /// Number of mid-session itag switches performed.
+    pub switches: u32,
+    /// Σ |Δ bitrate| over the switches (bits/s) — the oscillation
+    /// magnitude penalised by standard QoE models.
+    pub switch_magnitude_bps: f64,
+    /// Stall time attributable to a switch (episodes beginning within
+    /// [`crate::abr::SWITCH_REBUFFER_ATTRIBUTION`] of a switch).
+    pub switch_rebuffer: SimDuration,
 }
 
 /// Phase tag for per-path traffic accounting (Table 1 splits traffic by
@@ -73,9 +112,16 @@ pub struct SessionMetrics {
     /// fill this in; 0 outside the simulator). Feeds the bench harness's
     /// events/sec figure.
     pub events: u64,
-    /// Shadow-ABR decision trace (empty unless the player ran with an
+    /// ABR switch trace: the initial pick and every rung change (empty
+    /// unless the player ran with an
     /// [`AbrLadderConfig`](crate::config::AbrLadderConfig)).
     pub abr_switches: Vec<AbrSwitch>,
+    /// Full ABR decision trace: one entry per decision interval, `Hold`s
+    /// included, with the estimate/buffer inputs each decision consumed.
+    pub abr_decisions: Vec<AbrDecision>,
+    /// QoE accounting for closed-loop ABR sessions (`None` for fixed-rate
+    /// and shadow sessions).
+    pub abr_qoe: Option<AbrQoe>,
     /// Stable-link transfer epochs the TCP engine engaged across every
     /// transfer of the session (0 under the round-loop engine; drivers
     /// fill this in — see `sim::SessionHost`).

@@ -14,14 +14,14 @@
 //! * per-path failure counting and failover requests;
 //! * per-phase traffic accounting (Table 1) and QoE metrics.
 
-use crate::adaptation::{RateAdapter, SwitchReason};
+use crate::abr::{AbrMode, AbrPolicyImpl, RungMap, RungTimeline};
+use crate::adaptation::SwitchReason;
 use crate::buffer::{BufferPhase, PlayoutBuffer};
 use crate::chunk::{ChunkAssignment, ChunkLedger, PathId};
 use crate::config::PlayerConfig;
-use crate::metrics::{AbrSwitch, ChunkRecord, SessionMetrics, TrafficPhase};
+use crate::metrics::{AbrDecision, AbrQoe, AbrSwitch, ChunkRecord, SessionMetrics, TrafficPhase};
 use crate::scheduler::{SchedulerImpl, NUM_PATHS};
 use msim_core::time::{SimDuration, SimTime};
-use msim_core::units::BitRate;
 
 /// Why a chunk transfer failed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -151,16 +151,27 @@ pub struct Player {
     /// The wakeup most recently requested via `ScheduleTick` (the single
     /// outstanding tick under the coalescing contract).
     last_wake_requested: Option<SimTime>,
-    /// Shadow ABR ladder state, when configured.
-    abr: Option<AbrShadow>,
+    /// ABR ladder state (shadow or closed-loop), when configured.
+    abr: Option<AbrRuntime>,
 }
 
-/// Runtime state of the shadow ABR ladder (see
-/// [`crate::config::AbrLadderConfig`]).
-struct AbrShadow {
-    adapter: RateAdapter,
+/// Runtime state of the ABR ladder (see
+/// [`crate::config::AbrLadderConfig`] and [`crate::abr`]).
+struct AbrRuntime {
+    policy: AbrPolicyImpl,
     interval: SimDuration,
     next_decision_at: SimTime,
+    /// Whether decisions actually switch the streamed itag.
+    closed_loop: bool,
+    /// Piecewise byte → video-seconds map over the ledger's (possibly
+    /// mixed-rung) byte space. Single-segment until the first switch; the
+    /// player bypasses all conversion while it is single, which pins
+    /// no-switch sessions bit-identical to the fixed-itag player.
+    rung_map: RungMap,
+    /// Total video duration in seconds (derived from the starting rung).
+    video_secs: f64,
+    /// Streamed-rung timeline for QoE accounting.
+    timeline: RungTimeline,
 }
 
 impl Player {
@@ -196,10 +207,35 @@ impl Player {
             cfg.stall_resume_secs,
         );
         let scheduler = SchedulerImpl::for_paths(&cfg, n_paths);
-        let abr = cfg.abr_ladder.as_ref().map(|abr| AbrShadow {
-            adapter: RateAdapter::new(abr.adaptation, msim_youtube::format::ITAGS.to_vec()),
-            interval: abr.decision_interval,
-            next_decision_at: started_at + abr.decision_interval,
+        let abr = cfg.abr_ladder.as_ref().map(|abr| {
+            let formats = crate::abr::resolve_ladder(&abr.ladder);
+            // The streamed starting rung is the ladder entry matching the
+            // session's format; `bytes_per_sec` comes from the same format
+            // table, so the match is exact for validated specs (closest
+            // rung as the backstop for hand-built players).
+            let start = formats
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let da = (a.bytes_per_sec() - bytes_per_sec).abs();
+                    let db = (b.bytes_per_sec() - bytes_per_sec).abs();
+                    da.partial_cmp(&db).expect("finite rates")
+                })
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let start_fmt = formats
+                .get(start)
+                .copied()
+                .unwrap_or(*msim_youtube::format::hd_720p());
+            AbrRuntime {
+                policy: AbrPolicyImpl::new(abr.policy, abr.adaptation, formats),
+                interval: abr.decision_interval,
+                next_decision_at: started_at + abr.decision_interval,
+                closed_loop: abr.mode == AbrMode::ClosedLoop,
+                rung_map: RungMap::new(start_fmt.itag, bytes_per_sec),
+                video_secs: total_bytes as f64 / bytes_per_sec,
+                timeline: RungTimeline::new(started_at, start_fmt.bitrate.as_bps()),
+            }
         });
         Player {
             cfg,
@@ -233,6 +269,16 @@ impl Player {
         self.metrics.refills = self.buffer.refills().to_vec();
         self.metrics.stalls = self.buffer.stalls().to_vec();
         self.metrics.ended_at = Some(ended_at);
+        if let Some(abr) = &self.abr {
+            if abr.closed_loop {
+                self.metrics.abr_qoe = Some(AbrQoe {
+                    time_weighted_bitrate_bps: abr.timeline.time_weighted_bitrate_bps(ended_at),
+                    switches: abr.timeline.switches,
+                    switch_magnitude_bps: abr.timeline.switch_magnitude_bps,
+                    switch_rebuffer: abr.timeline.switch_rebuffer(&self.metrics.stalls, ended_at),
+                });
+            }
+        }
         self.metrics
     }
 
@@ -341,7 +387,8 @@ impl Player {
                         phase,
                     });
                 }
-                self.buffer.on_playable(now, contiguous);
+                let units = self.buffer_units(contiguous);
+                self.buffer.on_playable_f64(now, units);
             }
             PlayerEvent::ChunkFailed { path, reason } => {
                 self.ledger.abort_in_flight(path);
@@ -411,14 +458,17 @@ impl Player {
                 }
             }
         }
-        // Shadow ABR ladder: one quality decision per elapsed interval
-        // boundary, from the aggregate estimate and the buffer level.
+        // ABR ladder: one quality decision per elapsed interval boundary,
+        // from the aggregate estimate and the buffer level. In closed-loop
+        // mode a rung change re-plans the remaining chunk map and switches
+        // the streamed itag; in shadow mode it is traced only.
         if let Some(abr) = &mut self.abr {
             if now >= abr.next_decision_at && !self.buffer.finished() {
-                let estimate = self.scheduler.aggregate_estimate_bps().unwrap_or(0.0);
+                let estimate = self.scheduler.aggregate_estimate_bps();
                 let level = self.buffer.level_secs();
-                let before = abr.adapter.current().itag;
-                let (format, reason) = abr.adapter.decide(BitRate::bps(estimate), level);
+                let before = abr.policy.ladder()[abr.policy.current_index()].itag;
+                let (rung, reason) = abr.policy.decide(estimate, level);
+                let format = abr.policy.ladder()[rung];
                 if format.itag != before || matches!(reason, SwitchReason::Initial) {
                     self.metrics.abr_switches.push(AbrSwitch {
                         at: now,
@@ -426,6 +476,35 @@ impl Player {
                         reason,
                     });
                 }
+                // Closed loop: adopt the selected rung for everything not
+                // yet planned. In-flight requests and holes keep their
+                // already-assigned ranges (old rung); the estimators and
+                // per-path scheduler state carry across untouched.
+                let mut switched = false;
+                if abr.closed_loop
+                    && format.itag != abr.rung_map.current().itag
+                    && !self.ledger.is_complete()
+                {
+                    let frontier = self.ledger.frontier();
+                    let frontier_secs = abr.rung_map.secs_at(frontier);
+                    let new_bps = format.bytes_per_sec();
+                    let remaining_secs = (abr.video_secs - frontier_secs).max(0.0);
+                    let new_total = frontier + (remaining_secs * new_bps).round() as u64;
+                    self.ledger.retarget_total(new_total);
+                    abr.rung_map
+                        .push(frontier, frontier_secs, new_bps, format.itag);
+                    self.buffer.rescale_rate(new_bps);
+                    abr.timeline.switch_to(now, format.bitrate.as_bps());
+                    switched = true;
+                }
+                self.metrics.abr_decisions.push(AbrDecision {
+                    at: now,
+                    itag: format.itag,
+                    estimate_bps: estimate.unwrap_or(0.0),
+                    buffer_secs: level,
+                    reason,
+                    switched,
+                });
                 while abr.next_decision_at <= now {
                     abr.next_decision_at += abr.interval;
                 }
@@ -469,6 +548,48 @@ impl Player {
     /// Completed-but-unplayable chunk count (exposed for tests/invariants).
     pub fn ooo_completed(&self) -> usize {
         self.ledger.ooo_completed()
+    }
+
+    /// Converts the ledger's (possibly mixed-rung) contiguous byte counter
+    /// into the playout buffer's byte space. Until the first closed-loop
+    /// switch the spaces coincide and the raw counter passes through
+    /// untouched — the bit-identity guarantee for no-switch sessions.
+    /// After a switch, bytes map through the rung map into video seconds
+    /// and back out at the current rung's rate (the space the buffer was
+    /// rescaled into).
+    fn buffer_units(&self, contiguous: u64) -> f64 {
+        match &self.abr {
+            Some(abr) if abr.closed_loop && !abr.rung_map.is_single() => {
+                let units = abr.rung_map.secs_at(contiguous) * abr.rung_map.current().bytes_per_sec;
+                if self.ledger.is_complete() {
+                    // Guard the f64 round trip: a completed download must
+                    // read as fully fetched in buffer space too.
+                    units.max(self.buffer.total_bytes())
+                } else {
+                    units
+                }
+            }
+            _ => contiguous as f64,
+        }
+    }
+
+    /// The itag a range request starting at `byte` streams, for drivers
+    /// that admit requests per format. `None` for fixed-rate and shadow
+    /// sessions (the stream stays at the session's itag).
+    pub fn itag_for_byte(&self, byte: u64) -> Option<u32> {
+        self.abr
+            .as_ref()
+            .filter(|abr| abr.closed_loop)
+            .map(|abr| abr.rung_map.itag_at(byte))
+    }
+
+    /// The itag the closed-loop stream is currently planning new chunks
+    /// at (`None` for fixed-rate and shadow sessions).
+    pub fn streaming_itag(&self) -> Option<u32> {
+        self.abr
+            .as_ref()
+            .filter(|abr| abr.closed_loop)
+            .map(|abr| abr.rung_map.current().itag)
     }
 }
 

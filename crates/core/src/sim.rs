@@ -125,6 +125,14 @@ pub enum SessionSpecError {
     },
     /// The player configuration failed [`PlayerConfig::validate`].
     InvalidPlayer(String),
+    /// The ABR quality ladder is malformed: empty, bitrates not strictly
+    /// ascending, an itag the catalog's format table does not maintain, or
+    /// (closed loop only, checked by the host) a ladder that does not
+    /// contain the session's starting itag.
+    InvalidLadder {
+        /// What is wrong with the ladder.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SessionSpecError {
@@ -139,6 +147,9 @@ impl fmt::Display for SessionSpecError {
                 write!(f, "empty or inverted failure window [{from}, {until})")
             }
             SessionSpecError::InvalidPlayer(why) => write!(f, "invalid player config: {why}"),
+            SessionSpecError::InvalidLadder { reason } => {
+                write!(f, "invalid abr ladder: {reason}")
+            }
         }
     }
 }
@@ -238,10 +249,14 @@ impl SessionSpec {
     }
 
     /// Validates the spec: at least one path, in-range failure targets,
-    /// well-formed windows, valid player config.
+    /// well-formed windows, well-formed ABR ladder, valid player config.
     pub fn validate(&self) -> Result<(), SessionSpecError> {
         if self.paths.is_empty() {
             return Err(SessionSpecError::NoPaths);
+        }
+        if let Some(abr) = &self.player.abr_ladder {
+            abr.validate_ladder()
+                .map_err(|reason| SessionSpecError::InvalidLadder { reason })?;
         }
         for failure in &self.server_failures {
             if failure.path >= self.paths.len() {
@@ -512,11 +527,16 @@ pub struct SessionHost {
     /// width. [`EventQueue::reset`] between sessions restores pristine
     /// semantics; width carry-over affects only speed, never pop order.
     queue: EventQueue<Ev>,
-    /// Cached per-`(network, json_done)` bootstrap content. Valid only
-    /// when the network is idle at watch time (always true for bootstraps
-    /// on distinct networks; same-network multi-path sessions bypass the
-    /// cache so load-aware server ordering is preserved exactly).
-    boot_cache: BTreeMap<(Network, SimTime), std::sync::Arc<PathBootstrap>>,
+    /// Cached per-`(network, json_done, granted ladder)` bootstrap
+    /// content. Valid only when the network is idle at watch time (always
+    /// true for bootstraps on distinct networks; same-network multi-path
+    /// sessions bypass the cache so load-aware server ordering is
+    /// preserved exactly). The granted ladder is part of the key because
+    /// the bootstrap's [`StreamGrant`] covers exactly the session's
+    /// ladder: sessions with different ladders must not share grants.
+    ///
+    /// [`StreamGrant`]: msim_youtube::service::StreamGrant
+    boot_cache: BTreeMap<(Network, SimTime, Vec<u32>), std::sync::Arc<PathBootstrap>>,
 }
 
 impl SessionHost {
@@ -559,6 +579,7 @@ impl SessionHost {
     /// Runs one session to completion over the warmed service.
     pub fn run(&mut self, spec: &SessionSpec) -> Result<SessionMetrics, SessionSpecError> {
         spec.validate()?;
+        self.validate_against_service(spec)?;
         Ok(self.run_validated(spec.seed, spec))
     }
 
@@ -571,10 +592,28 @@ impl SessionHost {
         spec: &SessionSpec,
     ) -> Result<Vec<SessionMetrics>, SessionSpecError> {
         spec.validate()?;
+        self.validate_against_service(spec)?;
         Ok(seeds
             .iter()
             .map(|&seed| self.run_validated(seed, spec))
             .collect())
+    }
+
+    /// Service-aware spec checks: a closed-loop ABR ladder must contain
+    /// the session's starting itag (the rung the stream begins on).
+    fn validate_against_service(&self, spec: &SessionSpec) -> Result<(), SessionSpecError> {
+        if let Some(abr) = &spec.player.abr_ladder {
+            if abr.mode == crate::abr::AbrMode::ClosedLoop && !abr.ladder.contains(&self.spec.itag)
+            {
+                return Err(SessionSpecError::InvalidLadder {
+                    reason: format!(
+                        "closed-loop ladder {:?} does not contain the session's starting itag {}",
+                        abr.ladder, self.spec.itag
+                    ),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The session body. `spec` must already be validated.
@@ -599,6 +638,15 @@ impl SessionHost {
         };
         // Aggregated engine telemetry across the session's transfers.
         let mut xfer_stats = TransferStats::default();
+        // The formats the session's grant must cover: closed-loop ABR
+        // sessions are granted their whole quality ladder once (they may
+        // switch the streamed itag mid-session); everything else streams
+        // exactly the service's fixed itag.
+        let session_itag = self.spec.itag;
+        let grant_itags: Vec<u32> = match &spec.player.abr_ladder {
+            Some(abr) if abr.mode == crate::abr::AbrMode::ClosedLoop => abr.ladder.clone(),
+            _ => vec![session_itag],
+        };
 
         // --- Links & connections -------------------------------------------
         let mut links: Vec<Link> = Vec::with_capacity(n_paths);
@@ -632,7 +680,7 @@ impl SessionHost {
             // is a pure function of (network, json_done) while the network
             // is idle — serve it from the host cache when possible. The
             // bootstrap *timing* below is charged per session regardless.
-            let cache_key = (network, json_done);
+            let cache_key = (network, json_done, grant_itags.clone());
             let idle = self.service.network_is_idle(network);
             let boot = match self.boot_cache.get(&cache_key) {
                 Some(cached) if idle => std::sync::Arc::clone(cached),
@@ -654,6 +702,7 @@ impl SessionHost {
                         client_ip,
                         &info.token,
                         signature.as_deref(),
+                        &grant_itags,
                     );
                     let boot = std::sync::Arc::new(PathBootstrap { info, grant });
                     if idle {
@@ -819,6 +868,13 @@ impl SessionHost {
             for action in actions.drain(..) {
                 match action {
                     PlayerAction::Fetch { assignment } => {
+                        // The format this range request streams: the rung
+                        // its byte region was planned at (closed-loop ABR
+                        // sessions carry a rung map; everything else is the
+                        // session's fixed itag).
+                        let itag = player
+                            .itag_for_byte(assignment.range.start)
+                            .unwrap_or(session_itag);
                         dispatch_fetch(
                             &mut self.service,
                             &mut links,
@@ -827,6 +883,7 @@ impl SessionHost {
                             queue,
                             now,
                             assignment,
+                            itag,
                             &mut xfer_stats,
                         );
                     }
@@ -907,15 +964,16 @@ fn dispatch_fetch(
     queue: &mut EventQueue<Ev>,
     now: SimTime,
     assignment: ChunkAssignment,
+    itag: u32,
     xfer_stats: &mut TransferStats,
 ) {
     let p = assignment.path;
     let rt = &mut paths[p];
     // Server-side admission over the bootstrap's pre-validated grant:
-    // failure windows, overload, and token expiry (the token / signature
-    // halves were checked once at bootstrap — same verdicts, no per-chunk
-    // re-parse).
-    let admission = service.check_range_request_granted(rt.server_addr, now, &rt.boot.grant);
+    // failure windows, overload, token expiry, and ladder membership of
+    // the requested format (the token / signature halves were checked once
+    // at bootstrap — same verdicts, no per-chunk re-parse).
+    let admission = service.check_range_request_granted(rt.server_addr, now, &rt.boot.grant, itag);
     if let Err(status) = admission {
         // The error response costs one round trip.
         let rtt = links[p].base_rtt();
@@ -1281,6 +1339,111 @@ mod tests {
             host.run(&spec),
             Err(SessionSpecError::InvalidPlayer(_))
         ));
+    }
+
+    #[test]
+    fn closed_loop_abr_switches_the_streamed_itag_mid_session() {
+        use crate::config::AbrLadderConfig;
+        // WiFi (10.5 Mb/s) + LTE (8.2 Mb/s) afford far more than itag 22's
+        // 2.5 Mb/s: the damped rate policy must climb to 1080p mid-stream.
+        let cfg = quick_player().with_abr_ladder(AbrLadderConfig::closed_loop());
+        let mut scenario = Scenario::testbed_msplayer(5, cfg);
+        scenario.stop = StopCondition::AfterRefills(2);
+        let m = run_session(&scenario);
+        let qoe = m.abr_qoe.expect("closed-loop sessions carry QoE");
+        assert!(qoe.switches > 0, "no switch fired: {qoe:?}");
+        assert!(
+            m.abr_decisions.iter().any(|d| d.switched && d.itag != 22),
+            "streamed itag never changed: {:?}",
+            m.abr_switches
+        );
+        // Time-weighted bitrate sits between the ladder endpoints and
+        // above the starting rung (the session only switched up).
+        assert!(
+            qoe.time_weighted_bitrate_bps > 2.5e6 && qoe.time_weighted_bitrate_bps <= 4.3e6,
+            "time-weighted bitrate {} outside (2.5M, 4.3M]",
+            qoe.time_weighted_bitrate_bps
+        );
+        assert!(qoe.switch_magnitude_bps > 0.0);
+        // Deterministic replay.
+        let again = run_session(&scenario);
+        assert_eq!(m, again);
+    }
+
+    #[test]
+    fn closed_loop_policies_all_run_and_differ_from_shadow() {
+        use crate::abr::{AbrMode, AbrPolicyKind};
+        use crate::config::AbrLadderConfig;
+        for policy in [
+            AbrPolicyKind::DampedRate,
+            AbrPolicyKind::BufferOccupancy,
+            AbrPolicyKind::Hybrid,
+        ] {
+            let abr = AbrLadderConfig::closed_loop().with_policy(policy);
+            let cfg = quick_player().with_abr_ladder(abr.clone());
+            let mut scenario = Scenario::testbed_msplayer(7, cfg);
+            scenario.stop = StopCondition::AfterRefills(1);
+            let m = run_session(&scenario);
+            assert!(
+                m.abr_qoe.is_some() && !m.abr_decisions.is_empty(),
+                "{policy:?} produced no decisions"
+            );
+            // The shadow twin of the same policy traces decisions but
+            // never switches and carries no QoE record.
+            let shadow = abr.with_mode(AbrMode::Shadow);
+            let mut sh_scenario = scenario.clone();
+            sh_scenario.player = quick_player().with_abr_ladder(shadow);
+            let sh = run_session(&sh_scenario);
+            assert!(sh.abr_qoe.is_none(), "{policy:?} shadow grew QoE");
+            assert!(
+                sh.abr_decisions.iter().all(|d| !d.switched),
+                "{policy:?} shadow switched"
+            );
+        }
+    }
+
+    #[test]
+    fn ladder_validation_rejects_malformed_ladders() {
+        use crate::config::AbrLadderConfig;
+        let scenario = Scenario::testbed_msplayer(1, quick_player());
+        let mut host = SessionHost::new(scenario.service_spec());
+
+        // Empty ladder.
+        let mut spec = scenario.session_spec();
+        spec.player.abr_ladder = Some(AbrLadderConfig::closed_loop().with_ladder(vec![]));
+        assert!(matches!(
+            host.run(&spec),
+            Err(SessionSpecError::InvalidLadder { .. })
+        ));
+
+        // Unknown itag.
+        let mut spec = scenario.session_spec();
+        spec.player.abr_ladder = Some(AbrLadderConfig::closed_loop().with_ladder(vec![18, 999]));
+        assert!(matches!(
+            host.run(&spec),
+            Err(SessionSpecError::InvalidLadder { .. })
+        ));
+
+        // Non-monotone bitrates (43 is 650 kb/s, 18 is 600 kb/s).
+        let mut spec = scenario.session_spec();
+        spec.player.abr_ladder = Some(AbrLadderConfig::closed_loop().with_ladder(vec![43, 18, 22]));
+        assert!(matches!(
+            host.run(&spec),
+            Err(SessionSpecError::InvalidLadder { .. })
+        ));
+
+        // Closed-loop ladder missing the session's starting itag (22).
+        let mut spec = scenario.session_spec();
+        spec.player.abr_ladder = Some(AbrLadderConfig::closed_loop().with_ladder(vec![18, 37]));
+        assert!(matches!(
+            host.run(&spec),
+            Err(SessionSpecError::InvalidLadder { .. })
+        ));
+
+        // The same ladder is fine in shadow mode (nothing streams off 22).
+        let mut spec = scenario.session_spec();
+        spec.player.abr_ladder = Some(AbrLadderConfig::default().with_ladder(vec![18, 37]));
+        assert!(host.run(&spec).is_ok());
     }
 
     #[test]

@@ -236,9 +236,12 @@ impl YoutubeService {
         self.cipher.decoder()
     }
 
-    /// Validates a range request hitting the server at `addr`. Checks
-    /// failure windows, token, and (for copyrighted videos) the deciphered
-    /// signature. On success returns the server's pacing policy.
+    /// Validates a range request for one format (`itag`) of the video
+    /// hitting the server at `addr`. Checks failure windows, token, (for
+    /// copyrighted videos) the deciphered signature, and that the requested
+    /// itag is a profile the servers actually maintain. On success returns
+    /// the server's pacing policy.
+    #[allow(clippy::too_many_arguments)]
     pub fn check_range_request(
         &self,
         addr: Ipv4Addr,
@@ -247,6 +250,7 @@ impl YoutubeService {
         client_ip: &str,
         token_wire: &str,
         signature: Option<&str>,
+        itag: u32,
     ) -> Result<Option<PacePolicy>, StatusCode> {
         let Some(server) = self.server(addr) else {
             return Err(StatusCode::NOT_FOUND);
@@ -263,28 +267,35 @@ impl YoutubeService {
         } else {
             return Err(StatusCode::NOT_FOUND);
         }
+        if crate::format::by_itag(itag).is_none() {
+            return Err(StatusCode::FORBIDDEN);
+        }
         Ok(server.pace())
     }
 
     /// Pre-validates the *time-independent* half of range-request admission
     /// — token wire form, MAC, video/client/operation binding, catalog
     /// presence, and (for copyrighted videos) the deciphered signature —
-    /// into a reusable [`StreamGrant`].
+    /// into a reusable [`StreamGrant`] covering every format in `itags`
+    /// that the service actually maintains (the client's quality ladder:
+    /// one entry for a fixed-rate session, several for a closed-loop ABR
+    /// session that may switch itags mid-stream).
     ///
     /// A session performs these checks with identical inputs on every
     /// chunk; real CDNs amortize exactly this with session tickets. Only
     /// the per-request state (server failure windows, overload, token
-    /// expiry) is left for request time, so
-    /// [`YoutubeService::check_range_request_granted`] returns the same
-    /// verdict as [`YoutubeService::check_range_request`] for every
-    /// `(addr, now)` — asserted by the `grant_matches_per_request_checks`
-    /// test.
+    /// expiry, ladder membership of the requested itag) is left for request
+    /// time, so [`YoutubeService::check_range_request_granted`] returns the
+    /// same verdict as [`YoutubeService::check_range_request`] for every
+    /// `(addr, now, itag)` — asserted by the
+    /// `grant_matches_per_request_checks` test.
     pub fn grant_stream(
         &self,
         video_id: VideoId,
         client_ip: &str,
         token_wire: &str,
         signature: Option<&str>,
+        itags: &[u32],
     ) -> StreamGrant {
         // Probe the token's static checks at its issue instant, which is
         // always inside the validity window: any error reported here is
@@ -318,17 +329,27 @@ impl YoutubeService {
             }
             Some(_) => Ok(()),
         };
+        // Only profiles the format table maintains are grantable; a ladder
+        // entry the service does not know simply is not granted, and range
+        // requests for it are rejected at request time exactly as the full
+        // path rejects unknown itags.
+        let granted_itags = itags
+            .iter()
+            .copied()
+            .filter(|&itag| crate::format::by_itag(itag).is_some())
+            .collect();
         StreamGrant {
             token_verdict,
             expires_at,
             content_verdict,
+            granted_itags,
         }
     }
 
     /// Per-request admission over a pre-validated [`StreamGrant`], in the
     /// full path's exact order — failure windows / overload, token checks
-    /// (with expiry evaluated at `now`), then catalog / signature — so the
-    /// verdicts are bit-identical to
+    /// (with expiry evaluated at `now`), catalog / signature, then the
+    /// requested format — so the verdicts are bit-identical to
     /// [`YoutubeService::check_range_request`], without re-parsing or
     /// re-MAC-ing the token per chunk.
     pub fn check_range_request_granted(
@@ -336,6 +357,7 @@ impl YoutubeService {
         addr: Ipv4Addr,
         now: SimTime,
         grant: &StreamGrant,
+        itag: u32,
     ) -> Result<Option<PacePolicy>, StatusCode> {
         let Some(server) = self.server(addr) else {
             return Err(StatusCode::NOT_FOUND);
@@ -346,14 +368,20 @@ impl YoutubeService {
             return Err(StatusCode::FORBIDDEN);
         }
         grant.content_verdict?;
+        if !grant.granted_itags.contains(&itag) {
+            return Err(StatusCode::FORBIDDEN);
+        }
         Ok(server.pace())
     }
 }
 
 /// A pre-validated streaming authorisation (see
 /// [`YoutubeService::grant_stream`]): the outcomes of every
-/// time-independent admission check plus the token's expiry instant.
-#[derive(Clone, Copy, Debug)]
+/// time-independent admission check, the token's expiry instant, and the
+/// set of formats (itags) the grant covers — a closed-loop ABR session is
+/// granted its whole quality ladder once and may then switch the streamed
+/// itag mid-session without re-authorising.
+#[derive(Clone, Debug)]
 pub struct StreamGrant {
     /// Verdict of the token's static checks (wire form, MAC, video /
     /// client / operation binding).
@@ -363,6 +391,16 @@ pub struct StreamGrant {
     /// Verdict of the content checks (catalog presence, deciphered
     /// signature), evaluated after expiry in the full path's order.
     content_verdict: Result<(), StatusCode>,
+    /// Formats the grant covers; range requests for any other itag are
+    /// rejected with 403.
+    granted_itags: Vec<u32>,
+}
+
+impl StreamGrant {
+    /// The formats this grant admits.
+    pub fn granted_itags(&self) -> &[u32] {
+        &self.granted_itags
+    }
 }
 
 #[cfg(test)]
@@ -370,6 +408,11 @@ mod tests {
     use super::*;
     use crate::proxy::parse_video_info;
     use msim_core::time::SimDuration;
+
+    /// Every itag the format table maintains — the widest possible grant
+    /// ladder, under which the granted path must agree with the full path
+    /// for any known itag.
+    const ALL_ITAGS: &[u32] = &[17, 36, 18, 43, 22, 37];
 
     fn service() -> (YoutubeService, VideoId) {
         let (catalog, id) = Catalog::single_test_video();
@@ -406,7 +449,7 @@ mod tests {
         assert!(!info.copyrighted);
         let server_addr = svc.server_by_domain(&info.server_domains[0]).unwrap().addr;
         let pace = svc
-            .check_range_request(server_addr, now, id, "203.0.113.7", &info.token, None)
+            .check_range_request(server_addr, now, id, "203.0.113.7", &info.token, None, 22)
             .unwrap();
         assert!(pace.is_none(), "testbed profile is unpaced");
     }
@@ -442,7 +485,15 @@ mod tests {
 
         // Without a signature: 403.
         assert_eq!(
-            svc.check_range_request(addr, SimTime::ZERO, id, "198.51.100.9", &info.token, None),
+            svc.check_range_request(
+                addr,
+                SimTime::ZERO,
+                id,
+                "198.51.100.9",
+                &info.token,
+                None,
+                22
+            ),
             Err(StatusCode::FORBIDDEN)
         );
         // With the enciphered signature passed as-is: still 403.
@@ -453,7 +504,8 @@ mod tests {
                 id,
                 "198.51.100.9",
                 &info.token,
-                Some(&enc)
+                Some(&enc),
+                22,
             ),
             Err(StatusCode::FORBIDDEN)
         );
@@ -466,7 +518,8 @@ mod tests {
                 id,
                 "198.51.100.9",
                 &info.token,
-                Some(&deciphered)
+                Some(&deciphered),
+                22,
             ),
             Ok(None)
         );
@@ -481,7 +534,15 @@ mod tests {
         let info = parse_video_info(&json).unwrap();
         let addr = svc.server_by_domain(&info.server_domains[0]).unwrap().addr;
         assert_eq!(
-            svc.check_range_request(addr, SimTime::ZERO, id, "198.51.100.9", &info.token, None),
+            svc.check_range_request(
+                addr,
+                SimTime::ZERO,
+                id,
+                "198.51.100.9",
+                &info.token,
+                None,
+                22
+            ),
             Err(StatusCode::FORBIDDEN),
             "token is bound to the requesting interface's public IP"
         );
@@ -503,7 +564,8 @@ mod tests {
                 id,
                 "203.0.113.7",
                 &info.token,
-                None
+                None,
+                22,
             )
             .is_err());
         assert!(svc
@@ -513,7 +575,8 @@ mod tests {
                 id,
                 "203.0.113.7",
                 &info.token,
-                None
+                None,
+                22,
             )
             .is_ok());
         // The other replica in the same network stays healthy → failover target.
@@ -530,7 +593,8 @@ mod tests {
                 id,
                 "203.0.113.7",
                 &info.token,
-                None
+                None,
+                22,
             )
             .is_ok());
     }
@@ -566,7 +630,15 @@ mod tests {
         let info = parse_video_info(&json).unwrap();
         let addr = svc.server_by_domain(&info.server_domains[0]).unwrap().addr;
         let got = svc
-            .check_range_request(addr, SimTime::ZERO, id, "203.0.113.7", &info.token, None)
+            .check_range_request(
+                addr,
+                SimTime::ZERO,
+                id,
+                "203.0.113.7",
+                &info.token,
+                None,
+                22,
+            )
             .unwrap();
         assert_eq!(got, Some(pace));
     }
@@ -602,25 +674,25 @@ mod tests {
             (
                 "valid token",
                 id,
-                svc.grant_stream(id, "203.0.113.7", &info.token, None),
+                svc.grant_stream(id, "203.0.113.7", &info.token, None, ALL_ITAGS),
                 info.token.clone(),
             ),
             (
                 "wrong client ip",
                 id,
-                svc.grant_stream(id, "198.51.100.99", &info.token, None),
+                svc.grant_stream(id, "198.51.100.99", &info.token, None, ALL_ITAGS),
                 info.token.clone(),
             ),
             (
                 "malformed token",
                 id,
-                svc.grant_stream(id, "203.0.113.7", "garbage", None),
+                svc.grant_stream(id, "203.0.113.7", "garbage", None, ALL_ITAGS),
                 "garbage".to_string(),
             ),
             (
                 "uncatalogued video",
                 ghost,
-                svc.grant_stream(ghost, "203.0.113.7", &ghost_wire, None),
+                svc.grant_stream(ghost, "203.0.113.7", &ghost_wire, None, ALL_ITAGS),
                 ghost_wire,
             ),
         ];
@@ -638,15 +710,49 @@ mod tests {
                 "203.0.113.7"
             };
             for &now in &instants {
-                let full = svc.check_range_request(addr, now, *vid, client_ip, wire, None);
-                let granted = svc.check_range_request_granted(addr, now, grant);
-                assert_eq!(full, granted, "{label} at {now}");
+                // Sweep every known itag plus an unknown one: with a
+                // full-ladder grant, "not granted" and "no such profile"
+                // must produce the same verdicts as the full path.
+                for &itag in ALL_ITAGS.iter().chain(&[999u32]) {
+                    let full =
+                        svc.check_range_request(addr, now, *vid, client_ip, wire, None, itag);
+                    let granted = svc.check_range_request_granted(addr, now, grant, itag);
+                    assert_eq!(full, granted, "{label} itag {itag} at {now}");
+                }
             }
             let bogus = Ipv4Addr::new(10, 0, 0, 1);
             assert_eq!(
-                svc.check_range_request_granted(bogus, instants[0], grant),
+                svc.check_range_request_granted(bogus, instants[0], grant, 22),
                 Err(StatusCode::NOT_FOUND),
                 "{label} unknown server"
+            );
+        }
+    }
+
+    #[test]
+    fn ladder_grant_covers_exactly_its_rungs() {
+        let (mut svc, id) = service();
+        let json = svc
+            .watch_request(Network::Wifi, id, "203.0.113.7", SimTime::ZERO)
+            .unwrap();
+        let info = parse_video_info(&json).unwrap();
+        let addr = svc.server_by_domain(&info.server_domains[0]).unwrap().addr;
+        // A three-rung ladder plus an itag the service does not maintain:
+        // the unknown rung is silently not granted.
+        let grant = svc.grant_stream(id, "203.0.113.7", &info.token, None, &[18, 22, 37, 999]);
+        assert_eq!(grant.granted_itags(), &[18, 22, 37]);
+        for itag in [18, 22, 37] {
+            assert!(
+                svc.check_range_request_granted(addr, SimTime::ZERO, &grant, itag)
+                    .is_ok(),
+                "granted rung {itag} admitted"
+            );
+        }
+        for itag in [17, 36, 43, 999] {
+            assert_eq!(
+                svc.check_range_request_granted(addr, SimTime::ZERO, &grant, itag),
+                Err(StatusCode::FORBIDDEN),
+                "ungranted rung {itag} rejected"
             );
         }
     }

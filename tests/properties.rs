@@ -137,10 +137,10 @@ proptest! {
             let sig = service.decoder_page().decipher(&enc);
             let addr = service.server_by_domain(&info.server_domains[0]).unwrap().addr;
             prop_assert!(service
-                .check_range_request(addr, SimTime::from_secs(1), id, "203.0.113.7", &info.token, Some(&sig))
+                .check_range_request(addr, SimTime::from_secs(1), id, "203.0.113.7", &info.token, Some(&sig), 22)
                 .is_ok());
             prop_assert!(service
-                .check_range_request(addr, SimTime::from_secs(1), id, "203.0.113.7", &info.token, Some(&enc))
+                .check_range_request(addr, SimTime::from_secs(1), id, "203.0.113.7", &info.token, Some(&enc), 22)
                 .is_err());
         }
     }

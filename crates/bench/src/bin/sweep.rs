@@ -5,14 +5,122 @@
 //! ```sh
 //! MSP_RUNS=20 MSP_THREADS=8 cargo run --release -p msplayer-bench --bin sweep
 //! ```
+//!
+//! Case mode reproduces a single chaos-corpus case (or any ad-hoc
+//! seed/plan point) in one command instead of sweeping:
+//!
+//! ```sh
+//! cargo run -p msplayer-bench --bin sweep -- --case tests/chaos_corpus/case-<id>.json
+//! cargo run -p msplayer-bench --bin sweep -- \
+//!     --workload testbed/MSPlayer --scheduler Harmonic --chunk-kb 256 \
+//!     --seed 33 --chaos kitchen-sink
+//! ```
+//!
+//! Exit status in case mode: 0 when the session holds every invariant,
+//! 1 otherwise.
 
 use msim_core::stats::median;
+use msplayer_bench::chaos::{run_case, ChaosCase};
 use msplayer_bench::runs;
 use msplayer_bench::sweep::{
     run_parallel, run_serial, threads, write_bench_json, BenchReport, SweepSpec,
 };
+use msplayer_bench::workload::WorkloadRegistry;
+
+const CASE_USAGE: &str = "\
+sweep case mode:
+    sweep --case <file.json>
+    sweep --workload <name> [--scheduler <name>] [--chunk-kb <n>]
+          [--seed <n>] [--chaos <plan-or-preset>]
+(no flags = the legacy Fig. 3 sweep)
+";
+
+/// Parses case-mode flags; `None` means legacy sweep mode (no flags).
+fn parse_case_args(args: &[String]) -> Result<Option<ChaosCase>, String> {
+    if args.is_empty() {
+        return Ok(None);
+    }
+    let mut case = ChaosCase {
+        workload: String::new(),
+        scheduler: "Harmonic".into(),
+        chunk_kb: 256,
+        seed: 0,
+        plan: String::new(),
+        recorded_violations: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value\n\n{CASE_USAGE}"))
+        };
+        match arg.as_str() {
+            "--case" => {
+                let path = value("--case")?;
+                let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+                let json = msim_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+                case = ChaosCase::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
+            }
+            "--workload" => case.workload = value("--workload")?,
+            "--scheduler" => case.scheduler = value("--scheduler")?,
+            "--chunk-kb" => {
+                let v = value("--chunk-kb")?;
+                case.chunk_kb = v.parse().map_err(|_| format!("bad --chunk-kb {v:?}"))?;
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                case.seed = v.parse().map_err(|_| format!("bad --seed {v:?}"))?;
+            }
+            "--chaos" => case.plan = value("--chaos")?,
+            "-h" | "--help" => return Err(CASE_USAGE.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n\n{CASE_USAGE}")),
+        }
+    }
+    if case.workload.is_empty() {
+        return Err(format!(
+            "--workload (or --case) is required\n\n{CASE_USAGE}"
+        ));
+    }
+    Ok(Some(case))
+}
+
+/// Reproduces one case and reports its verdict; returns the exit code.
+fn run_case_mode(case: &ChaosCase) -> i32 {
+    let registry = WorkloadRegistry::builtin(1);
+    println!(
+        "case: workload={} scheduler={} chunk_kb={} seed={} plan={:?}",
+        case.workload, case.scheduler, case.chunk_kb, case.seed, case.plan
+    );
+    let outcome = run_case(case, &registry);
+    if let Some(fp) = &outcome.fingerprint {
+        println!(
+            "fingerprint: events={} chunks={} bytes={} ended_at_us={} failovers={} stalls={}",
+            fp.events, fp.chunks, fp.bytes, fp.ended_at_us, fp.failovers, fp.stalls
+        );
+    }
+    if outcome.ok() {
+        println!("verdict: all invariants hold");
+        0
+    } else {
+        println!("verdict: {} violation(s)", outcome.violations.len());
+        for v in &outcome.violations {
+            println!("  {v}");
+        }
+        1
+    }
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_case_args(&args) {
+        Ok(Some(case)) => std::process::exit(run_case_mode(&case)),
+        Ok(None) => {}
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
     let spec = SweepSpec::fig3(runs());
     let cells = spec.cells();
     let n_threads = threads();

@@ -21,6 +21,7 @@ use msim_core::units::ByteSize;
 use msim_net::mobility::OutageSchedule;
 use msim_net::profile::PathProfile;
 use msim_youtube::dns::Network;
+use msplayer_core::chaos::ChaosPlan;
 use msplayer_core::config::{AbrLadderConfig, PlayerConfig, SchedulerKind};
 use msplayer_core::sim::{PathSetup, ServerFailure, ServiceSpec, SessionSpec, StopCondition};
 use std::sync::Arc;
@@ -66,6 +67,10 @@ pub struct WorkloadSpec {
     /// Optional shadow ABR ladder applied to every cell's player (`None` =
     /// the paper's fixed-rate player).
     pub abr: Option<AbrLadderConfig>,
+    /// Optional chaos plan layered onto every cell's session (`None` =
+    /// fault-free). Layering is additive: the workload definition itself
+    /// is untouched — see [`WorkloadSpec::with_chaos`].
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl std::fmt::Debug for WorkloadSpec {
@@ -82,6 +87,7 @@ impl std::fmt::Debug for WorkloadSpec {
             .field("runs", &self.runs)
             .field("seed_salt", &self.seed_salt)
             .field("abr", &self.abr.is_some())
+            .field("chaos", &self.chaos.as_ref().map(ChaosPlan::to_string))
             .finish()
     }
 }
@@ -129,13 +135,28 @@ impl WorkloadSpec {
 
     /// The full session spec for one cell of this workload.
     pub fn session_spec(&self, scheduler: SchedulerKind, chunk_kb: u64, seed: u64) -> SessionSpec {
-        SessionSpec {
+        let spec = SessionSpec {
             seed,
             paths: self.paths.clone(),
             player: self.player_config(scheduler, chunk_kb),
             stop: self.stop,
             server_failures: self.server_failures.clone(),
+            chaos: None,
+        };
+        match &self.chaos {
+            Some(plan) => spec.with_chaos(plan.clone()),
+            None => spec,
         }
+    }
+
+    /// Layers a chaos plan onto this workload without touching its
+    /// definition: every cell's session spec carries the plan, and the
+    /// name grows a `+chaos[<plan>]` suffix so chaotic cells never
+    /// conflate with their clean counterparts in reports or registries.
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> WorkloadSpec {
+        self.name = format!("{}+chaos[{plan}]", self.name);
+        self.chaos = Some(plan);
+        self
     }
 
     /// Maps one historical (env, competitor) pair onto a workload. Seeds,
@@ -190,6 +211,7 @@ impl WorkloadSpec {
             runs,
             seed_salt: 0,
             abr: None,
+            chaos: None,
         }
     }
 
@@ -213,6 +235,7 @@ impl WorkloadSpec {
             runs,
             seed_salt: 0x3_9A7_0E7,
             abr: None,
+            chaos: None,
         }
     }
 
@@ -242,6 +265,7 @@ impl WorkloadSpec {
             runs,
             seed_salt: 0x0B_1EE7,
             abr: None,
+            chaos: None,
         }
     }
 
@@ -275,6 +299,7 @@ impl WorkloadSpec {
             runs,
             seed_salt: 0x5707_4A11,
             abr: None,
+            chaos: None,
         }
     }
 }
@@ -308,6 +333,7 @@ impl WorkloadSpec {
             runs,
             seed_salt: 0x4A57_4247,
             abr: None,
+            chaos: None,
         }
     }
 
@@ -338,6 +364,7 @@ impl WorkloadSpec {
             runs,
             seed_salt: 0xD0A1_F1F1,
             abr: None,
+            chaos: None,
         }
     }
 
@@ -364,6 +391,7 @@ impl WorkloadSpec {
             runs,
             seed_salt: 0xC105_ED10,
             abr: Some(AbrLadderConfig::closed_loop()),
+            chaos: None,
         }
     }
 
@@ -398,6 +426,7 @@ impl WorkloadSpec {
                 AbrLadderConfig::closed_loop()
                     .with_policy(msplayer_core::abr::AbrPolicyKind::Hybrid),
             ),
+            chaos: None,
         }
     }
 
@@ -430,6 +459,7 @@ impl WorkloadSpec {
             runs,
             seed_salt: 0x3177_ACE5,
             abr: None,
+            chaos: None,
         }
     }
 
@@ -457,6 +487,7 @@ impl WorkloadSpec {
             runs,
             seed_salt: 0xAB_12AD,
             abr: Some(AbrLadderConfig::default()),
+            chaos: None,
         }
     }
 }

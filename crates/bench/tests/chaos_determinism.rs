@@ -1,0 +1,117 @@
+//! Determinism under chaos, across the whole builtin registry: layering
+//! a `ChaosPlan` must not break (a) serial-vs-parallel sweep
+//! equivalence, (b) batch-vs-loop bit-equivalence, or (c) invariant
+//! health — on any registered workload.
+
+use msplayer_bench::sweep::{run_parallel, run_serial};
+use msplayer_bench::workload::{WorkloadRegistry, WorkloadSpec};
+use msplayer_core::chaos::{check_invariants, ChaosPlan};
+use msplayer_core::sim::SessionHost;
+use std::sync::Arc;
+
+/// A plan that validates on every builtin workload (all injectors target
+/// path 0, which every workload has).
+fn universal_plan() -> ChaosPlan {
+    ChaosPlan::parse(
+        "skew:+250ms;token-expiry:3s;outage:path=0,dir=down,from=2s,until=4s;\
+         overload:path=0,from=1s,until=6s;jitter:200ms",
+    )
+    .expect("plan parses")
+}
+
+/// The builtin registry with the universal plan layered onto every
+/// workload (fresh names via the `+chaos[..]` suffix, so registration
+/// never collides with the clean specs).
+fn chaotic_registry() -> WorkloadRegistry {
+    let plan = universal_plan();
+    let mut chaotic = WorkloadRegistry::new();
+    for spec in WorkloadRegistry::builtin(1).specs() {
+        chaotic.register(WorkloadSpec::clone(spec).with_chaos(plan.clone()));
+    }
+    chaotic
+}
+
+#[test]
+fn chaotic_plan_validates_against_every_builtin_workload() {
+    let plan = universal_plan();
+    for spec in WorkloadRegistry::builtin(1).specs() {
+        assert!(
+            plan.validate(spec.paths.len()).is_ok(),
+            "plan must apply to {}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn serial_vs_parallel_sweep_is_bit_identical_under_chaos() {
+    let cells = chaotic_registry().cells();
+    assert!(
+        cells.len() >= 15,
+        "every builtin workload contributes cells"
+    );
+    let serial = run_serial(&cells);
+    let parallel = run_parallel(&cells, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s, p, "cell {} diverged under threads", s.cell.kind());
+    }
+    // And every chaotic session still holds the invariant oracle.
+    for r in &serial {
+        let violations = check_invariants(&r.metrics);
+        assert!(
+            violations.is_empty(),
+            "{} seed {}: {violations:?}",
+            r.cell.kind(),
+            r.cell.seed
+        );
+    }
+}
+
+#[test]
+fn batch_vs_loop_is_bit_identical_under_chaos_for_every_workload() {
+    let seeds = [5u64, 77, 4096];
+    for spec in chaotic_registry().specs() {
+        let scheduler = spec.schedulers[0];
+        let chunk_kb = spec.chunk_kb[0];
+        let session = spec.session_spec(scheduler, chunk_kb, seeds[0]);
+        let mut warmed = SessionHost::new(spec.service.clone());
+        let batch = warmed
+            .run_batch(&seeds, &session)
+            .expect("registered workloads validate");
+        for (&seed, batched) in seeds.iter().zip(&batch) {
+            let fresh = SessionHost::new(spec.service.clone())
+                .run(&spec.session_spec(scheduler, chunk_kb, seed))
+                .expect("registered workloads validate");
+            assert_eq!(
+                &fresh, batched,
+                "{} seed {seed}: batch diverged from loop under chaos",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_layering_leaves_the_clean_workload_untouched() {
+    let clean = WorkloadRegistry::builtin(1);
+    let spec = Arc::clone(clean.by_name("testbed/MSPlayer").expect("builtin"));
+    let chaotic = WorkloadSpec::clone(&spec).with_chaos(universal_plan());
+    // The clean spec still has no chaos and its original name.
+    assert!(spec.chaos.is_none());
+    assert_eq!(spec.name, "testbed/MSPlayer");
+    assert!(chaotic.chaos.is_some());
+    assert_ne!(chaotic.name, spec.name);
+    // And the chaotic run differs from the clean run on the same seed.
+    let scheduler = spec.schedulers[0];
+    let clean_m = SessionHost::new(spec.service.clone())
+        .run(&spec.session_spec(scheduler, 256, 33))
+        .expect("valid");
+    let chaos_m = SessionHost::new(chaotic.service.clone())
+        .run(&chaotic.session_spec(scheduler, 256, 33))
+        .expect("valid");
+    assert_ne!(
+        clean_m, chaos_m,
+        "the plan must actually perturb the session"
+    );
+}

@@ -20,6 +20,9 @@
 //!   service; [`sim::run_session`] is the single-shot compatibility shim;
 //! * [`metrics`] — startup delay, refills, stalls, per-path traffic splits
 //!   (Table 1);
+//! * [`chaos`] — composable seed-deterministic fault injectors
+//!   ([`chaos::ChaosPlan`]) and the session invariant oracle
+//!   ([`chaos::check_invariants`]);
 //! * [`energy`] — the §7 future-work energy-accounting extension.
 //!
 //! ## Quick start
@@ -39,6 +42,7 @@
 pub mod abr;
 pub mod adaptation;
 pub mod buffer;
+pub mod chaos;
 pub mod chunk;
 pub mod config;
 pub mod energy;
@@ -52,6 +56,7 @@ pub mod trace;
 pub use abr::{AbrMode, AbrPolicyImpl, AbrPolicyKind, RungMap};
 pub use adaptation::{AdaptationConfig, RateAdapter, SwitchReason};
 pub use buffer::{BufferPhase, PlayoutBuffer, RefillRecord};
+pub use chaos::{check_invariants, ChaosInjector, ChaosPlan, ChaosState, Violation};
 pub use chunk::{ChunkAssignment, ChunkLedger, PathId};
 pub use config::{GammaRounding, PlayerConfig, SchedulerKind};
 pub use estimator::{

@@ -33,6 +33,7 @@
 //! one-shot host from a [`Scenario`] and runs it. Every figure in the paper
 //! is still regenerated through it.
 
+use crate::chaos::{ChaosPlan, ChaosState};
 use crate::chunk::ChunkAssignment;
 use crate::config::PlayerConfig;
 use crate::metrics::SessionMetrics;
@@ -133,6 +134,12 @@ pub enum SessionSpecError {
         /// What is wrong with the ladder.
         reason: String,
     },
+    /// The attached [`ChaosPlan`] failed validation (e.g. an injector
+    /// targets a path index the spec does not have).
+    InvalidChaos {
+        /// What is wrong with the plan.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SessionSpecError {
@@ -149,6 +156,9 @@ impl fmt::Display for SessionSpecError {
             SessionSpecError::InvalidPlayer(why) => write!(f, "invalid player config: {why}"),
             SessionSpecError::InvalidLadder { reason } => {
                 write!(f, "invalid abr ladder: {reason}")
+            }
+            SessionSpecError::InvalidChaos { reason } => {
+                write!(f, "invalid chaos plan: {reason}")
             }
         }
     }
@@ -222,6 +232,12 @@ pub struct SessionSpec {
     /// Server-failure injections (empty = healthy servers; several entries
     /// model failure storms). Each entry must target a valid path index.
     pub server_failures: Vec<ServerFailure>,
+    /// Optional chaos plan layered onto the session: composable
+    /// seed-deterministic fault injectors (clock skew, middlebox option
+    /// strip, asymmetric outages, DNS flaps, token cuts, replica overload)
+    /// that act purely in the data plane — the workload definition itself is
+    /// untouched.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl SessionSpec {
@@ -233,6 +249,7 @@ impl SessionSpec {
             player,
             stop: StopCondition::PrebufferDone,
             server_failures: Vec::new(),
+            chaos: None,
         }
     }
 
@@ -245,6 +262,12 @@ impl SessionSpec {
     /// Builder-style seed override (used by batch drivers).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style chaos-plan attachment.
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
         self
     }
 
@@ -271,6 +294,10 @@ impl SessionSpec {
                     until: failure.until,
                 });
             }
+        }
+        if let Some(plan) = &self.chaos {
+            plan.validate(self.paths.len())
+                .map_err(|reason| SessionSpecError::InvalidChaos { reason })?;
         }
         self.player
             .validate()
@@ -410,6 +437,7 @@ impl Scenario {
             player: self.player.clone(),
             stop: self.stop,
             server_failures: self.server_failure.into_iter().collect(),
+            chaos: None,
         }
     }
 }
@@ -769,6 +797,26 @@ impl SessionHost {
             }
         }
 
+        // Resolve the chaos plan against this session's seed. Chaos acts
+        // strictly in the data plane (fetch / failover dispatch) — never in
+        // the bootstrap above — so the boot cache and the batch-vs-loop
+        // bit-equivalence stay intact. Overload windows are installed on the
+        // backing replicas like server failures; reset_sessions() clears
+        // them before the next session.
+        let mut chaos: Option<ChaosState> = spec.chaos.as_ref().map(|p| p.resolve(seed, n_paths));
+        if let Some(cs) = &chaos {
+            let mut windows: BTreeMap<Ipv4Addr, Vec<(SimTime, SimTime)>> = BTreeMap::new();
+            for (path, from, until) in cs.overload_windows() {
+                windows
+                    .entry(paths[path].server_addr)
+                    .or_default()
+                    .push((from, until));
+            }
+            for (addr, w) in windows {
+                self.service.overload_server_windows(addr, w);
+            }
+        }
+
         // --- Player & event loop -------------------------------------------
         let mut player = Player::multi(
             spec.player.clone(),
@@ -885,6 +933,7 @@ impl SessionHost {
                             assignment,
                             itag,
                             &mut xfer_stats,
+                            chaos.as_mut(),
                         );
                     }
                     PlayerAction::Failover { path } => {
@@ -897,6 +946,7 @@ impl SessionHost {
                             &self.tls,
                             now,
                             path,
+                            chaos.as_ref(),
                         );
                     }
                     PlayerAction::ScheduleTick { at } => {
@@ -966,14 +1016,74 @@ fn dispatch_fetch(
     assignment: ChunkAssignment,
     itag: u32,
     xfer_stats: &mut TransferStats,
+    mut chaos: Option<&mut ChaosState>,
 ) {
     let p = assignment.path;
     let rt = &mut paths[p];
+    if let Some(cs) = chaos.as_deref_mut() {
+        let rtt = links[p].base_rtt();
+        // Middlebox started stripping MPTCP options on this path: the
+        // established connection falls back per RFC 6824 — one reset, a
+        // fresh plain-TCP handshake, and the request is lost. One-shot.
+        if let Some(penalty_rtts) = cs.take_strip(p, now) {
+            let mut conn = TcpConnection::new(rt.tcp_config.clone());
+            if let Some(pace) = service.server(rt.server_addr).and_then(|s| s.pace()) {
+                conn = conn.with_server_pacing(pace.burst, pace.rate);
+            }
+            // The reconnect handshake itself charges one RTT; the rest of
+            // the penalty (detecting the reset, SYN retries for the
+            // option-dropping case) is charged up front.
+            let reset_done = conn.connect(&mut links[p], now + rtt * (penalty_rtts - 1));
+            conns[p] = Some(conn);
+            queue.push(
+                reset_done,
+                Ev::ChunkError {
+                    path: p,
+                    reason: ChunkFailReason::ServerError,
+                    link_down: false,
+                },
+            );
+            return;
+        }
+        // Up-direction outage: the request never reaches the server; the
+        // client gives up after a deterministic RTO.
+        if cs.request_lost(p, now) {
+            queue.push(
+                now + rtt * 4,
+                Ev::ChunkError {
+                    path: p,
+                    reason: ChunkFailReason::Timeout,
+                    link_down: false,
+                },
+            );
+            return;
+        }
+        // Token cut: the CDN invalidated the session token; the first
+        // request at/after the cut on each path is refused 403 (the retry
+        // models a control-plane token refresh).
+        if cs.token_cut_fires(p, now) {
+            queue.push(
+                now + rtt,
+                Ev::ChunkError {
+                    path: p,
+                    reason: ChunkFailReason::Forbidden,
+                    link_down: false,
+                },
+            );
+            return;
+        }
+    }
     // Server-side admission over the bootstrap's pre-validated grant:
     // failure windows, overload, token expiry, and ladder membership of
     // the requested format (the token / signature halves were checked once
-    // at bootstrap — same verdicts, no per-chunk re-parse).
-    let admission = service.check_range_request_granted(rt.server_addr, now, &rt.boot.grant, itag);
+    // at bootstrap — same verdicts, no per-chunk re-parse). Under clock
+    // skew the servers see the skewed instant.
+    let admit_now = match chaos.as_deref() {
+        Some(cs) => cs.skewed(now),
+        None => now,
+    };
+    let admission =
+        service.check_range_request_granted(rt.server_addr, admit_now, &rt.boot.grant, itag);
     if let Err(status) = admission {
         // The error response costs one round trip.
         let rtt = links[p].base_rtt();
@@ -992,6 +1102,21 @@ fn dispatch_fetch(
     xfer_stats.absorb(result.stats);
     match result.outcome {
         TransferOutcome::Complete => {
+            // Down-direction outage: the transfer ran on the wire (the
+            // server sent every byte, connection state advanced) but the
+            // response never reached the client, which times out when the
+            // transfer would have completed.
+            if chaos.as_deref().is_some_and(|cs| cs.response_lost(p, now)) {
+                queue.push(
+                    result.completed_at,
+                    Ev::ChunkError {
+                        path: p,
+                        reason: ChunkFailReason::Timeout,
+                        link_down: false,
+                    },
+                );
+                return;
+            }
             queue.push(
                 result.completed_at,
                 Ev::ChunkDone {
@@ -1037,8 +1162,24 @@ fn dispatch_failover(
     tls: &TlsTimingModel,
     now: SimTime,
     path: usize,
+    chaos: Option<&ChaosState>,
 ) {
     let rt = &mut paths[path];
+    // DNS flap: the resolver keeps returning the stale record, so the
+    // failover cannot rotate replicas — the client reconnects to the same
+    // server after burning one extra RTT on the failed re-resolution.
+    if chaos.is_some_and(|cs| cs.dns_flapping(path, now)) {
+        let rtt = links[path].base_rtt();
+        let tls_extra = tls.eta(rtt).saturating_sub(rtt);
+        let mut conn = TcpConnection::new(rt.tcp_config.clone());
+        if let Some(pace) = service.server(rt.server_addr).and_then(|s| s.pace()) {
+            conn = conn.with_server_pacing(pace.burst, pace.rate);
+        }
+        let ready = conn.connect(&mut links[path], now + rtt + tls_extra);
+        conns[path] = Some(conn);
+        queue.push(ready, Ev::PathRecover(path));
+        return;
+    }
     if let Some(s) = service.server_mut(rt.server_addr) {
         s.end_session();
     }
@@ -1444,6 +1585,71 @@ mod tests {
         let mut spec = scenario.session_spec();
         spec.player.abr_ladder = Some(AbrLadderConfig::default().with_ladder(vec![18, 37]));
         assert!(host.run(&spec).is_ok());
+    }
+
+    #[test]
+    fn chaos_sessions_are_deterministic_and_pass_the_oracle() {
+        use crate::chaos::{check_invariants, ChaosPlan};
+        let plan = ChaosPlan::parse(
+            "skew:+250ms;token-expiry:2s;outage:path=0,dir=down,from=3s,until=5s;\
+             mptcp-strip:path=1,at=2s;overload:path=0,from=1s,until=8s;\
+             dns-flap:path=0,from=1s,until=20s",
+        )
+        .unwrap();
+        let scenario = Scenario::testbed_msplayer(33, quick_player());
+        let mut host = SessionHost::new(scenario.service_spec());
+        let spec = scenario.session_spec().with_chaos(plan);
+        let a = host.run(&spec).expect("valid chaotic spec");
+        let b = host.run(&spec).expect("valid chaotic spec");
+        assert_eq!(a, b, "chaos must be seed-deterministic");
+        let violations = check_invariants(&a);
+        assert!(violations.is_empty(), "oracle violated: {violations:?}");
+        // The plan actually bit: the outcome differs from the clean run.
+        let clean = host.run(&scenario.session_spec()).expect("valid spec");
+        assert_ne!(a, clean, "chaos plan had no observable effect");
+    }
+
+    #[test]
+    fn chaos_overload_triggers_failover_and_session_survives() {
+        use crate::chaos::ChaosPlan;
+        let plan = ChaosPlan::parse("overload:path=0,from=1s,until=60s").unwrap();
+        let scenario = Scenario::testbed_msplayer(9, quick_player());
+        let mut host = SessionHost::new(scenario.service_spec());
+        let spec = scenario.session_spec().with_chaos(plan);
+        let m = host.run(&spec).expect("valid spec");
+        assert!(m.failovers[0] >= 1, "503s force a replica switch");
+        assert!(m.prebuffer_done_at.is_some(), "session survives overload");
+    }
+
+    #[test]
+    fn chaos_batch_matches_individual_runs() {
+        use crate::chaos::ChaosPlan;
+        let plan =
+            ChaosPlan::parse("token-expiry:2s;outage:path=1,dir=up,from=1s,until=3s;jitter:500ms")
+                .unwrap();
+        let scenario = Scenario::testbed_msplayer(0, quick_player());
+        let mut host = SessionHost::new(scenario.service_spec());
+        let spec = scenario.session_spec().with_chaos(plan.clone());
+        let seeds = [3u64, 14, 15, 92];
+        let batch = host.run_batch(&seeds, &spec).expect("valid spec");
+        for (i, &seed) in seeds.iter().enumerate() {
+            let mut fresh = SessionHost::new(scenario.service_spec());
+            let single = fresh.run(&spec.clone().with_seed(seed)).expect("valid");
+            assert_eq!(batch[i], single, "seed {seed} diverged under chaos");
+        }
+    }
+
+    #[test]
+    fn chaos_validation_rejects_out_of_range_paths() {
+        use crate::chaos::ChaosPlan;
+        let plan = ChaosPlan::parse("overload:path=7,from=1s,until=2s").unwrap();
+        let scenario = Scenario::testbed_msplayer(1, quick_player());
+        let mut host = SessionHost::new(scenario.service_spec());
+        let spec = scenario.session_spec().with_chaos(plan);
+        assert!(matches!(
+            host.run(&spec),
+            Err(SessionSpecError::InvalidChaos { .. })
+        ));
     }
 
     #[test]

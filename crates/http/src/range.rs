@@ -25,6 +25,23 @@ pub enum RangeError {
         /// Resource length the range was checked against.
         resource_len: u64,
     },
+    /// A parsed offset exceeds [`ByteRange::MAX_OFFSET`]. Offsets beyond it
+    /// would overflow `len()` / `next()` arithmetic (fuzz-found: a header
+    /// like `bytes=0-18446744073709551615` parsed fine and then paniced
+    /// downstream in `len()`).
+    Oversized {
+        /// The offending offset.
+        value: u64,
+    },
+    /// A `Content-Range` total inconsistent with its range (`end >= total`).
+    /// Fuzz-found: an accepted inconsistent total fed resource-length logic
+    /// that assumed `end < total`.
+    InconsistentTotal {
+        /// Last byte offset of the range.
+        end: u64,
+        /// The claimed resource total.
+        total: u64,
+    },
 }
 
 impl fmt::Display for RangeError {
@@ -38,6 +55,16 @@ impl fmt::Display for RangeError {
                     "range not satisfiable for resource of {resource_len} bytes"
                 )
             }
+            RangeError::Oversized { value } => {
+                write!(
+                    f,
+                    "offset {value} exceeds the supported maximum {}",
+                    ByteRange::MAX_OFFSET
+                )
+            }
+            RangeError::InconsistentTotal { end, total } => {
+                write!(f, "content-range end {end} not below its total {total}")
+            }
         }
     }
 }
@@ -45,6 +72,13 @@ impl fmt::Display for RangeError {
 impl std::error::Error for RangeError {}
 
 impl ByteRange {
+    /// Largest byte offset the parsers accept. `len()` computes
+    /// `end - start + 1` and `next()` computes `end + 1`; capping offsets
+    /// at `u64::MAX / 2` keeps both (and any offset+length sum a caller
+    /// forms) overflow-free, while still covering resources eight orders
+    /// of magnitude beyond any real video.
+    pub const MAX_OFFSET: u64 = u64::MAX / 2;
+
     /// Builds a range from inclusive offsets.
     pub fn new(start: u64, end: u64) -> Result<ByteRange, RangeError> {
         if start > end {
@@ -95,6 +129,9 @@ impl ByteRange {
         let end: u64 = end_s
             .parse()
             .map_err(|_| RangeError::Malformed(value.to_string()))?;
+        if end > ByteRange::MAX_OFFSET {
+            return Err(RangeError::Oversized { value: end });
+        }
         ByteRange::new(start, end)
     }
 
@@ -138,6 +175,15 @@ impl ByteRange {
         let total: u64 = total_s
             .parse()
             .map_err(|_| RangeError::Malformed(value.to_string()))?;
+        if end > ByteRange::MAX_OFFSET {
+            return Err(RangeError::Oversized { value: end });
+        }
+        if total > ByteRange::MAX_OFFSET {
+            return Err(RangeError::Oversized { value: total });
+        }
+        if end >= total {
+            return Err(RangeError::InconsistentTotal { end, total });
+        }
         Ok((ByteRange::new(start, end)?, total))
     }
 
@@ -223,6 +269,66 @@ mod tests {
         let (back, total) = ByteRange::parse_content_range(&v).unwrap();
         assert_eq!(back, r);
         assert_eq!(total, 4096);
+    }
+
+    // Fuzz-promoted edge cases: inputs the byte-mutation driver found that
+    // used to parse "successfully" and panic (or mislead) downstream.
+    #[test]
+    fn oversized_offsets_rejected_with_typed_error() {
+        // end = u64::MAX once made len() overflow (end - start + 1).
+        assert_eq!(
+            ByteRange::parse_header_value("bytes=0-18446744073709551615"),
+            Err(RangeError::Oversized { value: u64::MAX })
+        );
+        // An oversized total is rejected before the consistency check.
+        assert_eq!(
+            ByteRange::parse_content_range("bytes 0-10/18446744073709551615"),
+            Err(RangeError::Oversized { value: u64::MAX })
+        );
+        // The largest accepted offset still has overflow-free arithmetic.
+        let r =
+            ByteRange::parse_header_value(&format!("bytes=0-{}", ByteRange::MAX_OFFSET)).unwrap();
+        assert_eq!(r.len(), ByteRange::MAX_OFFSET + 1);
+        let _ = r.next(1);
+    }
+
+    #[test]
+    fn inconsistent_content_range_total_rejected() {
+        assert_eq!(
+            ByteRange::parse_content_range("bytes 0-1023/1023"),
+            Err(RangeError::InconsistentTotal {
+                end: 1023,
+                total: 1023
+            })
+        );
+        assert_eq!(
+            ByteRange::parse_content_range("bytes 5-10/3"),
+            Err(RangeError::InconsistentTotal { end: 10, total: 3 })
+        );
+        assert!(ByteRange::parse_content_range("bytes 0-1023/1024").is_ok());
+    }
+
+    #[test]
+    fn non_ascii_digits_are_malformed_not_panics() {
+        // Arabic-Indic and full-width digits must not slip through u64
+        // parsing (and must not panic the slicing logic either).
+        for bad in [
+            "bytes=٠-٥",
+            "bytes=0-５",
+            "bytes 0-٥/10",
+            "bytes=0-1\u{202e}",
+        ] {
+            assert!(
+                matches!(
+                    ByteRange::parse_header_value(bad),
+                    Err(RangeError::Malformed(_))
+                ) || matches!(
+                    ByteRange::parse_content_range(bad),
+                    Err(RangeError::Malformed(_))
+                ),
+                "should reject {bad:?} as malformed"
+            );
+        }
     }
 
     #[test]

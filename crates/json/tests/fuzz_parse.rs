@@ -1,0 +1,31 @@
+//! Byte-mutation fuzz target for the hand-rolled JSON parser.
+//!
+//! Contract: `from_str` never panics on arbitrary input, and anything it
+//! accepts must survive a serialise → reparse roundtrip bit-identically
+//! (the corpus recorder depends on that stability).
+
+use msim_json::{from_str, to_string, to_string_pretty};
+use proptest::fuzz;
+
+const CORPUS: &[&[u8]] = &[
+    br#"{"video_id":"qjT4T2gU9sM","itag":22,"servers":["r3.example.net","r7.example.net"]}"#,
+    br#"{"seed":42,"plan":"skew:+250ms;overload:path=1,from=1s,until=10s","nested":{"a":[1,2.5,-3e2,true,false,null]}}"#,
+    "[{\"k\":\"\u{e9}\\\"\\\\\\n\"},[],{},\"\"]".as_bytes(),
+    br#"-0.0031415e3"#,
+    br#""lone string with \t escapes""#,
+];
+
+#[test]
+fn fuzz_json_parse_never_panics_and_accepted_values_roundtrip() {
+    fuzz::run("json::parse", CORPUS, 2_000, |data| {
+        let text = String::from_utf8_lossy(data);
+        if let Ok(v) = from_str(&text) {
+            let compact = to_string(&v);
+            let back = from_str(&compact)
+                .unwrap_or_else(|e| panic!("serialised form {compact:?} must reparse: {e}"));
+            assert_eq!(back, v, "roundtrip drift through {compact:?}");
+            // The pretty printer must agree with the compact one.
+            assert_eq!(from_str(&to_string_pretty(&v)).unwrap(), v);
+        }
+    });
+}

@@ -498,6 +498,154 @@ pub mod string {
     }
 }
 
+pub mod fuzz {
+    //! A deterministic byte-mutation fuzz driver for the hand-rolled
+    //! parsers: seed-corpus inputs are mutated with the classic fuzzing
+    //! moves (bit flips, truncation, duplication, splicing, digit blasts,
+    //! multi-byte UTF-8 insertion) and fed to a target closure. Panics
+    //! propagate — the test harness reports the failing case — and every
+    //! case derives from a stable per-target seed, so a failure replays
+    //! exactly.
+
+    use crate::test_runner::TestRng;
+
+    /// Deterministic mutator over a seed corpus.
+    pub struct ByteMutator {
+        rng: TestRng,
+    }
+
+    impl ByteMutator {
+        /// A mutator seeded explicitly (see [`crate::seed_for`]).
+        pub fn new(seed: u64) -> ByteMutator {
+            ByteMutator {
+                rng: TestRng::new(seed),
+            }
+        }
+
+        /// Produces one mutated input: picks a corpus entry and applies
+        /// 1–4 stacked mutations.
+        pub fn mutate(&mut self, corpus: &[&[u8]]) -> Vec<u8> {
+            assert!(!corpus.is_empty(), "fuzz corpus must not be empty");
+            let pick = self.rng.below(corpus.len() as u64) as usize;
+            let mut data = corpus[pick].to_vec();
+            let n_mutations = 1 + self.rng.below(4);
+            for _ in 0..n_mutations {
+                self.mutate_once(&mut data, corpus);
+            }
+            data
+        }
+
+        fn mutate_once(&mut self, data: &mut Vec<u8>, corpus: &[&[u8]]) {
+            match self.rng.below(8) {
+                // Bit flip.
+                0 if !data.is_empty() => {
+                    let i = self.rng.below(data.len() as u64) as usize;
+                    data[i] ^= 1 << self.rng.below(8);
+                }
+                // Overwrite one byte with an arbitrary value.
+                1 if !data.is_empty() => {
+                    let i = self.rng.below(data.len() as u64) as usize;
+                    data[i] = self.rng.below(256) as u8;
+                }
+                // Truncate (models a cut-off wire frame).
+                2 if !data.is_empty() => {
+                    let keep = self.rng.below(data.len() as u64) as usize;
+                    data.truncate(keep);
+                }
+                // Duplicate a slice in place.
+                3 if !data.is_empty() => {
+                    let start = self.rng.below(data.len() as u64) as usize;
+                    let len = 1 + self.rng.below((data.len() - start).max(1) as u64) as usize;
+                    let slice = data[start..(start + len).min(data.len())].to_vec();
+                    let at = self.rng.below(data.len() as u64 + 1) as usize;
+                    data.splice(at..at, slice);
+                }
+                // Insert random bytes.
+                4 => {
+                    let at = self.rng.below(data.len() as u64 + 1) as usize;
+                    let n = 1 + self.rng.below(8) as usize;
+                    let bytes: Vec<u8> = (0..n).map(|_| self.rng.below(256) as u8).collect();
+                    data.splice(at..at, bytes);
+                }
+                // Splice with another corpus entry (crossover).
+                5 => {
+                    let other = corpus[self.rng.below(corpus.len() as u64) as usize];
+                    let cut = self.rng.below(data.len() as u64 + 1) as usize;
+                    let other_cut = self.rng.below(other.len() as u64 + 1) as usize;
+                    data.truncate(cut);
+                    data.extend_from_slice(&other[other_cut.min(other.len())..]);
+                }
+                // ASCII digit blast (overflow hunting: long runs of '9').
+                6 => {
+                    let at = self.rng.below(data.len() as u64 + 1) as usize;
+                    let n = 1 + self.rng.below(24) as usize;
+                    data.splice(at..at, std::iter::repeat_n(b'9', n));
+                }
+                // Multi-byte UTF-8 insertion (non-ASCII hunting).
+                _ => {
+                    let at = self.rng.below(data.len() as u64 + 1) as usize;
+                    let snippets: [&[u8]; 4] = [
+                        "é".as_bytes(),
+                        "٠٥".as_bytes(),
+                        "\u{202e}".as_bytes(),
+                        &[0xC3, 0x28], // invalid UTF-8 pair
+                    ];
+                    let s = snippets[self.rng.below(4) as usize];
+                    data.splice(at..at, s.iter().copied());
+                }
+            }
+        }
+    }
+
+    /// Runs `target` over `cases` mutated inputs derived from `corpus`.
+    /// The per-target seed comes from `name` via [`crate::seed_for`], so
+    /// every run (local or CI) explores the same sequence and a failure
+    /// reproduces by name alone. The target receives raw bytes; parsers
+    /// over `&str` should go through `String::from_utf8_lossy` (and also
+    /// exercise their byte-level entry points where they exist).
+    pub fn run(name: &str, corpus: &[&[u8]], cases: u32, mut target: impl FnMut(&[u8])) {
+        let mut mutator = ByteMutator::new(crate::seed_for(name));
+        // The unmutated corpus always runs first: regressions on the seed
+        // inputs themselves are the cheapest to catch.
+        for input in corpus {
+            target(input);
+        }
+        for _ in 0..cases {
+            let data = mutator.mutate(corpus);
+            target(&data);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn mutation_stream_is_deterministic_per_name() {
+            let corpus: &[&[u8]] = &[b"bytes=0-1023", b"GET / HTTP/1.1\r\n\r\n"];
+            let collect = |name: &str| {
+                let mut seen = Vec::new();
+                run(name, corpus, 50, |data| seen.push(data.to_vec()));
+                seen
+            };
+            assert_eq!(collect("target-a"), collect("target-a"));
+            assert_ne!(collect("target-a"), collect("target-b"));
+        }
+
+        #[test]
+        fn mutations_actually_diverge_from_the_corpus() {
+            let corpus: &[&[u8]] = &[b"bytes 0-1023/4096"];
+            let mut mutated = 0usize;
+            run("divergence", corpus, 100, |data| {
+                if data != corpus[0] {
+                    mutated += 1;
+                }
+            });
+            assert!(mutated > 80, "only {mutated}/100 inputs were mutated");
+        }
+    }
+}
+
 pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};

@@ -105,6 +105,12 @@ fn serve_video_conn(
             Ok(Decoded::Complete { message, consumed }) => {
                 buf.drain(..consumed);
                 let resp = build_video_response(&message, file, controls);
+                // Count before writing: once the client has read the full
+                // response, the counters are guaranteed up to date.
+                controls.requests.fetch_add(1, Ordering::Relaxed);
+                controls
+                    .bytes
+                    .fetch_add(resp.body.len() as u64, Ordering::Relaxed);
                 // Emulate the link RTT: request propagation + first byte.
                 std::thread::sleep(to_std(shape.rtt));
                 let wire = encode_response(&resp);
@@ -113,10 +119,6 @@ fn serve_video_conn(
                 use std::io::Write;
                 stream.write_all(&wire[..head_len])?;
                 write_paced(&mut stream, &resp.body, shape)?;
-                controls.requests.fetch_add(1, Ordering::Relaxed);
-                controls
-                    .bytes
-                    .fetch_add(resp.body.len() as u64, Ordering::Relaxed);
             }
             Ok(Decoded::NeedMore) => match stream.read(&mut scratch) {
                 Ok(0) => return Ok(()), // client closed

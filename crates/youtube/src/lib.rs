@@ -36,6 +36,6 @@ pub use format::{by_itag, hd_720p, Container, VideoFormat, ITAGS};
 pub use proxy::{build_video_info, parse_video_info, InfoError, VideoInfo, WebProxyServer};
 pub use server::{FailurePlan, PacePolicy, ServerId, VideoServer};
 pub use service::{ServiceConfig, YoutubeService, PROXY_DOMAIN};
-pub use sig::{CipherOp, DecoderScript, SignatureCipher};
+pub use sig::{CipherError, CipherOp, DecoderScript, SignatureCipher};
 pub use token::{AccessToken, Operations, TokenError, TOKEN_TTL};
 pub use video::{Video, VideoId, VideoIdError};

@@ -68,6 +68,9 @@ pub struct VideoServer {
     /// Which access network can reach it.
     pub network: Network,
     failure: FailurePlan,
+    /// Scheduled overload windows: the server answers 503 inside them, as
+    /// if its session capacity were exhausted (chaos injection).
+    overload: FailurePlan,
     pace: Option<PacePolicy>,
     /// Sessions currently assigned (for load-aware selection).
     active_sessions: u32,
@@ -84,6 +87,7 @@ impl VideoServer {
             addr,
             network,
             failure: FailurePlan::none(),
+            overload: FailurePlan::none(),
             pace: None,
             active_sessions: 0,
             session_capacity: 64,
@@ -99,6 +103,12 @@ impl VideoServer {
     /// Replaces the failure plan in place.
     pub fn set_failures(&mut self, plan: FailurePlan) {
         self.failure = plan;
+    }
+
+    /// Replaces the overload plan in place: inside each window the server
+    /// answers 503 regardless of its actual session count.
+    pub fn set_overload(&mut self, plan: FailurePlan) {
+        self.overload = plan;
     }
 
     /// Installs Trickle-style pacing.
@@ -139,6 +149,7 @@ impl VideoServer {
     pub fn reset_session_state(&mut self) {
         self.active_sessions = 0;
         self.failure = FailurePlan::none();
+        self.overload = FailurePlan::none();
     }
 
     /// Is the server inside a failure window at `t`?
@@ -155,7 +166,7 @@ impl VideoServer {
         if self.failure.is_failed(now) {
             return Err(StatusCode::INTERNAL_SERVER_ERROR);
         }
-        if self.active_sessions > self.session_capacity {
+        if self.active_sessions > self.session_capacity || self.overload.is_failed(now) {
             return Err(StatusCode::SERVICE_UNAVAILABLE);
         }
         Ok(())

@@ -176,6 +176,15 @@ impl YoutubeService {
         }
     }
 
+    /// Installs overload windows on the server at `addr`: inside each
+    /// window it answers 503 as if its session capacity were exhausted
+    /// (chaos injection). Cleared by [`YoutubeService::reset_sessions`].
+    pub fn overload_server_windows(&mut self, addr: Ipv4Addr, windows: Vec<(SimTime, SimTime)>) {
+        if let Some(s) = self.server_mut(addr) {
+            s.set_overload(FailurePlan::windows(windows));
+        }
+    }
+
     /// Returns the service to its pre-session state: every server's load
     /// and failure plan is cleared. [`SessionHost`] calls this between
     /// batched sessions so a warmed service behaves exactly like a freshly

@@ -15,6 +15,39 @@
 //! video server accepts.
 
 use msim_core::rng::Prng;
+use std::fmt;
+
+/// Why a signature could not be deciphered.
+///
+/// Fuzz-found: the cipher ops permute *bytes*, so running them over a
+/// non-ASCII signature (e.g. `Reverse` over a multi-byte UTF-8 sequence)
+/// produced invalid UTF-8 and paniced when the result was re-assembled into
+/// a `String`. Untrusted input goes through
+/// [`DecoderScript::try_decipher`], which reports this as a typed error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CipherError {
+    /// The signature contains a non-ASCII byte; cipher ops are only closed
+    /// over ASCII strings.
+    NonAsciiSignature {
+        /// Byte offset of the first non-ASCII byte.
+        offset: usize,
+        /// The offending byte.
+        byte: u8,
+    },
+}
+
+impl fmt::Display for CipherError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CipherError::NonAsciiSignature { offset, byte } => write!(
+                f,
+                "signature byte {byte:#04x} at offset {offset} is not ASCII"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CipherError {}
 
 /// One primitive cipher operation (mirrors the historical JS decoders).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,13 +85,37 @@ pub struct DecoderScript {
 }
 
 impl DecoderScript {
-    /// Runs the decoder over an enciphered signature.
+    /// Runs the decoder over an enciphered signature from a *trusted*
+    /// source (the emulated service only enciphers ASCII signatures).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-ASCII input; use [`DecoderScript::try_decipher`] for
+    /// untrusted data.
     pub fn decipher(&self, enciphered: &str) -> String {
+        self.try_decipher(enciphered).expect(
+            "decipher() requires an ASCII signature; use try_decipher() for untrusted input",
+        )
+    }
+
+    /// Runs the decoder over an arbitrary signature, rejecting non-ASCII
+    /// input with a typed error instead of panicking mid-permutation.
+    pub fn try_decipher(&self, enciphered: &str) -> Result<String, CipherError> {
+        if let Some((offset, &byte)) = enciphered
+            .as_bytes()
+            .iter()
+            .enumerate()
+            .find(|(_, b)| !b.is_ascii())
+        {
+            return Err(CipherError::NonAsciiSignature { offset, byte });
+        }
         let mut sig = enciphered.as_bytes().to_vec();
         for op in &self.ops {
             op.apply(&mut sig);
         }
-        String::from_utf8(sig).expect("cipher ops preserve ASCII")
+        // The ops permute/drop bytes of an all-ASCII input, so the result
+        // is ASCII and this cannot fail.
+        Ok(String::from_utf8(sig).expect("ASCII is closed under cipher ops"))
     }
 
     /// The op sequence (for inspection / serialisation into the "video web
@@ -207,6 +264,24 @@ mod tests {
             ops: vec![CipherOp::Reverse, CipherOp::Swap(3), CipherOp::Splice(2)],
         };
         assert_eq!(script.decipher(""), "");
+    }
+
+    // Fuzz-promoted: Reverse over a multi-byte UTF-8 sequence used to
+    // produce invalid UTF-8 and panic in the String re-assembly.
+    #[test]
+    fn non_ascii_signature_is_a_typed_error_not_a_panic() {
+        let script = DecoderScript {
+            ops: vec![CipherOp::Reverse],
+        };
+        assert_eq!(
+            script.try_decipher("café"),
+            Err(CipherError::NonAsciiSignature {
+                offset: 3,
+                byte: 0xC3
+            })
+        );
+        // Plain ASCII still deciphers through the fallible path.
+        assert_eq!(script.try_decipher("abc").unwrap(), "cba");
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Byte-mutation fuzz targets for the token and signature decoders —
+//! the two parsers that consume data a middlebox or hostile CDN edge
+//! could have rewritten mid-session.
+
+use msim_core::rng::Prng;
+use msim_youtube::sig::SignatureCipher;
+use msim_youtube::token::AccessToken;
+use proptest::fuzz;
+
+const TOKEN_CORPUS: &[&[u8]] = &[
+    b"qjT4T2gU9sM.203_0_113_7.1.100000000.feedbeefdeadcafe",
+    b"dQw4w9WgXcQ.10_0_0_1.3.0.0000000000000000",
+    b"qjT4T2gU9sM.203_0_113_7.255.18446744073709551615.ffffffffffffffff",
+];
+
+const SIG_CORPUS: &[&[u8]] = &[
+    b"AAA1B2C3D4.5E6F7A8B.9C0D1E2F3A4B5C6D7E8F",
+    b"0123456789ABCDEF0123456789ABCDEF01234567",
+    b"",
+];
+
+#[test]
+fn fuzz_token_from_wire_never_panics_and_accepted_tokens_are_stable() {
+    fuzz::run("youtube::token::from_wire", TOKEN_CORPUS, 2_000, |data| {
+        let text = String::from_utf8_lossy(data);
+        if let Ok(token) = AccessToken::from_wire(&text) {
+            // An accepted token's wire form must reparse to the same wire
+            // form (to_wire ∘ from_wire is a projection, not lossy).
+            let wire = token.to_wire();
+            let again = AccessToken::from_wire(&wire)
+                .unwrap_or_else(|e| panic!("re-serialised token {wire:?} must parse: {e:?}"));
+            assert_eq!(again.to_wire(), wire, "wire form drifted on reparse");
+        }
+    });
+}
+
+#[test]
+fn fuzz_try_decipher_never_panics_even_on_non_ascii() {
+    let mut rng = Prng::new(7);
+    let cipher = SignatureCipher::generate(&mut rng, 6);
+    let decoder = cipher.decoder();
+    fuzz::run("youtube::sig::try_decipher", SIG_CORPUS, 2_000, |data| {
+        let text = String::from_utf8_lossy(data);
+        if let Ok(deciphered) = decoder.try_decipher(&text) {
+            // Cipher ops are closed over ASCII: accepted inputs yield
+            // ASCII output no longer than the input.
+            assert!(deciphered.is_ascii());
+            assert!(deciphered.len() <= text.len());
+        }
+        // Non-ASCII input must be the typed error, never a panic.
+        if !text.is_ascii() {
+            assert!(decoder.try_decipher(&text).is_err());
+        }
+    });
+}
+
+#[test]
+fn fuzz_encipher_decipher_roundtrip_under_mutated_signatures() {
+    let mut rng = Prng::new(11);
+    let cipher = SignatureCipher::generate(&mut rng, 4);
+    let decoder = cipher.decoder();
+    fuzz::run("youtube::sig::roundtrip", SIG_CORPUS, 1_000, |data| {
+        // Only ASCII inputs are valid signatures; mutants that are not
+        // simply fall outside the roundtrip contract.
+        let Ok(text) = std::str::from_utf8(data) else {
+            return;
+        };
+        if !text.is_ascii() {
+            return;
+        }
+        let enc = cipher.encipher(text);
+        assert_eq!(decoder.decipher(&enc), text, "roundtrip broke for {text:?}");
+    });
+}

@@ -9,9 +9,10 @@
 //! Runs one seeded session (or a `--runs N` sweep) and prints the QoE
 //! summary, optionally with the per-path activity timeline.
 
+use msplayer::core::chaos::{check_invariants, ChaosPlan};
 use msplayer::core::config::{PlayerConfig, SchedulerKind};
-use msplayer::core::metrics::TrafficPhase;
-use msplayer::core::sim::{run_session, Scenario, StopCondition};
+use msplayer::core::metrics::{SessionMetrics, TrafficPhase};
+use msplayer::core::sim::{run_session, Scenario, SessionHost, StopCondition};
 use msplayer::core::trace::render_timeline;
 use msplayer::net::PathProfile;
 use msplayer::simcore::stats::{median, Running};
@@ -30,6 +31,7 @@ struct Options {
     seed: u64,
     runs: u64,
     trace: bool,
+    chaos: String, // chaos plan / preset; empty = fault-free
 }
 
 impl Default for Options {
@@ -44,6 +46,7 @@ impl Default for Options {
             seed: 2014,
             runs: 1,
             trace: false,
+            chaos: String::new(),
         }
     }
 }
@@ -61,7 +64,13 @@ OPTIONS
     --seed <N>                     base seed                  [2014]
     --runs <N>                     seeds to sweep             [1]
     --trace                        print the activity timeline
+    --chaos <PLAN>                 chaos preset or plan string, e.g.
+                                   kitchen-sink or
+                                   'skew:+250ms;overload:path=1,from=1s,until=10s'
     --help                         this text
+
+Any chaos-corpus case replays in one command:
+    msplayer-sim --seed <case seed> --chaos '<case plan>'
 ";
 
 /// Parses a size like `64K`, `1M`, `256K`, or plain bytes.
@@ -98,6 +107,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--seed" => opt.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--runs" => opt.runs = value()?.parse().map_err(|e| format!("--runs: {e}"))?,
             "--trace" => opt.trace = true,
+            "--chaos" => {
+                let v = value()?;
+                ChaosPlan::preset(&v).map_err(|e| format!("--chaos: {e}"))?;
+                opt.chaos = v;
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
         }
@@ -155,6 +169,24 @@ fn scenario_for(opt: &Options, seed: u64) -> Scenario {
     scenario
 }
 
+/// Runs one seeded session, layering the chaos plan (if any) onto the
+/// scenario's session spec without touching the scenario itself.
+fn run_one(opt: &Options, seed: u64) -> SessionMetrics {
+    let scenario = scenario_for(opt, seed);
+    if opt.chaos.is_empty() {
+        return run_session(&scenario);
+    }
+    let plan = ChaosPlan::preset(&opt.chaos).expect("plan validated during arg parsing");
+    let spec = scenario.session_spec().with_chaos(plan);
+    match SessionHost::new(scenario.service_spec()).run(&spec) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("invalid session under chaos plan {:?}: {e}", opt.chaos);
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opt = match parse_args(&args) {
@@ -167,9 +199,29 @@ fn main() {
 
     let mut prebuffer_stats = Running::new();
     let mut prebuffer_samples = Vec::new();
+    let mut chaos_violations = 0usize;
     for run in 0..opt.runs {
         let seed = opt.seed ^ run.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let m = run_session(&scenario_for(&opt, seed));
+        let m = run_one(&opt, seed);
+        if !opt.chaos.is_empty() {
+            let violations = check_invariants(&m);
+            if violations.is_empty() {
+                println!(
+                    "chaos (seed {seed}, plan {:?}): all invariants hold",
+                    opt.chaos
+                );
+            } else {
+                chaos_violations += violations.len();
+                println!(
+                    "chaos (seed {seed}, plan {:?}): {} violation(s)",
+                    opt.chaos,
+                    violations.len()
+                );
+                for v in &violations {
+                    println!("  {v}");
+                }
+            }
+        }
         if let Some(t) = m.prebuffer_time() {
             prebuffer_stats.push(t.as_secs_f64());
             prebuffer_samples.push(t.as_secs_f64());
@@ -212,6 +264,9 @@ fn main() {
             prebuffer_stats.min(),
             prebuffer_stats.max(),
         );
+    }
+    if chaos_violations > 0 {
+        std::process::exit(1);
     }
 }
 
@@ -260,6 +315,37 @@ mod tests {
         assert!(parse_args(&args("--env mars")).is_err());
         assert!(parse_args(&args("--scheduler quantum")).is_err());
         assert!(parse_args(&args("--chunk")).is_err(), "missing value");
+    }
+
+    #[test]
+    fn chaos_flag_parses_presets_and_plans_and_rejects_garbage() {
+        let o = parse_args(&args("--chaos kitchen-sink")).unwrap();
+        assert_eq!(o.chaos, "kitchen-sink");
+        let o = parse_args(&["--chaos".into(), "skew:+250ms;token-expiry:6s".into()]).unwrap();
+        assert_eq!(o.chaos, "skew:+250ms;token-expiry:6s");
+        assert!(parse_args(&args("--chaos warp-drive:11")).is_err());
+    }
+
+    #[test]
+    fn chaos_session_runs_deterministically_and_passes_the_oracle() {
+        let o = Options {
+            prebuffer: 5.0,
+            chaos: "skew:+250ms;overload:path=1,from=1s,until=8s".into(),
+            ..Options::default()
+        };
+        let a = run_one(&o, 33);
+        let b = run_one(&o, 33);
+        assert_eq!(a, b, "chaos replay must be bit-identical");
+        assert!(check_invariants(&a).is_empty());
+        // The plan actually changes the session.
+        let clean = run_one(
+            &Options {
+                chaos: String::new(),
+                ..o.clone()
+            },
+            33,
+        );
+        assert_ne!(a, clean, "the plan must perturb the session");
     }
 
     #[test]

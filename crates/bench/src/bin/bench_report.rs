@@ -15,7 +15,10 @@
 //!   `speedup` over a serial reference);
 //! * pattern-comparison reports (a `patterns` array of
 //!   `{pattern, *_ns_per_op|*_ns_per_round, speedup}` rows, as written by
-//!   `event_queue_bench` and `transfer_bench`).
+//!   `event_queue_bench` and `transfer_bench`);
+//! * fleet reports (a `headline` object plus a `frontier` array, as
+//!   written by `fleet_bench`): the headline population, the
+//!   Pareto-frontier cells of the cost-vs-QoE grid, and the exact anchor.
 
 use msim_json::Value;
 use std::fmt::Write as _;
@@ -54,6 +57,69 @@ fn rows_for(name: &str, v: &Value) -> Option<Vec<String>> {
                 .collect::<Vec<_>>()
                 .join(", ");
             rows.push(format!("| {name} | {pattern} | {speedup:.2}x | {detail} |"));
+        }
+        return Some(rows);
+    }
+    if let Some(h) = v.get("headline") {
+        let sessions = h.get("sessions").and_then(Value::as_u64).unwrap_or(0);
+        let peak = h
+            .get("peak_concurrent")
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        let mode = h.get("mode").and_then(Value::as_str).unwrap_or("?");
+        let policy = h.get("policy").and_then(Value::as_str).unwrap_or("?");
+        let eps = h
+            .get("events_per_sec")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        let p95 = h
+            .get("startup_p95_secs")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        let stalled = h
+            .get("stalled_sessions")
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        let rejected = h.get("rejected").and_then(Value::as_u64).unwrap_or(0);
+        rows.push(format!(
+            "| {name} | {} {mode} sessions (peak {} concurrent, {policy}) | — | \
+             {} events/s, p95 startup {p95:.1}s, {stalled} stalled, {rejected} rejected |",
+            fmt_rate(sessions as f64),
+            fmt_rate(peak as f64),
+            fmt_rate(eps),
+        ));
+        // Only the Pareto-frontier cells: those are the operating points
+        // an operator could actually pick, and the rows whose movement
+        // in a TREND.md diff means a policy changed behaviour.
+        if let Some(frontier) = v.get("frontier").and_then(Value::as_array) {
+            for cell in frontier {
+                if cell.get("on_frontier").and_then(Value::as_bool) != Some(true) {
+                    continue;
+                }
+                let label = cell.get("label").and_then(Value::as_str).unwrap_or("?");
+                let cost = cell.get("cost").and_then(Value::as_f64).unwrap_or(0.0);
+                let qoe = cell.get("qoe").and_then(Value::as_f64).unwrap_or(0.0);
+                let stalled = cell
+                    .get("stalled_sessions")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0);
+                rows.push(format!(
+                    "| {name} | frontier {label} | — | cost {cost:.1}, qoe {qoe:.2}, \
+                     {stalled} stalled |"
+                ));
+            }
+        }
+        if let Some(e) = v.get("exact") {
+            let sessions = e.get("sessions").and_then(Value::as_u64).unwrap_or(0);
+            let completed = e.get("completed").and_then(Value::as_u64).unwrap_or(0);
+            let peak = e
+                .get("peak_concurrent")
+                .and_then(Value::as_u64)
+                .unwrap_or(0);
+            rows.push(format!(
+                "| {name} | exact anchor: {sessions} per-chunk sessions | — | \
+                 {completed} completed, peak {peak} concurrent |"
+            ));
         }
         return Some(rows);
     }

@@ -34,6 +34,10 @@ OPTIONS:
                        [default: every preset]
     --workloads LIST   comma-separated builtin workload names
                        [default: a 5-workload smoke spread]
+    --window N         seed-rotation window; 0 = the historical
+                       enumeration [default: $MSP_CHAOS_WINDOW, else
+                       days since the Unix epoch — so periodic CI runs
+                       rotate onto fresh seeds each day]
     --record           write violating cases into tests/chaos_corpus/
     --replay-corpus    replay every committed corpus case instead of
                        sweeping
@@ -41,10 +45,28 @@ OPTIONS:
     -h, --help         this text
 ";
 
+/// The default seed-rotation window: `MSP_CHAOS_WINDOW` when set, else
+/// days since the Unix epoch. Any violation a rotated run finds is
+/// recorded as a self-contained corpus case, so reproducibility never
+/// depends on knowing which day found it.
+fn default_window() -> u64 {
+    if let Some(w) = std::env::var("MSP_CHAOS_WINDOW")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        return w;
+    }
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs() / 86_400)
+        .unwrap_or(0)
+}
+
 struct Options {
     seeds: u64,
     plans: Option<Vec<String>>,
     workloads: Option<Vec<String>>,
+    window: Option<u64>,
     record: bool,
     replay_corpus: bool,
     list: bool,
@@ -55,6 +77,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         seeds: 3,
         plans: None,
         workloads: None,
+        window: None,
         record: false,
         replay_corpus: false,
         list: false,
@@ -73,6 +96,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--workloads" => {
                 let v = it.next().ok_or("--workloads needs a value")?;
                 opts.workloads = Some(v.split(',').map(str::to_string).collect());
+            }
+            "--window" => {
+                let v = it.next().ok_or("--window needs a value")?;
+                opts.window = Some(v.parse().map_err(|_| format!("bad --window value {v:?}"))?);
             }
             "--record" => opts.record = true,
             "--replay-corpus" => opts.replay_corpus = true,
@@ -144,12 +171,14 @@ fn main() {
         cfg.workloads = workloads;
     }
     cfg.record = opts.record;
+    cfg.window = opts.window.unwrap_or_else(default_window);
 
     println!(
-        "chaos: {} workload(s) × {} plan(s) × {} seed(s)",
+        "chaos: {} workload(s) × {} plan(s) × {} seed(s), seed window {}",
         cfg.workloads.len(),
         cfg.plans.len(),
-        cfg.seeds_per_point
+        cfg.seeds_per_point,
+        cfg.window
     );
     let summary = explore(&registry, &cfg);
     report(&summary);

@@ -25,7 +25,22 @@ pub const CHAOS_EXPLORER_SALT: u64 = 0xC4A0_5EED;
 
 /// The seed of explorer iteration `i` — the same enumeration every run.
 pub fn explorer_seed(i: u64) -> u64 {
-    crate::BASE_SEED ^ CHAOS_EXPLORER_SALT ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    explorer_seed_with_window(0, i)
+}
+
+/// The seed of explorer iteration `i` inside rotation `window`.
+///
+/// Window 0 reproduces the historical [`explorer_seed`] enumeration
+/// exactly; every other window shifts the whole enumeration onto fresh
+/// seeds. Periodic CI runs derive the window from the calendar date, so
+/// over time the explorer covers new seed territory instead of
+/// re-checking day one's seeds forever — while any given window stays
+/// fully reproducible from its number alone.
+pub fn explorer_seed_with_window(window: u64, i: u64) -> u64 {
+    crate::BASE_SEED
+        ^ CHAOS_EXPLORER_SALT
+        ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ window.wrapping_mul(0xD6E8_FEB8_6659_FD93)
 }
 
 /// One replayable chaos case: everything needed to reconstruct and
@@ -199,7 +214,11 @@ pub fn run_case_with_oracle(
 ) -> CaseOutcome {
     let Some(base) = registry.by_name(&case.workload) else {
         return CaseOutcome {
-            violations: vec![format!("setup: unknown workload {:?}", case.workload)],
+            violations: vec![format!(
+                "setup: unknown workload {:?} (registry has: {})",
+                case.workload,
+                registry.names().join(", ")
+            )],
             fingerprint: None,
         };
     };
@@ -285,6 +304,9 @@ pub struct ExploreConfig {
     pub workloads: Vec<String>,
     /// Record violating cases into [`corpus_dir`]?
     pub record: bool,
+    /// Seed-rotation window (see [`explorer_seed_with_window`]); window 0
+    /// is the historical enumeration.
+    pub window: u64,
 }
 
 impl ExploreConfig {
@@ -305,6 +327,7 @@ impl ExploreConfig {
                 "abr/closed-loop".into(),
             ],
             record: false,
+            window: 0,
         }
     }
 }
@@ -312,6 +335,8 @@ impl ExploreConfig {
 /// The result of one explorer sweep.
 #[derive(Clone, Debug)]
 pub struct ExploreSummary {
+    /// Seed-rotation window the sweep ran in.
+    pub window: u64,
     /// Grid points skipped because the plan does not validate against
     /// the workload's path set (e.g. `path=1` on a 1-path workload).
     pub skipped_points: u64,
@@ -329,6 +354,7 @@ impl ExploreSummary {
     pub fn to_json(&self) -> Value {
         let violating: Vec<Value> = self.violating.iter().map(ChaosCase::to_json).collect();
         Value::object()
+            .with("seed_window", self.window)
             .with("skipped_points", self.skipped_points)
             .with("cases_run", self.cases_run)
             .with("violations", self.violating.len() as u64)
@@ -342,6 +368,7 @@ impl ExploreSummary {
 /// case stream — and therefore the verdict stream — is reproducible.
 pub fn explore(registry: &WorkloadRegistry, cfg: &ExploreConfig) -> ExploreSummary {
     let mut summary = ExploreSummary {
+        window: cfg.window,
         skipped_points: 0,
         cases_run: 0,
         violating: Vec::new(),
@@ -367,7 +394,10 @@ pub fn explore(registry: &WorkloadRegistry, cfg: &ExploreConfig) -> ExploreSumma
                     workload: workload_name.clone(),
                     scheduler: base.schedulers[0].name().to_string(),
                     chunk_kb: base.chunk_kb[0],
-                    seed: explorer_seed(iteration.wrapping_mul(0x10001).wrapping_add(i)),
+                    seed: explorer_seed_with_window(
+                        cfg.window,
+                        iteration.wrapping_mul(0x10001).wrapping_add(i),
+                    ),
                     plan: plan.to_string(),
                     recorded_violations: Vec::new(),
                 };
@@ -502,6 +532,7 @@ mod tests {
             ],
             workloads: vec!["testbed/MSPlayer".into()],
             record: false,
+            window: 0,
         };
         let a = explore(&reg, &cfg);
         let b = explore(&reg, &cfg);
@@ -509,5 +540,37 @@ mod tests {
         assert_eq!(a.skipped_points, 1);
         assert_eq!(a.violating, b.violating);
         assert!(a.violating.is_empty(), "{:?}", a.violating);
+    }
+
+    #[test]
+    fn seed_windows_rotate_without_breaking_window_zero() {
+        // Window 0 is the historical enumeration, bit for bit.
+        for i in [0u64, 1, 7, 1000] {
+            assert_eq!(explorer_seed(i), explorer_seed_with_window(0, i));
+        }
+        // Distinct windows enumerate disjoint seeds for the same index,
+        // and each window is internally deterministic.
+        assert_ne!(
+            explorer_seed_with_window(1, 0),
+            explorer_seed_with_window(2, 0)
+        );
+        assert_ne!(explorer_seed_with_window(20_000, 3), explorer_seed(3));
+        assert_eq!(
+            explorer_seed_with_window(20_000, 3),
+            explorer_seed_with_window(20_000, 3)
+        );
+    }
+
+    #[test]
+    fn unknown_workload_errors_name_the_registry() {
+        let reg = registry();
+        let mut unknown = pin_case();
+        unknown.workload = "no/such-workload".into();
+        let msg = &run_case(&unknown, &reg).violations[0];
+        assert!(msg.starts_with("setup:"), "{msg}");
+        assert!(
+            msg.contains("testbed/MSPlayer"),
+            "error must list registry names: {msg}"
+        );
     }
 }

@@ -574,6 +574,12 @@ impl WorkloadRegistry {
         &self.specs
     }
 
+    /// Every registered workload name, registration order — used to make
+    /// "unknown workload" errors actionable instead of a dead end.
+    pub fn names(&self) -> Vec<&str> {
+        self.specs.iter().map(|s| s.name.as_str()).collect()
+    }
+
     /// Enumerates every registered workload into its cell list
     /// (registration order, then scheduler → chunk → seed within each
     /// workload).

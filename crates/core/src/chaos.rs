@@ -29,6 +29,10 @@
 //!   re-establishes as plain TCP (RFC 6824 fallback).
 //! * **Replica overload** — the server behind a path answers 503 inside the
 //!   window, as if its session capacity were exhausted.
+//! * **Fleet overload** — the *whole fleet's* service capacity is divided by
+//!   a factor inside the window (a regional surge or a cache-fill storm);
+//!   path-independent, consumed by the fleet simulation
+//!   ([`crate::fleet`]) and a no-op for plain single-session specs.
 //!
 //! Plans have a canonical string grammar (`parse` / `Display` round-trip
 //! exactly) so a failing `(seed, plan, workload)` triple is a one-line JSON
@@ -114,6 +118,17 @@ pub enum ChaosInjector {
         from: SimTime,
         /// Window end (exclusive).
         until: SimTime,
+    },
+    /// Every server in the fleet loses capacity inside `[from, until)`:
+    /// service rates are divided by `factor`. Only the fleet simulation
+    /// reacts to this injector; plain sessions ignore it.
+    FleetOverload {
+        /// Window start (inclusive).
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+        /// Capacity divisor (≥ 2) while the window is open.
+        factor: u32,
     },
 }
 
@@ -327,6 +342,21 @@ impl ChaosPlan {
                         until,
                     });
                 }
+                "fleet-overload" => {
+                    let (from, until) = args.window()?;
+                    let factor: u32 = args
+                        .get("factor")?
+                        .parse()
+                        .map_err(|_| args.err("factor must be an integer"))?;
+                    if factor < 2 {
+                        return Err(args.err("factor must be >= 2 (1 is a no-op)"));
+                    }
+                    plan.injectors.push(ChaosInjector::FleetOverload {
+                        from,
+                        until,
+                        factor,
+                    });
+                }
                 "jitter" => {
                     plan.jitter = parse_duration(rest.trim()).map_err(|e| args.err(e))?;
                 }
@@ -346,6 +376,7 @@ impl ChaosPlan {
             "dns-flap",
             "mptcp-strip",
             "overload",
+            "capacity-crunch",
             "kitchen-sink",
         ]
     }
@@ -360,6 +391,7 @@ impl ChaosPlan {
             "dns-flap" => "dns-flap:path=0,from=1s,until=40s",
             "mptcp-strip" => "mptcp-strip:path=0,at=2s;jitter:3s",
             "overload" => "overload:path=0,from=1s,until=10s;jitter:2s",
+            "capacity-crunch" => "fleet-overload:from=5s,until=25s,factor=8;jitter:2s",
             "kitchen-sink" => {
                 "skew:-150ms;token-expiry:8s;outage:path=0,dir=down,from=3s,until=5s;\
                  mptcp-strip:path=0,at=6s;overload:path=0,from=10s,until=14s;jitter:1s"
@@ -377,7 +409,9 @@ impl ChaosPlan {
                 | ChaosInjector::DnsFlap { path, .. }
                 | ChaosInjector::MptcpStrip { path, .. }
                 | ChaosInjector::Overload { path, .. } => path,
-                ChaosInjector::ClockSkew { .. } | ChaosInjector::TokenExpiry { .. } => continue,
+                ChaosInjector::ClockSkew { .. }
+                | ChaosInjector::TokenExpiry { .. }
+                | ChaosInjector::FleetOverload { .. } => continue,
             };
             if path >= n_paths {
                 return Err(format!(
@@ -409,6 +443,7 @@ impl ChaosPlan {
             dns_flaps: Vec::new(),
             strips: Vec::new(),
             overloads: Vec::new(),
+            fleet_overloads: Vec::new(),
         };
         for inj in &self.injectors {
             match *inj {
@@ -469,6 +504,14 @@ impl ChaosPlan {
                         until: until + d,
                     });
                 }
+                ChaosInjector::FleetOverload {
+                    from,
+                    until,
+                    factor,
+                } => {
+                    let d = shift(&mut rng);
+                    state.fleet_overloads.push((from + d, until + d, factor));
+                }
             }
         }
         state
@@ -518,6 +561,16 @@ impl fmt::Display for ChaosPlan {
                 ChaosInjector::Overload { path, from, until } => write!(
                     f,
                     "overload:path={path},from={},until={}",
+                    At(*from),
+                    At(*until)
+                )?,
+                ChaosInjector::FleetOverload {
+                    from,
+                    until,
+                    factor,
+                } => write!(
+                    f,
+                    "fleet-overload:from={},until={},factor={factor}",
                     At(*from),
                     At(*until)
                 )?,
@@ -575,6 +628,7 @@ pub struct ChaosState {
     dns_flaps: Vec<PathWindow>,
     strips: Vec<StripState>,
     overloads: Vec<PathWindow>,
+    fleet_overloads: Vec<(SimTime, SimTime, u32)>,
 }
 
 impl ChaosState {
@@ -631,6 +685,24 @@ impl ChaosState {
     /// Overload windows per path, for installation on the backing replicas.
     pub fn overload_windows(&self) -> impl Iterator<Item = (usize, SimTime, SimTime)> + '_ {
         self.overloads.iter().map(|w| (w.path, w.from, w.until))
+    }
+
+    /// Fleet-wide capacity-crunch windows as `(from, until, factor)`:
+    /// service rates are divided by `factor` inside each window. Consumed
+    /// by [`crate::fleet`]; plain sessions ignore them.
+    pub fn fleet_capacity_windows(&self) -> impl Iterator<Item = (SimTime, SimTime, u32)> + '_ {
+        self.fleet_overloads.iter().copied()
+    }
+
+    /// The capacity divisor in force at `now` (1 outside every window; the
+    /// max factor wins when windows overlap).
+    pub fn fleet_capacity_factor(&self, now: SimTime) -> u32 {
+        self.fleet_overloads
+            .iter()
+            .filter(|(from, until, _)| *from <= now && now < *until)
+            .map(|&(_, _, k)| k)
+            .max()
+            .unwrap_or(1)
     }
 }
 
@@ -816,6 +888,7 @@ mod tests {
             "mptcp-strip:path=0,at=2s",
             "mptcp-strip:path=1,at=750ms,syn-drop",
             "overload:path=1,from=1s,until=10s",
+            "fleet-overload:from=5s,until=25s,factor=8",
             "skew:+150ms;token-expiry:8s;overload:path=0,from=10s,until=14s;jitter:1s",
         ];
         for spec in specs {
@@ -839,6 +912,8 @@ mod tests {
             "skew:fast",
             "token-expiry:",
             "mptcp-strip:path=x,at=1s",
+            "fleet-overload:from=1s,until=2s,factor=1",
+            "fleet-overload:from=1s,until=2s",
         ] {
             assert!(ChaosPlan::parse(bad).is_err(), "{bad:?} must not parse");
         }
@@ -919,6 +994,23 @@ mod tests {
         assert!(!s.response_lost(1, secs(6)), "only the up direction dies");
         assert!(!s.request_lost(0, secs(6)), "only path 1");
         assert!(!s.request_lost(1, secs(9)), "window is half-open");
+    }
+
+    #[test]
+    fn fleet_overload_windows_resolve_and_scale() {
+        let s = ChaosPlan::parse("fleet-overload:from=5s,until=25s,factor=8")
+            .unwrap()
+            .resolve(3, 1);
+        assert_eq!(s.fleet_capacity_factor(secs(4)), 1, "before the window");
+        assert_eq!(s.fleet_capacity_factor(secs(10)), 8, "inside the window");
+        assert_eq!(s.fleet_capacity_factor(secs(25)), 1, "half-open window");
+        let windows: Vec<_> = s.fleet_capacity_windows().collect();
+        assert_eq!(windows, vec![(secs(5), secs(25), 8)]);
+        // Path-independent: validates even for a single-path session.
+        ChaosPlan::preset("capacity-crunch")
+            .unwrap()
+            .validate(1)
+            .unwrap();
     }
 
     #[test]

@@ -1,0 +1,1789 @@
+//! Population-scale coupled fleet simulation: many sessions, one shared
+//! replica fleet, Sunstar-style server selection.
+//!
+//! The single-session simulator ([`crate::sim::SessionHost`]) answers
+//! "what does *one* MSPlayer session see?". This module answers the
+//! operator-side questions of the paper's §7 discussion — what happens
+//! when a *population* of sessions shares a capacitated server fleet, and
+//! how should a selection policy trade delivery cost against QoE (the
+//! Sunstar/video-CDN framing of [PAPERS.md]): per-server utilization
+//! timelines, rebuffer-vs-load curves, and a cost-vs-QoE frontier.
+//!
+//! Two interoperable session backends drive the same [`FleetSpec`]:
+//!
+//! * **Exact** ([`FleetMode::Exact`]) runs every session through the real
+//!   per-chunk [`SessionHost`](crate::sim::SessionHost), threading the
+//!   fleet's shared state in as a [`FleetLoad`] (injected per-server
+//!   session counts, a pacing override charging the session its fair
+//!   capacity share, and a scaled admission threshold). With an empty
+//!   load this is bit-identical to [`SessionHost::run`]
+//!   (`tests/fleet.rs` pins the N=1 anchor).
+//! * **Fluid** ([`FleetMode::Fluid`]) advances each session at flow level
+//!   — per-server per-access-class virtual byte clocks integrate the fair
+//!   share `min(a_k, C_s/n_s)` exactly between membership events, and the
+//!   TCP epoch engine's closed-form slow-start solve
+//!   ([`msim_net::tcp::fluid::startup_ramp`]) charges each arrival its
+//!   connection-ramp deficit. A session costs O(refill cycles) events
+//!   instead of O(chunks × rounds), so 100k+ concurrent coupled sessions
+//!   fit in one process (`BENCH_fleet.json` demonstrates this).
+//!
+//! Both backends run in **one deterministic event loop**: same seed ⇒
+//! bit-identical [`FleetMetrics`], independent of [`FleetSpec::workers`]
+//! (worker threads only precompute per-session attribute streams keyed by
+//! session index, never simulate).
+
+use crate::chaos::ChaosPlan;
+use crate::config::PlayerConfig;
+use crate::metrics::{qoe_score, SessionMetrics};
+use crate::sim::Scenario;
+use msim_core::event::EventQueue;
+use msim_core::rng::Prng;
+use msim_core::time::{SimDuration, SimTime};
+use msim_core::units::{BitRate, ByteSize};
+use msim_net::tcp::{fluid, TcpConfig};
+use msim_youtube::by_itag;
+use msim_youtube::dns::Network;
+use msim_youtube::server::PacePolicy;
+use msim_youtube::service::YoutubeService;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Salt for the per-session attribute streams (arrival time, access
+/// class, session seed); keyed by session *index* so any worker sharding
+/// reproduces the same population.
+const FLEET_SEED_SALT: u64 = 0xf1ee_7000_0000_0001;
+
+/// Weyl increment separating per-index attribute streams.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Upper bound on fluid-mode wake spacing: a session re-checks its
+/// predictions at least this often, bounding the staleness a rate change
+/// on a shared server can introduce (crossings predicted under the old
+/// rate are re-evaluated, at the latest, one horizon later).
+const HORIZON: SimDuration = SimDuration::from_secs(30);
+
+/// Minimum wake spacing (0.1 ms): keeps float-ε undershoots from
+/// re-arming zero-delay wakes at one instant, at a timing resolution far
+/// below anything the fluid approximation resolves.
+const MIN_WAKE_SECS: f64 = 1e-4;
+
+/// Hard ceiling on fleet-simulation time (guards against pathological
+/// configurations; sessions still in flight when it trips are counted
+/// neither completed nor rejected).
+const MAX_FLEET_TIME: SimDuration = SimDuration::from_secs(24 * 3600);
+
+/// Unpaced burst granted to exact-mode sessions by the fair-share pacing
+/// override (roughly one pre-buffer chunk; the steady rate, not the
+/// burst, carries the coupling).
+const EXACT_PACE_BURST: ByteSize = ByteSize::kb(256);
+
+/// QoE assigned to a session the fleet turned away at admission.
+const REJECTED_QOE: f64 = -10.0;
+
+/// Number of demand-ratio bins in [`FleetMetrics::rebuffer_vs_load`]
+/// (bin width 0.1, covering offered-load ratios 0.0–2.0).
+const LOAD_BINS: usize = 20;
+
+/// Width of one rebuffer-vs-load bin in offered-load-ratio units.
+const LOAD_BIN_WIDTH: f64 = 0.1;
+
+/// Defensive clamp on utilization-bucket indices (~10⁶ buckets).
+const MAX_BUCKETS: usize = 1 << 20;
+
+/// Server-selection policy: how an arriving session is mapped to a
+/// replica, in the Sunstar cost-vs-QoE framing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SelectionPolicy {
+    /// Cheapest replica (per-GB cost, then standing cost) whose
+    /// post-admission fair share still sustains the session's access
+    /// rate; falls back to load-balancing when no replica is feasible.
+    CheapestFeasible,
+    /// Least-loaded replica (fewest attached sessions, lowest index
+    /// tie-break) — mirrors the load-aware server ordering the emulated
+    /// YouTube service itself applies, and is therefore the only policy
+    /// the exact backend accepts.
+    LoadBalanced,
+    /// Replica offering the largest post-admission fair share,
+    /// cost-blind.
+    QoeFirst,
+}
+
+impl SelectionPolicy {
+    /// Every policy, in frontier-sweep order.
+    pub const ALL: [SelectionPolicy; 3] = [
+        SelectionPolicy::CheapestFeasible,
+        SelectionPolicy::LoadBalanced,
+        SelectionPolicy::QoeFirst,
+    ];
+
+    /// Stable CLI / JSON name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SelectionPolicy::CheapestFeasible => "cheapest-feasible",
+            SelectionPolicy::LoadBalanced => "load-balanced",
+            SelectionPolicy::QoeFirst => "qoe-first",
+        }
+    }
+
+    /// Inverse of [`SelectionPolicy::name`].
+    pub fn parse(s: &str) -> Option<SelectionPolicy> {
+        SelectionPolicy::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+/// Which session backend advances the population.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FleetMode {
+    /// Every session is a full per-chunk [`SessionHost`](crate::sim::SessionHost)
+    /// run under fleet-injected shared load.
+    Exact,
+    /// Flow-level sessions advanced by closed-form fair-share integration.
+    Fluid,
+}
+
+impl FleetMode {
+    /// Stable CLI / JSON name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FleetMode::Exact => "exact",
+            FleetMode::Fluid => "fluid",
+        }
+    }
+
+    /// Inverse of [`FleetMode::name`].
+    pub fn parse(s: &str) -> Option<FleetMode> {
+        match s {
+            "exact" => Some(FleetMode::Exact),
+            "fluid" => Some(FleetMode::Fluid),
+            _ => None,
+        }
+    }
+}
+
+/// One replica of the capacitated fleet.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FleetServerSpec {
+    /// Aggregate service rate shared fairly across attached sessions.
+    /// `None` = uncapacitated (exact mode only; fluid mode requires a
+    /// rate on every replica).
+    pub service_rate: Option<BitRate>,
+    /// Admission ceiling: sessions beyond this are turned away. `None` =
+    /// unlimited.
+    pub session_capacity: Option<u32>,
+    /// Standing cost of keeping the replica up, per hour of fleet time.
+    pub base_cost_per_hour: f64,
+    /// Egress cost per decimal gigabyte served.
+    pub cost_per_gb: f64,
+}
+
+impl FleetServerSpec {
+    /// A capacitated, free replica (costs default to zero).
+    pub fn new(service_rate: BitRate) -> FleetServerSpec {
+        FleetServerSpec {
+            service_rate: Some(service_rate),
+            session_capacity: None,
+            base_cost_per_hour: 0.0,
+            cost_per_gb: 0.0,
+        }
+    }
+
+    /// An uncapacitated, free replica (exact mode's default).
+    pub fn uncapped() -> FleetServerSpec {
+        FleetServerSpec {
+            service_rate: None,
+            session_capacity: None,
+            base_cost_per_hour: 0.0,
+            cost_per_gb: 0.0,
+        }
+    }
+
+    /// Builder-style admission ceiling.
+    pub fn with_capacity(mut self, sessions: u32) -> Self {
+        self.session_capacity = Some(sessions);
+        self
+    }
+
+    /// Builder-style cost model.
+    pub fn with_cost(mut self, base_per_hour: f64, per_gb: f64) -> Self {
+        self.base_cost_per_hour = base_per_hour;
+        self.cost_per_gb = per_gb;
+        self
+    }
+}
+
+/// One access-link class of the arriving population (fluid mode): the
+/// session's last-mile ceiling `a_k` and its sampling weight.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AccessClass {
+    /// Label carried into reports.
+    pub name: &'static str,
+    /// Last-mile rate ceiling for sessions of this class.
+    pub rate: BitRate,
+    /// Relative sampling weight (classes are drawn ∝ weight).
+    pub weight: u32,
+}
+
+/// A complete fleet experiment: the replica fleet, the arriving session
+/// population, and the selection policy coupling them.
+#[derive(Clone)]
+pub struct FleetSpec {
+    /// Master seed; the arrival process, class mix, per-session seeds and
+    /// chaos schedule all derive from it.
+    pub seed: u64,
+    /// Session backend.
+    pub mode: FleetMode,
+    /// Server-selection policy (exact mode requires
+    /// [`SelectionPolicy::LoadBalanced`]).
+    pub policy: SelectionPolicy,
+    /// The replica fleet. In fluid mode, one entry per server. In exact
+    /// mode, entry `r` describes replica `r` of *every* access network
+    /// (at most `servers_per_network` entries; missing entries are
+    /// [`FleetServerSpec::uncapped`]).
+    pub servers: Vec<FleetServerSpec>,
+    /// Number of sessions arriving.
+    pub sessions: u64,
+    /// Arrivals are uniform over `[0, arrival_window)`.
+    pub arrival_window: SimDuration,
+    /// Video length per session, seconds.
+    pub video_secs: f64,
+    /// Video format (fixed-rate population).
+    pub itag: u32,
+    /// Player configuration: the fluid backend reads the buffer
+    /// thresholds (pre-buffer, low watermark, refill, stall-resume); the
+    /// exact backend runs the whole config.
+    pub player: PlayerConfig,
+    /// Access-class mix of the population (fluid mode).
+    pub access: Vec<AccessClass>,
+    /// Per-session RTT used for the fluid connection-ramp charge.
+    pub rtt: SimDuration,
+    /// Optional chaos plan; the fleet layer honours
+    /// `fleet-overload` windows (capacity division) fleet-wide.
+    pub chaos: Option<ChaosPlan>,
+    /// Worker threads for per-session attribute precomputation (0 or 1 =
+    /// serial). Never changes results — determinism is by construction.
+    pub workers: usize,
+    /// Width of one per-server utilization-timeline bucket.
+    pub util_bucket: SimDuration,
+    /// Exact mode's base scenario: paths, service topology, player, stop
+    /// condition. Each session runs this scenario under its own seed and
+    /// the fleet-injected load.
+    pub exact_base: Option<Scenario>,
+}
+
+impl FleetSpec {
+    /// A fluid-mode fleet: four 2.5 Gbps replicas, load-balanced
+    /// selection, a WiFi/LTE/DSL population mix, 300 s of 720p video,
+    /// arrivals over two minutes.
+    pub fn fluid(seed: u64, sessions: u64) -> FleetSpec {
+        FleetSpec {
+            seed,
+            mode: FleetMode::Fluid,
+            policy: SelectionPolicy::LoadBalanced,
+            servers: vec![FleetServerSpec::new(BitRate::mbps(2500.0)); 4],
+            sessions,
+            arrival_window: SimDuration::from_secs(120),
+            video_secs: 300.0,
+            itag: 22,
+            player: PlayerConfig::msplayer(),
+            access: vec![
+                AccessClass {
+                    name: "wifi",
+                    rate: BitRate::mbps(12.0),
+                    weight: 3,
+                },
+                AccessClass {
+                    name: "lte",
+                    rate: BitRate::mbps(6.0),
+                    weight: 2,
+                },
+                AccessClass {
+                    name: "dsl",
+                    rate: BitRate::mbps(3.0),
+                    weight: 1,
+                },
+            ],
+            rtt: SimDuration::from_millis(40),
+            chaos: None,
+            workers: 0,
+            util_bucket: SimDuration::from_secs(10),
+            exact_base: None,
+        }
+    }
+
+    /// An exact-mode fleet over `base`: every session is a full
+    /// [`SessionHost`](crate::sim::SessionHost) run of `base` (fresh
+    /// seed per session) under the fleet's shared load.
+    pub fn exact(base: Scenario, sessions: u64) -> FleetSpec {
+        FleetSpec {
+            seed: base.seed,
+            mode: FleetMode::Exact,
+            policy: SelectionPolicy::LoadBalanced,
+            servers: Vec::new(),
+            sessions,
+            arrival_window: SimDuration::from_secs(60),
+            video_secs: base.video_secs,
+            itag: base.itag,
+            player: base.player.clone(),
+            access: Vec::new(),
+            rtt: SimDuration::from_millis(40),
+            chaos: None,
+            workers: 0,
+            util_bucket: SimDuration::from_secs(10),
+            exact_base: Some(base),
+        }
+    }
+
+    /// Builder-style policy override.
+    pub fn with_policy(mut self, policy: SelectionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder-style fleet override.
+    pub fn with_servers(mut self, servers: Vec<FleetServerSpec>) -> Self {
+        self.servers = servers;
+        self
+    }
+
+    /// Builder-style chaos-plan attachment.
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// The session seed fleet member `index` runs with — the handle for
+    /// reproducing any one member of the population as a standalone
+    /// session (exact mode hands this seed to
+    /// [`SessionHost::run`](crate::sim::SessionHost::run) verbatim).
+    pub fn session_seed(&self, index: u64) -> u64 {
+        attrs_for(self, index).seed
+    }
+}
+
+/// Shared-fleet state injected into one exact-mode session run: what the
+/// rest of the population looks like, from this session's point of view,
+/// for the duration of its run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FleetLoad {
+    /// One entry per (network, replica) the session's service exposes.
+    pub entries: Vec<FleetLoadEntry>,
+}
+
+/// Injected state of one replica.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetLoadEntry {
+    /// Access network the replica serves.
+    pub network: Network,
+    /// Replica index within the network (id order).
+    pub replica: u32,
+    /// Concurrent sessions the fleet has attached to the replica.
+    pub active: u32,
+    /// Fair-share pacing override charging this session its slice of the
+    /// replica's service rate (`None` = keep configured pacing).
+    pub pace: Option<PacePolicy>,
+    /// Admission-threshold override (`None` = keep configured).
+    pub session_capacity: Option<u32>,
+}
+
+impl FleetLoad {
+    /// The empty load: applying it is a no-op and
+    /// [`SessionHost::run_with_load`](crate::sim::SessionHost::run_with_load)
+    /// under it is bit-identical to a plain run.
+    pub fn none() -> FleetLoad {
+        FleetLoad::default()
+    }
+
+    /// True when every entry is inert (no load, no overrides).
+    pub fn is_empty(&self) -> bool {
+        self.entries
+            .iter()
+            .all(|e| e.active == 0 && e.pace.is_none() && e.session_capacity.is_none())
+    }
+
+    /// Installs the load on a warmed service (replicas addressed by
+    /// `(network, id-order index)`; entries naming absent replicas are
+    /// ignored).
+    pub fn apply(&self, service: &mut YoutubeService) {
+        for e in &self.entries {
+            if let Some(server) = service.replica_mut(e.network, e.replica) {
+                server.set_load(e.active);
+                server.set_pace_override(e.pace);
+                if let Some(cap) = e.session_capacity {
+                    server.set_session_capacity(cap);
+                }
+            }
+        }
+    }
+}
+
+/// Usage and cost of one replica over the fleet run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServerUsage {
+    /// Flat server index (fluid: spec order; exact:
+    /// `network_index * servers_per_network + replica`).
+    pub server: usize,
+    /// Configured service rate, bits/s (0 when uncapacitated).
+    pub capacity_bps: f64,
+    /// Total bytes served.
+    pub served_bytes: u64,
+    /// Peak concurrently attached sessions.
+    pub peak_sessions: u64,
+    /// Standing + egress cost over the run.
+    pub cost: f64,
+    /// Width of one utilization bucket, seconds.
+    pub bucket_secs: f64,
+    /// Utilization timeline: served / deliverable bytes per bucket
+    /// (0 when the capacity is unknown).
+    pub utilization: Vec<f64>,
+}
+
+/// One offered-load bin of the rebuffer-vs-load curve. Sessions are
+/// binned by the fleet's demand ratio at their arrival instant
+/// (`(attached + 1) · video_rate / total_capacity`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LoadBin {
+    /// Bin's demand-ratio range.
+    pub demand_lo: f64,
+    /// Exclusive upper edge (the last bin absorbs everything above).
+    pub demand_hi: f64,
+    /// Sessions that arrived in this bin (admitted + rejected).
+    pub sessions: u64,
+    /// Admitted sessions that stalled at least once.
+    pub stalled: u64,
+    /// Sessions turned away at admission.
+    pub rejected: u64,
+}
+
+impl LoadBin {
+    /// Fraction of admitted sessions that stalled (0 when empty).
+    pub fn stall_fraction(&self) -> f64 {
+        let admitted = self.sessions.saturating_sub(self.rejected);
+        if admitted == 0 {
+            0.0
+        } else {
+            self.stalled as f64 / admitted as f64
+        }
+    }
+}
+
+/// Fleet-level outputs: population summary, per-server usage timelines,
+/// the rebuffer-vs-load curve, and the (cost, QoE) point this run
+/// contributes to a policy frontier.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetMetrics {
+    /// Backend that produced the run.
+    pub mode: FleetMode,
+    /// Selection policy in force.
+    pub policy: SelectionPolicy,
+    /// Sessions offered.
+    pub sessions: u64,
+    /// Sessions that played to the end of their video.
+    pub completed: u64,
+    /// Sessions turned away at admission.
+    pub rejected: u64,
+    /// Admitted sessions that stalled at least once.
+    pub stalled_sessions: u64,
+    /// Peak concurrent in-flight sessions.
+    pub peak_concurrent: u64,
+    /// Simulator events processed (fleet loop; exact mode adds each
+    /// session's own event count).
+    pub events: u64,
+    /// When the last session ended.
+    pub ended_at: SimTime,
+    /// Mean startup (pre-buffer) time over sessions that started.
+    pub startup_mean_secs: f64,
+    /// Median startup time.
+    pub startup_p50_secs: f64,
+    /// 95th-percentile startup time.
+    pub startup_p95_secs: f64,
+    /// Total viewer-visible stall time across the population.
+    pub total_stall_secs: f64,
+    /// Total bytes served by the fleet.
+    pub total_served_bytes: u64,
+    /// Per-replica usage, cost, and utilization timeline.
+    pub servers: Vec<ServerUsage>,
+    /// Rebuffer-vs-load curve.
+    pub rebuffer_vs_load: Vec<LoadBin>,
+    /// Total fleet cost (standing + egress).
+    pub total_cost: f64,
+    /// Mean per-session QoE ([`qoe_score`]; rejected sessions score
+    /// [`REJECTED_QOE`]).
+    pub mean_qoe: f64,
+    /// Exact mode: every session's full [`SessionMetrics`], in arrival
+    /// order (empty in fluid mode).
+    pub exact_sessions: Vec<SessionMetrics>,
+}
+
+impl FleetMetrics {
+    /// This run's point in cost-vs-QoE space.
+    pub fn cost_qoe(&self) -> (f64, f64) {
+        (self.total_cost, self.mean_qoe)
+    }
+}
+
+/// Indices of the Pareto-efficient points of a (cost, QoE) cloud —
+/// minimal cost, maximal QoE — sorted by ascending cost. Ties on cost
+/// keep only the best-QoE point.
+pub fn pareto_frontier(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .0
+            .total_cmp(&points[b].0)
+            .then(points[b].1.total_cmp(&points[a].1))
+    });
+    let mut frontier = Vec::new();
+    let mut best_qoe = f64::NEG_INFINITY;
+    for i in order {
+        if points[i].1 > best_qoe {
+            best_qoe = points[i].1;
+            frontier.push(i);
+        }
+    }
+    frontier
+}
+
+/// Per-session attributes drawn from the index-keyed attribute stream:
+/// identical for any worker count because each index owns its own
+/// generator.
+#[derive(Clone, Copy, Debug)]
+struct SessionAttrs {
+    arrival: SimTime,
+    class: usize,
+    seed: u64,
+}
+
+fn attrs_for(spec: &FleetSpec, index: u64) -> SessionAttrs {
+    let mut rng = Prng::new(spec.seed ^ FLEET_SEED_SALT ^ index.wrapping_mul(GOLDEN));
+    let window_us = spec.arrival_window.as_micros();
+    let arrival = if window_us == 0 {
+        0
+    } else {
+        rng.below(window_us)
+    };
+    let total_weight: u64 = spec.access.iter().map(|c| u64::from(c.weight)).sum();
+    let class = if total_weight == 0 {
+        0
+    } else {
+        let mut draw = rng.below(total_weight);
+        let mut picked = 0;
+        for (k, c) in spec.access.iter().enumerate() {
+            let w = u64::from(c.weight);
+            if draw < w {
+                picked = k;
+                break;
+            }
+            draw -= w;
+        }
+        picked
+    };
+    SessionAttrs {
+        arrival: SimTime::from_micros(arrival),
+        class,
+        seed: rng.next_u64(),
+    }
+}
+
+/// Precomputes the population's attributes, optionally sharded across
+/// worker threads. Sharding never changes the result — every index's
+/// stream is self-contained — so serial and parallel runs are
+/// bit-identical (pinned by `tests/fleet.rs`).
+fn precompute_attrs(spec: &FleetSpec) -> Vec<SessionAttrs> {
+    let n = spec.sessions as usize;
+    let workers = spec.workers.max(1).min(n.max(1));
+    if workers <= 1 {
+        return (0..spec.sessions).map(|i| attrs_for(spec, i)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<SessionAttrs> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = (w * chunk).min(n) as u64;
+                let hi = ((w + 1) * chunk).min(n) as u64;
+                let spec = &*spec;
+                scope.spawn(move || (lo..hi).map(|i| attrs_for(spec, i)).collect::<Vec<_>>())
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("attribute worker panicked"));
+        }
+    });
+    out
+}
+
+/// A validated, runnable fleet experiment.
+pub struct FleetHost {
+    spec: FleetSpec,
+}
+
+impl FleetHost {
+    /// Validates `spec` and builds the host. Fluid mode requires a
+    /// non-empty capacitated fleet, a known itag, and a non-empty access
+    /// mix; exact mode requires a base scenario, load-balanced selection
+    /// (the emulated service's own load-aware ordering does the
+    /// choosing), and at most `servers_per_network` replica specs.
+    pub fn new(spec: FleetSpec) -> Result<FleetHost, String> {
+        if spec.sessions == 0 {
+            return Err("fleet needs at least one session".into());
+        }
+        if spec.video_secs <= 0.0 {
+            return Err("video_secs must be positive".into());
+        }
+        if spec.util_bucket.is_zero() {
+            return Err("util_bucket must be positive".into());
+        }
+        if let Some(plan) = &spec.chaos {
+            let n_paths = spec.exact_base.as_ref().map(|b| b.paths.len()).unwrap_or(1);
+            plan.validate(n_paths).map_err(|e| format!("chaos: {e}"))?;
+        }
+        match spec.mode {
+            FleetMode::Fluid => {
+                if by_itag(spec.itag).is_none() {
+                    return Err(format!("unknown itag {}", spec.itag));
+                }
+                if spec.servers.is_empty() {
+                    return Err("fluid mode needs at least one server".into());
+                }
+                for (i, s) in spec.servers.iter().enumerate() {
+                    match s.service_rate {
+                        Some(r) if r.as_bps() > 0.0 => {}
+                        _ => {
+                            return Err(format!(
+                                "fluid mode needs a positive service_rate on every \
+                                 server (server {i} has none)"
+                            ))
+                        }
+                    }
+                }
+                if spec.access.is_empty() {
+                    return Err("fluid mode needs at least one access class".into());
+                }
+                if spec.access.iter().all(|c| c.weight == 0) {
+                    return Err("access-class weights must not all be zero".into());
+                }
+                if spec.access.iter().any(|c| c.rate.as_bps() <= 0.0) {
+                    return Err("access-class rates must be positive".into());
+                }
+                spec.player.validate().map_err(|e| format!("player: {e}"))?;
+            }
+            FleetMode::Exact => {
+                let base = spec
+                    .exact_base
+                    .as_ref()
+                    .ok_or("exact mode needs an exact_base scenario")?;
+                if spec.policy != SelectionPolicy::LoadBalanced {
+                    return Err(format!(
+                        "exact mode supports only the load-balanced policy (the \
+                         emulated service's load-aware ordering selects the \
+                         replica); got {}",
+                        spec.policy.name()
+                    ));
+                }
+                if spec.servers.len() > base.service.servers_per_network as usize {
+                    return Err(format!(
+                        "exact mode takes at most servers_per_network={} replica \
+                         specs, got {}",
+                        base.service.servers_per_network,
+                        spec.servers.len()
+                    ));
+                }
+                base.session_spec()
+                    .validate()
+                    .map_err(|e| format!("exact_base: {e}"))?;
+            }
+        }
+        Ok(FleetHost { spec })
+    }
+
+    /// The validated spec.
+    pub fn spec(&self) -> &FleetSpec {
+        &self.spec
+    }
+
+    /// Runs the fleet to completion and returns its metrics.
+    /// Deterministic: same spec ⇒ bit-identical result, for any
+    /// [`FleetSpec::workers`] value.
+    pub fn run(&mut self) -> FleetMetrics {
+        match self.spec.mode {
+            FleetMode::Fluid => run_fluid(&self.spec),
+            FleetMode::Exact => run_exact(&self.spec),
+        }
+    }
+}
+
+fn empty_bins() -> Vec<LoadBin> {
+    (0..LOAD_BINS)
+        .map(|b| LoadBin {
+            demand_lo: b as f64 * LOAD_BIN_WIDTH,
+            demand_hi: (b + 1) as f64 * LOAD_BIN_WIDTH,
+            sessions: 0,
+            stalled: 0,
+            rejected: 0,
+        })
+        .collect()
+}
+
+fn bin_for(demand: f64) -> usize {
+    ((demand / LOAD_BIN_WIDTH) as usize).min(LOAD_BINS - 1)
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+// ---- fluid engine ----
+
+/// Fluid-session lifecycle. Attached (downloading) phases: `Prebuffer`,
+/// `PlayingOn`, `Stalled`. Detached: `PlayingOff` (draining buffer),
+/// `Done`, `Rejected`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Phase {
+    Prebuffer,
+    PlayingOff,
+    PlayingOn,
+    Stalled,
+    Done,
+    Rejected,
+}
+
+/// One capacitated replica, advanced lazily. `v[k]` is the class-`k`
+/// virtual byte clock: the bytes a class-`k` session attached for the
+/// whole interval would have downloaded (∫ min(a_k, cap/n) dt). Between
+/// membership events the integrand is constant, so advancing at events
+/// only is *exact*, in O(classes) per event.
+struct FluidServer {
+    base_cap: f64,
+    cap: f64,
+    counts: Vec<u64>,
+    n: u64,
+    v: Vec<f64>,
+    last: SimTime,
+    served: f64,
+    peak: u64,
+    bucket_served: Vec<f64>,
+    bucket_possible: Vec<f64>,
+}
+
+impl FluidServer {
+    fn advance(&mut self, now: SimTime, rates: &[f64], bucket_us: u64) {
+        if now <= self.last {
+            return;
+        }
+        let mut t = self.last.as_micros();
+        let end = now.as_micros();
+        while t < end {
+            let b = ((t / bucket_us) as usize).min(MAX_BUCKETS - 1);
+            let seg_end = if b == MAX_BUCKETS - 1 {
+                end
+            } else {
+                end.min((b as u64 + 1) * bucket_us)
+            };
+            let dt = (seg_end - t) as f64 / 1e6;
+            if self.bucket_possible.len() <= b {
+                self.bucket_possible.resize(b + 1, 0.0);
+                self.bucket_served.resize(b + 1, 0.0);
+            }
+            self.bucket_possible[b] += self.cap * dt;
+            if self.n > 0 {
+                let share = self.cap / self.n as f64;
+                let mut seg = 0.0;
+                for (k, &a) in rates.iter().enumerate() {
+                    let r = a.min(share);
+                    self.v[k] += r * dt;
+                    seg += self.counts[k] as f64 * r * dt;
+                }
+                self.served += seg;
+                self.bucket_served[b] += seg;
+            }
+            t = seg_end;
+        }
+        self.last = now;
+    }
+}
+
+struct FluidSession {
+    class: usize,
+    server: usize,
+    phase: Phase,
+    gen: u32,
+    arrival: SimTime,
+    /// Bytes downloaded as of `synced_at`; starts *negative* by the
+    /// connection-ramp deficit (see [`Fluid::arrive`]).
+    downloaded: f64,
+    v_base: f64,
+    synced_at: SimTime,
+    target: f64,
+    play_anchor: SimTime,
+    anchor_pos: f64,
+    frozen_pos: f64,
+    stall_started: SimTime,
+    stall_secs: f64,
+    stalled_once: bool,
+    startup_secs: Option<f64>,
+    bin: usize,
+}
+
+enum FleetEv {
+    Arrive(u32),
+    Wake { s: u32, gen: u32 },
+    CapEdge,
+    Depart,
+}
+
+struct Fluid<'a> {
+    spec: &'a FleetSpec,
+    chaos: Option<crate::chaos::ChaosState>,
+    rates: Vec<f64>,
+    bps: f64,
+    video_bps: f64,
+    total_bytes: f64,
+    prebuffer_bytes: f64,
+    lw_bytes: f64,
+    refill_bytes: f64,
+    resume_bytes: f64,
+    bucket_us: u64,
+    tcp: TcpConfig,
+    servers: Vec<FluidServer>,
+    sessions: Vec<FluidSession>,
+    queue: EventQueue<FleetEv>,
+    bins: Vec<LoadBin>,
+    attrs: Vec<SessionAttrs>,
+    stalled_sessions: u64,
+    rejected: u64,
+    completed: u64,
+    concurrent: u64,
+    peak_concurrent: u64,
+    end_max: SimTime,
+    events: u64,
+}
+
+fn dur_f64(secs: f64) -> SimDuration {
+    SimDuration::from_secs_f64(secs)
+}
+
+/// The instant a linearly-growing quantity crossed `target` between two
+/// observations (clamped into the interval; `t1` when no growth).
+fn interp(t0: SimTime, t1: SimTime, d0: f64, d1: f64, target: f64) -> SimTime {
+    if d1 <= d0 {
+        return t1;
+    }
+    let frac = ((target - d0) / (d1 - d0)).clamp(0.0, 1.0);
+    t0 + dur_f64(t1.saturating_since(t0).as_secs_f64() * frac)
+}
+
+impl<'a> Fluid<'a> {
+    fn factor_at(&self, now: SimTime) -> u32 {
+        self.chaos
+            .as_ref()
+            .map(|c| c.fleet_capacity_factor(now))
+            .unwrap_or(1)
+    }
+
+    fn advance_server(&mut self, idx: usize, now: SimTime) {
+        self.servers[idx].advance(now, &self.rates, self.bucket_us);
+    }
+
+    fn play_pos(&self, i: usize, now: SimTime) -> f64 {
+        let s = &self.sessions[i];
+        s.anchor_pos + self.bps * now.saturating_since(s.play_anchor).as_secs_f64()
+    }
+
+    /// Re-arms the session's next wake from its freshly-synced state and
+    /// bumps its generation (older queued wakes become stale).
+    fn schedule_wake(&mut self, i: usize, now: SimTime) {
+        let s = &self.sessions[i];
+        let dt = match s.phase {
+            Phase::Prebuffer | Phase::PlayingOn | Phase::Stalled => {
+                let srv = &self.servers[s.server];
+                let r = self.rates[s.class].min(srv.cap / srv.n.max(1) as f64);
+                let to_target = ((s.target - s.downloaded) / r).max(0.0);
+                let dt = match s.phase {
+                    Phase::Prebuffer => to_target,
+                    Phase::PlayingOn => {
+                        let buffer = s.downloaded - self.play_pos(i, now);
+                        let to_stall = if r < self.bps {
+                            (buffer / (self.bps - r)).max(0.0)
+                        } else {
+                            f64::INFINITY
+                        };
+                        to_target.min(to_stall)
+                    }
+                    _ => {
+                        let resume_eff = self.resume_bytes.min(self.total_bytes - s.frozen_pos);
+                        ((s.frozen_pos + resume_eff - s.downloaded) / r).max(0.0)
+                    }
+                };
+                // Floor the spacing: a crossing left a float-ε short of
+                // its target would otherwise re-arm a zero-delay wake at
+                // the same instant forever.
+                dt.min(HORIZON.as_secs_f64()).max(MIN_WAKE_SECS)
+            }
+            Phase::PlayingOff => {
+                // Exact: the buffer drains at the playback rate, nothing
+                // else moves it.
+                let t_lw = s.play_anchor
+                    + dur_f64(((s.downloaded - self.lw_bytes) - s.anchor_pos) / self.bps);
+                return self.push_wake(i, t_lw.max(now));
+            }
+            Phase::Done | Phase::Rejected => return,
+        };
+        self.push_wake(i, now + dur_f64(dt));
+    }
+
+    fn push_wake(&mut self, i: usize, at: SimTime) {
+        let s = &mut self.sessions[i];
+        s.gen = s.gen.wrapping_add(1);
+        let gen = s.gen;
+        self.queue.push(at, FleetEv::Wake { s: i as u32, gen });
+    }
+
+    fn attach(&mut self, i: usize, idx: usize, now: SimTime) {
+        self.advance_server(idx, now);
+        let k = self.sessions[i].class;
+        let srv = &mut self.servers[idx];
+        srv.counts[k] += 1;
+        srv.n += 1;
+        srv.peak = srv.peak.max(srv.n);
+        let v = srv.v[k];
+        let s = &mut self.sessions[i];
+        s.server = idx;
+        s.v_base = v;
+        s.synced_at = now;
+    }
+
+    /// Detach from the (already-advanced) server.
+    fn detach(&mut self, i: usize) {
+        let k = self.sessions[i].class;
+        let srv = &mut self.servers[self.sessions[i].server];
+        srv.counts[k] -= 1;
+        srv.n -= 1;
+    }
+
+    fn select_server(&self, class: usize) -> Option<usize> {
+        let a_k = self.rates[class];
+        let candidates: Vec<usize> = (0..self.servers.len())
+            .filter(|&si| {
+                self.spec.servers[si]
+                    .session_capacity
+                    .is_none_or(|c| self.servers[si].n < u64::from(c))
+            })
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let pick = match self.spec.policy {
+            SelectionPolicy::LoadBalanced => *candidates
+                .iter()
+                .min_by_key(|&&si| (self.servers[si].n, si))
+                .unwrap(),
+            // Compare the *unclipped* post-admission share: clipping by
+            // the access rate would tie every lightly-loaded server and
+            // herd arrivals onto the lowest index.
+            SelectionPolicy::QoeFirst => *candidates
+                .iter()
+                .min_by(|&&a, &&b| {
+                    let sa = self.servers[a].cap / (self.servers[a].n + 1) as f64;
+                    let sb = self.servers[b].cap / (self.servers[b].n + 1) as f64;
+                    sb.total_cmp(&sa).then(a.cmp(&b))
+                })
+                .unwrap(),
+            SelectionPolicy::CheapestFeasible => {
+                let feasible: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&si| self.servers[si].cap / (self.servers[si].n + 1) as f64 >= a_k)
+                    .collect();
+                let pool = if feasible.is_empty() {
+                    // No replica can sustain the class rate: degrade
+                    // gracefully toward the least-loaded one.
+                    return candidates
+                        .iter()
+                        .min_by_key(|&&si| (self.servers[si].n, si))
+                        .copied();
+                } else {
+                    feasible
+                };
+                *pool
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        let ca = &self.spec.servers[a];
+                        let cb = &self.spec.servers[b];
+                        ca.cost_per_gb
+                            .total_cmp(&cb.cost_per_gb)
+                            .then(ca.base_cost_per_hour.total_cmp(&cb.base_cost_per_hour))
+                            .then(a.cmp(&b))
+                    })
+                    .unwrap()
+            }
+        };
+        Some(pick)
+    }
+
+    fn arrive(&mut self, i: usize, now: SimTime) {
+        let class = self.attrs[i].class;
+        let total_n: u64 = self.servers.iter().map(|s| s.n).sum();
+        let total_cap_bits: f64 = self.servers.iter().map(|s| s.cap * 8.0).sum();
+        let demand = (total_n + 1) as f64 * self.video_bps / total_cap_bits;
+        let bin = bin_for(demand);
+        self.bins[bin].sessions += 1;
+        self.sessions[i].bin = bin;
+        self.sessions[i].class = class;
+        self.sessions[i].arrival = now;
+        let Some(chosen) = self.select_server(class) else {
+            self.rejected += 1;
+            self.bins[bin].rejected += 1;
+            self.sessions[i].phase = Phase::Rejected;
+            return;
+        };
+        self.attach(i, chosen, now);
+        // Charge the TCP connection ramp as a byte deficit: relative to a
+        // flow that runs at its fair share from t=0, slow start leaves the
+        // session `share·latency − ramp_bytes` behind by the time it
+        // reaches rate (closed-form from the epoch engine's solver).
+        let srv = &self.servers[chosen];
+        let share = self.rates[class].min(srv.cap / srv.n as f64);
+        let ramp = fluid::startup_ramp(&self.tcp, self.spec.rtt, BitRate::bps(share * 8.0));
+        let deficit = (share * ramp.latency.as_secs_f64() - ramp.ramp_bytes.as_f64()).max(0.0);
+        let s = &mut self.sessions[i];
+        s.phase = Phase::Prebuffer;
+        s.downloaded = -deficit;
+        s.target = self.prebuffer_bytes;
+        self.concurrent += 1;
+        self.peak_concurrent = self.peak_concurrent.max(self.concurrent);
+        self.schedule_wake(i, now);
+    }
+
+    /// The current download burst reached its target (playback already
+    /// anchored): finish the video, pause until the low watermark, or —
+    /// when a late wake finds the buffer already drained — extend the
+    /// burst in place.
+    fn finish_download_burst(&mut self, i: usize, now: SimTime) {
+        if self.sessions[i].downloaded >= self.total_bytes {
+            self.detach(i);
+            let s = &mut self.sessions[i];
+            s.phase = Phase::Done;
+            let t_end = s.play_anchor + dur_f64((self.total_bytes - s.anchor_pos) / self.bps);
+            self.queue.push(t_end.max(now), FleetEv::Depart);
+            return;
+        }
+        let buffer = self.sessions[i].downloaded - self.play_pos(i, now);
+        if buffer <= self.lw_bytes {
+            let s = &mut self.sessions[i];
+            s.target = (s.downloaded + self.refill_bytes).min(self.total_bytes);
+            s.phase = Phase::PlayingOn;
+        } else {
+            self.detach(i);
+            self.sessions[i].phase = Phase::PlayingOff;
+        }
+        self.schedule_wake(i, now);
+    }
+
+    fn wake(&mut self, i: usize, gen: u32, now: SimTime) {
+        {
+            let s = &self.sessions[i];
+            if s.gen != gen || matches!(s.phase, Phase::Done | Phase::Rejected) {
+                return;
+            }
+        }
+        let phase = self.sessions[i].phase;
+        if phase == Phase::PlayingOff {
+            // Exact low-watermark crossing: re-attach and refill.
+            let idx = self.sessions[i].server;
+            self.attach(i, idx, now);
+            let s = &mut self.sessions[i];
+            s.target = (s.downloaded + self.refill_bytes).min(self.total_bytes);
+            s.phase = Phase::PlayingOn;
+            self.schedule_wake(i, now);
+            return;
+        }
+        // Attached phases: advance the server and read the exact download
+        // progress off the class virtual clock.
+        let idx = self.sessions[i].server;
+        self.advance_server(idx, now);
+        let (d_prev, t_prev) = {
+            let s = &self.sessions[i];
+            (s.downloaded, s.synced_at)
+        };
+        let v = self.servers[idx].v[self.sessions[i].class];
+        let d_now = {
+            let s = &mut self.sessions[i];
+            let d = s.downloaded + (v - s.v_base);
+            s.downloaded = d;
+            s.v_base = v;
+            s.synced_at = now;
+            d
+        };
+        match phase {
+            Phase::Prebuffer => {
+                if d_now >= self.sessions[i].target {
+                    let t_cross = interp(t_prev, now, d_prev, d_now, self.sessions[i].target);
+                    let s = &mut self.sessions[i];
+                    s.startup_secs = Some(t_cross.saturating_since(s.arrival).as_secs_f64());
+                    s.play_anchor = t_cross;
+                    s.anchor_pos = 0.0;
+                    self.finish_download_burst(i, now);
+                } else {
+                    self.schedule_wake(i, now);
+                }
+            }
+            Phase::PlayingOn => {
+                let p = self.play_pos(i, now);
+                if d_now >= self.sessions[i].target {
+                    self.finish_download_burst(i, now);
+                } else if d_now <= p {
+                    // The playhead caught the download: retro-date the
+                    // stall to when it actually happened.
+                    let s = &mut self.sessions[i];
+                    let t_catch = (s.play_anchor
+                        + dur_f64((d_now - s.anchor_pos).max(0.0) / self.bps))
+                    .min(now);
+                    s.frozen_pos = d_now;
+                    s.stall_started = t_catch;
+                    s.phase = Phase::Stalled;
+                    s.target = s
+                        .target
+                        .max((d_now + self.refill_bytes).min(self.total_bytes));
+                    let bin = s.bin;
+                    if !s.stalled_once {
+                        s.stalled_once = true;
+                        self.stalled_sessions += 1;
+                        self.bins[bin].stalled += 1;
+                    }
+                    self.schedule_wake(i, now);
+                } else {
+                    self.schedule_wake(i, now);
+                }
+            }
+            Phase::Stalled => {
+                let frozen = self.sessions[i].frozen_pos;
+                let resume_eff = self.resume_bytes.min(self.total_bytes - frozen);
+                if d_now - frozen >= resume_eff {
+                    let t_res = interp(t_prev, now, d_prev, d_now, frozen + resume_eff);
+                    let s = &mut self.sessions[i];
+                    s.stall_secs += t_res.saturating_since(s.stall_started).as_secs_f64();
+                    s.play_anchor = t_res;
+                    s.anchor_pos = frozen;
+                    if d_now >= s.target {
+                        self.finish_download_burst(i, now);
+                    } else {
+                        s.phase = Phase::PlayingOn;
+                        self.schedule_wake(i, now);
+                    }
+                } else {
+                    self.schedule_wake(i, now);
+                }
+            }
+            _ => unreachable!("attached wake in phase {phase:?}"),
+        }
+    }
+
+    /// A chaos capacity edge: rescale every replica and re-arm every
+    /// attached session (their rate predictions just went stale).
+    fn cap_edge(&mut self, now: SimTime) {
+        let factor = self.factor_at(now);
+        for idx in 0..self.servers.len() {
+            self.advance_server(idx, now);
+            let srv = &mut self.servers[idx];
+            srv.cap = srv.base_cap / f64::from(factor.max(1));
+        }
+        for i in 0..self.sessions.len() {
+            if matches!(
+                self.sessions[i].phase,
+                Phase::Prebuffer | Phase::PlayingOn | Phase::Stalled
+            ) {
+                // Sync before re-predicting (the old rate applied up to
+                // this instant; `advance` above already integrated it).
+                let idx = self.sessions[i].server;
+                let v = self.servers[idx].v[self.sessions[i].class];
+                let s = &mut self.sessions[i];
+                s.downloaded += v - s.v_base;
+                s.v_base = v;
+                s.synced_at = now;
+                self.schedule_wake(i, now);
+            }
+        }
+    }
+}
+
+fn run_fluid(spec: &FleetSpec) -> FleetMetrics {
+    let fmt = by_itag(spec.itag).expect("validated at construction");
+    let bps = fmt.bytes_per_sec();
+    let total_bytes = bps * spec.video_secs;
+    let n_classes = spec.access.len();
+    let chaos = spec.chaos.as_ref().map(|p| p.resolve(spec.seed, 1));
+    let factor0 = chaos
+        .as_ref()
+        .map(|c| c.fleet_capacity_factor(SimTime::ZERO))
+        .unwrap_or(1);
+    let mut edges: Vec<SimTime> = chaos
+        .as_ref()
+        .map(|c| {
+            c.fleet_capacity_windows()
+                .flat_map(|(from, until, _)| [from, until])
+                .collect()
+        })
+        .unwrap_or_default();
+    edges.sort();
+    edges.dedup();
+    let servers: Vec<FluidServer> = spec
+        .servers
+        .iter()
+        .map(|s| {
+            let base = s.service_rate.expect("validated").bytes_per_sec();
+            FluidServer {
+                base_cap: base,
+                cap: base / f64::from(factor0.max(1)),
+                counts: vec![0; n_classes],
+                n: 0,
+                v: vec![0.0; n_classes],
+                last: SimTime::ZERO,
+                served: 0.0,
+                peak: 0,
+                bucket_served: Vec::new(),
+                bucket_possible: Vec::new(),
+            }
+        })
+        .collect();
+    let attrs = precompute_attrs(spec);
+    let sessions: Vec<FluidSession> = attrs
+        .iter()
+        .map(|a| FluidSession {
+            class: a.class,
+            server: 0,
+            phase: Phase::Rejected,
+            gen: 0,
+            arrival: a.arrival,
+            downloaded: 0.0,
+            v_base: 0.0,
+            synced_at: SimTime::ZERO,
+            target: 0.0,
+            play_anchor: SimTime::ZERO,
+            anchor_pos: 0.0,
+            frozen_pos: 0.0,
+            stall_started: SimTime::ZERO,
+            stall_secs: 0.0,
+            stalled_once: false,
+            startup_secs: None,
+            bin: 0,
+        })
+        .collect();
+    let mut queue = EventQueue::with_capacity(sessions.len() + edges.len() + 16);
+    for (i, a) in attrs.iter().enumerate() {
+        queue.push(a.arrival, FleetEv::Arrive(i as u32));
+    }
+    for &t in &edges {
+        queue.push(t, FleetEv::CapEdge);
+    }
+    let mut sim = Fluid {
+        spec,
+        chaos,
+        rates: spec.access.iter().map(|c| c.rate.bytes_per_sec()).collect(),
+        bps,
+        video_bps: fmt.bitrate.as_bps(),
+        total_bytes,
+        prebuffer_bytes: (spec.player.prebuffer_secs * bps).min(total_bytes),
+        lw_bytes: spec.player.low_watermark_secs * bps,
+        refill_bytes: spec.player.rebuffer_secs * bps,
+        resume_bytes: spec.player.stall_resume_secs * bps,
+        bucket_us: spec.util_bucket.as_micros().max(1),
+        tcp: TcpConfig::default(),
+        servers,
+        sessions,
+        queue,
+        bins: empty_bins(),
+        attrs,
+        stalled_sessions: 0,
+        rejected: 0,
+        completed: 0,
+        concurrent: 0,
+        peak_concurrent: 0,
+        end_max: SimTime::ZERO,
+        events: 0,
+    };
+    let guard = SimTime::ZERO + MAX_FLEET_TIME;
+    let mut now_last = SimTime::ZERO;
+    while let Some((t, ev)) = sim.queue.pop() {
+        if t > guard {
+            break;
+        }
+        now_last = t;
+        sim.events += 1;
+        match ev {
+            FleetEv::Arrive(i) => sim.arrive(i as usize, t),
+            FleetEv::Wake { s, gen } => sim.wake(s as usize, gen, t),
+            FleetEv::CapEdge => sim.cap_edge(t),
+            FleetEv::Depart => {
+                sim.concurrent -= 1;
+                sim.completed += 1;
+                sim.end_max = sim.end_max.max(t);
+            }
+        }
+    }
+    for idx in 0..sim.servers.len() {
+        sim.servers[idx].advance(now_last, &sim.rates, sim.bucket_us);
+    }
+    let hours = now_last.as_secs_f64() / 3600.0;
+    let bitrate_mbps = fmt.bitrate.as_mbps();
+    let mut startups: Vec<f64> = sim.sessions.iter().filter_map(|s| s.startup_secs).collect();
+    startups.sort_by(f64::total_cmp);
+    let mut qoe_sum = 0.0;
+    let mut total_stall = 0.0;
+    for s in &sim.sessions {
+        if s.phase == Phase::Rejected {
+            qoe_sum += REJECTED_QOE;
+            continue;
+        }
+        let startup = s
+            .startup_secs
+            .unwrap_or_else(|| now_last.saturating_since(s.arrival).as_secs_f64());
+        qoe_sum += qoe_score(bitrate_mbps, startup, s.stall_secs);
+        total_stall += s.stall_secs;
+    }
+    let server_usage: Vec<ServerUsage> = sim
+        .servers
+        .iter()
+        .enumerate()
+        .map(|(i, srv)| {
+            let cfg = &spec.servers[i];
+            let served = srv.served.max(0.0);
+            ServerUsage {
+                server: i,
+                capacity_bps: cfg.service_rate.expect("validated").as_bps(),
+                served_bytes: served as u64,
+                peak_sessions: srv.peak,
+                cost: cfg.base_cost_per_hour * hours + cfg.cost_per_gb * served / 1e9,
+                bucket_secs: spec.util_bucket.as_secs_f64(),
+                utilization: srv
+                    .bucket_served
+                    .iter()
+                    .zip(&srv.bucket_possible)
+                    .map(|(s, p)| if *p > 0.0 { s / p } else { 0.0 })
+                    .collect(),
+            }
+        })
+        .collect();
+    let total_cost = server_usage.iter().map(|s| s.cost).sum();
+    let total_served_bytes = server_usage.iter().map(|s| s.served_bytes).sum();
+    FleetMetrics {
+        mode: FleetMode::Fluid,
+        policy: spec.policy,
+        sessions: spec.sessions,
+        completed: sim.completed,
+        rejected: sim.rejected,
+        stalled_sessions: sim.stalled_sessions,
+        peak_concurrent: sim.peak_concurrent,
+        events: sim.events,
+        ended_at: sim.end_max,
+        startup_mean_secs: if startups.is_empty() {
+            0.0
+        } else {
+            startups.iter().sum::<f64>() / startups.len() as f64
+        },
+        startup_p50_secs: percentile(&startups, 0.5),
+        startup_p95_secs: percentile(&startups, 0.95),
+        total_stall_secs: total_stall,
+        total_served_bytes,
+        servers: server_usage,
+        rebuffer_vs_load: sim.bins,
+        total_cost,
+        mean_qoe: qoe_sum / spec.sessions as f64,
+        exact_sessions: Vec::new(),
+    }
+}
+
+// ---- exact engine ----
+
+/// Spreads `bytes` uniformly over `[t0, t1]` into per-bucket
+/// accumulators (all into `t0`'s bucket when the span is empty).
+fn spread_bytes(buckets: &mut Vec<f64>, bytes: f64, t0_us: u64, t1_us: u64, bucket_us: u64) {
+    let grow = |buckets: &mut Vec<f64>, b: usize| {
+        if buckets.len() <= b {
+            buckets.resize(b + 1, 0.0);
+        }
+    };
+    if t1_us <= t0_us {
+        let b = ((t0_us / bucket_us) as usize).min(MAX_BUCKETS - 1);
+        grow(buckets, b);
+        buckets[b] += bytes;
+        return;
+    }
+    let span = (t1_us - t0_us) as f64;
+    let mut t = t0_us;
+    while t < t1_us {
+        let b = ((t / bucket_us) as usize).min(MAX_BUCKETS - 1);
+        let seg_end = if b == MAX_BUCKETS - 1 {
+            t1_us
+        } else {
+            t1_us.min((t / bucket_us + 1) * bucket_us)
+        };
+        grow(buckets, b);
+        buckets[b] += bytes * (seg_end - t) as f64 / span;
+        t = seg_end;
+    }
+}
+
+fn run_exact(spec: &FleetSpec) -> FleetMetrics {
+    let base = spec.exact_base.as_ref().expect("validated at construction");
+    let bitrate = by_itag(base.itag)
+        .map(|f| f.bitrate)
+        .unwrap_or(BitRate::bps(0.0));
+    let mut host = crate::sim::SessionHost::new(base.service_spec());
+    let chaos = spec
+        .chaos
+        .as_ref()
+        .map(|p| p.resolve(spec.seed, base.paths.len()));
+    let mut networks: Vec<Network> = Vec::new();
+    for p in &base.paths {
+        if !networks.contains(&p.network) {
+            networks.push(p.network);
+        }
+    }
+    let net_of: Vec<usize> = base
+        .paths
+        .iter()
+        .map(|p| networks.iter().position(|n| *n == p.network).unwrap())
+        .collect();
+    let n_rep = base.service.servers_per_network as usize;
+    let n_servers = networks.len() * n_rep;
+    let mut counts: Vec<Vec<u32>> = vec![vec![0; n_rep]; networks.len()];
+    let mut peaks: Vec<Vec<u32>> = vec![vec![0; n_rep]; networks.len()];
+    let attrs = precompute_attrs(spec);
+    let mut order: Vec<usize> = (0..attrs.len()).collect();
+    order.sort_by_key(|&i| (attrs[i].arrival, i));
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    let mut assignment: Vec<Vec<(usize, usize)>> = vec![Vec::new(); attrs.len()];
+    let mut bins = empty_bins();
+    let mut exact_sessions: Vec<SessionMetrics> = Vec::new();
+    let mut served: Vec<f64> = vec![0.0; n_servers];
+    let mut bucket_served: Vec<Vec<f64>> = vec![Vec::new(); n_servers];
+    let bucket_us = spec.util_bucket.as_micros().max(1);
+    let mut startups: Vec<f64> = Vec::new();
+    let mut qoe_sum = 0.0;
+    let mut total_stall = 0.0;
+    let mut stalled_sessions = 0u64;
+    let mut rejected = 0u64;
+    let mut completed = 0u64;
+    let mut peak_concurrent = 0u64;
+    let mut events = 0u64;
+    let mut end_max = SimTime::ZERO;
+    let video_bps = by_itag(base.itag)
+        .map(|f| f.bitrate.as_bps())
+        .unwrap_or(0.0);
+    for &i in &order {
+        let arrival = attrs[i].arrival;
+        let arr_us = arrival.as_micros();
+        while let Some(&Reverse((end_us, j))) = heap.peek() {
+            if end_us > arr_us {
+                break;
+            }
+            heap.pop();
+            for &(net, r) in &assignment[j as usize] {
+                counts[net][r] = counts[net][r].saturating_sub(1);
+            }
+        }
+        events += 1;
+        let factor = chaos
+            .as_ref()
+            .map(|c| c.fleet_capacity_factor(arrival))
+            .unwrap_or(1);
+        let scaled_cap = |r: usize| -> Option<u32> {
+            spec.servers
+                .get(r)
+                .and_then(|s| s.session_capacity)
+                .map(|c| (c / factor).max(1))
+        };
+        // Offered-load bin at this arrival (0 when the fleet is
+        // uncapacitated and the ratio is undefined).
+        let attached: u32 = counts.iter().flatten().sum();
+        let total_cap_bps: f64 = (0..n_rep)
+            .filter_map(|r| spec.servers.get(r).and_then(|s| s.service_rate))
+            .map(|rate| rate.as_bps() / f64::from(factor))
+            .sum::<f64>()
+            * networks.len() as f64;
+        let demand = if total_cap_bps > 0.0 {
+            f64::from(attached + 1) * video_bps / total_cap_bps
+        } else {
+            0.0
+        };
+        let bin = bin_for(demand);
+        bins[bin].sessions += 1;
+        let admissible = net_of
+            .iter()
+            .all(|&net| (0..n_rep).any(|r| scaled_cap(r).is_none_or(|c| counts[net][r] < c)));
+        if !admissible {
+            rejected += 1;
+            bins[bin].rejected += 1;
+            qoe_sum += REJECTED_QOE;
+            continue;
+        }
+        peak_concurrent = peak_concurrent.max(heap.len() as u64 + 1);
+        // Injected loads are the pre-arrival counts: the in-run client
+        // applies the service's own (load, id) ordering to them, so the
+        // replica it connects to is exactly the one predicted below.
+        let loads_before = counts.clone();
+        for &net in &net_of {
+            let r_star = (0..n_rep)
+                .filter(|&r| scaled_cap(r).is_none_or(|c| counts[net][r] < c))
+                .min_by_key(|&r| (counts[net][r], r))
+                .expect("admissible path has a replica");
+            counts[net][r_star] += 1;
+            peaks[net][r_star] = peaks[net][r_star].max(counts[net][r_star]);
+            assignment[i].push((net, r_star));
+        }
+        let mut load = FleetLoad::none();
+        for (net_idx, &network) in networks.iter().enumerate() {
+            for (r, &active) in loads_before[net_idx].iter().enumerate() {
+                let pace = spec
+                    .servers
+                    .get(r)
+                    .and_then(|s| s.service_rate)
+                    .map(|rate| PacePolicy {
+                        burst: EXACT_PACE_BURST,
+                        rate: BitRate::bps(
+                            rate.as_bps() / f64::from(factor) / f64::from(active + 1),
+                        ),
+                    });
+                let session_capacity = match scaled_cap(r) {
+                    Some(c) => Some(c),
+                    // Lift the server's standalone 503 heuristic when the
+                    // fleet injects real load: admission is the fleet's
+                    // call here.
+                    None if active > 0 => Some(u32::MAX),
+                    None => None,
+                };
+                load.entries.push(FleetLoadEntry {
+                    network,
+                    replica: r as u32,
+                    active,
+                    pace,
+                    session_capacity,
+                });
+            }
+        }
+        let mut ss = base.session_spec();
+        ss.seed = attrs[i].seed;
+        let metrics = host
+            .run_with_load(&ss, &load)
+            .expect("base spec validated at construction");
+        let duration = metrics
+            .ended_at
+            .map(|e| e.saturating_since(metrics.started_at))
+            .unwrap_or(SimDuration::ZERO);
+        let end = arrival + duration;
+        let end_us = end.as_micros();
+        heap.push(Reverse((end_us, i as u32)));
+        end_max = end_max.max(end);
+        let mut path_bytes = vec![0u64; base.paths.len()];
+        for c in &metrics.chunks {
+            if c.path < path_bytes.len() {
+                path_bytes[c.path] += c.bytes;
+            }
+        }
+        for (p, &bytes) in path_bytes.iter().enumerate() {
+            let (net, r) = assignment[i][p];
+            let flat = net * n_rep + r;
+            served[flat] += bytes as f64;
+            spread_bytes(
+                &mut bucket_served[flat],
+                bytes as f64,
+                arr_us,
+                end_us,
+                bucket_us,
+            );
+        }
+        if let Some(d) = metrics.prebuffer_time() {
+            startups.push(d.as_secs_f64());
+        }
+        if !metrics.stalls.is_empty() {
+            stalled_sessions += 1;
+            bins[bin].stalled += 1;
+        }
+        total_stall += metrics.total_stall_time().as_secs_f64();
+        if metrics.ended_at.is_some() {
+            completed += 1;
+        }
+        qoe_sum += metrics.qoe(bitrate);
+        events += metrics.events;
+        exact_sessions.push(metrics);
+    }
+    startups.sort_by(f64::total_cmp);
+    let hours = end_max.as_secs_f64() / 3600.0;
+    let end_us = end_max.as_micros();
+    let server_usage: Vec<ServerUsage> = (0..n_servers)
+        .map(|flat| {
+            let (net, r) = (flat / n_rep, flat % n_rep);
+            let cfg = spec.servers.get(r);
+            let cap_bps = cfg.and_then(|c| c.service_rate).map(|b| b.as_bps());
+            let utilization = match cap_bps {
+                Some(cap) if cap > 0.0 => {
+                    let cap_bytes = cap / 8.0;
+                    bucket_served[flat]
+                        .iter()
+                        .enumerate()
+                        .map(|(b, &s)| {
+                            let lo = b as u64 * bucket_us;
+                            let width_us = bucket_us.min(end_us.saturating_sub(lo)).max(1);
+                            s / (cap_bytes * width_us as f64 / 1e6)
+                        })
+                        .collect()
+                }
+                _ => vec![0.0; bucket_served[flat].len()],
+            };
+            ServerUsage {
+                server: flat,
+                capacity_bps: cap_bps.unwrap_or(0.0),
+                served_bytes: served[flat] as u64,
+                peak_sessions: u64::from(peaks[net][r]),
+                cost: cfg
+                    .map(|c| c.base_cost_per_hour * hours + c.cost_per_gb * served[flat] / 1e9)
+                    .unwrap_or(0.0),
+                bucket_secs: spec.util_bucket.as_secs_f64(),
+                utilization,
+            }
+        })
+        .collect();
+    let total_cost = server_usage.iter().map(|s| s.cost).sum();
+    let total_served_bytes = server_usage.iter().map(|s| s.served_bytes).sum();
+    FleetMetrics {
+        mode: FleetMode::Exact,
+        policy: spec.policy,
+        sessions: spec.sessions,
+        completed,
+        rejected,
+        stalled_sessions,
+        peak_concurrent,
+        events,
+        ended_at: end_max,
+        startup_mean_secs: if startups.is_empty() {
+            0.0
+        } else {
+            startups.iter().sum::<f64>() / startups.len() as f64
+        },
+        startup_p50_secs: percentile(&startups, 0.5),
+        startup_p95_secs: percentile(&startups, 0.95),
+        total_stall_secs: total_stall,
+        total_served_bytes,
+        servers: server_usage,
+        rebuffer_vs_load: bins,
+        total_cost,
+        mean_qoe: qoe_sum / spec.sessions as f64,
+        exact_sessions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pareto_frontier_keeps_min_cost_max_qoe() {
+        let points = [(1.0, 5.0), (2.0, 4.0), (3.0, 6.0), (1.0, 4.0)];
+        assert_eq!(pareto_frontier(&points), vec![0, 2]);
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+
+    #[test]
+    fn fluid_runs_are_bit_identical_for_any_worker_count() {
+        let mut spec = FleetSpec::fluid(0xf1ee7, 400);
+        spec.servers = vec![FleetServerSpec::new(BitRate::mbps(200.0)); 3];
+        let serial = FleetHost::new(spec.clone()).unwrap().run();
+        spec.workers = 5;
+        let sharded = FleetHost::new(spec).unwrap().run();
+        assert_eq!(serial, sharded);
+        assert_eq!(serial.completed + serial.rejected, 400);
+        assert!(serial.peak_concurrent > 0);
+        assert!(serial.total_served_bytes > 0);
+    }
+
+    #[test]
+    fn fluid_rejects_when_admission_capacity_is_exhausted() {
+        let mut spec = FleetSpec::fluid(11, 50);
+        spec.servers = vec![FleetServerSpec::new(BitRate::mbps(100.0)).with_capacity(2)];
+        spec.arrival_window = SimDuration::from_secs(5);
+        let m = FleetHost::new(spec).unwrap().run();
+        assert!(m.rejected > 0, "2-session fleet must turn arrivals away");
+        let binned: u64 = m.rebuffer_vs_load.iter().map(|b| b.rejected).sum();
+        assert_eq!(binned, m.rejected);
+        assert_eq!(
+            m.rebuffer_vs_load.iter().map(|b| b.sessions).sum::<u64>(),
+            m.sessions
+        );
+    }
+
+    #[test]
+    fn capacity_crunch_chaos_degrades_the_population() {
+        let mut spec = FleetSpec::fluid(23, 300);
+        // ~60% offered load at peak (300 × 2.5 Mbps / 1.25 Gbps): healthy
+        // without chaos, starved under an 8× capacity crunch.
+        spec.servers = vec![FleetServerSpec::new(BitRate::mbps(625.0)); 2];
+        let calm = FleetHost::new(spec.clone()).unwrap().run();
+        // Crunch the fleet while the bulk of the population is mid-
+        // playback (the capacity-crunch preset's early window would end
+        // before the first 40 s pre-buffer completes).
+        spec.chaos = Some(ChaosPlan::parse("fleet-overload:from=60s,until=180s,factor=8").unwrap());
+        let crunched = FleetHost::new(spec).unwrap().run();
+        assert!(
+            crunched.stalled_sessions > calm.stalled_sessions,
+            "crunch {} vs calm {}",
+            crunched.stalled_sessions,
+            calm.stalled_sessions
+        );
+        assert!(crunched.mean_qoe < calm.mean_qoe);
+    }
+
+    #[test]
+    fn cheapest_feasible_concentrates_load_on_the_cheap_replica() {
+        let mut spec = FleetSpec::fluid(5, 200);
+        spec.servers = vec![
+            FleetServerSpec::new(BitRate::mbps(400.0)).with_cost(10.0, 0.10),
+            FleetServerSpec::new(BitRate::mbps(400.0)).with_cost(1.0, 0.01),
+        ];
+        spec.policy = SelectionPolicy::CheapestFeasible;
+        let m = FleetHost::new(spec).unwrap().run();
+        assert!(
+            m.servers[1].served_bytes > m.servers[0].served_bytes,
+            "cheap replica should carry the load while it stays feasible"
+        );
+        assert!(m.total_cost > 0.0);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let mut no_rate = FleetSpec::fluid(1, 10);
+        no_rate.servers = vec![FleetServerSpec::uncapped()];
+        assert!(FleetHost::new(no_rate).is_err());
+        let base = Scenario::testbed_msplayer(1, PlayerConfig::msplayer());
+        let mut wrong_policy = FleetSpec::exact(base, 2);
+        wrong_policy.policy = SelectionPolicy::QoeFirst;
+        assert!(FleetHost::new(wrong_policy).is_err());
+    }
+
+    #[test]
+    fn exact_mode_runs_deterministically() {
+        let base = Scenario::testbed_msplayer(42, PlayerConfig::msplayer());
+        let mut spec = FleetSpec::exact(base, 3);
+        spec.arrival_window = SimDuration::from_secs(10);
+        let a = FleetHost::new(spec.clone()).unwrap().run();
+        let b = FleetHost::new(spec).unwrap().run();
+        assert_eq!(a, b);
+        assert_eq!(a.exact_sessions.len(), 3);
+        assert_eq!(a.completed, 3);
+        assert!(a.total_served_bytes > 0);
+    }
+
+    #[test]
+    fn policy_and_mode_names_round_trip() {
+        for p in SelectionPolicy::ALL {
+            assert_eq!(SelectionPolicy::parse(p.name()), Some(p));
+        }
+        for m in [FleetMode::Exact, FleetMode::Fluid] {
+            assert_eq!(FleetMode::parse(m.name()), Some(m));
+        }
+        assert_eq!(SelectionPolicy::parse("nope"), None);
+    }
+}

@@ -47,6 +47,7 @@ pub mod chunk;
 pub mod config;
 pub mod energy;
 pub mod estimator;
+pub mod fleet;
 pub mod metrics;
 pub mod player;
 pub mod scheduler;
@@ -61,6 +62,10 @@ pub use chunk::{ChunkAssignment, ChunkLedger, PathId};
 pub use config::{GammaRounding, PlayerConfig, SchedulerKind};
 pub use estimator::{
     BandwidthEstimator, EstimatorImpl, Ewma, HarmonicInc, HarmonicWindow, LastSample,
+};
+pub use fleet::{
+    pareto_frontier, AccessClass, FleetHost, FleetLoad, FleetLoadEntry, FleetMetrics, FleetMode,
+    FleetServerSpec, FleetSpec, LoadBin, SelectionPolicy, ServerUsage,
 };
 pub use metrics::{AbrDecision, AbrQoe, AbrSwitch, ChunkRecord, SessionMetrics, TrafficPhase};
 pub use player::{ChunkFailReason, Player, PlayerAction, PlayerEvent};

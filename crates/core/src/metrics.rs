@@ -220,6 +220,31 @@ impl SessionMetrics {
     pub fn chunk_count(&self, path: PathId) -> usize {
         self.chunks.iter().filter(|c| c.path == path).count()
     }
+
+    /// The session's scalar QoE under [`qoe_score`], given the encoding
+    /// rate it streamed at. Startup is the pre-buffer time (the full
+    /// session length when the pre-buffer target was never reached).
+    pub fn qoe(&self, bitrate: msim_core::units::BitRate) -> f64 {
+        let startup = self
+            .prebuffer_time()
+            .or_else(|| self.ended_at.map(|e| e.saturating_since(self.started_at)))
+            .unwrap_or(SimDuration::ZERO)
+            .as_secs_f64();
+        qoe_score(
+            bitrate.as_mbps(),
+            startup,
+            self.total_stall_time().as_secs_f64(),
+        )
+    }
+}
+
+/// The linear QoE model used by the fleet layer's cost-vs-QoE frontier:
+/// reward the encoding rate, charge startup delay at 0.5 points/s and
+/// stalls at 2 points/s (the standard Yin/Jiang-style weighting — stalls
+/// hurt far more than resolution). Pure and unit-free so both the exact
+/// per-chunk backend and the fluid backend score sessions identically.
+pub fn qoe_score(bitrate_mbps: f64, startup_secs: f64, stall_secs: f64) -> f64 {
+    bitrate_mbps - 0.5 * startup_secs - 2.0 * stall_secs
 }
 
 #[cfg(test)]

@@ -611,6 +611,22 @@ impl SessionHost {
         Ok(self.run_validated(spec.seed, spec))
     }
 
+    /// Runs one session against a service carrying fleet-injected shared
+    /// load: per-replica session counts, capacity-share pacing, and
+    /// admission thresholds are installed before bootstrap, so load-aware
+    /// server selection, 503 admission, and pacing all see the rest of the
+    /// fleet. An [empty](crate::fleet::FleetLoad::is_empty) load is
+    /// bit-identical to [`SessionHost::run`] — the fleet's N=1 anchor.
+    pub fn run_with_load(
+        &mut self,
+        spec: &SessionSpec,
+        load: &crate::fleet::FleetLoad,
+    ) -> Result<SessionMetrics, SessionSpecError> {
+        spec.validate()?;
+        self.validate_against_service(spec)?;
+        Ok(self.run_validated_with(spec.seed, spec, Some(load)))
+    }
+
     /// Runs the same session shape over many seeds, validating once.
     /// The result at position `i` is bit-identical to
     /// `self.run(&spec.with_seed(seeds[i]))`.
@@ -646,10 +662,27 @@ impl SessionHost {
 
     /// The session body. `spec` must already be validated.
     fn run_validated(&mut self, seed: u64, spec: &SessionSpec) -> SessionMetrics {
+        self.run_validated_with(seed, spec, None)
+    }
+
+    /// The session body, optionally under fleet-injected shared load.
+    fn run_validated_with(
+        &mut self,
+        seed: u64,
+        spec: &SessionSpec,
+        fleet: Option<&crate::fleet::FleetLoad>,
+    ) -> SessionMetrics {
         // Per-session mutable service state back to pristine: load counts
         // and failure plans. Everything else on the service is immutable
         // topology or timing-neutral strings.
         self.service.reset_sessions();
+        // Fleet coupling: install the rest of the fleet's state on the
+        // replicas *before* bootstrap. Non-zero load makes
+        // `network_is_idle` false, which also bypasses the bootstrap
+        // cache — loaded networks are never cache-eligible.
+        if let Some(load) = fleet {
+            load.apply(&mut self.service);
+        }
         self.actions.clear();
 
         let mut rng = Prng::new(seed);

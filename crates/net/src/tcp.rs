@@ -43,6 +43,7 @@
 //! [`StableWindow`]: crate::link::StableWindow
 
 pub mod epoch;
+pub mod fluid;
 pub mod rounds;
 
 use crate::cubic::Cubic;

@@ -1,0 +1,173 @@
+//! Flow-level (fluid) transfer approximations built on the epoch engine's
+//! closed forms.
+//!
+//! The epoch engine ([`super::epoch`]) solves whole runs of TCP rounds in
+//! closed form — the geometric slow-start doubling, the CUBIC window
+//! polynomial — but still executes every *chunk* of a session. A fleet
+//! simulation coupling 100k+ concurrent sessions cannot afford even that:
+//! it models each session as a *fluid* that downloads at the min of its
+//! access rate and its fair share of a server's service rate, and only
+//! needs TCP for the one place the fluid picture is wrong — connection
+//! startup, where slow start keeps the flow below its steady rate for a
+//! few RTTs.
+//!
+//! [`startup_ramp`] reuses the doubling progression that the epoch
+//! engine's `solve_slow_start_doubling` commits round by round: doubling
+//! round `j` offers `iw · 2^(j-1)` packets, so after
+//! `r = ⌈log2(target / iw)⌉` rounds the window covers the
+//! bandwidth-delay product and the flow runs at rate. The helper returns
+//! that ramp's latency and byte deficit in closed form, which a fluid
+//! session charges once as startup overhead instead of simulating rounds.
+
+use msim_core::time::SimDuration;
+use msim_core::units::{BitRate, ByteSize};
+
+use super::TcpConfig;
+
+/// Closed-form startup cost of a fresh flow that will stream at `rate`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FluidRamp {
+    /// Handshake + request + slow-start rounds until the window covers the
+    /// bandwidth-delay product: the delay before the flow behaves like a
+    /// fluid running at `rate`.
+    pub latency: SimDuration,
+    /// Bytes delivered *during* the doubling rounds — the flow is not idle
+    /// while ramping, so callers credit these against the first transfer.
+    pub ramp_bytes: ByteSize,
+    /// Number of doubling rounds the ramp spans.
+    pub rounds: u32,
+}
+
+/// How long a fresh connection needs before it streams at `rate`, and how
+/// many bytes arrive while it gets there.
+///
+/// The model is the epoch engine's slow-start geometry: the window starts
+/// at `initial_cwnd_pkts · mss` bytes and doubles once per RTT until it
+/// covers `min(BDP, rwnd)`; the handshake and the request each cost one
+/// more RTT. Doubling round `j` delivers `iw · 2^(j-1)` bytes, so the
+/// whole ramp delivers `iw · (2^r − 1)` — the same geometric sum
+/// `solve_slow_start_doubling` replays round by round.
+pub fn startup_ramp(cfg: &TcpConfig, rtt: SimDuration, rate: BitRate) -> FluidRamp {
+    let mss = f64::from(cfg.mss);
+    let iw_bytes = (cfg.initial_cwnd_pkts * mss).max(mss);
+    let bdp_bytes = (rate.bytes_per_sec() * rtt.as_secs_f64()).max(0.0);
+    // The window never needs to exceed the receive window: a flow capped
+    // by rwnd tops out below `rate` and the ramp is over when it gets there.
+    let target = bdp_bytes.min(cfg.rwnd_bytes as f64);
+    let mut rounds = 0u32;
+    let mut window = iw_bytes;
+    while window < target && rounds < 32 {
+        window *= 2.0;
+        rounds += 1;
+    }
+    let ramp_bytes = iw_bytes * (((1u64 << rounds) - 1) as f64);
+    FluidRamp {
+        latency: rtt.mul_f64(2.0 + f64::from(rounds)),
+        ramp_bytes: ByteSize::bytes(ramp_bytes as u64),
+        rounds,
+    }
+}
+
+/// Fluid estimate of one transfer's duration: the startup ramp, then the
+/// remaining bytes at `rate`. Transfers that finish inside the ramp are
+/// charged whole doubling rounds (the round that delivers the last byte
+/// still costs a full RTT).
+pub fn transfer_time(
+    cfg: &TcpConfig,
+    rtt: SimDuration,
+    rate: BitRate,
+    size: ByteSize,
+) -> SimDuration {
+    if rate.as_bps() <= 0.0 {
+        return SimDuration::MAX;
+    }
+    let ramp = startup_ramp(cfg, rtt, rate);
+    let size_f = size.as_f64();
+    if size_f <= ramp.ramp_bytes.as_f64() {
+        let mss = f64::from(cfg.mss);
+        let iw_bytes = (cfg.initial_cwnd_pkts * mss).max(mss);
+        // Smallest j with iw·(2^j − 1) ≥ size: the doubling round whose
+        // cumulative geometric sum covers the request.
+        let mut j = 0u32;
+        while iw_bytes * (((1u64 << j) - 1) as f64) < size_f && j < 32 {
+            j += 1;
+        }
+        return rtt.mul_f64(2.0 + f64::from(j));
+    }
+    let steady = (size_f - ramp.ramp_bytes.as_f64()) / rate.bytes_per_sec();
+    ramp.latency + SimDuration::from_secs_f64(steady)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TcpConfig {
+        TcpConfig::default()
+    }
+
+    #[test]
+    fn no_doubling_when_bdp_fits_the_initial_window() {
+        // 1 Mbps × 20 ms = 2.5 KB BDP, well under IW10 ≈ 14.5 KB.
+        let ramp = startup_ramp(&cfg(), SimDuration::from_millis(20), BitRate::mbps(1.0));
+        assert_eq!(ramp.rounds, 0);
+        assert_eq!(ramp.ramp_bytes, ByteSize::ZERO);
+        assert_eq!(ramp.latency, SimDuration::from_millis(40), "2 RTTs");
+    }
+
+    #[test]
+    fn rounds_grow_logarithmically_with_rate() {
+        let rtt = SimDuration::from_millis(50);
+        let slow = startup_ramp(&cfg(), rtt, BitRate::mbps(10.0));
+        let fast = startup_ramp(&cfg(), rtt, BitRate::mbps(40.0));
+        assert_eq!(fast.rounds, slow.rounds + 2, "4x the rate = 2 doublings");
+        assert!(fast.latency > slow.latency);
+    }
+
+    #[test]
+    fn ramp_bytes_follow_the_geometric_sum() {
+        let rtt = SimDuration::from_millis(50);
+        let ramp = startup_ramp(&cfg(), rtt, BitRate::mbps(20.0));
+        let iw = cfg().initial_cwnd_pkts * f64::from(cfg().mss);
+        let expect = iw * (((1u64 << ramp.rounds) - 1) as f64);
+        assert_eq!(ramp.ramp_bytes.as_u64(), expect as u64);
+    }
+
+    #[test]
+    fn rwnd_caps_the_ramp() {
+        let mut c = cfg();
+        c.rwnd_bytes = 64 * 1024;
+        let rtt = SimDuration::from_millis(100);
+        let capped = startup_ramp(&c, rtt, BitRate::mbps(100.0));
+        let free = startup_ramp(&cfg(), rtt, BitRate::mbps(100.0));
+        assert!(capped.rounds < free.rounds);
+    }
+
+    #[test]
+    fn transfer_time_bounds() {
+        let rtt = SimDuration::from_millis(50);
+        let rate = BitRate::mbps(5.0);
+        let size = ByteSize::mb(1);
+        let t = transfer_time(&cfg(), rtt, rate, size);
+        let ideal = size.as_f64() / rate.bytes_per_sec();
+        assert!(t.as_secs_f64() > ideal, "startup costs something");
+        assert!(
+            t.as_secs_f64() < ideal + 1.0,
+            "but only RTT-scale overhead: {t}"
+        );
+        // Tiny transfer: finishes inside the ramp, RTT-dominated.
+        let tiny = transfer_time(&cfg(), rtt, rate, ByteSize::kb(4));
+        assert_eq!(tiny, rtt.mul_f64(3.0), "one doubling round past setup");
+    }
+
+    #[test]
+    fn dead_rate_never_finishes() {
+        let t = transfer_time(
+            &cfg(),
+            SimDuration::from_millis(50),
+            BitRate::bps(0.0),
+            ByteSize::kb(64),
+        );
+        assert_eq!(t, SimDuration::MAX);
+    }
+}

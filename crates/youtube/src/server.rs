@@ -72,10 +72,16 @@ pub struct VideoServer {
     /// if its session capacity were exhausted (chaos injection).
     overload: FailurePlan,
     pace: Option<PacePolicy>,
+    /// Per-run pacing override (fleet capacity share); cleared by
+    /// [`VideoServer::reset_session_state`], wins over `pace` while set.
+    pace_override: Option<PacePolicy>,
     /// Sessions currently assigned (for load-aware selection).
     active_sessions: u32,
     /// Sessions beyond which the server responds with 503.
     session_capacity: u32,
+    /// Aggregate service rate the server can sustain across all its
+    /// sessions; `None` models an uncapacitated replica (the default).
+    service_rate: Option<BitRate>,
 }
 
 impl VideoServer {
@@ -89,8 +95,10 @@ impl VideoServer {
             failure: FailurePlan::none(),
             overload: FailurePlan::none(),
             pace: None,
+            pace_override: None,
             active_sessions: 0,
             session_capacity: 64,
+            service_rate: None,
         }
     }
 
@@ -123,14 +131,62 @@ impl VideoServer {
         self
     }
 
-    /// The pacing policy, if any.
+    /// Replaces the 503 threshold in place (fleet admission under shared
+    /// load).
+    pub fn set_session_capacity(&mut self, cap: u32) {
+        self.session_capacity = cap;
+    }
+
+    /// The current 503 threshold.
+    pub fn session_capacity(&self) -> u32 {
+        self.session_capacity
+    }
+
+    /// Declares the aggregate service rate the replica can sustain.
+    pub fn set_service_rate(&mut self, rate: Option<BitRate>) {
+        self.service_rate = rate;
+    }
+
+    /// The aggregate service rate, if capacitated.
+    pub fn service_rate(&self) -> Option<BitRate> {
+        self.service_rate
+    }
+
+    /// The fair per-session share of the service rate if one more session
+    /// joined now; `None` for an uncapacitated replica.
+    pub fn share_with_one_more(&self) -> Option<BitRate> {
+        self.service_rate
+            .map(|c| BitRate::bps(c.as_bps() / f64::from(self.active_sessions + 1)))
+    }
+
+    /// Can the replica sustain one more session streaming at `rate`?
+    /// Always true for uncapacitated replicas.
+    pub fn can_sustain(&self, rate: BitRate) -> bool {
+        self.share_with_one_more()
+            .is_none_or(|share| share.as_bps() >= rate.as_bps())
+    }
+
+    /// Installs (or clears) a per-run pacing override: the fleet's way of
+    /// charging a session its capacity share. Cleared by
+    /// [`VideoServer::reset_session_state`].
+    pub fn set_pace_override(&mut self, pace: Option<PacePolicy>) {
+        self.pace_override = pace;
+    }
+
+    /// The pacing policy in force: the fleet override when set, the
+    /// configured Trickle policy otherwise.
     pub fn pace(&self) -> Option<PacePolicy> {
-        self.pace
+        self.pace_override.or(self.pace)
     }
 
     /// Current session count.
     pub fn load(&self) -> u32 {
         self.active_sessions
+    }
+
+    /// Force the session count (fleet-injected shared load).
+    pub fn set_load(&mut self, n: u32) {
+        self.active_sessions = n;
     }
 
     /// Registers a streaming session.
@@ -150,6 +206,7 @@ impl VideoServer {
         self.active_sessions = 0;
         self.failure = FailurePlan::none();
         self.overload = FailurePlan::none();
+        self.pace_override = None;
     }
 
     /// Is the server inside a failure window at `t`?
@@ -295,6 +352,45 @@ mod tests {
         assert_eq!(s.load(), 0);
         s.begin_session();
         assert_eq!(s.load(), 1);
+    }
+
+    #[test]
+    fn capacity_share_and_admission() {
+        let mut s = server();
+        assert!(s.can_sustain(BitRate::mbps(100.0)), "uncapacitated");
+        assert_eq!(s.share_with_one_more(), None);
+        s.set_service_rate(Some(BitRate::mbps(10.0)));
+        assert!(
+            s.can_sustain(BitRate::mbps(10.0)),
+            "first session gets it all"
+        );
+        s.begin_session();
+        s.begin_session();
+        s.begin_session();
+        // 10 Mbps over 4 sessions = 2.5 Mbps each.
+        assert!(s.can_sustain(BitRate::mbps(2.5)));
+        assert!(!s.can_sustain(BitRate::mbps(3.0)));
+        assert_eq!(s.share_with_one_more().unwrap().as_mbps(), 2.5);
+    }
+
+    #[test]
+    fn pace_override_wins_and_resets() {
+        let mut s = server().with_pacing(PacePolicy {
+            burst: ByteSize::kb(512),
+            rate: BitRate::mbps(8.0),
+        });
+        let share = PacePolicy {
+            burst: ByteSize::kb(64),
+            rate: BitRate::mbps(2.0),
+        };
+        s.set_pace_override(Some(share));
+        assert_eq!(s.pace(), Some(share));
+        s.reset_session_state();
+        assert_eq!(
+            s.pace().unwrap().rate.as_mbps(),
+            8.0,
+            "configured policy back"
+        );
     }
 
     #[test]

@@ -149,6 +149,19 @@ impl YoutubeService {
         self.servers.iter().find(|s| s.domain == domain)
     }
 
+    /// Mutable access to `network`'s `replica`-th server in id order —
+    /// the stable addressing a fleet uses to inject shared load without
+    /// knowing the service's subnet scheme.
+    pub fn replica_mut(&mut self, network: Network, replica: u32) -> Option<&mut VideoServer> {
+        let mut list: Vec<&mut VideoServer> = self
+            .servers
+            .iter_mut()
+            .filter(|s| s.network == network)
+            .collect();
+        list.sort_by_key(|s| s.id);
+        list.into_iter().nth(replica as usize)
+    }
+
     /// True when no server in `network` carries an active session — the
     /// precondition under which a watch request's JSON is a pure function
     /// of `(network, client_ip, now)` (load-aware server ordering cannot

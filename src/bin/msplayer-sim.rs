@@ -11,6 +11,7 @@
 
 use msplayer::core::chaos::{check_invariants, ChaosPlan};
 use msplayer::core::config::{PlayerConfig, SchedulerKind};
+use msplayer::core::fleet::{FleetHost, FleetMode, FleetSpec, SelectionPolicy};
 use msplayer::core::metrics::{SessionMetrics, TrafficPhase};
 use msplayer::core::sim::{run_session, Scenario, SessionHost, StopCondition};
 use msplayer::core::trace::render_timeline;
@@ -32,6 +33,10 @@ struct Options {
     runs: u64,
     trace: bool,
     chaos: String, // chaos plan / preset; empty = fault-free
+    fleet: bool,
+    fleet_sessions: u64,
+    fleet_mode: FleetMode,
+    fleet_policy: SelectionPolicy,
 }
 
 impl Default for Options {
@@ -47,6 +52,10 @@ impl Default for Options {
             runs: 1,
             trace: false,
             chaos: String::new(),
+            fleet: false,
+            fleet_sessions: 2_000,
+            fleet_mode: FleetMode::Fluid,
+            fleet_policy: SelectionPolicy::LoadBalanced,
         }
     }
 }
@@ -67,10 +76,22 @@ OPTIONS
     --chaos <PLAN>                 chaos preset or plan string, e.g.
                                    kitchen-sink or
                                    'skew:+250ms;overload:path=1,from=1s,until=10s'
+    --fleet                        run a coupled fleet population instead
+                                   of single sessions
+    --fleet-sessions <N>           population size               [2000]
+    --fleet-mode <fluid|exact>     fleet backend                 [fluid]
+    --fleet-policy <cheapest-feasible|load-balanced|qoe-first>
+                                   server-selection policy  [load-balanced]
     --help                         this text
 
 Any chaos-corpus case replays in one command:
     msplayer-sim --seed <case seed> --chaos '<case plan>'
+
+Fleet mode couples every session through shared replica capacity
+(--chaos fleet plans like capacity-crunch apply fleet-wide); exact mode
+runs full per-chunk sessions on the scenario picked by --env/--player:
+    msplayer-sim --fleet --fleet-sessions 50000 --fleet-policy qoe-first
+    msplayer-sim --fleet --fleet-mode exact --fleet-sessions 16
 ";
 
 /// Parses a size like `64K`, `1M`, `256K`, or plain bytes.
@@ -111,6 +132,26 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = value()?;
                 ChaosPlan::preset(&v).map_err(|e| format!("--chaos: {e}"))?;
                 opt.chaos = v;
+            }
+            "--fleet" => opt.fleet = true,
+            "--fleet-sessions" => {
+                opt.fleet_sessions = value()?
+                    .parse()
+                    .map_err(|e| format!("--fleet-sessions: {e}"))?
+            }
+            "--fleet-mode" => {
+                let v = value()?;
+                opt.fleet_mode = FleetMode::parse(&v)
+                    .ok_or_else(|| format!("--fleet-mode: unknown mode {v:?} (fluid, exact)"))?
+            }
+            "--fleet-policy" => {
+                let v = value()?;
+                opt.fleet_policy = SelectionPolicy::parse(&v).ok_or_else(|| {
+                    format!(
+                        "--fleet-policy: unknown policy {v:?} ({})",
+                        SelectionPolicy::ALL.map(|p| p.name()).join(", ")
+                    )
+                })?
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
@@ -187,6 +228,82 @@ fn run_one(opt: &Options, seed: u64) -> SessionMetrics {
     }
 }
 
+/// Builds the fleet spec implied by the CLI options: fluid mode uses the
+/// default mixed-access population, exact mode drives full per-chunk
+/// sessions of the `--env`/`--player` scenario.
+fn fleet_spec_for(opt: &Options) -> FleetSpec {
+    let mut spec = match opt.fleet_mode {
+        FleetMode::Fluid => FleetSpec::fluid(opt.seed, opt.fleet_sessions),
+        FleetMode::Exact => FleetSpec::exact(scenario_for(opt, opt.seed), opt.fleet_sessions),
+    };
+    spec.policy = opt.fleet_policy;
+    if !opt.chaos.is_empty() {
+        spec.chaos =
+            Some(ChaosPlan::preset(&opt.chaos).expect("plan validated during arg parsing"));
+    }
+    spec
+}
+
+/// Runs the coupled fleet population and prints its summary; returns the
+/// exit code.
+fn run_fleet_mode(opt: &Options) -> i32 {
+    let spec = fleet_spec_for(opt);
+    let mut host = match FleetHost::new(spec) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("invalid fleet spec: {e}");
+            return 2;
+        }
+    };
+    let m = host.run();
+    let (cost, qoe) = m.cost_qoe();
+    println!(
+        "fleet ({}, {}): {} sessions, peak {} concurrent, {} events",
+        m.mode.name(),
+        m.policy.name(),
+        m.sessions,
+        m.peak_concurrent,
+        m.events
+    );
+    println!(
+        "  completed {}, rejected {}, stalled {} ({:.1}s total stall)",
+        m.completed, m.rejected, m.stalled_sessions, m.total_stall_secs
+    );
+    println!(
+        "  startup p50 {:.2}s p95 {:.2}s, served {:.2} GB",
+        m.startup_p50_secs,
+        m.startup_p95_secs,
+        m.total_served_bytes as f64 / 1e9
+    );
+    println!("  cost {cost:.2}, mean QoE {qoe:.2}");
+    for s in &m.servers {
+        let mean_util = if s.utilization.is_empty() {
+            0.0
+        } else {
+            s.utilization.iter().sum::<f64>() / s.utilization.len() as f64
+        };
+        println!(
+            "  server {}: peak {} sessions, mean util {:.1}%, served {:.2} GB, cost {:.2}",
+            s.server,
+            s.peak_sessions,
+            mean_util * 100.0,
+            s.served_bytes as f64 / 1e9,
+            s.cost
+        );
+    }
+    for b in m.rebuffer_vs_load.iter().filter(|b| b.sessions > 0) {
+        println!(
+            "  load {:.1}-{:.1}: {} sessions, stall fraction {:.3}, {} rejected",
+            b.demand_lo,
+            b.demand_hi,
+            b.sessions,
+            b.stall_fraction(),
+            b.rejected
+        );
+    }
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opt = match parse_args(&args) {
@@ -196,6 +313,9 @@ fn main() {
             std::process::exit(if msg == USAGE { 0 } else { 2 });
         }
     };
+    if opt.fleet {
+        std::process::exit(run_fleet_mode(&opt));
+    }
 
     let mut prebuffer_stats = Running::new();
     let mut prebuffer_samples = Vec::new();
@@ -346,6 +466,42 @@ mod tests {
             33,
         );
         assert_ne!(a, clean, "the plan must perturb the session");
+    }
+
+    #[test]
+    fn fleet_flags_parse_and_reject_garbage() {
+        let o = parse_args(&args(
+            "--fleet --fleet-sessions 500 --fleet-mode exact --fleet-policy load-balanced",
+        ))
+        .unwrap();
+        assert!(o.fleet);
+        assert_eq!(o.fleet_sessions, 500);
+        assert_eq!(o.fleet_mode, FleetMode::Exact);
+        assert_eq!(o.fleet_policy, SelectionPolicy::LoadBalanced);
+        assert!(parse_args(&args("--fleet-mode plasma")).is_err());
+        assert!(parse_args(&args("--fleet-policy dartboard")).is_err());
+    }
+
+    #[test]
+    fn fleet_specs_build_for_both_modes() {
+        let fluid = Options {
+            fleet: true,
+            fleet_sessions: 50,
+            fleet_policy: SelectionPolicy::QoeFirst,
+            ..Options::default()
+        };
+        FleetHost::new(fleet_spec_for(&fluid)).expect("fluid CLI spec validates");
+        let exact = Options {
+            fleet: true,
+            fleet_sessions: 4,
+            fleet_mode: FleetMode::Exact,
+            ..Options::default()
+        };
+        let m = FleetHost::new(fleet_spec_for(&exact))
+            .expect("exact CLI spec validates")
+            .run();
+        assert_eq!(m.sessions, 4);
+        assert_eq!(m.completed + m.rejected, 4);
     }
 
     #[test]

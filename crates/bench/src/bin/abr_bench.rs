@@ -49,16 +49,20 @@ fn main() {
     // sessions never do; time-weighted bitrates stay inside the ladder.
     let total_switches: u32 = closed_results
         .iter()
-        .filter_map(|r| r.metrics.abr_qoe.map(|q| q.switches))
+        .filter_map(|r| r.expect_metrics().abr_qoe.map(|q| q.switches))
         .sum();
     let switched_sessions = closed_results
         .iter()
-        .filter(|r| r.metrics.abr_qoe.is_some_and(|q| q.switches > 0))
+        .filter(|r| r.expect_metrics().abr_qoe.is_some_and(|q| q.switches > 0))
         .count();
     let mean_switches = total_switches as f64 / closed_results.len() as f64;
     let twa: Vec<f64> = closed_results
         .iter()
-        .filter_map(|r| r.metrics.abr_qoe.map(|q| q.time_weighted_bitrate_bps))
+        .filter_map(|r| {
+            r.expect_metrics()
+                .abr_qoe
+                .map(|q| q.time_weighted_bitrate_bps)
+        })
         .collect();
     let (twa_min, twa_max) = twa
         .iter()
@@ -76,8 +80,8 @@ fn main() {
     assert!(
         shadow_results
             .iter()
-            .all(|r| r.metrics.abr_qoe.is_none()
-                && r.metrics.abr_decisions.iter().all(|d| !d.switched)),
+            .all(|r| r.expect_metrics().abr_qoe.is_none()
+                && r.expect_metrics().abr_decisions.iter().all(|d| !d.switched)),
         "shadow cells must never switch"
     );
 

@@ -18,7 +18,14 @@
 //!   `event_queue_bench` and `transfer_bench`);
 //! * fleet reports (a `headline` object plus a `frontier` array, as
 //!   written by `fleet_bench`): the headline population, the
-//!   Pareto-frontier cells of the cost-vs-QoE grid, and the exact anchor.
+//!   Pareto-frontier cells of the cost-vs-QoE grid, and the exact anchor;
+//! * distributed-sweep artifacts (`schema: "cluster-sweep"` /
+//!   `"cluster-provenance"`, as written by `msplayer-sweepd`): the
+//!   deterministic fingerprints, and the shard/fault provenance.
+//!
+//! Partial artifacts — a bench killed mid-write, a truncated upload, or
+//! a run flushed by Ctrl-C (`interrupted: true`) — degrade to marker
+//! rows instead of sinking the report.
 
 use msim_json::Value;
 use std::fmt::Write as _;
@@ -38,6 +45,63 @@ fn fmt_rate(v: f64) -> String {
 /// this report does not understand.
 fn rows_for(name: &str, v: &Value) -> Option<Vec<String>> {
     let mut rows = Vec::new();
+    // An artifact flushed by an interrupted run is still rendered, but
+    // marked so the trend diff can't silently pass off partial numbers
+    // as a full run.
+    if v.get("interrupted").and_then(Value::as_bool) == Some(true) {
+        rows.push(format!(
+            "| {name} | (partial — run interrupted before completion) | — | |"
+        ));
+    }
+    match v.get("schema").and_then(Value::as_str) {
+        // The distributed sweep's deterministic artifact: identity is
+        // the whole point, so the fingerprints are the trend row.
+        Some("cluster-sweep") => {
+            let sessions = v.get("sessions").and_then(Value::as_u64).unwrap_or(0);
+            let sweep_fp = v
+                .get("sweep_fingerprint")
+                .and_then(Value::as_str)
+                .unwrap_or("?");
+            let manifest_fp = v
+                .get("manifest_fingerprint")
+                .and_then(Value::as_str)
+                .unwrap_or("?");
+            rows.push(format!(
+                "| {name} | cluster sweep: {sessions} cells | — | sweep fp \
+                 `{sweep_fp}`, manifest fp `{manifest_fp}` |"
+            ));
+            return Some(rows);
+        }
+        // The nondeterministic side: who ran what, and how much fault
+        // handling the run needed.
+        Some("cluster-provenance") => {
+            let shards = v
+                .get("shards")
+                .and_then(Value::as_array)
+                .map(|s| s.len())
+                .unwrap_or(0);
+            let resumed = v.get("resumed_shards").and_then(Value::as_u64).unwrap_or(0);
+            let counter = |k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+            let completed = v.get("completed").and_then(Value::as_bool) == Some(true);
+            let violations = v
+                .get("violations")
+                .and_then(Value::as_array)
+                .map(|a| a.len())
+                .unwrap_or(0);
+            rows.push(format!(
+                "| {name} | cluster provenance: {shards} shards ({} workers{}) | — | \
+                 {} reassigned, {} duplicate, {} inline, {resumed} resumed, \
+                 {violations} violation(s) |",
+                counter("workers"),
+                if completed { "" } else { ", INCOMPLETE" },
+                counter("reassignments"),
+                counter("duplicates"),
+                counter("inline_runs"),
+            ));
+            return Some(rows);
+        }
+        _ => {}
+    }
     if let Some(patterns) = v.get("patterns").and_then(Value::as_array) {
         for p in patterns {
             let pattern = p.get("pattern").and_then(Value::as_str).unwrap_or("?");
@@ -157,7 +221,13 @@ fn rows_for(name: &str, v: &Value) -> Option<Vec<String>> {
         }
         return Some(rows);
     }
-    None
+    // A partial artifact whose sections were all cut off still renders
+    // its marker row rather than "unrecognised schema".
+    if rows.is_empty() {
+        None
+    } else {
+        Some(rows)
+    }
 }
 
 fn main() {

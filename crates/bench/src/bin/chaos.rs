@@ -112,6 +112,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 fn main() {
+    msim_testbed::install_shutdown_handler();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
         Ok(o) => o,
@@ -187,6 +188,10 @@ fn main() {
     match std::fs::write(&path, msim_json::to_string_pretty(&summary.to_json())) {
         Ok(()) => println!("[chaos] {}", path.display()),
         Err(e) => eprintln!("[chaos] could not write summary: {e}"),
+    }
+    if msim_testbed::shutdown_requested() {
+        eprintln!("[chaos] interrupted — partial summary flushed");
+        std::process::exit(msim_testbed::signal::SIGINT_EXIT);
     }
     if !summary.violating.is_empty() {
         std::process::exit(1);

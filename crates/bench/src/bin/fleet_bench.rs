@@ -84,7 +84,20 @@ fn metrics_json(m: &FleetMetrics, wall_secs: f64) -> msim_json::Value {
         .with("rebuffer_vs_load", msim_json::Value::Array(bins))
 }
 
+/// Writes whatever sections finished before the interrupt and exits 130,
+/// so a Ctrl-C'd run still leaves a parseable (marked-partial) artifact.
+fn flush_interrupted(json: msim_json::Value) -> ! {
+    let path = bench_dir().join("BENCH_fleet.json");
+    let partial = json.with("interrupted", true);
+    match std::fs::write(&path, msim_json::to_string_pretty(&partial)) {
+        Ok(()) => eprintln!("[bench] interrupted — partial artifact {}", path.display()),
+        Err(e) => eprintln!("[bench] interrupted; could not write partial artifact: {e}"),
+    }
+    std::process::exit(msim_testbed::signal::SIGINT_EXIT);
+}
+
 fn main() {
+    msim_testbed::install_shutdown_handler();
     let headline_sessions = env_sessions("MSP_FLEET_SESSIONS", 120_000);
     let frontier_sessions = env_sessions("MSP_FLEET_FRONTIER_SESSIONS", 20_000);
     let exact_sessions = env_sessions("MSP_FLEET_EXACT_SESSIONS", 32);
@@ -108,12 +121,28 @@ fn main() {
         headline.total_served_bytes as f64 / 1e9,
     );
 
+    if msim_testbed::shutdown_requested() {
+        flush_interrupted(
+            msim_json::Value::object()
+                .with("name", "fleet")
+                .with("headline", metrics_json(&headline, headline_wall)),
+        );
+    }
+
     // Frontier: policy × capacity grid.
     let mut frontier_rows: Vec<msim_json::Value> = Vec::new();
     let mut points: Vec<(f64, f64)> = Vec::new();
     let cases = frontier_specs(frontier_sessions);
     let mut case_meta: Vec<(String, f64)> = Vec::new();
     for case in cases {
+        if msim_testbed::shutdown_requested() {
+            flush_interrupted(
+                msim_json::Value::object()
+                    .with("name", "fleet")
+                    .with("headline", metrics_json(&headline, headline_wall))
+                    .with("frontier", msim_json::Value::Array(frontier_rows)),
+            );
+        }
         let mut host = FleetHost::new(case.spec).expect("frontier spec validates");
         let t0 = Instant::now();
         let m = host.run();
@@ -150,6 +179,15 @@ fn main() {
             .collect::<Vec<_>>()
             .join(" -> ")
     );
+
+    if msim_testbed::shutdown_requested() {
+        flush_interrupted(
+            msim_json::Value::object()
+                .with("name", "fleet")
+                .with("headline", metrics_json(&headline, headline_wall))
+                .with("frontier", msim_json::Value::Array(frontier_rows)),
+        );
+    }
 
     // Exact anchor: per-chunk sessions under shared load.
     let mut host = FleetHost::new(exact_anchor_spec(exact_sessions)).expect("exact anchor");

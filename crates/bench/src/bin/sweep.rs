@@ -20,10 +20,12 @@
 //! 1 otherwise.
 
 use msim_core::stats::median;
+use msim_testbed::{install_shutdown_handler, shutdown_requested};
 use msplayer_bench::chaos::{run_case, ChaosCase};
 use msplayer_bench::runs;
 use msplayer_bench::sweep::{
-    run_parallel, run_serial, threads, write_bench_json, BenchReport, SweepSpec,
+    run_parallel_with, run_serial_with, threads, write_bench_json, BenchReport, SweepOptions,
+    SweepSpec,
 };
 use msplayer_bench::workload::WorkloadRegistry;
 
@@ -121,14 +123,19 @@ fn main() {
             std::process::exit(2);
         }
     }
+    install_shutdown_handler();
     let spec = SweepSpec::fig3(runs());
     let cells = spec.cells();
     let n_threads = threads();
+    let opts = SweepOptions::from_env();
     println!(
-        "sweep: {} cells (fig3-style: {} runs/cell), {} worker threads",
+        "sweep: {} cells (fig3-style: {} runs/cell), {} worker threads{}",
         cells.len(),
         runs(),
-        n_threads
+        n_threads,
+        opts.cell_budget
+            .map(|b| format!(", {:.3}s/cell watchdog", b.as_secs_f64()))
+            .unwrap_or_default(),
     );
 
     // Warm up both execution paths with a full pass each: the first
@@ -139,23 +146,38 @@ fn main() {
         .map(|v| v != "0")
         .unwrap_or(true);
     if warmup {
-        let _ = run_parallel(&cells, n_threads);
-        let _ = run_serial(&cells);
+        let _ = run_parallel_with(&cells, n_threads, &opts);
+        let _ = run_serial_with(&cells, &opts);
     }
 
     let (serial_report, serial) =
-        BenchReport::measure("sweep_fig3_serial", 1, || run_serial(&cells));
+        BenchReport::measure("sweep_fig3_serial", 1, || run_serial_with(&cells, &opts));
+    // SIGINT/SIGTERM between phases: flush the artifact we have and exit
+    // with the interrupted status instead of starting the parallel pass.
+    if shutdown_requested() {
+        let path = write_bench_json(&serial_report).expect("write bench json");
+        eprintln!("sweep: interrupted — flushed partial {}", path.display());
+        std::process::exit(msim_testbed::signal::SIGINT_EXIT);
+    }
     let (mut parallel_report, parallel) =
         BenchReport::measure("sweep_fig3_parallel", n_threads, || {
-            run_parallel(&cells, n_threads)
+            run_parallel_with(&cells, n_threads, &opts)
         });
     parallel_report.serial_wall_secs = Some(serial_report.wall_secs);
 
-    assert_eq!(
-        serial, parallel,
-        "parallel sweep must be bit-identical to serial"
-    );
-    println!("determinism: parallel output bit-identical to serial ✓");
+    if opts.cell_budget.is_none() {
+        assert_eq!(
+            serial, parallel,
+            "parallel sweep must be bit-identical to serial"
+        );
+        println!("determinism: parallel output bit-identical to serial ✓");
+    } else {
+        // Watchdog rows are wall-clock dependent, so serial/parallel
+        // bit-identity only applies to the cells both runs completed.
+        for r in serial.iter().chain(&parallel).filter(|r| r.timed_out()) {
+            println!("watchdog: cell timed out — repro: {}", r.cell.repro());
+        }
+    }
 
     for report in [&serial_report, &parallel_report] {
         println!(
@@ -190,7 +212,11 @@ fn main() {
             r.cell.chunk_kb == 256
                 && r.cell.scheduler == msplayer_core::config::SchedulerKind::Harmonic
         })
-        .filter_map(|r| r.metrics.prebuffer_time().map(|t| t.as_secs_f64()))
+        .filter_map(|r| {
+            r.metrics()
+                .and_then(|m| m.prebuffer_time())
+                .map(|t| t.as_secs_f64())
+        })
         .collect();
     if !harmonic_256.is_empty() {
         println!(

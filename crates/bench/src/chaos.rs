@@ -366,6 +366,10 @@ impl ExploreSummary {
 /// plan × workload grid, collecting (and optionally recording) every
 /// violating triple. Grid order is workloads → plans → seeds, so the
 /// case stream — and therefore the verdict stream — is reproducible.
+///
+/// Stops between cases when a shutdown was requested (see
+/// [`msim_testbed::signal`]), returning the partial summary so the
+/// caller can still flush its artifacts.
 pub fn explore(registry: &WorkloadRegistry, cfg: &ExploreConfig) -> ExploreSummary {
     let mut summary = ExploreSummary {
         window: cfg.window,
@@ -375,7 +379,7 @@ pub fn explore(registry: &WorkloadRegistry, cfg: &ExploreConfig) -> ExploreSumma
         recorded: Vec::new(),
     };
     let mut iteration: u64 = 0;
-    for workload_name in &cfg.workloads {
+    'grid: for workload_name in &cfg.workloads {
         let Some(base) = registry.by_name(workload_name) else {
             summary.skipped_points += cfg.plans.len() as u64;
             continue;
@@ -390,6 +394,9 @@ pub fn explore(registry: &WorkloadRegistry, cfg: &ExploreConfig) -> ExploreSumma
                 continue;
             }
             for i in 0..cfg.seeds_per_point {
+                if msim_testbed::shutdown_requested() {
+                    break 'grid;
+                }
                 let case = ChaosCase {
                     workload: workload_name.clone(),
                     scheduler: base.schedulers[0].name().to_string(),

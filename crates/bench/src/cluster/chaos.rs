@@ -1,0 +1,466 @@
+//! Self-chaos for the sweep service: seeded fault schedules, replayable
+//! violations.
+//!
+//! Each case derives — deterministically from one seed — a cluster shape
+//! (worker count, shard size), a fault schedule (which workers crash,
+//! stall, corrupt, or duplicate, and when), and optionally a simulated
+//! coordinator crash (`stop_after`) followed by a checkpoint resume. The
+//! case then runs a **real** coordinator with **real** worker processes
+//! and asserts the two invariants the service stakes its name on:
+//!
+//! 1. the merged artifact is bit-identical to the serial in-process
+//!    reference, and
+//! 2. no duplicate completion ever disagreed about a digest.
+//!
+//! Violating seeds are recorded as JSON cases under
+//! `tests/cluster_corpus/` (same pattern as the session-level chaos
+//! corpus) and replayed forever by `tests/cluster_corpus.rs`.
+
+use super::coordinator::{run_cluster, serial_artifact, ClusterConfig, Transport};
+use super::manifest::SweepManifest;
+use super::merge::fnv1a;
+use super::worker::WorkerChaos;
+use msim_json::Value;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Salt for the cluster chaos seed stream (distinct from both the bench
+/// seeds and the session-chaos explorer).
+pub const CLUSTER_CHAOS_SALT: u64 = 0xC1_05_7E_12;
+
+/// The seed of cluster-chaos iteration `i` in rotation `window`.
+pub fn cluster_seed(window: u64, i: u64) -> u64 {
+    crate::BASE_SEED
+        ^ CLUSTER_CHAOS_SALT
+        ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ window.wrapping_mul(0xD6E8_FEB8_6659_FD93)
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One replayable cluster-chaos case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterChaosCase {
+    /// The deriving seed.
+    pub seed: u64,
+    /// Worker count.
+    pub workers: u64,
+    /// Cells per shard.
+    pub shard_cells: u64,
+    /// Per-initial-worker chaos directives (`""` = clean worker); see
+    /// [`WorkerChaos::parse`].
+    pub directives: Vec<String>,
+    /// Simulated coordinator crash: abort after this many completions,
+    /// then resume from the checkpoint.
+    pub stop_after: Option<u64>,
+    /// Violations observed when recorded (documentation; replay
+    /// re-derives its own verdict).
+    pub recorded_violations: Vec<String>,
+}
+
+impl ClusterChaosCase {
+    /// Derives the full fault schedule from a seed.
+    pub fn from_seed(seed: u64) -> ClusterChaosCase {
+        let mut s = seed;
+        let workers = 2 + splitmix(&mut s) % 2; // 2–3
+        let shard_cells = 2 + splitmix(&mut s) % 4; // 2–5
+        let directives = (0..workers)
+            .map(|_| {
+                let roll = splitmix(&mut s);
+                let lease = roll >> 8 & 1;
+                match roll % 6 {
+                    0 => String::new(), // clean worker
+                    1 => WorkerChaos {
+                        lease,
+                        kind: super::worker::Misbehavior::CrashAfterCells(splitmix(&mut s) % 3),
+                    }
+                    .to_directive(),
+                    2 => WorkerChaos {
+                        lease,
+                        kind: super::worker::Misbehavior::StallMs(900),
+                    }
+                    .to_directive(),
+                    3 => WorkerChaos {
+                        lease,
+                        kind: super::worker::Misbehavior::CorruptDone,
+                    }
+                    .to_directive(),
+                    4 => WorkerChaos {
+                        lease,
+                        kind: super::worker::Misbehavior::TruncateDone,
+                    }
+                    .to_directive(),
+                    _ => WorkerChaos {
+                        lease,
+                        kind: super::worker::Misbehavior::DuplicateDone,
+                    }
+                    .to_directive(),
+                }
+            })
+            .collect();
+        let stop_after = match splitmix(&mut s) % 3 {
+            0 => Some(1 + splitmix(&mut s) % 2),
+            _ => None,
+        };
+        ClusterChaosCase {
+            seed,
+            workers,
+            shard_cells,
+            directives,
+            stop_after,
+            recorded_violations: Vec::new(),
+        }
+    }
+
+    /// The manifest every chaos case sweeps: one 2-path workload, 2 runs
+    /// — small enough that a case (including its serial reference) runs
+    /// in well under a second of compute.
+    pub fn manifest(&self) -> SweepManifest {
+        SweepManifest {
+            name: format!("cluster_chaos_{:016x}", self.seed),
+            workloads: vec!["testbed/MSPlayer".into()],
+            runs: 2,
+            shard_cells: self.shard_cells,
+        }
+    }
+
+    /// Serializes to the corpus JSON object (seed as hex — JSON numbers
+    /// are lossy above 2^53).
+    pub fn to_json(&self) -> Value {
+        let directives: Vec<Value> = self
+            .directives
+            .iter()
+            .map(|d| Value::String(d.clone()))
+            .collect();
+        let violations: Vec<Value> = self
+            .recorded_violations
+            .iter()
+            .map(|v| Value::String(v.clone()))
+            .collect();
+        let mut v = Value::object()
+            .with("seed", format!("{:016x}", self.seed).as_str())
+            .with("workers", self.workers)
+            .with("shard_cells", self.shard_cells)
+            .with("directives", Value::Array(directives))
+            .with("recorded_violations", Value::Array(violations));
+        if let Some(stop) = self.stop_after {
+            v = v.with("stop_after", stop);
+        }
+        v
+    }
+
+    /// Parses a corpus JSON object.
+    pub fn from_json(v: &Value) -> Result<ClusterChaosCase, String> {
+        let seed = u64::from_str_radix(
+            v.get("seed")
+                .and_then(Value::as_str)
+                .ok_or("cluster case: missing seed")?,
+            16,
+        )
+        .map_err(|e| format!("cluster case: bad seed: {e}"))?;
+        let num = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("cluster case: missing integer {k:?}"))
+        };
+        let strings = |k: &str| -> Result<Vec<String>, String> {
+            match v.get(k) {
+                Some(Value::Array(items)) => items
+                    .iter()
+                    .map(|i| {
+                        i.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| format!("cluster case: non-string entry in {k:?}"))
+                    })
+                    .collect(),
+                Some(_) => Err(format!("cluster case: {k:?} is not an array")),
+                None => Ok(Vec::new()),
+            }
+        };
+        Ok(ClusterChaosCase {
+            seed,
+            workers: num("workers")?,
+            shard_cells: num("shard_cells")?,
+            directives: strings("directives")?,
+            stop_after: v.get("stop_after").and_then(Value::as_u64),
+            recorded_violations: strings("recorded_violations")?,
+        })
+    }
+
+    /// Deterministic corpus filename (FNV-1a over the canonical JSON of
+    /// the identifying fields).
+    pub fn file_name(&self) -> String {
+        let mut identity = self.clone();
+        identity.recorded_violations = Vec::new();
+        let h = fnv1a(msim_json::to_string(&identity.to_json()).into_bytes());
+        format!("case-{h:016x}.json")
+    }
+}
+
+/// The verdict of one cluster-chaos run.
+#[derive(Clone, Debug)]
+pub struct ClusterCaseOutcome {
+    /// Invariant violations (empty = the cluster held).
+    pub violations: Vec<String>,
+    /// Fault counters aggregated across the run (and the resume run, if
+    /// any) — lets callers assert the schedule actually exercised faults.
+    pub stats: super::coordinator::ClusterStats,
+}
+
+impl ClusterCaseOutcome {
+    /// Did the case hold every invariant?
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs one case against a real coordinator + worker processes.
+/// `program` is the `msplayer-sweepd` binary (tests pass
+/// `env!("CARGO_BIN_EXE_msplayer-sweepd")`); `scratch` hosts the
+/// checkpoint journal and is wiped first.
+pub fn run_cluster_case(
+    case: &ClusterChaosCase,
+    program: &Path,
+    scratch: &Path,
+) -> ClusterCaseOutcome {
+    let mut violations = Vec::new();
+    let mut stats = super::coordinator::ClusterStats::default();
+    let manifest = case.manifest();
+    let _ = std::fs::remove_dir_all(scratch);
+    if let Err(e) = std::fs::create_dir_all(scratch) {
+        return ClusterCaseOutcome {
+            violations: vec![format!("setup: scratch dir: {e}")],
+            stats,
+        };
+    }
+    let checkpoint = scratch.join("journal.ndjson");
+
+    let worker_chaos: Vec<Option<WorkerChaos>> = case
+        .directives
+        .iter()
+        .map(|d| {
+            if d.is_empty() {
+                None
+            } else {
+                WorkerChaos::parse(d).ok()
+            }
+        })
+        .collect();
+    let mut config = ClusterConfig::new(manifest.clone(), program.to_path_buf());
+    config.workers = case.workers as usize;
+    config.lease_timeout = Duration::from_millis(400);
+    config.backoff_base = Duration::from_millis(10);
+    config.backoff_cap = Duration::from_millis(100);
+    config.max_attempts = 4;
+    config.checkpoint = Some(checkpoint.clone());
+    config.worker_chaos = worker_chaos;
+    config.stop_after_shards = case.stop_after;
+    config.transport = Transport::Spawn {
+        program: program.to_path_buf(),
+    };
+
+    // Phase 1: the chaotic run (possibly aborted early to simulate a
+    // coordinator crash).
+    let first = match run_cluster(&config) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            return ClusterCaseOutcome {
+                violations: vec![format!("coordinator error: {e}")],
+                stats,
+            }
+        }
+    };
+    violations.extend(first.violations.iter().cloned());
+    accumulate(&mut stats, &first.stats);
+    let final_outcome = if case.stop_after.is_some() {
+        if first.completed {
+            // stop_after larger than the shard count: the run finished
+            // before the simulated crash could fire. Fine — use it.
+            first
+        } else {
+            // Phase 2: resume from the checkpoint with clean workers.
+            config.stop_after_shards = None;
+            config.worker_chaos = Vec::new();
+            match run_cluster(&config) {
+                Ok(outcome) => {
+                    violations.extend(outcome.violations.iter().cloned());
+                    accumulate(&mut stats, &outcome.stats);
+                    if outcome.stats.resumed_shards == 0 && stats.inline_runs == 0 {
+                        violations
+                            .push("resume: second run restored nothing from the checkpoint".into());
+                    }
+                    outcome
+                }
+                Err(e) => {
+                    return ClusterCaseOutcome {
+                        violations: vec![format!("resume coordinator error: {e}")],
+                        stats,
+                    }
+                }
+            }
+        }
+    } else {
+        first
+    };
+
+    if !final_outcome.completed {
+        violations.push("cluster run did not complete".into());
+    }
+    // The headline invariant: merged bytes == serial bytes.
+    match (&final_outcome.artifact, serial_artifact(&manifest)) {
+        (Some(merged), Ok(serial)) => {
+            let merged_bytes = msim_json::to_string_pretty(merged);
+            let serial_bytes = msim_json::to_string_pretty(&serial);
+            if merged_bytes != serial_bytes {
+                violations.push(format!(
+                    "crash-identical merge violated: cluster artifact diverges from the \
+                     serial reference (cluster {} bytes, serial {} bytes)",
+                    merged_bytes.len(),
+                    serial_bytes.len()
+                ));
+            }
+        }
+        (None, _) => {} // already reported as not-completed
+        (_, Err(e)) => violations.push(format!("serial reference failed: {e}")),
+    }
+
+    let _ = std::fs::remove_dir_all(scratch);
+    ClusterCaseOutcome { violations, stats }
+}
+
+fn accumulate(
+    into: &mut super::coordinator::ClusterStats,
+    from: &super::coordinator::ClusterStats,
+) {
+    into.reassignments += from.reassignments;
+    into.duplicates += from.duplicates;
+    into.protocol_errors += from.protocol_errors;
+    into.respawns += from.respawns;
+    into.inline_runs += from.inline_runs;
+    into.resumed_shards += from.resumed_shards;
+}
+
+/// The committed cluster-chaos corpus directory:
+/// `tests/cluster_corpus/` at the workspace root.
+pub fn cluster_corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("tests")
+        .join("cluster_corpus")
+}
+
+/// Writes one case into `dir` under its deterministic filename.
+pub fn record_cluster_case(case: &ClusterChaosCase, dir: &Path) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(case.file_name());
+    std::fs::write(&path, msim_json::to_string_pretty(&case.to_json()))?;
+    Ok(path)
+}
+
+/// Loads every `*.json` case in `dir`, sorted by filename. A missing
+/// directory is an empty corpus.
+pub fn load_cluster_corpus(dir: &Path) -> Result<Vec<(PathBuf, ClusterChaosCase)>, String> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(Vec::new()),
+    };
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    let mut out = Vec::new();
+    for path in files {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let value = msim_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let case =
+            ClusterChaosCase::from_json(&value).map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push((path, case));
+    }
+    Ok(out)
+}
+
+/// Sweeps `seeds` deterministic cases, recording violators when asked.
+/// Returns (cases run, violating cases). Stops between cases when a
+/// shutdown was requested, returning what it finished.
+pub fn explore_cluster(
+    window: u64,
+    seeds: u64,
+    program: &Path,
+    scratch_base: &Path,
+    record: bool,
+) -> (u64, Vec<ClusterChaosCase>) {
+    let mut violating = Vec::new();
+    let mut run = 0;
+    for i in 0..seeds {
+        if msim_testbed::shutdown_requested() {
+            return (run, violating);
+        }
+        let seed = cluster_seed(window, i);
+        let case = ClusterChaosCase::from_seed(seed);
+        let scratch = scratch_base.join(format!("case-{seed:016x}"));
+        let outcome = run_cluster_case(&case, program, &scratch);
+        run += 1;
+        if !outcome.ok() {
+            let mut found = case;
+            found.recorded_violations = outcome.violations;
+            if record {
+                let _ = record_cluster_case(&found, &cluster_corpus_dir());
+            }
+            violating.push(found);
+        }
+    }
+    (run, violating)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_derivation_is_deterministic() {
+        let a = ClusterChaosCase::from_seed(42);
+        let b = ClusterChaosCase::from_seed(42);
+        assert_eq!(a, b);
+        assert_ne!(a, ClusterChaosCase::from_seed(43));
+        assert!(a.workers >= 2 && a.workers <= 3);
+        assert!(a.shard_cells >= 2 && a.shard_cells <= 5);
+        assert_eq!(a.directives.len(), a.workers as usize);
+        for d in a.directives.iter().filter(|d| !d.is_empty()) {
+            WorkerChaos::parse(d).expect("derived directives parse");
+        }
+    }
+
+    #[test]
+    fn case_json_roundtrip_and_stable_file_name() {
+        // A seed above 2^53 exercises the hex path.
+        let mut case = ClusterChaosCase::from_seed(u64::MAX - 12345);
+        case.recorded_violations = vec!["crash-identical merge violated".into()];
+        let back = ClusterChaosCase::from_json(
+            &msim_json::from_str(&msim_json::to_string_pretty(&case.to_json())).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back, case);
+        // Recorded violations don't perturb the identity filename.
+        let mut clean = case.clone();
+        clean.recorded_violations = Vec::new();
+        assert_eq!(case.file_name(), clean.file_name());
+        assert_ne!(case.file_name(), ClusterChaosCase::from_seed(7).file_name());
+    }
+
+    #[test]
+    fn seed_stream_rotates_by_window() {
+        assert_eq!(cluster_seed(0, 5), cluster_seed(0, 5));
+        assert_ne!(cluster_seed(0, 5), cluster_seed(1, 5));
+        assert_ne!(cluster_seed(0, 5), cluster_seed(0, 6));
+    }
+}

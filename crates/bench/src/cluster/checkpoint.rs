@@ -1,0 +1,240 @@
+//! The coordinator's append-only checkpoint journal.
+//!
+//! One JSON line per completed shard, preceded by a header line binding
+//! the journal to a manifest fingerprint. The coordinator appends (and
+//! flushes) a line the moment a shard's rows are accepted, so a
+//! coordinator crash loses at most the in-flight shards — a restart with
+//! the same manifest resumes from the journal and re-runs only what never
+//! completed.
+//!
+//! Recovery posture: a truncated tail line (the classic torn final write
+//! of a crash) is *expected* and silently dropped; a header that doesn't
+//! match the manifest is a hard error (resuming someone else's sweep
+//! corrupts both); any malformed line after a valid header ends the
+//! replay at that point, treating the rest as lost.
+
+use super::manifest::SweepManifest;
+use super::merge::CellRow;
+use msim_json::Value;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One journaled shard completion.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointRecord {
+    /// The completed shard.
+    pub shard: u64,
+    /// Worker that produced the accepted rows (0 = coordinator inline).
+    pub worker: u64,
+    /// Attempt number of the accepted completion.
+    pub attempt: u64,
+    /// Shard wall time, µs (provenance only).
+    pub wall_us: u64,
+    /// One row per cell of the shard.
+    pub rows: Vec<CellRow>,
+}
+
+impl CheckpointRecord {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .with("attempt", self.attempt)
+            .with(
+                "rows",
+                Value::Array(self.rows.iter().map(CellRow::to_json).collect()),
+            )
+            .with("shard", self.shard)
+            .with("wall_us", self.wall_us)
+            .with("worker", self.worker)
+    }
+
+    fn from_json(v: &Value) -> Result<CheckpointRecord, String> {
+        let num = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("checkpoint record: missing integer {k:?}"))
+        };
+        let rows = match v.get("rows") {
+            Some(Value::Array(items)) => items
+                .iter()
+                .map(CellRow::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("checkpoint record: missing rows array".into()),
+        };
+        Ok(CheckpointRecord {
+            shard: num("shard")?,
+            worker: num("worker")?,
+            attempt: num("attempt")?,
+            wall_us: num("wall_us")?,
+            rows,
+        })
+    }
+}
+
+/// An open checkpoint journal, ready to append.
+#[derive(Debug)]
+pub struct Checkpoint {
+    path: PathBuf,
+    file: std::fs::File,
+}
+
+impl Checkpoint {
+    /// Opens (creating if needed) the journal at `path` for `manifest`,
+    /// first replaying any shards already recorded.
+    ///
+    /// Returns the journal handle and the replayed records (empty for a
+    /// fresh file). A journal written for a *different* manifest is
+    /// refused.
+    pub fn open(
+        path: &Path,
+        manifest: &SweepManifest,
+    ) -> Result<(Checkpoint, Vec<CheckpointRecord>), String> {
+        let existing = match std::fs::read_to_string(path) {
+            Ok(text) => Some(text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        };
+        let mut records = Vec::new();
+        let mut needs_header = true;
+        if let Some(text) = &existing {
+            let mut lines = text.split('\n');
+            match lines.next() {
+                None | Some("") => {}
+                Some(header_line) => {
+                    let header = msim_json::from_str(header_line)
+                        .map_err(|e| format!("{}: bad header: {e}", path.display()))?;
+                    let fp = header
+                        .get("manifest_fingerprint")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| format!("{}: header has no fingerprint", path.display()))?;
+                    if !manifest.matches_fingerprint(fp) {
+                        return Err(format!(
+                            "{}: checkpoint belongs to a different manifest \
+                             (journal {fp}, manifest {})",
+                            path.display(),
+                            manifest.fingerprint_hex()
+                        ));
+                    }
+                    needs_header = false;
+                    for line in lines {
+                        if line.is_empty() {
+                            continue;
+                        }
+                        // A torn tail (crash mid-write) or any malformed
+                        // line ends the replay; everything before it is
+                        // durable.
+                        let Ok(v) = msim_json::from_str(line) else {
+                            break;
+                        };
+                        let Ok(record) = CheckpointRecord::from_json(&v) else {
+                            break;
+                        };
+                        records.push(record);
+                    }
+                }
+            }
+        }
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            }
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        if needs_header {
+            let header = Value::object()
+                .with("manifest_fingerprint", manifest.fingerprint_hex().as_str())
+                .with("name", manifest.name.as_str())
+                .with("version", 1u64);
+            writeln!(file, "{}", msim_json::to_string(&header))
+                .and_then(|_| file.flush())
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+        Ok((
+            Checkpoint {
+                path: path.to_path_buf(),
+                file,
+            },
+            records,
+        ))
+    }
+
+    /// Appends one completed shard and flushes — after this returns, the
+    /// shard survives a coordinator crash.
+    pub fn append(&mut self, record: &CheckpointRecord) -> Result<(), String> {
+        writeln!(self.file, "{}", msim_json::to_string(&record.to_json()))
+            .and_then(|_| self.file.flush())
+            .map_err(|e| format!("{}: {e}", self.path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("msp-ckpt-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("journal.ndjson")
+    }
+
+    fn record(shard: u64) -> CheckpointRecord {
+        CheckpointRecord {
+            shard,
+            worker: 1,
+            attempt: 1,
+            wall_us: 1000 + shard,
+            rows: vec![CellRow {
+                index: shard * 2,
+                digest: u64::MAX - shard,
+            }],
+        }
+    }
+
+    #[test]
+    fn append_then_reopen_replays_everything() {
+        let path = tmp("replay");
+        let manifest = SweepManifest::smoke();
+        let (mut ckpt, replayed) = Checkpoint::open(&path, &manifest).unwrap();
+        assert!(replayed.is_empty());
+        ckpt.append(&record(0)).unwrap();
+        ckpt.append(&record(1)).unwrap();
+        drop(ckpt);
+
+        let (_ckpt, replayed) = Checkpoint::open(&path, &manifest).unwrap();
+        assert_eq!(replayed, vec![record(0), record(1)]);
+    }
+
+    #[test]
+    fn torn_tail_line_is_dropped_not_fatal() {
+        let path = tmp("torn");
+        let manifest = SweepManifest::smoke();
+        let (mut ckpt, _) = Checkpoint::open(&path, &manifest).unwrap();
+        ckpt.append(&record(0)).unwrap();
+        drop(ckpt);
+        // Simulate a crash mid-append: half a JSON line, no newline.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"shard\":1,\"worker\":1,\"att");
+        std::fs::write(&path, text).unwrap();
+
+        let (_ckpt, replayed) = Checkpoint::open(&path, &manifest).unwrap();
+        assert_eq!(replayed, vec![record(0)], "torn tail dropped");
+    }
+
+    #[test]
+    fn wrong_manifest_is_refused() {
+        let path = tmp("wrongfp");
+        let manifest = SweepManifest::smoke();
+        let (mut ckpt, _) = Checkpoint::open(&path, &manifest).unwrap();
+        ckpt.append(&record(0)).unwrap();
+        drop(ckpt);
+
+        let mut other = manifest.clone();
+        other.runs += 1;
+        let err = Checkpoint::open(&path, &other).unwrap_err();
+        assert!(err.contains("different manifest"), "{err}");
+    }
+}

@@ -1,0 +1,864 @@
+//! The sweep coordinator: lease shards, survive workers, merge
+//! crash-identically.
+//!
+//! The coordinator expands the manifest, then leases shards to workers
+//! and reacts to what comes back on a single event channel (every worker
+//! gets a reader thread feeding it — see [`msim_testbed::lines`]):
+//!
+//! * **Crashes** — a closed stream requeues the worker's lease (capped
+//!   exponential backoff on the attempt count) and, in spawned mode,
+//!   replaces the worker from a bounded respawn budget.
+//! * **Hangs and stragglers** — leases carry deadlines, extended by
+//!   heartbeats; an expired lease is speculatively re-leased while the
+//!   original worker keeps running. Whichever completion arrives first
+//!   wins; later duplicates are fingerprint-compared and a mismatch is
+//!   recorded as a determinism violation (the one thing this
+//!   infrastructure exists to catch).
+//! * **Corrupt frames** — garbage or unparseable lines condemn the
+//!   worker (requeue + replace): a peer that frames garbage once cannot
+//!   be trusted about anything else.
+//! * **Poison shards** — a shard exceeding `max_attempts` is executed
+//!   inline by the coordinator itself, which also serves as the
+//!   last-resort progress guarantee when no workers are available.
+//!
+//! Completed shards are journaled to an append-only [`Checkpoint`]
+//! before anything else sees them, so a coordinator crash resumes
+//! without re-running finished work — and the merged artifact is
+//! bit-identical either way.
+
+use super::checkpoint::{Checkpoint, CheckpointRecord};
+use super::manifest::SweepManifest;
+use super::merge::{merge_rows, row_for, CellRow};
+use super::protocol::Frame;
+use super::worker::WorkerChaos;
+use crate::sweep::{Cell, HostCache};
+use msim_json::Value;
+use msim_testbed::{spawn_line_reader, LineEvent, LineServer, LineWriter};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// How workers are obtained.
+#[derive(Clone, Debug)]
+pub enum Transport {
+    /// Spawn worker child processes running `<program> worker` and speak
+    /// over their stdio. Crashed workers are respawned from a bounded
+    /// budget.
+    Spawn {
+        /// The worker executable (normally the `msplayer-sweepd` binary;
+        /// tests pass `env!("CARGO_BIN_EXE_msplayer-sweepd")`).
+        program: PathBuf,
+    },
+    /// Bind `addr` and accept workers that connect (multi-host mode).
+    /// The coordinator cannot respawn TCP workers; it falls back to
+    /// inline execution if they all disappear.
+    Tcp {
+        /// Bind address, e.g. `127.0.0.1:0`.
+        addr: String,
+    },
+}
+
+/// Full coordinator configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// What to sweep.
+    pub manifest: SweepManifest,
+    /// Target worker count.
+    pub workers: usize,
+    /// Lease deadline; heartbeats extend it. Expired leases are
+    /// speculatively re-leased.
+    pub lease_timeout: Duration,
+    /// Attempts before the coordinator runs a shard inline.
+    pub max_attempts: u64,
+    /// Base of the capped exponential retry backoff.
+    pub backoff_base: Duration,
+    /// Backoff cap.
+    pub backoff_cap: Duration,
+    /// Checkpoint journal path (`None` = no checkpointing).
+    pub checkpoint: Option<PathBuf>,
+    /// Abort (simulating a coordinator crash) after this many shard
+    /// completions *in this run* — the resume tests' lever.
+    pub stop_after_shards: Option<u64>,
+    /// Per-initial-slot chaos directives for spawned workers
+    /// (respawned replacements are always clean).
+    pub worker_chaos: Vec<Option<WorkerChaos>>,
+    /// Worker transport.
+    pub transport: Transport,
+}
+
+impl ClusterConfig {
+    /// Defaults: 2 spawned workers, 10 s leases, 4 attempts, 50 ms–2 s
+    /// backoff, no checkpoint.
+    pub fn new(manifest: SweepManifest, program: PathBuf) -> ClusterConfig {
+        ClusterConfig {
+            manifest,
+            workers: 2,
+            lease_timeout: Duration::from_secs(10),
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            checkpoint: None,
+            stop_after_shards: None,
+            worker_chaos: Vec::new(),
+            transport: Transport::Spawn { program },
+        }
+    }
+}
+
+/// Fault-handling counters for provenance and assertions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Leases requeued (crash, expiry, fail frame, protocol error).
+    pub reassignments: u64,
+    /// Duplicate completions received (speculation or chaos).
+    pub duplicates: u64,
+    /// Garbage/unparseable frames received.
+    pub protocol_errors: u64,
+    /// Workers replaced after death (spawn mode).
+    pub respawns: u64,
+    /// Shards the coordinator ran inline.
+    pub inline_runs: u64,
+    /// Shards restored from the checkpoint instead of run.
+    pub resumed_shards: u64,
+}
+
+/// What a coordinator run produced.
+#[derive(Clone, Debug)]
+pub struct ClusterOutcome {
+    /// Did every shard complete (false after `stop_after_shards` or an
+    /// interrupt)?
+    pub completed: bool,
+    /// The deterministic merged artifact — present iff `completed`.
+    /// Bit-identical to the serial reference by construction.
+    pub artifact: Option<Value>,
+    /// The nondeterministic side: per-shard worker/attempt/wall
+    /// provenance plus the fault counters.
+    pub provenance: Value,
+    /// Determinism violations (digest-mismatching duplicate
+    /// completions). Empty on a healthy cluster.
+    pub violations: Vec<String>,
+    /// Fault-handling counters.
+    pub stats: ClusterStats,
+}
+
+#[derive(Clone, Debug)]
+enum ShardState {
+    Pending {
+        eligible_at: Instant,
+        attempt: u64,
+    },
+    Leased {
+        worker: u64,
+        attempt: u64,
+        deadline: Instant,
+    },
+    Done,
+}
+
+struct DoneShard {
+    record: CheckpointRecord,
+    from_checkpoint: bool,
+}
+
+struct WorkerSlot {
+    id: u64,
+    writer: LineWriter,
+    child: Option<Child>,
+    alive: bool,
+    ready: bool,
+    /// The shard this worker believes it is running (it may have been
+    /// speculatively re-leased elsewhere already).
+    busy: Option<u64>,
+    /// Leases sent to this worker (drives chaos-directive ordinals on
+    /// the worker side; kept for symmetry/debugging).
+    #[allow(dead_code)]
+    leases: u64,
+}
+
+/// Runs the distributed sweep to completion (or early stop). See the
+/// module docs for the fault model.
+pub fn run_cluster(config: &ClusterConfig) -> Result<ClusterOutcome, String> {
+    let cells = config.manifest.expand()?;
+    let shard_ranges = config.manifest.shards(cells.len());
+    let n_shards = shard_ranges.len();
+    let now = Instant::now();
+    let mut states: Vec<ShardState> = (0..n_shards)
+        .map(|_| ShardState::Pending {
+            eligible_at: now,
+            attempt: 0,
+        })
+        .collect();
+    let mut done: HashMap<u64, DoneShard> = HashMap::new();
+    let mut stats = ClusterStats::default();
+    let mut violations: Vec<String> = Vec::new();
+
+    // Checkpoint resume: journaled shards are already done.
+    let mut checkpoint = match &config.checkpoint {
+        Some(path) => {
+            let (ckpt, replayed) = Checkpoint::open(path, &config.manifest)?;
+            for record in replayed {
+                if (record.shard as usize) < n_shards && !done.contains_key(&record.shard) {
+                    states[record.shard as usize] = ShardState::Done;
+                    stats.resumed_shards += 1;
+                    done.insert(
+                        record.shard,
+                        DoneShard {
+                            record,
+                            from_checkpoint: true,
+                        },
+                    );
+                }
+            }
+            Some(ckpt)
+        }
+        None => None,
+    };
+
+    let mut completed_this_run: u64 = 0;
+    let (event_tx, event_rx) = mpsc::channel::<LineEvent>();
+    let mut workers: Vec<WorkerSlot> = Vec::new();
+    let mut next_worker_id: u64 = 1;
+    let mut spawned_total: usize = 0;
+    let spawn_budget = config.workers * 2 + 4;
+    let mut inline_hosts = HostCache::new();
+    let mut last_progress = Instant::now();
+
+    // TCP mode: accept connections in the background.
+    let (conn_tx, conn_rx) = mpsc::channel();
+    let _server = match &config.transport {
+        Transport::Tcp { addr } => {
+            let server =
+                LineServer::start(addr, conn_tx).map_err(|e| format!("bind {addr}: {e}"))?;
+            eprintln!("sweepd: coordinator listening on {}", server.addr);
+            Some(server)
+        }
+        Transport::Spawn { .. } => None,
+    };
+
+    let remaining = |states: &[ShardState]| states.iter().any(|s| !matches!(s, ShardState::Done));
+
+    let mut interrupted = false;
+    let mut stopped_early = false;
+
+    while remaining(&states) {
+        if msim_testbed::shutdown_requested() {
+            interrupted = true;
+            break;
+        }
+        if let Some(stop) = config.stop_after_shards {
+            if completed_this_run >= stop {
+                stopped_early = true;
+                break;
+            }
+        }
+
+        // Top up worker capacity (spawn mode).
+        if let Transport::Spawn { program } = &config.transport {
+            let available = workers
+                .iter()
+                .filter(|w| w.alive && (w.busy.is_none() || !lease_expired(&states, w)))
+                .count();
+            // One replacement per outer-loop tick is plenty; `available`
+            // re-evaluates naturally next time around.
+            let short_handed =
+                workers.iter().filter(|w| w.alive).count() < config.workers.max(1) || available < 1;
+            if short_handed && spawned_total < spawn_budget {
+                let chaos = config.worker_chaos.get(spawned_total).cloned().flatten();
+                if spawned_total >= config.workers {
+                    stats.respawns += 1;
+                }
+                match spawn_worker(program, next_worker_id, &config.manifest, chaos, &event_tx) {
+                    Ok(slot) => {
+                        workers.push(slot);
+                        next_worker_id += 1;
+                        spawned_total += 1;
+                    }
+                    Err(e) => return Err(format!("spawn worker: {e}")),
+                }
+            }
+        }
+
+        // TCP mode: adopt newly connected workers.
+        while let Ok(stream) = conn_rx.try_recv() {
+            let id = next_worker_id;
+            next_worker_id += 1;
+            let read_half = stream
+                .try_clone()
+                .map_err(|e| format!("clone worker stream: {e}"))?;
+            spawn_line_reader(id, read_half, event_tx.clone());
+            let mut writer = LineWriter::new(stream);
+            let hello = Frame::Hello {
+                worker: id,
+                manifest: config.manifest.clone(),
+            };
+            if writer.send_line(&hello.to_line()).is_ok() {
+                workers.push(WorkerSlot {
+                    id,
+                    writer,
+                    child: None,
+                    alive: true,
+                    ready: false,
+                    busy: None,
+                    leases: 0,
+                });
+            }
+        }
+
+        // Lease eligible pending shards to idle ready workers.
+        assign_leases(config, &mut states, &mut workers, &mut stats);
+
+        // Progress guarantee: a shard past max_attempts — or a cluster
+        // with nothing alive to lease to for a full lease-timeout — runs
+        // inline on the coordinator.
+        let now = Instant::now();
+        let starved = now.duration_since(last_progress) > config.lease_timeout
+            && !workers.iter().any(|w| w.alive && w.ready);
+        if let Some(shard) = states.iter().position(|s| match s {
+            ShardState::Pending {
+                eligible_at,
+                attempt,
+            } => *attempt >= config.max_attempts || (starved && *eligible_at <= now),
+            _ => false,
+        }) {
+            let range = shard_ranges[shard].clone();
+            let t0 = Instant::now();
+            let rows: Vec<CellRow> = range
+                .map(|i| row_for(i as u64, &cells[i], &mut inline_hosts))
+                .collect();
+            let record = CheckpointRecord {
+                shard: shard as u64,
+                worker: 0,
+                attempt: attempt_of(&states[shard]) + 1,
+                wall_us: t0.elapsed().as_micros() as u64,
+                rows,
+            };
+            stats.inline_runs += 1;
+            accept_completion(
+                record,
+                &mut states,
+                &mut done,
+                &mut checkpoint,
+                &mut stats,
+                &mut violations,
+                &mut completed_this_run,
+            )?;
+            last_progress = Instant::now();
+            continue;
+        }
+
+        // One event (or a short tick to rescan deadlines).
+        match event_rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(LineEvent::Line(peer, line)) => match Frame::from_line(&line) {
+                Ok(frame) => {
+                    if handle_frame(
+                        peer,
+                        frame,
+                        config,
+                        &mut states,
+                        &mut workers,
+                        &mut done,
+                        &mut checkpoint,
+                        &mut stats,
+                        &mut violations,
+                        &mut completed_this_run,
+                    )? {
+                        last_progress = Instant::now();
+                    }
+                }
+                Err(_) => {
+                    stats.protocol_errors += 1;
+                    condemn_worker(peer, config, &mut states, &mut workers, &mut stats);
+                }
+            },
+            Ok(LineEvent::Garbage(peer, _)) => {
+                stats.protocol_errors += 1;
+                condemn_worker(peer, config, &mut states, &mut workers, &mut stats);
+            }
+            Ok(LineEvent::Closed(peer)) => {
+                if let Some(w) = workers.iter_mut().find(|w| w.id == peer) {
+                    if w.alive {
+                        w.alive = false;
+                        w.ready = false;
+                        if let Some(shard) = w.busy.take() {
+                            requeue_if_leased_to(peer, shard, config, &mut states, &mut stats);
+                        }
+                        if let Some(child) = &mut w.child {
+                            let _ = child.wait();
+                        }
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err("coordinator event channel closed".into())
+            }
+        }
+
+        // Expired leases: speculative reassignment. The original worker
+        // keeps running — its late completion becomes a duplicate.
+        let now = Instant::now();
+        for state in states.iter_mut() {
+            if let ShardState::Leased {
+                attempt, deadline, ..
+            } = *state
+            {
+                // The leasing worker stays busy until it reports.
+                if deadline <= now {
+                    *state = pending_with_backoff(config, attempt);
+                    stats.reassignments += 1;
+                }
+            }
+        }
+    }
+
+    // Drain: ask every surviving worker to exit, then reap children.
+    for w in &mut workers {
+        if w.alive {
+            let _ = w.writer.send_line(&Frame::Shutdown.to_line());
+        }
+    }
+    for w in &mut workers {
+        if let Some(child) = &mut w.child {
+            if stopped_early || interrupted {
+                let _ = child.kill();
+            }
+            wait_with_timeout(child, Duration::from_secs(5));
+        }
+    }
+
+    let completed = !stopped_early && !interrupted && !remaining(&states);
+    let artifact = if completed {
+        let mut rows: Vec<CellRow> = Vec::with_capacity(cells.len());
+        for shard in done.values() {
+            rows.extend(shard.record.rows.iter().copied());
+        }
+        Some(merge_rows(
+            &config.manifest.name,
+            config.manifest.fingerprint(),
+            &cells,
+            &rows,
+        )?)
+    } else {
+        None
+    };
+    let provenance = provenance_json(config, &done, &stats, &violations, completed);
+    if interrupted {
+        return Ok(ClusterOutcome {
+            completed: false,
+            artifact: None,
+            provenance,
+            violations,
+            stats,
+        });
+    }
+    Ok(ClusterOutcome {
+        completed,
+        artifact,
+        provenance,
+        violations,
+        stats,
+    })
+}
+
+fn attempt_of(state: &ShardState) -> u64 {
+    match state {
+        ShardState::Pending { attempt, .. } => *attempt,
+        ShardState::Leased { attempt, .. } => *attempt,
+        ShardState::Done => 0,
+    }
+}
+
+fn lease_expired(states: &[ShardState], w: &WorkerSlot) -> bool {
+    w.busy.is_some_and(|shard| {
+        !matches!(
+            states.get(shard as usize),
+            Some(ShardState::Leased { worker, deadline, .. })
+                if *worker == w.id && *deadline > Instant::now()
+        )
+    })
+}
+
+fn pending_with_backoff(config: &ClusterConfig, attempt: u64) -> ShardState {
+    let factor = 1u32 << attempt.min(10) as u32;
+    let delay = config
+        .backoff_base
+        .saturating_mul(factor)
+        .min(config.backoff_cap);
+    ShardState::Pending {
+        eligible_at: Instant::now() + delay,
+        attempt,
+    }
+}
+
+fn spawn_worker(
+    program: &PathBuf,
+    id: u64,
+    manifest: &SweepManifest,
+    chaos: Option<WorkerChaos>,
+    event_tx: &mpsc::Sender<LineEvent>,
+) -> std::io::Result<WorkerSlot> {
+    let mut cmd = Command::new(program);
+    cmd.arg("worker");
+    if let Some(chaos) = &chaos {
+        cmd.args(["--chaos", &chaos.to_directive()]);
+    }
+    cmd.stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    let mut child = cmd.spawn()?;
+    let stdin = child.stdin.take().expect("piped stdin");
+    let stdout = child.stdout.take().expect("piped stdout");
+    spawn_line_reader(id, stdout, event_tx.clone());
+    let mut writer = LineWriter::new(stdin);
+    let hello = Frame::Hello {
+        worker: id,
+        manifest: manifest.clone(),
+    };
+    let _ = writer.send_line(&hello.to_line());
+    Ok(WorkerSlot {
+        id,
+        writer,
+        child: Some(child),
+        alive: true,
+        ready: false,
+        busy: None,
+        leases: 0,
+    })
+}
+
+fn assign_leases(
+    config: &ClusterConfig,
+    states: &mut [ShardState],
+    workers: &mut [WorkerSlot],
+    stats: &mut ClusterStats,
+) {
+    let now = Instant::now();
+    for (shard, state) in states.iter_mut().enumerate() {
+        let attempt = match state {
+            ShardState::Pending {
+                eligible_at,
+                attempt,
+            } if *eligible_at <= now && *attempt < config.max_attempts => *attempt,
+            _ => continue,
+        };
+        let Some(w) = workers
+            .iter_mut()
+            .find(|w| w.alive && w.ready && w.busy.is_none())
+        else {
+            return; // nobody free — try again next tick
+        };
+        let lease = Frame::Lease {
+            shard: shard as u64,
+            attempt: attempt + 1,
+        };
+        if w.writer.send_line(&lease.to_line()).is_err() {
+            w.alive = false;
+            stats.reassignments += 1;
+            continue;
+        }
+        w.busy = Some(shard as u64);
+        w.leases += 1;
+        *state = ShardState::Leased {
+            worker: w.id,
+            attempt: attempt + 1,
+            deadline: now + config.lease_timeout,
+        };
+    }
+}
+
+/// Requeues `shard` iff it is still leased to `worker` (it may have been
+/// speculatively re-leased or even completed meanwhile).
+fn requeue_if_leased_to(
+    worker: u64,
+    shard: u64,
+    config: &ClusterConfig,
+    states: &mut [ShardState],
+    stats: &mut ClusterStats,
+) {
+    if let Some(state) = states.get_mut(shard as usize) {
+        if matches!(state, ShardState::Leased { worker: w, .. } if *w == worker) {
+            let attempt = attempt_of(state);
+            *state = pending_with_backoff(config, attempt);
+            stats.reassignments += 1;
+        }
+    }
+}
+
+/// Kills and retires a worker that framed garbage; its lease requeues.
+fn condemn_worker(
+    peer: u64,
+    config: &ClusterConfig,
+    states: &mut [ShardState],
+    workers: &mut [WorkerSlot],
+    stats: &mut ClusterStats,
+) {
+    if let Some(w) = workers.iter_mut().find(|w| w.id == peer) {
+        w.alive = false;
+        w.ready = false;
+        if let Some(shard) = w.busy.take() {
+            requeue_if_leased_to(peer, shard, config, states, stats);
+        }
+        if let Some(child) = &mut w.child {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Accepts one completion: journal it, mark done. Returns Err only on
+/// checkpoint I/O failure.
+fn accept_completion(
+    record: CheckpointRecord,
+    states: &mut [ShardState],
+    done: &mut HashMap<u64, DoneShard>,
+    checkpoint: &mut Option<Checkpoint>,
+    _stats: &mut ClusterStats,
+    _violations: &mut [String],
+    completed_this_run: &mut u64,
+) -> Result<(), String> {
+    if let Some(ckpt) = checkpoint {
+        ckpt.append(&record)?;
+    }
+    states[record.shard as usize] = ShardState::Done;
+    done.insert(
+        record.shard,
+        DoneShard {
+            record,
+            from_checkpoint: false,
+        },
+    );
+    *completed_this_run += 1;
+    Ok(())
+}
+
+/// Handles one parsed frame; returns whether it constituted progress.
+#[allow(clippy::too_many_arguments)]
+fn handle_frame(
+    peer: u64,
+    frame: Frame,
+    config: &ClusterConfig,
+    states: &mut [ShardState],
+    workers: &mut [WorkerSlot],
+    done: &mut HashMap<u64, DoneShard>,
+    checkpoint: &mut Option<Checkpoint>,
+    stats: &mut ClusterStats,
+    violations: &mut Vec<String>,
+    completed_this_run: &mut u64,
+) -> Result<bool, String> {
+    match frame {
+        Frame::Ready { worker } => {
+            if let Some(w) = workers.iter_mut().find(|w| w.id == worker && w.id == peer) {
+                w.ready = true;
+            }
+            Ok(true)
+        }
+        Frame::Heartbeat { worker, shard, .. } => {
+            if let Some(ShardState::Leased {
+                worker: leased_to,
+                deadline,
+                ..
+            }) = states.get_mut(shard as usize)
+            {
+                if *leased_to == worker && worker == peer {
+                    *deadline = Instant::now() + config.lease_timeout;
+                }
+            }
+            Ok(false)
+        }
+        Frame::Done {
+            worker,
+            shard,
+            attempt,
+            wall_us,
+            rows,
+        } => {
+            if let Some(w) = workers.iter_mut().find(|w| w.id == peer) {
+                if w.busy == Some(shard) {
+                    w.busy = None;
+                }
+            }
+            if let Some(existing) = done.get(&shard) {
+                stats.duplicates += 1;
+                if existing.record.rows != rows {
+                    violations.push(format!(
+                        "determinism violation: shard {shard} attempt {attempt} (worker \
+                         {worker}) produced digests diverging from the accepted attempt \
+                         {} (worker {})",
+                        existing.record.attempt, existing.record.worker
+                    ));
+                }
+                return Ok(true);
+            }
+            if states.get(shard as usize).is_none() {
+                stats.protocol_errors += 1;
+                return Ok(false);
+            }
+            accept_completion(
+                CheckpointRecord {
+                    shard,
+                    worker,
+                    attempt,
+                    wall_us,
+                    rows,
+                },
+                states,
+                done,
+                checkpoint,
+                stats,
+                violations,
+                completed_this_run,
+            )?;
+            Ok(true)
+        }
+        Frame::Fail {
+            worker: _,
+            shard,
+            message,
+        } => {
+            if let Some(w) = workers.iter_mut().find(|w| w.id == peer) {
+                if w.busy == Some(shard) {
+                    w.busy = None;
+                }
+            }
+            if shard != u64::MAX {
+                requeue_if_leased_to(peer, shard, config, states, stats);
+            } else {
+                // Setup failure (e.g. manifest expansion): the worker is
+                // useless.
+                eprintln!("sweepd: worker {peer} failed setup: {message}");
+                condemn_worker(peer, config, states, workers, stats);
+            }
+            Ok(true)
+        }
+        // Coordinator-direction frames from a worker = confusion.
+        Frame::Hello { .. } | Frame::Lease { .. } | Frame::Shutdown => {
+            stats.protocol_errors += 1;
+            condemn_worker(peer, config, states, workers, stats);
+            Ok(false)
+        }
+    }
+}
+
+fn wait_with_timeout(child: &mut Child, timeout: Duration) {
+    let t0 = Instant::now();
+    loop {
+        match child.try_wait() {
+            Ok(Some(_)) => return,
+            Ok(None) if t0.elapsed() < timeout => std::thread::sleep(Duration::from_millis(10)),
+            _ => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return;
+            }
+        }
+    }
+}
+
+/// The nondeterministic provenance artifact: who ran what, how many
+/// times, how long — everything deliberately excluded from the
+/// deterministic merge.
+fn provenance_json(
+    config: &ClusterConfig,
+    done: &HashMap<u64, DoneShard>,
+    stats: &ClusterStats,
+    violations: &[String],
+    completed: bool,
+) -> Value {
+    let mut shards: Vec<&DoneShard> = done.values().collect();
+    shards.sort_by_key(|s| s.record.shard);
+    let shard_values: Vec<Value> = shards
+        .iter()
+        .map(|s| {
+            Value::object()
+                .with("attempts", s.record.attempt)
+                .with("cells", s.record.rows.len() as u64)
+                .with("from_checkpoint", s.from_checkpoint)
+                .with("shard", s.record.shard)
+                .with("wall_us", s.record.wall_us)
+                .with("worker", s.record.worker)
+        })
+        .collect();
+    let violation_values: Vec<Value> = violations
+        .iter()
+        .map(|v| Value::String(v.clone()))
+        .collect();
+    Value::object()
+        .with("completed", completed)
+        .with("duplicates", stats.duplicates)
+        .with("inline_runs", stats.inline_runs)
+        .with(
+            "manifest_fingerprint",
+            config.manifest.fingerprint_hex().as_str(),
+        )
+        .with("name", config.manifest.name.as_str())
+        .with("protocol_errors", stats.protocol_errors)
+        .with("reassignments", stats.reassignments)
+        .with("respawns", stats.respawns)
+        .with("resumed_shards", stats.resumed_shards)
+        .with("schema", "cluster-provenance")
+        .with("shards", Value::Array(shard_values))
+        .with("violations", Value::Array(violation_values))
+        .with("workers", config.workers as u64)
+}
+
+/// The serial in-process reference: expand, run every cell on this
+/// thread, merge. The distributed artifact must be bit-identical to this.
+pub fn serial_artifact(manifest: &SweepManifest) -> Result<Value, String> {
+    let cells = manifest.expand()?;
+    let mut hosts = HostCache::new();
+    let rows: Vec<CellRow> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, cell)| row_for(i as u64, cell, &mut hosts))
+        .collect();
+    merge_rows(&manifest.name, manifest.fingerprint(), &cells, &rows)
+}
+
+/// Convenience for tests: the serial artifact's rows without the merge.
+pub fn serial_rows(manifest: &SweepManifest) -> Result<(Vec<Cell>, Vec<CellRow>), String> {
+    let cells = manifest.expand()?;
+    let mut hosts = HostCache::new();
+    let rows: Vec<CellRow> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, cell)| row_for(i as u64, cell, &mut hosts))
+        .collect();
+    Ok((cells, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let config = ClusterConfig::new(SweepManifest::smoke(), PathBuf::from("unused"));
+        let base = config.backoff_base;
+        let delay_of = |attempt: u64| match pending_with_backoff(&config, attempt) {
+            ShardState::Pending { eligible_at, .. } => {
+                eligible_at.saturating_duration_since(Instant::now())
+            }
+            _ => unreachable!(),
+        };
+        // Allow scheduling slop: compare against generous bounds.
+        assert!(delay_of(0) <= base * 2);
+        assert!(delay_of(3) >= base * 4 && delay_of(3) <= base * 16);
+        assert!(delay_of(40) <= config.backoff_cap + base, "capped");
+    }
+
+    #[test]
+    fn serial_artifact_is_reproducible_bytes() {
+        let manifest = SweepManifest {
+            workloads: vec!["testbed/MSPlayer".into()],
+            runs: 1,
+            ..SweepManifest::smoke()
+        };
+        let a = msim_json::to_string_pretty(&serial_artifact(&manifest).unwrap());
+        let b = msim_json::to_string_pretty(&serial_artifact(&manifest).unwrap());
+        assert_eq!(a, b);
+        assert!(a.contains("\"sweep_fingerprint\""));
+        assert!(a.contains("\"schema\": \"cluster-sweep\""));
+    }
+}

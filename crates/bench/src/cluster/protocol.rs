@@ -1,0 +1,261 @@
+//! The coordinator/worker wire protocol: line-delimited JSON frames.
+//!
+//! One frame per line, no embedded newlines (guaranteed by the canonical
+//! `msim_json` rendering). The byte transport is
+//! [`msim_testbed::lines`] — a child's stdio in spawned mode, TCP in
+//! multi-host mode; the frames are identical either way.
+//!
+//! Robustness posture: [`Frame::from_line`] returns `Err` on anything
+//! malformed, and the coordinator treats a malformed frame from a worker
+//! the same as a crash — requeue its lease, replace the worker. A
+//! protocol error is evidence of a sick peer, not something to limp
+//! through.
+
+use super::manifest::SweepManifest;
+use super::merge::CellRow;
+use msim_json::Value;
+
+/// One protocol frame, either direction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Coordinator → worker: identity, plus the manifest the worker must
+    /// expand (the first frame a worker receives).
+    Hello {
+        /// The id assigned to this worker.
+        worker: u64,
+        /// The sweep manifest (workers expand it themselves; leases then
+        /// carry only shard indices).
+        manifest: SweepManifest,
+    },
+    /// Coordinator → worker: run one shard.
+    Lease {
+        /// Shard index into [`SweepManifest::shards`].
+        shard: u64,
+        /// 1-based attempt number (for provenance and duplicate
+        /// resolution).
+        attempt: u64,
+    },
+    /// Coordinator → worker: drain and exit 0.
+    Shutdown,
+
+    /// Worker → coordinator: manifest expanded, ready for leases.
+    Ready {
+        /// Echo of the assigned worker id.
+        worker: u64,
+    },
+    /// Worker → coordinator: still alive mid-shard (sent between cells).
+    Heartbeat {
+        /// Worker id.
+        worker: u64,
+        /// The shard being worked.
+        shard: u64,
+        /// Cells completed so far in this shard.
+        cells_done: u64,
+    },
+    /// Worker → coordinator: shard complete.
+    Done {
+        /// Worker id.
+        worker: u64,
+        /// The completed shard.
+        shard: u64,
+        /// Echo of the lease's attempt number.
+        attempt: u64,
+        /// Wall-clock microseconds the shard took (provenance only).
+        wall_us: u64,
+        /// One row per cell of the shard, in shard order.
+        rows: Vec<CellRow>,
+    },
+    /// Worker → coordinator: shard failed in a way the worker survived
+    /// (e.g. manifest expansion error). The coordinator requeues.
+    Fail {
+        /// Worker id.
+        worker: u64,
+        /// The failed shard.
+        shard: u64,
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl Frame {
+    /// Serializes to one wire line (single-line JSON, no newline).
+    pub fn to_line(&self) -> String {
+        let v = match self {
+            Frame::Hello { worker, manifest } => Value::object()
+                .with("type", "hello")
+                .with("worker", *worker)
+                .with("manifest", manifest.to_json()),
+            Frame::Lease { shard, attempt } => Value::object()
+                .with("type", "lease")
+                .with("shard", *shard)
+                .with("attempt", *attempt),
+            Frame::Shutdown => Value::object().with("type", "shutdown"),
+            Frame::Ready { worker } => Value::object()
+                .with("type", "ready")
+                .with("worker", *worker),
+            Frame::Heartbeat {
+                worker,
+                shard,
+                cells_done,
+            } => Value::object()
+                .with("type", "heartbeat")
+                .with("worker", *worker)
+                .with("shard", *shard)
+                .with("cells_done", *cells_done),
+            Frame::Done {
+                worker,
+                shard,
+                attempt,
+                wall_us,
+                rows,
+            } => Value::object()
+                .with("type", "done")
+                .with("worker", *worker)
+                .with("shard", *shard)
+                .with("attempt", *attempt)
+                .with("wall_us", *wall_us)
+                .with(
+                    "rows",
+                    Value::Array(rows.iter().map(CellRow::to_json).collect()),
+                ),
+            Frame::Fail {
+                worker,
+                shard,
+                message,
+            } => Value::object()
+                .with("type", "fail")
+                .with("worker", *worker)
+                .with("shard", *shard)
+                .with("message", message.as_str()),
+        };
+        msim_json::to_string(&v)
+    }
+
+    /// Parses one wire line.
+    pub fn from_line(line: &str) -> Result<Frame, String> {
+        let v = msim_json::from_str(line).map_err(|e| format!("unparseable frame: {e}"))?;
+        let ty = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or("frame has no type")?;
+        let num = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("{ty} frame: missing integer {k:?}"))
+        };
+        match ty {
+            "hello" => Ok(Frame::Hello {
+                worker: num("worker")?,
+                manifest: SweepManifest::from_json(
+                    v.get("manifest").ok_or("hello frame: missing manifest")?,
+                )?,
+            }),
+            "lease" => Ok(Frame::Lease {
+                shard: num("shard")?,
+                attempt: num("attempt")?,
+            }),
+            "shutdown" => Ok(Frame::Shutdown),
+            "ready" => Ok(Frame::Ready {
+                worker: num("worker")?,
+            }),
+            "heartbeat" => Ok(Frame::Heartbeat {
+                worker: num("worker")?,
+                shard: num("shard")?,
+                cells_done: num("cells_done")?,
+            }),
+            "done" => {
+                let rows = match v.get("rows") {
+                    Some(Value::Array(items)) => items
+                        .iter()
+                        .map(CellRow::from_json)
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return Err("done frame: missing rows array".into()),
+                };
+                Ok(Frame::Done {
+                    worker: num("worker")?,
+                    shard: num("shard")?,
+                    attempt: num("attempt")?,
+                    wall_us: num("wall_us")?,
+                    rows,
+                })
+            }
+            "fail" => Ok(Frame::Fail {
+                worker: num("worker")?,
+                shard: num("shard")?,
+                message: v
+                    .get("message")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            }),
+            other => Err(format!("unknown frame type {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: Frame) {
+        let line = f.to_line();
+        assert!(!line.contains('\n'), "{line}");
+        assert_eq!(Frame::from_line(&line).unwrap(), f);
+    }
+
+    #[test]
+    fn all_frames_roundtrip() {
+        roundtrip(Frame::Hello {
+            worker: 3,
+            manifest: SweepManifest::smoke(),
+        });
+        roundtrip(Frame::Lease {
+            shard: 9,
+            attempt: 2,
+        });
+        roundtrip(Frame::Shutdown);
+        roundtrip(Frame::Ready { worker: 3 });
+        roundtrip(Frame::Heartbeat {
+            worker: 1,
+            shard: 4,
+            cells_done: 2,
+        });
+        roundtrip(Frame::Done {
+            worker: 1,
+            shard: 4,
+            attempt: 1,
+            wall_us: 123_456,
+            rows: vec![
+                CellRow {
+                    index: 16,
+                    digest: u64::MAX,
+                },
+                CellRow {
+                    index: 17,
+                    digest: 1,
+                },
+            ],
+        });
+        roundtrip(Frame::Fail {
+            worker: 2,
+            shard: 0,
+            message: "manifest: unknown workload".into(),
+        });
+    }
+
+    #[test]
+    fn malformed_frames_error_instead_of_panicking() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            "{\"type\":\"warp\"}",
+            "{\"type\":\"lease\"}",
+            "{\"type\":\"done\",\"worker\":1,\"shard\":0,\"attempt\":1,\"wall_us\":1}",
+            "{\"type\":\"done\",\"worker\":1,\"shard\":0,\"attempt\":1,\"wall_us\":1,\"rows\":[[0]]}",
+            "{\"type\":\"hello\",\"worker\":0}",
+        ] {
+            assert!(Frame::from_line(bad).is_err(), "{bad:?}");
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! The sweep worker: a synchronous lease-execute-report loop.
+//!
+//! A worker reads frames from its coordinator (stdin in spawned mode, a
+//! TCP stream in multi-host mode), expands the manifest it is handed in
+//! the hello frame, and then serves leases: run every cell of the shard
+//! over a warmed [`HostCache`], heartbeat between cells, report the digest
+//! rows. Workers are stateless between leases — all scheduling brains
+//! live in the coordinator.
+//!
+//! # Self-chaos
+//!
+//! A worker can carry a chaos directive ([`WorkerChaos`]) that makes it
+//! misbehave in one controlled way on one specific lease: crash mid-shard,
+//! stall past the lease timeout, emit a corrupt or truncated result
+//! frame, or deliver its result twice. This is how the cluster chaos
+//! harness (and CI) exercises the coordinator's fault handling with *real*
+//! process failures rather than mocks.
+
+use super::manifest::SweepManifest;
+use super::merge::{row_for, CellRow};
+use super::protocol::Frame;
+use crate::sweep::{Cell, HostCache};
+use msim_testbed::shutdown_requested;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::time::Instant;
+
+/// Exit code of a chaos-directed mid-shard crash.
+pub const CRASH_EXIT: i32 = 101;
+/// Exit code after a chaos-directed truncated result frame.
+pub const TRUNCATE_EXIT: i32 = 102;
+
+/// One way a worker can misbehave.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Misbehavior {
+    /// `crash-after-cells=K`: exit([`CRASH_EXIT`]) after completing K
+    /// cells of the lease (K may be 0: crash before any work).
+    CrashAfterCells(u64),
+    /// `stall-ms=N`: go silent (no heartbeats) for N ms before reporting
+    /// the completed shard — drives the coordinator's lease timeout and
+    /// the duplicate-completion path.
+    StallMs(u64),
+    /// `corrupt-done`: emit a non-UTF-8 garbage line instead of the done
+    /// frame, then keep serving (the coordinator should drop us).
+    CorruptDone,
+    /// `truncate-done`: write half the done frame with no newline, then
+    /// exit([`TRUNCATE_EXIT`]) — a torn frame from a crashing peer.
+    TruncateDone,
+    /// `duplicate-done`: deliver the done frame twice.
+    DuplicateDone,
+}
+
+/// A worker's chaos directive: misbehave in one way on one lease.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerChaos {
+    /// Which lease (0-based ordinal of leases received) misbehaves.
+    pub lease: u64,
+    /// What goes wrong.
+    pub kind: Misbehavior,
+}
+
+impl WorkerChaos {
+    /// Parses the CLI form `<lease>:<kind>[=<arg>]`, e.g.
+    /// `0:crash-after-cells=2`, `1:stall-ms=500`, `0:corrupt-done`.
+    pub fn parse(s: &str) -> Result<WorkerChaos, String> {
+        let (lease, rest) = s
+            .split_once(':')
+            .ok_or_else(|| format!("chaos directive {s:?}: want <lease>:<kind>[=<arg>]"))?;
+        let lease: u64 = lease
+            .parse()
+            .map_err(|_| format!("chaos directive {s:?}: bad lease ordinal"))?;
+        let (kind, arg) = match rest.split_once('=') {
+            Some((k, a)) => (k, Some(a)),
+            None => (rest, None),
+        };
+        let num = || -> Result<u64, String> {
+            arg.ok_or_else(|| format!("chaos directive {s:?}: {kind} needs =<n>"))?
+                .parse()
+                .map_err(|_| format!("chaos directive {s:?}: bad number"))
+        };
+        let kind = match kind {
+            "crash-after-cells" => Misbehavior::CrashAfterCells(num()?),
+            "stall-ms" => Misbehavior::StallMs(num()?),
+            "corrupt-done" => Misbehavior::CorruptDone,
+            "truncate-done" => Misbehavior::TruncateDone,
+            "duplicate-done" => Misbehavior::DuplicateDone,
+            other => return Err(format!("chaos directive {s:?}: unknown kind {other:?}")),
+        };
+        Ok(WorkerChaos { lease, kind })
+    }
+
+    /// Renders back to the CLI form [`WorkerChaos::parse`] accepts.
+    pub fn to_directive(&self) -> String {
+        match &self.kind {
+            Misbehavior::CrashAfterCells(k) => format!("{}:crash-after-cells={k}", self.lease),
+            Misbehavior::StallMs(ms) => format!("{}:stall-ms={ms}", self.lease),
+            Misbehavior::CorruptDone => format!("{}:corrupt-done", self.lease),
+            Misbehavior::TruncateDone => format!("{}:truncate-done", self.lease),
+            Misbehavior::DuplicateDone => format!("{}:duplicate-done", self.lease),
+        }
+    }
+}
+
+/// Runs the worker loop over any read/write transport pair. Returns the
+/// process exit code (0 = clean shutdown; chaos directives may
+/// `process::exit` before this returns).
+pub fn run_worker<R, W>(input: R, mut output: W, chaos: Option<WorkerChaos>) -> i32
+where
+    R: Read,
+    W: Write,
+{
+    let mut reader = BufReader::new(input);
+    let mut me: u64 = 0;
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut shards: Vec<std::ops::Range<usize>> = Vec::new();
+    let mut hosts = HostCache::new();
+    let mut leases_seen: u64 = 0;
+
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => return 0, // coordinator gone — don't linger
+            Ok(_) => {}
+            Err(_) => return 0,
+        }
+        let line = line.trim_end_matches(['\n', '\r']);
+        if line.is_empty() {
+            continue;
+        }
+        let frame = match Frame::from_line(line) {
+            Ok(f) => f,
+            Err(_) => continue, // a sick coordinator is its own problem
+        };
+        match frame {
+            Frame::Hello { worker, manifest } => {
+                me = worker;
+                match expand(&manifest) {
+                    Ok((c, s)) => {
+                        cells = c;
+                        shards = s;
+                        if send(&mut output, &Frame::Ready { worker: me }).is_err() {
+                            return 0;
+                        }
+                    }
+                    Err(message) => {
+                        let _ = send(
+                            &mut output,
+                            &Frame::Fail {
+                                worker: me,
+                                shard: u64::MAX,
+                                message,
+                            },
+                        );
+                        return 1;
+                    }
+                }
+            }
+            Frame::Lease { shard, attempt } => {
+                let ordinal = leases_seen;
+                leases_seen += 1;
+                let active = chaos.as_ref().filter(|c| c.lease == ordinal);
+                match serve_lease(
+                    &mut output,
+                    me,
+                    shard,
+                    attempt,
+                    &cells,
+                    &shards,
+                    &mut hosts,
+                    active,
+                ) {
+                    Ok(()) => {}
+                    Err(code) => return code,
+                }
+            }
+            Frame::Shutdown => return 0,
+            // Worker-direction frames arriving here mean a confused
+            // coordinator; ignore them.
+            Frame::Ready { .. }
+            | Frame::Heartbeat { .. }
+            | Frame::Done { .. }
+            | Frame::Fail { .. } => {}
+        }
+    }
+}
+
+/// Expands a manifest to (cells, shard ranges).
+fn expand(manifest: &SweepManifest) -> Result<(Vec<Cell>, Vec<std::ops::Range<usize>>), String> {
+    let cells = manifest.expand()?;
+    let shards = manifest.shards(cells.len());
+    Ok((cells, shards))
+}
+
+fn send(output: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
+    output.write_all(frame.to_line().as_bytes())?;
+    output.write_all(b"\n")?;
+    output.flush()
+}
+
+/// Runs one leased shard, applying the active chaos directive if any.
+/// `Err(code)` means the process must exit with that code.
+#[allow(clippy::too_many_arguments)]
+fn serve_lease(
+    output: &mut impl Write,
+    me: u64,
+    shard: u64,
+    attempt: u64,
+    cells: &[Cell],
+    shards: &[std::ops::Range<usize>],
+    hosts: &mut HostCache,
+    chaos: Option<&WorkerChaos>,
+) -> Result<(), i32> {
+    let Some(range) = shards.get(shard as usize).cloned() else {
+        let _ = send(
+            output,
+            &Frame::Fail {
+                worker: me,
+                shard,
+                message: format!("lease for unknown shard {shard} ({} shards)", shards.len()),
+            },
+        );
+        return Ok(());
+    };
+
+    let t0 = Instant::now();
+    let mut rows: Vec<CellRow> = Vec::with_capacity(range.len());
+    for (done_before, idx) in range.clone().enumerate() {
+        if shutdown_requested() {
+            // Graceful SIGINT/SIGTERM: tell the coordinator the shard is
+            // abandoned (it will requeue) and exit with the interrupted
+            // status.
+            let _ = send(
+                output,
+                &Frame::Fail {
+                    worker: me,
+                    shard,
+                    message: "worker interrupted (SIGINT/SIGTERM)".into(),
+                },
+            );
+            return Err(msim_testbed::signal::SIGINT_EXIT);
+        }
+        if let Some(WorkerChaos {
+            kind: Misbehavior::CrashAfterCells(k),
+            ..
+        }) = chaos
+        {
+            if done_before as u64 == *k {
+                std::process::exit(CRASH_EXIT);
+            }
+        }
+        rows.push(row_for(idx as u64, &cells[idx], hosts));
+        let _ = send(
+            output,
+            &Frame::Heartbeat {
+                worker: me,
+                shard,
+                cells_done: rows.len() as u64,
+            },
+        );
+    }
+    // Crash points past the end of the shard still fire (covers
+    // crash-after-cells=len, "crash after finishing but before
+    // reporting" — the classic lost-completion case).
+    if let Some(WorkerChaos {
+        kind: Misbehavior::CrashAfterCells(k),
+        ..
+    }) = chaos
+    {
+        if *k >= range.len() as u64 {
+            std::process::exit(CRASH_EXIT);
+        }
+    }
+
+    let done = Frame::Done {
+        worker: me,
+        shard,
+        attempt,
+        wall_us: t0.elapsed().as_micros() as u64,
+        rows,
+    };
+    match chaos.map(|c| &c.kind) {
+        Some(Misbehavior::StallMs(ms)) => {
+            // Silent stall: no heartbeats while sleeping, then report
+            // late — by then the coordinator has usually re-leased the
+            // shard, making this a duplicate completion.
+            std::thread::sleep(std::time::Duration::from_millis(*ms));
+            send(output, &done).map_err(|_| 0)?;
+        }
+        Some(Misbehavior::CorruptDone) => {
+            // A non-UTF-8 line where the done frame should be.
+            let _ = output.write_all(b"\xff\xfe\x00 corrupt frame \xff\n");
+            let _ = output.flush();
+        }
+        Some(Misbehavior::TruncateDone) => {
+            let line = done.to_line();
+            let _ = output.write_all(&line.as_bytes()[..line.len() / 2]);
+            let _ = output.flush();
+            std::process::exit(TRUNCATE_EXIT);
+        }
+        Some(Misbehavior::DuplicateDone) => {
+            send(output, &done).map_err(|_| 0)?;
+            send(output, &done).map_err(|_| 0)?;
+        }
+        Some(Misbehavior::CrashAfterCells(_)) | None => {
+            send(output, &done).map_err(|_| 0)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn chaos_directive_roundtrip() {
+        for text in [
+            "0:crash-after-cells=2",
+            "3:stall-ms=500",
+            "1:corrupt-done",
+            "0:truncate-done",
+            "2:duplicate-done",
+        ] {
+            let parsed = WorkerChaos::parse(text).unwrap();
+            assert_eq!(parsed.to_directive(), text);
+        }
+        for bad in [
+            "",
+            "crash-after-cells=2",
+            "0:warp",
+            "x:stall-ms=1",
+            "0:stall-ms",
+        ] {
+            assert!(WorkerChaos::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    /// Drives a clean worker end-to-end over in-memory pipes: hello →
+    /// ready, lease → heartbeats + done, shutdown → exit 0. The rows must
+    /// match a direct serial run of the same shard.
+    #[test]
+    fn worker_serves_a_lease_and_rows_match_serial() {
+        let manifest = SweepManifest {
+            shard_cells: 3,
+            ..SweepManifest::smoke()
+        };
+        let cells = manifest.expand().unwrap();
+        let shards = manifest.shards(cells.len());
+        assert!(shards.len() > 1);
+
+        let script = [
+            Frame::Hello {
+                worker: 7,
+                manifest: manifest.clone(),
+            }
+            .to_line(),
+            Frame::Lease {
+                shard: 1,
+                attempt: 1,
+            }
+            .to_line(),
+            Frame::Shutdown.to_line(),
+        ]
+        .join("\n")
+            + "\n";
+
+        let (tx, rx) = mpsc::channel::<Vec<u8>>();
+        struct ChanWriter(mpsc::Sender<Vec<u8>>, Vec<u8>);
+        impl Write for ChanWriter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.1.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                let _ = self.0.send(std::mem::take(&mut self.1));
+                Ok(())
+            }
+        }
+        let code = run_worker(script.as_bytes(), ChanWriter(tx, Vec::new()), None);
+        assert_eq!(code, 0);
+
+        let mut bytes = Vec::new();
+        while let Ok(chunk) = rx.try_recv() {
+            bytes.extend(chunk);
+        }
+        let text = String::from_utf8(bytes).unwrap();
+        let frames: Vec<Frame> = text.lines().map(|l| Frame::from_line(l).unwrap()).collect();
+        assert!(matches!(frames[0], Frame::Ready { worker: 7 }));
+        let done = frames
+            .iter()
+            .find_map(|f| match f {
+                Frame::Done { shard, rows, .. } => Some((*shard, rows.clone())),
+                _ => None,
+            })
+            .expect("worker reported done");
+        assert_eq!(done.0, 1);
+
+        // Ground truth: the same shard, run directly.
+        let mut hosts = HostCache::new();
+        let expected: Vec<CellRow> = shards[1]
+            .clone()
+            .map(|i| row_for(i as u64, &cells[i], &mut hosts))
+            .collect();
+        assert_eq!(done.1, expected, "worker rows must match serial digests");
+
+        let heartbeats = frames
+            .iter()
+            .filter(|f| matches!(f, Frame::Heartbeat { .. }))
+            .count();
+        assert_eq!(heartbeats, shards[1].len(), "one heartbeat per cell");
+    }
+}

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod cluster;
 pub mod fleet;
 pub mod sweep;
 pub mod workload;

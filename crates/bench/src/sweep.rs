@@ -25,8 +25,8 @@ use msplayer_core::config::SchedulerKind;
 use msplayer_core::metrics::SessionMetrics;
 use msplayer_core::sim::SessionHost;
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// One sweep cell: a fully determined session to run.
 ///
@@ -105,9 +105,22 @@ impl Cell {
         let metrics = host.run(&spec).expect("registered workloads validate");
         CellResult {
             cell: self.clone(),
-            metrics,
+            outcome: CellOutcome::Done(Box::new(metrics)),
             wall_secs: t0.elapsed().as_secs_f64(),
         }
+    }
+
+    /// The one-line `sweep` case-mode invocation reproducing this cell —
+    /// attached to watchdog rows so a timed-out cell is immediately
+    /// re-runnable in isolation.
+    pub fn repro(&self) -> String {
+        format!(
+            "sweep --workload {:?} --scheduler {} --chunk-kb {} --seed {}",
+            self.workload.name,
+            self.scheduler.name(),
+            self.chunk_kb,
+            self.seed
+        )
     }
 }
 
@@ -138,9 +151,28 @@ pub fn expand_workload(workload: &Arc<WorkloadSpec>) -> Vec<Cell> {
     out
 }
 
+/// What running one cell produced: a completed session, or a typed
+/// watchdog row when the cell blew its wall-time budget.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CellOutcome {
+    /// The session ran to completion. Boxed: full session metrics dwarf
+    /// the timeout variant, and sweeps hold thousands of these.
+    Done(Box<SessionMetrics>),
+    /// The cell exceeded the sweep's per-cell wall-time budget (see
+    /// [`SweepOptions::cell_budget`]). The sweep keeps going; the row
+    /// carries the one-line repro so the hang is reproducible in
+    /// isolation.
+    TimedOut {
+        /// The budget that was exceeded, in seconds.
+        budget_secs: f64,
+        /// One-line `sweep` case-mode invocation reproducing the cell.
+        repro: String,
+    },
+}
+
 /// A cell together with its complete session metrics.
 ///
-/// Equality compares the cell parameters and *everything* in the metrics
+/// Equality compares the cell parameters and *everything* in the outcome
 /// (chunk records, f64 goodputs, event counts) — which is what lets the
 /// determinism tests assert bit-identical parallel/serial output. The
 /// measured wall time is deliberately excluded: it is a property of the
@@ -149,15 +181,144 @@ pub fn expand_workload(workload: &Arc<WorkloadSpec>) -> Vec<Cell> {
 pub struct CellResult {
     /// The cell that produced this result.
     pub cell: Cell,
-    /// Full session metrics.
-    pub metrics: SessionMetrics,
-    /// Wall-clock seconds this cell's session took to execute.
+    /// Completed metrics, or the typed watchdog row.
+    pub outcome: CellOutcome,
+    /// Wall-clock seconds this cell's session took to execute (the
+    /// budget, for timed-out cells).
     pub wall_secs: f64,
+}
+
+impl CellResult {
+    /// The session metrics, when the cell completed.
+    pub fn metrics(&self) -> Option<&SessionMetrics> {
+        match &self.outcome {
+            CellOutcome::Done(m) => Some(m.as_ref()),
+            CellOutcome::TimedOut { .. } => None,
+        }
+    }
+
+    /// The session metrics; panics on a watchdog row. For call sites that
+    /// run without a cell budget (where a timeout is impossible).
+    pub fn expect_metrics(&self) -> &SessionMetrics {
+        match &self.outcome {
+            CellOutcome::Done(m) => m.as_ref(),
+            CellOutcome::TimedOut { repro, .. } => {
+                panic!("cell timed out under the watchdog (repro: {repro})")
+            }
+        }
+    }
+
+    /// Did the watchdog cut this cell short?
+    pub fn timed_out(&self) -> bool {
+        matches!(self.outcome, CellOutcome::TimedOut { .. })
+    }
 }
 
 impl PartialEq for CellResult {
     fn eq(&self, other: &CellResult) -> bool {
-        self.cell == other.cell && self.metrics == other.metrics
+        self.cell == other.cell && self.outcome == other.outcome
+    }
+}
+
+/// Execution options for a sweep run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepOptions {
+    /// Per-cell wall-time budget. A cell still running past the budget is
+    /// abandoned and reported as [`CellOutcome::TimedOut`] instead of
+    /// hanging the whole sweep; the sweep continues on a fresh runner.
+    /// `None` (the default) preserves the historical run-to-completion
+    /// behaviour with zero overhead.
+    pub cell_budget: Option<Duration>,
+}
+
+impl SweepOptions {
+    /// Options from the environment: `MSP_CELL_BUDGET_SECS` (fractional
+    /// seconds; unset or 0 disables the watchdog).
+    pub fn from_env() -> SweepOptions {
+        let cell_budget = std::env::var("MSP_CELL_BUDGET_SECS")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|&s| s > 0.0)
+            .map(Duration::from_secs_f64);
+        SweepOptions { cell_budget }
+    }
+}
+
+/// A watchdog-guarded cell runner: cells execute on a helper thread that
+/// owns its [`HostCache`]; if one exceeds the budget, the thread is
+/// abandoned (it parks on a dead channel when the hung session ever
+/// finishes) and a fresh runner takes over for the next cell.
+struct WatchdogRunner {
+    budget: Duration,
+    lane: Option<RunnerLane>,
+}
+
+struct RunnerLane {
+    tx: mpsc::Sender<Cell>,
+    rx: mpsc::Receiver<CellResult>,
+}
+
+impl WatchdogRunner {
+    fn new(budget: Duration) -> WatchdogRunner {
+        WatchdogRunner { budget, lane: None }
+    }
+
+    fn lane(&mut self) -> &RunnerLane {
+        if self.lane.is_none() {
+            let (cell_tx, cell_rx) = mpsc::channel::<Cell>();
+            let (result_tx, result_rx) = mpsc::channel::<CellResult>();
+            std::thread::spawn(move || {
+                let mut hosts = HostCache::new();
+                while let Ok(cell) = cell_rx.recv() {
+                    let result = cell.run_on(hosts.host_for(&cell.workload));
+                    if result_tx.send(result).is_err() {
+                        // The sweep abandoned this lane mid-cell (watchdog
+                        // fired); drop the stale result and retire.
+                        return;
+                    }
+                }
+            });
+            self.lane = Some(RunnerLane {
+                tx: cell_tx,
+                rx: result_rx,
+            });
+        }
+        self.lane.as_ref().expect("just installed")
+    }
+
+    fn run(&mut self, cell: &Cell) -> CellResult {
+        let budget = self.budget;
+        let lane = self.lane();
+        if lane.tx.send(cell.clone()).is_err() {
+            // Lane thread died (a previous hung cell panicked after
+            // abandonment); replace it and retry once.
+            self.lane = None;
+            let lane = self.lane();
+            lane.tx.send(cell.clone()).expect("fresh lane accepts work");
+        }
+        let lane = self.lane.as_ref().expect("lane exists");
+        let t0 = Instant::now();
+        // The budget is a contract on elapsed wall time, not on channel
+        // luck: a result that arrives after the deadline (possible when
+        // this thread was descheduled between send and receive — the
+        // queued message would otherwise win over the timeout) is still
+        // a timeout. That keeps TimedOut independent of scheduler noise.
+        if let Ok(result) = lane.rx.recv_timeout(budget) {
+            if t0.elapsed() <= budget {
+                return result;
+            }
+        }
+        // Budget blown (or lane lost): abandon the lane — its host
+        // cache goes with it — and emit the typed row.
+        self.lane = None;
+        CellResult {
+            cell: cell.clone(),
+            outcome: CellOutcome::TimedOut {
+                budget_secs: budget.as_secs_f64(),
+                repro: cell.repro(),
+            },
+            wall_secs: budget.as_secs_f64(),
+        }
     }
 }
 
@@ -279,14 +440,40 @@ impl HostCache {
     }
 }
 
+/// Per-thread cell executor: the direct host-cache path when no budget is
+/// configured (zero overhead — the historical behaviour), the watchdog
+/// lane otherwise.
+enum CellExecutor {
+    Direct(HostCache),
+    Watchdog(WatchdogRunner),
+}
+
+impl CellExecutor {
+    fn new(opts: &SweepOptions) -> CellExecutor {
+        match opts.cell_budget {
+            None => CellExecutor::Direct(HostCache::new()),
+            Some(budget) => CellExecutor::Watchdog(WatchdogRunner::new(budget)),
+        }
+    }
+
+    fn run(&mut self, cell: &Cell) -> CellResult {
+        match self {
+            CellExecutor::Direct(hosts) => cell.run_on(hosts.host_for(&cell.workload)),
+            CellExecutor::Watchdog(runner) => runner.run(cell),
+        }
+    }
+}
+
 /// Runs every cell on the calling thread, in order, sharing hosts across
 /// cells of the same workload.
 pub fn run_serial(cells: &[Cell]) -> Vec<CellResult> {
-    let mut hosts = HostCache::new();
-    cells
-        .iter()
-        .map(|c| c.run_on(hosts.host_for(&c.workload)))
-        .collect()
+    run_serial_with(cells, &SweepOptions::default())
+}
+
+/// [`run_serial`] with execution options (per-cell watchdog budget).
+pub fn run_serial_with(cells: &[Cell], opts: &SweepOptions) -> Vec<CellResult> {
+    let mut exec = CellExecutor::new(opts);
+    cells.iter().map(|c| exec.run(c)).collect()
 }
 
 /// Runs the cells across `n_threads` workers with work stealing, returning
@@ -300,9 +487,16 @@ pub fn run_serial(cells: &[Cell]) -> Vec<CellResult> {
 /// threads, and host reuse cannot change results (bit-identical batch
 /// guarantee).
 pub fn run_parallel(cells: &[Cell], n_threads: usize) -> Vec<CellResult> {
+    run_parallel_with(cells, n_threads, &SweepOptions::default())
+}
+
+/// [`run_parallel`] with execution options (per-cell watchdog budget —
+/// each worker guards its own cells, so one hung cell stalls at most one
+/// worker for one budget instead of wedging the pool).
+pub fn run_parallel_with(cells: &[Cell], n_threads: usize, opts: &SweepOptions) -> Vec<CellResult> {
     let n_threads = n_threads.max(1).min(cells.len().max(1));
     if n_threads <= 1 || cells.len() <= 1 {
-        return run_serial(cells);
+        return run_serial_with(cells, opts);
     }
 
     // Per-worker deques, dealt round-robin.
@@ -324,9 +518,10 @@ pub fn run_parallel(cells: &[Cell], n_threads: usize) -> Vec<CellResult> {
         let mut handles = Vec::new();
         for w in 0..n_threads {
             let queues = &queues;
+            let opts = *opts;
             handles.push(scope.spawn(move || {
                 let mut done: Vec<(usize, CellResult)> = Vec::new();
-                let mut hosts = HostCache::new();
+                let mut exec = CellExecutor::new(&opts);
                 loop {
                     // Own queue first.
                     let mine = queues[w].lock().expect("queue poisoned").pop_front();
@@ -347,8 +542,7 @@ pub fn run_parallel(cells: &[Cell], n_threads: usize) -> Vec<CellResult> {
                             }
                         }
                     };
-                    let cell = &cells[idx];
-                    done.push((idx, cell.run_on(hosts.host_for(&cell.workload))));
+                    done.push((idx, exec.run(&cells[idx])));
                 }
                 done
             }));
@@ -450,6 +644,8 @@ pub struct BenchReport {
     pub serial_wall_secs: Option<f64>,
     /// Per-cell-kind wall-time percentiles.
     pub cell_kinds: Vec<CellKindStats>,
+    /// Cells the watchdog cut short (0 without a cell budget).
+    pub timed_out: u64,
 }
 
 impl BenchReport {
@@ -470,7 +666,10 @@ impl BenchReport {
             name: name.to_string(),
             threads,
             sessions: results.len() as u64,
-            events: results.iter().map(|r| r.metrics.events).sum(),
+            events: results
+                .iter()
+                .filter_map(|r| r.metrics().map(|m| m.events))
+                .sum(),
             wall_secs: wall,
             serial_wall_secs: None,
             cell_kinds: if threads <= 1 {
@@ -478,6 +677,7 @@ impl BenchReport {
             } else {
                 Vec::new()
             },
+            timed_out: results.iter().filter(|r| r.timed_out()).count() as u64,
         };
         (report, results)
     }
@@ -516,6 +716,9 @@ impl BenchReport {
             if let Some(x) = self.speedup() {
                 v = v.with("speedup", x);
             }
+        }
+        if self.timed_out > 0 {
+            v = v.with("timed_out", self.timed_out);
         }
         if self.cell_kinds.is_empty() {
             return v;
@@ -644,6 +847,44 @@ mod tests {
     }
 
     #[test]
+    fn watchdog_times_out_slow_cell_and_sweep_continues() {
+        let cells = tiny_spec().cells();
+        // A 1ns budget: every cell (real sessions take microseconds at
+        // least) becomes a typed TimedOut row instead of hanging.
+        let opts = SweepOptions {
+            cell_budget: Some(Duration::from_nanos(1)),
+        };
+        let results = run_serial_with(&cells, &opts);
+        assert_eq!(results.len(), cells.len(), "sweep kept going");
+        let first = &results[0];
+        assert!(first.timed_out());
+        assert!(first.metrics().is_none());
+        match &first.outcome {
+            CellOutcome::TimedOut { budget_secs, repro } => {
+                assert!(*budget_secs > 0.0);
+                assert!(repro.contains("sweep --workload"), "{repro}");
+                assert!(repro.contains("--scheduler"), "{repro}");
+                assert!(repro.contains("--seed"), "{repro}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // The report counts the watchdog rows instead of crashing on them.
+        let (report, _) = BenchReport::measure("wd", 1, || run_serial_with(&cells, &opts));
+        assert_eq!(report.timed_out, report.sessions);
+        assert!(msim_json::to_string(&report.to_json()).contains("\"timed_out\""));
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_run() {
+        let cells = tiny_spec().cells();
+        let opts = SweepOptions {
+            cell_budget: Some(Duration::from_secs(120)),
+        };
+        assert_eq!(run_serial(&cells), run_serial_with(&cells, &opts));
+        assert_eq!(run_serial(&cells), run_parallel_with(&cells, 3, &opts));
+    }
+
+    #[test]
     fn bench_report_math() {
         let r = BenchReport {
             name: "t".into(),
@@ -660,6 +901,7 @@ mod tests {
                 p99_ms: 3.0,
                 total_ms: 12.0,
             }],
+            timed_out: 0,
         };
         assert_eq!(r.sessions_per_sec(), 5.0);
         assert_eq!(r.events_per_sec(), 500.0);

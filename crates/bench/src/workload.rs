@@ -657,10 +657,13 @@ mod tests {
         let cells = crate::sweep::expand_workload(&Arc::new(w));
         assert_eq!(cells.len(), 4, "2 schedulers × 2 chunks × 1 seed");
         let r = cells[0].run();
-        assert!(r.metrics.prebuffer_done_at.is_some());
-        assert_eq!(r.metrics.num_paths(), 4);
+        assert!(r.expect_metrics().prebuffer_done_at.is_some());
+        assert_eq!(r.expect_metrics().num_paths(), 4);
         for p in 0..4 {
-            assert!(r.metrics.chunk_count(p) > 0, "path {p} carried chunks");
+            assert!(
+                r.expect_metrics().chunk_count(p) > 0,
+                "path {p} carried chunks"
+            );
         }
     }
 
@@ -671,9 +674,13 @@ mod tests {
         assert_eq!(cells.len(), 1);
         let a = cells[0].run();
         let b = cells[0].run();
-        assert_eq!(a.metrics, b.metrics, "deterministic replay");
-        assert!(a.metrics.prebuffer_done_at.is_some());
-        assert!(a.metrics.chunk_count(0) > 0 && a.metrics.chunk_count(1) > 0);
+        assert_eq!(
+            a.expect_metrics(),
+            b.expect_metrics(),
+            "deterministic replay"
+        );
+        assert!(a.expect_metrics().prebuffer_done_at.is_some());
+        assert!(a.expect_metrics().chunk_count(0) > 0 && a.expect_metrics().chunk_count(1) > 0);
     }
 
     #[test]
@@ -685,21 +692,25 @@ mod tests {
         assert_eq!(cells.len(), 1);
         let a = cells[0].run();
         let b = cells[0].run();
-        assert_eq!(a.metrics, b.metrics, "deterministic replay");
+        assert_eq!(
+            a.expect_metrics(),
+            b.expect_metrics(),
+            "deterministic replay"
+        );
         assert!(
-            !a.metrics.abr_switches.is_empty(),
+            !a.expect_metrics().abr_switches.is_empty(),
             "decision trace recorded"
         );
         assert!(
-            a.metrics.refills.len() >= 2,
+            a.expect_metrics().refills.len() >= 2,
             "streams through its refill cycles"
         );
         // Tick-heavy by construction: decisions every 250 ms dominate the
         // event count relative to a prebuffer-only session.
         assert!(
-            a.metrics.events > 200,
+            a.expect_metrics().events > 200,
             "periodic decisions make the session tick-heavy: {} events",
-            a.metrics.events
+            a.expect_metrics().events
         );
     }
 
@@ -711,7 +722,10 @@ mod tests {
         let mut switched_sessions = 0;
         for cell in &cells {
             let r = cell.run();
-            let qoe = r.metrics.abr_qoe.expect("closed-loop cells carry QoE");
+            let qoe = r
+                .expect_metrics()
+                .abr_qoe
+                .expect("closed-loop cells carry QoE");
             if qoe.switches > 0 {
                 switched_sessions += 1;
                 // Time-weighted bitrate stays between the ladder endpoints.
@@ -723,7 +737,11 @@ mod tests {
                     qoe.time_weighted_bitrate_bps
                 );
             }
-            assert_eq!(cell.run().metrics, r.metrics, "deterministic replay");
+            assert_eq!(
+                cell.run().expect_metrics(),
+                r.expect_metrics(),
+                "deterministic replay"
+            );
         }
         assert!(
             switched_sessions > 0,
@@ -736,12 +754,15 @@ mod tests {
         let w = Arc::new(WorkloadSpec::abr_mobility_handoff(1));
         let cells = crate::sweep::expand_workload(&w);
         let r = cells[0].run();
-        assert!(r.metrics.abr_qoe.is_some());
+        assert!(r.expect_metrics().abr_qoe.is_some());
         // LTE carried the early stream; WiFi joined after the handoff.
-        assert!(r.metrics.chunk_count(1) > 0, "LTE streamed");
-        assert!(r.metrics.chunk_count(0) > 0, "WiFi joined after handoff");
+        assert!(r.expect_metrics().chunk_count(1) > 0, "LTE streamed");
         assert!(
-            !r.metrics.abr_decisions.is_empty(),
+            r.expect_metrics().chunk_count(0) > 0,
+            "WiFi joined after handoff"
+        );
+        assert!(
+            !r.expect_metrics().abr_decisions.is_empty(),
             "the policy kept deciding through the handoff"
         );
     }
@@ -751,7 +772,7 @@ mod tests {
         let w = Arc::new(WorkloadSpec::mobility_mixed_trace(1));
         let cells = crate::sweep::expand_workload(&w);
         let r = cells[0].run();
-        let m = &r.metrics;
+        let m = r.expect_metrics();
         assert!(m.prebuffer_done_at.is_some(), "session survived the trace");
         assert!(m.chunk_count(0) > 0 && m.chunk_count(1) > 0);
         // WiFi delivered both before its outage (the WiFi-only phase) and
@@ -766,7 +787,11 @@ mod tests {
             .any(|c| c.path == 0 && c.completed_at >= msim_core::time::SimTime::from_secs(25));
         assert!(wifi_early, "WiFi-only phase carried traffic");
         assert!(wifi_late, "dual phase resumed WiFi");
-        assert_eq!(cells[0].run().metrics, r.metrics, "deterministic replay");
+        assert_eq!(
+            cells[0].run().expect_metrics(),
+            r.expect_metrics(),
+            "deterministic replay"
+        );
     }
 
     #[test]

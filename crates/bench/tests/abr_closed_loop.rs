@@ -134,7 +134,10 @@ fn closed_loop_sweep_switches_between_ladder_endpoints() {
     let top = msim_youtube::by_itag(37).unwrap().bitrate.as_bps();
     let mut switched = 0;
     for r in &results {
-        let qoe = r.metrics.abr_qoe.expect("closed-loop cells carry QoE");
+        let qoe = r
+            .expect_metrics()
+            .abr_qoe
+            .expect("closed-loop cells carry QoE");
         if qoe.switches > 0 {
             switched += 1;
             assert!(
@@ -144,7 +147,7 @@ fn closed_loop_sweep_switches_between_ladder_endpoints() {
                 qoe.time_weighted_bitrate_bps
             );
             assert!(
-                r.metrics.abr_decisions.iter().any(|d| d.switched),
+                r.expect_metrics().abr_decisions.iter().any(|d| d.switched),
                 "switch count without a switched decision"
             );
         }

@@ -121,10 +121,14 @@ fn three_path_workload_runs_through_the_sweep_engine() {
     assert_eq!(cells.len(), 4);
     let serial = run_serial(&cells);
     for r in &serial {
-        assert!(r.metrics.prebuffer_done_at.is_some(), "{:?}", r.cell);
-        assert_eq!(r.metrics.num_paths(), 3);
         assert!(
-            (0..3).all(|p| r.metrics.chunk_count(p) > 0),
+            r.expect_metrics().prebuffer_done_at.is_some(),
+            "{:?}",
+            r.cell
+        );
+        assert_eq!(r.expect_metrics().num_paths(), 3);
+        assert!(
+            (0..3).all(|p| r.expect_metrics().chunk_count(p) > 0),
             "all three paths carried traffic: {:?}",
             r.cell
         );

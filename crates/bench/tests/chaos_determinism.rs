@@ -58,7 +58,7 @@ fn serial_vs_parallel_sweep_is_bit_identical_under_chaos() {
     }
     // And every chaotic session still holds the invariant oracle.
     for r in &serial {
-        let violations = check_invariants(&r.metrics);
+        let violations = check_invariants(r.expect_metrics());
         assert!(
             violations.is_empty(),
             "{} seed {}: {violations:?}",

@@ -1,0 +1,189 @@
+//! End-to-end distributed sweep service tests: a real coordinator, real
+//! worker processes, real kills — and a bit-identical merge anyway.
+//!
+//! These are the tier-1 pins for the cluster's headline invariant: the
+//! merged `BENCH` artifact equals the serial in-process reference
+//! byte-for-byte regardless of worker count, kill schedule, or resume
+//! boundary.
+
+use msplayer_bench::cluster::{
+    run_cluster, serial_artifact, ClusterConfig, SweepManifest, Transport, WorkerChaos,
+};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn sweepd() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_msplayer-sweepd"))
+}
+
+/// A sweep small enough that every test here stays in the sub-minute
+/// range: one 2-path workload, 2 seeded runs per cell.
+fn small_manifest(name: &str) -> SweepManifest {
+    SweepManifest {
+        name: name.into(),
+        workloads: vec!["testbed/MSPlayer".into()],
+        runs: 2,
+        shard_cells: 3,
+    }
+}
+
+/// Fast fault-handling clocks so crash/expiry paths fire in milliseconds.
+fn fast_config(manifest: SweepManifest) -> ClusterConfig {
+    let mut config = ClusterConfig::new(manifest, sweepd());
+    config.lease_timeout = Duration::from_millis(800);
+    config.backoff_base = Duration::from_millis(10);
+    config.backoff_cap = Duration::from_millis(100);
+    config
+}
+
+fn pretty(v: &msim_json::Value) -> String {
+    msim_json::to_string_pretty(v)
+}
+
+#[test]
+fn killed_worker_still_merges_bit_identically() {
+    let manifest = small_manifest("cluster_kill_test");
+    let mut config = fast_config(manifest.clone());
+    config.workers = 2;
+    // Worker slot 0 self-destructs (exit 101) one cell into its first
+    // lease — a real process death, observed as a closed stream.
+    config.worker_chaos = vec![Some(
+        WorkerChaos::parse("0:crash-after-cells=1").expect("directive parses"),
+    )];
+
+    let outcome = run_cluster(&config).expect("coordinator survives the kill");
+    assert!(outcome.completed, "sweep must finish despite the crash");
+    assert!(
+        outcome.violations.is_empty(),
+        "no determinism violations: {:?}",
+        outcome.violations
+    );
+    let stats = &outcome.stats;
+    assert!(
+        stats.reassignments + stats.respawns > 0,
+        "the kill must actually have been observed and handled: {stats:?}"
+    );
+
+    let merged = pretty(outcome.artifact.as_ref().expect("completed => artifact"));
+    let serial = pretty(&serial_artifact(&manifest).expect("serial reference"));
+    assert_eq!(merged, serial, "crash-identical merge violated");
+}
+
+#[test]
+fn duplicate_completions_are_deduplicated_not_merged_twice() {
+    let manifest = small_manifest("cluster_dup_test");
+    let mut config = fast_config(manifest.clone());
+    config.workers = 2;
+    config.worker_chaos = vec![Some(
+        WorkerChaos::parse("0:duplicate-done").expect("directive parses"),
+    )];
+
+    let outcome = run_cluster(&config).expect("coordinator runs");
+    assert!(outcome.completed);
+    assert!(
+        outcome.stats.duplicates > 0,
+        "the duplicated Done frame must have been seen: {:?}",
+        outcome.stats
+    );
+    assert!(
+        outcome.violations.is_empty(),
+        "identical duplicates are benign: {:?}",
+        outcome.violations
+    );
+    let merged = pretty(outcome.artifact.as_ref().expect("artifact"));
+    let serial = pretty(&serial_artifact(&manifest).expect("serial reference"));
+    assert_eq!(merged, serial, "duplicates leaked into the merge");
+}
+
+#[test]
+fn checkpoint_resume_is_bit_identical() {
+    // One-cell shards: 4 shards total, so the simulated crash after 2
+    // completions leaves real work for the resumed coordinator.
+    let mut manifest = small_manifest("cluster_resume_test");
+    manifest.shard_cells = 1;
+    let scratch = std::env::temp_dir().join(format!("msp-cluster-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let mut config = fast_config(manifest.clone());
+    config.workers = 2;
+    config.checkpoint = Some(scratch.join("journal.ndjson"));
+    // Simulated coordinator crash after two shard completions.
+    config.stop_after_shards = Some(2);
+
+    let first = run_cluster(&config).expect("first (aborted) run");
+    assert!(!first.completed, "stop_after_shards must abort the run");
+    assert!(first.artifact.is_none(), "no artifact from a partial run");
+
+    // Second coordinator process (same config object, fresh state):
+    // resumes from the journal instead of re-running finished shards.
+    config.stop_after_shards = None;
+    let second = run_cluster(&config).expect("resumed run");
+    assert!(second.completed);
+    assert!(
+        second.stats.resumed_shards >= 2,
+        "journaled shards must be restored, not re-run: {:?}",
+        second.stats
+    );
+    let merged = pretty(second.artifact.as_ref().expect("artifact"));
+    let serial = pretty(&serial_artifact(&manifest).expect("serial reference"));
+    assert_eq!(merged, serial, "resume boundary leaked into the artifact");
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn tcp_workers_complete_the_sweep() {
+    // Reserve an ephemeral port, then hand it to the coordinator.
+    let addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind probe");
+        listener.local_addr().expect("local addr").to_string()
+    };
+    let manifest = small_manifest("cluster_tcp_test");
+    let mut config = fast_config(manifest.clone());
+    config.workers = 2;
+    // Generous lease so the inline starvation fallback doesn't steal the
+    // shards before the TCP workers have connected.
+    config.lease_timeout = Duration::from_secs(5);
+    config.transport = Transport::Tcp { addr: addr.clone() };
+
+    let coordinator = std::thread::spawn(move || run_cluster(&config));
+    std::thread::sleep(Duration::from_millis(150));
+    let mut workers: Vec<std::process::Child> = (0..2)
+        .map(|_| {
+            std::process::Command::new(sweepd())
+                .args(["worker", "--connect", &addr])
+                .stderr(std::process::Stdio::null())
+                .spawn()
+                .expect("spawn TCP worker")
+        })
+        .collect();
+
+    let outcome = coordinator
+        .join()
+        .expect("coordinator thread")
+        .expect("coordinator result");
+    assert!(outcome.completed);
+    assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+    let merged = pretty(outcome.artifact.as_ref().expect("artifact"));
+    let serial = pretty(&serial_artifact(&manifest).expect("serial reference"));
+    assert_eq!(merged, serial, "TCP transport changed the artifact");
+
+    // Workers exit on the coordinator's Shutdown frame; don't leak them
+    // if that ever regresses.
+    for w in &mut workers {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match w.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20))
+                }
+                _ => {
+                    let _ = w.kill();
+                    let _ = w.wait();
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Property test for the crash-identical merge: the merged artifact is a
+//! pure function of the row *set* — invariant under permutation,
+//! partitioning, and injected duplicates — and always byte-identical to
+//! the serial sweep's merge.
+//!
+//! This is the algebra the whole cluster leans on: whatever order shards
+//! complete in, however many times a speculative re-execution reports,
+//! however the cells were cut into shards, the artifact cannot tell.
+
+use msplayer_bench::cluster::coordinator::serial_rows;
+use msplayer_bench::cluster::merge::{hex_u64, sweep_fingerprint};
+use msplayer_bench::cluster::{merge_rows, CellRow, SweepManifest};
+use std::collections::HashSet;
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+fn test_manifest() -> SweepManifest {
+    SweepManifest {
+        name: "merge_invariance".into(),
+        workloads: vec!["testbed/MSPlayer".into()],
+        runs: 1,
+        shard_cells: 4,
+    }
+}
+
+/// The coordinator's dedup discipline: first completion per shard index
+/// wins, later arrivals are dropped before the merge.
+fn dedup_first_wins(rows: Vec<CellRow>) -> Vec<CellRow> {
+    let mut seen = HashSet::new();
+    rows.into_iter().filter(|r| seen.insert(r.index)).collect()
+}
+
+#[test]
+fn merge_is_permutation_and_duplicate_invariant() {
+    let manifest = test_manifest();
+    let (cells, rows) = serial_rows(&manifest).expect("serial rows");
+    let reference = msim_json::to_string_pretty(
+        &merge_rows(&manifest.name, manifest.fingerprint(), &cells, &rows)
+            .expect("reference merge"),
+    );
+
+    let mut state = 0x5EED_CAFE_F00D_D00Du64;
+    for trial in 0..16 {
+        let mut jumbled = rows.clone();
+        // Inject up to four duplicate completions (speculation/chaos).
+        for _ in 0..(xorshift(&mut state) % 5) {
+            let i = (xorshift(&mut state) as usize) % rows.len();
+            jumbled.push(rows[i]);
+        }
+        // Fisher–Yates shuffle: completions arrive in arbitrary order.
+        for i in (1..jumbled.len()).rev() {
+            let j = (xorshift(&mut state) as usize) % (i + 1);
+            jumbled.swap(i, j);
+        }
+        let merged = msim_json::to_string_pretty(
+            &merge_rows(
+                &manifest.name,
+                manifest.fingerprint(),
+                &cells,
+                &dedup_first_wins(jumbled),
+            )
+            .expect("shuffled merge"),
+        );
+        assert_eq!(
+            merged, reference,
+            "trial {trial}: merge saw the arrival order"
+        );
+    }
+}
+
+#[test]
+fn merge_is_partition_invariant() {
+    let manifest = test_manifest();
+    let (cells, rows) = serial_rows(&manifest).expect("serial rows");
+    let reference = msim_json::to_string_pretty(
+        &merge_rows(&manifest.name, manifest.fingerprint(), &cells, &rows)
+            .expect("reference merge"),
+    );
+
+    // Cut the same row set into shards of width 1, 2, 5, and 7, complete
+    // the shards back-to-front, and merge: identical bytes every time.
+    for width in [1usize, 2, 5, 7] {
+        let mut reordered: Vec<CellRow> = Vec::with_capacity(rows.len());
+        for chunk in rows.chunks(width).rev() {
+            reordered.extend_from_slice(chunk);
+        }
+        let merged = msim_json::to_string_pretty(
+            &merge_rows(&manifest.name, manifest.fingerprint(), &cells, &reordered)
+                .expect("partitioned merge"),
+        );
+        assert_eq!(
+            merged, reference,
+            "shard width {width} leaked into the merge"
+        );
+    }
+}
+
+#[test]
+fn artifact_embeds_the_sweep_fingerprint() {
+    let manifest = test_manifest();
+    let (cells, rows) = serial_rows(&manifest).expect("serial rows");
+    let artifact =
+        merge_rows(&manifest.name, manifest.fingerprint(), &cells, &rows).expect("merge");
+    assert_eq!(
+        artifact.get("sweep_fingerprint").and_then(|v| v.as_str()),
+        Some(hex_u64(sweep_fingerprint(&rows)).as_str()),
+        "artifact fingerprint must be the row-stream fingerprint"
+    );
+    assert_eq!(
+        artifact.get("sessions").and_then(|v| v.as_u64()),
+        Some(cells.len() as u64)
+    );
+}
+
+#[test]
+fn merge_rejects_gaps_strays_and_residual_duplicates() {
+    let manifest = test_manifest();
+    let (cells, rows) = serial_rows(&manifest).expect("serial rows");
+    let fp = manifest.fingerprint();
+
+    let mut gap = rows.clone();
+    gap.pop();
+    assert!(merge_rows(&manifest.name, fp, &cells, &gap).is_err(), "gap");
+
+    let mut stray = rows.clone();
+    stray.push(CellRow {
+        index: cells.len() as u64 + 10,
+        digest: 7,
+    });
+    assert!(
+        merge_rows(&manifest.name, fp, &cells, &stray).is_err(),
+        "out-of-range index"
+    );
+
+    let mut dup = rows.clone();
+    dup.push(rows[0]);
+    assert!(
+        merge_rows(&manifest.name, fp, &cells, &dup).is_err(),
+        "duplicates must be resolved before the merge, never inside it"
+    );
+}

@@ -10,21 +10,33 @@
 //! * [`driver`] — the socket driver running the *same* sans-I/O
 //!   [`msplayer_core::player::Player`] the simulator uses, with one blocking
 //!   worker thread per path (mirroring the original player's threads);
-//! * [`harness`] — one-call setup: shaped servers + proxies + session.
+//! * [`harness`] — one-call setup: shaped servers + proxies + session;
+//! * [`lines`] — line-framed transport plumbing (reader threads, flushed
+//!   line writers, a background accept loop) shared with the distributed
+//!   sweep service's coordinator/worker protocol;
+//! * [`signal`] — the SIGINT/SIGTERM shutdown flag the long-running
+//!   binaries poll to flush artifacts before exiting.
 //!
 //! The point of this crate is the sans-I/O proof: every scheduler decision
 //! exercised by the deterministic simulator also runs against real sockets
 //! moving real bytes.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the [`signal`] module carries the
+// workspace's single FFI call (signal-handler registration has no std
+// API) under a scoped `allow`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod driver;
 pub mod harness;
+pub mod lines;
 pub mod server;
 pub mod shaper;
+pub mod signal;
 
 pub use driver::{run_testbed_session, TestbedSession, TestbedStop};
 pub use harness::Testbed;
+pub use lines::{spawn_line_reader, LineEvent, LineServer, LineWriter};
 pub use server::{ProxyDaemon, VideoFileServer};
 pub use shaper::{LinkShape, TokenBucket};
+pub use signal::{install_shutdown_handler, request_shutdown, shutdown_requested};

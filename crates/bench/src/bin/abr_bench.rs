@@ -107,6 +107,7 @@ fn main() {
     let json = closed_report
         .to_json()
         .with("name", "abr")
+        .with("stream_epoch", msim_core::rng::STREAM_EPOCH as u64)
         .with("shadow_sessions_per_sec", shadow_report.sessions_per_sec())
         .with(
             "closed_loop_sessions_per_sec",

@@ -53,6 +53,21 @@ fn rows_for(name: &str, v: &Value) -> Option<Vec<String>> {
             "| {name} | (partial — run interrupted before completion) | — | |"
         ));
     }
+    // An artifact recorded against a superseded deviate-stream definition
+    // (or predating the epoch stamp entirely) measured *different
+    // sessions* than today's engine runs — its numbers are a valid record
+    // of that epoch but not a baseline for this one, so the row is marked
+    // rather than left to read as a regression or a win.
+    let current = msim_core::rng::STREAM_EPOCH as u64;
+    match v.get("stream_epoch").and_then(Value::as_u64) {
+        Some(epoch) if epoch == current => {}
+        Some(epoch) => rows.push(format!(
+            "| {name} | (STALE baseline — stream epoch {epoch}, current {current}; re-record) | — | |"
+        )),
+        None => rows.push(format!(
+            "| {name} | (STALE baseline — predates stream-epoch stamping, current {current}; re-record) | — | |"
+        )),
+    }
     match v.get("schema").and_then(Value::as_str) {
         // The distributed sweep's deterministic artifact: identity is
         // the whole point, so the fingerprints are the trend row.

@@ -158,6 +158,7 @@ fn main() {
     let near = &results[0];
     let json = msim_json::Value::object()
         .with("name", "event_queue")
+        .with("stream_epoch", msim_core::rng::STREAM_EPOCH as u64)
         .with("patterns", msim_json::Value::Array(patterns_json))
         .with("near_horizon_speedup", near.speedup());
     let path = bench_dir().join("BENCH_event_queue.json");

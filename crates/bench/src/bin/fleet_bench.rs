@@ -125,6 +125,7 @@ fn main() {
         flush_interrupted(
             msim_json::Value::object()
                 .with("name", "fleet")
+                .with("stream_epoch", msim_core::rng::STREAM_EPOCH as u64)
                 .with("headline", metrics_json(&headline, headline_wall)),
         );
     }
@@ -139,6 +140,7 @@ fn main() {
             flush_interrupted(
                 msim_json::Value::object()
                     .with("name", "fleet")
+                    .with("stream_epoch", msim_core::rng::STREAM_EPOCH as u64)
                     .with("headline", metrics_json(&headline, headline_wall))
                     .with("frontier", msim_json::Value::Array(frontier_rows)),
             );
@@ -184,6 +186,7 @@ fn main() {
         flush_interrupted(
             msim_json::Value::object()
                 .with("name", "fleet")
+                .with("stream_epoch", msim_core::rng::STREAM_EPOCH as u64)
                 .with("headline", metrics_json(&headline, headline_wall))
                 .with("frontier", msim_json::Value::Array(frontier_rows)),
         );
@@ -201,6 +204,7 @@ fn main() {
 
     let json = msim_json::Value::object()
         .with("name", "fleet")
+        .with("stream_epoch", msim_core::rng::STREAM_EPOCH as u64)
         .with("headline", metrics_json(&headline, headline_wall))
         .with("frontier", msim_json::Value::Array(frontier_rows))
         .with("exact", metrics_json(&exact, exact_wall));

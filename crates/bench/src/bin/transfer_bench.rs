@@ -164,6 +164,7 @@ fn main() {
 
     let json = msim_json::Value::object()
         .with("name", "transfer")
+        .with("stream_epoch", msim_core::rng::STREAM_EPOCH as u64)
         .with("stable_chunks_speedup", stable_speedup)
         .with("patterns", msim_json::Value::Array(json_patterns));
     let path = bench_dir().join("BENCH_transfer.json");

@@ -419,6 +419,43 @@ pub fn run_cluster(config: &ClusterConfig) -> Result<ClusterOutcome, String> {
             let _ = w.writer.send_line(&Frame::Shutdown.to_line());
         }
     }
+    // A worker's final frames can still be in flight when the last shard
+    // completes — e.g. a late duplicate Done from a reassigned or
+    // misbehaving worker. Keep reading until every reader thread closes
+    // so those frames land in stats/violations instead of being dropped.
+    if !stopped_early && !interrupted {
+        let drain_deadline = Instant::now() + Duration::from_secs(5);
+        while workers.iter().any(|w| w.alive) && Instant::now() < drain_deadline {
+            match event_rx.recv_timeout(Duration::from_millis(25)) {
+                Ok(LineEvent::Line(peer, line)) => match Frame::from_line(&line) {
+                    Ok(frame) => {
+                        handle_frame(
+                            peer,
+                            frame,
+                            config,
+                            &mut states,
+                            &mut workers,
+                            &mut done,
+                            &mut checkpoint,
+                            &mut stats,
+                            &mut violations,
+                            &mut completed_this_run,
+                        )?;
+                    }
+                    Err(_) => stats.protocol_errors += 1,
+                },
+                Ok(LineEvent::Garbage(..)) => stats.protocol_errors += 1,
+                Ok(LineEvent::Closed(peer)) => {
+                    if let Some(w) = workers.iter_mut().find(|w| w.id == peer) {
+                        w.alive = false;
+                        w.ready = false;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
     for w in &mut workers {
         if let Some(child) = &mut w.child {
             if stopped_early || interrupted {
@@ -799,6 +836,7 @@ fn provenance_json(
         .with("resumed_shards", stats.resumed_shards)
         .with("schema", "cluster-provenance")
         .with("shards", Value::Array(shard_values))
+        .with("stream_epoch", msim_core::rng::STREAM_EPOCH as u64)
         .with("violations", Value::Array(violation_values))
         .with("workers", config.workers as u64)
 }

@@ -169,6 +169,7 @@ pub fn merge_rows(
         .with("name", name)
         .with("schema", "cluster-sweep")
         .with("sessions", cells.len() as u64)
+        .with("stream_epoch", msim_core::rng::STREAM_EPOCH as u64)
         .with(
             "sweep_fingerprint",
             hex_u64(sweep_fingerprint(&ordered)).as_str(),

@@ -14,6 +14,7 @@
 pub mod chaos;
 pub mod cluster;
 pub mod fleet;
+pub mod sampling;
 pub mod sweep;
 pub mod workload;
 

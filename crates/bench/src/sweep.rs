@@ -701,10 +701,14 @@ impl BenchReport {
     /// threads, sessions, events, wall_secs, sessions_per_sec,
     /// events_per_sec, serial_wall_secs, speedup) are stable; `cell_kinds`
     /// extends the schema (present on single-threaded reports only — see
-    /// [`BenchReport::measure`]).
+    /// [`BenchReport::measure`]), and `stream_epoch` records which
+    /// deviate-stream definition ([`msim_core::rng::STREAM_EPOCH`]) the
+    /// numbers were measured against, so `bench_report` can flag stale
+    /// baselines.
     pub fn to_json(&self) -> msim_json::Value {
         let mut v = msim_json::Value::object()
             .with("name", self.name.as_str())
+            .with("stream_epoch", msim_core::rng::STREAM_EPOCH as u64)
             .with("threads", self.threads as u64)
             .with("sessions", self.sessions)
             .with("events", self.events)

@@ -1,0 +1,129 @@
+//! Tier-1 pin of the sampling-stream redefinition (stream epoch 2).
+//!
+//! Three claims, each load-bearing for the vectorized sampling engine:
+//!
+//! 1. the committed fingerprints replay bit-for-bit on the production
+//!    (block-fill) path — the streams are frozen from this PR on;
+//! 2. the scalar-reference fill path produces the *same* sessions — the
+//!    blocked transcendental math is exact, not approximate;
+//! 3. warm-host batching is invisible — `run_batch` over a shared host
+//!    digests identically to a fresh host per session.
+//!
+//! Regenerate after an (explicitly sanctioned) stream change with:
+//!
+//! ```sh
+//! cargo test -p msplayer-bench --test sampling_corpus -- --ignored
+//! ```
+
+use msim_core::rng::DeviateMode;
+use msplayer_bench::chaos::scheduler_by_name;
+use msplayer_bench::cluster::merge::digest_metrics;
+use msplayer_bench::sampling::{
+    compute_fingerprints, corpus_points, digest_point, load_corpus, save_corpus,
+};
+use msplayer_bench::workload::WorkloadRegistry;
+use msplayer_core::sim::SessionHost;
+
+fn registry() -> WorkloadRegistry {
+    WorkloadRegistry::builtin(msplayer_bench::sampling::SEEDS_PER_WORKLOAD)
+}
+
+/// Claim 1: the committed corpus replays bit-identically on the block
+/// path, and covers every builtin workload (a workload registered without
+/// a fingerprint is a coverage hole, not a pass).
+#[test]
+fn committed_fingerprints_replay_on_block_path() {
+    let reg = registry();
+    let corpus = load_corpus().expect("committed corpus loads");
+    let expected = corpus_points(&reg);
+    assert_eq!(
+        corpus.len(),
+        expected.len(),
+        "corpus rows != registry grid points — a workload was added or \
+         removed without regenerating the corpus"
+    );
+    for fp in &corpus {
+        let scheduler = scheduler_by_name(&fp.scheduler)
+            .unwrap_or_else(|| panic!("unknown scheduler {:?}", fp.scheduler));
+        let got = digest_point(
+            &reg,
+            &fp.workload,
+            scheduler,
+            fp.chunk_kb,
+            fp.seed,
+            DeviateMode::Block,
+        );
+        assert_eq!(
+            got, fp.digest,
+            "stream drift: {}/{} chunk={} seed={:#x} digests {:#018x}, \
+             corpus pins {:#018x}",
+            fp.workload, fp.scheduler, fp.chunk_kb, fp.seed, got, fp.digest
+        );
+    }
+}
+
+/// Claim 2: the scalar-reference path reproduces every committed digest.
+/// Combined with claim 1 this proves Block == ScalarRef over whole
+/// sessions of every builtin workload, not just over raw deviate arrays.
+#[test]
+fn scalar_reference_path_matches_committed_fingerprints() {
+    let reg = registry();
+    for fp in load_corpus().expect("committed corpus loads") {
+        let scheduler = scheduler_by_name(&fp.scheduler).expect("known scheduler");
+        let got = digest_point(
+            &reg,
+            &fp.workload,
+            scheduler,
+            fp.chunk_kb,
+            fp.seed,
+            DeviateMode::ScalarRef,
+        );
+        assert_eq!(
+            got, fp.digest,
+            "block/scalar divergence on {}/{} seed={:#x}",
+            fp.workload, fp.scheduler, fp.seed
+        );
+    }
+}
+
+/// Claim 3: one warm host running all of a workload's pinned seeds through
+/// `run_batch` digests identically to the fresh-host-per-session corpus.
+/// This is the bit-identity contract the cache-friendly batching (shared
+/// event-queue storage, bootstrap cache, scratch arenas) must uphold.
+#[test]
+fn warm_host_batches_match_committed_fingerprints() {
+    let reg = registry();
+    let corpus = load_corpus().expect("committed corpus loads");
+    for w in reg.specs() {
+        let rows: Vec<_> = corpus.iter().filter(|fp| fp.workload == w.name).collect();
+        assert!(!rows.is_empty(), "no corpus rows for {}", w.name);
+        let scheduler = scheduler_by_name(&rows[0].scheduler).expect("known scheduler");
+        let spec = w.session_spec(scheduler, rows[0].chunk_kb, rows[0].seed);
+        let seeds: Vec<u64> = rows.iter().map(|fp| fp.seed).collect();
+        let mut host = SessionHost::new(w.service.clone());
+        let metrics = host
+            .run_batch(&seeds, &spec)
+            .expect("registered workloads validate");
+        for (fp, m) in rows.iter().zip(&metrics) {
+            assert_eq!(
+                digest_metrics(m),
+                fp.digest,
+                "warm-host batch diverged on {} seed={:#x}",
+                w.name,
+                fp.seed
+            );
+        }
+    }
+}
+
+/// Regenerator: recomputes every fingerprint on the block path and
+/// rewrites the committed JSON. Ignored by default — running it is the
+/// explicit act of re-freezing the streams after a sanctioned change.
+#[test]
+#[ignore = "rewrites the committed corpus; run explicitly after a sanctioned stream change"]
+fn regenerate_committed_fingerprints() {
+    let reg = registry();
+    let fps = compute_fingerprints(&reg, DeviateMode::Block);
+    let path = save_corpus(&fps).expect("corpus written");
+    println!("wrote {} fingerprints to {}", fps.len(), path.display());
+}

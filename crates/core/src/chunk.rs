@@ -9,7 +9,6 @@
 //! §2).
 
 use msim_http::ByteRange;
-use std::collections::BTreeMap;
 
 /// Index of a chunk in issue order.
 pub type ChunkIndex = u64;
@@ -44,8 +43,11 @@ pub struct ChunkLedger {
     frontier_unassigned: u64,
     next_index: ChunkIndex,
     in_flight: Vec<InFlight>,
-    /// Completed ranges keyed by start offset (non-overlapping).
-    completed: BTreeMap<u64, u64>,
+    /// Completed ranges ahead of the prefix, sorted by start offset
+    /// (non-overlapping). The paper's memory rule keeps at most a couple of
+    /// out-of-order chunks alive, so a flat sorted vec beats a tree map:
+    /// no per-node allocation, and the fold loop walks a cache line.
+    completed: Vec<(u64, u64)>,
     /// Bytes contiguous from offset 0 (the playable prefix).
     contiguous: u64,
     /// Holes from aborted transfers, to re-assign first: (start, len).
@@ -60,7 +62,7 @@ impl ChunkLedger {
             frontier_unassigned: 0,
             next_index: 0,
             in_flight: Vec::new(),
-            completed: BTreeMap::new(),
+            completed: Vec::new(),
             contiguous: 0,
             holes: Vec::new(),
         }
@@ -78,7 +80,8 @@ impl ChunkLedger {
 
     /// Total bytes already fetched (contiguous or not).
     pub fn completed_bytes(&self) -> u64 {
-        self.completed.values().sum::<u64>() + self.contiguous_completed_portion()
+        self.completed.iter().map(|&(_, len)| len).sum::<u64>()
+            + self.contiguous_completed_portion()
     }
 
     fn contiguous_completed_portion(&self) -> u64 {
@@ -199,16 +202,19 @@ impl ChunkLedger {
             .position(|f| f.index == index)
             .unwrap_or_else(|| panic!("completing unknown chunk {index}"));
         let f = self.in_flight.swap_remove(pos);
-        self.completed.insert(f.start, f.len);
+        let at = self.completed.partition_point(|&(s, _)| s < f.start);
+        self.completed.insert(at, (f.start, f.len));
         // Fold newly contiguous ranges into the prefix.
-        while let Some((&start, &len)) = self.completed.first_key_value() {
+        let mut folded = 0;
+        for &(start, len) in &self.completed {
             if start == self.contiguous {
                 self.contiguous += len;
-                self.completed.pop_first();
+                folded += 1;
             } else {
                 break;
             }
         }
+        self.completed.drain(..folded);
         self.contiguous
     }
 

@@ -150,6 +150,19 @@ impl SessionMetrics {
         self.first_byte_at.len()
     }
 
+    /// Pre-sizes the growable event traces for an expected session shape.
+    ///
+    /// The chunk and ABR-decision traces grow one push at a time through
+    /// the hot event loop; reserving the expected counts up front turns
+    /// the repeated doubling reallocations (and their memcpy of every
+    /// record so far) into a single allocation per trace. Purely a
+    /// capacity hint — contents and push order are unchanged.
+    pub fn reserve_events(&mut self, chunks: usize, abr_decisions: usize) {
+        self.chunks.reserve(chunks);
+        self.abr_decisions.reserve(abr_decisions);
+        self.abr_switches.reserve(abr_decisions.min(64));
+    }
+
     /// Pre-buffering download time (session start → target reached).
     pub fn prebuffer_time(&self) -> Option<SimDuration> {
         self.prebuffer_done_at

@@ -237,6 +237,7 @@ impl Player {
                 timeline: RungTimeline::new(started_at, start_fmt.bitrate.as_bps()),
             }
         });
+        let metrics = SessionMetrics::for_paths(n_paths, started_at);
         Player {
             cfg,
             scheduler,
@@ -246,7 +247,7 @@ impl Player {
             paths: vec![PathState::NotReady; n_paths],
             consecutive_failures: vec![0; n_paths],
             warmed_up: vec![false; n_paths],
-            metrics: SessionMetrics::for_paths(n_paths, started_at),
+            metrics,
             last_wake_requested: None,
             abr,
         }
@@ -255,6 +256,28 @@ impl Player {
     /// Number of path slots this player schedules over.
     pub fn num_paths(&self) -> usize {
         self.paths.len()
+    }
+
+    /// Pre-sizes the metrics event traces for a session expected to move
+    /// about `expected_bytes`: one chunk record per scheduler-sized chunk
+    /// and one ABR decision per interval over the implied wall time. The
+    /// driver calls this with a stop-condition-aware estimate (a
+    /// prebuffer-only session reserves far less than a full download), so
+    /// the hot loop's pushes almost never reallocate. Purely a capacity
+    /// hint; capped so degenerate specs can't balloon the allocation.
+    pub fn reserve_event_capacity(&mut self, expected_bytes: u64) {
+        let chunk = self.scheduler.chunk_size(0).as_u64().max(1);
+        let chunks = (expected_bytes / chunk) as usize;
+        let decisions = self
+            .abr
+            .as_ref()
+            .map(|a| {
+                let secs = expected_bytes as f64 / self.rate_bytes_per_sec.max(1.0);
+                (secs / a.interval.as_secs_f64().max(1e-3)).ceil() as usize
+            })
+            .unwrap_or(0);
+        self.metrics
+            .reserve_events(chunks.min(4096), decisions.min(4096));
     }
 
     /// The collected metrics so far.

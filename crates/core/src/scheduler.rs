@@ -175,7 +175,10 @@ pub fn build_scheduler(cfg: &PlayerConfig) -> Box<dyn ChunkScheduler> {
 
 fn clamp(cfg_min: ByteSize, cfg_max: ByteSize, v: f64) -> ByteSize {
     let v = v.clamp(cfg_min.as_f64(), cfg_max.as_f64());
-    ByteSize::bytes(v.round() as u64)
+    // `v` is non-negative after the clamp, so round-half-up via truncation
+    // replaces `v.round()` — a libm call on baseline x86-64, and this sits
+    // on the per-chunk sizing path.
+    ByteSize::bytes((v + 0.5) as u64)
 }
 
 /// The slowest *other* path's estimate: the minimum estimate among all

@@ -565,6 +565,27 @@ pub struct SessionHost {
     ///
     /// [`StreamGrant`]: msim_youtube::service::StreamGrant
     boot_cache: BTreeMap<(Network, SimTime, Vec<u32>), std::sync::Arc<PathBootstrap>>,
+    /// Per-path hot-state arenas reused across sessions (see
+    /// [`SessionScratch`]).
+    scratch: SessionScratch,
+}
+
+/// Struct-of-arrays per-path session state, owned by the host and reused
+/// across batched sessions.
+///
+/// Each array is indexed by path id, so the event loop's per-path walks
+/// (link sampling, connection dispatch, readiness scans) touch dense,
+/// cache-line-friendly storage instead of freshly allocated vectors. The
+/// arrays are cleared — not dropped — between sessions, so a
+/// [`SessionHost::run_batch`] over N seeds pays the allocation once.
+/// Contents are rebuilt from scratch each session; only capacity carries
+/// over, so reuse is bit-transparent.
+#[derive(Default)]
+struct SessionScratch {
+    links: Vec<Link>,
+    conns: Vec<Option<TcpConnection>>,
+    paths: Vec<PathRt>,
+    ready_times: Vec<SimTime>,
 }
 
 impl SessionHost {
@@ -596,6 +617,7 @@ impl SessionHost {
             actions: Vec::with_capacity(8),
             queue: EventQueue::with_capacity(16),
             boot_cache: BTreeMap::new(),
+            scratch: SessionScratch::default(),
         }
     }
 
@@ -630,6 +652,13 @@ impl SessionHost {
     /// Runs the same session shape over many seeds, validating once.
     /// The result at position `i` is bit-identical to
     /// `self.run(&spec.with_seed(seeds[i]))`.
+    ///
+    /// Beyond one-time validation, batching keeps every session on the
+    /// host's warm storage: the event queue's calendar buckets, the
+    /// bootstrap cache, and the [`SessionScratch`] per-path arenas
+    /// (links, connections, path runtimes, ready times) are all reused
+    /// across seeds, so consecutive sessions run over the same hot cache
+    /// lines instead of a fresh heap layout per seed.
     pub fn run_batch(
         &mut self,
         seeds: &[u64],
@@ -672,6 +701,24 @@ impl SessionHost {
         spec: &SessionSpec,
         fleet: Option<&crate::fleet::FleetLoad>,
     ) -> SessionMetrics {
+        // Detach the scratch arenas so the body can borrow the host's
+        // service/queue/caches freely, then funnel them back whichever
+        // exit the session takes.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let metrics = self.session_body(seed, spec, fleet, &mut scratch);
+        self.scratch = scratch;
+        metrics
+    }
+
+    /// One full session over the host's warmed service, with per-path hot
+    /// state carved out of `scratch` (cleared here, capacity reused).
+    fn session_body(
+        &mut self,
+        seed: u64,
+        spec: &SessionSpec,
+        fleet: Option<&crate::fleet::FleetLoad>,
+        scratch: &mut SessionScratch,
+    ) -> SessionMetrics {
         // Per-session mutable service state back to pristine: load counts
         // and failure plans. Everything else on the service is immutable
         // topology or timing-neutral strings.
@@ -710,7 +757,19 @@ impl SessionHost {
         };
 
         // --- Links & connections -------------------------------------------
-        let mut links: Vec<Link> = Vec::with_capacity(n_paths);
+        let SessionScratch {
+            links,
+            conns,
+            paths,
+            ready_times,
+        } = scratch;
+        links.clear();
+        conns.clear();
+        paths.clear();
+        ready_times.clear();
+        links.reserve(n_paths);
+        paths.reserve(n_paths);
+        ready_times.reserve(n_paths);
         for setup in &spec.paths {
             let mut link = setup.profile.build(&mut rng);
             if let Some(outages) = &setup.outages {
@@ -718,11 +777,9 @@ impl SessionHost {
             }
             links.push(link);
         }
-        let mut conns: Vec<Option<TcpConnection>> = (0..n_paths).map(|_| None).collect();
+        conns.resize_with(n_paths, || None);
 
         // --- Bootstrap each path (§3.2 + Fig. 1 + footnote 1) --------------
-        let mut paths: Vec<PathRt> = Vec::with_capacity(n_paths);
-        let mut ready_times: Vec<SimTime> = Vec::with_capacity(n_paths);
         for (i, setup) in spec.paths.iter().enumerate() {
             let network = setup.network;
             let client_ip = client_ip_for(network);
@@ -858,6 +915,17 @@ impl SessionHost {
             self.bytes_per_sec,
             SimTime::ZERO,
         );
+        // Stop-aware trace pre-sizing: a prebuffer-only session downloads
+        // roughly the prebuffer target (2x slack for stall re-buffering);
+        // everything else can plausibly fetch the whole video.
+        let expected_bytes = match spec.stop {
+            StopCondition::PrebufferDone => {
+                ((spec.player.prebuffer_secs * self.bytes_per_sec * 2.0) as u64)
+                    .min(self.total_bytes)
+            }
+            _ => self.total_bytes,
+        };
+        player.reserve_event_capacity(expected_bytes);
         // Pending events stay small: at most one chunk completion or error
         // per path, plus a tick and recovery timers. The queue's storage
         // (and adapted bucket width) is reused across the host's sessions.
@@ -958,9 +1026,9 @@ impl SessionHost {
                             .unwrap_or(session_itag);
                         dispatch_fetch(
                             &mut self.service,
-                            &mut links,
-                            &mut conns,
-                            &mut paths,
+                            links,
+                            conns,
+                            paths,
                             queue,
                             now,
                             assignment,
@@ -972,9 +1040,9 @@ impl SessionHost {
                     PlayerAction::Failover { path } => {
                         dispatch_failover(
                             &mut self.service,
-                            &mut links,
-                            &mut conns,
-                            &mut paths,
+                            links,
+                            conns,
+                            paths,
                             queue,
                             &self.tls,
                             now,

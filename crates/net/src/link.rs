@@ -3,7 +3,7 @@
 
 use crate::mobility::OutageSchedule;
 use msim_core::process::{Process, ProcessKind};
-use msim_core::rng::Prng;
+use msim_core::rng::{DeviateMode, DrawKind, DrawTable, Prng};
 use msim_core::time::{SimDuration, SimTime};
 use msim_core::units::BitRate;
 
@@ -38,6 +38,10 @@ pub struct Link {
     random_loss_per_round: f64,
     outages: Option<OutageSchedule>,
     rng: Prng,
+    /// Per-round RTT jitter multipliers (full log-normal values, `exp`
+    /// included, so the per-round draw is an indexed load). `None` on
+    /// jitter-free links, which never draw.
+    jitter: Option<DrawTable>,
 }
 
 impl Link {
@@ -53,6 +57,41 @@ impl Link {
         random_loss_per_round: f64,
         rng: Prng,
     ) -> Self {
+        Self::with_mode(
+            name,
+            rate_process,
+            base_rtt,
+            rtt_jitter_frac,
+            random_loss_per_round,
+            rng,
+            DeviateMode::default(),
+        )
+    }
+
+    /// As [`Link::new`] with an explicit deviate-generation mode.
+    pub fn with_mode(
+        name: impl Into<String>,
+        rate_process: impl Into<ProcessKind>,
+        base_rtt: SimDuration,
+        rtt_jitter_frac: f64,
+        random_loss_per_round: f64,
+        mut rng: Prng,
+        mode: DeviateMode,
+    ) -> Self {
+        // Jittered links fork a dedicated stream for the multiplier table
+        // so loss draws stay on `rng`; jitter-free links leave `rng`
+        // untouched, preserving their (stable-path) draw sequence.
+        let jitter = (rtt_jitter_frac > 0.0).then(|| {
+            let sigma = rtt_jitter_frac;
+            DrawTable::new(
+                rng.fork(),
+                DrawKind::LognormalMult {
+                    mu: -0.5 * sigma * sigma,
+                    sigma,
+                },
+                mode,
+            )
+        });
         Link {
             name: name.into(),
             rate_process: rate_process.into(),
@@ -61,6 +100,7 @@ impl Link {
             random_loss_per_round,
             outages: None,
             rng,
+            jitter,
         }
     }
 
@@ -81,15 +121,15 @@ impl Link {
         BitRate::mbps(self.rate_process.value_at(t).max(0.01))
     }
 
-    /// Round-trip time at time `t` (base RTT × log-normal jitter).
+    /// Round-trip time at time `t` (base RTT × log-normal jitter, sigma
+    /// chosen so that std/mean ≈ jitter_frac). The multiplier comes from
+    /// the link's cycling draw table: an indexed load per round instead of
+    /// Box–Muller's `ln`/`sqrt`/`cos` plus an `exp`.
     pub fn rtt_at(&mut self, _t: SimTime) -> SimDuration {
-        if self.rtt_jitter_frac <= 0.0 {
-            return self.base_rtt;
+        match &mut self.jitter {
+            None => self.base_rtt,
+            Some(table) => self.base_rtt.mul_f64(table.draw().max(0.3)),
         }
-        // Log-normal with sigma chosen so that std/mean ≈ jitter_frac.
-        let sigma = self.rtt_jitter_frac;
-        let mult = self.rng.lognormal(-0.5 * sigma * sigma, sigma);
-        self.base_rtt.mul_f64(mult.max(0.3))
     }
 
     /// The configured base (unjittered) RTT.

@@ -17,7 +17,7 @@
 
 use crate::link::Link;
 use msim_core::process::{Bursts, MarkovModulator, Modulated, Ou};
-use msim_core::rng::Prng;
+use msim_core::rng::{DeviateMode, Prng};
 use msim_core::time::SimDuration;
 use msim_core::units::BitRate;
 
@@ -77,6 +77,10 @@ pub struct PathProfile {
     /// Bottleneck queue depth in BDP multiples (LTE eNodeB buffers are
     /// notoriously deep — "bufferbloat" — so losses there are rarer).
     pub queue_bdp_factor: f64,
+    /// How the link's stochastic streams generate deviates: block-filled
+    /// draw tables (production) or the scalar-reference comparator path.
+    /// Both are bit-identical; see [`msim_core::rng::DeviateMode`].
+    pub deviate_mode: DeviateMode,
 }
 
 impl PathProfile {
@@ -106,6 +110,7 @@ impl PathProfile {
             min_rate_frac: 0.10,
             max_rate_frac: 2.2,
             queue_bdp_factor: 1.0,
+            deviate_mode: DeviateMode::Block,
         }
     }
 
@@ -136,6 +141,7 @@ impl PathProfile {
             min_rate_frac: 0.15,
             max_rate_frac: 2.5,
             queue_bdp_factor: 3.0,
+            deviate_mode: DeviateMode::Block,
         }
     }
 
@@ -166,6 +172,7 @@ impl PathProfile {
             min_rate_frac: 0.08,
             max_rate_frac: 2.5,
             queue_bdp_factor: 1.0,
+            deviate_mode: DeviateMode::Block,
         }
     }
 
@@ -195,6 +202,7 @@ impl PathProfile {
             min_rate_frac: 0.12,
             max_rate_frac: 2.8,
             queue_bdp_factor: 3.0,
+            deviate_mode: DeviateMode::Block,
         }
     }
 
@@ -226,6 +234,7 @@ impl PathProfile {
             min_rate_frac: 0.25,
             max_rate_frac: 1.8,
             queue_bdp_factor: 0.8,
+            deviate_mode: DeviateMode::Block,
         }
     }
 
@@ -244,6 +253,7 @@ impl PathProfile {
             min_rate_frac: 0.9,
             max_rate_frac: 1.1,
             queue_bdp_factor: 1.0,
+            deviate_mode: DeviateMode::Block,
         }
     }
 
@@ -251,6 +261,14 @@ impl PathProfile {
     /// fractions); handy for parameter sweeps.
     pub fn scaled_to(mut self, rate: BitRate) -> Self {
         self.mean_rate = rate;
+        self
+    }
+
+    /// Returns a copy using the given deviate-generation mode for every
+    /// stochastic stream the built link owns. The frozen-fingerprint corpus
+    /// uses this to replay whole sessions on the scalar-reference path.
+    pub fn with_deviate_mode(mut self, mode: DeviateMode) -> Self {
+        self.deviate_mode = mode;
         self
     }
 
@@ -267,13 +285,15 @@ impl PathProfile {
     /// [`msim_core::process::ProcessKind`] — enum dispatch on the
     /// per-round sampling hot path, no per-component vtable.
     pub fn build(&self, rng: &mut Prng) -> Link {
+        let mode = self.deviate_mode;
         let mean = self.mean_rate.as_mbps();
         let base: msim_core::process::ProcessKind = if self.rate_std_frac > 0.0 {
-            Ou::new(
+            Ou::with_mode(
                 mean,
                 mean * self.rate_std_frac,
                 self.rate_tau_secs,
                 rng.fork(),
+                mode,
             )
             .into()
         } else {
@@ -282,7 +302,7 @@ impl PathProfile {
         let mut modulated =
             Modulated::new(base, mean * self.min_rate_frac, mean * self.max_rate_frac);
         if let Some(b) = self.bursts {
-            modulated = modulated.with(Bursts::new(
+            modulated = modulated.with(Bursts::with_mode(
                 b.mean_interarrival_secs,
                 b.mean_duration_secs,
                 b.shape,
@@ -290,24 +310,27 @@ impl PathProfile {
                 b.down_cap,
                 b.up_prob,
                 rng.fork(),
+                mode,
             ));
         }
         if let Some(m) = self.markov {
-            modulated = modulated.with(MarkovModulator::new(
+            modulated = modulated.with(MarkovModulator::with_mode(
                 1.0,
                 m.bad_mult,
                 m.mean_good_secs,
                 m.mean_bad_secs,
                 rng.fork(),
+                mode,
             ));
         }
-        Link::new(
+        Link::with_mode(
             self.name,
             modulated,
             self.base_rtt,
             self.rtt_jitter_frac,
             self.random_loss_per_round,
             rng.fork(),
+            mode,
         )
     }
 }

@@ -29,6 +29,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod units;
+pub mod vmath;
 
 pub use event::{EventId, EventQueue};
 pub use process::Process;

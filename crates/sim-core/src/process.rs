@@ -14,7 +14,7 @@
 //! Processes are sampled at non-decreasing times and are deterministic given
 //! their [`Prng`] stream.
 
-use crate::rng::Prng;
+use crate::rng::{DeviateMode, DrawKind, DrawTable, Prng};
 use crate::time::SimTime;
 
 /// A real-valued stochastic process sampled at non-decreasing sim times.
@@ -63,27 +63,61 @@ impl Process for Constant {
 pub struct Ou {
     mean: f64,
     stationary_std: f64,
-    tau_secs: f64,
+    neg_inv_tau: f64,
     state: f64,
     last_t: SimTime,
-    rng: Prng,
+    noise: DrawTable,
+    decay_cache: [(u64, f64, f64); OU_DECAY_SLOTS],
 }
+
+/// Slots in the per-process decay cache (`dt bits → (e^{−dt/τ}, noise σ)`).
+/// Fixed-grid callers (ticks, chunk boundaries on calm links) hit the same
+/// handful of `dt`s and enjoy near-perfect hit rates; jitter-driven callers
+/// see a fresh `dt` per round and fall through to the (cheap, vmath) exp
+/// recompute, so the cache is sized small — 32 slots, 768 B per process.
+const OU_DECAY_SLOTS: usize = 32;
 
 impl Ou {
     /// Creates a process with the given long-run `mean`, stationary standard
     /// deviation `std`, and mean-reversion time constant `tau_secs`.
-    pub fn new(mean: f64, std: f64, tau_secs: f64, mut rng: Prng) -> Self {
+    pub fn new(mean: f64, std: f64, tau_secs: f64, rng: Prng) -> Self {
+        Ou::with_mode(mean, std, tau_secs, rng, DeviateMode::default())
+    }
+
+    /// As [`Ou::new`] with an explicit deviate-generation mode.
+    pub fn with_mode(mean: f64, std: f64, tau_secs: f64, mut rng: Prng, mode: DeviateMode) -> Self {
         assert!(tau_secs > 0.0, "tau must be positive");
         // Start from the stationary distribution so there is no warm-up bias.
+        // The initial draw stays on the scalar path; the per-step noise
+        // stream then comes from the same rng via the draw table.
         let state = mean + std * rng.normal();
         Ou {
             mean,
             stationary_std: std,
-            tau_secs,
+            neg_inv_tau: -1.0 / tau_secs,
             state,
             last_t: SimTime::ZERO,
-            rng,
+            noise: DrawTable::new(rng, DrawKind::Normal, mode),
+            decay_cache: [(u64::MAX, 0.0, 0.0); OU_DECAY_SLOTS],
         }
+    }
+
+    /// Decay factor and noise std for a step of `dt`, via the direct-mapped
+    /// cache. `dt > 0` is finite, so its bit pattern never collides with the
+    /// `u64::MAX` (negative-NaN) empty-slot sentinel.
+    #[inline]
+    fn decay_for(&mut self, dt: f64) -> (f64, f64) {
+        let bits = dt.to_bits();
+        let idx = (bits.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 59) as usize;
+        let slot = &mut self.decay_cache[idx];
+        if slot.0 != bits {
+            // Clamp keeps a huge idle gap inside vmath::exp's contract;
+            // e^-700 is already indistinguishable from full decay.
+            let decay = crate::vmath::exp((dt * self.neg_inv_tau).max(-700.0));
+            let noise = self.stationary_std * (1.0 - decay * decay).sqrt();
+            *slot = (bits, decay, noise);
+        }
+        (slot.1, slot.2)
     }
 }
 
@@ -91,9 +125,9 @@ impl Process for Ou {
     fn value_at(&mut self, t: SimTime) -> f64 {
         let dt = t.saturating_since(self.last_t).as_secs_f64();
         if dt > 0.0 {
-            let decay = (-dt / self.tau_secs).exp();
-            let noise = self.stationary_std * (1.0 - decay * decay).sqrt();
-            self.state = self.mean + (self.state - self.mean) * decay + noise * self.rng.normal();
+            let (decay, noise_std) = self.decay_for(dt);
+            self.state =
+                self.mean + (self.state - self.mean) * decay + noise_std * self.noise.draw();
             self.last_t = t;
         }
         self.state
@@ -110,7 +144,9 @@ pub struct MarkovModulator {
     mean_bad_secs: f64,
     in_good: bool,
     next_switch: SimTime,
-    rng: Prng,
+    /// Unit-mean exponential holds, scaled by the per-state mean at use —
+    /// one table serves both states.
+    holds: DrawTable,
 }
 
 impl MarkovModulator {
@@ -121,9 +157,29 @@ impl MarkovModulator {
         bad_mult: f64,
         mean_good_secs: f64,
         mean_bad_secs: f64,
-        mut rng: Prng,
+        rng: Prng,
     ) -> Self {
-        let first = rng.exponential(mean_good_secs);
+        Self::with_mode(
+            good_mult,
+            bad_mult,
+            mean_good_secs,
+            mean_bad_secs,
+            rng,
+            DeviateMode::default(),
+        )
+    }
+
+    /// As [`MarkovModulator::new`] with an explicit deviate-generation mode.
+    pub fn with_mode(
+        good_mult: f64,
+        bad_mult: f64,
+        mean_good_secs: f64,
+        mean_bad_secs: f64,
+        rng: Prng,
+        mode: DeviateMode,
+    ) -> Self {
+        let mut holds = DrawTable::new(rng, DrawKind::ExpUnit, mode);
+        let first = holds.draw() * mean_good_secs;
         MarkovModulator {
             good_mult,
             bad_mult,
@@ -131,7 +187,7 @@ impl MarkovModulator {
             mean_bad_secs,
             in_good: true,
             next_switch: SimTime::from_secs_f64(first),
-            rng,
+            holds,
         }
     }
 }
@@ -145,7 +201,7 @@ impl Process for MarkovModulator {
             } else {
                 self.mean_bad_secs
             };
-            let hold = self.rng.exponential(mean);
+            let hold = self.holds.draw() * mean;
             self.next_switch += crate::time::SimDuration::from_secs_f64(hold);
         }
         if self.in_good {
@@ -164,20 +220,85 @@ impl Process for MarkovModulator {
 
 /// Deterministic sinusoidal modulator `1 + amp·sin(2π t / period + phase)`;
 /// models slow diurnal-style load swings during a long experiment run.
+///
+/// The per-sample `sin` is replaced by an angle-addition recurrence: given
+/// `sin θ`/`cos θ` at the last sample and `sin ω·dt`/`cos ω·dt` for the step
+/// (cached per distinct `dt`, which the cycling RTT tables make a small
+/// repeating set), the next sample is two multiplies and an add per
+/// component. Every [`SINUSOID_RESYNC`] steps the recurrence resyncs
+/// against the closed form to bound accumulated rounding drift.
 #[derive(Clone, Debug)]
 pub struct Sinusoid {
-    /// Peak deviation from 1.0.
-    pub amplitude: f64,
-    /// Oscillation period in seconds.
-    pub period_secs: f64,
-    /// Phase offset in radians.
-    pub phase: f64,
+    amplitude: f64,
+    omega: f64,
+    phase: f64,
+    last_t: SimTime,
+    sin_th: f64,
+    cos_th: f64,
+    steps: u32,
+    primed: bool,
+    /// One-entry step cache: `dt bits → (sin ω·dt, cos ω·dt)`.
+    step_cache: (u64, f64, f64),
+}
+
+/// Recurrence steps between closed-form resyncs. Rotation error grows
+/// linearly in ulps per step, so 512 steps keep drift below ~1e-13 — far
+/// under any physically meaningful scale — while amortising `sin` 512×.
+const SINUSOID_RESYNC: u32 = 512;
+
+impl Sinusoid {
+    /// Creates a modulator with peak deviation `amplitude` from 1.0,
+    /// oscillation period `period_secs`, and phase offset `phase` radians.
+    pub fn new(amplitude: f64, period_secs: f64, phase: f64) -> Self {
+        assert!(period_secs > 0.0, "period must be positive");
+        Sinusoid {
+            amplitude,
+            omega: std::f64::consts::TAU / period_secs,
+            phase,
+            last_t: SimTime::ZERO,
+            sin_th: 0.0,
+            cos_th: 0.0,
+            steps: 0,
+            primed: false,
+            step_cache: (u64::MAX, 0.0, 0.0),
+        }
+    }
+
+    /// Closed-form resync: recompute `sin θ`/`cos θ` directly at `t`.
+    fn resync(&mut self, t: SimTime) {
+        let theta = self.omega * t.as_secs_f64() + self.phase;
+        self.sin_th = theta.sin();
+        self.cos_th = theta.cos();
+        self.last_t = t;
+        self.steps = 0;
+        self.primed = true;
+    }
 }
 
 impl Process for Sinusoid {
     fn value_at(&mut self, t: SimTime) -> f64 {
-        1.0 + self.amplitude
-            * (std::f64::consts::TAU * t.as_secs_f64() / self.period_secs + self.phase).sin()
+        if !self.primed {
+            self.resync(t);
+        } else if t > self.last_t && self.steps >= SINUSOID_RESYNC {
+            // Resync only on an *advancing* sample, so re-sampling an
+            // already-sampled instant can never flip between the recurrence
+            // and closed-form values.
+            self.resync(t);
+        } else if t > self.last_t {
+            let dt = t.saturating_since(self.last_t).as_secs_f64();
+            let bits = dt.to_bits();
+            if self.step_cache.0 != bits {
+                let ang = self.omega * dt;
+                self.step_cache = (bits, ang.sin(), ang.cos());
+            }
+            let (_, sin_dt, cos_dt) = self.step_cache;
+            let (s, c) = (self.sin_th, self.cos_th);
+            self.sin_th = s * cos_dt + c * sin_dt;
+            self.cos_th = c * cos_dt - s * sin_dt;
+            self.last_t = t;
+            self.steps += 1;
+        }
+        1.0 + self.amplitude * self.sin_th
     }
 }
 
@@ -192,14 +313,18 @@ impl Process for Sinusoid {
 pub struct Bursts {
     mean_interarrival_secs: f64,
     mean_duration_secs: f64,
-    shape: f64,
     cap: f64,
     down_cap: f64,
     up_prob: f64,
     /// Current event: (end_time, multiplier) if inside one.
     current: Option<(SimTime, f64)>,
     next_start: SimTime,
+    /// Up-vs-dip coin flips (scalar draws; one per event).
     rng: Prng,
+    /// Unit-mean exponential durations and gaps, scaled at use.
+    holds: DrawTable,
+    /// Unit-scale Pareto amplitudes (`x_min = 1`), capped at use.
+    amplitudes: DrawTable,
 }
 
 impl Bursts {
@@ -215,28 +340,57 @@ impl Bursts {
         cap: f64,
         down_cap: f64,
         up_prob: f64,
-        mut rng: Prng,
+        rng: Prng,
     ) -> Self {
-        assert!(cap >= 1.0 && down_cap >= 1.0, "caps are multipliers >= 1");
-        let first = rng.exponential(mean_interarrival_secs);
-        Bursts {
+        Self::with_mode(
             mean_interarrival_secs,
             mean_duration_secs,
             shape,
             cap,
             down_cap,
             up_prob,
+            rng,
+            DeviateMode::default(),
+        )
+    }
+
+    /// As [`Bursts::new`] with an explicit deviate-generation mode.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_mode(
+        mean_interarrival_secs: f64,
+        mean_duration_secs: f64,
+        shape: f64,
+        cap: f64,
+        down_cap: f64,
+        up_prob: f64,
+        mut rng: Prng,
+        mode: DeviateMode,
+    ) -> Self {
+        assert!(cap >= 1.0 && down_cap >= 1.0, "caps are multipliers >= 1");
+        // The coin flips stay on `rng`; holds and amplitudes get forked
+        // streams so their tables advance independently of the flips.
+        let mut holds = DrawTable::new(rng.fork(), DrawKind::ExpUnit, mode);
+        let amplitudes = DrawTable::new(rng.fork(), DrawKind::ParetoUnit { alpha: shape }, mode);
+        let first = holds.draw() * mean_interarrival_secs;
+        Bursts {
+            mean_interarrival_secs,
+            mean_duration_secs,
+            cap,
+            down_cap,
+            up_prob,
             current: None,
             next_start: SimTime::from_secs_f64(first),
             rng,
+            holds,
+            amplitudes,
         }
     }
 
     fn draw_multiplier(&mut self) -> f64 {
         if self.rng.chance(self.up_prob) {
-            self.rng.pareto(1.0, self.shape).min(self.cap)
+            self.amplitudes.draw().min(self.cap)
         } else {
-            1.0 / self.rng.pareto(1.0, self.shape).min(self.down_cap)
+            1.0 / self.amplitudes.draw().min(self.down_cap)
         }
     }
 }
@@ -251,10 +405,10 @@ impl Process for Bursts {
         }
         // Start (possibly skip over) events up to time t.
         while self.current.is_none() && t >= self.next_start {
-            let dur = self.rng.exponential(self.mean_duration_secs);
+            let dur = self.holds.draw() * self.mean_duration_secs;
             let end = self.next_start + crate::time::SimDuration::from_secs_f64(dur);
             let mult = self.draw_multiplier();
-            let gap = self.rng.exponential(self.mean_interarrival_secs);
+            let gap = self.holds.draw() * self.mean_interarrival_secs;
             self.next_start = end + crate::time::SimDuration::from_secs_f64(gap);
             if t < end {
                 self.current = Some((end, mult));
@@ -364,6 +518,14 @@ pub struct Modulated {
     modulators: Vec<ProcessKind>,
     min: f64,
     max: f64,
+    /// Cached modulator product and the horizon it is valid until. Markov
+    /// and burst modulators hold their value for whole episodes (seconds)
+    /// while the base OU is sampled every round (~tens of ms), so the
+    /// product — and the per-modulator dispatch — is skipped on the vast
+    /// majority of samples. `stable_until`'s contract (constant value,
+    /// zero randomness consumed, skippable calls) is exactly what makes
+    /// this cache bit-transparent.
+    mod_cache: Option<(f64, SimTime)>,
 }
 
 impl Modulated {
@@ -375,23 +537,38 @@ impl Modulated {
             modulators: Vec::new(),
             min,
             max,
+            mod_cache: None,
         }
     }
 
     /// Adds a multiplicative modulator.
     pub fn with(mut self, modulator: impl Into<ProcessKind>) -> Self {
         self.modulators.push(modulator.into());
+        self.mod_cache = None;
         self
     }
 }
 
 impl Process for Modulated {
     fn value_at(&mut self, t: SimTime) -> f64 {
-        let mut v = self.base.value_at(t);
-        for m in &mut self.modulators {
-            v *= m.value_at(t);
-        }
-        v.clamp(self.min, self.max)
+        let v = self.base.value_at(t);
+        let product = match self.mod_cache {
+            Some((p, h)) if t < h => p,
+            _ => {
+                let mut p = 1.0;
+                let mut horizon = Some(SimTime::MAX);
+                for m in &mut self.modulators {
+                    p *= m.value_at(t);
+                    horizon = match (horizon, m.stable_until(t)) {
+                        (Some(h), Some(mh)) => Some(h.min(mh)),
+                        _ => None,
+                    };
+                }
+                self.mod_cache = horizon.filter(|&h| h > t).map(|h| (p, h));
+                p
+            }
+        };
+        (v * product).clamp(self.min, self.max)
     }
 
     fn stable_until(&self, t: SimTime) -> Option<SimTime> {
@@ -488,11 +665,7 @@ mod tests {
 
     #[test]
     fn sinusoid_oscillates() {
-        let mut s = Sinusoid {
-            amplitude: 0.2,
-            period_secs: 10.0,
-            phase: 0.0,
-        };
+        let mut s = Sinusoid::new(0.2, 10.0, 0.0);
         let v_quarter = s.value_at(SimTime::from_secs_f64(2.5));
         assert!((v_quarter - 1.2).abs() < 1e-9);
         let v_three_quarter = s.value_at(SimTime::from_secs_f64(7.5));
@@ -522,11 +695,7 @@ mod tests {
         ou.value_at(t);
         assert_eq!(ou.stable_until(t), None);
         // Sinusoid: deterministic but time-varying → no horizon.
-        let mut s = Sinusoid {
-            amplitude: 0.2,
-            period_secs: 10.0,
-            phase: 0.0,
-        };
+        let mut s = Sinusoid::new(0.2, 10.0, 0.0);
         s.value_at(t);
         assert_eq!(s.stable_until(t), None);
         // Markov: stable until the next switch, and the value really does
@@ -551,6 +720,154 @@ mod tests {
         let mut combo2 = Modulated::new(Ou::new(10.0, 2.0, 1.0, Prng::new(4)), 0.0, 100.0);
         combo2.value_at(t);
         assert_eq!(combo2.stable_until(t), None);
+    }
+
+    #[test]
+    fn sinusoid_recurrence_tracks_closed_form() {
+        // Irregular step sizes across many resync windows: the recurrence
+        // must stay within ~1e-9 of the closed form (drift is bounded by
+        // the periodic resync).
+        let mut s = Sinusoid::new(0.3, 7.0, 1.1);
+        let mut t = SimTime::ZERO;
+        let steps = [0.013, 0.047, 0.013, 0.029, 0.047, 0.013];
+        for i in 0..5_000 {
+            t += SimDuration::from_secs_f64(steps[i % steps.len()]);
+            let got = s.value_at(t);
+            let theta = std::f64::consts::TAU * t.as_secs_f64() / 7.0 + 1.1;
+            let want = 1.0 + 0.3 * theta.sin();
+            assert!(
+                (got - want).abs() < 1e-9,
+                "step {i}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn sinusoid_same_time_same_value() {
+        let mut s = Sinusoid::new(0.2, 10.0, 0.0);
+        let mut t = SimTime::ZERO;
+        for _ in 0..(SINUSOID_RESYNC + 3) {
+            t += SimDuration::from_millis(13);
+            let v1 = s.value_at(t);
+            let v2 = s.value_at(t);
+            assert_eq!(v1.to_bits(), v2.to_bits(), "re-sample at {t:?}");
+        }
+    }
+
+    #[test]
+    fn ou_decay_cache_is_transparent() {
+        // The decay cache must not change values: two OU processes with the
+        // same seed, one sampled on a grid that repeats dt values (cache
+        // hits) and one freshly constructed per comparison, agree bitwise.
+        let mut a = Ou::new(10.0, 2.0, 1.0, Prng::new(8));
+        let mut b = Ou::new(10.0, 2.0, 1.0, Prng::new(8));
+        let mut t = SimTime::ZERO;
+        let steps = [37, 51, 37, 51, 37, 64]; // repeats → cache hits in `a`
+        for (i, &ms) in steps.iter().cycle().take(4_000).enumerate() {
+            t += SimDuration::from_millis(ms);
+            let va = a.value_at(t);
+            let vb = b.value_at(t);
+            assert_eq!(va.to_bits(), vb.to_bits(), "step {i}");
+        }
+    }
+
+    #[test]
+    fn table_sampled_ou_matches_direct_moments() {
+        // Statistical guard for the redefined stream: the table-sampled OU
+        // must still have the stationary mean/std it advertises.
+        let mut ou = Ou::new(10.0, 2.0, 1.0, Prng::new(101));
+        let samples = sample_grid(&mut ou, 40_000, SimDuration::from_millis(100));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let std =
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64).sqrt();
+        assert!((mean - 10.0).abs() < 0.3, "mean {mean}");
+        assert!((std - 2.0).abs() < 0.3, "std {std}");
+        // Coefficient of variation sanity: std/mean ≈ 0.2.
+        let cv = std / mean;
+        assert!((cv - 0.2).abs() < 0.05, "cv {cv}");
+    }
+
+    #[test]
+    fn table_sampled_markov_matches_direct_occupancy() {
+        // Table-driven holding times keep the stationary occupancy at
+        // mean_good / (mean_good + mean_bad).
+        let mut m = MarkovModulator::new(1.0, 0.3, 5.0, 2.0, Prng::new(102));
+        let samples = sample_grid(&mut m, 40_000, SimDuration::from_millis(50));
+        let good = samples.iter().filter(|&&v| v == 1.0).count();
+        let frac = good as f64 / samples.len() as f64;
+        assert!((0.60..0.82).contains(&frac), "good fraction {frac}");
+    }
+
+    #[test]
+    fn block_and_scalar_ref_processes_are_bit_identical() {
+        // The whole point of DeviateMode::ScalarRef: a process driven by
+        // scalar-reference fills reproduces the block-filled stream bitwise.
+        let grid: Vec<SimTime> = {
+            let mut t = SimTime::ZERO;
+            (0..3_000)
+                .map(|i| {
+                    t += SimDuration::from_millis(23 + (i % 7) * 11);
+                    t
+                })
+                .collect()
+        };
+        let mut ou_b = Ou::with_mode(10.0, 2.0, 1.0, Prng::new(9), DeviateMode::Block);
+        let mut ou_s = Ou::with_mode(10.0, 2.0, 1.0, Prng::new(9), DeviateMode::ScalarRef);
+        let mut mk_b =
+            MarkovModulator::with_mode(1.0, 0.3, 5.0, 2.0, Prng::new(10), DeviateMode::Block);
+        let mut mk_s =
+            MarkovModulator::with_mode(1.0, 0.3, 5.0, 2.0, Prng::new(10), DeviateMode::ScalarRef);
+        let mut bu_b = Bursts::with_mode(
+            10.0,
+            0.5,
+            1.5,
+            8.0,
+            8.0,
+            0.5,
+            Prng::new(11),
+            DeviateMode::Block,
+        );
+        let mut bu_s = Bursts::with_mode(
+            10.0,
+            0.5,
+            1.5,
+            8.0,
+            8.0,
+            0.5,
+            Prng::new(11),
+            DeviateMode::ScalarRef,
+        );
+        for &t in &grid {
+            assert_eq!(ou_b.value_at(t).to_bits(), ou_s.value_at(t).to_bits());
+            assert_eq!(mk_b.value_at(t).to_bits(), mk_s.value_at(t).to_bits());
+            assert_eq!(bu_b.value_at(t).to_bits(), bu_s.value_at(t).to_bits());
+        }
+    }
+
+    #[test]
+    fn modulated_product_cache_is_transparent() {
+        // A Modulated with cache-friendly modulators (Markov/Bursts expose
+        // horizons) must agree bitwise with sampling the same component
+        // streams without the wrapper's cache (forced by including a
+        // horizon-less Sinusoid, which disables caching).
+        let build = |extra_sin: bool| {
+            let mut m = Modulated::new(Ou::new(10.0, 2.0, 1.0, Prng::new(12)), 0.0, 100.0)
+                .with(MarkovModulator::new(1.0, 0.3, 5.0, 2.0, Prng::new(13)))
+                .with(Bursts::new(10.0, 0.5, 1.5, 8.0, 8.0, 0.5, Prng::new(14)));
+            if extra_sin {
+                m = m.with(Sinusoid::new(0.0, 10.0, 0.0)); // amp 0: no-op value
+            }
+            m
+        };
+        let mut cached = build(false);
+        let mut uncached = build(true);
+        let mut t = SimTime::ZERO;
+        for i in 0..5_000 {
+            t += SimDuration::from_millis(41 + (i % 5) * 13);
+            let a = cached.value_at(t);
+            let b = uncached.value_at(t);
+            assert_eq!(a.to_bits(), b.to_bits(), "step {i}");
+        }
     }
 
     #[test]

@@ -234,6 +234,26 @@ fn rows_for(name: &str, v: &Value) -> Option<Vec<String>> {
                 ));
             }
         }
+        // Phase hotspots from the profiled pass: where the wall time went,
+        // hottest span first, with each phase's share of the profiled
+        // total so a TREND.md diff shows attribution shifts directly.
+        if let Some(phases) = v.get("phase_profile").and_then(Value::as_array) {
+            let total_nanos: f64 = phases
+                .iter()
+                .filter_map(|p| p.get("nanos").and_then(Value::as_u64))
+                .sum::<u64>() as f64;
+            for p in phases {
+                let phase = p.get("phase").and_then(Value::as_str).unwrap_or("?");
+                let nanos = p.get("nanos").and_then(Value::as_u64).unwrap_or(0);
+                let calls = p.get("calls").and_then(Value::as_u64).unwrap_or(0);
+                let share = 100.0 * nanos as f64 / total_nanos.max(1.0);
+                rows.push(format!(
+                    "| {name} | hotspot {phase} | — | {:.1} ms ({share:.0}% of profiled, \
+                     {calls} calls) |",
+                    nanos as f64 / 1e6,
+                ));
+            }
+        }
         return Some(rows);
     }
     // A partial artifact whose sections were all cut off still renders

@@ -205,6 +205,12 @@ fn report(summary: &ExploreSummary) {
         summary.skipped_points,
         summary.violating.len()
     );
+    for tally in &summary.per_plan {
+        println!(
+            "  plan {:<40} {:>5} case(s)  {:>3} violation(s)",
+            tally.plan, tally.cases, tally.violations
+        );
+    }
     for case in &summary.violating {
         println!(
             "  VIOLATION workload={} scheduler={} chunk_kb={} seed={} plan={:?}",

@@ -98,6 +98,25 @@ fn flush_interrupted(json: msim_json::Value) -> ! {
 
 fn main() {
     msim_testbed::install_shutdown_handler();
+    // MSP_METRICS_ADDR=127.0.0.1:9465 exposes the live telemetry registry
+    // (fleet arrivals/rejections/concurrency gauge) while the bench runs.
+    let _obs = match std::env::var("MSP_METRICS_ADDR") {
+        Ok(addr) if !addr.is_empty() => {
+            msim_core::telemetry::set_enabled(true);
+            msim_core::telemetry::register_core_counters();
+            match msim_testbed::ObsServer::start(&addr, msim_testbed::ObsServer::no_jobs()) {
+                Ok(server) => {
+                    eprintln!("fleet_bench: metrics on http://{}/metrics", server.addr);
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("fleet_bench: bind metrics {addr}: {e}");
+                    None
+                }
+            }
+        }
+        _ => None,
+    };
     let headline_sessions = env_sessions("MSP_FLEET_SESSIONS", 120_000);
     let frontier_sessions = env_sessions("MSP_FLEET_FRONTIER_SESSIONS", 20_000);
     let exact_sessions = env_sessions("MSP_FLEET_EXACT_SESSIONS", 32);

@@ -25,7 +25,7 @@
 //! 130 interrupted (after flushing the checkpoint).
 
 use msim_testbed::signal::SIGINT_EXIT;
-use msim_testbed::{install_shutdown_handler, shutdown_requested};
+use msim_testbed::{install_shutdown_handler, shutdown_requested, ObsServer};
 use msplayer_bench::cluster::{
     chaos, run_cluster, run_worker, serial_artifact, ClusterConfig, SweepManifest, Transport,
     WorkerChaos,
@@ -39,7 +39,7 @@ msplayer-sweepd <role> [flags]
   coordinator [--manifest <file.json>] [--workers <n>] [--lease-ms <n>]
               [--max-attempts <n>] [--checkpoint <path>]
               [--stop-after-shards <n>] [--worker-chaos <slot>=<directive>]
-              [--tcp <bind-addr>] [--verify-serial]
+              [--tcp <bind-addr>] [--metrics <bind-addr>] [--verify-serial]
   worker      [--chaos <directive>] [--connect <addr>]
   serial      [--manifest <file.json>]
   chaos       [--seeds <n>] [--window <n>] [--record]
@@ -102,6 +102,7 @@ fn coordinator_main(args: &[String]) -> i32 {
         std::env::current_exe().unwrap_or_else(|_| PathBuf::from("msplayer-sweepd")),
     );
     let mut verify_serial = false;
+    let mut metrics_addr = None;
     for (flag, value) in &flags {
         let need = || value.clone().ok_or_else(|| format!("{flag} needs a value"));
         let result: Result<(), String> = (|| {
@@ -145,6 +146,7 @@ fn coordinator_main(args: &[String]) -> i32 {
                 "--tcp" => {
                     config.transport = Transport::Tcp { addr: need()? };
                 }
+                "--metrics" => metrics_addr = Some(need()?),
                 "--verify-serial" => verify_serial = true,
                 other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
             }
@@ -161,6 +163,33 @@ fn coordinator_main(args: &[String]) -> i32 {
             eprintln!("{e}");
             return 2;
         }
+    };
+
+    // Live observability: telemetry on (counters merge from worker
+    // heartbeats), plus /metrics, /jobs and /healthz while the run lasts.
+    let _obs = match &metrics_addr {
+        Some(addr) => {
+            msim_core::telemetry::set_enabled(true);
+            msim_core::telemetry::register_core_counters();
+            let jobs_state = std::sync::Arc::new(std::sync::Mutex::new(
+                "{\"shards\":[],\"workers\":[]}".to_string(),
+            ));
+            config.jobs_state = Some(jobs_state.clone());
+            let provider: msim_testbed::JobsProvider = std::sync::Arc::new(move || {
+                jobs_state.lock().map(|s| s.clone()).unwrap_or_default()
+            });
+            match ObsServer::start(addr, provider) {
+                Ok(server) => {
+                    eprintln!("sweepd: metrics on http://{}/metrics", server.addr);
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("sweepd: bind metrics {addr}: {e}");
+                    return 2;
+                }
+            }
+        }
+        None => None,
     };
 
     eprintln!(
@@ -264,6 +293,10 @@ fn worker_main(args: &[String]) -> i32 {
             return 2;
         }
     };
+    // Workers always count: heartbeats carry the deltas so the
+    // coordinator's /metrics covers the fleet. Provably non-perturbing
+    // (the telemetry corpus-replay test pins this).
+    msim_core::telemetry::set_enabled(true);
     let mut chaos = None;
     let mut connect = None;
     for (flag, value) in &flags {

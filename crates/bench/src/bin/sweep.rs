@@ -24,8 +24,8 @@ use msim_testbed::{install_shutdown_handler, shutdown_requested};
 use msplayer_bench::chaos::{run_case, ChaosCase};
 use msplayer_bench::runs;
 use msplayer_bench::sweep::{
-    run_parallel_with, run_serial_with, threads, write_bench_json, BenchReport, SweepOptions,
-    SweepSpec,
+    profile_phases, run_parallel_with, run_serial_with, threads, write_bench_json, BenchReport,
+    SweepOptions, SweepSpec,
 };
 use msplayer_bench::workload::WorkloadRegistry;
 
@@ -124,6 +124,27 @@ fn main() {
         }
     }
     install_shutdown_handler();
+    // MSP_METRICS_ADDR=127.0.0.1:9464 exposes /metrics, /healthz (and an
+    // empty /jobs) for the duration of the run. Opting in enables the
+    // telemetry registry, so the headline numbers of such a run are not
+    // comparable to the recorded telemetry-disabled baselines.
+    let _obs = match std::env::var("MSP_METRICS_ADDR") {
+        Ok(addr) if !addr.is_empty() => {
+            msim_core::telemetry::set_enabled(true);
+            msim_core::telemetry::register_core_counters();
+            match msim_testbed::ObsServer::start(&addr, msim_testbed::ObsServer::no_jobs()) {
+                Ok(server) => {
+                    eprintln!("sweep: metrics on http://{}/metrics", server.addr);
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("sweep: bind metrics {addr}: {e}");
+                    None
+                }
+            }
+        }
+        _ => None,
+    };
     let spec = SweepSpec::fig3(runs());
     let cells = spec.cells();
     let n_threads = threads();
@@ -150,7 +171,7 @@ fn main() {
         let _ = run_serial_with(&cells, &opts);
     }
 
-    let (serial_report, serial) =
+    let (mut serial_report, serial) =
         BenchReport::measure("sweep_fig3_serial", 1, || run_serial_with(&cells, &opts));
     // SIGINT/SIGTERM between phases: flush the artifact we have and exit
     // with the interrupted status instead of starting the parallel pass.
@@ -164,6 +185,17 @@ fn main() {
             run_parallel_with(&cells, n_threads, &opts)
         });
     parallel_report.serial_wall_secs = Some(serial_report.wall_secs);
+
+    // Where did the wall time go: a third, telemetry-instrumented serial
+    // pass attributing wall time to spans. Kept out of the timed passes
+    // above so span overhead never taints the recorded throughput.
+    // Disable with MSP_PROFILE=0.
+    let profile = std::env::var("MSP_PROFILE")
+        .map(|v| v != "0")
+        .unwrap_or(true);
+    if profile && !shutdown_requested() {
+        serial_report.phase_profile = profile_phases(&cells);
+    }
 
     if opts.cell_budget.is_none() {
         assert_eq!(
@@ -203,6 +235,13 @@ fn main() {
             "  {:<32} n={:<4} p50 {:>7.3}ms  p95 {:>7.3}ms  p99 {:>7.3}ms",
             k.kind, k.cells, k.p50_ms, k.p95_ms, k.p99_ms
         );
+    }
+
+    if !serial_report.phase_profile.is_empty() {
+        println!("\nphase hotspots (profiled serial pass):");
+        for p in &serial_report.phase_profile {
+            println!("  {:<24} {:>9} calls  {:>10.1}ms", p.phase, p.calls, p.ms());
+        }
     }
 
     // A paper-shaped sanity line so the artifact doubles as a smoke check.

@@ -332,6 +332,20 @@ impl ExploreConfig {
     }
 }
 
+/// Per-plan tallies of one explorer sweep, derived from the telemetry
+/// registry (`msp_chaos_cases_total{plan=...}` /
+/// `msp_chaos_violations_total{plan=...}`) rather than hand-rolled
+/// counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlanTally {
+    /// The plan preset (or raw plan string) of the grid column.
+    pub plan: String,
+    /// Cases executed for this plan.
+    pub cases: u64,
+    /// Cases that violated an invariant.
+    pub violations: u64,
+}
+
 /// The result of one explorer sweep.
 #[derive(Clone, Debug)]
 pub struct ExploreSummary {
@@ -346,6 +360,9 @@ pub struct ExploreSummary {
     pub violating: Vec<ChaosCase>,
     /// Violating case files written (empty unless recording).
     pub recorded: Vec<PathBuf>,
+    /// Per-plan case/violation tallies, read back from the telemetry
+    /// registry after the sweep.
+    pub per_plan: Vec<PlanTally>,
 }
 
 impl ExploreSummary {
@@ -353,10 +370,21 @@ impl ExploreSummary {
     /// `CHAOS_summary.json` by the explorer binary and the CI smoke job).
     pub fn to_json(&self) -> Value {
         let violating: Vec<Value> = self.violating.iter().map(ChaosCase::to_json).collect();
+        let per_plan: Vec<Value> = self
+            .per_plan
+            .iter()
+            .map(|t| {
+                Value::object()
+                    .with("plan", t.plan.as_str())
+                    .with("cases", t.cases)
+                    .with("violations", t.violations)
+            })
+            .collect();
         Value::object()
             .with("seed_window", self.window)
             .with("skipped_points", self.skipped_points)
             .with("cases_run", self.cases_run)
+            .with("per_plan", Value::Array(per_plan))
             .with("violations", self.violating.len() as u64)
             .with("violating_cases", Value::Array(violating))
     }
@@ -377,7 +405,16 @@ pub fn explore(registry: &WorkloadRegistry, cfg: &ExploreConfig) -> ExploreSumma
         cases_run: 0,
         violating: Vec::new(),
         recorded: Vec::new(),
+        per_plan: Vec::new(),
     };
+    // The per-plan tallies flow through the telemetry registry instead of
+    // ad-hoc counters: count during the sweep, read the deltas back at
+    // the end. A live /metrics scrape of a long explorer run sees them
+    // move.
+    use msim_core::telemetry;
+    let tel_was = telemetry::enabled();
+    telemetry::set_enabled(true);
+    let counters_before = telemetry::counter_values();
     let mut iteration: u64 = 0;
     'grid: for workload_name in &cfg.workloads {
         let Some(base) = registry.by_name(workload_name) else {
@@ -410,7 +447,9 @@ pub fn explore(registry: &WorkloadRegistry, cfg: &ExploreConfig) -> ExploreSumma
                 };
                 let outcome = run_case(&case, registry);
                 summary.cases_run += 1;
+                telemetry::count_with("msp_chaos_cases_total", &[("plan", plan_text)], 1);
                 if !outcome.ok() {
+                    telemetry::count_with("msp_chaos_violations_total", &[("plan", plan_text)], 1);
                     let mut found = case;
                     found.recorded_violations = outcome.violations;
                     if cfg.record {
@@ -424,7 +463,61 @@ pub fn explore(registry: &WorkloadRegistry, cfg: &ExploreConfig) -> ExploreSumma
             iteration += 1;
         }
     }
+    summary.per_plan = plan_tallies(&telemetry::counter_deltas(&counters_before), &cfg.plans);
+    telemetry::set_enabled(tel_was);
     summary
+}
+
+/// Extracts per-plan tallies from registry counter deltas, in `plans`
+/// order (plans that never ran get zero rows only if another metric
+/// mentioned them — i.e. they are simply absent).
+fn plan_tallies(deltas: &[(String, u64)], plans: &[String]) -> Vec<PlanTally> {
+    let mut tallies: Vec<PlanTally> = Vec::new();
+    for (key, delta) in deltas {
+        // Keys are exposition-format sample names; reuse the exposition
+        // parser rather than hand-parsing label syntax.
+        let Ok(Some(line)) = msim_core::telemetry::parse_exposition_line(&format!("{key} 0"))
+        else {
+            continue;
+        };
+        let is_cases = line.name == "msp_chaos_cases_total";
+        let is_violations = line.name == "msp_chaos_violations_total";
+        if !is_cases && !is_violations {
+            continue;
+        }
+        let Some(plan) = line
+            .labels
+            .iter()
+            .find(|(k, _)| k == "plan")
+            .map(|(_, v)| v.clone())
+        else {
+            continue;
+        };
+        let tally = match tallies.iter_mut().find(|t| t.plan == plan) {
+            Some(t) => t,
+            None => {
+                tallies.push(PlanTally {
+                    plan,
+                    ..PlanTally::default()
+                });
+                tallies.last_mut().expect("just pushed")
+            }
+        };
+        if is_cases {
+            tally.cases += delta;
+        } else {
+            tally.violations += delta;
+        }
+    }
+    // Deterministic order: follow the configured plan list, then any
+    // stragglers (raw plan strings) in discovery order.
+    tallies.sort_by_key(|t| {
+        plans
+            .iter()
+            .position(|p| p == &t.plan)
+            .unwrap_or(usize::MAX)
+    });
+    tallies
 }
 
 /// The committed corpus directory: `tests/chaos_corpus/` at the
@@ -547,6 +640,20 @@ mod tests {
         assert_eq!(a.skipped_points, 1);
         assert_eq!(a.violating, b.violating);
         assert!(a.violating.is_empty(), "{:?}", a.violating);
+        // Per-plan tallies come back out of the telemetry registry. ≥
+        // rather than ==: the registry is process-global and sibling
+        // tests may run explorer sweeps concurrently.
+        let clock = a
+            .per_plan
+            .iter()
+            .find(|t| t.plan == "clock-skew")
+            .expect("registry tally for the ran plan");
+        assert!(clock.cases >= 2, "{clock:?}");
+        assert!(
+            a.per_plan.iter().all(|t| t.violations <= t.cases),
+            "{:?}",
+            a.per_plan
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ use msim_testbed::{spawn_line_reader, LineEvent, LineServer, LineWriter};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// How workers are obtained.
@@ -86,6 +86,10 @@ pub struct ClusterConfig {
     pub worker_chaos: Vec<Option<WorkerChaos>>,
     /// Worker transport.
     pub transport: Transport,
+    /// When set, the coordinator refreshes this slot every scheduling
+    /// tick with a JSON snapshot of shard/lease/worker state — the
+    /// `/jobs` endpoint body (see [`msim_testbed::ObsServer`]).
+    pub jobs_state: Option<Arc<Mutex<String>>>,
 }
 
 impl ClusterConfig {
@@ -103,6 +107,7 @@ impl ClusterConfig {
             stop_after_shards: None,
             worker_chaos: Vec::new(),
             transport: Transport::Spawn { program },
+            jobs_state: None,
         }
     }
 }
@@ -224,6 +229,7 @@ pub fn run_cluster(config: &ClusterConfig) -> Result<ClusterOutcome, String> {
     let spawn_budget = config.workers * 2 + 4;
     let mut inline_hosts = HostCache::new();
     let mut last_progress = Instant::now();
+    let mut stats_published = ClusterStats::default();
 
     // TCP mode: accept connections in the background.
     let (conn_tx, conn_rx) = mpsc::channel();
@@ -411,6 +417,21 @@ pub fn run_cluster(config: &ClusterConfig) -> Result<ClusterOutcome, String> {
                 }
             }
         }
+
+        publish_stats_delta(&stats, &mut stats_published);
+        if let Some(slot) = &config.jobs_state {
+            let snapshot = jobs_json(&states, &workers, completed_this_run);
+            if let Ok(mut s) = slot.lock() {
+                *s = snapshot;
+            }
+        }
+    }
+    publish_stats_delta(&stats, &mut stats_published);
+    if let Some(slot) = &config.jobs_state {
+        let snapshot = jobs_json(&states, &workers, completed_this_run);
+        if let Ok(mut s) = slot.lock() {
+            *s = snapshot;
+        }
     }
 
     // Drain: ask every surviving worker to exit, then reap children.
@@ -597,6 +618,7 @@ fn assign_leases(
         }
         w.busy = Some(shard as u64);
         w.leases += 1;
+        msim_core::telemetry::count("msp_leases_total", 1);
         *state = ShardState::Leased {
             worker: w.id,
             attempt: attempt + 1,
@@ -658,6 +680,7 @@ fn accept_completion(
     if let Some(ckpt) = checkpoint {
         ckpt.append(&record)?;
     }
+    msim_core::telemetry::count("msp_shard_merges_total", 1);
     states[record.shard as usize] = ShardState::Done;
     done.insert(
         record.shard,
@@ -691,7 +714,12 @@ fn handle_frame(
             }
             Ok(true)
         }
-        Frame::Heartbeat { worker, shard, .. } => {
+        Frame::Heartbeat {
+            worker,
+            shard,
+            counters,
+            ..
+        } => {
             if let Some(ShardState::Leased {
                 worker: leased_to,
                 deadline,
@@ -702,6 +730,11 @@ fn handle_frame(
                     *deadline = Instant::now() + config.lease_timeout;
                 }
             }
+            // Fold the worker's telemetry increments into this process's
+            // registry so a `/metrics` scrape of the coordinator covers
+            // the whole fleet. Duplicate-completion shards still count:
+            // the work genuinely ran twice.
+            msim_core::telemetry::apply_counter_deltas(&counters);
             Ok(false)
         }
         Frame::Done {
@@ -791,6 +824,89 @@ fn wait_with_timeout(child: &mut Child, timeout: Duration) {
             }
         }
     }
+}
+
+/// Mirrors [`ClusterStats`] increments since the last call into the
+/// telemetry registry as monotonic counters, so lease/retry/merge
+/// traffic shows up on `/metrics` without double counting.
+fn publish_stats_delta(stats: &ClusterStats, prev: &mut ClusterStats) {
+    use msim_core::telemetry as tel;
+    if !tel::enabled() {
+        *prev = *stats;
+        return;
+    }
+    tel::count(
+        "msp_lease_reassignments_total",
+        stats.reassignments - prev.reassignments,
+    );
+    tel::count(
+        "msp_duplicate_completions_total",
+        stats.duplicates - prev.duplicates,
+    );
+    tel::count(
+        "msp_protocol_errors_total",
+        stats.protocol_errors - prev.protocol_errors,
+    );
+    tel::count("msp_worker_respawns_total", stats.respawns - prev.respawns);
+    tel::count(
+        "msp_inline_runs_total",
+        stats.inline_runs - prev.inline_runs,
+    );
+    tel::count(
+        "msp_resumed_shards_total",
+        stats.resumed_shards - prev.resumed_shards,
+    );
+    *prev = *stats;
+}
+
+/// Renders the `/jobs` endpoint body: one entry per shard with its
+/// state/attempt/lease, plus the worker roster.
+fn jobs_json(states: &[ShardState], workers: &[WorkerSlot], completed_this_run: u64) -> String {
+    let now = Instant::now();
+    let shard_values: Vec<Value> = states
+        .iter()
+        .enumerate()
+        .map(|(i, state)| {
+            let obj = Value::object().with("shard", i as u64);
+            match state {
+                ShardState::Pending { attempt, .. } => {
+                    obj.with("attempt", *attempt).with("state", "pending")
+                }
+                ShardState::Leased {
+                    worker,
+                    attempt,
+                    deadline,
+                } => obj
+                    .with("attempt", *attempt)
+                    .with(
+                        "lease_remaining_ms",
+                        deadline.saturating_duration_since(now).as_millis() as u64,
+                    )
+                    .with("state", "leased")
+                    .with("worker", *worker),
+                ShardState::Done => obj.with("state", "done"),
+            }
+        })
+        .collect();
+    let worker_values: Vec<Value> = workers
+        .iter()
+        .map(|w| {
+            let obj = Value::object()
+                .with("alive", w.alive)
+                .with("id", w.id)
+                .with("ready", w.ready);
+            match w.busy {
+                Some(shard) => obj.with("busy_shard", shard),
+                None => obj,
+            }
+        })
+        .collect();
+    msim_json::to_string(
+        &Value::object()
+            .with("completed_this_run", completed_this_run)
+            .with("shards", Value::Array(shard_values))
+            .with("workers", Value::Array(worker_values)),
+    )
 }
 
 /// The nondeterministic provenance artifact: who ran what, how many

@@ -51,6 +51,11 @@ pub enum Frame {
         shard: u64,
         /// Cells completed so far in this shard.
         cells_done: u64,
+        /// Telemetry counter *deltas* since the worker's previous
+        /// heartbeat, as `(metric key, increment)` pairs. Empty when the
+        /// worker has telemetry off; omitted from the wire line then, so
+        /// old coordinators parse new workers and vice versa.
+        counters: Vec<(String, u64)>,
     },
     /// Worker → coordinator: shard complete.
     Done {
@@ -97,11 +102,26 @@ impl Frame {
                 worker,
                 shard,
                 cells_done,
-            } => Value::object()
-                .with("type", "heartbeat")
-                .with("worker", *worker)
-                .with("shard", *shard)
-                .with("cells_done", *cells_done),
+                counters,
+            } => {
+                let mut obj = Value::object()
+                    .with("type", "heartbeat")
+                    .with("worker", *worker)
+                    .with("shard", *shard)
+                    .with("cells_done", *cells_done);
+                if !counters.is_empty() {
+                    obj = obj.with(
+                        "counters",
+                        Value::Array(
+                            counters
+                                .iter()
+                                .map(|(k, d)| Value::object().with("k", k.as_str()).with("d", *d))
+                                .collect(),
+                        ),
+                    );
+                }
+                obj
+            }
             Frame::Done {
                 worker,
                 shard,
@@ -158,11 +178,32 @@ impl Frame {
             "ready" => Ok(Frame::Ready {
                 worker: num("worker")?,
             }),
-            "heartbeat" => Ok(Frame::Heartbeat {
-                worker: num("worker")?,
-                shard: num("shard")?,
-                cells_done: num("cells_done")?,
-            }),
+            "heartbeat" => {
+                let counters = match v.get("counters") {
+                    Some(Value::Array(items)) => items
+                        .iter()
+                        .map(|item| {
+                            let k = item
+                                .get("k")
+                                .and_then(Value::as_str)
+                                .ok_or("heartbeat counter: missing k")?;
+                            let d = item
+                                .get("d")
+                                .and_then(Value::as_u64)
+                                .ok_or("heartbeat counter: missing d")?;
+                            Ok::<_, String>((k.to_string(), d))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    // Absent field: an older worker, or telemetry off.
+                    _ => Vec::new(),
+                };
+                Ok(Frame::Heartbeat {
+                    worker: num("worker")?,
+                    shard: num("shard")?,
+                    cells_done: num("cells_done")?,
+                    counters,
+                })
+            }
             "done" => {
                 let rows = match v.get("rows") {
                     Some(Value::Array(items)) => items
@@ -219,6 +260,16 @@ mod tests {
             worker: 1,
             shard: 4,
             cells_done: 2,
+            counters: Vec::new(),
+        });
+        roundtrip(Frame::Heartbeat {
+            worker: 1,
+            shard: 4,
+            cells_done: 2,
+            counters: vec![
+                ("msp_sessions_total".into(), 12),
+                ("msp_admission_checks_total{verdict=\"ok\"}".into(), 7),
+            ],
         });
         roundtrip(Frame::Done {
             worker: 1,
@@ -241,6 +292,23 @@ mod tests {
             shard: 0,
             message: "manifest: unknown workload".into(),
         });
+    }
+
+    #[test]
+    fn heartbeat_without_counters_parses_as_empty() {
+        // Wire line from a pre-telemetry worker.
+        let f =
+            Frame::from_line("{\"type\":\"heartbeat\",\"worker\":1,\"shard\":4,\"cells_done\":2}")
+                .unwrap();
+        assert_eq!(
+            f,
+            Frame::Heartbeat {
+                worker: 1,
+                shard: 4,
+                cells_done: 2,
+                counters: Vec::new(),
+            }
+        );
     }
 
     #[test]

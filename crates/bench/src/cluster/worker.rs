@@ -114,6 +114,9 @@ where
     let mut shards: Vec<std::ops::Range<usize>> = Vec::new();
     let mut hosts = HostCache::new();
     let mut leases_seen: u64 = 0;
+    // Snapshot of telemetry counters at the last heartbeat, so each
+    // heartbeat carries only the increments since the previous one.
+    let mut counters_prev = msim_core::telemetry::counter_values();
 
     loop {
         let mut line = String::new();
@@ -166,6 +169,7 @@ where
                     &cells,
                     &shards,
                     &mut hosts,
+                    &mut counters_prev,
                     active,
                 ) {
                     Ok(()) => {}
@@ -207,6 +211,7 @@ fn serve_lease(
     cells: &[Cell],
     shards: &[std::ops::Range<usize>],
     hosts: &mut HostCache,
+    counters_prev: &mut std::collections::BTreeMap<String, u64>,
     chaos: Option<&WorkerChaos>,
 ) -> Result<(), i32> {
     let Some(range) = shards.get(shard as usize).cloned() else {
@@ -248,12 +253,17 @@ fn serve_lease(
             }
         }
         rows.push(row_for(idx as u64, &cells[idx], hosts));
+        let counters = msim_core::telemetry::counter_deltas(counters_prev);
+        if !counters.is_empty() {
+            *counters_prev = msim_core::telemetry::counter_values();
+        }
         let _ = send(
             output,
             &Frame::Heartbeat {
                 worker: me,
                 shard,
                 cells_done: rows.len() as u64,
+                counters,
             },
         );
     }

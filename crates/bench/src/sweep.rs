@@ -627,6 +627,60 @@ pub fn cell_kind_stats(results: &[CellResult]) -> Vec<CellKindStats> {
         .collect()
 }
 
+/// One phase's share of a profiled pass: where the wall time went.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseProfile {
+    /// Phase name as instrumented via [`msim_core::telemetry::span`]
+    /// (e.g. `session.stream`).
+    pub phase: String,
+    /// Spans closed during the profiled pass.
+    pub calls: u64,
+    /// Wall nanoseconds inside the phase during the profiled pass.
+    pub nanos: u64,
+}
+
+impl PhaseProfile {
+    /// Wall milliseconds inside the phase.
+    pub fn ms(&self) -> f64 {
+        self.nanos as f64 / 1e6
+    }
+}
+
+/// Runs every cell serially with telemetry spans enabled and attributes
+/// the wall time to instrumented phases (span nanos/calls deltas across
+/// the pass). This is a *separate* profiled pass: headline `BenchReport`
+/// timings stay telemetry-disabled, so the span overhead — small but
+/// nonzero — never contaminates the recorded throughput trajectory.
+pub fn profile_phases(cells: &[Cell]) -> Vec<PhaseProfile> {
+    let was = msim_core::telemetry::enabled();
+    msim_core::telemetry::set_enabled(true);
+    let before = msim_core::telemetry::phase_values();
+    let _ = run_serial(cells);
+    let after = msim_core::telemetry::phase_values();
+    msim_core::telemetry::set_enabled(was);
+    let prior = |name: &str| {
+        before
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| (p.nanos, p.calls))
+            .unwrap_or((0, 0))
+    };
+    let mut out: Vec<PhaseProfile> = after
+        .iter()
+        .map(|p| {
+            let (nanos0, calls0) = prior(&p.name);
+            PhaseProfile {
+                phase: p.name.clone(),
+                calls: p.calls - calls0,
+                nanos: p.nanos - nanos0,
+            }
+        })
+        .filter(|p| p.calls > 0)
+        .collect();
+    out.sort_by(|a, b| b.nanos.cmp(&a.nanos).then_with(|| a.phase.cmp(&b.phase)));
+    out
+}
+
 /// Timing + throughput summary of one sweep execution.
 #[derive(Clone, Debug)]
 pub struct BenchReport {
@@ -646,6 +700,9 @@ pub struct BenchReport {
     pub cell_kinds: Vec<CellKindStats>,
     /// Cells the watchdog cut short (0 without a cell budget).
     pub timed_out: u64,
+    /// Per-phase wall-time attribution from the separate profiled pass
+    /// (empty unless [`profile_phases`] was run and attached).
+    pub phase_profile: Vec<PhaseProfile>,
 }
 
 impl BenchReport {
@@ -678,6 +735,7 @@ impl BenchReport {
                 Vec::new()
             },
             timed_out: results.iter().filter(|r| r.timed_out()).count() as u64,
+            phase_profile: Vec::new(),
         };
         (report, results)
     }
@@ -724,23 +782,36 @@ impl BenchReport {
         if self.timed_out > 0 {
             v = v.with("timed_out", self.timed_out);
         }
-        if self.cell_kinds.is_empty() {
-            return v;
+        if !self.cell_kinds.is_empty() {
+            let kinds: Vec<msim_json::Value> = self
+                .cell_kinds
+                .iter()
+                .map(|k| {
+                    msim_json::Value::object()
+                        .with("kind", k.kind.as_str())
+                        .with("cells", k.cells)
+                        .with("p50_ms", k.p50_ms)
+                        .with("p95_ms", k.p95_ms)
+                        .with("p99_ms", k.p99_ms)
+                        .with("total_ms", k.total_ms)
+                })
+                .collect();
+            v = v.with("cell_kinds", msim_json::Value::Array(kinds));
         }
-        let kinds: Vec<msim_json::Value> = self
-            .cell_kinds
-            .iter()
-            .map(|k| {
-                msim_json::Value::object()
-                    .with("kind", k.kind.as_str())
-                    .with("cells", k.cells)
-                    .with("p50_ms", k.p50_ms)
-                    .with("p95_ms", k.p95_ms)
-                    .with("p99_ms", k.p99_ms)
-                    .with("total_ms", k.total_ms)
-            })
-            .collect();
-        v.with("cell_kinds", msim_json::Value::Array(kinds))
+        if !self.phase_profile.is_empty() {
+            let phases: Vec<msim_json::Value> = self
+                .phase_profile
+                .iter()
+                .map(|p| {
+                    msim_json::Value::object()
+                        .with("phase", p.phase.as_str())
+                        .with("calls", p.calls)
+                        .with("nanos", p.nanos)
+                })
+                .collect();
+            v = v.with("phase_profile", msim_json::Value::Array(phases));
+        }
+        v
     }
 }
 
@@ -906,6 +977,11 @@ mod tests {
                 total_ms: 12.0,
             }],
             timed_out: 0,
+            phase_profile: vec![PhaseProfile {
+                phase: "session.stream".into(),
+                calls: 10,
+                nanos: 2_000_000,
+            }],
         };
         assert_eq!(r.sessions_per_sec(), 5.0);
         assert_eq!(r.events_per_sec(), 500.0);
@@ -915,5 +991,26 @@ mod tests {
         assert!(json.contains("\"events_per_sec\""));
         assert!(json.contains("\"cell_kinds\""));
         assert!(json.contains("\"p99_ms\""));
+        assert!(json.contains("\"phase_profile\""));
+        assert!(json.contains("\"session.stream\""));
+    }
+
+    #[test]
+    fn profile_phases_attributes_instrumented_spans() {
+        let cells = tiny_spec().cells();
+        let profile = profile_phases(&cells);
+        let stream = profile
+            .iter()
+            .find(|p| p.phase == "session.stream")
+            .expect("session.stream phase instrumented");
+        // ≥ rather than ==: the registry is process-global, and sibling
+        // tests running sessions concurrently also land spans while the
+        // profiled window is open.
+        assert!(stream.calls >= cells.len() as u64, "one stream span/cell");
+        assert!(stream.nanos > 0);
+        // Sorted hottest-first.
+        for w in profile.windows(2) {
+            assert!(w[0].nanos >= w[1].nanos);
+        }
     }
 }

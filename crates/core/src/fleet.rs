@@ -1025,6 +1025,7 @@ impl<'a> Fluid<'a> {
     }
 
     fn arrive(&mut self, i: usize, now: SimTime) {
+        msim_core::telemetry::count("msp_fleet_arrivals_total", 1);
         let class = self.attrs[i].class;
         let total_n: u64 = self.servers.iter().map(|s| s.n).sum();
         let total_cap_bits: f64 = self.servers.iter().map(|s| s.cap * 8.0).sum();
@@ -1038,6 +1039,7 @@ impl<'a> Fluid<'a> {
             self.rejected += 1;
             self.bins[bin].rejected += 1;
             self.sessions[i].phase = Phase::Rejected;
+            msim_core::telemetry::count("msp_fleet_rejected_total", 1);
             return;
         };
         self.attach(i, chosen, now);
@@ -1055,6 +1057,9 @@ impl<'a> Fluid<'a> {
         s.target = self.prebuffer_bytes;
         self.concurrent += 1;
         self.peak_concurrent = self.peak_concurrent.max(self.concurrent);
+        if msim_core::telemetry::enabled() {
+            msim_core::telemetry::gauge("msp_fleet_concurrent").set(self.concurrent as i64);
+        }
         self.schedule_wake(i, now);
     }
 
@@ -1321,6 +1326,10 @@ fn run_fluid(spec: &FleetSpec) -> FleetMetrics {
                 sim.concurrent -= 1;
                 sim.completed += 1;
                 sim.end_max = sim.end_max.max(t);
+                msim_core::telemetry::count("msp_fleet_departures_total", 1);
+                if msim_core::telemetry::enabled() {
+                    msim_core::telemetry::gauge("msp_fleet_concurrent").set(sim.concurrent as i64);
+                }
             }
         }
     }

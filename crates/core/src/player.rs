@@ -528,6 +528,23 @@ impl Player {
                     reason,
                     switched,
                 });
+                msim_core::telemetry::count("msp_abr_decisions_total", 1);
+                if switched {
+                    msim_core::telemetry::count("msp_abr_switches_total", 1);
+                }
+                if msim_core::telemetry::trace_enabled() {
+                    use msim_core::telemetry::TraceVal;
+                    msim_core::telemetry::trace(
+                        "abr.decision",
+                        now.as_micros(),
+                        &[
+                            ("itag", TraceVal::U64(format.itag as u64)),
+                            ("switched", TraceVal::U64(switched as u64)),
+                            ("buffer_secs", TraceVal::F64(level)),
+                            ("reason", TraceVal::Str(format!("{reason:?}"))),
+                        ],
+                    );
+                }
                 while abr.next_decision_at <= now {
                     abr.next_decision_at += abr.interval;
                 }

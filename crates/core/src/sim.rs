@@ -40,6 +40,7 @@ use crate::metrics::SessionMetrics;
 use crate::player::{ChunkFailReason, Player, PlayerAction, PlayerEvent};
 use msim_core::event::EventQueue;
 use msim_core::rng::Prng;
+use msim_core::telemetry::{self, TraceVal};
 use msim_core::time::{SimDuration, SimTime};
 use msim_core::units::ByteSize;
 use msim_http::tls::TlsTimingModel;
@@ -732,8 +733,25 @@ impl SessionHost {
         }
         self.actions.clear();
 
+        // Observability (never perturbs the session: counters/spans/trace
+        // only — no RNG, no simulated time, no metrics mutation). The
+        // trace flag is latched once per session so the hot loop pays a
+        // plain bool test instead of an atomic load per event.
+        let tracing = telemetry::trace_enabled();
+        let boot_span = telemetry::span("session.bootstrap");
+
         let mut rng = Prng::new(seed);
         let n_paths = spec.paths.len();
+        if tracing {
+            telemetry::trace(
+                "session.start",
+                0,
+                &[
+                    ("seed", TraceVal::U64(seed)),
+                    ("paths", TraceVal::U64(n_paths as u64)),
+                ],
+            );
+        }
         // The session's transfer-engine selection applies to every TCP
         // connection the driver opens (bootstrap page fetches, video
         // connections, failover reconnects).
@@ -907,6 +925,9 @@ impl SessionHost {
             }
         }
 
+        drop(boot_span);
+        let stream_span = telemetry::span("session.stream");
+
         // --- Player & event loop -------------------------------------------
         let mut player = Player::multi(
             spec.player.clone(),
@@ -986,18 +1007,48 @@ impl SessionHost {
                     bytes,
                     requested_at,
                     first_byte_at,
-                } => PlayerEvent::ChunkComplete {
-                    path,
-                    index,
-                    bytes,
-                    requested_at,
-                    first_byte_at,
-                },
+                } => {
+                    telemetry::observe(
+                        "msp_chunk_fetch_us",
+                        now.as_micros().saturating_sub(requested_at.as_micros()),
+                    );
+                    if tracing {
+                        telemetry::trace(
+                            "chunk.done",
+                            now.as_micros(),
+                            &[
+                                ("path", TraceVal::U64(path as u64)),
+                                ("index", TraceVal::U64(index)),
+                                ("bytes", TraceVal::U64(bytes)),
+                                ("requested_us", TraceVal::U64(requested_at.as_micros())),
+                            ],
+                        );
+                    }
+                    PlayerEvent::ChunkComplete {
+                        path,
+                        index,
+                        bytes,
+                        requested_at,
+                        first_byte_at,
+                    }
+                }
                 Ev::ChunkError {
                     path,
                     reason,
                     link_down,
                 } => {
+                    telemetry::count("msp_chunk_errors_total", 1);
+                    if tracing {
+                        telemetry::trace(
+                            "chunk.error",
+                            now.as_micros(),
+                            &[
+                                ("path", TraceVal::U64(path as u64)),
+                                ("reason", TraceVal::Str(format!("{reason:?}"))),
+                                ("link_down", TraceVal::U64(link_down as u64)),
+                            ],
+                        );
+                    }
                     if link_down {
                         PlayerEvent::PathDown { path }
                     } else {
@@ -1006,6 +1057,13 @@ impl SessionHost {
                 }
                 Ev::PathRecover(p) => {
                     paths[p].down = false;
+                    if tracing {
+                        telemetry::trace(
+                            "path.recover",
+                            now.as_micros(),
+                            &[("path", TraceVal::U64(p as u64))],
+                        );
+                    }
                     PlayerEvent::PathRestored { path: p }
                 }
                 Ev::Tick => {
@@ -1038,6 +1096,14 @@ impl SessionHost {
                         );
                     }
                     PlayerAction::Failover { path } => {
+                        telemetry::count("msp_failovers_total", 1);
+                        if tracing {
+                            telemetry::trace(
+                                "path.failover",
+                                now.as_micros(),
+                                &[("path", TraceVal::U64(path as u64))],
+                            );
+                        }
                         dispatch_failover(
                             &mut self.service,
                             links,
@@ -1074,6 +1140,8 @@ impl SessionHost {
                 let mut m = player.into_metrics(now);
                 m.events = events;
                 record_transfer_stats(&mut m, xfer_stats);
+                drop(stream_span);
+                publish_session_telemetry(&m, queue.op_counts(), now, tracing);
                 return m;
             }
         }
@@ -1081,7 +1149,43 @@ impl SessionHost {
         let mut m = player.into_metrics(end);
         m.events = events;
         record_transfer_stats(&mut m, xfer_stats);
+        drop(stream_span);
+        publish_session_telemetry(&m, self.queue.op_counts(), end, tracing);
         m
+    }
+}
+
+/// Publishes one finished session's observability rollup: session and
+/// event-queue op counters, transfer-engine fast/solved round counters,
+/// the per-session event histogram, and (when tracing) the `session.end`
+/// trace record. Reads only finished state — provably non-perturbing.
+fn publish_session_telemetry(
+    m: &SessionMetrics,
+    ops: msim_core::event::QueueOps,
+    ended_at: SimTime,
+    tracing: bool,
+) {
+    if telemetry::enabled() {
+        telemetry::count("msp_sessions_total", 1);
+        telemetry::count("msp_event_pushes_total", ops.pushes);
+        telemetry::count("msp_event_pops_total", ops.pops);
+        telemetry::count("msp_event_cancels_total", ops.cancels);
+        telemetry::count("msp_transfer_epochs_total", m.transfer_epochs);
+        telemetry::count("msp_transfer_fast_rounds_total", m.transfer_fast_rounds);
+        telemetry::count("msp_transfer_solved_rounds_total", m.transfer_solved_rounds);
+        telemetry::count("msp_stalls_total", m.stalls.len() as u64);
+        telemetry::observe("msp_session_events", m.events);
+    }
+    if tracing {
+        telemetry::trace(
+            "session.end",
+            ended_at.as_micros(),
+            &[
+                ("events", TraceVal::U64(m.events)),
+                ("stalls", TraceVal::U64(m.stalls.len() as u64)),
+                ("epochs", TraceVal::U64(m.transfer_epochs)),
+            ],
+        );
     }
 }
 

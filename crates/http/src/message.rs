@@ -253,6 +253,25 @@ impl Response {
             .header("Accept-Ranges", "bytes")
     }
 
+    /// A response with `status` and a JSON error body of the shape
+    /// `{"error": "...", "target": "..."}` — the uniform reply the
+    /// testbed-side servers use for unknown endpoints and malformed
+    /// requests (instead of silently dropping the connection).
+    pub fn json_error(status: StatusCode, error: &str, target: &str) -> Response {
+        let body = format!(
+            "{{\"error\":\"{}\",\"target\":\"{}\"}}",
+            json_escape(error),
+            json_escape(target)
+        );
+        Response::new(status, body.into_bytes())
+            .header("Content-Type", "application/json; charset=utf-8")
+    }
+
+    /// 404 with a JSON error body naming the unknown `target`.
+    pub fn not_found_json(target: &str) -> Response {
+        Response::json_error(StatusCode::NOT_FOUND, "unknown endpoint", target)
+    }
+
     /// Adds a header (builder style).
     pub fn header(mut self, name: &str, value: impl Into<String>) -> Response {
         self.headers.insert(name, value);
@@ -267,6 +286,23 @@ impl Response {
             .get("content-range")
             .map(crate::range::ByteRange::parse_content_range)
     }
+}
+
+/// Minimal JSON string escaping for the error bodies built above.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -328,6 +364,22 @@ mod tests {
             StatusCode::PARTIAL_CONTENT.to_string(),
             "206 Partial Content"
         );
+    }
+
+    #[test]
+    fn json_error_bodies_are_wellformed() {
+        let resp = Response::not_found_json("/nope?q=\"x\"\n");
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+        assert_eq!(
+            resp.headers.get("content-type"),
+            Some("application/json; charset=utf-8")
+        );
+        let body = std::str::from_utf8(&resp.body).unwrap();
+        assert_eq!(
+            body,
+            "{\"error\":\"unknown endpoint\",\"target\":\"/nope?q=\\\"x\\\"\\n\"}"
+        );
+        assert_eq!(resp.headers.content_length(), Some(body.len() as u64));
     }
 
     #[test]

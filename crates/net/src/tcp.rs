@@ -253,6 +253,17 @@ impl TcpConnection {
         // both engines, before any round runs.
         self.idle_restart_phase(now);
 
+        if msim_core::telemetry::enabled() {
+            let engine = match self.cfg.engine {
+                TransferEngine::Epoch => "epoch",
+                TransferEngine::RoundLoop => "rounds",
+            };
+            msim_core::telemetry::count_with(
+                "msp_transfer_requests_total",
+                &[("engine", engine)],
+                1,
+            );
+        }
         match self.cfg.engine {
             TransferEngine::Epoch => epoch::run(self, link, now, size),
             TransferEngine::RoundLoop => rounds::run(self, link, now, size),

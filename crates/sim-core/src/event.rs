@@ -60,6 +60,19 @@ pub struct EventId {
     gen: u32,
 }
 
+/// Operation counts maintained by [`EventQueue`] since its last
+/// [`EventQueue::reset`] (see [`EventQueue::op_counts`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueOps {
+    /// Events scheduled (both [`EventQueue::push`] and
+    /// [`EventQueue::push_saturating`]).
+    pub pushes: u64,
+    /// Events delivered by [`EventQueue::pop`] (tombstone skips excluded).
+    pub pops: u64,
+    /// Successful [`EventQueue::cancel`] calls.
+    pub cancels: u64,
+}
+
 /// Ring/heap entry: ordering key inline, payload in the slab.
 #[derive(Clone, Copy)]
 struct Entry {
@@ -149,6 +162,12 @@ pub struct EventQueue<E> {
     next_seq: u64,
     now: SimTime,
     saturated_pushes: u64,
+    /// Lifetime operation counts (pushes / pops / cancels) since the last
+    /// [`EventQueue::reset`]. Plain integers on purpose: they are always
+    /// maintained (the cost is one add per op) so batch drivers can
+    /// publish per-session deltas into the telemetry registry without the
+    /// queue depending on it.
+    ops: QueueOps,
     /// Adaptation state: inter-pop spacing accumulator.
     pops_since_adapt: u64,
     gap_sum_us: u64,
@@ -184,6 +203,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: SimTime::ZERO,
             saturated_pushes: 0,
+            ops: QueueOps::default(),
             pops_since_adapt: 0,
             gap_sum_us: 0,
             last_pop_us: 0,
@@ -209,6 +229,7 @@ impl<E> EventQueue<E> {
         self.next_seq = 0;
         self.now = SimTime::ZERO;
         self.saturated_pushes = 0;
+        self.ops = QueueOps::default();
         self.pops_since_adapt = 0;
         self.gap_sum_us = 0;
         self.last_pop_us = 0;
@@ -248,6 +269,7 @@ impl<E> EventQueue<E> {
     /// rewritten to "now". Does not panic in debug builds — this is the
     /// checked entry point for callers that handle the condition.
     pub fn push_saturating(&mut self, at: SimTime, payload: E) -> (EventId, bool) {
+        self.ops.pushes += 1;
         let saturated = at < self.now;
         if saturated {
             self.saturated_pushes += 1;
@@ -322,6 +344,13 @@ impl<E> EventQueue<E> {
         self.saturated_pushes
     }
 
+    /// Operation counts (pushes / pops / cancels) since the last
+    /// [`EventQueue::reset`]. Batch drivers publish these as per-session
+    /// deltas into the [`crate::telemetry`] registry.
+    pub fn op_counts(&self) -> QueueOps {
+        self.ops
+    }
+
     /// Cancels a previously scheduled event. Returns `true` if the event was
     /// still pending (it will be silently skipped when its time comes).
     /// O(1): no ring or heap restructuring, no hashing.
@@ -334,6 +363,7 @@ impl<E> EventQueue<E> {
         }
         *slot = Slot::Tombstone;
         self.live -= 1;
+        self.ops.cancels += 1;
         true
     }
 
@@ -349,6 +379,7 @@ impl<E> EventQueue<E> {
                         .release_slot(entry.slot)
                         .expect("near min is checked live");
                     self.live -= 1;
+                    self.ops.pops += 1;
                     self.advance_now(entry.at);
                     return Some((entry.at, payload));
                 }
@@ -359,6 +390,7 @@ impl<E> EventQueue<E> {
             match self.release_slot(entry.slot) {
                 Some(payload) => {
                     self.live -= 1;
+                    self.ops.pops += 1;
                     self.advance_now(entry.at);
                     return Some((entry.at, payload));
                 }

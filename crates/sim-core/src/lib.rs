@@ -13,7 +13,11 @@
 //! * [`stats`] — medians, boxplot summaries, `mean ± std`, harmonic mean;
 //! * [`units`] — byte sizes (`64 KB`, `1 MB`, …) and bit rates;
 //! * [`report`] — aligned tables, ASCII boxplots/bar charts, CSV export for
-//!   regenerating the paper's figures.
+//!   regenerating the paper's figures;
+//! * [`telemetry`] — a deterministic, zero-dependency observability layer
+//!   (metrics registry, phase spans, NDJSON trace exporter, Prometheus
+//!   text exposition) that is compiled to nothing when the default
+//!   `telemetry` feature is off and provably non-perturbing when on.
 //!
 //! Everything in this workspace is deterministic given a single `u64` seed;
 //! no wall-clock time or OS randomness is consulted anywhere in the
@@ -27,6 +31,7 @@ pub mod process;
 pub mod report;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod units;
 pub mod vmath;

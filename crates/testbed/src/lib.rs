@@ -11,6 +11,8 @@
 //!   [`msplayer_core::player::Player`] the simulator uses, with one blocking
 //!   worker thread per path (mirroring the original player's threads);
 //! * [`harness`] — one-call setup: shaped servers + proxies + session;
+//! * [`obs`] — a live `/metrics` + `/jobs` + `/healthz` HTTP endpoint
+//!   exposing the in-process [`msim_core::telemetry`] registry;
 //! * [`lines`] — line-framed transport plumbing (reader threads, flushed
 //!   line writers, a background accept loop) shared with the distributed
 //!   sweep service's coordinator/worker protocol;
@@ -30,6 +32,7 @@
 pub mod driver;
 pub mod harness;
 pub mod lines;
+pub mod obs;
 pub mod server;
 pub mod shaper;
 pub mod signal;
@@ -37,6 +40,7 @@ pub mod signal;
 pub use driver::{run_testbed_session, TestbedSession, TestbedStop};
 pub use harness::Testbed;
 pub use lines::{spawn_line_reader, LineEvent, LineServer, LineWriter};
+pub use obs::{JobsProvider, ObsServer};
 pub use server::{ProxyDaemon, VideoFileServer};
 pub use shaper::{LinkShape, TokenBucket};
 pub use signal::{install_shutdown_handler, request_shutdown, shutdown_requested};

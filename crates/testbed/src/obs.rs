@@ -1,0 +1,199 @@
+//! Live observability endpoint for the long-running binaries.
+//!
+//! [`ObsServer`] is a tiny threaded HTTP server (same accept-loop idiom as
+//! [`crate::server`]) exposing the in-process
+//! [`msim_core::telemetry`] registry while a sweep or fleet bench is
+//! running:
+//!
+//! | endpoint   | body                                                   |
+//! |------------|--------------------------------------------------------|
+//! | `/metrics` | Prometheus text exposition of every registered metric  |
+//! | `/jobs`    | JSON job/shard state from the caller-supplied provider |
+//! | `/healthz` | `{"status":"ok"}`                                      |
+//!
+//! Anything else gets the standard `404` JSON error. The server never
+//! touches simulation state: it only *reads* atomic counters, so scraping
+//! it mid-run cannot perturb a deterministic workload.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use msim_http::{decode_request, encode_response, Decoded, Response, StatusCode};
+
+/// Callback producing the `/jobs` JSON body at scrape time.
+pub type JobsProvider = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// Content-Type for the Prometheus text exposition format.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// A background thread serving `/metrics`, `/jobs` and `/healthz` until
+/// dropped.
+pub struct ObsServer {
+    /// The bound address (useful when started on port 0).
+    pub addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9464`, or port 0 for an ephemeral
+    /// port) and serves scrapes until the returned handle is dropped.
+    /// `jobs` renders the `/jobs` body; pass [`ObsServer::no_jobs`] for
+    /// binaries without shard state.
+    pub fn start(addr: &str, jobs: JobsProvider) -> std::io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let s2 = shutdown.clone();
+        let handle = std::thread::spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            while !s2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let jobs = jobs.clone();
+                        workers.push(std::thread::spawn(move || {
+                            let _ = serve_obs_conn(stream, &jobs);
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        });
+        Ok(ObsServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// A [`JobsProvider`] for binaries with no job state: `/jobs` answers
+    /// an empty list.
+    pub fn no_jobs() -> JobsProvider {
+        Arc::new(|| "{\"jobs\":[]}".to_string())
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_obs_conn(mut stream: TcpStream, jobs: &JobsProvider) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
+    stream.set_nodelay(true)?;
+    let mut buf = Vec::new();
+    let mut scratch = [0u8; 4096];
+    // Serve requests one at a time on a keep-alive connection; scrapers
+    // poll, so the loop exits when the peer closes or goes quiet.
+    loop {
+        let req = loop {
+            match decode_request(&buf) {
+                Ok(Decoded::Complete { message, consumed }) => {
+                    buf.drain(..consumed);
+                    break message;
+                }
+                Ok(Decoded::NeedMore) => {
+                    let n = match stream.read(&mut scratch) {
+                        Ok(0) => return Ok(()),
+                        Ok(n) => n,
+                        Err(_) => return Ok(()),
+                    };
+                    buf.extend_from_slice(&scratch[..n]);
+                }
+                Err(_) => {
+                    let resp =
+                        Response::json_error(StatusCode::BAD_REQUEST, "malformed request", "");
+                    stream.write_all(&encode_response(&resp))?;
+                    return Ok(());
+                }
+            }
+        };
+        let resp = match req.path() {
+            "/metrics" => {
+                let body = msim_core::telemetry::render_prometheus();
+                Response::new(StatusCode::OK, body.into_bytes())
+                    .header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+            }
+            "/jobs" => Response::new(StatusCode::OK, jobs().into_bytes())
+                .header("Content-Type", "application/json; charset=utf-8"),
+            "/healthz" => Response::new(StatusCode::OK, b"{\"status\":\"ok\"}".to_vec())
+                .header("Content-Type", "application/json; charset=utf-8"),
+            _ => Response::not_found_json(&req.target),
+        };
+        stream.write_all(&encode_response(&resp))?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msim_http::{encode_request, Request};
+
+    fn read_response(stream: &mut TcpStream) -> Response {
+        let mut buf = Vec::new();
+        let mut scratch = [0u8; 4096];
+        loop {
+            if let Ok(msim_http::Decoded::Complete { message, .. }) =
+                msim_http::decode_response(&buf)
+            {
+                return message;
+            }
+            let n = stream.read(&mut scratch).unwrap();
+            assert!(n > 0, "server closed before full response");
+            buf.extend_from_slice(&scratch[..n]);
+        }
+    }
+
+    fn get(stream: &mut TcpStream, path: &str) -> Response {
+        let req = Request::get(path).header("Host", "obs");
+        stream.write_all(&encode_request(&req)).unwrap();
+        read_response(stream)
+    }
+
+    #[test]
+    fn serves_all_endpoints_on_one_connection() {
+        msim_core::telemetry::set_enabled(true);
+        msim_core::telemetry::count("msp_obs_test_total", 3);
+        let server = ObsServer::start("127.0.0.1:0", ObsServer::no_jobs()).unwrap();
+        let mut stream = TcpStream::connect(server.addr).unwrap();
+
+        let resp = get(&mut stream, "/healthz");
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(&resp.body[..], b"{\"status\":\"ok\"}");
+
+        let resp = get(&mut stream, "/metrics");
+        assert_eq!(resp.status, StatusCode::OK);
+        let text = String::from_utf8(resp.body.to_vec()).unwrap();
+        assert!(text.contains("msp_obs_test_total"));
+        assert_eq!(
+            resp.headers.get("Content-Type"),
+            Some(PROMETHEUS_CONTENT_TYPE)
+        );
+
+        let resp = get(&mut stream, "/jobs");
+        assert_eq!(resp.status, StatusCode::OK);
+        assert!(msim_json::from_str(std::str::from_utf8(&resp.body).unwrap()).is_ok());
+
+        let resp = get(&mut stream, "/nope");
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+        let v = msim_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(
+            v.get("error").and_then(msim_json::Value::as_str),
+            Some("unknown endpoint")
+        );
+    }
+}

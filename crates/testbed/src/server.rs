@@ -1,6 +1,11 @@
 //! Threaded HTTP servers for the loopback testbed: a video file server
 //! (range requests over keep-alive connections, like §5's Apache) and a web
 //! proxy daemon returning the JSON video information.
+//!
+//! Both servers route on the request path and answer unknown endpoints
+//! with a proper `404` + JSON error body (and malformed requests with
+//! `400`) instead of dropping the connection, so misdirected clients get
+//! a diagnosable reply on a still-usable connection.
 
 use crate::shaper::{write_paced, LinkShape};
 use msim_core::time::SimDuration;
@@ -150,6 +155,11 @@ fn build_video_response(
     if controls.fail.load(Ordering::Relaxed) {
         return Response::new(StatusCode::INTERNAL_SERVER_ERROR, Vec::new());
     }
+    // Only the videoplayback endpoint exists here; anything else is a
+    // client bug and earns a 404 JSON error on the live connection.
+    if req.path() != "/videoplayback" {
+        return Response::not_found_json(&req.target);
+    }
     match req.range() {
         Some(Ok(range)) => match range.clamp_to(file.len() as u64) {
             Ok(r) => {
@@ -226,9 +236,10 @@ fn serve_proxy_conn(
     stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
     let mut buf = Vec::new();
     let mut scratch = [0u8; 4096];
-    loop {
+    use std::io::Write;
+    let req = loop {
         match decode_request(&buf) {
-            Ok(Decoded::Complete { .. }) => break,
+            Ok(Decoded::Complete { message, .. }) => break message,
             Ok(Decoded::NeedMore) => {
                 let n = stream.read(&mut scratch)?;
                 if n == 0 {
@@ -236,12 +247,21 @@ fn serve_proxy_conn(
                 }
                 buf.extend_from_slice(&scratch[..n]);
             }
-            Err(_) => return Ok(()),
+            Err(_) => {
+                // Malformed request: a diagnosable 400 beats a silent
+                // connection drop.
+                let resp = Response::json_error(StatusCode::BAD_REQUEST, "malformed request", "");
+                stream.write_all(&encode_response(&resp))?;
+                return Ok(());
+            }
         }
+    };
+    if req.path() != "/watch" {
+        let resp = Response::not_found_json(&req.target);
+        return stream.write_all(&encode_response(&resp));
     }
     std::thread::sleep(to_std(processing));
     let resp = Response::json(json.as_bytes().to_vec());
-    use std::io::Write;
     stream.write_all(&encode_response(&resp))
 }
 
@@ -369,6 +389,70 @@ mod tests {
         assert_eq!(
             v.get("video_id").and_then(msim_json::Value::as_str),
             Some("qjT4T2gU9sM")
+        );
+    }
+
+    #[test]
+    fn unknown_endpoint_is_404_json_not_a_drop() {
+        // Regression: unknown endpoints used to be served (video server)
+        // or silently ignored; they must answer 404 with a JSON error
+        // body and keep the connection usable.
+        let file = test_file(10_000);
+        let server = VideoFileServer::start(file.clone(), fast_shape()).unwrap();
+        let mut stream = TcpStream::connect(server.addr).unwrap();
+        let req = Request::get("/metrics").header("Host", "testbed");
+        stream.write_all(&encode_request(&req)).unwrap();
+        let resp = read_response(&mut stream);
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+        let v = msim_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(
+            v.get("error").and_then(msim_json::Value::as_str),
+            Some("unknown endpoint")
+        );
+        assert_eq!(
+            v.get("target").and_then(msim_json::Value::as_str),
+            Some("/metrics")
+        );
+        // The same connection still serves a real request afterwards.
+        let req = Request::get("/videoplayback")
+            .header("Host", "testbed")
+            .with_range(ByteRange::from_offset_len(0, 100));
+        stream.write_all(&encode_request(&req)).unwrap();
+        let resp = read_response(&mut stream);
+        assert_eq!(resp.status, StatusCode::PARTIAL_CONTENT);
+        assert_eq!(&resp.body[..], &file[..100]);
+    }
+
+    #[test]
+    fn proxy_unknown_endpoint_is_404_json() {
+        let daemon =
+            ProxyDaemon::start(r#"{"video_id":"x"}"#.into(), SimDuration::from_millis(1)).unwrap();
+        let mut stream = TcpStream::connect(daemon.addr).unwrap();
+        let req = Request::get("/totally/else").header("Host", "www.youtube.com");
+        stream.write_all(&encode_request(&req)).unwrap();
+        let resp = read_response(&mut stream);
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+        let v = msim_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(
+            v.get("target").and_then(msim_json::Value::as_str),
+            Some("/totally/else")
+        );
+    }
+
+    #[test]
+    fn proxy_malformed_request_gets_400_not_a_drop() {
+        let daemon =
+            ProxyDaemon::start(r#"{"video_id":"x"}"#.into(), SimDuration::from_millis(1)).unwrap();
+        let mut stream = TcpStream::connect(daemon.addr).unwrap();
+        stream
+            .write_all(b"BREW /coffee HTCPCP/1.0\r\n\r\n")
+            .unwrap();
+        let resp = read_response(&mut stream);
+        assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+        let v = msim_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(
+            v.get("error").and_then(msim_json::Value::as_str),
+            Some("malformed request")
         );
     }
 

@@ -360,6 +360,7 @@ impl YoutubeService {
             .copied()
             .filter(|&itag| crate::format::by_itag(itag).is_some())
             .collect();
+        msim_core::telemetry::count("msp_grants_issued_total", 1);
         StreamGrant {
             token_verdict,
             expires_at,
@@ -375,6 +376,34 @@ impl YoutubeService {
     /// [`YoutubeService::check_range_request`], without re-parsing or
     /// re-MAC-ing the token per chunk.
     pub fn check_range_request_granted(
+        &self,
+        addr: Ipv4Addr,
+        now: SimTime,
+        grant: &StreamGrant,
+        itag: u32,
+    ) -> Result<Option<PacePolicy>, StatusCode> {
+        let result = self.check_granted_inner(addr, now, grant, itag);
+        if msim_core::telemetry::enabled() {
+            let verdict = match &result {
+                Ok(_) => "ok",
+                Err(status) => match status.0 {
+                    403 => "403",
+                    404 => "404",
+                    500 => "500",
+                    503 => "503",
+                    _ => "other",
+                },
+            };
+            msim_core::telemetry::count_with(
+                "msp_admission_checks_total",
+                &[("verdict", verdict)],
+                1,
+            );
+        }
+        result
+    }
+
+    fn check_granted_inner(
         &self,
         addr: Ipv4Addr,
         now: SimTime,

@@ -7,7 +7,9 @@
 //! ```
 //!
 //! Runs one seeded session (or a `--runs N` sweep) and prints the QoE
-//! summary, optionally with the per-path activity timeline.
+//! summary, optionally with the per-path activity timeline
+//! (`--timeline`) and an NDJSON telemetry trace of every session event
+//! (`--trace <path>`).
 
 use msplayer::core::chaos::{check_invariants, ChaosPlan};
 use msplayer::core::config::{PlayerConfig, SchedulerKind};
@@ -17,6 +19,7 @@ use msplayer::core::sim::{run_session, Scenario, SessionHost, StopCondition};
 use msplayer::core::trace::render_timeline;
 use msplayer::net::PathProfile;
 use msplayer::simcore::stats::{median, Running};
+use msplayer::simcore::telemetry;
 use msplayer::simcore::units::ByteSize;
 use msplayer::youtube::Network;
 
@@ -31,8 +34,9 @@ struct Options {
     refills: usize,
     seed: u64,
     runs: u64,
-    trace: bool,
-    chaos: String, // chaos plan / preset; empty = fault-free
+    timeline: bool,
+    trace: Option<String>, // NDJSON trace output path
+    chaos: String,         // chaos plan / preset; empty = fault-free
     fleet: bool,
     fleet_sessions: u64,
     fleet_mode: FleetMode,
@@ -50,7 +54,8 @@ impl Default for Options {
             refills: 0,
             seed: 2014,
             runs: 1,
-            trace: false,
+            timeline: false,
+            trace: None,
             chaos: String::new(),
             fleet: false,
             fleet_sessions: 2_000,
@@ -72,7 +77,10 @@ OPTIONS
     --refills <N>                  steady-state cycles to run [0]
     --seed <N>                     base seed                  [2014]
     --runs <N>                     seeds to sweep             [1]
-    --trace                        print the activity timeline
+    --timeline                     print the activity timeline
+    --trace <PATH>                 write an NDJSON telemetry trace of
+                                   every session event to PATH and print
+                                   a one-line telemetry summary on exit
     --chaos <PLAN>                 chaos preset or plan string, e.g.
                                    kitchen-sink or
                                    'skew:+250ms;overload:path=1,from=1s,until=10s'
@@ -127,7 +135,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--refills" => opt.refills = value()?.parse().map_err(|e| format!("--refills: {e}"))?,
             "--seed" => opt.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--runs" => opt.runs = value()?.parse().map_err(|e| format!("--runs: {e}"))?,
-            "--trace" => opt.trace = true,
+            "--timeline" => opt.timeline = true,
+            "--trace" => opt.trace = Some(value()?),
             "--chaos" => {
                 let v = value()?;
                 ChaosPlan::preset(&v).map_err(|e| format!("--chaos: {e}"))?;
@@ -313,6 +322,10 @@ fn main() {
             std::process::exit(if msg == USAGE { 0 } else { 2 });
         }
     };
+    if opt.trace.is_some() {
+        telemetry::set_enabled(true);
+        telemetry::set_trace_enabled(true);
+    }
     if opt.fleet {
         std::process::exit(run_fleet_mode(&opt));
     }
@@ -370,7 +383,7 @@ fn main() {
             if !m.stalls.is_empty() {
                 println!("  stalls: {} ({})", m.stalls.len(), m.total_stall_time());
             }
-            if opt.trace {
+            if opt.timeline {
                 println!("\n{}", render_timeline(&m, 96));
             }
         }
@@ -385,9 +398,32 @@ fn main() {
             prebuffer_stats.max(),
         );
     }
+    if let Some(path) = &opt.trace {
+        if let Err(e) = write_trace(path) {
+            eprintln!("--trace {path}: {e}");
+            std::process::exit(2);
+        }
+    }
     if chaos_violations > 0 {
         std::process::exit(1);
     }
+}
+
+/// Flushes the captured NDJSON trace to `path` and prints the one-line
+/// telemetry summary.
+fn write_trace(path: &str) -> std::io::Result<()> {
+    // Summarize before draining the buffer so the line reports the
+    // actual trace depth.
+    let summary = telemetry::summary_line();
+    let events = telemetry::take_trace();
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    telemetry::write_trace_ndjson(&events, &mut w)?;
+    use std::io::Write as _;
+    w.flush()?;
+    println!("trace: {} events -> {path}", events.len());
+    println!("{summary}");
+    Ok(())
 }
 
 #[cfg(test)]
@@ -407,7 +443,8 @@ mod tests {
     fn parses_everything() {
         let o = parse_args(&args(
             "--env youtube --player wifi --scheduler ewma --chunk 1M \
-             --prebuffer 20 --refills 3 --seed 9 --runs 5 --trace",
+             --prebuffer 20 --refills 3 --seed 9 --runs 5 --timeline \
+             --trace /tmp/session.ndjson",
         ))
         .unwrap();
         assert_eq!(o.env, "youtube");
@@ -418,7 +455,13 @@ mod tests {
         assert_eq!(o.refills, 3);
         assert_eq!(o.seed, 9);
         assert_eq!(o.runs, 5);
-        assert!(o.trace);
+        assert!(o.timeline);
+        assert_eq!(o.trace.as_deref(), Some("/tmp/session.ndjson"));
+    }
+
+    #[test]
+    fn trace_flag_requires_a_path() {
+        assert!(parse_args(&args("--trace")).is_err());
     }
 
     #[test]
